@@ -1,0 +1,93 @@
+// Experiment E7 — the CPDoS case studies of §IV-B: invalid-version repair,
+// blind forwarding of lower/higher versions, Expect-in-GET, and fat GET/HEAD.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "impls/products.h"
+#include "report/table.h"
+
+namespace {
+
+using hdiff::impls::make_implementation;
+
+/// Forward through `proxy`, then show every back-end's verdict on the
+/// forwarded bytes (the cached response under the proxy's key).
+void show_chain(std::string_view title, const std::string& raw) {
+  std::printf("%s\n", std::string(title).c_str());
+  hdiff::report::Table t({"proxy", "forwards as", "iis", "tomcat", "weblogic",
+                          "lighttpd", "apache", "nginx"});
+  for (auto proxy_name : {"apache", "nginx", "varnish", "squid", "haproxy",
+                          "ats"}) {
+    auto proxy = make_implementation(proxy_name);
+    auto pv = proxy->forward_request(raw);
+    std::vector<std::string> row{std::string(proxy_name)};
+    if (!pv.forwarded()) {
+      row.push_back("rejects " + std::to_string(pv.status));
+      row.resize(8, "-");
+    } else {
+      std::string line =
+          pv.forwarded_bytes.substr(0, pv.forwarded_bytes.find("\r\n"));
+      if (line.size() > 36) line = line.substr(0, 33) + "...";
+      row.push_back(line);
+      for (auto backend_name : {"iis", "tomcat", "weblogic", "lighttpd",
+                                "apache", "nginx"}) {
+        auto backend = make_implementation(backend_name);
+        auto sv = backend->parse_request(pv.forwarded_bytes);
+        row.push_back(sv.incomplete ? "hang" : std::to_string(sv.status));
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void BM_CpdosChainSweep(benchmark::State& state) {
+  auto nginx = make_implementation("nginx");
+  auto apache = make_implementation("apache");
+  const std::string raw = "GET /?a=b 1.1/HTTP\r\nHost: h1.com\r\n\r\n";
+  for (auto _ : state) {
+    auto pv = nginx->forward_request(raw);
+    if (pv.forwarded()) {
+      benchmark::DoNotOptimize(apache->parse_request(pv.forwarded_bytes));
+    }
+  }
+}
+BENCHMARK(BM_CpdosChainSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E7: CPDoS case studies — a 4xx/5xx cell on a forwarding row "
+              "is a cacheable error page (the experiment config caches all "
+              "responses, §IV-A).\n\n");
+
+  show_chain(
+      "E7.1  Invalid HTTP-version repair — \"they do not delete the old "
+      "illegal HTTP version but directly add their own\" (nginx/squid/ats)",
+      "GET /?a=b 1.1/HTTP\r\nHost: h1.com\r\n\r\n");
+
+  show_chain(
+      "E7.2  Blindly forwarding HTTP/0.9 with headers — \"only the Weblogic "
+      "server can handle this message ... the rest report errors\" (haproxy)",
+      "GET /\r\nHost: h1.com\r\n\r\n");
+
+  show_chain(
+      "E7.3  Blindly forwarding Expect in GET — \"ATS would transparently "
+      "forward such requests. And Lighttpd would direct reject\"",
+      "GET / HTTP/1.1\r\nHost: h1.com\r\nExpect: 100-continue\r\n\r\n");
+
+  show_chain(
+      "E7.4  Fat GET request — \"different HTTP implementations would have "
+      "an inconsistent semantic understanding of such requests\"",
+      "GET / HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 5\r\n\r\nAAAAA");
+
+  show_chain(
+      "E7.5  Hop-by-Hop header stripping — \"Connection: close, Host\" "
+      "(apache removes the named end-to-end headers)",
+      "GET / HTTP/1.1\r\nHost: h1.com\r\nConnection: close, Host\r\n\r\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

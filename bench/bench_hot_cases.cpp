@@ -1,0 +1,101 @@
+// Experiment E6 — the HoT case studies of §IV-B: bad absolute-URI vs Host,
+// and invalid Host values forwarded without modification.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "impls/products.h"
+#include "report/table.h"
+
+namespace {
+
+using hdiff::impls::make_implementation;
+
+void case_absolute_uri() {
+  std::printf("E6.1  Bad absolute-URI vs Host — \"varnish does not rewrite "
+              "the Host header if the absolute-URI started with a non-HTTP "
+              "schema ... IIS and Tomcat recognize the host from "
+              "absolute-URI\"\n");
+  const std::string raw =
+      "GET test://h2.com/?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  hdiff::report::Table fronts({"proxy", "forwards?", "routes on",
+                               "request line forwarded"});
+  for (auto name : {"varnish", "haproxy", "nginx", "squid", "ats", "apache"}) {
+    auto impl = make_implementation(name);
+    auto v = impl->forward_request(raw);
+    std::string line = "-";
+    if (v.forwarded()) {
+      line = v.forwarded_bytes.substr(0, v.forwarded_bytes.find("\r\n"));
+    }
+    fronts.add_row({std::string(name),
+                    v.forwarded() ? "yes" : "no (" + std::to_string(v.status) + ")",
+                    v.host.empty() ? "-" : v.host, line});
+  }
+  std::printf("%s\n", fronts.render().c_str());
+
+  hdiff::report::Table backs({"server", "status", "derives host"});
+  for (auto name : {"iis", "tomcat", "weblogic", "nginx", "apache",
+                    "lighttpd"}) {
+    auto impl = make_implementation(name);
+    auto v = impl->parse_request(raw);
+    backs.add_row({std::string(name), std::to_string(v.status),
+                   v.host.empty() ? "-" : v.host});
+  }
+  std::printf("%s", backs.render().c_str());
+  std::printf("  => transparent fronts route on h1.com while IIS/Tomcat/"
+              "Weblogic serve h2.com — the HoT gap.\n\n");
+}
+
+void case_invalid_host() {
+  std::printf("E6.2  Invalid Host header — ambiguous hostnames forwarded "
+              "without modification\n");
+  for (std::string_view host :
+       {"h1.com@h2.com", "h1.com, h2.com", "h1.com/.//test?"}) {
+    std::string raw = "GET /?a=1 HTTP/1.1\r\nHost: " + std::string(host) +
+                      "\r\n\r\n";
+    std::printf("Host: %s\n", std::string(host).c_str());
+    hdiff::report::Table t({"implementation", "role", "status/forward",
+                            "interprets host as"});
+    for (auto name : {"nginx", "varnish", "haproxy", "squid", "iis", "tomcat",
+                      "weblogic", "lighttpd", "apache"}) {
+      auto impl = make_implementation(name);
+      if (impl->is_proxy()) {
+        auto v = impl->forward_request(raw);
+        t.add_row({std::string(name), "proxy",
+                   v.forwarded() ? "forwards" : std::to_string(v.status),
+                   v.host.empty() ? "-" : v.host});
+      } else {
+        auto v = impl->parse_request(raw);
+        t.add_row({std::string(name), "server", std::to_string(v.status),
+                   v.host.empty() ? "-" : v.host});
+      }
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf("  => fronts route on the prefix while IIS/Weblogic take the "
+              "bytes after '@' and Tomcat the last list element.\n\n");
+}
+
+void BM_HostInterpretationSweep(benchmark::State& state) {
+  auto fleet = hdiff::impls::make_all_implementations();
+  const std::string raw =
+      "GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n";
+  for (auto _ : state) {
+    for (const auto& impl : fleet) {
+      if (impl->is_server()) {
+        benchmark::DoNotOptimize(impl->parse_request(raw));
+      }
+    }
+  }
+}
+BENCHMARK(BM_HostInterpretationSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  case_absolute_uri();
+  case_invalid_host();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment E5 — the four HRS case studies narrated in §IV-B, each driven
+// through the behaviour models and reported as the paper describes them.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "impls/products.h"
+#include "report/table.h"
+
+namespace {
+
+using hdiff::impls::make_implementation;
+
+void case_invalid_clte() {
+  std::printf("E5.1  Invalid CL/TE header — \"IIS is compatible with "
+              "whitespace before the colon and parses the body data\"\n");
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h1.com\r\nContent-Length : 5\r\n\r\nAAAAA";
+  hdiff::report::Table t({"implementation", "status", "framing", "body"});
+  for (auto name : {"iis", "tomcat", "apache", "nginx", "lighttpd"}) {
+    auto impl = make_implementation(name);
+    auto v = impl->parse_request(raw);
+    t.add_row({std::string(name), std::to_string(v.status),
+               std::string(to_string(v.framing)), v.body});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void case_multiple_clte() {
+  std::printf("E5.2  Multiple CL/TE headers — \"Tomcat will accept requests "
+              "with both CL and TE, where the TE header is malformed "
+              "(Transfer-Encoding:\\x0bchunked)\"\n");
+  std::string smuggle = "GET /evil HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  std::string body = "0\r\n\r\n" + smuggle;
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h1.com\r\nTransfer-Encoding: \x0b"
+      "chunked\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  hdiff::report::Table t(
+      {"implementation", "status", "framing", "smuggled bytes left"});
+  for (auto name : {"tomcat", "iis", "weblogic", "apache", "nginx"}) {
+    auto impl = make_implementation(name);
+    auto v = impl->parse_request(raw);
+    t.add_row({std::string(name), std::to_string(v.status),
+               std::string(to_string(v.framing)),
+               std::to_string(v.leftover.size())});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("  => Tomcat terminates the body at the zero chunk and leaves "
+              "the smuggled request on the connection;\n"
+              "     CL-framing peers read the same bytes as one request.\n\n");
+}
+
+void case_http10_chunked() {
+  std::printf("E5.3  HTTP/1.0 with TE chunked — \"Tomcat does not support "
+              "chunked encoding in HTTP version 1.0, while other HTTP "
+              "implementations support it\"\n");
+  const std::string raw =
+      "POST / HTTP/1.0\r\nHost: h1.com\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+  hdiff::report::Table t({"implementation", "status", "framing", "leftover"});
+  for (auto name : {"tomcat", "apache", "nginx", "iis", "weblogic"}) {
+    auto impl = make_implementation(name);
+    auto v = impl->parse_request(raw);
+    t.add_row({std::string(name), std::to_string(v.status),
+               std::string(to_string(v.framing)),
+               std::to_string(v.leftover.size())});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void case_bad_chunk_size() {
+  std::printf("E5.4  Bad chunk-size value — \"two proxies (Haproxy, Squid) "
+              "would try to repair the request ... they repair to an illegal "
+              "number a (10 in decimal)\"\n");
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h1.com\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "100000000a\r\nabc\r\n0\r\n\r\n";
+  hdiff::report::Table t(
+      {"proxy", "forwards?", "emitted chunk-size", "downstream (apache)"});
+  for (auto name : {"haproxy", "squid", "varnish", "ats", "apache", "nginx"}) {
+    auto impl = make_implementation(name);
+    if (!impl->is_proxy()) continue;
+    auto v = impl->forward_request(raw);
+    std::string size_emitted = "-";
+    std::string downstream = "-";
+    if (v.forwarded()) {
+      std::size_t body_at = v.forwarded_bytes.find("\r\n\r\n");
+      if (body_at != std::string::npos) {
+        std::size_t end = v.forwarded_bytes.find("\r\n", body_at + 4);
+        size_emitted = v.forwarded_bytes.substr(body_at + 4,
+                                                end - body_at - 4);
+      }
+      auto backend = make_implementation("apache");
+      auto sv = backend->parse_request(v.forwarded_bytes);
+      downstream = sv.incomplete ? "blocks (desync)"
+                                 : std::to_string(sv.status);
+    }
+    t.add_row({std::string(name), v.forwarded() ? "yes" : "no (" +
+                   std::to_string(v.status) + ")",
+               size_emitted, downstream});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("  => the repairing proxies emit chunk-size 'a' (10) over "
+              "3 bytes of data — downstream framing no longer matches.\n\n");
+}
+
+void BM_SmugglePayloadParse(benchmark::State& state) {
+  auto tomcat = make_implementation("tomcat");
+  std::string body = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h\r\n\r\n";
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: \x0b"
+      "chunked\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tomcat->parse_request(raw));
+  }
+}
+BENCHMARK(BM_SmugglePayloadParse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  case_invalid_clte();
+  case_multiple_clte();
+  case_http10_chunked();
+  case_bad_chunk_size();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E8: component micro-benchmarks — parser, generator, chain, and pipeline
+// stage throughput.
+#include <benchmark/benchmark.h>
+
+#include "abnf/generator.h"
+#include "abnf/parser.h"
+#include "core/analyzer.h"
+#include "corpus/registry.h"
+#include "http/lexer.h"
+#include "impls/products.h"
+#include "net/chain.h"
+#include "text/dependency.h"
+#include "text/sentiment.h"
+
+namespace {
+
+const std::string kRequest =
+    "POST /path?q=1 HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 5\r\n"
+    "Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+
+void BM_LexRequest(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdiff::http::lex_request(kRequest));
+  }
+}
+BENCHMARK(BM_LexRequest);
+
+void BM_ServerParse(benchmark::State& state) {
+  auto impl = hdiff::impls::make_implementation("tomcat");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(impl->parse_request(kRequest));
+  }
+}
+BENCHMARK(BM_ServerParse);
+
+void BM_ProxyForward(benchmark::State& state) {
+  auto impl = hdiff::impls::make_implementation("haproxy");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(impl->forward_request(kRequest));
+  }
+}
+BENCHMARK(BM_ProxyForward);
+
+void BM_ChainObserve(benchmark::State& state) {
+  auto fleet = hdiff::impls::make_all_implementations();
+  auto chain = hdiff::net::Chain::from_fleet(fleet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.observe("bench", kRequest));
+  }
+}
+BENCHMARK(BM_ChainObserve);
+
+void BM_AbnfExtract(benchmark::State& state) {
+  const auto* doc = hdiff::corpus::find_document("rfc7230");
+  std::string cleaned = hdiff::abnf::clean_rfc_text(doc->text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hdiff::abnf::extract_abnf(cleaned, "rfc7230"));
+  }
+}
+BENCHMARK(BM_AbnfExtract);
+
+void BM_AbnfEnumerateHost(benchmark::State& state) {
+  hdiff::core::DocumentationAnalyzer analyzer;
+  auto result = analyzer.analyze({"rfc7230"});
+  hdiff::abnf::Generator gen(result.grammar);
+  hdiff::abnf::load_default_http_predefined(gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.enumerate("Host", 64));
+  }
+}
+BENCHMARK(BM_AbnfEnumerateHost);
+
+void BM_SentimentScore(benchmark::State& state) {
+  hdiff::text::SentimentClassifier classifier;
+  const std::string sentence =
+      "A server MUST respond with a 400 (Bad Request) status code to any "
+      "HTTP/1.1 request message that lacks a Host header field.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.score(sentence));
+  }
+}
+BENCHMARK(BM_SentimentScore);
+
+void BM_DependencyParse(benchmark::State& state) {
+  const std::string sentence =
+      "A server MUST reject any received request message that contains "
+      "whitespace between a header field-name and colon.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdiff::text::parse_dependencies(sentence));
+  }
+}
+BENCHMARK(BM_DependencyParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Example: the Figure 6 topology over real loopback TCP sockets.
+//
+// Hosts a behaviour model as an origin server and another as a reverse
+// proxy in front of it, then sends an attack payload through the live chain
+// with an ordinary socket client — the closest analogue of the paper's VM
+// testbed this repository offers.
+#include <cstdio>
+#include <string>
+
+#include "impls/products.h"
+#include "net/tcp.h"
+
+int main(int argc, char** argv) {
+  std::string front_name = argc > 1 ? argv[1] : "squid";
+  std::string back_name = argc > 2 ? argv[2] : "apache";
+
+  auto front = hdiff::impls::make_implementation(front_name);
+  auto back = hdiff::impls::make_implementation(back_name);
+  if (!front || !back || !front->is_proxy() || !back->is_server()) {
+    std::fprintf(stderr, "usage: live_chain [front-proxy] [back-server]\n");
+    return 1;
+  }
+
+  hdiff::net::ModelServer origin(*back);
+  hdiff::net::ModelProxy proxy(*front, origin.port());
+  std::printf("origin (%s) listening on 127.0.0.1:%u\n", back_name.c_str(),
+              origin.port());
+  std::printf("proxy  (%s) listening on 127.0.0.1:%u\n\n", front_name.c_str(),
+              proxy.port());
+
+  auto show = [&](const char* title, const std::string& request) {
+    std::printf("== %s ==\n", title);
+    std::string response = hdiff::net::tcp_roundtrip(proxy.port(), request);
+    std::size_t header_end = response.find("\r\n\r\n");
+    std::printf("%s\n\n",
+                response
+                    .substr(0, header_end == std::string::npos
+                                   ? response.size()
+                                   : header_end)
+                    .c_str());
+  };
+
+  show("1. clean GET through the live chain",
+       "GET /index.html HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+
+  show("2. bad chunk-size (the squid repair bug, live)",
+       "POST /upload HTTP/1.1\r\nHost: h1.com\r\n"
+       "Transfer-Encoding: chunked\r\n\r\n"
+       "100000000a\r\nabc\r\n0\r\n\r\n");
+
+  show("3. invalid HTTP-version (repair-by-append, live)",
+       "GET /?a=b 1.1/HTTP\r\nHost: h1.com\r\n\r\n");
+
+  std::printf("The X-HDiff-* response headers carry the origin model's "
+              "HMetrics: a 4xx on case 2/3 is the error page the proxy "
+              "would cache (CPDoS), and X-HDiff-Leftover > 0 on any case "
+              "is a smuggled remainder.\n");
+  return 0;
+}

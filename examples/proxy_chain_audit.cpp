@@ -1,0 +1,103 @@
+// Example: audit a specific front-end/back-end deployment combination.
+//
+// Runs the full verification probe set (Table II payloads) plus the
+// SR-translated corpus cases against one proxy -> server pair and reports
+// which attack classes the combination is exposed to — the check an
+// operator would run before putting a given proxy in front of a given
+// origin server.
+#include <cstdio>
+#include <string>
+
+#include "core/detect.h"
+#include "core/probes.h"
+#include "net/poison.h"
+#include "impls/products.h"
+#include "net/chain.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  std::string front_name = argc > 1 ? argv[1] : "varnish";
+  std::string back_name = argc > 2 ? argv[2] : "iis";
+
+  auto front = hdiff::impls::make_implementation(front_name);
+  auto back = hdiff::impls::make_implementation(back_name);
+  if (!front || !back || !front->is_proxy() || !back->is_server()) {
+    std::fprintf(stderr,
+                 "usage: proxy_chain_audit [front-proxy] [back-server]\n"
+                 "  proxies: apache nginx varnish squid haproxy ats\n"
+                 "  servers: iis tomcat weblogic lighttpd apache nginx\n");
+    return 1;
+  }
+
+  std::printf("=== Deployment audit: %s (front) -> %s (back) ===\n\n",
+              front_name.c_str(), back_name.c_str());
+
+  hdiff::net::Chain chain({front.get()}, {back.get()});
+  hdiff::core::DetectionEngine engine;
+  hdiff::core::DetectionResult total;
+  auto probes = hdiff::core::verification_probes();
+  for (const auto& tc : probes) {
+    hdiff::core::DetectionEngine::accumulate(
+        total, engine.evaluate(tc, chain.observe(tc.uuid, tc.raw)));
+  }
+
+  bool hrs = false, hot = false, cpdos = false;
+  for (const auto& p : total.pairs) {
+    if (p.attack == hdiff::core::AttackClass::kHrs) hrs = true;
+    if (p.attack == hdiff::core::AttackClass::kHot) hot = true;
+    if (p.attack == hdiff::core::AttackClass::kCpdos) cpdos = true;
+  }
+
+  hdiff::report::Table verdict({"attack class", "exposed?"});
+  verdict.add_row({"HTTP Request Smuggling (HRS)", hrs ? "YES" : "no"});
+  verdict.add_row({"Host of Troubles (HoT)", hot ? "YES" : "no"});
+  verdict.add_row({"Cache-Poisoned DoS (CPDoS)", cpdos ? "YES" : "no"});
+  std::printf("%s\n", verdict.render().c_str());
+
+  if (!total.pairs.empty()) {
+    std::printf("Findings (%zu):\n", total.pairs.size());
+    std::map<std::string, const hdiff::core::TestCase*> by_uuid;
+    for (const auto& tc : probes) by_uuid[tc.uuid] = &tc;
+    for (const auto& p : total.pairs) {
+      auto it = by_uuid.find(p.uuid);
+      std::printf("  [%s] %s\n      probe: %s\n",
+                  std::string(to_string(p.attack)).c_str(), p.detail.c_str(),
+                  it != by_uuid.end() ? it->second->vector_label.c_str()
+                                      : "?");
+    }
+  } else {
+    std::printf("No pair-level findings: this combination survives the "
+                "Table II probe set.\n");
+  }
+
+  // End-game verification (paper: "we further run these potential exploits
+  // to complete verification").
+  std::printf("\nExploit verification:\n");
+  {
+    std::string body = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+    std::string attack =
+        "POST /upload HTTP/1.1\r\nHost: h1.com\r\n"
+        "Transfer-Encoding: \x0b" "chunked\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+    auto smuggle = hdiff::net::demonstrate_smuggling(
+        *front, *back, attack,
+        "GET /?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+    std::printf("  HRS end-game:   %s\n", smuggle.narrative.c_str());
+  }
+  {
+    auto cpdos = hdiff::net::demonstrate_cpdos(
+        *front, *back, "GET /?a=1 1.1/HTTP\r\nHost: h1.com\r\n\r\n",
+        "GET /?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+    std::printf("  CPDoS end-game: %s\n", cpdos.narrative.c_str());
+  }
+
+  // Per-side specification violations observed on this pair's traffic.
+  if (!total.violations.empty()) {
+    std::printf("\nSpecification violations observed (%zu):\n",
+                total.violations.size());
+    for (const auto& v : total.violations) {
+      std::printf("  %s: %s\n", v.impl.c_str(), v.detail.c_str());
+    }
+  }
+  return 0;
+}

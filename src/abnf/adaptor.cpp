@@ -1,0 +1,165 @@
+#include "abnf/adaptor.h"
+
+#include <cctype>
+#include <functional>
+#include <set>
+
+namespace hdiff::abnf {
+
+namespace {
+
+/// Structurally rewrite a node tree, applying `fn` to each node bottom-up.
+/// `fn` returns nullptr to keep the (possibly rebuilt) node unchanged.
+NodePtr rewrite(const NodePtr& node,
+                const std::function<NodePtr(const NodePtr&)>& fn) {
+  if (!node) return node;
+  NodePtr rebuilt = node;
+  if (const auto* a = node->as<Alternation>()) {
+    std::vector<NodePtr> alts;
+    alts.reserve(a->alts.size());
+    bool changed = false;
+    for (const auto& c : a->alts) {
+      NodePtr r = rewrite(c, fn);
+      changed = changed || r != c;
+      alts.push_back(std::move(r));
+    }
+    if (changed) rebuilt = make_alternation(std::move(alts));
+  } else if (const auto* c = node->as<Concatenation>()) {
+    std::vector<NodePtr> parts;
+    parts.reserve(c->parts.size());
+    bool changed = false;
+    for (const auto& p : c->parts) {
+      NodePtr r = rewrite(p, fn);
+      changed = changed || r != p;
+      parts.push_back(std::move(r));
+    }
+    if (changed) rebuilt = make_concatenation(std::move(parts));
+  } else if (const auto* r = node->as<Repetition>()) {
+    NodePtr e = rewrite(r->element, fn);
+    if (e != r->element) rebuilt = make_repetition(r->min, r->max, std::move(e));
+  } else if (const auto* o = node->as<Option>()) {
+    NodePtr e = rewrite(o->element, fn);
+    if (e != o->element) rebuilt = make_option(std::move(e));
+  }
+  NodePtr replaced = fn(rebuilt);
+  return replaced ? replaced : rebuilt;
+}
+
+}  // namespace
+
+void Adaptor::register_document(std::string doc_name, Grammar grammar) {
+  documents_[normalize_rule_name(doc_name)] = std::move(grammar);
+}
+
+void Adaptor::set_custom_rule(std::string_view rule_name, NodePtr definition) {
+  custom_rules_[normalize_rule_name(rule_name)] = std::move(definition);
+}
+
+bool Adaptor::parse_prose_reference(std::string_view prose,
+                                    std::string* rule_name,
+                                    std::string* doc_name) {
+  // Shape: "host, see [RFC3986], Section 3.2.2"
+  std::size_t comma = prose.find(',');
+  std::string_view name =
+      comma == std::string_view::npos ? prose : prose.substr(0, comma);
+  while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+  while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') {
+      return false;
+    }
+  }
+  std::size_t open = prose.find('[');
+  std::size_t close = prose.find(']', open == std::string_view::npos ? 0 : open);
+  if (open == std::string_view::npos || close == std::string_view::npos) {
+    return false;
+  }
+  std::string_view doc = prose.substr(open + 1, close - open - 1);
+  if (doc.empty()) return false;
+  if (rule_name) rule_name->assign(name);
+  if (doc_name) doc_name->assign(doc);
+  return true;
+}
+
+Grammar Adaptor::adapt(const std::vector<std::string>& doc_order,
+                       AdaptReport* report) const {
+  AdaptReport local;
+  Grammar merged;
+
+  // 1. Merge in order; Grammar::add gives later documents precedence
+  //    ("use the most recent RFCs for repeated rule names").
+  for (const auto& doc : doc_order) {
+    auto it = documents_.find(normalize_rule_name(doc));
+    if (it == documents_.end()) continue;
+    for (const auto& [key, rule] : it->second.rules()) {
+      merged.add(rule);
+    }
+  }
+
+  // 2. Resolve prose rules, expanding referenced documents on demand.
+  //    Expansion can introduce new prose rules (rfc3986 references rfc5234,
+  //    etc.), so iterate to a fixed point with a small bound.
+  std::set<std::string> expanded;
+  for (int round = 0; round < 5; ++round) {
+    bool any_prose = false;
+    std::vector<std::pair<std::string, NodePtr>> replacements;
+    for (const auto& [key, rule] : merged.rules()) {
+      bool changed = false;
+      NodePtr def = rewrite(rule.definition, [&](const NodePtr& n) -> NodePtr {
+        const auto* p = n->as<ProseVal>();
+        if (!p) return nullptr;
+        any_prose = true;
+        std::string ref_rule, ref_doc;
+        if (!parse_prose_reference(p->text, &ref_rule, &ref_doc)) {
+          return nullptr;  // unresolvable prose; left for custom substitution
+        }
+        changed = true;
+        local.resolved_prose.push_back(rule.name + " -> " + ref_rule + " [" +
+                                       ref_doc + "]");
+        if (!expanded.contains(ref_doc)) expanded.insert(ref_doc);
+        return make_rule_ref(ref_rule);
+      });
+      if (changed) replacements.emplace_back(key, std::move(def));
+    }
+    for (auto& [key, def] : replacements) {
+      Rule updated = *merged.find(key);
+      updated.definition = std::move(def);
+      merged.add(std::move(updated));
+    }
+    // Pull in rules from documents referenced by resolved prose, without
+    // overriding anything already defined.
+    for (const auto& doc : expanded) {
+      auto it = documents_.find(normalize_rule_name(doc));
+      if (it == documents_.end()) continue;
+      bool newly = true;
+      for (const auto& d : local.expanded_documents) {
+        if (d == doc) newly = false;
+      }
+      if (newly) local.expanded_documents.push_back(doc);
+      for (const auto& [key, rule] : it->second.rules()) {
+        if (!merged.contains(key)) merged.add(rule);
+      }
+    }
+    if (!any_prose) break;
+  }
+
+  // 3. Substitute custom definitions for anything still undefined.
+  for (const auto& name : merged.undefined_references()) {
+    auto it = custom_rules_.find(name);
+    if (it != custom_rules_.end()) {
+      Rule custom;
+      custom.name = name;
+      custom.definition = it->second;
+      custom.source_doc = "custom";
+      merged.add(std::move(custom));
+      local.custom_substitutions.push_back(name);
+    }
+  }
+
+  local.unresolved = merged.undefined_references();
+  if (report) *report = std::move(local);
+  return merged;
+}
+
+}  // namespace hdiff::abnf

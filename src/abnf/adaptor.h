@@ -1,0 +1,61 @@
+// ABNF rule adaptation (the paper's "ABNF Rule Adaption" step).
+//
+// Rules extracted from several RFCs must be merged into one complete,
+// error-free grammar.  The adaptor performs:
+//   * provenance-ordered merging — rules with the same (case-insensitive)
+//     name are taken from the most recent document in the merge order;
+//   * prose-rule resolution — "<host, see [RFC3986], Section 3.2.2>" becomes
+//     a reference to the `host` rule, pulling in the referenced document's
+//     grammar on demand;
+//   * custom substitution — undefined references (defined only in prose or
+//     in un-imported documents) are replaced with user-supplied definitions;
+//   * a final completeness report listing anything still unresolved.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abnf/ast.h"
+
+namespace hdiff::abnf {
+
+/// Result of an adaptation run.
+struct AdaptReport {
+  std::vector<std::string> expanded_documents;  ///< docs pulled in via prose
+  std::vector<std::string> resolved_prose;      ///< prose rules -> refs
+  std::vector<std::string> custom_substitutions;///< names given custom defs
+  std::vector<std::string> unresolved;          ///< still-undefined refs
+};
+
+class Adaptor {
+ public:
+  /// Register a document's extracted grammar under its name ("rfc7230",
+  /// "rfc3986", ...).  Documents referenced by prose rules must be
+  /// registered to be expandable.
+  void register_document(std::string doc_name, Grammar grammar);
+
+  /// Provide a custom definition used when `rule_name` remains undefined
+  /// after prose resolution (e.g. port => "80" / "8080").
+  void set_custom_rule(std::string_view rule_name, NodePtr definition);
+
+  /// Build the merged grammar from `doc_order` (oldest first: later
+  /// documents override earlier ones on name collision), then resolve prose
+  /// rules and substitute custom definitions.
+  Grammar adapt(const std::vector<std::string>& doc_order,
+                AdaptReport* report = nullptr) const;
+
+  /// Parse a prose-val's text for a cross-document reference.  Recognizes
+  /// the conventional "<name, see [RFCnnnn], Section x.y>" shape; returns
+  /// true and fills the outputs on success.
+  static bool parse_prose_reference(std::string_view prose,
+                                    std::string* rule_name,
+                                    std::string* doc_name);
+
+ private:
+  std::map<std::string, Grammar> documents_;
+  std::map<std::string, NodePtr> custom_rules_;  // key: normalized name
+};
+
+}  // namespace hdiff::abnf

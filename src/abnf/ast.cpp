@@ -1,0 +1,204 @@
+#include "abnf/ast.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace hdiff::abnf {
+
+NodePtr make_alternation(std::vector<NodePtr> alts) {
+  if (alts.size() == 1) return alts.front();
+  return std::make_shared<const Node>(Node{Alternation{std::move(alts)}});
+}
+
+NodePtr make_concatenation(std::vector<NodePtr> parts) {
+  if (parts.size() == 1) return parts.front();
+  return std::make_shared<const Node>(Node{Concatenation{std::move(parts)}});
+}
+
+NodePtr make_repetition(std::size_t min, std::optional<std::size_t> max,
+                        NodePtr element) {
+  return std::make_shared<const Node>(
+      Node{Repetition{min, max, std::move(element)}});
+}
+
+NodePtr make_option(NodePtr element) {
+  return std::make_shared<const Node>(Node{Option{std::move(element)}});
+}
+
+NodePtr make_char_val(std::string text, bool case_sensitive) {
+  return std::make_shared<const Node>(
+      Node{CharVal{std::move(text), case_sensitive}});
+}
+
+NodePtr make_num_sequence(std::vector<std::uint32_t> seq) {
+  NumVal nv;
+  nv.is_range = false;
+  nv.sequence = std::move(seq);
+  return std::make_shared<const Node>(Node{std::move(nv)});
+}
+
+NodePtr make_num_range(std::uint32_t lo, std::uint32_t hi) {
+  NumVal nv;
+  nv.is_range = true;
+  nv.lo = lo;
+  nv.hi = hi;
+  return std::make_shared<const Node>(Node{std::move(nv)});
+}
+
+NodePtr make_rule_ref(std::string_view name) {
+  return std::make_shared<const Node>(
+      Node{RuleRef{normalize_rule_name(name)}});
+}
+
+NodePtr make_prose_val(std::string text) {
+  return std::make_shared<const Node>(Node{ProseVal{std::move(text)}});
+}
+
+std::string normalize_rule_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '_') c = '-';
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void Grammar::add(Rule rule) {
+  std::string key = normalize_rule_name(rule.name);
+  auto it = rules_.find(key);
+  if (it == rules_.end()) {
+    rules_.emplace(std::move(key), std::move(rule));
+    return;
+  }
+  if (rule.incremental) {
+    // "=/": extend the existing definition with new alternatives.
+    std::vector<NodePtr> alts;
+    if (const auto* alt = it->second.definition->as<Alternation>()) {
+      alts = alt->alts;
+    } else {
+      alts.push_back(it->second.definition);
+    }
+    if (const auto* alt = rule.definition->as<Alternation>()) {
+      alts.insert(alts.end(), alt->alts.begin(), alt->alts.end());
+    } else {
+      alts.push_back(rule.definition);
+    }
+    it->second.definition = make_alternation(std::move(alts));
+  } else {
+    it->second = std::move(rule);
+  }
+}
+
+const Rule* Grammar::find(std::string_view name) const {
+  auto it = rules_.find(normalize_rule_name(name));
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+void Grammar::collect_refs(const NodePtr& node, std::vector<std::string>& out) {
+  if (!node) return;
+  if (const auto* a = node->as<Alternation>()) {
+    for (const auto& n : a->alts) collect_refs(n, out);
+  } else if (const auto* c = node->as<Concatenation>()) {
+    for (const auto& n : c->parts) collect_refs(n, out);
+  } else if (const auto* r = node->as<Repetition>()) {
+    collect_refs(r->element, out);
+  } else if (const auto* o = node->as<Option>()) {
+    collect_refs(o->element, out);
+  } else if (const auto* ref = node->as<RuleRef>()) {
+    out.push_back(ref->name);
+  }
+}
+
+std::vector<std::string> Grammar::undefined_references() const {
+  std::set<std::string> refs;
+  for (const auto& [key, rule] : rules_) {
+    std::vector<std::string> local;
+    collect_refs(rule.definition, local);
+    refs.insert(local.begin(), local.end());
+  }
+  std::vector<std::string> out;
+  for (const auto& r : refs) {
+    if (!rules_.contains(r)) out.push_back(r);
+  }
+  return out;
+}
+
+namespace {
+
+void render(const NodePtr& node, std::string& out) {
+  if (!node) {
+    out += "<null>";
+    return;
+  }
+  if (const auto* a = node->as<Alternation>()) {
+    out += "( ";
+    for (std::size_t i = 0; i < a->alts.size(); ++i) {
+      if (i) out += " / ";
+      render(a->alts[i], out);
+    }
+    out += " )";
+  } else if (const auto* c = node->as<Concatenation>()) {
+    for (std::size_t i = 0; i < c->parts.size(); ++i) {
+      if (i) out += ' ';
+      render(c->parts[i], out);
+    }
+  } else if (const auto* r = node->as<Repetition>()) {
+    if (r->min != 0 || r->max) {
+      if (r->min == r->max) {
+        out += std::to_string(r->min);
+      } else {
+        if (r->min) out += std::to_string(r->min);
+        out += '*';
+        if (r->max) out += std::to_string(*r->max);
+      }
+    } else {
+      out += '*';
+    }
+    render(r->element, out);
+  } else if (const auto* o = node->as<Option>()) {
+    out += "[ ";
+    render(o->element, out);
+    out += " ]";
+  } else if (const auto* cv = node->as<CharVal>()) {
+    if (cv->case_sensitive) out += "%s";
+    out += '"';
+    out += cv->text;
+    out += '"';
+  } else if (const auto* nv = node->as<NumVal>()) {
+    char buf[16];
+    out += "%x";
+    if (nv->is_range) {
+      std::snprintf(buf, sizeof buf, "%X-%X", nv->lo, nv->hi);
+      out += buf;
+    } else {
+      for (std::size_t i = 0; i < nv->sequence.size(); ++i) {
+        if (i) out += '.';
+        std::snprintf(buf, sizeof buf, "%X", nv->sequence[i]);
+        out += buf;
+      }
+    }
+  } else if (const auto* ref = node->as<RuleRef>()) {
+    out += ref->name;
+  } else if (const auto* p = node->as<ProseVal>()) {
+    out += '<';
+    out += p->text;
+    out += '>';
+  }
+}
+
+}  // namespace
+
+std::string to_string(const NodePtr& node) {
+  std::string out;
+  render(node, out);
+  return out;
+}
+
+std::string to_string(const Rule& rule) {
+  return rule.name + " = " + to_string(rule.definition);
+}
+
+}  // namespace hdiff::abnf

@@ -1,0 +1,140 @@
+// ABNF grammar AST (RFC 5234).
+//
+// The paper's ABNF generator "recognizes that ABNF defines a tree with seven
+// types of nodes … each node represents an operation that can guide a
+// depth-first traversal".  These are those node types.  Nodes are immutable
+// after construction and shared (`std::shared_ptr<const Node>`): a grammar is
+// a DAG of rules referencing each other by name, and generation walks it
+// without copying.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hdiff::abnf {
+
+struct Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+/// alternation: exactly one of `alts` matches ("a / b / c").
+struct Alternation {
+  std::vector<NodePtr> alts;
+};
+
+/// concatenation: all of `parts` in order ("a b c").
+struct Concatenation {
+  std::vector<NodePtr> parts;
+};
+
+/// repetition: `element` repeated between `min` and `max` times
+/// ("*a", "1*3a", "2a").  `max == nullopt` means unbounded.
+struct Repetition {
+  std::size_t min = 0;
+  std::optional<std::size_t> max;
+  NodePtr element;
+};
+
+/// option: zero or one occurrence ("[ a ]").
+struct Option {
+  NodePtr element;
+};
+
+/// char-val: a literal string.  ABNF literals are case-insensitive unless
+/// prefixed with %s (RFC 7405).
+struct CharVal {
+  std::string text;
+  bool case_sensitive = false;
+};
+
+/// num-val: either a dot-joined sequence of exact code points (%x48.54.54.50)
+/// or an inclusive range (%x41-5A).
+struct NumVal {
+  bool is_range = false;
+  std::vector<std::uint32_t> sequence;  // when !is_range
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;                 // when is_range
+};
+
+/// rule reference by (case-insensitive, stored lower-case) name.
+struct RuleRef {
+  std::string name;
+};
+
+/// prose-val: free-text escape hatch "<host, see [RFC3986], Section 3.2.2>".
+/// The adaptor resolves these into rule references or predefined values.
+struct ProseVal {
+  std::string text;
+};
+
+/// A grammar node: one of the seven ABNF constructs.
+struct Node {
+  std::variant<Alternation, Concatenation, Repetition, Option, CharVal, NumVal,
+               RuleRef, ProseVal>
+      v;
+
+  template <typename T>
+  const T* as() const noexcept {
+    return std::get_if<T>(&v);
+  }
+};
+
+/// Factory helpers (each returns a shared immutable node).
+NodePtr make_alternation(std::vector<NodePtr> alts);
+NodePtr make_concatenation(std::vector<NodePtr> parts);
+NodePtr make_repetition(std::size_t min, std::optional<std::size_t> max,
+                        NodePtr element);
+NodePtr make_option(NodePtr element);
+NodePtr make_char_val(std::string text, bool case_sensitive = false);
+NodePtr make_num_sequence(std::vector<std::uint32_t> seq);
+NodePtr make_num_range(std::uint32_t lo, std::uint32_t hi);
+NodePtr make_rule_ref(std::string_view name);
+NodePtr make_prose_val(std::string text);
+
+/// A named rule.  `incremental` marks "=/" definitions that extend an
+/// existing alternation; `source_doc` records which document defined it
+/// (used by the adaptor's most-recent-wins merging).
+struct Rule {
+  std::string name;       ///< original spelling
+  NodePtr definition;
+  bool incremental = false;
+  std::string source_doc; ///< e.g. "rfc7230"
+};
+
+/// Normalize a rule name for lookup: ABNF rule names are case-insensitive
+/// and '-'/'_' are treated as equivalent by some documents.
+std::string normalize_rule_name(std::string_view name);
+
+/// A set of rules keyed by normalized name.
+class Grammar {
+ public:
+  /// Add or extend a rule.  An incremental rule ("=/") merges into an
+  /// existing alternation; a plain redefinition replaces the previous one.
+  void add(Rule rule);
+
+  const Rule* find(std::string_view name) const;
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+  std::size_t size() const { return rules_.size(); }
+
+  const std::map<std::string, Rule>& rules() const { return rules_; }
+
+  /// Names referenced anywhere in the grammar but not defined in it.
+  std::vector<std::string> undefined_references() const;
+
+  /// All rule-reference names occurring under `node`.
+  static void collect_refs(const NodePtr& node, std::vector<std::string>& out);
+
+ private:
+  std::map<std::string, Rule> rules_;  // key: normalized name
+};
+
+/// Render a node / rule back to ABNF-ish text (for reports and debugging).
+std::string to_string(const NodePtr& node);
+std::string to_string(const Rule& rule);
+
+}  // namespace hdiff::abnf

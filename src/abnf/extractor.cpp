@@ -1,0 +1,152 @@
+#include "abnf/extractor.h"
+
+#include <cctype>
+
+#include "abnf/parser.h"
+
+namespace hdiff::abnf {
+
+namespace {
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    std::string_view line = text.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+bool is_page_footer(std::string_view line) {
+  // "...                 [Page 12]"
+  std::size_t close = line.rfind(']');
+  std::size_t open = line.rfind("[Page ");
+  return open != std::string_view::npos && close != std::string_view::npos &&
+         close > open;
+}
+
+bool is_page_header(std::string_view line) {
+  // "RFC 7230           HTTP/1.1 Message Syntax and Routing        June 2014"
+  std::size_t first = line.find_first_not_of(' ');
+  if (first == std::string_view::npos) return false;
+  return line.substr(first).starts_with("RFC ") && line.size() > 60;
+}
+
+std::size_t indent_of(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return i;
+}
+
+/// Does this line look like the start of a rule definition?
+/// Shape: indent, rule-name, optional ws, "=" or "=/", then anything.
+bool looks_like_rule_start(std::string_view line, std::string* name_out) {
+  std::size_t i = indent_of(line);
+  if (i >= line.size()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(line[i]))) return false;
+  std::size_t name_start = i;
+  while (i < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[i])) || line[i] == '-' ||
+          line[i] == '_')) {
+    ++i;
+  }
+  std::size_t name_end = i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != '=') return false;
+  // Avoid prose like "x == y" (not ABNF) — ABNF uses "=" or "=/".
+  if (i + 1 < line.size() && line[i + 1] == '=') return false;
+  if (name_out) name_out->assign(line.substr(name_start, name_end - name_start));
+  return true;
+}
+
+}  // namespace
+
+std::string clean_rfc_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::string_view line : split_lines(text)) {
+    if (is_page_footer(line) || is_page_header(line)) continue;
+    for (char c : line) {
+      if (c == '\f') continue;
+      out.push_back(c);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Grammar extract_abnf(std::string_view doc_text, std::string_view source_doc,
+                     ExtractionStats* stats, std::vector<std::string>* errors) {
+  Grammar grammar;
+  ExtractionStats local;
+  std::vector<std::string_view> lines = split_lines(doc_text);
+  local.lines_scanned = lines.size();
+
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    std::string name;
+    if (!looks_like_rule_start(lines[i], &name)) {
+      ++i;
+      continue;
+    }
+    // Assemble the chunk: the start line plus continuation lines that are
+    // indented deeper than the rule name and are not themselves rule starts
+    // or blank-line-separated prose.
+    std::size_t base_indent = indent_of(lines[i]);
+    std::string chunk{lines[i]};
+    std::size_t j = i + 1;
+    while (j < lines.size()) {
+      std::string_view next = lines[j];
+      if (next.find_first_not_of(" \t") == std::string_view::npos) break;
+      if (looks_like_rule_start(next, nullptr)) break;
+      if (indent_of(next) <= base_indent) break;
+      chunk += '\n';
+      chunk += next;
+      ++j;
+    }
+    ++local.candidate_chunks;
+    try {
+      Rule rule = parse_rule(chunk, source_doc);
+      bool has_prose = false;
+      // Detect prose-vals for statistics (they need adaptor resolution).
+      struct ProseScan {
+        static void scan(const NodePtr& n, bool& found) {
+          if (!n || found) return;
+          if (n->as<ProseVal>()) {
+            found = true;
+          } else if (const auto* a = n->as<Alternation>()) {
+            for (const auto& c : a->alts) scan(c, found);
+          } else if (const auto* c = n->as<Concatenation>()) {
+            for (const auto& p : c->parts) scan(p, found);
+          } else if (const auto* r = n->as<Repetition>()) {
+            scan(r->element, found);
+          } else if (const auto* o = n->as<Option>()) {
+            scan(o->element, found);
+          }
+        }
+      };
+      ProseScan::scan(rule.definition, has_prose);
+      if (has_prose) ++local.prose_val_rules;
+      grammar.add(std::move(rule));
+      ++local.parsed_rules;
+    } catch (const ParseError& e) {
+      ++local.parse_failures;
+      if (errors) {
+        errors->push_back("candidate '" + name + "': " + e.what());
+      }
+    }
+    i = j;
+  }
+  if (stats) *stats = local;
+  return grammar;
+}
+
+}  // namespace hdiff::abnf

@@ -1,0 +1,41 @@
+// ABNF rule extraction from RFC-formatted text (the paper's "ABNF filter
+// based on format features": character cleaning, regular extraction, case
+// escaping, and separating prose rules).
+//
+// RFC text interleaves ABNF blocks with prose, page headers/footers, and form
+// feeds.  The extractor (1) cleans pagination artifacts, (2) locates
+// candidate rule-definition lines by shape ("name = elements" at a stable
+// indent, continuations indented deeper), and (3) validates each candidate by
+// actually parsing it — a candidate that fails the ABNF parser is prose, not
+// grammar, and is dropped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abnf/ast.h"
+
+namespace hdiff::abnf {
+
+/// Counters describing one extraction run (reported by experiment E1).
+struct ExtractionStats {
+  std::size_t lines_scanned = 0;
+  std::size_t candidate_chunks = 0;  ///< rule-shaped blocks found
+  std::size_t parsed_rules = 0;      ///< candidates accepted by the parser
+  std::size_t parse_failures = 0;    ///< candidates rejected as prose
+  std::size_t prose_val_rules = 0;   ///< accepted rules containing <prose>
+};
+
+/// Remove RFC pagination artifacts: form feeds, "[Page N]" footer lines, and
+/// "RFC NNNN ... <Month Year>" header lines.
+std::string clean_rfc_text(std::string_view text);
+
+/// Extract every ABNF rule from `doc_text` (which should already be cleaned,
+/// or will tolerate uncleaned text at slightly lower precision).
+/// `source_doc` tags provenance on each rule for the adaptor.
+Grammar extract_abnf(std::string_view doc_text, std::string_view source_doc,
+                     ExtractionStats* stats = nullptr,
+                     std::vector<std::string>* errors = nullptr);
+
+}  // namespace hdiff::abnf

@@ -1,0 +1,370 @@
+#include "abnf/generator.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hdiff::abnf {
+
+namespace {
+
+/// Encode a code point: raw byte for <= 0xFF (HTTP is a byte protocol),
+/// UTF-8 for anything larger (Unicode-mutation payloads).
+void append_code_point(std::string& out, std::uint32_t cp) {
+  if (cp <= 0xFF) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7FF) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0xFFFF) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Evenly-spaced truncation keeps variant diversity when capping a list.
+void cap_evenly(std::vector<std::string>& v, std::size_t limit) {
+  if (v.size() <= limit || limit == 0) return;
+  std::vector<std::string> kept;
+  kept.reserve(limit);
+  double step = static_cast<double>(v.size()) / static_cast<double>(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    kept.push_back(std::move(v[static_cast<std::size_t>(i * step)]));
+  }
+  v = std::move(kept);
+}
+
+bool has_alpha(std::string_view s) {
+  return std::any_of(s.begin(), s.end(), [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c));
+  });
+}
+
+std::string upper_copy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+Generator::Generator(Grammar grammar, GenOptions options)
+    : grammar_(std::move(grammar)), options_(options) {}
+
+void Generator::set_predefined(std::string_view rule_name,
+                               std::vector<std::string> values) {
+  predefined_[normalize_rule_name(rule_name)] = std::move(values);
+}
+
+bool Generator::has_predefined(std::string_view rule_name) const {
+  return predefined_.contains(normalize_rule_name(rule_name));
+}
+
+std::string Generator::minimal(std::string_view rule_name) const {
+  std::string key = normalize_rule_name(rule_name);
+  auto it = minimal_cache_.find(key);
+  if (it != minimal_cache_.end()) return it->second;
+  const Rule* rule = grammar_.find(key);
+  std::string result;
+  if (rule) {
+    std::vector<std::string> in_progress{key};
+    result = minimal_node(rule->definition, in_progress);
+  }
+  minimal_cache_[key] = result;
+  return result;
+}
+
+std::string Generator::minimal_node(const NodePtr& node,
+                                    std::vector<std::string>& in_progress) const {
+  if (!node) return {};
+  if (const auto* a = node->as<Alternation>()) {
+    // Choose the shortest alternative's minimal derivation.
+    std::optional<std::string> best;
+    for (const auto& alt : a->alts) {
+      std::string s = minimal_node(alt, in_progress);
+      if (!best || s.size() < best->size()) best = std::move(s);
+      if (best->empty()) break;
+    }
+    return best.value_or("");
+  }
+  if (const auto* c = node->as<Concatenation>()) {
+    std::string out;
+    for (const auto& p : c->parts) out += minimal_node(p, in_progress);
+    return out;
+  }
+  if (const auto* r = node->as<Repetition>()) {
+    if (r->min == 0) return {};
+    std::string unit = minimal_node(r->element, in_progress);
+    std::string out;
+    for (std::size_t i = 0; i < r->min; ++i) out += unit;
+    return out;
+  }
+  if (node->as<Option>()) return {};
+  if (const auto* cv = node->as<CharVal>()) return cv->text;
+  if (const auto* nv = node->as<NumVal>()) {
+    std::string out;
+    if (nv->is_range) {
+      append_code_point(out, nv->lo);
+    } else {
+      for (auto cp : nv->sequence) append_code_point(out, cp);
+    }
+    return out;
+  }
+  if (const auto* ref = node->as<RuleRef>()) {
+    auto pre = predefined_.find(ref->name);
+    if (pre != predefined_.end() && !pre->second.empty()) {
+      return pre->second.front();
+    }
+    if (std::find(in_progress.begin(), in_progress.end(), ref->name) !=
+        in_progress.end()) {
+      return {};  // cycle: contribute nothing
+    }
+    const Rule* rule = grammar_.find(ref->name);
+    if (!rule) return {};
+    in_progress.push_back(ref->name);
+    std::string out = minimal_node(rule->definition, in_progress);
+    in_progress.pop_back();
+    return out;
+  }
+  return {};  // ProseVal: unresolved prose contributes nothing
+}
+
+std::vector<std::string> Generator::enumerate(std::string_view rule_name,
+                                              std::size_t limit) const {
+  std::string key = normalize_rule_name(rule_name);
+  auto pre = predefined_.find(key);
+  if (pre != predefined_.end()) {
+    std::vector<std::string> out = pre->second;
+    cap_evenly(out, std::min(limit, options_.max_variants));
+    return out;
+  }
+  const Rule* rule = grammar_.find(key);
+  if (!rule) return {};
+  return enumerate_node(rule->definition, options_.max_depth,
+                        std::min(limit, options_.max_variants));
+}
+
+std::vector<std::string> Generator::enumerate_node(const NodePtr& node,
+                                                   std::size_t depth,
+                                                   std::size_t limit) const {
+  std::vector<std::string> out;
+  if (!node || limit == 0) return out;
+
+  if (const auto* a = node->as<Alternation>()) {
+    for (const auto& alt : a->alts) {
+      auto sub = enumerate_node(alt, depth, limit);
+      for (auto& s : sub) {
+        out.push_back(std::move(s));
+        if (out.size() >= limit) return out;
+      }
+    }
+    return out;
+  }
+  if (const auto* c = node->as<Concatenation>()) {
+    out.emplace_back();
+    for (const auto& p : c->parts) {
+      auto sub = enumerate_node(p, depth, limit);
+      if (sub.empty()) sub.emplace_back();
+      std::vector<std::string> next;
+      next.reserve(std::min(out.size() * sub.size(), limit));
+      for (const auto& prefix : out) {
+        for (const auto& suffix : sub) {
+          next.push_back(prefix + suffix);
+          if (next.size() >= limit * 4) break;  // soft cap before even-capping
+        }
+        if (next.size() >= limit * 4) break;
+      }
+      cap_evenly(next, limit);
+      out = std::move(next);
+    }
+    return out;
+  }
+  if (const auto* r = node->as<Repetition>()) {
+    auto elems = enumerate_node(r->element, depth, limit);
+    if (elems.empty()) elems.emplace_back();
+    std::size_t lo = r->min;
+    std::size_t hi = r->max ? *r->max : r->min + options_.extra_repeats;
+    hi = std::min(hi, lo + options_.extra_repeats);
+    for (std::size_t count = lo; count <= hi; ++count) {
+      if (count == 0) {
+        out.emplace_back();
+        continue;
+      }
+      for (const auto& e : elems) {
+        std::string s;
+        for (std::size_t i = 0; i < count; ++i) s += e;
+        out.push_back(std::move(s));
+        if (out.size() >= limit) return out;
+      }
+    }
+    cap_evenly(out, limit);
+    return out;
+  }
+  if (const auto* o = node->as<Option>()) {
+    out.emplace_back();  // absent
+    auto sub = enumerate_node(o->element, depth, limit - 1);
+    for (auto& s : sub) {
+      out.push_back(std::move(s));
+      if (out.size() >= limit) break;
+    }
+    return out;
+  }
+  if (const auto* cv = node->as<CharVal>()) {
+    out.push_back(cv->text);
+    if (options_.literal_case_variants && !cv->case_sensitive &&
+        has_alpha(cv->text)) {
+      std::string upper = upper_copy(cv->text);
+      if (upper != cv->text && out.size() < limit) out.push_back(std::move(upper));
+    }
+    return out;
+  }
+  if (const auto* nv = node->as<NumVal>()) {
+    if (!nv->is_range) {
+      std::string s;
+      for (auto cp : nv->sequence) append_code_point(s, cp);
+      out.push_back(std::move(s));
+      return out;
+    }
+    // Representative points: lo, hi, and evenly spaced interior points.
+    std::vector<std::uint32_t> points;
+    std::uint32_t span = nv->hi - nv->lo;
+    std::size_t want = std::max<std::size_t>(options_.range_points, 2);
+    if (span + 1 <= want) {
+      for (std::uint32_t cp = nv->lo; cp <= nv->hi; ++cp) points.push_back(cp);
+    } else {
+      points.push_back(nv->lo);
+      for (std::size_t i = 1; i + 1 < want; ++i) {
+        points.push_back(nv->lo +
+                         static_cast<std::uint32_t>(span * i / (want - 1)));
+      }
+      points.push_back(nv->hi);
+    }
+    for (auto cp : points) {
+      std::string s;
+      append_code_point(s, cp);
+      out.push_back(std::move(s));
+      if (out.size() >= limit) break;
+    }
+    return out;
+  }
+  if (const auto* ref = node->as<RuleRef>()) {
+    auto pre = predefined_.find(ref->name);
+    if (pre != predefined_.end()) {
+      out = pre->second;
+      cap_evenly(out, limit);
+      return out;
+    }
+    const Rule* rule = grammar_.find(ref->name);
+    if (!rule) return out;  // undefined: contributes nothing
+    if (depth == 0) {
+      out.push_back(minimal(ref->name));
+      return out;
+    }
+    return enumerate_node(rule->definition, depth - 1, limit);
+  }
+  // ProseVal (unresolved): contributes nothing.
+  return out;
+}
+
+std::string Generator::sample(std::string_view rule_name,
+                              std::mt19937_64& rng) const {
+  std::string key = normalize_rule_name(rule_name);
+  auto pre = predefined_.find(key);
+  if (pre != predefined_.end() && !pre->second.empty()) {
+    return pre->second[rng() % pre->second.size()];
+  }
+  const Rule* rule = grammar_.find(key);
+  if (!rule) return {};
+  return sample_node(rule->definition, options_.max_depth, rng);
+}
+
+std::string Generator::sample_node(const NodePtr& node, std::size_t depth,
+                                   std::mt19937_64& rng) const {
+  if (!node) return {};
+  if (const auto* a = node->as<Alternation>()) {
+    return sample_node(a->alts[rng() % a->alts.size()], depth, rng);
+  }
+  if (const auto* c = node->as<Concatenation>()) {
+    std::string out;
+    for (const auto& p : c->parts) out += sample_node(p, depth, rng);
+    return out;
+  }
+  if (const auto* r = node->as<Repetition>()) {
+    std::size_t hi = r->max ? *r->max : r->min + options_.extra_repeats;
+    hi = std::min(hi, r->min + options_.extra_repeats);
+    std::size_t count = r->min + (hi > r->min ? rng() % (hi - r->min + 1) : 0);
+    std::string out;
+    for (std::size_t i = 0; i < count; ++i) {
+      out += sample_node(r->element, depth, rng);
+    }
+    return out;
+  }
+  if (const auto* o = node->as<Option>()) {
+    if (rng() % 2 == 0) return {};
+    return sample_node(o->element, depth, rng);
+  }
+  if (const auto* cv = node->as<CharVal>()) {
+    if (options_.literal_case_variants && !cv->case_sensitive &&
+        has_alpha(cv->text) && rng() % 4 == 0) {
+      return upper_copy(cv->text);
+    }
+    return cv->text;
+  }
+  if (const auto* nv = node->as<NumVal>()) {
+    std::string out;
+    if (nv->is_range) {
+      append_code_point(out, nv->lo + rng() % (nv->hi - nv->lo + 1));
+    } else {
+      for (auto cp : nv->sequence) append_code_point(out, cp);
+    }
+    return out;
+  }
+  if (const auto* ref = node->as<RuleRef>()) {
+    auto pre = predefined_.find(ref->name);
+    if (pre != predefined_.end() && !pre->second.empty()) {
+      return pre->second[rng() % pre->second.size()];
+    }
+    const Rule* rule = grammar_.find(ref->name);
+    if (!rule) return {};
+    if (depth == 0) return minimal(ref->name);
+    return sample_node(rule->definition, depth - 1, rng);
+  }
+  return {};
+}
+
+void load_default_http_predefined(Generator& gen) {
+  gen.set_predefined("uri-host", {"h1.com", "h2.com", "127.0.0.1"});
+  gen.set_predefined("host", {"h1.com", "h2.com", "127.0.0.1"});
+  gen.set_predefined("IPv4address", {"127.0.0.1", "8.8.8.8"});
+  gen.set_predefined("IPv6address", {"::1", "2001:db8::1"});
+  gen.set_predefined("reg-name", {"h1.com", "h2.com", "example.org"});
+  gen.set_predefined("port", {"80", "8080"});
+  gen.set_predefined("token", {"chunked", "close", "gzip", "foo"});
+  gen.set_predefined("field-name",
+                     {"Host", "Content-Length", "Transfer-Encoding",
+                      "Connection", "Expect", "Cookie"});
+  gen.set_predefined("field-value",
+                     {"h1.com", "10", "chunked", "close", "100-continue"});
+  // Representative chunk framing values: one canonical size, one 32-bit
+  // overflow, one over-limit, plus fixed data — grammar-driven combination
+  // yields both well-formed and size-mismatched chunked bodies.
+  gen.set_predefined("chunk-size", {"3", "100000000a", "ffffffffff"});
+  gen.set_predefined("chunk-data", {"abc"});
+  gen.set_predefined("chunk-ext", {"", ";ext=1"});
+  gen.set_predefined("trailer-part", {"", "X-Trailer: v\r\n"});
+  gen.set_predefined("method", {"GET", "HEAD", "POST", "PUT"});
+  gen.set_predefined("absolute-path", {"/", "/index.html", "/a/b"});
+  gen.set_predefined("query", {"a=1", "q=test"});
+  gen.set_predefined("segment", {"index.html", "a"});
+  gen.set_predefined("scheme", {"http", "https", "test"});
+  gen.set_predefined("pseudonym", {"proxy1"});
+  gen.set_predefined("quoted-string", {"\"v\""});
+  gen.set_predefined("comment", {"(c)"});
+}
+
+}  // namespace hdiff::abnf

@@ -1,0 +1,87 @@
+// Test-string generation from an ABNF grammar.
+//
+// The generator performs the paper's depth-first traversal over the grammar
+// tree: it starts at a target rule (HTTP-message, HTTP-version, Host, ...),
+// recursively expands each node, and bounds the walk in three ways to keep
+// the output usable rather than "too distorted":
+//   * recursion depth across rule references is capped (paper: maximum 7);
+//   * unbounded repetitions ("*rule") expand to a small window of counts;
+//   * "predefined rules" pin representative values onto chosen leaf rules
+//     (e.g. IPv4address => 127.0.0.1, 8.8.8.8) so that generated requests
+//     are RFC-compliant seeds a server will accept.
+// Two modes are offered: bounded exhaustive enumeration and seeded random
+// sampling.  Both are deterministic given the same inputs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abnf/ast.h"
+
+namespace hdiff::abnf {
+
+struct GenOptions {
+  std::size_t max_depth = 7;       ///< rule-reference recursion budget
+  std::size_t extra_repeats = 2;   ///< counts tried above a repetition's min
+  std::size_t range_points = 3;    ///< representative points per num-range
+  std::size_t max_variants = 512;  ///< enumeration cap at every node
+  bool literal_case_variants = true;  ///< add an ALL-CAPS variant of
+                                      ///< case-insensitive alpha literals
+};
+
+class Generator {
+ public:
+  /// The generator keeps its own copy of the grammar (rule definitions are
+  /// shared immutable nodes, so the copy is shallow and cheap) — callers may
+  /// pass temporaries safely.
+  explicit Generator(Grammar grammar, GenOptions options = {});
+
+  /// Pin representative values for a rule; the traversal stops there.
+  void set_predefined(std::string_view rule_name,
+                      std::vector<std::string> values);
+
+  /// True if the rule has pinned values.
+  bool has_predefined(std::string_view rule_name) const;
+
+  /// Bounded exhaustive enumeration of derivations of `rule_name`.
+  /// At most `limit` strings (also bounded by options.max_variants at every
+  /// interior node).  Unknown rule => empty vector.
+  std::vector<std::string> enumerate(std::string_view rule_name,
+                                     std::size_t limit) const;
+
+  /// One random derivation.  The walk respects max_depth; when the budget is
+  /// exhausted it falls back to the minimal derivation of the current rule.
+  std::string sample(std::string_view rule_name, std::mt19937_64& rng) const;
+
+  /// The shortest derivable string for a rule ("" for cyclic/void rules).
+  std::string minimal(std::string_view rule_name) const;
+
+  const Grammar& grammar() const { return grammar_; }
+  const GenOptions& options() const { return options_; }
+
+ private:
+  std::vector<std::string> enumerate_node(const NodePtr& node,
+                                          std::size_t depth,
+                                          std::size_t limit) const;
+  std::string sample_node(const NodePtr& node, std::size_t depth,
+                          std::mt19937_64& rng) const;
+  std::string minimal_node(const NodePtr& node,
+                           std::vector<std::string>& in_progress) const;
+
+  Grammar grammar_;
+  GenOptions options_;
+  std::map<std::string, std::vector<std::string>> predefined_;
+  mutable std::map<std::string, std::string> minimal_cache_;
+};
+
+/// The standard predefined-value set HDiff uses for HTTP experiments:
+/// representative hosts, IP literals, ports, tokens, and field content so
+/// that generated requests are accepted by real parsers.
+void load_default_http_predefined(Generator& gen);
+
+}  // namespace hdiff::abnf

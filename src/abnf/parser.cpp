@@ -1,0 +1,326 @@
+#include "abnf/parser.h"
+
+#include <cctype>
+
+namespace hdiff::abnf {
+
+namespace {
+
+/// Cursor over the element text.  Whitespace (including newlines, which only
+/// appear after the extractor has joined continuations) and comments are
+/// skipped between tokens.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        ++pos_;
+      } else if (c == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char peek_at(std::size_t off) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+  char take() { return text_[pos_++]; }
+  std::size_t pos() const { return pos_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " at offset " + std::to_string(pos_), pos_);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_rule_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+NodePtr parse_alternation(Cursor& cur);
+
+std::string parse_rule_name(Cursor& cur) {
+  cur.skip_ws();
+  if (!std::isalpha(static_cast<unsigned char>(cur.peek()))) {
+    cur.fail("expected rule name");
+  }
+  std::string name;
+  while (is_rule_name_char(cur.peek())) name.push_back(cur.take());
+  return name;
+}
+
+NodePtr parse_char_val(Cursor& cur, bool case_sensitive) {
+  // opening quote already peeked
+  cur.take();  // '"'
+  std::string text;
+  while (cur.peek() != '"') {
+    if (cur.peek() == '\0') cur.fail("unterminated char-val");
+    text.push_back(cur.take());
+  }
+  cur.take();  // closing '"'
+  return make_char_val(std::move(text), case_sensitive);
+}
+
+std::uint32_t parse_number(Cursor& cur, int base) {
+  std::uint32_t value = 0;
+  bool any = false;
+  while (true) {
+    char c = cur.peek();
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      break;
+    }
+    if (digit >= base) break;
+    value = value * static_cast<std::uint32_t>(base) +
+            static_cast<std::uint32_t>(digit);
+    cur.take();
+    any = true;
+  }
+  if (!any) cur.fail("expected digits in num-val");
+  return value;
+}
+
+NodePtr parse_num_val(Cursor& cur) {
+  cur.take();  // '%'
+  char kind = cur.take();
+  int base;
+  switch (kind) {
+    case 'x': case 'X': base = 16; break;
+    case 'd': case 'D': base = 10; break;
+    case 'b': case 'B': base = 2; break;
+    case 's': case 'S':
+      if (cur.peek() == '"') return parse_char_val(cur, /*case_sensitive=*/true);
+      cur.fail("expected string after %s");
+    case 'i': case 'I':
+      if (cur.peek() == '"') return parse_char_val(cur, /*case_sensitive=*/false);
+      cur.fail("expected string after %i");
+    default:
+      cur.fail(std::string("unknown num-val base '") + kind + "'");
+  }
+  std::uint32_t first = parse_number(cur, base);
+  if (cur.peek() == '-') {
+    cur.take();
+    std::uint32_t hi = parse_number(cur, base);
+    return make_num_range(first, hi);
+  }
+  std::vector<std::uint32_t> seq{first};
+  while (cur.peek() == '.') {
+    cur.take();
+    seq.push_back(parse_number(cur, base));
+  }
+  return make_num_sequence(std::move(seq));
+}
+
+NodePtr parse_prose_val(Cursor& cur) {
+  cur.take();  // '<'
+  std::string text;
+  while (cur.peek() != '>') {
+    if (cur.peek() == '\0') cur.fail("unterminated prose-val");
+    text.push_back(cur.take());
+  }
+  cur.take();
+  return make_prose_val(std::move(text));
+}
+
+NodePtr parse_element(Cursor& cur) {
+  cur.skip_ws();
+  char c = cur.peek();
+  if (c == '(') {
+    cur.take();
+    NodePtr inner = parse_alternation(cur);
+    cur.skip_ws();
+    if (cur.peek() != ')') cur.fail("expected ')'");
+    cur.take();
+    return inner;
+  }
+  if (c == '[') {
+    cur.take();
+    NodePtr inner = parse_alternation(cur);
+    cur.skip_ws();
+    if (cur.peek() != ']') cur.fail("expected ']'");
+    cur.take();
+    return make_option(std::move(inner));
+  }
+  if (c == '"') return parse_char_val(cur, /*case_sensitive=*/false);
+  if (c == '%') return parse_num_val(cur);
+  if (c == '<') return parse_prose_val(cur);
+  if (std::isalpha(static_cast<unsigned char>(c))) {
+    return make_rule_ref(parse_rule_name(cur));
+  }
+  cur.fail("expected element");
+}
+
+/// Expand the RFC 7230 §7 list extension "m#n element" into plain ABNF:
+///   1#element => element *( OWS "," OWS element )
+///   #element  => [ 1#element ]
+/// (The HTTP RFCs define this expansion themselves; recipients must also
+/// accept empty list elements, which the generator covers via mutation.)
+NodePtr expand_list_rule(std::size_t min, std::optional<std::size_t> max,
+                         NodePtr element) {
+  NodePtr ows = make_rule_ref("OWS");
+  NodePtr comma = make_char_val(",");
+  NodePtr tail_unit = make_concatenation({ows, comma, ows, element});
+  std::optional<std::size_t> tail_max;
+  if (max && *max > 0) tail_max = *max - 1;
+  std::size_t tail_min = min > 1 ? min - 1 : 0;
+  NodePtr tail = make_repetition(tail_min, tail_max, std::move(tail_unit));
+  NodePtr list = make_concatenation({element, std::move(tail)});
+  if (min == 0) return make_option(std::move(list));
+  return list;
+}
+
+NodePtr parse_repetition(Cursor& cur) {
+  cur.skip_ws();
+  bool has_repeat = false;
+  bool is_list = false;
+  std::size_t min = 0;
+  std::optional<std::size_t> max;
+
+  if (is_digit(cur.peek()) || cur.peek() == '*' || cur.peek() == '#') {
+    std::size_t lo = 0;
+    bool lo_present = false;
+    while (is_digit(cur.peek())) {
+      lo = lo * 10 + static_cast<std::size_t>(cur.take() - '0');
+      lo_present = true;
+    }
+    if (cur.peek() == '*' || cur.peek() == '#') {
+      is_list = cur.take() == '#';
+      has_repeat = true;
+      min = lo_present ? lo : 0;
+      std::size_t hi = 0;
+      bool hi_present = false;
+      while (is_digit(cur.peek())) {
+        hi = hi * 10 + static_cast<std::size_t>(cur.take() - '0');
+        hi_present = true;
+      }
+      if (hi_present) max = hi;
+    } else if (lo_present) {
+      has_repeat = true;
+      min = lo;
+      max = lo;
+    }
+  }
+
+  NodePtr element = parse_element(cur);
+  if (!has_repeat) return element;
+  if (is_list) return expand_list_rule(min, max, std::move(element));
+  return make_repetition(min, max, std::move(element));
+}
+
+NodePtr parse_concatenation(Cursor& cur) {
+  std::vector<NodePtr> parts;
+  parts.push_back(parse_repetition(cur));
+  while (true) {
+    cur.skip_ws();
+    char c = cur.peek();
+    if (c == '\0' || c == '/' || c == ')' || c == ']') break;
+    parts.push_back(parse_repetition(cur));
+  }
+  return make_concatenation(std::move(parts));
+}
+
+NodePtr parse_alternation(Cursor& cur) {
+  std::vector<NodePtr> alts;
+  alts.push_back(parse_concatenation(cur));
+  while (true) {
+    cur.skip_ws();
+    if (cur.peek() != '/') break;
+    cur.take();
+    alts.push_back(parse_concatenation(cur));
+  }
+  return make_alternation(std::move(alts));
+}
+
+}  // namespace
+
+NodePtr parse_elements(std::string_view text) {
+  Cursor cur(text);
+  NodePtr node = parse_alternation(cur);
+  if (!cur.eof()) cur.fail("trailing input after elements");
+  return node;
+}
+
+Rule parse_rule(std::string_view line, std::string_view source_doc) {
+  Cursor cur(line);
+  std::string name = parse_rule_name(cur);
+  cur.skip_ws();
+  if (cur.peek() != '=') cur.fail("expected '=' after rule name");
+  cur.take();
+  bool incremental = false;
+  if (cur.peek() == '/') {
+    cur.take();
+    incremental = true;
+  }
+  NodePtr def = parse_alternation(cur);
+  if (!cur.eof()) cur.fail("trailing input after rule");
+  Rule rule;
+  rule.name = std::move(name);
+  rule.definition = std::move(def);
+  rule.incremental = incremental;
+  rule.source_doc.assign(source_doc);
+  return rule;
+}
+
+Grammar parse_rulelist(std::string_view text, std::string_view source_doc,
+                       std::vector<std::string>* errors) {
+  Grammar grammar;
+  // Split into rule chunks: a new rule starts at a line whose first column is
+  // a rule-name character; indented lines continue the previous rule.
+  std::vector<std::string> chunks;
+  std::string current;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    bool starts_rule =
+        !line.empty() && std::isalpha(static_cast<unsigned char>(line[0]));
+    if (starts_rule) {
+      if (!current.empty()) chunks.push_back(std::move(current));
+      current.assign(line);
+    } else if (!current.empty()) {
+      current += '\n';
+      current += line;
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  if (!current.empty()) chunks.push_back(std::move(current));
+
+  for (const auto& chunk : chunks) {
+    try {
+      grammar.add(parse_rule(chunk, source_doc));
+    } catch (const ParseError& e) {
+      if (errors) {
+        errors->push_back("rule chunk '" + chunk.substr(0, 40) +
+                          "': " + e.what());
+      }
+    }
+  }
+  return grammar;
+}
+
+}  // namespace hdiff::abnf

@@ -1,0 +1,44 @@
+// Recursive-descent parser for ABNF rule definitions (RFC 5234 §4, plus the
+// RFC 7405 %s case-sensitive string extension used by newer HTTP documents).
+//
+// The parser consumes *one rule at a time*: the extractor (extractor.h) has
+// already located rule boundaries in RFC text and joined continuation lines,
+// so the input here is "rulename", "=" or "=/", and the element text.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "abnf/ast.h"
+
+namespace hdiff::abnf {
+
+/// Thrown on a syntax error; carries the offending text and offset.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message), offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parse the right-hand side of a rule ("elements" production) into an AST.
+/// Comments (";" to end of line) and line breaks are treated as whitespace.
+/// Throws ParseError on malformed input.
+NodePtr parse_elements(std::string_view text);
+
+/// Parse a complete rule line "name =/ elements".  `source_doc` is recorded
+/// on the resulting Rule for provenance-aware merging.
+Rule parse_rule(std::string_view line, std::string_view source_doc = {});
+
+/// Parse a whole rulelist: a block of text containing multiple rules, with
+/// continuation lines indented (standard RFC formatting).  Invalid rules are
+/// skipped and reported through `errors` (if non-null) rather than aborting
+/// the batch — RFC text extraction is inherently noisy.
+Grammar parse_rulelist(std::string_view text, std::string_view source_doc = {},
+                       std::vector<std::string>* errors = nullptr);
+
+}  // namespace hdiff::abnf

@@ -1,0 +1,157 @@
+#include "core/abnf_testgen.h"
+
+#include <cstdio>
+
+#include "core/mutation.h"
+#include "http/serialize.h"
+
+namespace hdiff::core {
+
+std::string_view to_string(EmbedPosition p) noexcept {
+  switch (p) {
+    case EmbedPosition::kHostHeader: return "host-header";
+    case EmbedPosition::kRequestTarget: return "request-target";
+    case EmbedPosition::kHttpVersion: return "http-version";
+    case EmbedPosition::kTransferEncoding: return "transfer-encoding";
+    case EmbedPosition::kContentLength: return "content-length";
+    case EmbedPosition::kMethod: return "method";
+    case EmbedPosition::kFieldLine: return "field-line";
+    case EmbedPosition::kChunkedBody: return "chunked-body";
+  }
+  return "?";
+}
+
+std::vector<AbnfTarget> default_abnf_targets() {
+  return {
+      {"Host", EmbedPosition::kHostHeader},
+      {"uri-host", EmbedPosition::kHostHeader},
+      {"request-target", EmbedPosition::kRequestTarget},
+      {"origin-form", EmbedPosition::kRequestTarget},
+      {"absolute-form", EmbedPosition::kRequestTarget},
+      {"HTTP-version", EmbedPosition::kHttpVersion},
+      {"Transfer-Encoding", EmbedPosition::kTransferEncoding},
+      {"transfer-coding", EmbedPosition::kTransferEncoding},
+      {"Content-Length", EmbedPosition::kContentLength},
+      {"method", EmbedPosition::kMethod},
+      {"header-field", EmbedPosition::kFieldLine},
+      {"chunked-body", EmbedPosition::kChunkedBody},
+  };
+}
+
+AbnfTestGen::AbnfTestGen(const abnf::Grammar& grammar, AbnfGenConfig config)
+    : generator_(grammar), config_(config) {
+  abnf::load_default_http_predefined(generator_);
+}
+
+namespace {
+
+AttackClass category_for(EmbedPosition p) {
+  switch (p) {
+    case EmbedPosition::kHostHeader:
+    case EmbedPosition::kRequestTarget:
+      return AttackClass::kHot;
+    case EmbedPosition::kTransferEncoding:
+    case EmbedPosition::kContentLength:
+      return AttackClass::kHrs;
+    case EmbedPosition::kHttpVersion:
+    case EmbedPosition::kMethod:
+      return AttackClass::kCpdos;
+    case EmbedPosition::kChunkedBody:
+      return AttackClass::kHrs;
+    case EmbedPosition::kFieldLine:
+      return AttackClass::kGeneric;
+  }
+  return AttackClass::kGeneric;
+}
+
+http::RequestSpec embed(EmbedPosition position, const std::string& value) {
+  http::RequestSpec spec = http::make_get("h1.com");
+  switch (position) {
+    case EmbedPosition::kHostHeader:
+      spec.set("Host", value);
+      break;
+    case EmbedPosition::kRequestTarget:
+      spec.target = value.empty() ? "/" : value;
+      break;
+    case EmbedPosition::kHttpVersion:
+      spec.version = value;
+      break;
+    case EmbedPosition::kTransferEncoding:
+      spec.method = "POST";
+      spec.add("Transfer-Encoding", value);
+      spec.body = "3\r\nabc\r\n0\r\n\r\n";
+      break;
+    case EmbedPosition::kContentLength:
+      spec.method = "POST";
+      spec.add("Content-Length", value);
+      spec.body = "AAAAAAAA";
+      break;
+    case EmbedPosition::kMethod:
+      spec.method = value;
+      break;
+    case EmbedPosition::kFieldLine: {
+      // `value` is a whole "name: value" line derived from header-field.
+      std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        spec.add(http::HeaderSpec{value, "", "", "\r\n"});
+      } else {
+        spec.add(value.substr(0, colon), value.substr(colon + 1));
+      }
+      break;
+    }
+    case EmbedPosition::kChunkedBody:
+      spec.method = "POST";
+      spec.add("Transfer-Encoding", "chunked");
+      spec.body = value;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<TestCase> AbnfTestGen::generate(
+    const std::vector<AbnfTarget>& targets_in) const {
+  const std::vector<AbnfTarget> targets =
+      targets_in.empty() ? default_abnf_targets() : targets_in;
+  std::vector<TestCase> out;
+  std::size_t counter = 0;
+
+  for (const auto& target : targets) {
+    std::vector<std::string> values =
+        generator_.enumerate(target.rule, config_.values_per_target);
+    for (std::size_t vi = 0; vi < values.size(); ++vi) {
+      http::RequestSpec spec = embed(target.position, values[vi]);
+      TestCase tc;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "abnf-%06zu", counter++);
+      tc.uuid = buf;
+      tc.raw = spec.to_wire();
+      tc.description = "ABNF " + target.rule + " @ " +
+                       std::string(to_string(target.position));
+      tc.origin = TestOrigin::kAbnfGenerator;
+      tc.category = category_for(target.position);
+      out.push_back(std::move(tc));
+
+      if (config_.include_mutations &&
+          vi % config_.mutation_seed_stride == 0) {
+        MutationOptions mo;
+        mo.max_mutants = config_.mutants_per_seed;
+        for (auto& mutant : mutate(spec, mo)) {
+          TestCase mc;
+          std::snprintf(buf, sizeof buf, "abnf-%06zu", counter++);
+          mc.uuid = buf;
+          mc.raw = mutant.spec.to_wire();
+          mc.description = "ABNF " + target.rule + " + " +
+                           mutant.applied.front().describe();
+          mc.origin = TestOrigin::kMutation;
+          mc.category = category_for(target.position);
+          out.push_back(std::move(mc));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hdiff::core

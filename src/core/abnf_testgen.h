@@ -1,0 +1,63 @@
+// ABNF-driven test-case generation (paper §III-D "ABNF Generator").
+//
+// The generator locates target rules (HTTP-version, Host, request-target,
+// Transfer-Encoding, ...) in the adapted grammar and enumerates bounded
+// derivations of each, embedding every derived value into an otherwise
+// canonical request.  Predefined leaf values keep the seeds RFC-compliant
+// ("requests that are fully RFC compliant and not rejected by the server"),
+// and the mutation engine then perturbs the seeds to reach corner cases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abnf/generator.h"
+#include "core/testcase.h"
+
+namespace hdiff::core {
+
+struct AbnfGenConfig {
+  std::size_t values_per_target = 64;  ///< enumeration budget per rule
+  bool include_mutations = true;
+  std::size_t mutants_per_seed = 24;
+  std::size_t mutation_seed_stride = 7;  ///< mutate every Nth seed
+};
+
+/// One generation target: a grammar rule embedded at a request position.
+enum class EmbedPosition {
+  kHostHeader,       ///< value of the Host header
+  kRequestTarget,    ///< request-line target
+  kHttpVersion,      ///< request-line version token
+  kTransferEncoding, ///< value of the Transfer-Encoding header
+  kContentLength,    ///< value of the Content-Length header
+  kMethod,           ///< request-line method token
+  kFieldLine,        ///< a whole extra header line (header-field rule)
+  kChunkedBody,      ///< body of a TE:chunked POST (chunked-body rule)
+};
+
+std::string_view to_string(EmbedPosition p) noexcept;
+
+struct AbnfTarget {
+  std::string rule;        ///< grammar rule to derive from
+  EmbedPosition position;
+};
+
+/// The default target set for the HTTP experiments.
+std::vector<AbnfTarget> default_abnf_targets();
+
+class AbnfTestGen {
+ public:
+  AbnfTestGen(const abnf::Grammar& grammar, AbnfGenConfig config = {});
+
+  /// Generate test cases for the given targets (default set when empty).
+  std::vector<TestCase> generate(
+      const std::vector<AbnfTarget>& targets = {}) const;
+
+  const abnf::Generator& generator() const { return generator_; }
+
+ private:
+  abnf::Generator generator_;
+  AbnfGenConfig config_;
+};
+
+}  // namespace hdiff::core

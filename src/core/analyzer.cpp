@@ -1,0 +1,208 @@
+#include "core/analyzer.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "abnf/parser.h"
+#include "corpus/registry.h"
+#include "text/clause.h"
+#include "text/sentence.h"
+
+namespace hdiff::core {
+
+DocumentationAnalyzer::DocumentationAnalyzer(AnalyzerConfig config)
+    : config_(config) {}
+
+void DocumentationAnalyzer::set_templates(
+    std::vector<text::Hypothesis> templates) {
+  templates_ = std::move(templates);
+}
+
+void DocumentationAnalyzer::set_custom_abnf(std::string_view rule_name,
+                                            abnf::NodePtr definition) {
+  custom_abnf_.emplace_back(std::string(rule_name), std::move(definition));
+}
+
+std::set<std::string> make_field_dictionary(const abnf::Grammar& grammar) {
+  std::set<std::string> out;
+  for (const auto& [key, rule] : grammar.rules()) {
+    // Header fields are conventionally spelled with a leading capital in
+    // their defining rule ("Host", "Content-Length", "Transfer-Encoding").
+    if (!rule.name.empty() &&
+        std::isupper(static_cast<unsigned char>(rule.name[0])) &&
+        rule.name.size() > 2) {
+      out.insert(key);  // normalized (lower-case) name
+    }
+  }
+  // Core message elements referenced by framing requirements.
+  out.insert("chunk-size");
+  out.insert("chunk-data");
+  out.insert("transfer-coding");
+  out.insert("request-line");
+  out.insert("request-target");
+  out.insert("http-version");
+  out.insert("message-body");
+  out.insert("field-name");
+  out.insert("field-value");
+  out.insert("header-field");
+  return out;
+}
+
+std::vector<text::Hypothesis> make_default_sr_templates(
+    const std::set<std::string>& fields) {
+  using text::Action;
+  using text::Hypothesis;
+  using text::Role;
+  std::vector<Hypothesis> out;
+
+  // ---- message descriptions: "[field] is [modifier]" ----------------------
+  static constexpr std::string_view kModifiers[] = {
+      "invalid", "multiple", "missing", "whitespace", "obsolete", "empty",
+  };
+  for (const auto& field : fields) {
+    for (auto mod : kModifiers) {
+      Hypothesis h;
+      h.field = field;
+      h.modifier = std::string(mod);
+      h.label = "msg:" + field + ":" + std::string(mod);
+      out.push_back(std::move(h));
+    }
+  }
+
+  // ---- role actions: "[role] [action] ([status])" --------------------------
+  static constexpr Role kRoles[] = {
+      Role::kClient, Role::kServer, Role::kProxy,        Role::kSender,
+      Role::kRecipient, Role::kIntermediary, Role::kCache, Role::kGateway,
+      Role::kUserAgent, Role::kOrigin,
+  };
+  static constexpr Action kActions[] = {
+      Action::kReject, Action::kRespond, Action::kForward, Action::kGenerate,
+      Action::kIgnore, Action::kClose,   Action::kReplace, Action::kTreat,
+  };
+  static constexpr int kStatuses[] = {200, 400, 411, 417, 431, 501, 505};
+
+  for (Role role : kRoles) {
+    for (Action action : kActions) {
+      for (bool negated : {false, true}) {
+        Hypothesis h;
+        h.role = role;
+        h.action = action;
+        h.negated = negated;
+        h.label = std::string("act:") + std::string(text::to_string(role)) +
+                  ":" + (negated ? "not-" : "") +
+                  std::string(text::to_string(action));
+        out.push_back(std::move(h));
+      }
+      if (action == Action::kRespond) {
+        for (int status : kStatuses) {
+          Hypothesis h;
+          h.role = role;
+          h.action = action;
+          h.status_code = status;
+          h.label = std::string("act:") + std::string(text::to_string(role)) +
+                    ":respond-" + std::to_string(status);
+          out.push_back(std::move(h));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+AnalyzerResult DocumentationAnalyzer::analyze(
+    const std::vector<std::string_view>& doc_names) const {
+  AnalyzerResult result;
+
+  // ---- ABNF extraction over *all* registered documents --------------------
+  // (Prose references can pull in documents outside the analysis set, so the
+  // adaptor needs every grammar registered up front.)
+  abnf::Adaptor adaptor;
+  for (const auto& doc : corpus::all_documents()) {
+    std::string cleaned = abnf::clean_rfc_text(doc.text);
+    abnf::ExtractionStats stats;
+    abnf::Grammar g = abnf::extract_abnf(cleaned, doc.name, &stats);
+    bool in_analysis_set = false;
+    for (auto name : doc_names) {
+      if (name == doc.name) in_analysis_set = true;
+    }
+    if (in_analysis_set) {
+      result.abnf_stats.lines_scanned += stats.lines_scanned;
+      result.abnf_stats.candidate_chunks += stats.candidate_chunks;
+      result.abnf_stats.parsed_rules += stats.parsed_rules;
+      result.abnf_stats.parse_failures += stats.parse_failures;
+      result.abnf_stats.prose_val_rules += stats.prose_val_rules;
+    }
+    adaptor.register_document(std::string(doc.name), std::move(g));
+  }
+  for (const auto& [name, def] : custom_abnf_) {
+    adaptor.set_custom_rule(name, def);
+  }
+  // The core ABNF rules (RFC 5234) underpin every HTTP grammar.
+  std::vector<std::string> order{"rfc5234"};
+  for (auto name : doc_names) order.emplace_back(name);
+  result.grammar = adaptor.adapt(order, &result.adapt_report);
+  result.field_dictionary = make_field_dictionary(result.grammar);
+
+  // ---- SR mining -----------------------------------------------------------
+  std::vector<text::Hypothesis> templates =
+      templates_.empty() ? make_default_sr_templates(result.field_dictionary)
+                         : templates_;
+  text::SentimentClassifier sentiment(config_.sentiment_threshold);
+  text::EntailmentEngine entailment(config_.entailment_min_modal);
+
+  for (auto name : doc_names) {
+    const corpus::Document* doc = corpus::find_document(name);
+    if (!doc) continue;
+    std::string cleaned = abnf::clean_rfc_text(doc->text);
+    result.total_words += text::count_words(cleaned);
+    std::vector<text::Sentence> sentences =
+        text::split_sentences(cleaned, config_.min_sentence_words);
+    result.total_sentences += sentences.size();
+
+    std::size_t sr_index = 0;
+    for (std::size_t i = 0; i < sentences.size(); ++i) {
+      if (text::looks_like_grammar(sentences[i].text)) continue;
+      text::SentimentResult score = sentiment.score(sentences[i].text);
+      if (score.strength < config_.sentiment_threshold) continue;
+
+      SrRecord record;
+      char idbuf[16];
+      std::snprintf(idbuf, sizeof idbuf, "-sr-%03zu", sr_index++);
+      record.id = std::string(name) + idbuf;
+      record.doc.assign(name);
+      record.sentence =
+          text::merge_referred_context(sentences, i, config_.anaphora_window);
+      record.sentiment = score.strength;
+      record.polarity = score.polarity;
+
+      // Clause-wise Text2Rule conversion.
+      for (const auto& clause : text::split_clauses(record.sentence)) {
+        std::string effective = clause.text;
+        if (clause.inherited_subject) {
+          effective = *clause.inherited_subject + " " + effective;
+        }
+        text::PremiseFacts facts =
+            text::extract_facts(effective, result.field_dictionary);
+        // A coordinated clause inherits the sentence's requirement force:
+        // "a message received with X ... and MUST be rejected" keeps its
+        // SR grade even when the modal lives in a sibling clause.
+        facts.modal_strength = std::max(facts.modal_strength, score.strength);
+        for (const auto& hypothesis : templates) {
+          text::EntailmentResult er = entailment.entails(facts, hypothesis);
+          if (er.entailed) {
+            ConvertedSr converted;
+            converted.hypothesis = hypothesis;
+            converted.clause = effective;
+            converted.confidence = er.confidence;
+            record.conversions.push_back(std::move(converted));
+          }
+        }
+      }
+      result.converted_sr_count += record.conversions.size();
+      result.srs.push_back(std::move(record));
+    }
+  }
+  return result;
+}
+
+}  // namespace hdiff::core

@@ -1,0 +1,104 @@
+// Documentation Analyzer (paper §III-C).
+//
+// Pipeline over the embedded RFC corpus:
+//   1. clean pagination artifacts and split sentences;
+//   2. sentiment-based SR finder flags requirement-grade sentences;
+//   3. cross-sentence referents are resolved by bounded forward search and
+//      merged into the sentence;
+//   4. the Text2Rule converter splits clauses, extracts facts through the
+//      dependency tree, and classifies each clause against the SR seed
+//      templates via textual entailment — entailed instances become
+//      converted SRs;
+//   5. ABNF rules are extracted per document and adapted (merged,
+//      prose-resolved, custom-substituted) into one grammar.
+// The SR seed template set is the paper's manual input #1; a default set
+// parameterized by the ABNF-derived field dictionary is provided.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abnf/adaptor.h"
+#include "abnf/extractor.h"
+#include "text/entailment.h"
+#include "text/sentiment.h"
+
+namespace hdiff::core {
+
+/// One entailed seed-template instance.
+struct ConvertedSr {
+  text::Hypothesis hypothesis;
+  std::string clause;      ///< the clause that entailed it
+  double confidence = 0.0;
+};
+
+/// One sentence flagged by the SR finder, with its conversions.
+struct SrRecord {
+  std::string id;          ///< e.g. "rfc7230-sr-017"
+  std::string doc;
+  std::string sentence;    ///< referent-merged sentence text
+  double sentiment = 0.0;
+  text::SentimentPolarity polarity = text::SentimentPolarity::kNeutral;
+  std::vector<ConvertedSr> conversions;
+};
+
+struct AnalyzerConfig {
+  double sentiment_threshold = 0.45;
+  double entailment_min_modal = 0.3;
+  std::size_t anaphora_window = 5;
+  std::size_t min_sentence_words = 3;
+};
+
+struct AnalyzerResult {
+  // Corpus statistics (experiment E1).
+  std::size_t total_words = 0;
+  std::size_t total_sentences = 0;
+
+  std::vector<SrRecord> srs;
+  std::size_t converted_sr_count = 0;  ///< total entailed instances
+
+  abnf::Grammar grammar;               ///< adapted, merged grammar
+  abnf::ExtractionStats abnf_stats;    ///< summed over documents
+  abnf::AdaptReport adapt_report;
+
+  /// Lower-case protocol element names recognizable in prose (header-field
+  /// rule names plus core message elements); feeds fact extraction.
+  std::set<std::string> field_dictionary;
+};
+
+class DocumentationAnalyzer {
+ public:
+  explicit DocumentationAnalyzer(AnalyzerConfig config = {});
+
+  /// Override the seed templates (manual input #1).  When unset, the
+  /// default template set is built from the extracted field dictionary.
+  void set_templates(std::vector<text::Hypothesis> templates);
+
+  /// Provide a custom ABNF rule for names undefined after adaptation
+  /// (manual input #4 feeds through to the rule adaptor).
+  void set_custom_abnf(std::string_view rule_name, abnf::NodePtr definition);
+
+  /// Analyze the given corpus documents (names resolved via hdiff::corpus).
+  AnalyzerResult analyze(const std::vector<std::string_view>& doc_names) const;
+
+ private:
+  AnalyzerConfig config_;
+  std::vector<text::Hypothesis> templates_;
+  std::vector<std::pair<std::string, abnf::NodePtr>> custom_abnf_;
+};
+
+/// The default SR seed template set: message descriptions
+/// ("[field] header is [invalid/multiple/missing/whitespace/obsolete]") and
+/// role actions ("[role] [rejects/responds N/forwards/closes/...]"),
+/// instantiated over `fields` and the ten RFC 7230 §2.5 role names.
+std::vector<text::Hypothesis> make_default_sr_templates(
+    const std::set<std::string>& fields);
+
+/// Derive the prose-recognizable field dictionary from a grammar: rule names
+/// spelled with a leading capital (header-field convention) plus core
+/// message-element names.
+std::set<std::string> make_field_dictionary(const abnf::Grammar& grammar);
+
+}  // namespace hdiff::core

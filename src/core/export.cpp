@@ -1,0 +1,357 @@
+#include "core/export.h"
+
+#include <cctype>
+
+#include "report/json.h"
+
+namespace hdiff::core {
+
+using report::JsonWriter;
+
+std::string hex_encode(std::string_view bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (char c : bytes) {
+    unsigned char u = static_cast<unsigned char>(c);
+    out.push_back(kHex[u >> 4]);
+    out.push_back(kHex[u & 0xF]);
+  }
+  return out;
+}
+
+bool hex_decode(std::string_view hex, std::string* out) {
+  if (hex.size() % 2 != 0 || !out) return false;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+namespace {
+
+void write_test_case(JsonWriter& w, const TestCase& tc) {
+  w.begin_object();
+  w.key("uuid").value(tc.uuid);
+  w.key("raw_hex").value(hex_encode(tc.raw));
+  w.key("description").value(tc.description);
+  w.key("vector_label").value(tc.vector_label);
+  w.key("origin").value(to_string(tc.origin));
+  w.key("category").value(to_string(tc.category));
+  if (tc.assertion) {
+    const Assertion& a = *tc.assertion;
+    w.key("assert_role").value(text::to_string(a.role));
+    w.key("assert_status")
+        .value(a.expect_status ? std::to_string(*a.expect_status) : "");
+    w.key("assert_reject").value(a.expect_reject ? "1" : "0");
+    w.key("assert_not_forward").value(a.expect_not_forward ? "1" : "0");
+    w.key("assert_sr").value(a.sr_id);
+  }
+  w.end_object();
+}
+
+std::optional<TestOrigin> origin_from_string(std::string_view s) {
+  if (s == "sr-translator") return TestOrigin::kSrTranslator;
+  if (s == "abnf-generator") return TestOrigin::kAbnfGenerator;
+  if (s == "mutation") return TestOrigin::kMutation;
+  if (s == "manual") return TestOrigin::kManual;
+  return std::nullopt;
+}
+
+std::optional<AttackClass> category_from_string(std::string_view s) {
+  if (s == "HRS") return AttackClass::kHrs;
+  if (s == "HoT") return AttackClass::kHot;
+  if (s == "CPDoS") return AttackClass::kCpdos;
+  if (s == "generic") return AttackClass::kGeneric;
+  return std::nullopt;
+}
+
+/// Minimal scanner for the flat JSON this module emits: an object with a
+/// "cases" array of objects whose values are strings.  Tolerates arbitrary
+/// whitespace; rejects anything structurally unexpected.
+class FlatScanner {
+ public:
+  explicit FlatScanner(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  /// Skip a scalar value: a string or a bare number/true/false/null.
+  bool skip_scalar() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    if (text_[pos_] == '"') {
+      std::string discard;
+      return read_string(&discard);
+    }
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool read_string(std::string* out) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') {
+                value |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                value |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // This exporter only emits \u00XX for control bytes.
+            if (value > 0xFF) return false;
+            out->push_back(static_cast<char>(value));
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string export_test_cases_json(const std::vector<TestCase>& cases) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("format").value("hdiff-test-corpus-v1");
+  w.key("count").value(cases.size());
+  w.key("cases").begin_array();
+  for (const auto& tc : cases) write_test_case(w, tc);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool import_test_cases_json(std::string_view json,
+                            std::vector<TestCase>* out) {
+  if (!out) return false;
+  std::vector<TestCase> cases;
+  FlatScanner scan(json);
+  if (!scan.consume('{')) return false;
+
+  // Walk the top-level object until the "cases" array.
+  bool in_cases = false;
+  std::string key;
+  while (true) {
+    if (!scan.read_string(&key)) return false;
+    if (!scan.consume(':')) return false;
+    if (key == "cases") {
+      in_cases = true;
+      break;
+    }
+    if (!scan.skip_scalar()) return false;
+    if (!scan.consume(',')) return false;
+  }
+  if (!in_cases || !scan.consume('[')) return false;
+
+  if (!scan.peek_is(']')) {
+    do {
+      if (!scan.consume('{')) return false;
+      TestCase tc;
+      std::string raw_hex;
+      bool has_assertion = false;
+      Assertion assertion;
+      do {
+        std::string field, field_value;
+        if (!scan.read_string(&field)) return false;
+        if (!scan.consume(':')) return false;
+        if (!scan.read_string(&field_value)) return false;
+        if (field == "uuid") {
+          tc.uuid = field_value;
+        } else if (field == "raw_hex") {
+          raw_hex = field_value;
+        } else if (field == "description") {
+          tc.description = field_value;
+        } else if (field == "vector_label") {
+          tc.vector_label = field_value;
+        } else if (field == "origin") {
+          auto origin = origin_from_string(field_value);
+          if (!origin) return false;
+          tc.origin = *origin;
+        } else if (field == "category") {
+          auto category = category_from_string(field_value);
+          if (!category) return false;
+          tc.category = *category;
+        } else if (field == "assert_role") {
+          has_assertion = true;
+          assertion.role = text::role_from_word(field_value);
+        } else if (field == "assert_status") {
+          has_assertion = true;
+          if (!field_value.empty()) {
+            assertion.expect_status = std::stoi(field_value);
+          }
+        } else if (field == "assert_reject") {
+          has_assertion = true;
+          assertion.expect_reject = field_value == "1";
+        } else if (field == "assert_not_forward") {
+          has_assertion = true;
+          assertion.expect_not_forward = field_value == "1";
+        } else if (field == "assert_sr") {
+          has_assertion = true;
+          assertion.sr_id = field_value;
+        }
+      } while (scan.consume(','));
+      if (!scan.consume('}')) return false;
+      if (!hex_decode(raw_hex, &tc.raw)) return false;
+      if (has_assertion) tc.assertion = std::move(assertion);
+      cases.push_back(std::move(tc));
+    } while (scan.consume(','));
+  }
+  if (!scan.consume(']')) return false;
+
+  *out = std::move(cases);
+  return true;
+}
+
+std::string export_json(const PipelineResult& result, ExportOptions options) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("format").value("hdiff-findings-v1");
+
+  w.key("analysis").begin_object();
+  w.key("corpus_words").value(result.analysis.total_words);
+  w.key("corpus_sentences").value(result.analysis.total_sentences);
+  w.key("sr_count").value(result.analysis.srs.size());
+  w.key("converted_sr_count").value(result.analysis.converted_sr_count);
+  w.key("abnf_rule_count").value(result.analysis.grammar.size());
+  w.end_object();
+
+  w.key("generation").begin_object();
+  w.key("sr_cases").value(result.sr_case_count);
+  w.key("abnf_cases").value(result.abnf_case_count);
+  w.key("executed_cases").value(result.executed_cases.size());
+  w.end_object();
+
+  w.key("matrix").begin_object();
+  for (const auto& [impl, row] : result.matrix.by_impl) {
+    w.key(impl).begin_object();
+    w.key("hrs").value(row.hrs);
+    w.key("hot").value(row.hot);
+    w.key("cpdos").value(row.cpdos);
+    w.end_object();
+  }
+  w.end_object();
+
+  auto write_pairs = [&](const char* name, const std::set<std::string>& set) {
+    w.key(name).begin_array();
+    for (const auto& pair : set) w.value(pair);
+    w.end_array();
+  };
+  write_pairs("hrs_pairs", result.matrix.hrs_pairs);
+  write_pairs("hot_pairs", result.matrix.hot_pairs);
+  write_pairs("cpdos_pairs", result.matrix.cpdos_pairs);
+
+  w.key("violations").begin_array();
+  for (const auto& v : result.findings.violations) {
+    w.begin_object();
+    w.key("impl").value(v.impl);
+    w.key("sr_id").value(v.sr_id);
+    w.key("uuid").value(v.uuid);
+    w.key("category").value(to_string(v.category));
+    w.key("detail").value(v.detail);
+    w.end_object();
+  }
+  w.end_array();
+
+  if (options.include_pair_details) {
+    w.key("pair_findings").begin_array();
+    for (const auto& p : result.findings.pairs) {
+      w.begin_object();
+      w.key("front").value(p.front);
+      w.key("back").value(p.back);
+      w.key("attack").value(to_string(p.attack));
+      w.key("uuid").value(p.uuid);
+      w.key("detail").value(p.detail);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  w.key("discrepancies").begin_object();
+  w.key("status").value(result.findings.discrepancies.status_disagreements);
+  w.key("host").value(result.findings.discrepancies.host_disagreements);
+  w.key("body").value(result.findings.discrepancies.body_disagreements);
+  w.key("inputs").value(
+      result.findings.discrepancies.inputs_with_discrepancy);
+  w.end_object();
+
+  if (options.include_test_cases) {
+    w.key("cases").begin_array();
+    for (const auto& tc : result.executed_cases) write_test_case(w, tc);
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace hdiff::core

@@ -1,0 +1,69 @@
+#include "core/hdiff.h"
+
+#include "abnf/parser.h"
+#include "core/probes.h"
+#include "corpus/registry.h"
+#include "impls/products.h"
+
+namespace hdiff::core {
+
+Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {}
+
+PipelineResult Pipeline::run() const {
+  return run(impls::make_all_implementations());
+}
+
+PipelineResult Pipeline::run(
+    const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet)
+    const {
+  PipelineResult result;
+
+  // ---- Documentation Analyzer ---------------------------------------------
+  DocumentationAnalyzer analyzer(config_.analyzer);
+  // Manual input #4: custom ABNF for rules left undefined after adaptation.
+  analyzer.set_custom_abnf("URI-reference",
+                           abnf::parse_elements("absolute-URI"));
+  analyzer.set_custom_abnf("HTTP-date",
+                           abnf::parse_elements("token"));
+  analyzer.set_custom_abnf("quoted-string",
+                           abnf::parse_elements("DQUOTE *VCHAR DQUOTE"));
+  std::vector<std::string_view> docs = config_.documents.empty()
+                                           ? corpus::http_core_documents()
+                                           : config_.documents;
+  result.analysis = analyzer.analyze(docs);
+
+  // ---- test-case generation -------------------------------------------------
+  SrTranslator translator(result.analysis.grammar, config_.translator);
+  std::vector<TestCase> sr_cases = translator.translate_all(result.analysis.srs);
+  result.sr_case_count = sr_cases.size();
+
+  AbnfTestGen abnf_gen(result.analysis.grammar, config_.abnf_gen);
+  std::vector<TestCase> abnf_cases = abnf_gen.generate();
+  result.abnf_case_count = abnf_cases.size();
+
+  if (config_.include_probes) {
+    result.executed_cases = verification_probes();
+  }
+  result.executed_cases.insert(result.executed_cases.end(),
+                               std::make_move_iterator(sr_cases.begin()),
+                               std::make_move_iterator(sr_cases.end()));
+  const std::size_t budget = config_.abnf_run_budget == 0
+                                 ? abnf_cases.size()
+                                 : config_.abnf_run_budget;
+  for (std::size_t i = 0; i < abnf_cases.size() && i < budget; ++i) {
+    result.executed_cases.push_back(std::move(abnf_cases[i]));
+  }
+
+  // ---- differential testing ---------------------------------------------------
+  net::Chain chain = net::Chain::from_fleet(fleet);
+  net::EchoServer echo;
+  DetectionEngine engine;
+  for (const auto& tc : result.executed_cases) {
+    net::ChainObservation obs = chain.observe(tc.uuid, tc.raw, &echo);
+    DetectionEngine::accumulate(result.findings, engine.evaluate(tc, obs));
+  }
+  result.matrix = build_matrix(result.findings, result.executed_cases);
+  return result;
+}
+
+}  // namespace hdiff::core

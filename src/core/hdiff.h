@@ -1,0 +1,61 @@
+// Top-level HDiff pipeline (Figure 3): Documentation Analyzer feeding
+// Differential Testing.
+//
+// `Pipeline::run()` executes the whole flow the paper describes:
+//   RFC corpus -> {SRs, ABNF grammar} -> {SR translator, ABNF generator}
+//   -> test cases -> chain observation (Figure 6) -> detection models ->
+//   findings (violations, affected pairs, Table I matrix).
+// Each stage is also available separately for experiments and ablations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/abnf_testgen.h"
+#include "core/analyzer.h"
+#include "core/detect.h"
+#include "core/translator.h"
+#include "net/chain.h"
+
+namespace hdiff::core {
+
+struct PipelineConfig {
+  AnalyzerConfig analyzer;
+  TranslatorConfig translator;
+  AbnfGenConfig abnf_gen;
+  /// Cap on ABNF-generated cases actually pushed through the chain (the
+  /// full set is still generated and counted for statistics).  0 = all.
+  std::size_t abnf_run_budget = 2000;
+  /// Include the Table II verification probe set alongside the generated
+  /// cases (disable to measure the generators in isolation).
+  bool include_probes = true;
+  /// Documents to analyze; empty = the HTTP/1.1 core six.
+  std::vector<std::string_view> documents;
+};
+
+struct PipelineResult {
+  AnalyzerResult analysis;
+  std::size_t sr_case_count = 0;
+  std::size_t abnf_case_count = 0;
+  std::vector<TestCase> executed_cases;
+  DetectionResult findings;
+  VulnMatrix matrix;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config = {});
+
+  /// Run end-to-end against the full ten-product fleet.
+  PipelineResult run() const;
+
+  /// Run against a caller-supplied fleet (useful for focused experiments).
+  PipelineResult run(
+      const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet)
+      const;
+
+ private:
+  PipelineConfig config_;
+};
+
+}  // namespace hdiff::core

@@ -1,0 +1,64 @@
+#include "core/hmetrics.h"
+
+#include "http/message.h"
+
+namespace hdiff::core {
+
+std::string_view to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::kProxy: return "proxy";
+    case Stage::kDirect: return "direct";
+    case Stage::kReplay: return "replay";
+  }
+  return "direct";
+}
+
+HMetrics from_verdict(std::string_view uuid, const impls::ServerVerdict& v,
+                      Stage stage, std::string_view via_proxy) {
+  HMetrics m;
+  m.uuid.assign(uuid);
+  m.impl = v.impl;
+  m.stage = stage;
+  m.via_proxy.assign(via_proxy);
+  m.status_code = v.status;
+  m.host = v.host;
+  m.data = v.body;
+  m.leftover = v.leftover;
+  m.version = http::to_string(v.version);
+  m.incomplete = v.incomplete;
+  m.reason = v.reason;
+  return m;
+}
+
+HMetrics from_verdict(std::string_view uuid, const impls::ProxyVerdict& v) {
+  HMetrics m;
+  m.uuid.assign(uuid);
+  m.impl = v.impl;
+  m.stage = Stage::kProxy;
+  m.status_code = v.status;
+  m.host = v.host;
+  m.data = v.body;
+  m.leftover = v.leftover;
+  m.forwarded = v.forwarded();
+  m.incomplete = v.incomplete;
+  m.would_cache = v.would_cache;
+  m.reason = v.reason;
+  return m;
+}
+
+std::string to_string(const HMetrics& m) {
+  std::string out = "⟨" + m.uuid + ", " + m.impl + "/" +
+                    std::string(to_string(m.stage));
+  if (!m.via_proxy.empty()) out += "(" + m.via_proxy + ")";
+  out += ", status=" + std::to_string(m.status_code);
+  out += ", host=" + (m.host.empty() ? "-" : m.host);
+  out += ", |data|=" + std::to_string(m.data.size());
+  out += ", |leftover|=" + std::to_string(m.leftover.size());
+  if (m.forwarded) out += ", forwarded";
+  if (m.incomplete) out += ", incomplete";
+  if (m.would_cache) out += ", caches";
+  out += "⟩";
+  return out;
+}
+
+}  // namespace hdiff::core

@@ -1,0 +1,55 @@
+// The HMetrics behaviour vector (paper §III-D).
+//
+// "We define an n-dimension vector HMetrics for the server behavior of each
+// request: ⟨uuid, status_code, host, data, ...⟩."  HMetrics is the common
+// coordinate system difference analysis works in: every implementation, in
+// every role and at every stage of the chain, is projected onto the same
+// vector so discrepancies become component-wise comparisons.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "impls/verdict.h"
+
+namespace hdiff::core {
+
+/// Where in the Figure-6 topology an observation was made.
+enum class Stage {
+  kProxy,   ///< step 1: front-end processing the client's bytes
+  kDirect,  ///< step 3: back-end processing the client's bytes
+  kReplay,  ///< step 2: back-end processing a proxy's forwarded bytes
+};
+
+std::string_view to_string(Stage s) noexcept;
+
+struct HMetrics {
+  std::string uuid;
+  std::string impl;
+  Stage stage = Stage::kDirect;
+  std::string via_proxy;   ///< kReplay only: the forwarding proxy
+
+  int status_code = 0;     ///< 0 = forwarded (proxy) or blocked-incomplete
+  std::string host;        ///< interpreted target host
+  std::string data;        ///< interpreted request body
+  std::string leftover;    ///< bytes interpreted as a subsequent request
+  std::string version;     ///< interpreted HTTP version ("HTTP/1.1")
+  bool forwarded = false;  ///< proxy stage: request passed downstream
+  bool incomplete = false; ///< implementation blocked awaiting bytes
+  bool would_cache = false;///< proxy stage: response would be cached
+  std::string reason;
+
+  /// Accepted (2xx) or successfully forwarded.
+  bool ok() const noexcept {
+    return forwarded || (status_code >= 200 && status_code < 300);
+  }
+};
+
+HMetrics from_verdict(std::string_view uuid, const impls::ServerVerdict& v,
+                      Stage stage, std::string_view via_proxy = {});
+HMetrics from_verdict(std::string_view uuid, const impls::ProxyVerdict& v);
+
+/// One-line rendering for logs and reports.
+std::string to_string(const HMetrics& m);
+
+}  // namespace hdiff::core

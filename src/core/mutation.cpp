@@ -1,0 +1,183 @@
+#include "core/mutation.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "http/header_util.h"
+
+namespace hdiff::core {
+
+const std::vector<std::string>& special_chars() {
+  static const std::vector<std::string> kChars = {
+      " ",      "\t",     "\x0b",   "\x0c",   "\x0d",
+      "{",      "}",      "<",      ">",      "@",
+      "\"",     "$",      std::string("\0", 1),  // NUL (U+0000)
+      "\xc2\x80",          // U+0080
+      "\xe2\x80\x8b",      // U+200B zero-width space
+      "\xef\xbb\xbf",      // U+FEFF BOM
+  };
+  return kChars;
+}
+
+std::string_view to_string(MutationKind k) noexcept {
+  switch (k) {
+    case MutationKind::kRepeatHeader: return "repeat-header";
+    case MutationKind::kScBeforeName: return "sc-before-name";
+    case MutationKind::kScAfterName: return "sc-after-name";
+    case MutationKind::kScBeforeValue: return "sc-before-value";
+    case MutationKind::kNameCaseVariation: return "name-case";
+    case MutationKind::kValueCaseVariation: return "value-case";
+    case MutationKind::kUnicodeInValue: return "unicode-in-value";
+    case MutationKind::kBareLfTerminator: return "bare-lf";
+    case MutationKind::kObsFoldValue: return "obs-fold";
+    case MutationKind::kVersionSwap: return "version-swap";
+    case MutationKind::kVersionCase: return "version-case";
+    case MutationKind::kVersionPunct: return "version-punct";
+    case MutationKind::kVersionDrop: return "version-drop";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string hex_escape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x21 && u <= 0x7E) {
+      out.push_back(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", u);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string flip_case(std::string_view s) {
+  std::string out(s);
+  bool flip = true;
+  for (char& c : out) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      c = flip ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+               : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      flip = !flip;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AppliedMutation::describe() const {
+  std::string out(to_string(kind));
+  if (!header.empty()) out += " on " + header;
+  if (!payload.empty()) out += " [" + hex_escape(payload) + "]";
+  return out;
+}
+
+std::vector<Mutant> mutate(const http::RequestSpec& seed,
+                           const MutationOptions& options) {
+  std::vector<Mutant> out;
+  auto targeted = [&](std::string_view name) {
+    if (options.target_headers.empty()) return true;
+    for (const auto& t : options.target_headers) {
+      if (http::iequals(t, name)) return true;
+    }
+    return false;
+  };
+  auto emit = [&](http::RequestSpec spec, AppliedMutation m) {
+    if (out.size() >= options.max_mutants) return;
+    Mutant mutant;
+    mutant.spec = std::move(spec);
+    mutant.applied.push_back(std::move(m));
+    out.push_back(std::move(mutant));
+  };
+
+  for (std::size_t i = 0; i < seed.headers.size(); ++i) {
+    const http::HeaderSpec& h = seed.headers[i];
+    if (!targeted(h.name)) continue;
+
+    // Repeat the header verbatim.
+    {
+      http::RequestSpec spec = seed;
+      spec.headers.insert(spec.headers.begin() + static_cast<std::ptrdiff_t>(i),
+                          h);
+      emit(std::move(spec),
+           {MutationKind::kRepeatHeader, h.name, ""});
+    }
+    // Special characters around the name and value.
+    for (const auto& sc : special_chars()) {
+      if (!options.include_unicode && sc.size() > 1) continue;
+      {
+        http::RequestSpec spec = seed;
+        spec.headers[i].name = sc + h.name;
+        emit(std::move(spec), {MutationKind::kScBeforeName, h.name, sc});
+      }
+      {
+        http::RequestSpec spec = seed;
+        spec.headers[i].name = h.name + sc;
+        emit(std::move(spec), {MutationKind::kScAfterName, h.name, sc});
+      }
+      {
+        http::RequestSpec spec = seed;
+        spec.headers[i].value = sc + h.value;
+        emit(std::move(spec), {MutationKind::kScBeforeValue, h.name, sc});
+      }
+    }
+    // Case variation (skipped when the text has no letters to vary).
+    if (std::string flipped = flip_case(h.name); flipped != h.name) {
+      http::RequestSpec spec = seed;
+      spec.headers[i].name = std::move(flipped);
+      emit(std::move(spec), {MutationKind::kNameCaseVariation, h.name, ""});
+    }
+    if (std::string flipped = flip_case(h.value); flipped != h.value) {
+      http::RequestSpec spec = seed;
+      spec.headers[i].value = std::move(flipped);
+      emit(std::move(spec), {MutationKind::kValueCaseVariation, h.name, ""});
+    }
+    // Bare-LF terminator on this line.
+    {
+      http::RequestSpec spec = seed;
+      spec.headers[i].terminator = "\n";
+      emit(std::move(spec), {MutationKind::kBareLfTerminator, h.name, ""});
+    }
+    // Fold the value onto a continuation line.
+    if (!h.value.empty()) {
+      http::RequestSpec spec = seed;
+      spec.headers[i].value = h.value + "\r\n " + "folded";
+      emit(std::move(spec), {MutationKind::kObsFoldValue, h.name, ""});
+    }
+  }
+
+  // Request-line version mutations (Table II "Invalid HTTP-version" /
+  // "lower/higher HTTP-version" vectors arise from exactly these).
+  std::size_t slash = seed.version.find('/');
+  if (slash != std::string::npos) {
+    auto with_version = [&](std::string version, MutationKind kind) {
+      http::RequestSpec spec = seed;
+      spec.version = version;
+      emit(std::move(spec), {kind, "", std::move(version)});
+    };
+    with_version(
+        seed.version.substr(slash + 1) + "/" + seed.version.substr(0, slash),
+        MutationKind::kVersionSwap);
+    with_version(flip_case(seed.version), MutationKind::kVersionCase);
+    std::string dashed = seed.version;
+    std::size_t dot = dashed.find('.', slash);
+    if (dot != std::string::npos) {
+      dashed[dot] = '-';
+      with_version(std::move(dashed), MutationKind::kVersionPunct);
+    }
+    with_version(seed.version + ".1", MutationKind::kVersionPunct);
+  }
+  if (!seed.version.empty()) {
+    http::RequestSpec spec = seed;
+    spec.version.clear();
+    emit(std::move(spec), {MutationKind::kVersionDrop, "", ""});
+  }
+  return out;
+}
+
+}  // namespace hdiff::core

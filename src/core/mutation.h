@@ -1,0 +1,68 @@
+// Mutation engine (paper §III-D, ABNF generator mutations).
+//
+// "To trigger possible processing discrepancies between different HTTP
+// servers, HDiff also introduces common mutations on the valid requests,
+// such as header repeating, inserting Unicode characters, header encoding,
+// and case variation."  Mutations are applied in small doses ("several
+// rounds ... so that the changes make a small impact on the format") so the
+// result stays parseable by at least some implementations.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/serialize.h"
+
+namespace hdiff::core {
+
+/// The special-character set of Table II's [sc] placeholder: common
+/// whitespace, grammatical characters, and Unicode (UTF-8 encoded).
+const std::vector<std::string>& special_chars();
+
+enum class MutationKind {
+  kRepeatHeader,        ///< duplicate an existing header field
+  kScBeforeName,        ///< "[sc]Transfer-Encoding: chunked"
+  kScAfterName,         ///< "Transfer-Encoding[sc]: chunked"
+  kScBeforeValue,       ///< "Content-Length: [sc]9"
+  kNameCaseVariation,   ///< "hOsT", "CONTENT-LENGTH"
+  kValueCaseVariation,  ///< "CHUNKED"
+  kUnicodeInValue,      ///< UTF-8 bytes injected into the value
+  kBareLfTerminator,    ///< header line terminated with "\n" only
+  kObsFoldValue,        ///< value split across a folded continuation
+  kVersionSwap,         ///< "HTTP/1.1" -> "1.1/HTTP"
+  kVersionCase,         ///< "HTTP/1.1" -> "hTTP/1.1"
+  kVersionPunct,        ///< "HTTP/1.1" -> "HTTP/1-1", "HTTP/1.1.1"
+  kVersionDrop,         ///< remove the version token (0.9-style line)
+};
+
+std::string_view to_string(MutationKind k) noexcept;
+
+/// One applied mutation, for labelling test cases.
+struct AppliedMutation {
+  MutationKind kind;
+  std::string header;    ///< affected header name ("" = request line)
+  std::string payload;   ///< injected bytes, if any
+  std::string describe() const;
+};
+
+/// A mutated request plus its provenance.
+struct Mutant {
+  http::RequestSpec spec;
+  std::vector<AppliedMutation> applied;
+};
+
+struct MutationOptions {
+  /// Headers eligible for mutation (empty = all).
+  std::vector<std::string> target_headers = {"Host", "Content-Length",
+                                             "Transfer-Encoding"};
+  std::size_t max_mutants = 64;  ///< cap per seed
+  bool include_unicode = true;
+};
+
+/// Produce single-step mutants of a seed request (one mutation each; the
+/// caller can feed mutants back in for additional rounds).
+std::vector<Mutant> mutate(const http::RequestSpec& seed,
+                           const MutationOptions& options = {});
+
+}  // namespace hdiff::core

@@ -1,0 +1,298 @@
+#include "core/probes.h"
+
+#include <cstdio>
+
+#include "http/serialize.h"
+
+namespace hdiff::core {
+
+namespace {
+
+using http::HeaderSpec;
+using http::RequestSpec;
+
+Assertion framing_assertion() {
+  Assertion a;
+  a.role = text::Role::kRecipient;
+  a.expect_reject = true;
+  a.expect_not_forward = true;
+  a.sr_id = "manual-framing";
+  return a;
+}
+
+struct Builder {
+  std::vector<TestCase> cases;
+  std::size_t counter = 0;
+
+  void probe(RequestSpec spec, std::string description,
+             std::string vector_label, AttackClass category,
+             std::optional<Assertion> assertion = std::nullopt) {
+    TestCase tc;
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "probe-%03zu", counter++);
+    tc.uuid = buf;
+    tc.raw = spec.to_wire();
+    tc.description = std::move(description);
+    tc.vector_label = std::move(vector_label);
+    tc.origin = TestOrigin::kManual;
+    tc.category = category;
+    tc.assertion = std::move(assertion);
+    cases.push_back(std::move(tc));
+  }
+};
+
+RequestSpec get_h1() { return http::make_get("h1.com", "/?a=1"); }
+
+RequestSpec chunked_post(std::string_view te, std::string_view body) {
+  RequestSpec s;
+  s.method = "POST";
+  s.add("Host", "h1.com");
+  s.add("Transfer-Encoding", te);
+  s.body.assign(body);
+  return s;
+}
+
+}  // namespace
+
+std::vector<TestCase> verification_probes() {
+  Builder b;
+  const std::string kChunkEnd = "0\r\n\r\n";
+  const std::string kSmuggled =
+      "GET /evil HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+
+  // ---- Request-Line: invalid HTTP-version (CPDoS) --------------------------
+  for (std::string_view v : {"1.1/HTTP", "HTTP/3-1", "hTTP/1.1"}) {
+    RequestSpec s = get_h1();
+    s.version.assign(v);
+    b.probe(std::move(s), "invalid HTTP-version " + std::string(v),
+            "Invalid HTTP-version", AttackClass::kCpdos);
+  }
+
+  // ---- Request-Line: lower/higher HTTP-version (HRS, CPDoS) ----------------
+  {
+    RequestSpec s = get_h1();
+    s.version.clear();  // HTTP/0.9 simple request, yet with a Host header
+    b.probe(std::move(s), "HTTP/0.9 request line with header fields",
+            "lower/higher HTTP-version", AttackClass::kCpdos);
+  }
+  {
+    RequestSpec s = chunked_post("chunked", "3\r\nabc\r\n" + kChunkEnd);
+    s.version = "HTTP/1.0";
+    b.probe(std::move(s), "HTTP/1.0 with Transfer-Encoding: chunked",
+            "lower/higher HTTP-version", AttackClass::kHrs);
+  }
+  {
+    RequestSpec s = get_h1();
+    s.version = "HTTP/2.0";
+    b.probe(std::move(s), "HTTP/2.0 version token on a 1.x connection",
+            "lower/higher HTTP-version", AttackClass::kCpdos);
+  }
+
+  // ---- Request-Line: bad absolute-URI vs Host (HoT) ------------------------
+  {
+    RequestSpec s = get_h1();
+    s.target = "test://h2.com/?a=1";
+    b.probe(std::move(s), "non-http scheme absolute-URI vs Host header",
+            "Bad absolute-URI vs Host", AttackClass::kHot);
+  }
+  {
+    RequestSpec s = get_h1();
+    s.target = "http://h1@h2.com/";
+    b.probe(std::move(s), "userinfo absolute-URI h1@h2.com",
+            "Bad absolute-URI vs Host", AttackClass::kHot);
+  }
+  {
+    RequestSpec s;
+    s.target = "http://h2.com/?a=1";  // no Host header at all
+    b.probe(std::move(s), "absolute-URI without Host header",
+            "Bad absolute-URI vs Host", AttackClass::kHot);
+  }
+
+  // ---- Request-Line: fat HEAD/GET (HRS, CPDoS) ------------------------------
+  {
+    RequestSpec s = get_h1();
+    s.add("Content-Length", "5");
+    s.body = "AAAAA";
+    b.probe(std::move(s), "GET with Content-Length body",
+            "Fat HEAD/GET request", AttackClass::kHrs);
+  }
+  {
+    RequestSpec s = get_h1();
+    s.method = "HEAD";
+    s.add("Content-Length", "5");
+    s.body = "AAAAA";
+    b.probe(std::move(s), "HEAD with Content-Length body",
+            "Fat HEAD/GET request", AttackClass::kHrs);
+  }
+
+  // ---- Header-field: invalid CL/TE (HRS) ------------------------------------
+  {
+    RequestSpec s = http::make_post("h1.com", "/", "AAAAAA");
+    s.set("Content-Length", "+6");
+    b.probe(std::move(s), "Content-Length: +6", "Invalid CL/TE header",
+            AttackClass::kHrs, framing_assertion());
+  }
+  {
+    RequestSpec s = http::make_post("h1.com", "/", "AAAAAA");
+    s.set("Content-Length", "6,9");
+    b.probe(std::move(s), "Content-Length: 6,9", "Invalid CL/TE header",
+            AttackClass::kHrs, framing_assertion());
+  }
+  {
+    RequestSpec s = http::make_post("h1.com", "/", "AAAAAAAAAA");
+    s.headers[1].name = "Content-Length ";  // "Content-Length : 10"
+    b.probe(std::move(s), "whitespace before colon on Content-Length",
+            "Invalid CL/TE header", AttackClass::kHrs, framing_assertion());
+  }
+  {
+    RequestSpec s = chunked_post("\x0b" "chunked", "3\r\nabc\r\n" + kChunkEnd);
+    b.probe(std::move(s), "Transfer-Encoding: \\x0bchunked",
+            "Invalid CL/TE header", AttackClass::kHrs, framing_assertion());
+  }
+  {
+    RequestSpec s = chunked_post("chunked", "3\r\nabc\r\n" + kChunkEnd);
+    s.headers[1].name = "\x0bTransfer-Encoding";
+    b.probe(std::move(s), "[sc]Transfer-Encoding: chunked",
+            "Invalid CL/TE header", AttackClass::kHrs, framing_assertion());
+  }
+  {
+    RequestSpec s = chunked_post("chunked", "3\r\nabc\r\n" + kChunkEnd);
+    s.headers[1].name = "Transfer-Encoding\x0b";
+    b.probe(std::move(s), "Transfer-Encoding[sc]: chunked",
+            "Invalid CL/TE header", AttackClass::kHrs, framing_assertion());
+  }
+
+  // ---- Header-field: multiple CL/TE (HRS) -------------------------------------
+  {
+    RequestSpec s = http::make_post("h1.com", "/", "AAAAAAAAAA");
+    s.add("Content-Length", "0xff");
+    b.probe(std::move(s), "Content-Length: 10 + Content-Length: 0xff",
+            "Multiple CL/TE headers", AttackClass::kHrs, framing_assertion());
+  }
+  {
+    // CL spans the chunked terminator plus a smuggled request; TE carries a
+    // control byte so only control-stripping recipients honour chunked.
+    std::string body = kChunkEnd + kSmuggled;
+    RequestSpec s = chunked_post("chunked", body);
+    s.headers[1].name = "Transfer-Encoding\x0b";
+    s.add("Content-Length", std::to_string(body.size()));
+    b.probe(std::move(s), "Content-Length + mangled Transfer-Encoding",
+            "Multiple CL/TE headers", AttackClass::kHrs, framing_assertion());
+  }
+  {
+    std::string body = kChunkEnd + kSmuggled;
+    RequestSpec s = chunked_post("chunked", body);
+    s.add("Content-Length", std::to_string(body.size()));
+    b.probe(std::move(s), "Content-Length together with Transfer-Encoding",
+            "Multiple CL/TE headers", AttackClass::kHrs, framing_assertion());
+  }
+  {
+    RequestSpec s = chunked_post("chunked", "3\r\nabc\r\n" + kChunkEnd);
+    s.add("Transfer-Encoding", "chunked");
+    b.probe(std::move(s), "duplicate Transfer-Encoding headers",
+            "Multiple CL/TE headers", AttackClass::kHrs, framing_assertion());
+  }
+
+  // ---- Header-field: invalid Host (HoT, CPDoS) ---------------------------------
+  for (std::string_view host :
+       {"h1.com@h2.com", "h1.com, h2.com", "h1.com/.//test?"}) {
+    RequestSpec s = get_h1();
+    s.set("Host", host);
+    b.probe(std::move(s), "Host: " + std::string(host), "Invalid Host header",
+            AttackClass::kHot);
+  }
+  {
+    RequestSpec s = get_h1();
+    s.headers[0].separator = ":\x0b ";  // "Host:[sc] h1.com"
+    b.probe(std::move(s), "Host:[sc] h1.com", "Invalid Host header",
+            AttackClass::kHot);
+  }
+
+  // ---- Header-field: multiple Host (HoT) -----------------------------------------
+  {
+    RequestSpec s = get_h1();
+    s.headers.insert(s.headers.begin(), HeaderSpec{"\x0bHost", "h0.com"});
+    b.probe(std::move(s), "[sc]Host + Host", "Multiple Host headers",
+            AttackClass::kHot);
+  }
+  {
+    RequestSpec s = get_h1();
+    s.add("Host", "h2.com");
+    b.probe(std::move(s), "two Host headers", "Multiple Host headers",
+            AttackClass::kHot);
+  }
+
+  // ---- Header-field: hop-by-hop (CPDoS) ---------------------------------------------
+  {
+    RequestSpec s = get_h1();
+    s.add("Connection", "close, Host");
+    b.probe(std::move(s), "Connection: close, Host", "Hop-by-Hop headers",
+            AttackClass::kCpdos);
+  }
+  {
+    RequestSpec s = get_h1();
+    s.add("Cookie", "session=1");
+    s.add("Connection", "Cookie");
+    b.probe(std::move(s), "Connection: Cookie", "Hop-by-Hop headers",
+            AttackClass::kCpdos);
+  }
+
+  // ---- Header-field: Expect (HRS, CPDoS) -----------------------------------------------
+  {
+    RequestSpec s = get_h1();
+    s.add("Expect", "100-continuce");
+    b.probe(std::move(s), "Expect: 100-continuce (typo)", "Expect header",
+            AttackClass::kCpdos);
+  }
+  {
+    RequestSpec s = get_h1();
+    s.add("Expect", "100-continue");
+    b.probe(std::move(s), "Expect: 100-continue on bodyless GET",
+            "Expect header", AttackClass::kCpdos);
+  }
+
+  // ---- Header-field: obs-fold Host (HoT) ---------------------------------------------------
+  {
+    RequestSpec s = get_h1();
+    s.headers[0].value = "h1.com\t\nh2.com";
+    b.probe(std::move(s), "Host: h1.com\\t\\nh2.com", "Obs-fold header",
+            AttackClass::kHot);
+  }
+
+  // ---- Header-field: obsoleted value (HRS, CPDoS) -------------------------------------------
+  {
+    RequestSpec s =
+        chunked_post("chunked, identity", "3\r\nabc\r\n" + kChunkEnd);
+    b.probe(std::move(s), "Transfer-Encoding: chunked, identity",
+            "Obsoleted header or value", AttackClass::kHrs,
+            framing_assertion());
+  }
+
+  // ---- Message-body: bad chunk-size (HRS) ----------------------------------------------------
+  {
+    RequestSpec s = chunked_post("chunked",
+                                 "100000000a\r\nabc\r\n" + kChunkEnd);
+    b.probe(std::move(s), "chunk-size wider than 32 bits",
+            "Bad chunk-size value", AttackClass::kHrs, framing_assertion());
+  }
+  {
+    RequestSpec s =
+        chunked_post("chunked", "0xfgh\r\nabc\r\n9\r\n" + kChunkEnd);
+    b.probe(std::move(s), "non-hex chunk-size", "Bad chunk-size value",
+            AttackClass::kHrs, framing_assertion());
+  }
+
+  // ---- Message-body: NUL in chunk-data (HRS) --------------------------------------------------
+  {
+    std::string body = "3\r\na";
+    body.push_back('\0');
+    body += "c\r\n" + kChunkEnd;
+    RequestSpec s = chunked_post("chunked", body);
+    b.probe(std::move(s), "NUL byte inside chunk-data", "NULL in chunk-data",
+            AttackClass::kHrs);
+  }
+
+  return b.cases;
+}
+
+}  // namespace hdiff::core

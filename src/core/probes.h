@@ -1,0 +1,20 @@
+// Verification probe set (paper §IV-A step "we further run these potential
+// exploits to complete verification in a real environment").
+//
+// These are the concrete attack payloads of Table II, expressed as labelled
+// test cases.  The pipeline discovers most of them independently through the
+// SR translator and the ABNF generator; this set guarantees every Table II
+// row is exercised with its exact example bytes, and carries the manually
+// authored assertions for the vectors whose RFC mandate is unambiguous.
+#pragma once
+
+#include <vector>
+
+#include "core/testcase.h"
+
+namespace hdiff::core {
+
+/// All Table II verification probes, one or more per row.
+std::vector<TestCase> verification_probes();
+
+}  // namespace hdiff::core

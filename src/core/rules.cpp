@@ -1,0 +1,116 @@
+#include "core/rules.h"
+
+#include "http/header_util.h"
+
+namespace hdiff::core {
+
+void CustomRuleEngine::add(PairRule rule) {
+  pair_rules_.push_back(std::move(rule));
+}
+
+void CustomRuleEngine::add(DirectRule rule) {
+  direct_rules_.push_back(std::move(rule));
+}
+
+std::vector<RuleMatch> CustomRuleEngine::evaluate(
+    const TestCase& tc, const net::ChainObservation& obs) const {
+  std::vector<RuleMatch> out;
+
+  // Project proxies once.
+  std::map<std::string, HMetrics> fronts;
+  for (const auto& [name, verdict] : obs.proxies) {
+    fronts.emplace(name, from_verdict(tc.uuid, verdict));
+  }
+
+  for (const auto& [key, verdict] : obs.replays) {
+    std::size_t arrow = key.find("->");
+    if (arrow == std::string::npos) continue;
+    std::string front = key.substr(0, arrow);
+    std::string back = key.substr(arrow + 2);
+    auto front_it = fronts.find(front);
+    if (front_it == fronts.end() || !front_it->second.forwarded) continue;
+    HMetrics back_metrics =
+        from_verdict(tc.uuid, verdict, Stage::kReplay, front);
+    auto relay_it = obs.relays.find(key);
+    PairMetrics pm{front_it->second, back_metrics,
+                   relay_it == obs.relays.end() ? nullptr
+                                                : &relay_it->second};
+    for (const auto& rule : pair_rules_) {
+      std::string detail = rule.predicate(pm);
+      if (!detail.empty()) {
+        out.push_back(RuleMatch{rule.name, front, back, rule.attack, tc.uuid,
+                                std::move(detail)});
+      }
+    }
+  }
+
+  for (const auto& [name, verdict] : obs.direct) {
+    HMetrics m = from_verdict(tc.uuid, verdict, Stage::kDirect);
+    for (const auto& rule : direct_rules_) {
+      std::string detail = rule.predicate(m);
+      if (!detail.empty()) {
+        out.push_back(
+            RuleMatch{rule.name, "", name, rule.attack, tc.uuid,
+                      std::move(detail)});
+      }
+    }
+  }
+  return out;
+}
+
+CustomRuleEngine make_builtin_rules() {
+  CustomRuleEngine engine;
+
+  engine.add(PairRule{
+      "hrs-smuggled-remainder", AttackClass::kHrs,
+      [](const PairMetrics& pm) -> std::string {
+        if (pm.back.ok() && !pm.back.leftover.empty()) {
+          return "back-end leaves " + std::to_string(pm.back.leftover.size()) +
+                 " byte(s) beyond the forwarded request";
+        }
+        return {};
+      }});
+
+  engine.add(PairRule{
+      "hrs-desync-hang", AttackClass::kHrs,
+      [](const PairMetrics& pm) -> std::string {
+        if (pm.back.incomplete) {
+          return "back-end blocks awaiting bytes the front never framed";
+        }
+        return {};
+      }});
+
+  engine.add(PairRule{
+      "hot-host-disagreement", AttackClass::kHot,
+      [](const PairMetrics& pm) -> std::string {
+        if (pm.back.ok() && !pm.front.host.empty() && !pm.back.host.empty() &&
+            !http::iequals(pm.front.host, pm.back.host)) {
+          return "front routes on '" + pm.front.host + "', back derives '" +
+                 pm.back.host + "'";
+        }
+        return {};
+      }});
+
+  engine.add(PairRule{
+      "hrs-response-desync", AttackClass::kHrs,
+      [](const PairMetrics& pm) -> std::string {
+        if (pm.relay && pm.relay->desync) {
+          return "interim response relayed as final; real response stranded";
+        }
+        return {};
+      }});
+
+  engine.add(PairRule{
+      "cpdos-cached-error", AttackClass::kCpdos,
+      [](const PairMetrics& pm) -> std::string {
+        if (pm.front.would_cache && pm.back.status_code >= 400) {
+          return "error " + std::to_string(pm.back.status_code) +
+                 " would be cached";
+        }
+        return {};
+      }});
+
+  return engine;
+}
+
+}  // namespace hdiff::core

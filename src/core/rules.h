@@ -1,0 +1,79 @@
+// User-defined detection rules over HMetrics (paper §III-D: "Under
+// different detection models, users can define detection rules based on
+// HMetrics to discover semantic gap attacks").
+//
+// A custom rule is a named predicate over the HMetrics projection of one
+// chain observation: the front-end's metrics and the back-end's metrics for
+// the same forwarded bytes.  The built-in HRS/HoT/CPDoS models in detect.h
+// are expressible in exactly this vocabulary; CustomRuleEngine lets a user
+// add further models (e.g. header-reflection checks, body-integrity checks)
+// without touching the framework.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/hmetrics.h"
+#include "core/testcase.h"
+#include "net/chain.h"
+
+namespace hdiff::core {
+
+/// Inputs to a pair rule: the same test case as seen by the front-end and by
+/// one back-end (replaying the front-end's forwarded bytes), plus the
+/// response relay through the front-end (nullptr when unavailable).
+struct PairMetrics {
+  const HMetrics& front;  ///< stage kProxy
+  const HMetrics& back;   ///< stage kReplay
+  const impls::RelayOutcome* relay = nullptr;
+};
+
+/// A match produced by a custom rule.
+struct RuleMatch {
+  std::string rule;
+  std::string front;
+  std::string back;
+  AttackClass attack = AttackClass::kGeneric;
+  std::string uuid;
+  std::string detail;
+};
+
+/// A named pair rule.  Return a non-empty detail string to report a match.
+struct PairRule {
+  std::string name;
+  AttackClass attack = AttackClass::kGeneric;
+  std::function<std::string(const PairMetrics&)> predicate;
+};
+
+/// A named single-implementation rule over a direct back-end observation.
+struct DirectRule {
+  std::string name;
+  AttackClass attack = AttackClass::kGeneric;
+  std::function<std::string(const HMetrics&)> predicate;
+};
+
+class CustomRuleEngine {
+ public:
+  void add(PairRule rule);
+  void add(DirectRule rule);
+
+  /// Project the observation onto HMetrics and evaluate every rule.
+  std::vector<RuleMatch> evaluate(const TestCase& tc,
+                                  const net::ChainObservation& obs) const;
+
+  std::size_t rule_count() const noexcept {
+    return pair_rules_.size() + direct_rules_.size();
+  }
+
+ private:
+  std::vector<PairRule> pair_rules_;
+  std::vector<DirectRule> direct_rules_;
+};
+
+/// The built-in detection models of detect.h, restated as custom rules —
+/// both a reference for rule authors and the regression oracle showing the
+/// two formulations agree (tests/core/rules_test.cpp).
+CustomRuleEngine make_builtin_rules();
+
+}  // namespace hdiff::core

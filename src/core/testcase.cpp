@@ -1,0 +1,25 @@
+#include "core/testcase.h"
+
+namespace hdiff::core {
+
+std::string_view to_string(TestOrigin o) noexcept {
+  switch (o) {
+    case TestOrigin::kSrTranslator: return "sr-translator";
+    case TestOrigin::kAbnfGenerator: return "abnf-generator";
+    case TestOrigin::kMutation: return "mutation";
+    case TestOrigin::kManual: return "manual";
+  }
+  return "manual";
+}
+
+std::string_view to_string(AttackClass a) noexcept {
+  switch (a) {
+    case AttackClass::kHrs: return "HRS";
+    case AttackClass::kHot: return "HoT";
+    case AttackClass::kCpdos: return "CPDoS";
+    case AttackClass::kGeneric: return "generic";
+  }
+  return "generic";
+}
+
+}  // namespace hdiff::core

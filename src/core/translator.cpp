@@ -1,0 +1,471 @@
+#include "core/translator.h"
+
+#include <cstdio>
+
+#include "core/mutation.h"
+#include "http/chunked.h"
+#include "http/header_util.h"
+
+namespace hdiff::core {
+
+namespace {
+
+using http::RequestSpec;
+
+/// Assertion synthesis: pick the strongest entailed role action.
+std::optional<Assertion> build_assertion(const SrRecord& sr) {
+  std::optional<Assertion> best;
+  int best_rank = -1;
+  for (const auto& conv : sr.conversions) {
+    const text::Hypothesis& h = conv.hypothesis;
+    if (!h.action || !h.role) continue;
+    Assertion a;
+    a.role = *h.role;
+    a.sr_id = sr.id;
+    int rank = -1;
+    if (*h.action == text::Action::kRespond && h.status_code) {
+      a.expect_status = *h.status_code;
+      a.expect_reject = *h.status_code >= 400;
+      rank = 3;
+    } else if (*h.action == text::Action::kReject && !h.negated) {
+      a.expect_reject = true;
+      rank = 2;
+    } else if (*h.action == text::Action::kTreat && !h.negated &&
+               sr.polarity == text::SentimentPolarity::kObligation) {
+      // "MUST treat it as an unrecoverable error"
+      a.expect_reject = true;
+      rank = 1;
+    } else if (*h.action == text::Action::kForward && h.negated) {
+      a.expect_not_forward = true;
+      rank = 2;
+    } else if (*h.action == text::Action::kGenerate && h.negated) {
+      // Sender-side prohibition: receivers of such a message face an
+      // ambiguous construct; no receiver assertion, but still useful as a
+      // not-forward expectation for intermediaries.
+      a.role = text::Role::kProxy;
+      a.expect_not_forward = true;
+      rank = 0;
+    }
+    if (rank > best_rank) {
+      best_rank = rank;
+      best = a;
+    }
+  }
+  return best;
+}
+
+/// Per-request assertion selection: inherit the SR's entailed assertion,
+/// suppress it (the request is RFC-valid and no behaviour is mandated), or
+/// attach a recipe-specific one (the manually-authored part of the paper's
+/// "SR semantic definitions").
+struct CaseAssertion {
+  enum class Mode { kEntailed, kNone, kCustom };
+  Mode mode = Mode::kEntailed;
+  Assertion custom;
+};
+
+/// A generation recipe bound to one (field, modifier) pair.
+struct Recipe {
+  std::string field;
+  std::string modifier;
+  AttackClass category = AttackClass::kGeneric;
+  std::string vector_label;
+  std::vector<RequestSpec> requests;
+  std::vector<std::string> notes;         ///< parallel to requests
+  std::vector<CaseAssertion> assertions;  ///< parallel to requests
+};
+
+void add(Recipe& r, RequestSpec spec, std::string note) {
+  r.requests.push_back(std::move(spec));
+  r.notes.push_back(std::move(note));
+  r.assertions.push_back({});
+}
+
+/// Add a request that is RFC-*valid*: no assertion applies to it.
+void add_valid(Recipe& r, RequestSpec spec, std::string note) {
+  r.requests.push_back(std::move(spec));
+  r.notes.push_back(std::move(note));
+  r.assertions.push_back({CaseAssertion::Mode::kNone, {}});
+}
+
+/// Add a request with a recipe-authored assertion.
+void add_assert(Recipe& r, RequestSpec spec, std::string note, Assertion a) {
+  r.requests.push_back(std::move(spec));
+  r.notes.push_back(std::move(note));
+  r.assertions.push_back({CaseAssertion::Mode::kCustom, std::move(a)});
+}
+
+/// "Recipients MUST treat this framing as an error": reject when acting as
+/// a server, do not forward when acting as an intermediary.
+Assertion framing_error_assertion(std::string sr_id) {
+  Assertion a;
+  a.role = text::Role::kRecipient;
+  a.expect_reject = true;
+  a.expect_not_forward = true;
+  a.sr_id = std::move(sr_id);
+  return a;
+}
+
+RequestSpec base_get() { return http::make_get("h1.com"); }
+
+RequestSpec base_post(std::string_view body) {
+  return http::make_post("h1.com", "/", body);
+}
+
+/// The SR semantic definitions (manual input #2): how to realize each
+/// message-description modifier per field as concrete wire requests.
+std::optional<Recipe> build_recipe(const text::Hypothesis& h,
+                                   const abnf::Generator& gen,
+                                   std::size_t value_budget,
+                                   const std::string& sr_id) {
+  if (!h.field || !h.modifier) return std::nullopt;
+  const Assertion framing = framing_error_assertion(sr_id);
+  Recipe r;
+  r.field = *h.field;
+  r.modifier = *h.modifier;
+
+  const std::string& field = *h.field;
+  const std::string& mod = *h.modifier;
+
+  if (field == "host") {
+    r.category = AttackClass::kHot;
+    if (mod == "invalid") {
+      r.vector_label = "Invalid Host header";
+      for (std::string_view v :
+           {"h1.com@h2.com", "h1.com, h2.com", "h1.com/.//test?",
+            "h1.com/../h2.com", "h1.com h2.com", "h1.com:8a"}) {
+        RequestSpec s = base_get();
+        s.set("Host", v);
+        add(r, std::move(s), "Host: " + std::string(v));
+      }
+      // ABNF-derived valid hosts with slight distortion.
+      for (const auto& host : gen.enumerate("uri-host", value_budget)) {
+        RequestSpec s = base_get();
+        s.set("Host", host + "@h2.com");
+        add(r, std::move(s), "ABNF host + userinfo trick");
+      }
+    } else if (mod == "multiple") {
+      r.vector_label = "Multiple Host headers";
+      RequestSpec s = base_get();
+      s.add("Host", "h2.com");
+      add(r, std::move(s), "two Host headers");
+      RequestSpec sc = base_get();
+      sc.headers.insert(sc.headers.begin(),
+                        http::HeaderSpec{"\x0bHost", "h0.com"});
+      add(r, std::move(sc), "[sc]Host + Host");
+    } else if (mod == "missing") {
+      r.vector_label = "Missing Host header";
+      r.category = AttackClass::kCpdos;
+      RequestSpec s;
+      add(r, std::move(s), "HTTP/1.1 without Host");
+    } else if (mod == "whitespace") {
+      r.vector_label = "Invalid Host header";
+      RequestSpec s = base_get();
+      s.headers[0].name = "Host ";
+      add(r, std::move(s), "whitespace before colon on Host");
+      RequestSpec fold = base_get();
+      fold.headers[0].value = "h1.com\t\nh2.com";
+      add(r, std::move(fold), "obs-fold-ish Host continuation");
+    } else if (mod == "empty") {
+      r.vector_label = "Invalid Host header";
+      RequestSpec s = base_get();
+      s.set("Host", "");
+      add(r, std::move(s), "empty Host value");
+    } else {
+      return std::nullopt;
+    }
+    return r;
+  }
+
+  if (field == "content-length") {
+    r.category = AttackClass::kHrs;
+    if (mod == "invalid") {
+      r.vector_label = "Invalid CL/TE header";
+      for (std::string_view v : {"+6", "6,9", "0x06", "6 6", "abc",
+                                 "99999999999999999999999999"}) {
+        RequestSpec s = base_post("AAAAAA");
+        s.set("Content-Length", v);
+        add_assert(r, std::move(s), "Content-Length: " + std::string(v),
+                   framing);
+      }
+    } else if (mod == "multiple") {
+      r.vector_label = "Multiple CL/TE headers";
+      {
+        RequestSpec s = base_post("AAAAAAAAAA");
+        s.add("Content-Length", "0");
+        add_assert(r, std::move(s), "differing duplicate Content-Length",
+                   framing);
+      }
+      {
+        // Identical duplicates may legally be collapsed (RFC 7230 §3.3.2);
+        // no behaviour is mandated, so this case is discrepancy-only.
+        RequestSpec s = base_post("AAAAAAAAAA");
+        s.add("Content-Length", "10");
+        add_valid(r, std::move(s), "identical duplicate Content-Length");
+      }
+      {
+        RequestSpec s = base_post("AAAAAAAAAA");
+        s.set("Content-Length", "10, 10");
+        add_valid(r, std::move(s), "list-valued Content-Length 10, 10");
+      }
+      {
+        RequestSpec s = base_post("AAAAAA");
+        s.set("Content-Length", "6, 9");
+        add_assert(r, std::move(s), "list-valued Content-Length 6, 9",
+                   framing);
+      }
+    } else if (mod == "whitespace") {
+      r.vector_label = "Invalid CL/TE header";
+      RequestSpec s = base_post("AAAAAA");
+      s.headers[1].name = "Content-Length ";
+      add_assert(r, std::move(s),
+                 "whitespace before colon on Content-Length", framing);
+    } else {
+      return std::nullopt;
+    }
+    return r;
+  }
+
+  if (field == "transfer-encoding" || field == "transfer-coding") {
+    r.category = AttackClass::kHrs;
+    const std::string chunked_body = "3\r\nabc\r\n0\r\n\r\n";
+    auto chunked_post = [&](std::string_view te_value) {
+      RequestSpec s;
+      s.method = "POST";
+      s.add("Host", "h1.com");
+      s.add("Transfer-Encoding", te_value);
+      s.body = chunked_body;
+      return s;
+    };
+    if (mod == "invalid") {
+      r.vector_label = "Invalid CL/TE header";
+      for (std::string_view v :
+           {"\x0b" "chunked", "xchunked", "chu nked", "chunked;ext=1",
+            "gzip, chunked, deflate"}) {
+        add_assert(r, chunked_post(v), "Transfer-Encoding: <mangled>",
+                   framing);
+      }
+      {
+        RequestSpec s = chunked_post("chunked");
+        s.headers[1].name = "\x0bTransfer-Encoding";
+        add_assert(r, std::move(s), "[sc]Transfer-Encoding name", framing);
+      }
+      {
+        RequestSpec s = chunked_post("chunked");
+        s.headers[1].name = "Transfer-Encoding\x0b";
+        add_assert(r, std::move(s), "Transfer-Encoding[sc] name", framing);
+      }
+    } else if (mod == "multiple") {
+      r.vector_label = "Multiple CL/TE headers";
+      {
+        RequestSpec s = chunked_post("chunked");
+        s.add("Transfer-Encoding", "chunked");
+        add_assert(r, std::move(s), "duplicate Transfer-Encoding", framing);
+      }
+      {
+        // CL + TE: the canonical smuggling shape — "ought to be handled as
+        // an error" (RFC 7230 §3.3.3).
+        RequestSpec s = chunked_post("chunked");
+        s.add("Content-Length", std::to_string(chunked_body.size()));
+        add_assert(r, std::move(s), "Content-Length and Transfer-Encoding",
+                   framing);
+      }
+      {
+        // Mangled TE + CL covering a smuggled request suffix: lenient
+        // recipients that honour the mangled TE terminate the body at the
+        // zero chunk and expose the suffix as a next request.
+        RequestSpec s = chunked_post("chunked");
+        s.headers[1].name = "Transfer-Encoding\x0b";
+        s.body = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+        s.add("Content-Length", std::to_string(s.body.size()));
+        add_assert(r, std::move(s), "mangled TE + CL with smuggled suffix",
+                   framing);
+      }
+    } else if (mod == "whitespace") {
+      r.vector_label = "Invalid CL/TE header";
+      RequestSpec s = chunked_post("chunked");
+      s.headers[1].name = "Transfer-Encoding ";
+      add_assert(r, std::move(s),
+                 "whitespace before colon on Transfer-Encoding", framing);
+    } else if (mod == "obsolete") {
+      r.vector_label = "Obsoleted header or value";
+      add_assert(r, chunked_post("chunked, identity"),
+                 "obsolete identity transfer coding", framing);
+    } else {
+      return std::nullopt;
+    }
+    return r;
+  }
+
+  if (field == "chunk-size" || field == "chunk-data") {
+    r.category = AttackClass::kHrs;
+    if (mod == "invalid") {
+      r.vector_label = "Bad chunk-size value";
+      auto chunked = [&](std::string_view body) {
+        RequestSpec s;
+        s.method = "POST";
+        s.add("Host", "h1.com");
+        s.add("Transfer-Encoding", "chunked");
+        s.body.assign(body);
+        return s;
+      };
+      add_assert(r, chunked("100000000a\r\nabc\r\n0\r\n\r\n"),
+                 "chunk-size wider than 32 bits", framing);
+      add_assert(r, chunked("0xfgh\r\nabc\r\n9\r\n0\r\n\r\n"),
+                 "non-hex chunk-size", framing);
+      add_assert(r, chunked("5\r\nabc\r\n0\r\n\r\n"),
+                 "chunk-size larger than chunk-data", framing);
+      // chunk-data is 1*OCTET — a NUL byte is grammatically legal, so this
+      // case is discrepancy-only.
+      std::string nul_body = "5\r\nab";
+      nul_body.push_back('\0');
+      nul_body += "cd\r\n0\r\n\r\n";
+      add_valid(r, chunked(nul_body), "NUL byte inside chunk-data");
+      return r;
+    }
+    return std::nullopt;
+  }
+
+  if (field == "expect") {
+    r.category = AttackClass::kCpdos;
+    r.vector_label = "Expect header";
+    if (mod == "invalid") {
+      RequestSpec s = base_get();
+      s.add("Expect", "100-continuce");
+      add(r, std::move(s), "typo'd expectation value");
+      RequestSpec g = base_get();
+      g.add("Expect", "100-continue");
+      add(r, std::move(g), "100-continue on bodyless GET");
+      return r;
+    }
+    return std::nullopt;
+  }
+
+  if (field == "connection") {
+    r.category = AttackClass::kCpdos;
+    r.vector_label = "Hop-by-Hop headers";
+    if (mod == "invalid" || mod == "multiple") {
+      RequestSpec s = base_get();
+      s.add("Connection", "close, Host");
+      add(r, std::move(s), "Connection names Host");
+      RequestSpec c = base_get();
+      c.add("Cookie", "session=1");
+      c.add("Connection", "Cookie");
+      add(r, std::move(c), "Connection names Cookie");
+      return r;
+    }
+    return std::nullopt;
+  }
+
+  if (field == "http-version" || field == "request-line") {
+    r.category = AttackClass::kCpdos;
+    r.vector_label = "Invalid HTTP-version";
+    if (mod == "invalid") {
+      for (std::string_view v :
+           {"1.1/HTTP", "HTTP/3-1", "hTTP/1.1", "HTTP/1,1", "HTTP/11",
+            "HTTP/1.1.1"}) {
+        RequestSpec s = base_get();
+        s.target = "/?a=b";
+        s.version.assign(v);
+        add(r, std::move(s), "version token " + std::string(v));
+      }
+      return r;
+    }
+    return std::nullopt;
+  }
+
+  if (field == "message-body") {
+    r.category = AttackClass::kHrs;
+    r.vector_label = "Fat HEAD/GET request";
+    RequestSpec g = base_get();
+    g.add("Content-Length", "5");
+    g.body = "AAAAA";
+    add(r, std::move(g), "GET with Content-Length body");
+    RequestSpec h2 = base_get();
+    h2.method = "HEAD";
+    h2.add("Content-Length", "5");
+    h2.body = "AAAAA";
+    add(r, std::move(h2), "HEAD with Content-Length body");
+    return r;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace
+
+SrTranslator::SrTranslator(const abnf::Grammar& grammar,
+                           TranslatorConfig config)
+    : generator_(grammar), config_(config) {
+  abnf::load_default_http_predefined(generator_);
+}
+
+std::string SrTranslator::next_uuid(std::string_view sr_id) const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "-t%05zu", uuid_counter_++);
+  return std::string(sr_id) + buf;
+}
+
+std::vector<TestCase> SrTranslator::translate(const SrRecord& sr) const {
+  std::vector<TestCase> out;
+  std::optional<Assertion> assertion = build_assertion(sr);
+
+  for (const auto& conv : sr.conversions) {
+    auto recipe = build_recipe(conv.hypothesis, generator_,
+                               config_.values_per_recipe, sr.id);
+    if (!recipe) continue;
+    for (std::size_t i = 0; i < recipe->requests.size(); ++i) {
+      TestCase tc;
+      tc.uuid = next_uuid(sr.id);
+      tc.raw = recipe->requests[i].to_wire();
+      tc.description = recipe->notes[i];
+      tc.vector_label = recipe->vector_label;
+      tc.origin = TestOrigin::kSrTranslator;
+      tc.category = recipe->category;
+      switch (recipe->assertions[i].mode) {
+        case CaseAssertion::Mode::kEntailed:
+          tc.assertion = assertion;
+          break;
+        case CaseAssertion::Mode::kNone:
+          tc.assertion.reset();
+          break;
+        case CaseAssertion::Mode::kCustom:
+          tc.assertion = recipe->assertions[i].custom;
+          break;
+      }
+      out.push_back(std::move(tc));
+
+      if (config_.include_mutations) {
+        MutationOptions mo;
+        mo.max_mutants = config_.mutants_per_case;
+        for (auto& mutant : mutate(recipe->requests[i], mo)) {
+          TestCase mc;
+          mc.uuid = next_uuid(sr.id);
+          mc.raw = mutant.spec.to_wire();
+          mc.description =
+              recipe->notes[i] + " + " + mutant.applied.front().describe();
+          mc.vector_label = recipe->vector_label;
+          mc.origin = TestOrigin::kMutation;
+          mc.category = recipe->category;
+          // Mutations may invalidate the SR's precondition; keep the case
+          // for difference analysis but drop the assertion.
+          out.push_back(std::move(mc));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TestCase> SrTranslator::translate_all(
+    const std::vector<SrRecord>& srs) const {
+  std::vector<TestCase> out;
+  for (const auto& sr : srs) {
+    auto cases = translate(sr);
+    out.insert(out.end(), std::make_move_iterator(cases.begin()),
+               std::make_move_iterator(cases.end()));
+  }
+  return out;
+}
+
+}  // namespace hdiff::core

@@ -1,0 +1,50 @@
+// SR Translator (paper §III-D).
+//
+// Translates converted SRs into test cases with assertions: the message
+// description selects a generation recipe (the paper's manually-supplied
+// "SR semantic definitions" — valid/invalid/repeat/missing/... per field),
+// and the role action becomes the assertion checked during differential
+// testing ("close connection, report error, respond 200, not forward ...").
+// An implementation that violates the assertion deviates from the
+// specification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abnf/generator.h"
+#include "core/analyzer.h"
+#include "core/testcase.h"
+
+namespace hdiff::core {
+
+struct TranslatorConfig {
+  /// Cap on ABNF-enumerated base values per recipe.
+  std::size_t values_per_recipe = 8;
+  /// Include mutation-derived variants of each recipe.
+  bool include_mutations = true;
+  std::size_t mutants_per_case = 12;
+};
+
+class SrTranslator {
+ public:
+  /// `grammar` supplies valid base values (Figure 5: "generate basic HTTP
+  /// requests with key-value pairs using ABNF rules").
+  SrTranslator(const abnf::Grammar& grammar, TranslatorConfig config = {});
+
+  /// Translate one SR record into test cases.  Records whose conversions
+  /// carry no generatable message description yield nothing.
+  std::vector<TestCase> translate(const SrRecord& sr) const;
+
+  /// Translate a whole analyzer result.
+  std::vector<TestCase> translate_all(const std::vector<SrRecord>& srs) const;
+
+ private:
+  abnf::Generator generator_;
+  TranslatorConfig config_;
+  mutable std::size_t uuid_counter_ = 0;
+
+  std::string next_uuid(std::string_view sr_id) const;
+};
+
+}  // namespace hdiff::core

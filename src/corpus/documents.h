@@ -1,0 +1,17 @@
+// Per-document excerpt accessors; registry.cpp assembles them.
+#pragma once
+
+#include <string_view>
+
+namespace hdiff::corpus {
+
+std::string_view rfc3986_text();
+std::string_view rfc5234_text();
+std::string_view rfc7230_text();
+std::string_view rfc7231_text();
+std::string_view rfc7232_text();
+std::string_view rfc7233_text();
+std::string_view rfc7234_text();
+std::string_view rfc7235_text();
+
+}  // namespace hdiff::corpus

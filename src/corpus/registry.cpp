@@ -1,0 +1,68 @@
+#include "corpus/registry.h"
+
+#include <array>
+#include <cctype>
+
+#include "corpus/documents.h"
+#include "text/sentence.h"
+
+namespace hdiff::corpus {
+
+namespace {
+
+const std::array<Document, 8>& documents() {
+  static const std::array<Document, 8> kDocs = {{
+      {"rfc3986", "URI: Generic Syntax", rfc3986_text()},
+      {"rfc5234", "Augmented BNF for Syntax Specifications", rfc5234_text()},
+      {"rfc7230", "HTTP/1.1: Message Syntax and Routing", rfc7230_text()},
+      {"rfc7231", "HTTP/1.1: Semantics and Content", rfc7231_text()},
+      {"rfc7232", "HTTP/1.1: Conditional Requests", rfc7232_text()},
+      {"rfc7233", "HTTP/1.1: Range Requests", rfc7233_text()},
+      {"rfc7234", "HTTP/1.1: Caching", rfc7234_text()},
+      {"rfc7235", "HTTP/1.1: Authentication", rfc7235_text()},
+  }};
+  return kDocs;
+}
+
+std::string lower_copy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const Document> all_documents() { return documents(); }
+
+std::vector<std::string_view> http_core_documents() {
+  return {"rfc7230", "rfc7231", "rfc7232", "rfc7233", "rfc7234", "rfc7235"};
+}
+
+const Document* find_document(std::string_view name) {
+  std::string key = lower_copy(name);
+  for (const auto& doc : documents()) {
+    if (doc.name == key) return &doc;
+  }
+  return nullptr;
+}
+
+CorpusSize measure(const Document& doc) {
+  CorpusSize size;
+  size.words = text::count_words(doc.text);
+  size.valid_sentences = text::split_sentences(doc.text).size();
+  return size;
+}
+
+CorpusSize measure_all() {
+  CorpusSize total;
+  for (const auto& doc : documents()) {
+    CorpusSize s = measure(doc);
+    total.words += s.words;
+    total.valid_sentences += s.valid_sentences;
+  }
+  return total;
+}
+
+}  // namespace hdiff::corpus

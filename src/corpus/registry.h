@@ -1,0 +1,44 @@
+// Embedded RFC corpus.
+//
+// HDiff's Documentation Analyzer consumes the HTTP/1.1 core specifications
+// (RFC 7230–7235) plus the documents they reference for grammar (RFC 3986
+// URI syntax, RFC 5234 core ABNF).  This registry embeds genuine excerpts of
+// those documents — the requirement prose and the ABNF grammar blocks, in
+// original RFC page formatting — so the full analyzer pipeline (cleaning,
+// sentence splitting, SR finding, ABNF extraction/adaptation) runs
+// end-to-end offline.  Corpus *size* differs from the full RFCs; experiment
+// E1 reports our counts next to the paper's (see DESIGN.md §1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::corpus {
+
+struct Document {
+  std::string_view name;   ///< lookup key, e.g. "rfc7230"
+  std::string_view title;
+  std::string_view text;   ///< RFC-formatted excerpt
+};
+
+/// All embedded documents, in ascending RFC order.
+std::span<const Document> all_documents();
+
+/// The HTTP/1.1 core six (7230..7235), the analyzer's default input set.
+std::vector<std::string_view> http_core_documents();
+
+/// Find by name ("rfc7230"); nullptr if absent.  Lookup is case-insensitive.
+const Document* find_document(std::string_view name);
+
+/// Word/sentence size of one document or of the whole corpus.
+struct CorpusSize {
+  std::size_t words = 0;
+  std::size_t valid_sentences = 0;  ///< sentences with >= 3 words
+};
+
+CorpusSize measure(const Document& doc);
+CorpusSize measure_all();
+
+}  // namespace hdiff::corpus

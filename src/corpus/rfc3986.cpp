@@ -1,0 +1,181 @@
+// RFC 3986 (URI Generic Syntax) excerpt: the authority/host grammar that
+// RFC 7230 imports via prose reference for uri-host.
+#include "corpus/documents.h"
+
+namespace hdiff::corpus {
+
+std::string_view rfc3986_text() {
+  return R"RFC(
+RFC 3986                   URI Generic Syntax               January 2005
+
+3.  Syntax Components
+
+   The generic URI syntax consists of a hierarchical sequence of
+   components referred to as the scheme, authority, path, query, and
+   fragment.
+
+      URI           = scheme ":" hier-part [ "?" query ] [ "#" fragment ]
+
+      hier-part     = "//" authority path-abempty
+                    / path-absolute
+                    / path-rootless
+                    / path-empty
+
+   The scheme and path components are required, though the path may be
+   empty (no characters).  When authority is present, the path must
+   either be empty or begin with a slash ("/") character.
+
+3.1.  Scheme
+
+   Each URI begins with a scheme name that refers to a specification
+   for assigning identifiers within that scheme.  Scheme names consist
+   of a sequence of characters beginning with a letter and followed by
+   any combination of letters, digits, plus ("+"), period ("."), or
+   hyphen ("-").  An implementation should accept uppercase letters as
+   equivalent to lowercase in scheme names but should only produce
+   lowercase scheme names for consistency.
+
+      scheme        = ALPHA *( ALPHA / DIGIT / "+" / "-" / "." )
+
+3.2.  Authority
+
+   Many URI schemes include a hierarchical element for a naming
+   authority.  The authority component is preceded by a double slash
+   ("//") and is terminated by the next slash ("/"), question mark
+   ("?"), or number sign ("#") character, or by the end of the URI.
+
+      authority     = [ userinfo "@" ] host [ ":" port ]
+
+3.2.1.  User Information
+
+   The userinfo subcomponent may consist of a user name and,
+   optionally, scheme-specific information about how to gain
+   authorization to access the resource.  Use of the format
+   "user:password" in the userinfo field is deprecated.  Applications
+   SHOULD NOT render as clear text any data after the first colon
+   character found within a userinfo subcomponent.
+
+      userinfo      = *( unreserved / pct-encoded / sub-delims / ":" )
+
+3.2.2.  Host
+
+   The host subcomponent of authority is identified by an IP literal
+   encapsulated within square brackets, an IPv4 address in dotted-
+   decimal form, or a registered name.  The host subcomponent is case-
+   insensitive.  A registered name intended for lookup in the DNS uses
+   the syntax defined in Section 3.5 of RFC 1034.  Such a name consists
+   of a sequence of domain labels separated by ".", each domain label
+   starting and ending with an alphanumeric character.
+
+      host          = IP-literal / IPv4address / reg-name
+
+      IP-literal    = "[" ( IPv6address / IPvFuture  ) "]"
+
+      IPvFuture     = "v" 1*HEXDIG "." 1*( unreserved / sub-delims / ":" )
+
+      IPv6address   = 6( h16 ":" ) ls32
+                    / "::" 5( h16 ":" ) ls32
+                    / [ h16 ] "::" 4( h16 ":" ) ls32
+
+      h16           = 1*4HEXDIG
+      ls32          = ( h16 ":" h16 ) / IPv4address
+
+      IPv4address   = dec-octet "." dec-octet "." dec-octet "." dec-octet
+
+      dec-octet     = DIGIT                 ; 0-9
+                    / %x31-39 DIGIT         ; 10-99
+                    / "1" 2DIGIT            ; 100-199
+                    / "2" %x30-34 DIGIT     ; 200-249
+                    / "25" %x30-35          ; 250-255
+
+      reg-name      = *( unreserved / pct-encoded / sub-delims )
+
+3.2.3.  Port
+
+   The port subcomponent of authority is designated by an optional port
+   number in decimal following the host and delimited from it by a
+   single colon (":") character.
+
+      port          = *DIGIT
+
+   A scheme may define a default port.  URI producers and normalizers
+   SHOULD omit the port component and its ":" delimiter if port is
+   empty or if its value would be the same as that of the scheme's
+   default.
+
+Berners-Lee, et al.         Standards Track                    [Page 22]
+
+RFC 3986                   URI Generic Syntax               January 2005
+
+3.3.  Path
+
+   The path component contains data, usually organized in hierarchical
+   form, that, along with data in the non-hierarchical query component,
+   serves to identify a resource within the scope of the URI's scheme
+   and naming authority.
+
+      path-abempty  = *( "/" segment )
+      path-absolute = "/" [ segment-nz *( "/" segment ) ]
+      path-rootless = segment-nz *( "/" segment )
+      path-empty    = ""
+
+      segment       = *pchar
+      segment-nz    = 1*pchar
+
+      pchar         = unreserved / pct-encoded / sub-delims / ":" / "@"
+
+3.4.  Query
+
+   The query component contains non-hierarchical data that, along with
+   data in the path component, serves to identify a resource.
+
+      query         = *( pchar / "/" / "?" )
+
+4.3.  Absolute URI
+
+   Some protocol elements allow only the absolute form of a URI without
+   a fragment identifier.  For example, defining a base URI for later
+   use by relative references calls for an absolute-URI syntax rule
+   that does not allow a fragment.
+
+      absolute-URI  = scheme ":" hier-part [ "?" query ]
+
+2.1.  Percent-Encoding
+
+   A percent-encoding mechanism is used to represent a data octet in a
+   component when that octet's corresponding character is outside the
+   allowed set or is being used as a delimiter of, or within, the
+   component.
+
+      pct-encoded   = "%" HEXDIG HEXDIG
+
+2.2.  Reserved Characters
+
+   URIs include components and subcomponents that are delimited by
+   characters in the "reserved" set.  These characters are called
+   "reserved" because they may (or may not) be defined as delimiters by
+   the generic syntax.  URI producing applications SHOULD percent-
+   encode data octets that correspond to characters in the reserved set
+   unless these characters are specifically allowed by the URI scheme.
+
+      reserved      = gen-delims / sub-delims
+
+      gen-delims    = ":" / "/" / "?" / "#" / "[" / "]" / "@"
+
+      sub-delims    = "!" / "$" / "&" / "'" / "(" / ")"
+                    / "*" / "+" / "," / ";" / "="
+
+2.3.  Unreserved Characters
+
+   Characters that are allowed in a URI but do not have a reserved
+   purpose are called unreserved.  These include uppercase and
+   lowercase letters, decimal digits, hyphen, period, underscore, and
+   tilde.
+
+      unreserved    = ALPHA / DIGIT / "-" / "." / "_" / "~"
+
+Berners-Lee, et al.         Standards Track                    [Page 23]
+)RFC";
+}
+
+}  // namespace hdiff::corpus

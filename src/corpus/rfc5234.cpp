@@ -1,0 +1,89 @@
+// RFC 5234 (ABNF) excerpt: the core rules every other grammar references.
+#include "corpus/documents.h"
+
+namespace hdiff::corpus {
+
+std::string_view rfc5234_text() {
+  return R"RFC(
+RFC 5234                          ABNF                      January 2008
+
+1.  Introduction
+
+   Internet technical specifications often need to define a formal
+   syntax and are free to employ whatever notation their authors deem
+   useful.  Over the years, a modified version of Backus-Naur Form
+   (BNF), called Augmented BNF (ABNF), has been popular among many
+   Internet specifications.  It balances compactness and simplicity
+   with reasonable representational power.
+
+2.  Rule Definition
+
+   Rules are named with the name of a rule being simply the name
+   itself, that is, a sequence of characters, beginning with an
+   alphabetic character, and followed by a combination of alphabetics,
+   digits, and hyphens.  Rule names are case insensitive.  A rule
+   definition is terminated by the end of line or by a comment.
+
+   The operator "=/" is used for incremental alternatives, so that a
+   rule may be defined in fragments.  A specification MUST NOT define a
+   rule both with "=" and "=/" forms that conflict with each other.
+
+   Angle brackets are used for a prose description when a formal
+   grammar cannot express the requirement.  An implementation ought to
+   treat prose values as opaque and consult the referenced document.
+
+B.1.  Core Rules
+
+   Certain basic rules are in uppercase, such as SP, HTAB, CRLF, DIGIT,
+   and ALPHA.
+
+         ALPHA          =  %x41-5A / %x61-7A   ; A-Z / a-z
+
+         BIT            =  "0" / "1"
+
+         CHAR           =  %x01-7F
+                                ; any 7-bit US-ASCII character,
+                                ;  excluding NUL
+
+         CR             =  %x0D
+                                ; carriage return
+
+         CRLF           =  CR LF
+                                ; Internet standard newline
+
+         CTL            =  %x00-1F / %x7F
+                                ; controls
+
+         DIGIT          =  %x30-39
+                                ; 0-9
+
+         DQUOTE         =  %x22
+                                ; " (Double Quote)
+
+         HEXDIG         =  DIGIT / "A" / "B" / "C" / "D" / "E" / "F"
+
+         HTAB           =  %x09
+                                ; horizontal tab
+
+         LF             =  %x0A
+                                ; linefeed
+
+         LWSP           =  *(WSP / CRLF WSP)
+                                ; linear-white-space
+
+         OCTET          =  %x00-FF
+                                ; 8 bits of data
+
+         SP             =  %x20
+
+         VCHAR          =  %x21-7E
+                                ; visible (printing) characters
+
+         WSP            =  SP / HTAB
+                                ; white space
+
+Crocker & Overell           Standards Track                     [Page 13]
+)RFC";
+}
+
+}  // namespace hdiff::corpus

@@ -1,0 +1,699 @@
+// RFC 7230 (HTTP/1.1 Message Syntax and Routing) excerpt: the core message
+// grammar and the routing/framing requirements that drive HRS and HoT
+// test-case generation.
+#include "corpus/documents.h"
+
+namespace hdiff::corpus {
+
+std::string_view rfc7230_text() {
+  return R"RFC(
+RFC 7230           HTTP/1.1 Message Syntax and Routing         June 2014
+
+2.5.  Conformance and Error Handling
+
+   This specification targets conformance criteria according to the
+   role of a participant in HTTP communication.  Hence, HTTP
+   requirements are placed on senders, recipients, clients, servers,
+   user agents, intermediaries, origin servers, proxies, gateways, or
+   caches, depending on what behavior is being constrained by the
+   requirement.
+
+   Conformance includes both the syntax and semantics of protocol
+   elements.  A sender MUST NOT generate protocol elements that convey a
+   meaning that is known by that sender to be false.  A sender MUST NOT
+   generate protocol elements that do not match the grammar defined by
+   the corresponding ABNF rules.
+
+   Unless noted otherwise, a recipient MAY attempt to recover a usable
+   protocol element from an invalid construct.  HTTP does not define
+   specific error handling mechanisms except when they have a direct
+   impact on security, since different applications of the protocol
+   require different error handling strategies.
+
+2.6.  Protocol Versioning
+
+   HTTP uses a "<major>.<minor>" numbering scheme to indicate versions
+   of the protocol.  The HTTP version number consists of two decimal
+   digits separated by a "." (period or decimal point).
+
+     HTTP-version  = HTTP-name "/" DIGIT "." DIGIT
+     HTTP-name     = %x48.54.54.50 ; "HTTP", case-sensitive
+
+   A server SHOULD send a response version equal to the highest version
+   to which the server is conformant that has a major version less than
+   or equal to the one received in the request.  A server MUST NOT send
+   a version to which it is not conformant.  A server can send a 505
+   (HTTP Version Not Supported) response if it wishes, for any reason,
+   to refuse service of the client's major protocol version.
+
+   The intermediary MUST send its own HTTP-version in forwarded
+   messages, since intermediaries that blindly forward the received
+   version can mislead the recipient about the capabilities of the
+   sender.
+
+2.7.  Uniform Resource Identifiers
+
+   Uniform Resource Identifiers (URIs) are used throughout HTTP as the
+   means for identifying resources.  URI references are used to target
+   requests, indicate redirects, and define relationships.
+
+     absolute-URI  = <absolute-URI, see [RFC3986], Section 4.3>
+     relative-part = <relative-part, see [RFC3986], Section 4.2>
+     authority     = <authority, see [RFC3986], Section 3.2>
+     fragment      = <fragment, see [RFC3986], Section 3.5>
+     path-abempty  = <path-abempty, see [RFC3986], Section 3.3>
+     segment       = <segment, see [RFC3986], Section 3.3>
+     query         = <query, see [RFC3986], Section 3.4>
+
+2.7.1.  http URI Scheme
+
+   The "http" URI scheme is hereby defined for the purpose of minting
+   identifiers according to their association with the hierarchical
+   namespace governed by a potential HTTP origin server listening for
+   TCP connections on a given port.
+
+     http-URI = "http:" "//" authority path-abempty [ "?" query ]
+                [ "#" fragment ]
+
+   A sender MUST NOT generate an "http" URI with an empty host
+   identifier.  A recipient that processes such a URI reference MUST
+   reject it as invalid.
+
+3.  Message Format
+
+   All HTTP/1.1 messages consist of a start-line followed by a sequence
+   of octets in a format similar to the Internet Message Format:
+   zero or more header fields (collectively referred to as the
+   "headers" or the "header section"), an empty line indicating the end
+   of the header section, and an optional message body.
+
+     HTTP-message   = start-line
+                      *( header-field CRLF )
+                      CRLF
+                      [ message-body ]
+
+   The normal procedure for parsing an HTTP message is to read the
+   start-line into a structure, read each header field into a hash
+   table by field name until the empty line, and then use the parsed
+   data to determine if a message body is expected.
+
+   A sender MUST NOT send whitespace between the start-line and the
+   first header field.  A recipient that receives whitespace between
+   the start-line and the first header field MUST either reject the
+   message as invalid or consume each whitespace-preceded line without
+   further processing of it.
+
+     start-line     = request-line / status-line
+
+Fielding & Reschke           Standards Track                   [Page 21]
+
+RFC 7230           HTTP/1.1 Message Syntax and Routing         June 2014
+
+3.1.1.  Request Line
+
+   A request-line begins with a method token, followed by a single
+   space (SP), the request-target, another single space (SP), the
+   protocol version, and ends with CRLF.
+
+     request-line   = method SP request-target SP HTTP-version CRLF
+
+     method         = token
+
+   Although the request-line grammar rule requires that each of the
+   component elements be separated by a single SP octet, recipients MAY
+   instead parse on whitespace-delimited word boundaries and, aside
+   from the CRLF terminator, treat any form of whitespace as the SP
+   separator while ignoring preceding or trailing whitespace.  Such
+   whitespace includes one or more of the following octets: SP, HTAB,
+   VT, FF, or bare CR.  However, lenient parsing can result in security
+   vulnerabilities if other implementations within the request chain
+   interpret the same message differently.
+
+   HTTP does not place a predefined limit on the length of a
+   request-line.  A server that receives a method longer than any that
+   it implements SHOULD respond with a 501 (Not Implemented) status
+   code.  A server that receives a request-target longer than any URI
+   it wishes to parse MUST respond with a 414 (URI Too Long) status
+   code.
+
+3.1.2.  Status Line
+
+   The first line of a response message is the status-line, consisting
+   of the protocol version, a space (SP), the status code, another
+   space, a possibly empty textual phrase describing the status code,
+   and ending with CRLF.
+
+     status-line    = HTTP-version SP status-code SP reason-phrase CRLF
+
+     status-code    = 3DIGIT
+
+     reason-phrase  = *( HTAB / SP / VCHAR / obs-text )
+
+3.2.  Header Fields
+
+   Each header field consists of a case-insensitive field name followed
+   by a colon (":"), optional leading whitespace, the field value, and
+   optional trailing whitespace.
+
+     header-field   = field-name ":" OWS field-value OWS
+
+     field-name     = token
+
+     field-value    = *( field-content / obs-fold )
+
+     field-content  = field-vchar [ 1*( SP / HTAB ) field-vchar ]
+
+     field-vchar    = VCHAR / obs-text
+
+     obs-fold       = CRLF 1*( SP / HTAB )
+                    ; obsolete line folding
+
+     obs-text       = %x80-FF
+
+   The field-name token labels the corresponding field-value as having
+   the semantics defined by that header field.
+
+3.2.3.  Whitespace
+
+   This specification uses three rules to denote the use of linear
+   whitespace: OWS (optional whitespace), RWS (required whitespace), and
+   BWS ("bad" whitespace).
+
+     OWS            = *( SP / HTAB )
+                    ; optional whitespace
+     RWS            = 1*( SP / HTAB )
+                    ; required whitespace
+     BWS            = OWS
+                    ; "bad" whitespace
+
+3.2.6.  Field Value Components
+
+   Most HTTP header field values are defined using common syntax
+   components (token, quoted-string, and comment) separated by
+   whitespace or specific delimiting characters.  Delimiters are chosen
+   from the set of US-ASCII visual characters not allowed in a token.
+
+     token          = 1*tchar
+
+     tchar          = "!" / "#" / "$" / "%" / "&" / "'" / "*"
+                    / "+" / "-" / "." / "^" / "_" / "`" / "|" / "~"
+                    / DIGIT / ALPHA
+                    ; any VCHAR, except delimiters
+
+     quoted-string  = DQUOTE *( qdtext / quoted-pair ) DQUOTE
+     qdtext         = HTAB / SP / %x21 / %x23-5B / %x5D-7E / obs-text
+
+     quoted-pair    = "\" ( HTAB / SP / VCHAR / obs-text )
+
+   A sender SHOULD NOT generate a quoted-pair in a quoted-string except
+   where necessary to quote DQUOTE and backslash octets occurring
+   within that string.
+
+   No whitespace is allowed between the header field-name and colon.
+   In the past, differences in the handling of such whitespace have led
+   to security vulnerabilities in request routing and response
+   handling.  A server MUST reject any received request message that
+   contains whitespace between a header field-name and colon with a
+   response code of 400 (Bad Request).  A proxy MUST remove any such
+   whitespace from a response message before forwarding the message
+   downstream.
+
+   A field value might be preceded and/or followed by optional
+   whitespace (OWS); a single SP preceding the field-value is preferred
+   for consistent readability by humans.  The field value does not
+   include any leading or trailing whitespace: OWS occurring before the
+   first non-whitespace octet of the field value or after the last
+   non-whitespace octet of the field value ought to be excluded by
+   parsers when extracting the field value from a header field.
+
+Fielding & Reschke           Standards Track                   [Page 23]
+
+RFC 7230           HTTP/1.1 Message Syntax and Routing         June 2014
+
+   Historically, HTTP header field values could be extended over
+   multiple lines by preceding each extra line with at least one space
+   or horizontal tab (obs-fold).  This specification deprecates such
+   line folding except within the message/http media type.  A sender
+   MUST NOT generate a message that includes line folding (i.e., that
+   has any field-value that contains a match to the obs-fold rule)
+   unless the message is intended for packaging within the message/http
+   media type.
+
+   A server that receives an obs-fold in a request message that is not
+   within a message/http container MUST either reject the message by
+   sending a 400 (Bad Request), preferably with a representation
+   explaining that obsolete line folding is unacceptable, or replace
+   each received obs-fold with one or more SP octets prior to
+   interpreting the field value or forwarding the message downstream.
+
+   A proxy or gateway that receives an obs-fold in a response message
+   that is not within a message/http container MUST either discard the
+   message and replace it with a 502 (Bad Gateway) response, or replace
+   each received obs-fold with one or more SP octets prior to
+   interpreting the field value or forwarding the message downstream.
+
+   A sender MUST NOT generate multiple header fields with the same
+   field name in a message unless either the entire field value for
+   that header field is defined as a comma-separated list or the header
+   field is a well-known exception.
+
+   A recipient MAY combine multiple header fields with the same field
+   name into one "field-name: field-value" pair, without changing the
+   semantics of the message, by appending each subsequent field value
+   to the combined field value in order, separated by a comma.
+
+   Order is important for message framing: a proxy MUST NOT change the
+   order of these field values when forwarding a message.
+
+3.2.4.  Field Parsing
+
+   Messages are parsed using a generic algorithm, independent of the
+   individual header field names.  The contents within a given field
+   value are not parsed until a later stage of message interpretation.
+
+   A server MUST reject any received request message that contains
+   whitespace between a header field-name and colon with a response
+   code of 400 (Bad Request).
+
+3.3.  Message Body
+
+   The message body (if any) of an HTTP message is used to carry the
+   payload body of that request or response.  The message body is
+   identical to the payload body unless a transfer coding has been
+   applied.
+
+     message-body = *OCTET
+
+   The presence of a message body in a request is signaled by a
+   Content-Length or Transfer-Encoding header field.  Request message
+   framing is independent of method semantics, even if the method does
+   not define any use for a message body.
+
+3.3.1.  Transfer-Encoding
+
+   The Transfer-Encoding header field lists the transfer coding names
+   corresponding to the sequence of transfer codings that have been
+   (or will be) applied to the payload body in order to form the
+   message body.
+
+     Transfer-Encoding = 1#transfer-coding
+
+   Transfer-Encoding was added in HTTP/1.1.  It is generally assumed
+   that implementations advertising only HTTP/1.0 support will not
+   understand how to process a transfer-encoded payload.  A client MUST
+   NOT send a request containing Transfer-Encoding unless it knows the
+   server will handle HTTP/1.1 (or later) requests; such knowledge
+   might be in the form of specific user configuration or by
+   remembering the version of a prior received response.
+
+   A server that receives a request message with a transfer coding it
+   does not understand SHOULD respond with 501 (Not Implemented).
+
+Fielding & Reschke           Standards Track                   [Page 28]
+
+RFC 7230           HTTP/1.1 Message Syntax and Routing         June 2014
+
+3.3.2.  Content-Length
+
+   When a message does not have a Transfer-Encoding header field, a
+   Content-Length header field can provide the anticipated size, as a
+   decimal number of octets, for a potential payload body.
+
+     Content-Length = 1*DIGIT
+
+   A sender MUST NOT send a Content-Length header field in any message
+   that contains a Transfer-Encoding header field.
+
+   A user agent SHOULD send a Content-Length in a request message when
+   no Transfer-Encoding is sent and the request method defines a
+   meaning for an enclosed payload body.
+
+   A server MAY reject a request that contains a message body but not a
+   Content-Length by responding with 411 (Length Required).
+
+   Any Content-Length field value greater than or equal to zero is
+   valid.  Since there is no predefined limit to the length of a
+   payload, a recipient MUST anticipate potentially large decimal
+   numerals and prevent parsing errors due to integer conversion
+   overflows.
+
+   If a message is received that has multiple Content-Length header
+   fields with field-values consisting of the same decimal value, or a
+   single Content-Length header field with a field value containing a
+   list of identical decimal values (e.g., "Content-Length: 42, 42"),
+   indicating that duplicate Content-Length header fields have been
+   generated or combined by an upstream message processor, then the
+   recipient MUST either reject the message as invalid or replace the
+   duplicated field-values with a single valid Content-Length field
+   containing that decimal value prior to determining the message body
+   length or forwarding the message.
+
+3.3.3.  Message Body Length
+
+   The length of a message body is determined as follows:
+
+   If a Transfer-Encoding header field is present and the chunked
+   transfer coding is the final encoding, the message body length is
+   determined by reading and decoding the chunked data until the
+   transfer coding indicates the data is complete.
+
+   If a Transfer-Encoding header field is present in a request and the
+   chunked transfer coding is not the final encoding, the message body
+   length cannot be determined reliably; the server MUST respond with
+   the 400 (Bad Request) status code and then close the connection.
+
+   If a message is received with both a Transfer-Encoding and a
+   Content-Length header field, the Transfer-Encoding overrides the
+   Content-Length.  Such a message might indicate an attempt to
+   perform request smuggling or response splitting and ought to be
+   handled as an error.  A sender MUST remove the received Content-
+   Length field prior to forwarding such a message downstream.
+
+   If a message is received without Transfer-Encoding and with either
+   multiple Content-Length header fields having differing field-values
+   or a single Content-Length header field having an invalid value,
+   then the message framing is invalid and the recipient MUST treat it
+   as an unrecoverable error.  If it is a request message, the server
+   MUST respond with a 400 (Bad Request) status code and then close the
+   connection.
+
+   If a valid Content-Length header field is present without
+   Transfer-Encoding, its decimal value defines the expected message
+   body length in octets.  If the sender closes the connection or the
+   recipient times out before the indicated number of octets are
+   received, the recipient MUST consider the message to be incomplete
+   and close the connection.
+
+   If this is a request message and none of the above are true, then
+   the message body length is zero (no message body is present).
+
+Fielding & Reschke           Standards Track                   [Page 32]
+
+RFC 7230           HTTP/1.1 Message Syntax and Routing         June 2014
+
+4.  Transfer Codings
+
+   Transfer coding names are used to indicate an encoding
+   transformation that has been, can be, or might need to be applied to
+   a payload body in order to ensure safe transport through the
+   network.
+
+     transfer-coding    = "chunked"
+                        / "compress"
+                        / "deflate"
+                        / "gzip"
+                        / transfer-extension
+
+     transfer-extension = token *( OWS ";" OWS transfer-parameter )
+
+     transfer-parameter = token BWS "=" BWS ( token / quoted-string )
+
+4.1.  Chunked Transfer Coding
+
+   The chunked transfer coding wraps the payload body in order to
+   transfer it as a series of chunks, each with its own size indicator,
+   followed by an OPTIONAL trailer containing header fields.  Chunked
+   enables content streams of unknown size to be transferred as a
+   sequence of length-delimited buffers.
+
+     chunked-body   = *chunk
+                      last-chunk
+                      trailer-part
+                      CRLF
+
+     chunk          = chunk-size [ chunk-ext ] CRLF
+                      chunk-data CRLF
+     chunk-size     = 1*HEXDIG
+     last-chunk     = 1*("0") [ chunk-ext ] CRLF
+
+     chunk-data     = 1*OCTET ; a sequence of chunk-size octets
+
+     chunk-ext      = *( ";" chunk-ext-name [ "=" chunk-ext-val ] )
+
+     chunk-ext-name = token
+     chunk-ext-val  = token / quoted-string
+
+     trailer-part   = *( header-field CRLF )
+
+   The chunk-size field is a string of hex digits indicating the size
+   of the chunk-data in octets.  A recipient MUST be able to parse and
+   decode the chunked transfer coding.
+
+   A recipient MUST ignore unrecognized chunk extensions.  A server
+   ought to limit the total length of chunk extensions received in a
+   request to an amount reasonable for the services provided.
+
+   A sender MUST NOT apply chunked more than once to a message body
+   (i.e., chunking an already chunked message is not allowed).  If any
+   transfer coding other than chunked is applied to a request payload
+   body, the sender MUST apply chunked as the final transfer coding to
+   ensure that the message is properly framed.
+
+   In the past, HTTP has incorrectly allowed the identity coding as a
+   value of Transfer-Encoding.  The identity value is obsolete and a
+   recipient that encounters it in a Transfer-Encoding header field
+   ought to treat the message as invalid.
+
+Fielding & Reschke           Standards Track                   [Page 36]
+
+RFC 7230           HTTP/1.1 Message Syntax and Routing         June 2014
+
+4.2.  Compression Codings
+
+   The codings defined below can be used to compress the payload of a
+   message.
+
+     compress-coding = "compress"
+     deflate-coding  = "deflate"
+     gzip-coding     = "gzip"
+
+   A recipient SHOULD consider "x-compress" and "x-gzip" to be
+   equivalent to "compress" and "gzip", respectively.
+
+4.3.  TE
+
+   The "TE" header field in a request indicates what transfer codings,
+   besides chunked, the client is willing to accept in response, and
+   whether or not the client is willing to accept trailer fields in a
+   chunked transfer coding.
+
+     TE        = #t-codings
+     t-codings = "trailers" / ( transfer-coding [ t-ranking ] )
+     t-ranking = OWS ";" OWS "q=" rank
+     rank      = ( "0" [ "." 0*3DIGIT ] ) / ( "1" [ "." 0*3("0") ] )
+
+   A sender of TE MUST also send a "TE" connection option within the
+   Connection header field to inform intermediaries not to forward this
+   field.
+
+5.3.  Request Target
+
+   Once an inbound connection is obtained, the client sends an HTTP
+   request message with a request-target derived from the target URI.
+
+     request-target = origin-form
+                    / absolute-form
+                    / authority-form
+                    / asterisk-form
+
+     origin-form    = absolute-path [ "?" query ]
+
+     absolute-form  = absolute-URI
+
+     authority-form = authority
+
+     asterisk-form  = "*"
+
+     absolute-path  = 1*( "/" segment )
+
+   The most common form of request-target is the origin-form.  When
+   making a request directly to an origin server, other than a CONNECT
+   or server-wide OPTIONS request, a client MUST send only the absolute
+   path and query components of the target URI as the request-target.
+
+   When making a request to a proxy, other than a CONNECT or server-
+   wide OPTIONS request, a client MUST send the target URI in
+   absolute-form as the request-target.  An example absolute-form of
+   request-line would be:
+
+   GET http://www.example.org/pub/WWW/TheProject.html HTTP/1.1
+
+   To allow for transition to the absolute-form for all requests in
+   some future version of HTTP, a server MUST accept the absolute-form
+   in requests, even though HTTP/1.1 clients will only send them in
+   requests to proxies.
+
+5.4.  Host
+
+   The "Host" header field in a request provides the host and port
+   information from the target URI, enabling the origin server to
+   distinguish among resources while servicing requests for a single
+   IP address.
+
+     Host = uri-host [ ":" port ] ; Section 2.7.1
+
+     uri-host = <host, see [RFC3986], Section 3.2.2>
+
+     port = <port, see [RFC3986], Section 3.2.3>
+
+   A client MUST send a Host header field in all HTTP/1.1 request
+   messages.  If the target URI includes an authority component, then a
+   client MUST send a field-value for Host that is identical to that
+   authority component, excluding any userinfo subcomponent and its "@"
+   delimiter.  If the authority component is missing or undefined for
+   the target URI, then a client MUST send a Host header field with an
+   empty field-value.
+
+   A client MUST send a Host header field in an HTTP/1.1 request even
+   if the request-target is in the absolute-form, since this allows the
+   Host information to be forwarded through ancient HTTP/1.0 proxies
+   that might not have implemented Host.
+
+   When a proxy receives a request with an absolute-form of
+   request-target, the proxy MUST ignore the received Host header field
+   (if any) and instead replace it with the host information of the
+   request-target.  A proxy that forwards such a request MUST generate
+   a new Host field-value based on the received request-target rather
+   than forward the received Host field-value.
+
+   When an origin server receives a request with an absolute-form of
+   request-target, the origin server MUST ignore the received Host
+   header field (if any) and instead use the host information of the
+   request-target.  Note that this is the only case in which a user
+   agent is allowed to send a request with a userinfo subcomponent.
+
+   A server MUST respond with a 400 (Bad Request) status code to any
+   HTTP/1.1 request message that lacks a Host header field and to any
+   request message that contains more than one Host header field or a
+   Host header field with an invalid field-value.
+
+Fielding & Reschke           Standards Track                   [Page 44]
+
+RFC 7230           HTTP/1.1 Message Syntax and Routing         June 2014
+
+5.7.1.  Via
+
+   The "Via" header field indicates the presence of intermediate
+   protocols and recipients between the user agent and the server (on
+   requests) or between the origin server and the client (on
+   responses), similar to the "Received" header field in email.
+
+     Via = 1#( received-protocol RWS received-by [ RWS comment ] )
+
+     received-protocol = [ protocol-name "/" ] protocol-version
+
+     received-by = ( uri-host [ ":" port ] ) / pseudonym
+
+     pseudonym   = token
+
+     protocol-name = token
+
+     protocol-version = token
+
+   An intermediary MUST NOT forward a message to itself unless it is
+   protected from an infinite request loop.
+
+6.1.  Connection
+
+   The "Connection" header field allows the sender to indicate desired
+   control options for the current connection.  In order to avoid
+   confusing downstream recipients, a proxy or gateway MUST remove or
+   replace any received connection options before forwarding the
+   message.
+
+     Connection        = 1#connection-option
+
+     connection-option = token
+
+   When a header field aside from Connection is used to supply control
+   information for or about the current connection, the sender MUST
+   list the corresponding field-name within the Connection header
+   field.  A proxy or gateway MUST parse a received Connection header
+   field before a message is forwarded and, for each connection-option
+   in this field, remove any header field or fields from the message
+   with the same name as the connection-option, and then remove the
+   Connection header field itself (or replace it with the
+   intermediary's own connection options for the forwarded message).
+
+   Intermediaries SHOULD NOT echo hop-by-hop header fields toward the
+   origin, because a sender of such fields can use them to remove
+   headers that were intended for the recipient.  The Connection header
+   field should not be abused to remove end-to-end header fields such
+   as Host or Cookie from the forwarded message.
+
+   A proxy or gateway MUST NOT forward hop-by-hop header fields such as
+   Connection, Keep-Alive, Proxy-Connection, Transfer-Encoding, and
+   Upgrade.
+
+   A sender MUST NOT send a Connection header field that contains the
+   field name Host, since Host is required for request routing and its
+   removal would leave the recipient unable to identify the target
+   resource.
+
+6.3.  Persistence
+
+   HTTP/1.1 defaults to the use of persistent connections, allowing
+   multiple requests and responses to be carried over a single
+   connection.  A recipient determines whether a connection is
+   persistent or not based on the most recently received message's
+   protocol version and Connection header field (if any).
+
+   A server that does not support persistent connections MUST send the
+   "close" connection option in every response message that does not
+   have a 1xx (Informational) status code.
+
+   A client that pipelines requests SHOULD retry unanswered requests if
+   the connection closes before it receives the final response.  A user
+   agent MUST NOT pipeline requests after a non-idempotent method until
+   the final response status code for that method has been received,
+   unless the user agent has a means to detect and recover from partial
+   failure conditions involving the pipelined sequence.
+
+6.7.  Upgrade
+
+   The "Upgrade" header field is intended to provide a simple mechanism
+   for transitioning from HTTP/1.1 to some other protocol on the same
+   connection.
+
+     Upgrade          = 1#protocol
+
+     protocol         = protocol-name [ "/" protocol-version ]
+
+   A server that sends a 101 (Switching Protocols) response MUST send
+   an Upgrade header field to indicate the new protocol(s) to which the
+   connection is being switched; if multiple protocol layers are being
+   switched, the sender MUST list the protocols in layer-ascending
+   order.
+
+   A server MUST ignore an Upgrade header field that is received in an
+   HTTP/1.0 request.  A client cannot begin using an upgraded protocol
+   on the connection until it has completely sent the request message.
+
+   A sender of Upgrade MUST also send an "Upgrade" connection option in
+   the Connection header field to inform intermediaries not to forward
+   this field.
+
+9.  Security Considerations
+
+   This section is meant to inform developers, information providers,
+   and users of known security concerns relevant to HTTP message syntax
+   and routing.
+
+9.4.  Message Integrity
+
+   The design of HTTP/1.1 message framing does not include a means of
+   detecting accidental or malicious modification.  A vulnerability to
+   request smuggling arises when a message can be parsed with different
+   framing by different recipients.  If an intermediary and an origin
+   server disagree about the boundary between one message and the
+   next, an attacker can cause part of one request to be interpreted
+   as the start of another request.  Implementations that accept
+   ambiguous framing, such as conflicting Content-Length and
+   Transfer-Encoding header fields, expose every other participant on
+   the connection to this attack.
+
+Fielding & Reschke           Standards Track                   [Page 66]
+)RFC";
+}
+
+}  // namespace hdiff::corpus

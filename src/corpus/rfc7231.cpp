@@ -1,0 +1,220 @@
+// RFC 7231 (HTTP/1.1 Semantics and Content) excerpt: method semantics,
+// the Expect mechanism, and response-code requirements exercised by the
+// CPDoS and fat-GET experiments.
+#include "corpus/documents.h"
+
+namespace hdiff::corpus {
+
+std::string_view rfc7231_text() {
+  return R"RFC(
+RFC 7231             HTTP/1.1 Semantics and Content            June 2014
+
+4.  Request Methods
+
+   The request method token is the primary source of request semantics;
+   it indicates the purpose for which the client has made this request
+   and what is expected by the client as a successful result.
+
+     method = token
+
+   The method token is case-sensitive because it might be used as a
+   gateway to object-based systems with case-sensitive method names.
+   By convention, standardized methods are defined in all-uppercase
+   US-ASCII letters.
+
+   When a request method is received that is unrecognized or not
+   implemented by an origin server, the origin server SHOULD respond
+   with the 501 (Not Implemented) status code.  When a request method
+   is received that is known by an origin server but not allowed for
+   the target resource, the origin server SHOULD respond with the 405
+   (Method Not Allowed) status code.
+
+4.3.1.  GET
+
+   The GET method requests transfer of a current selected
+   representation for the target resource.  GET is the primary
+   mechanism of information retrieval and the focus of almost all
+   performance optimizations.
+
+   A payload within a GET request message has no defined semantics;
+   sending a payload body on a GET request might cause some existing
+   implementations to reject the request.
+
+4.3.2.  HEAD
+
+   The HEAD method is identical to GET except that the server MUST NOT
+   send a message body in the response (i.e., the response terminates
+   at the end of the header section).
+
+   A payload within a HEAD request message has no defined semantics;
+   sending a payload body on a HEAD request might cause some existing
+   implementations to reject the request.
+
+4.3.6.  CONNECT
+
+   The CONNECT method requests that the recipient establish a tunnel to
+   the destination origin server identified by the request-target and,
+   if successful, thereafter restrict its behavior to blind forwarding
+   of packets, in both directions, until the tunnel is closed.
+
+   A payload within a CONNECT request message has no defined semantics;
+   sending a payload body on a CONNECT request might cause some
+   existing implementations to reject the request.
+
+   A client MUST send the authority form of request-target with a
+   CONNECT request.
+
+Fielding & Reschke           Standards Track                   [Page 30]
+
+RFC 7231             HTTP/1.1 Semantics and Content            June 2014
+
+5.1.1.  Expect
+
+   The "Expect" header field in a request indicates a certain set of
+   behaviors (expectations) that need to be supported by the server in
+   order to properly handle this request.  The only such expectation
+   defined by this specification is 100-continue.
+
+     Expect = "100-continue"
+
+   The Expect field-value is case-insensitive.
+
+   A server that receives an Expect field-value other than 100-continue
+   MAY respond with a 417 (Expectation Failed) status code to indicate
+   that the unexpected expectation cannot be met.
+
+   A client MUST NOT generate a 100-continue expectation in a request
+   that does not include a message body.
+
+   A server that receives a 100-continue expectation in an HTTP/1.0
+   request MUST ignore that expectation.
+
+   A server MUST NOT send a 100 (Continue) response if the request
+   message does not include an Expect header field with the
+   100-continue expectation.  A server that responds with a final
+   status code before reading the entire message body SHOULD indicate
+   in that response whether it intends to close the connection or
+   continue reading and discarding the request message.
+
+   A proxy MUST forward a received Expect header field if the request
+   was received with an HTTP/1.1 (or later) version and contains a
+   100-continue expectation.  A proxy MUST NOT forward a 100-continue
+   expectation if the request was received from an HTTP/1.0 (or
+   earlier) client.
+
+5.1.2.  Max-Forwards
+
+   The "Max-Forwards" header field provides a mechanism with the TRACE
+   and OPTIONS request methods to limit the number of times that the
+   request is forwarded by proxies.
+
+     Max-Forwards = 1*DIGIT
+
+   Each recipient of a TRACE or OPTIONS request containing a
+   Max-Forwards header field MUST check and update its value prior to
+   forwarding the request.  If the received value is zero (0), the
+   recipient MUST NOT forward the request; instead, the recipient MUST
+   respond as the final recipient.
+
+4.3.7.  OPTIONS
+
+   The OPTIONS method requests information about the communication
+   options available for the target resource, at either the origin
+   server or an intervening intermediary.
+
+   A client that generates an OPTIONS request containing a payload body
+   MUST send a valid Content-Type header field describing the
+   representation media type.
+
+   A server generating a successful response to OPTIONS SHOULD send any
+   header fields that might indicate optional features implemented by
+   the server and applicable to the target resource, such as Allow.
+
+4.3.8.  TRACE
+
+   The TRACE method requests a remote, application-level loop-back of
+   the request message.  The final recipient of the request SHOULD
+   reflect the message received, excluding some fields described below,
+   back to the client as the message body of a 200 (OK) response.
+
+   A client MUST NOT generate header fields in a TRACE request
+   containing sensitive data that might be disclosed by the response.
+   A client MUST NOT send a message body in a TRACE request.
+
+7.4.1.  Allow
+
+   The "Allow" header field lists the set of methods advertised as
+   supported by the target resource.  The purpose of this field is
+   strictly to inform the recipient of valid request methods associated
+   with the resource.
+
+     Allow = #method
+
+   A server MUST generate an Allow field in a 405 (Method Not Allowed)
+   response and MAY do so in any other response.
+
+7.4.2.  Server
+
+   The "Server" header field contains information about the software
+   used by the origin server to handle the request.
+
+     Server = product *( RWS ( product / comment ) )
+
+     product         = token [ "/" product-version ]
+     product-version = token
+
+   An origin server MAY generate a Server field in its responses.  An
+   origin server SHOULD NOT generate a Server field containing
+   needlessly fine-grained detail, since it becomes more vulnerable to
+   attacks against software that is known to contain security holes.
+
+5.5.3.  User-Agent
+
+   The "User-Agent" header field contains information about the user
+   agent originating the request.
+
+     User-Agent = product *( RWS ( product / comment ) )
+
+   A user agent SHOULD send a User-Agent field in each request unless
+   specifically configured not to do so.
+
+6.4.4.  303 See Other
+
+   The 303 (See Other) status code indicates that the server is
+   redirecting the user agent to a different resource, as indicated by
+   a URI in the Location header field, which is intended to provide an
+   indirect response to the original request.
+
+   A 303 response to a GET request indicates that the origin server
+   does not have a representation of the target resource that can be
+   transferred over HTTP.
+
+6.5.1.  400 Bad Request
+
+   The 400 (Bad Request) status code indicates that the server cannot
+   or will not process the request due to something that is perceived
+   to be a client error (e.g., malformed request syntax, invalid
+   request message framing, or deceptive request routing).
+
+6.6.6.  505 HTTP Version Not Supported
+
+   The 505 (HTTP Version Not Supported) status code indicates that the
+   server does not support, or refuses to support, the major version of
+   HTTP that was used in the request message.  The server is indicating
+   that it is unable or unwilling to complete the request using the
+   same major version as the client other than with this error message.
+
+7.1.2.  Location
+
+   The "Location" header field is used in some responses to refer to a
+   specific resource in relation to the response.
+
+     Location = URI-reference
+
+     URI-reference = <URI-reference, see [RFC3986], Section 4.1>
+
+Fielding & Reschke           Standards Track                   [Page 68]
+)RFC";
+}
+
+}  // namespace hdiff::corpus

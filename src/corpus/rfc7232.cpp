@@ -1,0 +1,106 @@
+// RFC 7232 (Conditional Requests) excerpt.
+#include "corpus/documents.h"
+
+namespace hdiff::corpus {
+
+std::string_view rfc7232_text() {
+  return R"RFC(
+RFC 7232                  HTTP/1.1 Conditional Requests        June 2014
+
+2.2.  Last-Modified
+
+   The "Last-Modified" header field in a response provides a timestamp
+   indicating the date and time at which the origin server believes the
+   selected representation was last modified, as determined at the
+   conclusion of handling the request.
+
+     Last-Modified = HTTP-date
+
+     HTTP-date = <HTTP-date, see [RFC7231], Section 7.1.1.1>
+
+   An origin server SHOULD send Last-Modified for any selected
+   representation for which a last modification date can be reasonably
+   and consistently determined.
+
+2.3.  ETag
+
+   The "ETag" header field in a response provides the current entity-
+   tag for the selected representation, as determined at the conclusion
+   of handling the request.
+
+     ETag       = entity-tag
+
+     entity-tag = [ weak ] opaque-tag
+
+     weak       = %x57.2F ; "W/", case-sensitive
+
+     opaque-tag = DQUOTE *etagc DQUOTE
+
+     etagc      = %x21 / %x23-7E / obs-text
+                ; VCHAR except double quotes, plus obs-text
+
+   An entity-tag can be more reliable for validation than a
+   modification date in situations where it is inconvenient to store
+   modification dates or where the one-second resolution of HTTP date
+   values is insufficient.
+
+3.1.  If-Match
+
+   The "If-Match" header field makes the request method conditional on
+   the recipient origin server either having at least one current
+   representation of the target resource, when the field-value is "*",
+   or having a current representation of the target resource that has
+   an entity-tag matching a member of the list of entity-tags provided
+   in the field-value.
+
+     If-Match = "*" / 1#entity-tag
+
+   An origin server MUST NOT perform the requested method if a received
+   If-Match condition evaluates to false; instead, the origin server
+   MUST respond with either the 412 (Precondition Failed) status code
+   or one of the 2xx (Successful) status codes if the origin server has
+   verified that a state change is being requested and the final state
+   is already reflected in the current state of the target resource.
+
+3.2.  If-None-Match
+
+   The "If-None-Match" header field makes the request method
+   conditional on a recipient cache or origin server either not having
+   any current representation of the target resource, when the field-
+   value is "*", or having a selected representation with an entity-tag
+   that does not match any of those listed in the field-value.
+
+     If-None-Match = "*" / 1#entity-tag
+
+   An origin server MUST NOT perform the requested method if the
+   condition evaluates to false; instead, the origin server MUST
+   respond with either the 304 (Not Modified) status code if the
+   request method is GET or HEAD or the 412 (Precondition Failed)
+   status code for all other request methods.
+
+   A recipient MUST ignore If-Modified-Since if the request contains an
+   If-None-Match header field; the condition in If-None-Match is
+   considered to be a more accurate replacement for the condition in
+   If-Modified-Since, and the two are only combined for the sake of
+   interoperating with older intermediaries that might not implement
+   If-None-Match.
+
+4.1.  304 Not Modified
+
+   The 304 (Not Modified) status code indicates that a conditional GET
+   or HEAD request has been received and would have resulted in a 200
+   (OK) response if it were not for the fact that the condition
+   evaluated to false.
+
+   The server generating a 304 response MUST generate any of the
+   following header fields that would have been sent in a 200 (OK)
+   response to the same request: Cache-Control, Content-Location, Date,
+   ETag, Expires, and Vary.  A 304 response cannot contain a message
+   body; it is always terminated by the first empty line after the
+   header fields.
+
+Fielding & Reschke           Standards Track                   [Page 19]
+)RFC";
+}
+
+}  // namespace hdiff::corpus

@@ -1,0 +1,104 @@
+// RFC 7233 (Range Requests) excerpt.
+#include "corpus/documents.h"
+
+namespace hdiff::corpus {
+
+std::string_view rfc7233_text() {
+  return R"RFC(
+RFC 7233                 HTTP/1.1 Range Requests               June 2014
+
+2.1.  Byte Ranges
+
+   Since representation data is transferred in payloads as a sequence
+   of octets, a byte range is a meaningful substructure for any
+   representation transferable over HTTP.  The "bytes" range unit is
+   defined for expressing subranges of the data's octet sequence.
+
+     bytes-unit       = "bytes"
+
+     byte-ranges-specifier = bytes-unit "=" byte-range-set
+
+     byte-range-set  = 1#( byte-range-spec / suffix-byte-range-spec )
+
+     byte-range-spec = first-byte-pos "-" [ last-byte-pos ]
+
+     first-byte-pos  = 1*DIGIT
+
+     last-byte-pos   = 1*DIGIT
+
+   A byte-range-spec is invalid if the last-byte-pos value is present
+   and less than the first-byte-pos.  A recipient of an invalid
+   byte-range-spec MUST ignore it.
+
+     suffix-byte-range-spec = "-" suffix-length
+
+     suffix-length = 1*DIGIT
+
+3.1.  Range
+
+   The "Range" header field on a GET request modifies the method
+   semantics to request transfer of only one or more subranges of the
+   selected representation data, rather than the entire selected
+   representation data.
+
+     Range = byte-ranges-specifier / other-ranges-specifier
+
+     other-ranges-specifier = other-range-unit "=" other-range-set
+
+     other-range-set = 1*VCHAR
+
+     other-range-unit = token
+
+   A server MUST ignore a Range header field received with a request
+   method other than GET.  An origin server MUST ignore a Range header
+   field that contains a range unit it does not understand.  A proxy
+   MAY discard a Range header field that contains a range unit it does
+   not understand.
+
+   A server that supports range requests MAY ignore or reject a Range
+   header field that consists of more than two overlapping ranges, or a
+   set of many small ranges that are not listed in ascending order,
+   since both are indications of either a broken client or a deliberate
+   denial-of-service attack.
+
+   A client that is requesting multiple ranges SHOULD list those ranges
+   in ascending order (the order in which they would typically be
+   received in a complete representation) unless there is a specific
+   need to request a later part earlier.
+
+4.2.  Content-Range
+
+   The "Content-Range" header field is sent in a single part 206
+   (Partial Content) response to indicate the partial range of the
+   selected representation enclosed as the message payload, sent in
+   each part of a multipart 206 response to indicate the range enclosed
+   within each body part, and sent in 416 (Range Not Satisfiable)
+   responses to provide information about the selected representation.
+
+     Content-Range       = byte-content-range / other-content-range
+
+     byte-content-range  = bytes-unit SP ( byte-range-resp / unsatisfied-range )
+
+     byte-range-resp     = byte-range "/" ( complete-length / "*" )
+
+     byte-range          = first-byte-pos "-" last-byte-pos
+
+     unsatisfied-range   = "*/" complete-length
+
+     complete-length     = 1*DIGIT
+
+     other-content-range = other-range-unit SP other-range-resp
+
+     other-range-resp    = *CHAR
+
+   If a 206 (Partial Content) response contains a Content-Range header
+   field with a range unit that the recipient does not understand, the
+   recipient MUST NOT attempt to recombine it with a stored
+   representation.  A proxy that receives such a message SHOULD forward
+   it downstream.
+
+Fielding, et al.            Standards Track                    [Page 12]
+)RFC";
+}
+
+}  // namespace hdiff::corpus

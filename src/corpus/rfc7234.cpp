@@ -1,0 +1,159 @@
+// RFC 7234 (Caching) excerpt: storage and reuse constraints behind the
+// CPDoS detection model.
+#include "corpus/documents.h"
+
+namespace hdiff::corpus {
+
+std::string_view rfc7234_text() {
+  return R"RFC(
+RFC 7234                     HTTP/1.1 Caching                  June 2014
+
+2.  Overview of Cache Operation
+
+   Proper cache operation preserves the semantics of HTTP transfers
+   while eliminating the transfer of information already held in the
+   cache.  Although caching is an entirely OPTIONAL feature of HTTP, it
+   can be assumed that reusing a cached response is desirable and that
+   such reuse is the default behavior when no requirement or local
+   configuration prevents it.
+
+3.  Storing Responses in Caches
+
+   A cache MUST NOT store a response to any request, unless the request
+   method is understood by the cache and defined as being cacheable,
+   and the response status code is understood by the cache, and the
+   "no-store" cache directive does not appear in request or response
+   header fields, and the "private" response directive does not appear
+   in the response if the cache is shared, and the Authorization header
+   field does not appear in the request if the cache is shared, unless
+   the response explicitly allows it.
+
+   A cache MUST NOT store a response to any request that it does not
+   understand.  Note that, in normal operation, some caches will not
+   store a response that has neither a cache validator nor an explicit
+   expiration time, as such responses are not usually useful to store.
+   However, caches are not prohibited from storing such responses.
+
+   A response received with a status code of 200, 203, 204, 206, 300,
+   301, 404, 405, 410, 414, or 501 can be stored by a cache and used in
+   reply to a subsequent request, subject to the expiration mechanism,
+   unless otherwise indicated by a cache directive.
+
+4.  Constructing Responses from Caches
+
+   When presented with a request, a cache MUST NOT reuse a stored
+   response, unless the presented effective request URI and that of the
+   stored response match, and the request method associated with the
+   stored response allows it to be used for the presented request, and
+   selecting header fields nominated by the stored response (if any)
+   match those presented, and the presented request does not contain
+   the no-cache pragma, nor the no-cache cache directive, unless the
+   stored response is successfully validated, and the stored response
+   is either fresh, allowed to be served stale, or successfully
+   validated.
+
+   When a stored response is used to satisfy a request without
+   validation, a cache MUST generate an Age header field, replacing any
+   present in the response with a value equal to the stored response's
+   current_age.
+
+4.4.  Invalidation
+
+   Because unsafe request methods have the potential for changing state
+   on the origin server, intervening caches can use them to keep their
+   contents up to date.
+
+   A cache MUST invalidate the effective Request URI as well as the URI
+   in the Location and Content-Location response header fields (if
+   present) when a non-error status code is received in response to an
+   unsafe request method.  However, a cache MUST NOT invalidate a URI
+   from a Location or Content-Location response header field if the
+   host part of that URI differs from the host part in the effective
+   request URI.  This helps prevent denial-of-service attacks.
+
+   A cache MUST invalidate the effective request URI when it receives a
+   non-error response to a request with a method whose safety is
+   unknown.
+
+4.2.  Freshness
+
+   A fresh response is one whose age has not yet exceeded its freshness
+   lifetime.  Conversely, a stale response is one where it has.  The
+   calculation to determine if a response is fresh is:
+
+     response_is_fresh = (freshness_lifetime > current_age)
+
+   A cache MUST NOT reuse a stale response without successful
+   validation unless serving stale responses is explicitly allowed.  A
+   cache MUST NOT generate a stale response if it is prohibited by an
+   explicit in-protocol directive (e.g., by a "no-store" or "no-cache"
+   cache directive, a "must-revalidate" cache-response-directive, or an
+   applicable "s-maxage" or "proxy-revalidate" cache-response-directive).
+
+   When a response is "stale", the cache SHOULD NOT use it without
+   first validating it with the origin server.
+
+4.2.3.  Age
+
+   The "Age" header field conveys the sender's estimate of the amount
+   of time since the response was generated or successfully validated
+   at the origin server.
+
+     Age = delta-seconds
+
+     delta-seconds = 1*DIGIT
+
+   A recipient with a clock that receives a response with an invalid
+   Age field value MUST interpret the response as stale.
+
+5.3.  Expires
+
+   The "Expires" header field gives the date/time after which the
+   response is considered stale.
+
+     Expires = HTTP-date
+
+   A cache recipient MUST interpret invalid date formats, especially
+   the value "0", as representing a time in the past (i.e., "already
+   expired").
+
+5.2.  Cache-Control
+
+   The "Cache-Control" header field is used to specify directives for
+   caches along the request/response chain.  Such cache directives are
+   unidirectional in that the presence of a directive in a request does
+   not imply that the same directive is to be given in the response.
+
+     Cache-Control   = 1#cache-directive
+
+     cache-directive = token [ "=" ( token / quoted-string ) ]
+
+   A cache MUST obey the requirements of the Cache-Control directives
+   defined in this section.  A proxy, whether or not it implements a
+   cache, MUST pass cache directives through in forwarded messages,
+   regardless of their significance to that application, since the
+   directives might be applicable to all recipients along the
+   request/response chain.  It is not possible to target a directive to
+   a specific cache.
+
+5.4.  Pragma
+
+   The "Pragma" header field allows backwards compatibility with
+   HTTP/1.0 caches, so that clients can specify a "no-cache" request
+   that they will understand (as Cache-Control was not defined until
+   HTTP/1.1).
+
+     Pragma           = 1#pragma-directive
+
+     pragma-directive = "no-cache" / extension-pragma
+
+     extension-pragma = token [ "=" ( token / quoted-string ) ]
+
+   When the Cache-Control header field is also present and understood
+   in a request, Pragma is ignored.
+
+Fielding, et al.            Standards Track                    [Page 30]
+)RFC";
+}
+
+}  // namespace hdiff::corpus

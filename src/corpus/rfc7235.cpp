@@ -1,0 +1,81 @@
+// RFC 7235 (Authentication) excerpt.
+#include "corpus/documents.h"
+
+namespace hdiff::corpus {
+
+std::string_view rfc7235_text() {
+  return R"RFC(
+RFC 7235                 HTTP/1.1 Authentication               June 2014
+
+2.1.  Challenge and Response
+
+   HTTP provides a simple challenge-response authentication framework
+   that can be used by a server to challenge a client request and by a
+   client to provide authentication information.
+
+     auth-scheme    = token
+
+     auth-param     = token BWS "=" BWS ( token / quoted-string )
+
+     token68        = 1*( ALPHA / DIGIT / "-" / "." / "_" / "~" / "+" / "/" ) *"="
+
+     challenge      = auth-scheme [ 1*SP ( token68 / #auth-param ) ]
+
+     credentials    = auth-scheme [ 1*SP ( token68 / #auth-param ) ]
+
+   Upon receipt of a request for a protected resource that omits
+   credentials, contains invalid credentials (e.g., a bad password) or
+   partial credentials (e.g., when the authentication scheme requires
+   more than one round trip), an origin server SHOULD send a 401
+   (Unauthorized) response that contains a WWW-Authenticate header
+   field with at least one (possibly new) challenge applicable to the
+   requested resource.
+
+3.1.  401 Unauthorized
+
+   The 401 (Unauthorized) status code indicates that the request has
+   not been applied because it lacks valid authentication credentials
+   for the target resource.  The server generating a 401 response MUST
+   send a WWW-Authenticate header field containing at least one
+   challenge applicable to the target resource.
+
+     WWW-Authenticate = 1#challenge
+
+3.2.  407 Proxy Authentication Required
+
+   The 407 (Proxy Authentication Required) status code is similar to
+   401 (Unauthorized), but it indicates that the client needs to
+   authenticate itself in order to use a proxy.  The proxy MUST send a
+   Proxy-Authenticate header field containing a challenge applicable to
+   that proxy for the target resource.
+
+     Proxy-Authenticate = 1#challenge
+
+4.2.  Authorization
+
+   The "Authorization" header field allows a user agent to authenticate
+   itself with an origin server -- usually, but not necessarily, after
+   receiving a 401 (Unauthorized) response.  Its value consists of
+   credentials containing the authentication information of the user
+   agent for the realm of the resource being requested.
+
+     Authorization = credentials
+
+   A proxy forwarding a request MUST NOT modify any Authorization
+   header fields in that request.
+
+4.4.  Proxy-Authorization
+
+   The "Proxy-Authorization" header field allows the client to identify
+   itself (or its user) to a proxy that requires authentication.  Its
+   value consists of credentials containing the authentication
+   information of the client for the proxy and/or realm of the resource
+   being requested.
+
+     Proxy-Authorization = credentials
+
+Fielding & Reschke           Standards Track                   [Page 11]
+)RFC";
+}
+
+}  // namespace hdiff::corpus

@@ -1,0 +1,139 @@
+#include "h2/downgrade.h"
+
+#include "http/header_util.h"
+
+namespace hdiff::h2 {
+
+namespace {
+
+bool has_ctl(std::string_view s) {
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u == '\r' || u == '\n' || u == '\0') return true;
+  }
+  return false;
+}
+
+bool has_ctl_or_space(std::string_view s) {
+  return has_ctl(s) || s.find(' ') != std::string_view::npos;
+}
+
+bool is_connection_specific(std::string_view name) {
+  return http::iequals(name, "connection") ||
+         http::iequals(name, "keep-alive") ||
+         http::iequals(name, "proxy-connection") ||
+         http::iequals(name, "transfer-encoding") ||
+         http::iequals(name, "upgrade");
+}
+
+}  // namespace
+
+H2Request& H2Request::add(std::string name, std::string value) {
+  headers.emplace_back(std::move(name), std::move(value));
+  return *this;
+}
+
+std::string H2Request::get(std::string_view name) const {
+  for (const auto& [n, v] : headers) {
+    if (http::iequals(n, name)) return v;
+  }
+  return {};
+}
+
+DowngradeResult downgrade(const H2Request& request,
+                          const DowngradePolicy& policy) {
+  DowngradeResult out;
+  auto reject = [&](std::string why) {
+    out.rejected = true;
+    out.reason = std::move(why);
+  };
+
+  if (policy.reject_ctl_in_pseudo) {
+    if (has_ctl_or_space(request.method) || has_ctl_or_space(request.path) ||
+        has_ctl_or_space(request.authority)) {
+      reject("control bytes or spaces in a pseudo-header");
+      return out;
+    }
+  }
+
+  std::string client_cl = request.get("content-length");
+  if (policy.enforce_content_length_match && !client_cl.empty()) {
+    auto parsed = http::parse_content_length_strict(client_cl);
+    if (!parsed || *parsed != request.body.size()) {
+      reject("content-length does not match the DATA length (RFC 7540 "
+             "section 8.1.2.6)");
+      return out;
+    }
+  }
+
+  bool forwarded_te = false;
+  std::string h1;
+  h1 += request.method;
+  h1 += ' ';
+  h1 += request.path.empty() ? "/" : request.path;
+  h1 += " HTTP/1.1\r\n";
+  h1 += "Host: " + request.authority + "\r\n";
+
+  bool wrote_cl = false;
+  for (const auto& [name, value] : request.headers) {
+    if (http::iequals(name, "host")) continue;  // :authority wins
+    if (is_connection_specific(name)) {
+      if (policy.reject_connection_specific) {
+        reject("connection-specific header '" + name +
+               "' is malformed in HTTP/2 (RFC 7540 section 8.1.2.2)");
+        return out;
+      }
+      // Forwarded verbatim: the h1 origin now sees framing headers the h2
+      // layer never honoured.
+      if (http::iequals(name, "transfer-encoding")) forwarded_te = true;
+      h1 += name + ": " + value + "\r\n";
+      continue;
+    }
+    if (policy.reject_ctl_in_values && (has_ctl(name) || has_ctl(value))) {
+      reject("control bytes in header '" + name + "'");
+      return out;
+    }
+    if (http::iequals(name, "content-length")) {
+      if (!policy.recompute_content_length) {
+        h1 += "Content-Length: " + value + "\r\n";
+        wrote_cl = true;
+      }
+      continue;
+    }
+    h1 += name + ": " + value + "\r\n";
+  }
+
+  if (!wrote_cl && !forwarded_te &&
+      (!request.body.empty() || http::iequals(request.method, "POST") ||
+       http::iequals(request.method, "PUT"))) {
+    h1 += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  h1 += "Via: 2.0 " + policy.name + "\r\n";
+  h1 += "\r\n";
+  h1 += request.body;
+  out.h1_bytes = std::move(h1);
+  return out;
+}
+
+DowngradePolicy strict_gateway() {
+  DowngradePolicy p;
+  p.name = "h2-strict";
+  return p;
+}
+
+DowngradePolicy cl_trusting_gateway() {
+  DowngradePolicy p;
+  p.name = "h2-cl-trusting";
+  p.enforce_content_length_match = false;
+  p.recompute_content_length = false;  // the "h2.CL" desync primitive
+  return p;
+}
+
+DowngradePolicy te_forwarding_gateway() {
+  DowngradePolicy p;
+  p.name = "h2-te-forwarding";
+  p.reject_connection_specific = false;  // the "h2.TE" desync primitive
+  return p;
+}
+
+}  // namespace hdiff::h2

@@ -1,0 +1,80 @@
+// HTTP/2 → HTTP/1.1 downgrade modeling (paper §V, Future Research: "a
+// client can cause various types of denial-of-service attacks in cases
+// where an intermediary supports HTTP/2 while the webserver uses HTTP/1.1
+// ... it is also valuable to expand our work to the HTTP 2.0 version").
+//
+// HTTP/2 transports requests as binary frames with pseudo-headers; a
+// front-end that speaks h2 to clients and h1 to origins must *translate*.
+// Because h2 has no request-line and frames its own body lengths, the
+// translation step re-introduces exactly the ambiguities HTTP/1.1 parsing
+// has — and h2 requests can smuggle h1 artifacts (a content-length that
+// disagrees with the DATA length, a transfer-encoding header, CRLF
+// sequences inside header values) into the downgraded byte stream.
+//
+// The model here is semantic, not wire-level: an `H2Request` carries the
+// pseudo-headers and header list a decoded h2 request would, and
+// `DowngradePolicy` captures the translation decisions real gateways
+// differ on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::h2 {
+
+/// One decoded HTTP/2 request (after HPACK; field names are already
+/// lower-case on the wire in h2).
+struct H2Request {
+  std::string method = "GET";     ///< :method
+  std::string scheme = "http";    ///< :scheme
+  std::string authority;          ///< :authority
+  std::string path = "/";         ///< :path
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;               ///< concatenated DATA frames
+
+  H2Request& add(std::string name, std::string value);
+  /// First value for `name` ("" if absent).
+  std::string get(std::string_view name) const;
+};
+
+/// Translation decisions where deployed h2 gateways diverge.
+struct DowngradePolicy {
+  std::string name = "h2-gateway";
+  /// Validate that a content-length header matches the actual DATA length
+  /// (RFC 7540 §8.1.2.6 makes a mismatch a protocol error).
+  bool enforce_content_length_match = true;
+  /// Reject connection-specific headers (transfer-encoding, connection,
+  /// keep-alive ...) which are malformed in h2 (RFC 7540 §8.1.2.2) — a
+  /// gateway that instead *forwards* them reintroduces h1 framing ambiguity.
+  bool reject_connection_specific = true;
+  /// Reject CR/LF/NUL inside header values (they become header/request
+  /// injection once serialized to h1).
+  bool reject_ctl_in_values = true;
+  /// Reject CR/LF/space in :method / :path / :authority (request-line
+  /// injection on serialization).
+  bool reject_ctl_in_pseudo = true;
+  /// Emit Content-Length computed from the DATA length (true) or copy the
+  /// client-supplied content-length header verbatim (false — the "h2.CL"
+  /// desync primitive).
+  bool recompute_content_length = true;
+};
+
+/// Outcome of a downgrade attempt.
+struct DowngradeResult {
+  bool rejected = false;     ///< gateway refused the h2 request
+  std::string reason;
+  std::string h1_bytes;      ///< the serialized HTTP/1.1 request
+};
+
+/// Translate an h2 request to h1 bytes under `policy`.
+DowngradeResult downgrade(const H2Request& request,
+                          const DowngradePolicy& policy);
+
+/// A strict RFC 7540 gateway and two weakened variants modeled on the
+/// publicly documented h2-downgrade desync classes.
+DowngradePolicy strict_gateway();
+DowngradePolicy cl_trusting_gateway();  ///< forwards client content-length
+DowngradePolicy te_forwarding_gateway();///< forwards connection-specific hdrs
+
+}  // namespace hdiff::h2

@@ -1,0 +1,229 @@
+#include "http/chunked.h"
+
+#include <cstdio>
+#include <optional>
+
+#include "http/header_util.h"
+
+namespace hdiff::http {
+
+namespace {
+
+struct LineRead {
+  std::string text;
+  std::size_t next = 0;   // offset after terminator
+  bool found = false;     // a terminator was found
+  bool bare_lf = false;
+};
+
+LineRead read_line(std::string_view in, std::size_t pos) {
+  LineRead out;
+  std::size_t i = pos;
+  while (i < in.size() && in[i] != '\n') ++i;
+  if (i >= in.size()) {
+    out.text.assign(in.substr(pos));
+    out.next = in.size();
+    return out;
+  }
+  std::size_t end = i;
+  if (end > pos && in[end - 1] == '\r') {
+    --end;
+  } else {
+    out.bare_lf = true;
+  }
+  out.text.assign(in.substr(pos, end - pos));
+  out.next = i + 1;
+  out.found = true;
+  return out;
+}
+
+bool is_hex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+}  // namespace
+
+ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
+  ChunkResult r;
+  std::size_t pos = 0;
+  while (true) {
+    LineRead line = read_line(in, pos);
+    if (!line.found) {
+      r.incomplete = true;
+      r.error = "input ended inside chunk-size line";
+      return r;
+    }
+    if (line.bare_lf && !policy.allow_bare_lf) {
+      r.error = "bare LF in chunk framing";
+      return r;
+    }
+    pos = line.next;
+
+    // Split size token from extension / garbage.
+    std::string_view size_line{line.text};
+    std::string_view size_token = size_line;
+    std::string_view tail;
+    std::size_t semi = size_line.find(';');
+    if (semi != std::string_view::npos) {
+      size_token = size_line.substr(0, semi);
+      tail = size_line.substr(semi);
+    }
+    size_token = trim_ows(size_token);
+
+    std::optional<std::uint64_t> size;
+    bool overflowed = false;
+    if (policy.wrapping_size || policy.lenient_size_line) {
+      // Scan leading hex digits; wrap or truncate per policy.
+      std::size_t digits = 0;
+      while (digits < size_token.size() && is_hex(size_token[digits])) ++digits;
+      if (digits == 0) {
+        r.error = "chunk-size has no hex digits";
+        return r;
+      }
+      if (digits < size_token.size() && !policy.lenient_size_line) {
+        r.error = "garbage after chunk-size";
+        return r;
+      }
+      unsigned wrap = policy.wrapping_size ? policy.wrap_bits : 64;
+      size = parse_chunk_size_wrapping(size_token.substr(0, digits), wrap);
+      // Detect that wrapping actually lost information.
+      auto strict = parse_chunk_size_strict(size_token.substr(0, digits));
+      overflowed = !strict || (size && *strict != *size);
+      if (digits < size_token.size()) overflowed = true;
+    } else {
+      size = parse_chunk_size_strict(size_token);
+      if (!size) {
+        r.error = "invalid chunk-size";
+        return r;
+      }
+      if (!tail.empty() && !policy.allow_extensions) {
+        r.error = "chunk extension not allowed";
+        return r;
+      }
+    }
+    if (!size) {
+      r.error = "invalid chunk-size";
+      return r;
+    }
+    r.size_overflowed = r.size_overflowed || overflowed;
+    if (*size > policy.max_chunk_size) {
+      r.error = "chunk-size exceeds implementation limit";
+      return r;
+    }
+    r.chunk_sizes.push_back(*size);
+
+    if (overflowed && policy.wrapping_size && *size != 0) {
+      // Repair mode: the size line was damaged, so the parser does not trust
+      // the (wrapped) value for framing either — it takes the bytes up to
+      // the next line terminator as the chunk data.  This is the "repaired
+      // data still contains semantically ambiguous data" behaviour of
+      // §IV-B: the re-emitted size no longer matches the data.
+      LineRead data_line = read_line(in, pos);
+      if (!data_line.found) {
+        r.incomplete = true;
+        r.error = "input ended inside repaired chunk-data";
+        return r;
+      }
+      r.body += data_line.text;
+      pos = data_line.next;
+      continue;
+    }
+
+    if (*size == 0) {
+      // Trailer section: header lines until an empty line.
+      while (true) {
+        LineRead trailer = read_line(in, pos);
+        if (!trailer.found) {
+          r.incomplete = true;
+          r.error = "input ended inside trailer section";
+          return r;
+        }
+        if (trailer.bare_lf && !policy.allow_bare_lf) {
+          r.error = "bare LF in trailer";
+          return r;
+        }
+        pos = trailer.next;
+        if (trailer.text.empty()) break;
+      }
+      r.ok = true;
+      r.leftover.assign(in.substr(pos));
+      return r;
+    }
+
+    if (pos + *size > in.size()) {
+      r.incomplete = true;
+      r.error = "input ended inside chunk-data";
+      return r;
+    }
+    std::string_view data = in.substr(pos, static_cast<std::size_t>(*size));
+    std::size_t nul_at = data.find('\0');
+    if (nul_at != std::string_view::npos) {
+      r.saw_nul = true;
+      if (policy.reject_nul_in_data) {
+        r.error = "NUL byte in chunk-data";
+        return r;
+      }
+      if (policy.nul_terminates_body) {
+        r.ok = true;
+        r.body.append(data.substr(0, nul_at));
+        r.leftover.assign(in.substr(pos + nul_at + 1));
+        r.error = "body terminated at NUL byte";
+        return r;
+      }
+    }
+    r.body.append(data);
+    pos += static_cast<std::size_t>(*size);
+
+    // CRLF after chunk-data.
+    bool crlf_ok = false;
+    if (pos + 1 < in.size() && in[pos] == '\r' && in[pos + 1] == '\n') {
+      pos += 2;
+      crlf_ok = true;
+    } else if (pos < in.size() && in[pos] == '\n' && policy.allow_bare_lf) {
+      pos += 1;
+      crlf_ok = true;
+    }
+    if (!crlf_ok) {
+      // Distinguish "not CRLF" from "CRLF not yet fully received": input
+      // ending exactly at the boundary, or on a lone CR, is incomplete.
+      const bool crlf_may_follow =
+          pos >= in.size() || (pos + 1 >= in.size() && in[pos] == '\r');
+      if (crlf_may_follow) {
+        r.incomplete = true;
+        r.error = "input ended before chunk-data CRLF";
+        return r;
+      }
+      if (policy.require_crlf_after_data) {
+        r.error = "chunk-data not followed by CRLF";
+        return r;
+      }
+      // Resynchronize: scan for the next LF and continue from there.  This
+      // models the repair behaviour of proxies that trust the size line only
+      // loosely and hunt for the next framing boundary.
+      std::size_t lf = in.find('\n', pos);
+      if (lf == std::string_view::npos) {
+        r.incomplete = true;
+        r.error = "resync failed: no further LF";
+        return r;
+      }
+      pos = lf + 1;
+    }
+  }
+}
+
+std::string encode_chunked(std::string_view body) {
+  std::string out;
+  if (!body.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%zx", body.size());
+    out += buf;
+    out += "\r\n";
+    out.append(body);
+    out += "\r\n";
+  }
+  out += "0\r\n\r\n";
+  return out;
+}
+
+}  // namespace hdiff::http

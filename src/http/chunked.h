@@ -1,0 +1,63 @@
+// Chunked transfer-coding decoder (RFC 7230 §4.1) with pluggable laxness.
+//
+// Chunk parsing is one of the richest sources of request-smuggling gaps:
+// implementations differ on hex-overflow handling, on whether chunk data must
+// be followed by CRLF, on chunk extensions, and on garbage bytes in the size
+// line.  `ChunkPolicy` captures those dials; each product model owns one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::http {
+
+/// Dials controlling how lenient the decoder is.
+struct ChunkPolicy {
+  /// Wrap the chunk-size modulo 2^wrap_bits instead of rejecting overflow
+  /// (models C parsers accumulating into a fixed-width integer).
+  bool wrapping_size = false;
+  unsigned wrap_bits = 32;
+  /// Accept chunk extensions (";token=value") after the size.
+  bool allow_extensions = true;
+  /// Accept arbitrary trailing garbage on the size line even when extensions
+  /// are disabled or malformed (scan-first-hex-digits behaviour).
+  bool lenient_size_line = false;
+  /// Require the CRLF that must follow chunk-data; when false, the decoder
+  /// resynchronizes by scanning for the next CRLF (data-repair behaviour).
+  bool require_crlf_after_data = true;
+  /// Treat a NUL byte inside chunk-data as a fatal error.
+  bool reject_nul_in_data = false;
+  /// C-string-style handling: a NUL byte inside chunk-data terminates the
+  /// body; everything after it is treated as the next message (a real
+  /// desynchronization primitive — Table II "NULL in chunk-data").
+  bool nul_terminates_body = false;
+  /// Accept bare-LF line terminators inside the chunked framing.
+  bool allow_bare_lf = false;
+  /// Upper bound on a single chunk size this implementation will buffer.
+  std::uint64_t max_chunk_size = 1ull << 30;
+};
+
+/// Decoder outcome.  `ok==false` with `incomplete==true` means the decoder
+/// consumed the whole input but needs more bytes (a real server would block
+/// — precisely the hang/smuggle primitive); `ok==false` otherwise means the
+/// framing was judged invalid (a real server answers 400 and closes).
+struct ChunkResult {
+  bool ok = false;
+  bool incomplete = false;
+  bool size_overflowed = false;  ///< wrapping or digit-truncation occurred
+  bool saw_nul = false;          ///< NUL byte observed inside chunk-data
+  std::string body;              ///< concatenated decoded chunk-data
+  std::string leftover;          ///< bytes after the terminating sequence
+  std::string error;             ///< human-readable failure reason
+  std::vector<std::uint64_t> chunk_sizes;  ///< as interpreted, in order
+};
+
+ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy);
+
+/// Re-serialize a decoded body as a single well-formed chunked sequence
+/// ("<hex>\r\n<data>\r\n0\r\n\r\n"), as a repairing proxy would emit.
+std::string encode_chunked(std::string_view body);
+
+}  // namespace hdiff::http

@@ -1,0 +1,69 @@
+// Header-field utilities shared by every HTTP parser model in HDiff.
+//
+// HTTP header names are case-insensitive tokens (RFC 7230 §3.2); values may
+// carry optional whitespace (OWS) and comma-separated list members.  The
+// helpers here are deliberately strict-by-default: the per-product behaviour
+// models in src/impls opt in to laxness through their ParsePolicy instead of
+// through permissive utilities.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::http {
+
+/// ASCII-only tolower; HTTP is an ASCII protocol so locale tables are wrong.
+char ascii_lower(char c) noexcept;
+
+/// Lower-case an ASCII string (for case-insensitive map keys etc.).
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive equality of two ASCII strings.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// True if `c` is OWS per RFC 7230: SP or HTAB.
+bool is_ows(char c) noexcept;
+
+/// True if `c` is a `tchar` (token character, RFC 7230 §3.2.6).
+bool is_tchar(char c) noexcept;
+
+/// True if every character of `s` is a tchar and `s` is non-empty.
+bool is_token(std::string_view s) noexcept;
+
+/// True if `c` may appear in a field value (VCHAR / obs-text / SP / HTAB).
+bool is_field_vchar(char c) noexcept;
+
+/// Strip leading and trailing OWS (SP/HTAB only — not \r, \n, or \v).
+std::string_view trim_ows(std::string_view s) noexcept;
+
+/// Strip a wider class of "visual" whitespace some lenient parsers eat:
+/// SP, HTAB, VT (0x0B), FF (0x0C), CR.
+std::string_view trim_lenient_ws(std::string_view s) noexcept;
+
+/// Split a comma-separated list field value into OWS-trimmed elements.
+/// Empty elements are dropped, matching the `#rule` extension of RFC 7230.
+std::vector<std::string> split_list(std::string_view value);
+
+/// Parse a decimal Content-Length value strictly: 1*DIGIT only.
+/// Rejects signs, hex, lists, whitespace inside, and values > 2^63-1.
+std::optional<std::uint64_t> parse_content_length_strict(std::string_view v);
+
+/// Lenient Content-Length parse in the style of permissive C parsers that
+/// use strtol-like scanning: skips leading whitespace, accepts a leading '+',
+/// stops at the first non-digit.  Returns nullopt only when no digits at all.
+std::optional<std::uint64_t> parse_content_length_lenient(std::string_view v);
+
+/// Parse a chunk-size hex number strictly (1*HEXDIG, no prefix, no sign).
+/// `max_bits` bounds the accepted magnitude; overflow => nullopt.
+std::optional<std::uint64_t> parse_chunk_size_strict(std::string_view v);
+
+/// Lenient chunk-size parse modelling the truncating/overflowing scanners
+/// found in several proxies: scans hex digits, wraps modulo 2^`wrap_bits`
+/// instead of rejecting on overflow, stops at first non-hex character.
+/// Returns nullopt only when the first character is not a hex digit.
+std::optional<std::uint64_t> parse_chunk_size_wrapping(std::string_view v,
+                                                       unsigned wrap_bits);
+
+}  // namespace hdiff::http

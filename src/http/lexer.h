@@ -1,0 +1,25 @@
+// Descriptive request lexer.
+//
+// `lex_request` splits raw connection bytes into a RawRequest.  It is
+// intentionally *never* the component that rejects a message: every syntax
+// irregularity is recorded as an Anomaly flag on the affected element and on
+// the request as a whole, and the raw bytes are preserved.  The per-product
+// behaviour models (src/impls) then map anomalies to accept / repair / reject
+// decisions according to their ParsePolicy — which is exactly where HTTP
+// implementations in the wild diverge.
+#pragma once
+
+#include <string_view>
+
+#include "http/message.h"
+
+namespace hdiff::http {
+
+/// Lex `raw` into a RawRequest.  Leading empty lines before the request line
+/// are skipped (RFC 7230 §3.5 allows a recipient to ignore them).  The header
+/// block ends at the first empty line; all bytes after it are placed verbatim
+/// into `after_headers`.  If the input ends before the empty line, the
+/// kTruncatedHeaders anomaly is set and `after_headers` is empty.
+RawRequest lex_request(std::string_view raw);
+
+}  // namespace hdiff::http

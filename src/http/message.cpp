@@ -1,0 +1,109 @@
+#include "http/message.h"
+
+#include "http/header_util.h"
+
+namespace hdiff::http {
+
+Method method_from_token(std::string_view token) noexcept {
+  if (token == "GET") return Method::kGet;
+  if (token == "HEAD") return Method::kHead;
+  if (token == "POST") return Method::kPost;
+  if (token == "PUT") return Method::kPut;
+  if (token == "DELETE") return Method::kDelete;
+  if (token == "OPTIONS") return Method::kOptions;
+  if (token == "TRACE") return Method::kTrace;
+  if (token == "CONNECT") return Method::kConnect;
+  return Method::kOther;
+}
+
+std::string_view to_string(Method m) noexcept {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kTrace: return "TRACE";
+    case Method::kConnect: return "CONNECT";
+    case Method::kOther: return "OTHER";
+  }
+  return "OTHER";
+}
+
+std::string to_string(Version v) {
+  return "HTTP/" + std::to_string(v.major) + "." + std::to_string(v.minor);
+}
+
+std::string describe_anomalies(AnomalySet set) {
+  struct Entry {
+    Anomaly flag;
+    const char* name;
+  };
+  static constexpr Entry kEntries[] = {
+      {Anomaly::kBareLf, "bare-lf"},
+      {Anomaly::kBareCr, "bare-cr"},
+      {Anomaly::kWsBeforeColon, "ws-before-colon"},
+      {Anomaly::kWsInFieldName, "ws-in-field-name"},
+      {Anomaly::kObsFold, "obs-fold"},
+      {Anomaly::kLeadingHeaderWs, "leading-header-ws"},
+      {Anomaly::kCtlInValue, "ctl-in-value"},
+      {Anomaly::kNonTokenName, "non-token-name"},
+      {Anomaly::kMissingColon, "missing-colon"},
+      {Anomaly::kEmptyName, "empty-name"},
+      {Anomaly::kExtraRequestLineWs, "extra-request-line-ws"},
+      {Anomaly::kRequestLineParts, "request-line-parts"},
+      {Anomaly::kNoVersion, "no-version"},
+      {Anomaly::kMalformedVersion, "malformed-version"},
+      {Anomaly::kTruncatedHeaders, "truncated-headers"},
+      {Anomaly::kNulByte, "nul-byte"},
+      {Anomaly::kHighBitChar, "high-bit-char"},
+  };
+  std::string out;
+  for (const auto& e : kEntries) {
+    if (has_anomaly(set, e.flag)) {
+      if (!out.empty()) out += '|';
+      out += e.name;
+    }
+  }
+  if (out.empty()) out = "none";
+  return out;
+}
+
+std::string RawHeader::normalized_name() const {
+  return to_lower(trim_lenient_ws(name));
+}
+
+std::optional<Version> RequestLine::strict_version() const {
+  const std::string& v = version_token;
+  // HTTP-version = "HTTP" "/" DIGIT "." DIGIT  (case-sensitive HTTP-name)
+  if (v.size() != 8) return std::nullopt;
+  if (v.compare(0, 5, "HTTP/") != 0) return std::nullopt;
+  if (v[5] < '0' || v[5] > '9' || v[6] != '.' || v[7] < '0' || v[7] > '9') {
+    return std::nullopt;
+  }
+  return Version{v[5] - '0', v[7] - '0'};
+}
+
+std::vector<const RawHeader*> RawRequest::find_all(std::string_view name) const {
+  std::vector<const RawHeader*> out;
+  std::string key = to_lower(name);
+  for (const auto& h : headers) {
+    if (h.normalized_name() == key) out.push_back(&h);
+  }
+  return out;
+}
+
+const RawHeader* RawRequest::find_first(std::string_view name) const {
+  std::string key = to_lower(name);
+  for (const auto& h : headers) {
+    if (h.normalized_name() == key) return &h;
+  }
+  return nullptr;
+}
+
+std::size_t RawRequest::count(std::string_view name) const {
+  return find_all(name).size();
+}
+
+}  // namespace hdiff::http

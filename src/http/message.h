@@ -1,0 +1,137 @@
+// Raw HTTP/1.x request representation used across HDiff.
+//
+// The lexer (lexer.h) produces a `RawRequest`: the request line split into
+// its three components plus the header block tokenized into `RawHeader`
+// entries.  Crucially the lexer is *descriptive, not prescriptive* — it never
+// rejects a malformed message; instead it records every syntax anomaly it
+// observed so that each product behaviour model (src/impls) can decide, per
+// its own policy, whether the anomaly is fatal, repairable, or silently
+// tolerated.  That split is what lets ten different "implementations" consume
+// the same wire bytes and disagree — the core mechanism of a semantic gap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::http {
+
+/// HTTP request methods HDiff generates.  `kOther` carries unknown tokens.
+enum class Method {
+  kGet,
+  kHead,
+  kPost,
+  kPut,
+  kDelete,
+  kOptions,
+  kTrace,
+  kConnect,
+  kOther,
+};
+
+/// Parse a method token (exact, case-sensitive per RFC 7231 §4.1).
+Method method_from_token(std::string_view token) noexcept;
+
+/// Canonical token for a method (kOther yields "OTHER").
+std::string_view to_string(Method m) noexcept;
+
+/// An HTTP-version as interpreted by a parser.  `major==0 && minor==9`
+/// denotes HTTP/0.9 (no version present on the request line).
+struct Version {
+  int major = 1;
+  int minor = 1;
+
+  friend bool operator==(const Version&, const Version&) = default;
+  friend auto operator<=>(const Version&, const Version&) = default;
+};
+
+inline constexpr Version kHttp09{0, 9};
+inline constexpr Version kHttp10{1, 0};
+inline constexpr Version kHttp11{1, 1};
+inline constexpr Version kHttp20{2, 0};
+
+/// Render as "HTTP/x.y".
+std::string to_string(Version v);
+
+/// Per-line / per-field syntax anomalies the lexer can observe.  One message
+/// may exhibit several.  The names follow the vocabulary of RFC 7230 and of
+/// the paper's Table II.
+enum class Anomaly : std::uint32_t {
+  kNone = 0,
+  kBareLf = 1u << 0,             ///< line terminated by LF without CR
+  kBareCr = 1u << 1,             ///< stray CR not followed by LF inside a line
+  kWsBeforeColon = 1u << 2,      ///< whitespace between field-name and ':'
+  kWsInFieldName = 1u << 3,      ///< other whitespace/specials inside the name
+  kObsFold = 1u << 4,            ///< obsolete line folding (continuation line)
+  kLeadingHeaderWs = 1u << 5,    ///< first header line begins with whitespace
+  kCtlInValue = 1u << 6,         ///< control char (not HTAB) in field value
+  kNonTokenName = 1u << 7,       ///< field name contains non-tchar characters
+  kMissingColon = 1u << 8,       ///< header line without any colon
+  kEmptyName = 1u << 9,          ///< colon with empty field-name
+  kExtraRequestLineWs = 1u << 10,///< multiple SP / TAB separators on request line
+  kRequestLineParts = 1u << 11,  ///< request line does not have exactly 3 parts
+  kNoVersion = 1u << 12,         ///< request line has no version token (0.9 form)
+  kMalformedVersion = 1u << 13,  ///< version token not HTTP-name "/" DIGIT "." DIGIT
+  kTruncatedHeaders = 1u << 14,  ///< input ended before the blank line
+  kNulByte = 1u << 15,           ///< NUL byte present in the header block
+  kHighBitChar = 1u << 16,       ///< byte >= 0x80 in request line or header
+};
+
+/// Bitset of `Anomaly` flags.
+using AnomalySet = std::uint32_t;
+
+inline bool has_anomaly(AnomalySet set, Anomaly a) noexcept {
+  return (set & static_cast<std::uint32_t>(a)) != 0;
+}
+inline void add_anomaly(AnomalySet& set, Anomaly a) noexcept {
+  set |= static_cast<std::uint32_t>(a);
+}
+
+/// Human-readable list of set anomaly flags, e.g. "ws-before-colon|obs-fold".
+std::string describe_anomalies(AnomalySet set);
+
+/// A single header field as it appeared on the wire.
+struct RawHeader {
+  std::string name;       ///< bytes before the colon, *un*trimmed
+  std::string value;      ///< bytes after the colon, OWS-trimmed per RFC
+  std::string raw_line;   ///< the full original line (no terminator)
+  AnomalySet anomalies = 0;
+
+  /// Name with surrounding whitespace removed and lower-cased — the key most
+  /// lenient parsers actually use.
+  std::string normalized_name() const;
+};
+
+/// The request line split into its parts, untouched.
+struct RequestLine {
+  std::string method_token;
+  std::string target;
+  std::string version_token;            ///< empty when absent (HTTP/0.9 form)
+  std::string raw;                      ///< full original line
+  AnomalySet anomalies = 0;
+
+  /// Strict version parse of `version_token`; nullopt if malformed.
+  std::optional<Version> strict_version() const;
+};
+
+/// A lexed request: request line + header block + the remaining connection
+/// bytes (body candidate and any pipelined follow-on data).
+struct RawRequest {
+  RequestLine line;
+  std::vector<RawHeader> headers;
+  std::string after_headers;  ///< every byte after the header terminator
+  AnomalySet anomalies = 0;   ///< union of all anomalies observed
+
+  /// All headers whose *normalized* name equals `name` (lower-case compare).
+  std::vector<const RawHeader*> find_all(std::string_view name) const;
+
+  /// First header with the normalized name, or nullptr.
+  const RawHeader* find_first(std::string_view name) const;
+
+  /// Number of headers with the normalized name.
+  std::size_t count(std::string_view name) const;
+};
+
+}  // namespace hdiff::http

@@ -1,0 +1,156 @@
+#include "http/response.h"
+
+#include "http/chunked.h"
+#include "http/header_util.h"
+#include "http/lexer.h"
+
+namespace hdiff::http {
+
+namespace {
+
+/// Reuse the request lexer's header-block machinery by lexing the raw bytes
+/// as if they were a request, then reinterpret the "request line" as a
+/// status line.
+int parse_status_code(std::string_view token) {
+  if (token.size() != 3) return 0;
+  int value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + (c - '0');
+  }
+  return (value >= 100 && value <= 599) ? value : 0;
+}
+
+}  // namespace
+
+const RawHeader* RawResponse::find_first(std::string_view name) const {
+  std::string key = to_lower(name);
+  for (const auto& h : headers) {
+    if (h.normalized_name() == key) return &h;
+  }
+  return nullptr;
+}
+
+RawResponse lex_response(std::string_view raw) {
+  RawResponse out;
+  RawRequest as_request = lex_request(raw);
+  out.headers = std::move(as_request.headers);
+  out.after_headers = std::move(as_request.after_headers);
+  out.anomalies = as_request.anomalies;
+
+  // status-line = HTTP-version SP status-code SP reason-phrase.  The
+  // request lexer's tokenization mangles multi-word reason phrases, so the
+  // status line is re-split from the raw line directly.
+  const std::string& raw_line = as_request.line.raw;
+  std::size_t first_sp = raw_line.find(' ');
+  if (first_sp == std::string::npos) return out;
+  std::string_view version_token =
+      std::string_view(raw_line).substr(0, first_sp);
+  if (version_token.size() == 8 && version_token.substr(0, 5) == "HTTP/" &&
+      version_token[6] == '.') {
+    out.version = Version{version_token[5] - '0', version_token[7] - '0'};
+  }
+  std::size_t second_sp = raw_line.find(' ', first_sp + 1);
+  std::string_view status_token =
+      second_sp == std::string::npos
+          ? std::string_view(raw_line).substr(first_sp + 1)
+          : std::string_view(raw_line).substr(first_sp + 1,
+                                              second_sp - first_sp - 1);
+  out.status = parse_status_code(status_token);
+  if (second_sp != std::string::npos) {
+    out.reason = raw_line.substr(second_sp + 1);
+  }
+  return out;
+}
+
+ResponseFraming response_framing(const RawResponse& response,
+                                 Method request_method) {
+  ResponseFraming framing;
+  const int status = response.status;
+  if (request_method == Method::kHead || (status >= 100 && status < 200) ||
+      status == 204 || status == 304) {
+    framing.has_body = false;
+    return framing;
+  }
+  if (const RawHeader* te = response.find_first("transfer-encoding")) {
+    auto items = split_list(te->value);
+    if (!items.empty() && iequals(items.back(), "chunked")) {
+      framing.chunked = true;
+      return framing;
+    }
+  }
+  if (const RawHeader* cl = response.find_first("content-length")) {
+    framing.content_length =
+        parse_content_length_strict(trim_ows(cl->value));
+    if (framing.content_length) return framing;
+  }
+  framing.until_close = true;
+  return framing;
+}
+
+FramedResponse frame_first_response(std::string_view raw,
+                                    Method request_method) {
+  FramedResponse out;
+  out.head = lex_response(raw);
+  if (!out.head.status_line_valid()) return out;
+  out.interim = out.head.status >= 100 && out.head.status < 200;
+
+  ResponseFraming framing = response_framing(out.head, request_method);
+  const std::string& payload = out.head.after_headers;
+  if (!framing.has_body) {
+    out.leftover = payload;
+    out.complete = true;
+    return out;
+  }
+  if (framing.chunked) {
+    ChunkResult r = decode_chunked(payload, ChunkPolicy{});
+    if (r.ok) {
+      out.body = r.body;
+      out.leftover = r.leftover;
+      out.complete = true;
+    }
+    return out;
+  }
+  if (framing.content_length) {
+    if (payload.size() < *framing.content_length) return out;  // incomplete
+    out.body = payload.substr(0, static_cast<std::size_t>(
+                                     *framing.content_length));
+    out.leftover = payload.substr(static_cast<std::size_t>(
+        *framing.content_length));
+    out.complete = true;
+    return out;
+  }
+  // read-until-close: everything that arrived is the body.
+  out.body = payload;
+  out.complete = true;
+  return out;
+}
+
+std::string build_response(int status, std::string_view body,
+                           std::string_view extra_headers) {
+  std::string reason;
+  switch (status) {
+    case 100: reason = "Continue"; break;
+    case 200: reason = "OK"; break;
+    case 204: reason = "No Content"; break;
+    case 304: reason = "Not Modified"; break;
+    case 400: reason = "Bad Request"; break;
+    case 404: reason = "Not Found"; break;
+    case 417: reason = "Expectation Failed"; break;
+    case 501: reason = "Not Implemented"; break;
+    default: reason = "Status"; break;
+  }
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\n";
+  out.append(extra_headers);
+  const bool bodyless = (status >= 100 && status < 200) || status == 204 ||
+                        status == 304;
+  if (!bodyless) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  if (!bodyless) out.append(body);
+  return out;
+}
+
+}  // namespace hdiff::http

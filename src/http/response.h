@@ -1,0 +1,68 @@
+// HTTP/1.x response parsing and construction.
+//
+// The response path has its own semantic gaps: interim 1xx responses that
+// some intermediaries do not expect, bodyless statuses (1xx/204/304) and
+// HEAD responses whose Content-Length must not be consumed, and framing
+// rules mirroring the request side.  This module provides a descriptive
+// response lexer plus a policy-light framing function; the per-product
+// response behaviours live in impls (ParsePolicy response knobs).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.h"
+
+namespace hdiff::http {
+
+/// A lexed response: status line + header block + trailing bytes.
+struct RawResponse {
+  Version version{1, 1};
+  int status = 0;                 ///< 0 when the status line is unparseable
+  std::string reason;
+  std::vector<RawHeader> headers;
+  std::string after_headers;
+  AnomalySet anomalies = 0;
+
+  const RawHeader* find_first(std::string_view name) const;
+  bool status_line_valid() const noexcept { return status != 0; }
+};
+
+/// Lex one response from raw connection bytes (descriptive; never rejects).
+RawResponse lex_response(std::string_view raw);
+
+/// Framing decision for a response body (RFC 7230 §3.3.3 response rules).
+struct ResponseFraming {
+  bool has_body = true;
+  bool chunked = false;
+  std::optional<std::uint64_t> content_length;
+  bool until_close = false;
+};
+
+/// Compute the framing for a response to `request_method` with status
+/// `status`: 1xx/204/304 and HEAD responses carry no body; otherwise TE
+/// chunked, then Content-Length, then read-until-close.
+ResponseFraming response_framing(const RawResponse& response,
+                                 Method request_method);
+
+/// One fully-framed response extracted from a connection stream.
+struct FramedResponse {
+  RawResponse head;
+  std::string body;       ///< decoded body bytes
+  std::string leftover;   ///< bytes after this response (next response)
+  bool complete = false;  ///< false when more bytes are required
+  bool interim = false;   ///< 1xx informational response
+};
+
+/// Split the first response (interim responses count as standalone units)
+/// off a connection stream.
+FramedResponse frame_first_response(std::string_view raw,
+                                    Method request_method);
+
+/// Build a minimal response ("HTTP/1.1 <status> <reason>" + CL framing).
+std::string build_response(int status, std::string_view body,
+                           std::string_view extra_headers = {});
+
+}  // namespace hdiff::http

@@ -1,0 +1,92 @@
+#include "http/serialize.h"
+
+#include "http/chunked.h"
+#include "http/header_util.h"
+
+namespace hdiff::http {
+
+RequestSpec& RequestSpec::add(std::string_view name, std::string_view value) {
+  headers.push_back(HeaderSpec{std::string(name), std::string(value)});
+  return *this;
+}
+
+RequestSpec& RequestSpec::add(HeaderSpec h) {
+  headers.push_back(std::move(h));
+  return *this;
+}
+
+RequestSpec& RequestSpec::set(std::string_view name, std::string_view value) {
+  for (auto& h : headers) {
+    if (iequals(h.name, name)) {
+      h.value.assign(value);
+      return *this;
+    }
+  }
+  return add(name, value);
+}
+
+RequestSpec& RequestSpec::remove(std::string_view name) {
+  std::erase_if(headers,
+                [&](const HeaderSpec& h) { return iequals(h.name, name); });
+  return *this;
+}
+
+std::optional<std::string> RequestSpec::get(std::string_view name) const {
+  for (const auto& h : headers) {
+    if (iequals(h.name, name)) return h.value;
+  }
+  return std::nullopt;
+}
+
+std::string RequestSpec::to_wire() const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += method;
+  out += sep1;
+  out += target;
+  if (!version.empty()) {
+    out += sep2;
+    out += version;
+  }
+  out += line_terminator;
+  for (const auto& h : headers) {
+    out += h.name;
+    out += h.separator;
+    out += h.value;
+    out += h.terminator;
+  }
+  out += headers_terminator;
+  out += body;
+  return out;
+}
+
+RequestSpec make_get(std::string_view host, std::string_view target) {
+  RequestSpec r;
+  r.target.assign(target);
+  r.add("Host", host);
+  return r;
+}
+
+RequestSpec make_post(std::string_view host, std::string_view target,
+                      std::string_view body) {
+  RequestSpec r;
+  r.method = "POST";
+  r.target.assign(target);
+  r.add("Host", host);
+  r.add("Content-Length", std::to_string(body.size()));
+  r.body.assign(body);
+  return r;
+}
+
+RequestSpec make_chunked_post(std::string_view host, std::string_view target,
+                              std::string_view body) {
+  RequestSpec r;
+  r.method = "POST";
+  r.target.assign(target);
+  r.add("Host", host);
+  r.add("Transfer-Encoding", "chunked");
+  r.body = encode_chunked(body);
+  return r;
+}
+
+}  // namespace hdiff::http

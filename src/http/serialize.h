@@ -1,0 +1,72 @@
+// Wire-precise request construction.
+//
+// Test-case generation needs byte-level control: whitespace before a colon,
+// a bare-LF terminator on one specific line, a duplicated header, a mangled
+// version token.  `RequestSpec` therefore stores the separator and terminator
+// bytes for every element explicitly instead of assuming canonical syntax,
+// and `to_wire()` is a pure concatenation with no normalization whatsoever.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::http {
+
+/// One header line, fully spelled out.  The wire form is
+/// `name + separator + value + terminator`.
+struct HeaderSpec {
+  std::string name;
+  std::string value;
+  std::string separator = ": ";    ///< bytes between name and value
+  std::string terminator = "\r\n";
+
+  friend bool operator==(const HeaderSpec&, const HeaderSpec&) = default;
+};
+
+/// A complete request in buildable form.
+struct RequestSpec {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";  ///< empty string => 0.9-style line
+  std::string sep1 = " ";            ///< between method and target
+  std::string sep2 = " ";            ///< between target and version
+  std::string line_terminator = "\r\n";
+  std::string headers_terminator = "\r\n";  ///< the blank line
+  std::vector<HeaderSpec> headers;
+  std::string body;
+
+  /// Append a header with canonical separators.
+  RequestSpec& add(std::string_view name, std::string_view value);
+
+  /// Append a fully-specified header.
+  RequestSpec& add(HeaderSpec h);
+
+  /// Replace the first header with this (case-insensitive) name, or add it.
+  RequestSpec& set(std::string_view name, std::string_view value);
+
+  /// Remove every header with this (case-insensitive) name.
+  RequestSpec& remove(std::string_view name);
+
+  /// First value for a (case-insensitive) header name, if present.
+  std::optional<std::string> get(std::string_view name) const;
+
+  /// Serialize to raw bytes, exactly as specified.
+  std::string to_wire() const;
+
+  friend bool operator==(const RequestSpec&, const RequestSpec&) = default;
+};
+
+/// Convenience: a minimal valid GET request for `host`.
+RequestSpec make_get(std::string_view host, std::string_view target = "/");
+
+/// Convenience: a POST with Content-Length framing.
+RequestSpec make_post(std::string_view host, std::string_view target,
+                      std::string_view body);
+
+/// Convenience: a POST with chunked framing carrying `body` in one chunk.
+RequestSpec make_chunked_post(std::string_view host, std::string_view target,
+                              std::string_view body);
+
+}  // namespace hdiff::http

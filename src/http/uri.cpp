@@ -1,0 +1,253 @@
+#include "http/uri.h"
+
+#include "http/header_util.h"
+
+namespace hdiff::http {
+
+namespace {
+
+bool is_unreserved(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+bool is_sub_delim(char c) noexcept {
+  switch (c) {
+    case '!': case '$': case '&': case '\'': case '(': case ')': case '*':
+    case '+': case ',': case ';': case '=':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_scheme_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.';
+}
+
+bool is_hex(char c) noexcept {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+/// reg-name character, treating pct-encoded as validated separately.
+bool valid_reg_name_chars(std::string_view s) noexcept {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '%') {
+      if (i + 2 >= s.size() || !is_hex(s[i + 1]) || !is_hex(s[i + 2])) {
+        return false;
+      }
+      i += 2;
+    } else if (!is_unreserved(c) && !is_sub_delim(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_ipv6_literal(std::string_view s) noexcept {
+  if (s.size() < 4 || s.front() != '[' || s.back() != ']') return false;
+  for (char c : s.substr(1, s.size() - 2)) {
+    if (!is_hex(c) && c != ':' && c != '.') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(TargetForm f) noexcept {
+  switch (f) {
+    case TargetForm::kOrigin: return "origin-form";
+    case TargetForm::kAbsolute: return "absolute-form";
+    case TargetForm::kAuthority: return "authority-form";
+    case TargetForm::kAsterisk: return "asterisk-form";
+    case TargetForm::kMalformed: return "malformed";
+  }
+  return "malformed";
+}
+
+std::string_view to_string(HostExtraction e) noexcept {
+  switch (e) {
+    case HostExtraction::kStrict: return "strict";
+    case HostExtraction::kWholeValue: return "whole-value";
+    case HostExtraction::kBeforeDelims: return "before-delims";
+    case HostExtraction::kAfterAt: return "after-at";
+    case HostExtraction::kFirstListItem: return "first-list-item";
+    case HostExtraction::kLastListItem: return "last-list-item";
+  }
+  return "strict";
+}
+
+bool is_valid_reg_name(std::string_view host) noexcept {
+  if (host.empty()) return false;
+  if (is_ipv6_literal(host)) return true;
+  return valid_reg_name_chars(host);
+}
+
+Authority parse_authority(std::string_view s) {
+  Authority out;
+  // userinfo: bytes before the *last* '@' (RFC: first '@' terminates
+  // userinfo, but userinfo itself may not contain '@'; using the last '@'
+  // matches the spec because '@' is illegal inside userinfo anyway, and it
+  // is the convention security-sensitive parsers are told to follow).
+  std::string_view rest = s;
+  std::size_t at = rest.rfind('@');
+  if (at != std::string_view::npos) {
+    out.userinfo.assign(rest.substr(0, at));
+    rest.remove_prefix(at + 1);
+  }
+  // IPv6 literal keeps its colons inside brackets.
+  if (!rest.empty() && rest.front() == '[') {
+    std::size_t close = rest.find(']');
+    if (close == std::string_view::npos) return out;  // invalid
+    out.host.assign(rest.substr(0, close + 1));
+    rest.remove_prefix(close + 1);
+    if (!rest.empty()) {
+      if (rest.front() != ':') return out;
+      out.port.assign(rest.substr(1));
+    }
+  } else {
+    std::size_t colon = rest.rfind(':');
+    if (colon != std::string_view::npos &&
+        rest.find(':') == colon) {  // exactly one colon => host:port
+      out.host.assign(rest.substr(0, colon));
+      out.port.assign(rest.substr(colon + 1));
+    } else if (colon == std::string_view::npos) {
+      out.host.assign(rest);
+    } else {
+      // multiple colons outside brackets: not a valid authority
+      out.host.assign(rest);
+      return out;
+    }
+  }
+  // Validate.
+  for (char c : out.userinfo) {
+    if (!is_unreserved(c) && !is_sub_delim(c) && c != ':' && c != '%') return out;
+  }
+  for (char c : out.port) {
+    if (c < '0' || c > '9') return out;
+  }
+  if (!is_valid_reg_name(out.host)) return out;
+  out.valid = true;
+  return out;
+}
+
+RequestTarget parse_request_target(std::string_view target) {
+  RequestTarget out;
+  out.raw.assign(target);
+  if (target.empty()) return out;
+
+  if (target == "*") {
+    out.form = TargetForm::kAsterisk;
+    return out;
+  }
+  if (target.front() == '/') {
+    out.form = TargetForm::kOrigin;
+    std::size_t q = target.find('?');
+    if (q == std::string_view::npos) {
+      out.path.assign(target);
+    } else {
+      out.path.assign(target.substr(0, q));
+      out.query.assign(target.substr(q + 1));
+    }
+    return out;
+  }
+  // absolute-form: scheme ":" "//" authority path-abempty [ "?" query ]
+  std::size_t colon = target.find(':');
+  const bool alpha_start = (target[0] >= 'a' && target[0] <= 'z') ||
+                           (target[0] >= 'A' && target[0] <= 'Z');
+  if (colon != std::string_view::npos && colon > 0 && alpha_start) {
+    bool scheme_ok = true;
+    for (char c : target.substr(0, colon)) {
+      if (!is_scheme_char(c)) {
+        scheme_ok = false;
+        break;
+      }
+    }
+    if (scheme_ok && target.size() > colon + 2 && target[colon + 1] == '/' &&
+        target[colon + 2] == '/') {
+      out.scheme = to_lower(target.substr(0, colon));
+      std::string_view rest = target.substr(colon + 3);
+      std::size_t path_start = rest.find_first_of("/?");
+      std::string_view auth = path_start == std::string_view::npos
+                                  ? rest
+                                  : rest.substr(0, path_start);
+      out.authority = parse_authority(auth);
+      if (path_start != std::string_view::npos) {
+        std::string_view tail = rest.substr(path_start);
+        std::size_t q = tail.find('?');
+        if (q == std::string_view::npos) {
+          out.path.assign(tail);
+        } else {
+          out.path.assign(tail.substr(0, q));
+          out.query.assign(tail.substr(q + 1));
+        }
+      }
+      if (out.path.empty()) out.path = "/";
+      out.form = TargetForm::kAbsolute;
+      return out;
+    }
+  }
+  // authority-form (CONNECT): host ":" port with no scheme or slash.
+  {
+    Authority auth = parse_authority(target);
+    if (auth.valid && auth.userinfo.empty() && !auth.port.empty()) {
+      out.authority = auth;
+      out.form = TargetForm::kAuthority;
+      return out;
+    }
+  }
+  return out;  // malformed
+}
+
+std::string extract_host(std::string_view value, HostExtraction strategy) {
+  std::string_view v = trim_ows(value);
+  auto strip_port = [](std::string_view h) -> std::string_view {
+    if (!h.empty() && h.front() == '[') {
+      std::size_t close = h.find(']');
+      if (close != std::string_view::npos) return h.substr(0, close + 1);
+      return h;
+    }
+    std::size_t colon = h.rfind(':');
+    if (colon != std::string_view::npos && h.find(':') == colon) {
+      return h.substr(0, colon);
+    }
+    return h;
+  };
+  switch (strategy) {
+    case HostExtraction::kStrict: {
+      Authority auth = parse_authority(v);
+      if (!auth.valid || !auth.userinfo.empty()) return {};
+      return auth.host;
+    }
+    case HostExtraction::kWholeValue:
+      return std::string(v);
+    case HostExtraction::kBeforeDelims: {
+      std::size_t cut = v.find_first_of("@,/?#\\ \t");
+      if (cut != std::string_view::npos) v = v.substr(0, cut);
+      return std::string(strip_port(v));
+    }
+    case HostExtraction::kAfterAt: {
+      std::size_t at = v.rfind('@');
+      if (at != std::string_view::npos) v = v.substr(at + 1);
+      std::size_t cut = v.find_first_of(",/?# \t");
+      if (cut != std::string_view::npos) v = v.substr(0, cut);
+      return std::string(strip_port(v));
+    }
+    case HostExtraction::kFirstListItem: {
+      std::size_t comma = v.find(',');
+      if (comma != std::string_view::npos) v = trim_ows(v.substr(0, comma));
+      return std::string(strip_port(v));
+    }
+    case HostExtraction::kLastListItem: {
+      std::size_t comma = v.rfind(',');
+      if (comma != std::string_view::npos) v = trim_ows(v.substr(comma + 1));
+      return std::string(strip_port(v));
+    }
+  }
+  return {};
+}
+
+}  // namespace hdiff::http

@@ -1,0 +1,78 @@
+// Request-target and authority parsing (RFC 7230 §5.3, RFC 3986 §3.2).
+//
+// HoT-style attacks hinge on *where* an implementation believes the target
+// host is stated (request-line absolute-URI vs Host header) and *how* it
+// extracts a hostname from an ambiguous authority string such as
+// "h1.com@h2.com" or "h1.com, h2.com".  This header provides one strict
+// reference parser plus the lenient extraction strategies observed in real
+// implementations; the per-product models pick a strategy via ParsePolicy.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hdiff::http {
+
+/// The five request-target forms of RFC 7230 §5.3.
+enum class TargetForm {
+  kOrigin,     ///< "/path?query"
+  kAbsolute,   ///< "scheme://authority/path?query"
+  kAuthority,  ///< "host:port" (CONNECT only)
+  kAsterisk,   ///< "*" (OPTIONS only)
+  kMalformed,  ///< none of the above
+};
+
+std::string_view to_string(TargetForm f) noexcept;
+
+/// Decomposed authority component.
+struct Authority {
+  std::string userinfo;  ///< bytes before '@' (empty if none)
+  std::string host;
+  std::string port;      ///< digits after ':' (empty if none)
+  bool valid = false;    ///< strict RFC 3986 validity
+};
+
+/// Decomposed request-target.
+struct RequestTarget {
+  TargetForm form = TargetForm::kMalformed;
+  std::string scheme;    ///< lower-cased; absolute form only
+  Authority authority;   ///< absolute / authority forms
+  std::string path;
+  std::string query;
+  std::string raw;
+};
+
+/// Classify and decompose a request-target string.  Never throws; a target
+/// that fits no form comes back as kMalformed with `raw` preserved.
+RequestTarget parse_request_target(std::string_view target);
+
+/// Strict authority parse per RFC 3986 §3.2: optional userinfo '@', then
+/// reg-name / IPv4 / "[" IPv6 "]", optional ":" port (digits only).
+/// `valid` is false if any component violates the grammar.
+Authority parse_authority(std::string_view s);
+
+/// Lenient host-extraction strategies seen in deployed HTTP stacks.  Applied
+/// to the raw value of a Host header (or an authority string).
+enum class HostExtraction {
+  kStrict,        ///< RFC 3986 parse; invalid input yields empty host
+  kWholeValue,    ///< take the whole (OWS-trimmed) value, no validation
+  kBeforeDelims,  ///< cut at first of "@ , / ? # \\" then strip port
+  kAfterAt,       ///< take bytes after the last '@' (URL-semantics parsers)
+  kFirstListItem, ///< split on ',' and take the first element
+  kLastListItem,  ///< split on ',' and take the last element
+};
+
+std::string_view to_string(HostExtraction e) noexcept;
+
+/// Apply an extraction strategy; returns the hostname (possibly empty) the
+/// implementation would route on.  The port suffix ":NNN" is removed for all
+/// strategies except kWholeValue.
+std::string extract_host(std::string_view value, HostExtraction strategy);
+
+/// True if `host` is a syntactically valid reg-name / IPv4 / bracketed IPv6
+/// hostname under RFC 3986 (sub-delims allowed in reg-name, so "h1.com" and
+/// even "h1.com," are judged by the grammar, not by DNS rules).
+bool is_valid_reg_name(std::string_view host) noexcept;
+
+}  // namespace hdiff::http

@@ -1,0 +1,1063 @@
+#include "impls/model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <optional>
+
+#include "http/header_util.h"
+#include "http/lexer.h"
+#include "http/response.h"
+#include "http/uri.h"
+
+namespace hdiff::impls {
+
+std::string_view to_string(BodyFraming f) noexcept {
+  switch (f) {
+    case BodyFraming::kNone: return "none";
+    case BodyFraming::kContentLength: return "content-length";
+    case BodyFraming::kChunked: return "chunked";
+    case BodyFraming::kUntilClose: return "until-close";
+    case BodyFraming::kNotApplicable: return "n/a";
+  }
+  return "n/a";
+}
+
+namespace {
+
+using http::Anomaly;
+using http::RawHeader;
+using http::RawRequest;
+
+/// A header after policy-driven name normalization and usability filtering.
+struct EffHeader {
+  std::string name;   ///< recognition name: lower-case, possibly trimmed
+  std::string value;
+  const RawHeader* raw = nullptr;
+  bool usable = true;   ///< participates in semantics (framing, Host, ...)
+  bool garbage = false; ///< no-colon line kept only for verbatim forwarding
+};
+
+/// Strip CTL and whitespace bytes from a header name (lenient recognizers).
+std::string trim_name_lenient(std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7F) continue;
+    out.push_back(c);
+  }
+  return http::to_lower(out);
+}
+
+/// Everything the engine derives from one raw request under one policy.
+struct Analysis {
+  RawRequest req;
+  int status = 200;            ///< rejection code, or 200
+  bool incomplete = false;
+  std::string reason;
+
+  http::Version version{1, 1};
+  bool version_malformed = false;
+  bool is_http09 = false;
+
+  http::RequestTarget target;
+
+  std::vector<EffHeader> headers;
+
+  std::string host;
+  bool host_from_uri = false;
+
+  BodyFraming framing = BodyFraming::kNone;
+  std::string body;      ///< decoded body bytes
+  std::string raw_body;  ///< wire bytes consumed as the body (framing intact)
+  std::string leftover;
+  bool chunk_size_overflowed = false;
+  std::uint64_t first_chunk_size = 0;
+
+  bool expect_100 = false;   ///< usable Expect: 100-continue present
+  bool close_connection = false;
+
+  void reject(int code, std::string why) {
+    if (status == 200) {
+      status = code;
+      reason = std::move(why);
+    }
+  }
+};
+
+std::vector<const EffHeader*> find_headers(const Analysis& a,
+                                           std::string_view name) {
+  std::vector<const EffHeader*> out;
+  for (const auto& h : a.headers) {
+    if (h.usable && h.name == name) out.push_back(&h);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: request line
+// ---------------------------------------------------------------------------
+
+void analyze_request_line(Analysis& a, const ParsePolicy& p) {
+  const auto& line = a.req.line;
+
+  if (line.method_token.empty()) {
+    a.reject(400, "unparseable request line");
+    return;
+  }
+  if (!p.tolerate_extra_request_ws &&
+      http::has_anomaly(line.anomalies, Anomaly::kExtraRequestLineWs)) {
+    a.reject(400, "non-canonical whitespace in request line");
+    return;
+  }
+  if (http::has_anomaly(line.anomalies, Anomaly::kRequestLineParts)) {
+    if (line.version_token.empty() || p.reject_request_line_parts) {
+      a.reject(400, "request line does not have three parts");
+      return;
+    }
+    // Lenient parsers take the last token as the version and fold the rest
+    // into the target; processing continues below.
+  }
+
+  if (http::has_anomaly(line.anomalies, Anomaly::kNoVersion)) {
+    // HTTP/0.9 simple request.
+    if (!p.accept_http09) {
+      a.reject(400, "HTTP/0.9 request form not supported");
+      return;
+    }
+    if (!a.req.headers.empty() && !p.accept_http09_with_headers) {
+      a.reject(400, "header fields present on HTTP/0.9 request");
+      return;
+    }
+    a.is_http09 = true;
+    a.version = http::kHttp09;
+  } else if (auto v = line.strict_version()) {
+    a.version = *v;
+    if (a.version.major == 0) {
+      if (!p.accept_http09) {
+        a.reject(505, "HTTP/0.x version not supported");
+        return;
+      }
+      a.is_http09 = true;
+    } else if (a.version.major >= 2) {
+      if (!p.accept_version_2x) {
+        a.reject(505, "major version above 1 on a 1.x connection");
+        return;
+      }
+      a.version = http::kHttp11;  // processed as 1.1 semantics
+    } else if (a.version == http::kHttp10 && !p.accept_version_10) {
+      a.reject(505, "HTTP/1.0 not supported");
+      return;
+    }
+  } else {
+    // Malformed version token.
+    a.version_malformed = true;
+    switch (p.version_handling) {
+      case VersionHandling::kReject400:
+        a.reject(400, "malformed HTTP-version '" + line.version_token + "'");
+        return;
+      case VersionHandling::kCaseInsensitiveOnly: {
+        std::string upper = line.version_token;
+        for (char& c : upper) c = static_cast<char>(std::toupper(
+                                  static_cast<unsigned char>(c)));
+        http::RequestLine retry = line;
+        retry.version_token = upper;
+        if (auto rv = retry.strict_version()) {
+          a.version = *rv;
+          a.version_malformed = false;  // recovered
+        } else {
+          a.reject(400, "malformed HTTP-version '" + line.version_token + "'");
+          return;
+        }
+        break;
+      }
+      case VersionHandling::kAcceptAsIs:
+        a.version = http::kHttp11;  // treated as current version
+        break;
+    }
+  }
+
+  a.target = http::parse_request_target(line.target);
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: header block
+// ---------------------------------------------------------------------------
+
+void analyze_headers(Analysis& a, const ParsePolicy& p) {
+  std::size_t total_bytes = a.req.line.raw.size();
+
+  for (const auto& raw : a.req.headers) {
+    total_bytes += raw.raw_line.size() + 2;
+    EffHeader eff;
+    eff.raw = &raw;
+    eff.value = raw.value;
+
+    if (http::has_anomaly(raw.anomalies, Anomaly::kNulByte) &&
+        p.reject_nul_byte) {
+      a.reject(400, "NUL byte in header block");
+      return;
+    }
+    if (http::has_anomaly(raw.anomalies, Anomaly::kBareLf) &&
+        p.reject_bare_lf) {
+      a.reject(400, "bare LF line terminator");
+      return;
+    }
+    if (http::has_anomaly(raw.anomalies, Anomaly::kCtlInValue) &&
+        p.reject_ctl_in_value) {
+      a.reject(400, "control character in field value");
+      return;
+    }
+    if (http::has_anomaly(raw.anomalies, Anomaly::kLeadingHeaderWs)) {
+      if (p.reject_leading_header_ws) {
+        a.reject(400, "whitespace between start-line and first header");
+        return;
+      }
+      eff.usable = false;  // consumed without processing (RFC alternative)
+    }
+    if (http::has_anomaly(raw.anomalies, Anomaly::kMissingColon)) {
+      switch (p.garbage_line) {
+        case GarbageLine::kReject400:
+          a.reject(400, "header line without colon");
+          return;
+        case GarbageLine::kIgnoreLine:
+          eff.usable = false;
+          eff.garbage = true;
+          break;
+        case GarbageLine::kJoinPrevious:
+          if (!a.headers.empty()) {
+            EffHeader& prev = a.headers.back();
+            if (!prev.value.empty()) prev.value += ' ';
+            prev.value += std::string(http::trim_ows(raw.raw_line));
+            continue;
+          }
+          eff.usable = false;
+          eff.garbage = true;
+          break;
+      }
+      eff.name = http::to_lower(raw.name);
+      a.headers.push_back(std::move(eff));
+      continue;
+    }
+    if (http::has_anomaly(raw.anomalies, Anomaly::kWsBeforeColon)) {
+      switch (p.ws_before_colon) {
+        case WsBeforeColon::kReject400:
+          a.reject(400, "whitespace between field-name and colon");
+          return;
+        case WsBeforeColon::kIgnoreHeader:
+          eff.usable = false;
+          eff.name = http::to_lower(raw.name);
+          a.headers.push_back(std::move(eff));
+          continue;
+        case WsBeforeColon::kStripAndUse:
+          break;  // fall through to name normalization below
+      }
+    }
+    if (http::has_anomaly(raw.anomalies, Anomaly::kObsFold)) {
+      switch (p.obs_fold) {
+        case ObsFold::kReject400:
+          a.reject(400, "obsolete line folding");
+          return;
+        case ObsFold::kUnfoldToSp:
+        case ObsFold::kForwardAsIs:
+          break;  // lexer already joined with SP
+      }
+    }
+    if (http::has_anomaly(raw.anomalies, Anomaly::kNonTokenName) ||
+        http::has_anomaly(raw.anomalies, Anomaly::kWsInFieldName)) {
+      if (p.lenient_header_name_trim) {
+        eff.name = trim_name_lenient(raw.name);
+      } else if (p.reject_malformed_header_name) {
+        a.reject(400, "malformed header field-name");
+        return;
+      } else {
+        eff.usable = false;
+        eff.name = http::to_lower(raw.name);
+        a.headers.push_back(std::move(eff));
+        continue;
+      }
+    } else {
+      eff.name = raw.normalized_name();
+    }
+    a.headers.push_back(std::move(eff));
+  }
+
+  if (total_bytes > p.max_header_bytes) {
+    a.reject(431, "header block exceeds size limit");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: host resolution
+// ---------------------------------------------------------------------------
+
+bool host_value_acceptable(std::string_view value, HostValidation level) {
+  switch (level) {
+    case HostValidation::kStrict: {
+      http::Authority auth = http::parse_authority(http::trim_ows(value));
+      return auth.valid && auth.userinfo.empty();
+    }
+    case HostValidation::kLoose: {
+      std::string_view v = http::trim_ows(value);
+      if (v.empty()) return false;
+      for (char c : v) {
+        unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u == 0x7F) return false;  // CTL bytes only
+      }
+      return true;
+    }
+    case HostValidation::kNone:
+      return true;
+  }
+  return false;
+}
+
+void analyze_host(Analysis& a, const ParsePolicy& p) {
+  if (p.reject_non_http_scheme &&
+      a.target.form == http::TargetForm::kAbsolute &&
+      a.target.scheme != "http" && a.target.scheme != "https") {
+    a.reject(400, "unsupported scheme '" + a.target.scheme + "'");
+    return;
+  }
+  auto hosts = find_headers(a, "host");
+
+  if (hosts.size() > 1) {
+    if (p.reject_multiple_host) {
+      a.reject(400, "multiple Host header fields");
+      return;
+    }
+  }
+  std::optional<std::string> header_value;
+  if (!hosts.empty()) {
+    header_value = p.multiple_host_take_last ? hosts.back()->value
+                                             : hosts.front()->value;
+  }
+
+  // Absolute-URI in the request line can override the header.
+  std::optional<std::string> uri_host;
+  if (a.target.form == http::TargetForm::kAbsolute &&
+      !a.target.authority.host.empty()) {
+    bool uri_wins = false;
+    switch (p.abs_uri_host) {
+      case AbsUriHostPolicy::kUriWinsRewrite:
+        uri_wins = true;
+        break;
+      case AbsUriHostPolicy::kUriWinsHttpOnly:
+        uri_wins = a.target.scheme == "http" || a.target.scheme == "https";
+        break;
+      case AbsUriHostPolicy::kHostHeaderWins:
+        uri_wins = false;
+        break;
+    }
+    if (uri_wins) uri_host = a.target.authority.host;
+  }
+
+  if (uri_host) {
+    a.host = *uri_host;
+    a.host_from_uri = true;
+    return;
+  }
+  if (header_value) {
+    if (!host_value_acceptable(*header_value, p.host_validation)) {
+      a.reject(400, "invalid Host header field-value");
+      return;
+    }
+    a.host = http::extract_host(*header_value, p.host_extraction);
+    return;
+  }
+  // No host at all.
+  if (a.version >= http::kHttp11 && !a.is_http09 && p.reject_missing_host) {
+    a.reject(400, "HTTP/1.1 request lacks a Host header field");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: body framing
+// ---------------------------------------------------------------------------
+
+/// Parse one Content-Length header value under the policy; nullopt=invalid.
+std::optional<std::uint64_t> parse_cl(std::string_view value,
+                                      const ParsePolicy& p) {
+  switch (p.cl_value_parse) {
+    case ClValueParse::kStrict:
+      return http::parse_content_length_strict(http::trim_ows(value));
+    case ClValueParse::kLenientScan:
+      return http::parse_content_length_lenient(value);
+    case ClValueParse::kFirstListItem: {
+      std::string_view v = http::trim_ows(value);
+      std::size_t comma = v.find(',');
+      if (comma != std::string_view::npos) v = v.substr(0, comma);
+      return http::parse_content_length_lenient(v);
+    }
+  }
+  return std::nullopt;
+}
+
+/// TE classification result.
+enum class TeKind { kAbsent, kChunked, kIdentityObsolete, kUnknown, kInvalid };
+
+TeKind classify_te(const std::vector<const EffHeader*>& tes,
+                   const ParsePolicy& p, Analysis& a) {
+  if (tes.empty()) return TeKind::kAbsent;
+  if (tes.size() > 1 && p.duplicate_te_reject) {
+    a.reject(400, "multiple Transfer-Encoding header fields");
+    return TeKind::kInvalid;
+  }
+  std::string value;
+  for (const auto* h : tes) {
+    if (!value.empty()) value += ", ";
+    value += h->value;
+  }
+  switch (p.te_value_parse) {
+    case TeValueParse::kStrictTokenList: {
+      auto items = http::split_list(value);
+      if (items.empty()) return TeKind::kUnknown;
+      bool identity = false;
+      for (const auto& item : items) {
+        if (http::iequals(item, "identity")) identity = true;
+      }
+      if (identity && p.reject_te_identity) return TeKind::kIdentityObsolete;
+      const std::string& last = items.back();
+      if (http::iequals(last, "identity") && !p.reject_te_identity &&
+          items.size() >= 2 && http::iequals(items[items.size() - 2], "chunked")) {
+        return TeKind::kChunked;  // "chunked, identity" tolerated
+      }
+      if (http::iequals(last, "chunked")) {
+        // Token must be exact: embedded controls make it non-chunked.
+        if (http::is_token(last)) return TeKind::kChunked;
+        return TeKind::kUnknown;
+      }
+      return TeKind::kUnknown;
+    }
+    case TeValueParse::kTrimControls: {
+      std::string cleaned;
+      for (char c : value) {
+        unsigned char u = static_cast<unsigned char>(c);
+        if (u <= 0x20 || u == 0x7F) continue;
+        cleaned.push_back(c);
+      }
+      auto items = http::split_list(cleaned);
+      if (!items.empty() && http::iequals(items.back(), "chunked")) {
+        return TeKind::kChunked;
+      }
+      bool identity = false;
+      for (const auto& item : items) {
+        if (http::iequals(item, "identity")) identity = true;
+      }
+      if (identity && p.reject_te_identity) return TeKind::kIdentityObsolete;
+      return TeKind::kUnknown;
+    }
+    case TeValueParse::kContainsChunked: {
+      std::string lower = http::to_lower(value);
+      if (lower.find("chunked") != std::string::npos) return TeKind::kChunked;
+      return TeKind::kUnknown;
+    }
+  }
+  return TeKind::kUnknown;
+}
+
+void analyze_framing(Analysis& a, const ParsePolicy& p) {
+  const std::string& payload = a.req.after_headers;
+  a.leftover = payload;  // default: no body, everything is the next request
+
+  if (a.is_http09) {
+    a.framing = BodyFraming::kNone;
+    return;
+  }
+
+  auto cls = find_headers(a, "content-length");
+  auto tes = find_headers(a, "transfer-encoding");
+
+  TeKind te = classify_te(tes, p, a);
+  if (a.status != 200) return;
+
+  if (te == TeKind::kIdentityObsolete) {
+    a.reject(400, "obsolete 'identity' transfer coding");
+    return;
+  }
+  if (te == TeKind::kUnknown) {
+    if (p.te_unknown_is_error) {
+      a.reject(501, "transfer coding not implemented");
+      return;
+    }
+    te = TeKind::kAbsent;  // lenient stacks silently ignore the TE header
+  }
+  if (te == TeKind::kChunked && a.version < http::kHttp11 &&
+      !p.te_honored_in_http10) {
+    te = TeKind::kAbsent;  // chunked not supported pre-1.1: header ignored
+  }
+
+  // Content-Length resolution (also validates even when TE will win, per
+  // strict policies that reject the conflicting combination).
+  std::optional<std::uint64_t> content_length;
+  if (!cls.empty()) {
+    std::vector<std::uint64_t> values;
+    for (const auto* h : cls) {
+      // A single header may itself carry a list ("10, 10").
+      std::string_view v = http::trim_ows(h->value);
+      if (p.cl_value_parse == ClValueParse::kStrict &&
+          v.find(',') != std::string_view::npos) {
+        auto items = http::split_list(v);
+        for (const auto& item : items) {
+          auto n = http::parse_content_length_strict(item);
+          if (!n) {
+            a.reject(400, "invalid Content-Length value");
+            return;
+          }
+          values.push_back(*n);
+        }
+        continue;
+      }
+      auto n = parse_cl(h->value, p);
+      if (!n) {
+        a.reject(400, "invalid Content-Length value");
+        return;
+      }
+      values.push_back(*n);
+    }
+    if (values.size() > 1) {
+      bool all_equal = std::all_of(values.begin(), values.end(),
+                                   [&](std::uint64_t v) { return v == values[0]; });
+      switch (p.duplicate_cl) {
+        case DuplicateCl::kReject400:
+          if (!all_equal) {
+            a.reject(400, "conflicting Content-Length values");
+            return;
+          }
+          // RFC permits collapsing identical duplicates... strictest stacks
+          // still refuse; model the sanctioned collapse here.
+          content_length = values[0];
+          break;
+        case DuplicateCl::kMergeIfIdentical:
+          if (!all_equal) {
+            a.reject(400, "conflicting Content-Length values");
+            return;
+          }
+          content_length = values[0];
+          break;
+        case DuplicateCl::kTakeFirst:
+          content_length = values.front();
+          break;
+        case DuplicateCl::kTakeLast:
+          content_length = values.back();
+          break;
+      }
+    } else {
+      content_length = values[0];
+    }
+  }
+
+  bool use_chunked = false;
+  if (te == TeKind::kChunked && content_length) {
+    switch (p.cl_te_conflict) {
+      case ClTeConflict::kReject400:
+        a.reject(400, "both Content-Length and Transfer-Encoding present");
+        return;
+      case ClTeConflict::kTeWins:
+        use_chunked = true;
+        break;
+      case ClTeConflict::kClWins:
+        use_chunked = false;
+        break;
+    }
+  } else if (te == TeKind::kChunked) {
+    use_chunked = true;
+  }
+
+  // Fat GET/HEAD: body on a method with no body semantics.
+  const http::Method method = http::method_from_token(a.req.line.method_token);
+  const bool bodyless_method =
+      method == http::Method::kGet || method == http::Method::kHead;
+  if (bodyless_method && (use_chunked || content_length)) {
+    switch (p.fat_get) {
+      case FatGet::kReject400:
+        a.reject(400, "message body not allowed on GET/HEAD");
+        return;
+      case FatGet::kIgnoreBody:
+        a.framing = BodyFraming::kNone;
+        a.leftover = payload;
+        return;
+      case FatGet::kParseBody:
+        break;
+    }
+  }
+
+  if (use_chunked) {
+    http::ChunkResult r = http::decode_chunked(payload, p.chunk);
+    a.framing = BodyFraming::kChunked;
+    if (!r.chunk_sizes.empty()) a.first_chunk_size = r.chunk_sizes.front();
+    a.chunk_size_overflowed = r.size_overflowed;
+    if (r.incomplete) {
+      a.incomplete = true;
+      a.reason = r.error;
+      a.body = r.body;
+      a.leftover.clear();
+      return;
+    }
+    if (!r.ok) {
+      a.reject(400, "chunked framing error: " + r.error);
+      return;
+    }
+    a.body = r.body;
+    a.leftover = r.leftover;
+    a.raw_body = payload.substr(0, payload.size() - r.leftover.size());
+    return;
+  }
+  if (content_length) {
+    a.framing = BodyFraming::kContentLength;
+    if (payload.size() < *content_length) {
+      a.incomplete = true;
+      a.reason = "awaiting full Content-Length body";
+      a.body = payload;
+      a.leftover.clear();
+      return;
+    }
+    a.body = payload.substr(0, static_cast<std::size_t>(*content_length));
+    a.raw_body = a.body;
+    a.leftover = payload.substr(static_cast<std::size_t>(*content_length));
+    return;
+  }
+  a.framing = BodyFraming::kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 5: semantic extras (Expect, Connection)
+// ---------------------------------------------------------------------------
+
+void analyze_semantics(Analysis& a, const ParsePolicy& p) {
+  auto expects = find_headers(a, "expect");
+  if (!expects.empty()) {
+    const std::string value(http::trim_ows(expects.front()->value));
+    const bool is_100 = http::iequals(value, "100-continue");
+    const http::Method method =
+        http::method_from_token(a.req.line.method_token);
+    const bool bodyless =
+        (method == http::Method::kGet || method == http::Method::kHead) &&
+        a.framing == BodyFraming::kNone;
+    if (!is_100) {
+      // Unknown expectation: RFC 7231 allows 417.
+      if (p.expect_in_get == ExpectInGet::kReject417) {
+        a.reject(417, "unsupported expectation '" + value + "'");
+        return;
+      }
+    } else if (bodyless) {
+      switch (p.expect_in_get) {
+        case ExpectInGet::kReject417:
+          a.reject(417, "100-continue expectation on bodyless GET");
+          return;
+        case ExpectInGet::kIgnore:
+        case ExpectInGet::kForwardAsIs:
+          break;
+      }
+    }
+    a.expect_100 = is_100;
+  }
+
+  auto conns = find_headers(a, "connection");
+  for (const auto* conn : conns) {
+    for (const auto& opt : http::split_list(conn->value)) {
+      if (http::iequals(opt, "close")) a.close_connection = true;
+    }
+  }
+}
+
+Analysis analyze(std::string_view raw, const ParsePolicy& p) {
+  Analysis a;
+  a.req = http::lex_request(raw);
+  if (http::has_anomaly(a.req.anomalies, Anomaly::kTruncatedHeaders)) {
+    a.incomplete = true;
+    a.status = 200;
+    a.reason = "awaiting end of header block";
+    return a;
+  }
+  analyze_request_line(a, p);
+  if (a.status == 200) analyze_headers(a, p);
+  if (a.status == 200) analyze_host(a, p);
+  if (a.status == 200) analyze_framing(a, p);
+  if (a.status == 200 && !a.incomplete) analyze_semantics(a, p);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding reconstruction (proxy mode)
+// ---------------------------------------------------------------------------
+
+const char* kHopByHop[] = {"connection",       "keep-alive",
+                           "proxy-connection", "upgrade",
+                           "te",               "trailer"};
+
+bool is_hop_by_hop(std::string_view name) {
+  for (const char* h : kHopByHop) {
+    if (name == h) return true;
+  }
+  return false;
+}
+
+/// Build the forwarded request line and report whether the absolute-form
+/// target was rewritten to origin-form.
+std::string build_forward_line(const Analysis& a, const ParsePolicy& p,
+                               bool* rewrote_to_origin) {
+  const auto& line = a.req.line;
+  std::string target = line.target;
+  *rewrote_to_origin = false;
+  if (a.target.form == http::TargetForm::kAbsolute) {
+    bool rewrite = false;
+    switch (p.abs_uri_host) {
+      case AbsUriHostPolicy::kUriWinsRewrite:
+        rewrite = true;
+        break;
+      case AbsUriHostPolicy::kUriWinsHttpOnly:
+        rewrite = a.target.scheme == "http" || a.target.scheme == "https";
+        break;
+      case AbsUriHostPolicy::kHostHeaderWins:
+        rewrite = false;
+        break;
+    }
+    if (rewrite) {
+      target = a.target.path.empty() ? "/" : a.target.path;
+      if (!a.target.query.empty()) target += "?" + a.target.query;
+      *rewrote_to_origin = true;
+    }
+  }
+
+  std::string out;
+  out += line.method_token;
+  out += ' ';
+  switch (p.version_forwarding) {
+    case VersionForwarding::kRewriteToOwn:
+      out += target;
+      out += " HTTP/1.1";
+      break;
+    case VersionForwarding::kBlindForward:
+      out += target;
+      if (!line.version_token.empty()) {
+        out += ' ';
+        out += line.version_token;
+      }
+      break;
+    case VersionForwarding::kAppendOwnKeepBad:
+      out += target;
+      if (a.version_malformed && !line.version_token.empty()) {
+        // The repair bug: the bad token is left in place and the proxy's own
+        // version is appended after it.
+        out += ' ';
+        out += line.version_token;
+      }
+      out += " HTTP/1.1";
+      break;
+  }
+  out += "\r\n";
+  return out;
+}
+
+/// Emit the body bytes for a forwarding proxy that kept chunked framing.
+void emit_forward_chunked_body(const Analysis& a, std::string& out) {
+  if (a.chunk_size_overflowed) {
+    // The chunk-repair bug (paper §IV-B "Bad chunk-size value"): the proxy
+    // re-emits the *wrapped* size value while sending only the bytes it
+    // actually consumed — downstream framing no longer matches.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(a.first_chunk_size));
+    out += buf;
+    out += "\r\n";
+    out += a.body;
+    out += "\r\n0\r\n\r\n";
+  } else {
+    out += http::encode_chunked(a.body);
+  }
+}
+
+/// Byte-transparent forwarding: original header lines are copied verbatim
+/// (minus hop-by-hop), and the body is the raw consumed bytes.  This is the
+/// mode in which ambiguous CL/TE constructions survive the proxy — the
+/// primary pair-level smuggling primitive.
+std::string rebuild_forwarded_transparent(const Analysis& a,
+                                          const ParsePolicy& p) {
+  bool rewrote_to_origin = false;
+  std::string out = build_forward_line(a, p, &rewrote_to_origin);
+
+  std::vector<std::string> connection_listed;
+  if (p.strip_connection_listed) {
+    for (const auto& h : a.headers) {
+      if (h.usable && h.name == "connection") {
+        for (const auto& opt : http::split_list(h.value)) {
+          std::string lower = http::to_lower(opt);
+          if (p.connection_strip_protects_critical &&
+              (lower == "host" || lower == "cookie")) {
+            continue;
+          }
+          connection_listed.push_back(std::move(lower));
+        }
+      }
+    }
+  }
+  auto listed = [&](std::string_view name) {
+    return std::find(connection_listed.begin(), connection_listed.end(),
+                     name) != connection_listed.end();
+  };
+
+  for (const auto& h : a.headers) {
+    if (h.usable && (is_hop_by_hop(h.name) || listed(h.name))) continue;
+    if (h.usable && h.name == "host" && rewrote_to_origin) continue;
+    if (h.raw) {
+      out += h.raw->raw_line;
+      out += "\r\n";
+    }
+  }
+  if (rewrote_to_origin) {
+    std::string host = a.target.authority.host;
+    if (!a.target.authority.port.empty()) host += ":" + a.target.authority.port;
+    out += "Host: " + host + "\r\n";
+  }
+  out += "Via: 1.1 " + p.name + "\r\n";
+  out += "\r\n";
+
+  if (a.framing == BodyFraming::kChunked && a.chunk_size_overflowed) {
+    emit_forward_chunked_body(a, out);  // repair bug applies even here
+  } else {
+    out += a.raw_body;
+  }
+  return out;
+}
+
+std::string rebuild_forwarded(const Analysis& a, const ParsePolicy& p) {
+  if (!p.normalize_headers_on_forward) {
+    return rebuild_forwarded_transparent(a, p);
+  }
+  bool rewrote_to_origin = false;
+  std::string out = build_forward_line(a, p, &rewrote_to_origin);
+
+  // ---- collect Connection-listed names to strip ---------------------------
+  std::vector<std::string> connection_listed;
+  if (p.strip_connection_listed) {
+    for (const auto& h : a.headers) {
+      if (h.usable && h.name == "connection") {
+        for (const auto& opt : http::split_list(h.value)) {
+          std::string lower = http::to_lower(opt);
+          if (p.connection_strip_protects_critical &&
+              (lower == "host" || lower == "cookie")) {
+            continue;
+          }
+          connection_listed.push_back(std::move(lower));
+        }
+      }
+    }
+  }
+  auto is_connection_listed = [&](std::string_view name) {
+    return std::find(connection_listed.begin(), connection_listed.end(),
+                     name) != connection_listed.end();
+  };
+
+  // ---- headers --------------------------------------------------------------
+  const bool body_chunked = a.framing == BodyFraming::kChunked;
+  const bool emit_cl_for_chunked = body_chunked && p.dechunk_downstream;
+  bool wrote_host = false;
+
+  for (const auto& h : a.headers) {
+    if (h.garbage) {
+      if (!p.normalize_headers_on_forward && h.raw) {
+        out += h.raw->raw_line;
+        out += "\r\n";
+      }
+      continue;
+    }
+    if (!h.usable) {
+      if (!p.normalize_headers_on_forward && h.raw) {
+        out += h.raw->raw_line;
+        out += "\r\n";
+      }
+      continue;
+    }
+    if (is_hop_by_hop(h.name) || is_connection_listed(h.name)) continue;
+    if (h.name == "transfer-encoding") {
+      if (emit_cl_for_chunked) continue;     // replaced by Content-Length
+      if (body_chunked) {
+        out += "Transfer-Encoding: chunked\r\n";
+        continue;
+      }
+      // TE was ignored by this proxy's framing: forward as-is only in
+      // byte-transparent mode.
+      if (!p.normalize_headers_on_forward && h.raw) {
+        out += h.raw->raw_line;
+        out += "\r\n";
+      }
+      continue;
+    }
+    if (h.name == "content-length") {
+      // Re-framed below from the proxy's own body interpretation.
+      continue;
+    }
+    if (h.name == "expect") {
+      if (p.expect_in_get == ExpectInGet::kForwardAsIs) {
+        out += h.raw ? h.raw->raw_line : ("Expect: " + h.value);
+        out += "\r\n";
+      }
+      // RFC-following proxies handle/drop the expectation themselves when
+      // the request has no body.
+      continue;
+    }
+    if (h.name == "host") {
+      if (rewrote_to_origin) {
+        // Regenerated from the URI below.
+        continue;
+      }
+      wrote_host = true;
+      if (p.normalize_headers_on_forward) {
+        out += "Host: " + h.value + "\r\n";
+      } else if (h.raw) {
+        out += h.raw->raw_line;
+        out += "\r\n";
+      }
+      continue;
+    }
+    if (p.normalize_headers_on_forward) {
+      // Canonical spelling, preserving the original casing of the name core.
+      std::string name = h.raw ? std::string(http::trim_lenient_ws(h.raw->name))
+                               : h.name;
+      out += name + ": " + h.value + "\r\n";
+    } else if (h.raw) {
+      out += h.raw->raw_line;
+      out += "\r\n";
+    }
+  }
+
+  if (rewrote_to_origin) {
+    std::string host = a.target.authority.host;
+    if (!a.target.authority.port.empty()) host += ":" + a.target.authority.port;
+    out += "Host: " + host + "\r\n";
+  } else if (!wrote_host && find_headers(a, "host").empty() &&
+             !a.host.empty()) {
+    // Host derived without a Host header (e.g. authority-form targets):
+    // materialize it.  A header stripped via Connection-listing is *not*
+    // regenerated — that is the hop-by-hop CPDoS vector.
+    out += "Host: " + a.host + "\r\n";
+  }
+
+  // Body framing headers.
+  if (body_chunked && !emit_cl_for_chunked) {
+    // Transfer-Encoding already written above (or absent if the TE header was
+    // unusable — re-add it so the downstream framing matches).
+    if (out.find("Transfer-Encoding:") == std::string::npos) {
+      out += "Transfer-Encoding: chunked\r\n";
+    }
+  } else if (a.framing == BodyFraming::kContentLength || emit_cl_for_chunked) {
+    out += "Content-Length: " + std::to_string(a.body.size()) + "\r\n";
+  }
+
+  out += "Via: 1.1 " + p.name + "\r\n";
+  out += "\r\n";
+
+  // ---- body ----------------------------------------------------------------
+  if (body_chunked && !emit_cl_for_chunked) {
+    emit_forward_chunked_body(a, out);
+  } else {
+    out += a.body;
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelImplementation::ModelImplementation(ParsePolicy policy)
+    : policy_(std::move(policy)) {}
+
+ServerVerdict ModelImplementation::parse_request(std::string_view raw) const {
+  Analysis a = analyze(raw, policy_);
+  ServerVerdict v;
+  v.impl = policy_.name;
+  v.status = a.incomplete ? 0 : a.status;
+  v.incomplete = a.incomplete;
+  v.framing = a.status == 200 ? a.framing : BodyFraming::kNotApplicable;
+  v.host = a.host;
+  v.body = a.body;
+  v.leftover = a.leftover;
+  v.version = a.version;
+  v.close_connection = a.close_connection || a.status >= 400;
+  v.reason = a.reason;
+  return v;
+}
+
+std::string ModelImplementation::respond(std::string_view raw) const {
+  Analysis a = analyze(raw, policy_);
+  std::string out;
+  if (a.status == 200 && !a.incomplete && a.expect_100 &&
+      policy_.emits_100_continue) {
+    out += "HTTP/1.1 100 Continue\r\n\r\n";
+  }
+  int status = a.incomplete ? 408 : a.status;
+  std::string extra = "X-HDiff-Impl: " + policy_.name + "\r\n";
+  out += http::build_response(status, a.body, extra);
+  return out;
+}
+
+RelayOutcome ModelImplementation::relay_response(
+    std::string_view backend_bytes, http::Method request_method) const {
+  RelayOutcome out;
+  http::FramedResponse first =
+      http::frame_first_response(backend_bytes, request_method);
+  if (!first.head.status_line_valid() || !first.complete) {
+    // Unparseable or partial: relay the raw bytes as-is.
+    out.to_client.assign(backend_bytes);
+    out.relayed_status = first.head.status;
+    return out;
+  }
+  if (first.interim && policy_.understands_interim_responses) {
+    // Skip interim responses and relay the final one.
+    std::string leftover = first.leftover;
+    http::FramedResponse final_response =
+        http::frame_first_response(leftover, request_method);
+    while (final_response.complete && final_response.interim) {
+      leftover = final_response.leftover;
+      final_response = http::frame_first_response(leftover, request_method);
+    }
+    out.to_client = leftover.substr(
+        0, leftover.size() - final_response.leftover.size());
+    if (out.to_client.empty()) out.to_client = leftover;
+    out.relayed_status = final_response.head.status;
+    out.stale_backend_bytes = final_response.leftover;
+    return out;
+  }
+  // Either a normal final response, or an interim this proxy does NOT
+  // recognize as interim: relay exactly one framed response.
+  out.to_client.assign(
+      backend_bytes.substr(0, backend_bytes.size() - first.leftover.size()));
+  out.relayed_status = first.head.status;
+  out.stale_backend_bytes = first.leftover;
+  // A stranded *final* response behind a relayed interim is the
+  // desynchronization primitive.
+  if (first.interim && !first.leftover.empty()) out.desync = true;
+  return out;
+}
+
+ProxyVerdict ModelImplementation::forward_request(std::string_view raw) const {
+  ProxyVerdict v;
+  v.impl = policy_.name;
+  if (!policy_.proxy_mode) {
+    v.status = 500;
+    v.reason = "implementation does not support proxy mode";
+    return v;
+  }
+  Analysis a = analyze(raw, policy_);
+  v.host = a.host;
+  v.incomplete = a.incomplete;
+  if (a.incomplete) {
+    v.status = 408;
+    v.reason = a.reason.empty() ? "timed out awaiting request" : a.reason;
+    return v;
+  }
+  if (a.status != 200) {
+    v.status = a.status;
+    v.reason = a.reason;
+    return v;
+  }
+  v.body = a.body;
+  v.leftover = a.leftover;
+  v.forwarded_bytes = rebuild_forwarded(a, policy_);
+  v.would_cache = policy_.cache_enabled;
+  v.cache_key = a.host + "|" + a.req.line.target;
+  v.reason = a.reason;
+  return v;
+}
+
+}  // namespace hdiff::impls

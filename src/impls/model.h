@@ -1,0 +1,66 @@
+// The behaviour-model engine.
+//
+// `ModelImplementation` interprets a ParsePolicy over raw request bytes and
+// produces ServerVerdict / ProxyVerdict.  All ten product models share this
+// engine; they differ only in policy values (products.h).  That design
+// mirrors the reality HDiff probes: every HTTP stack implements the same
+// specification, and the vulnerabilities live entirely in the
+// discretionary/deviant corners that ParsePolicy parameterizes.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "impls/policy.h"
+#include "impls/verdict.h"
+
+namespace hdiff::impls {
+
+/// Abstract interface differential testing consumes.
+class HttpImplementation {
+ public:
+  virtual ~HttpImplementation() = default;
+
+  virtual const ParsePolicy& policy() const noexcept = 0;
+
+  std::string_view name() const noexcept { return policy().name; }
+  bool is_server() const noexcept { return policy().server_mode; }
+  bool is_proxy() const noexcept { return policy().proxy_mode; }
+
+  /// Interpret `raw` as a back-end server would.
+  virtual ServerVerdict parse_request(std::string_view raw) const = 0;
+
+  /// Interpret `raw` as a reverse proxy would: either reject, or produce the
+  /// exact bytes forwarded downstream.  Only meaningful when is_proxy().
+  virtual ProxyVerdict forward_request(std::string_view raw) const = 0;
+
+  /// Produce the full response byte stream a server would emit for `raw`,
+  /// including an interim "100 Continue" when the request carries an
+  /// accepted Expect: 100-continue and the model emits interims.
+  virtual std::string respond(std::string_view raw) const = 0;
+
+  /// Relay a back-end response stream to the client, applying this proxy's
+  /// interim-response understanding.  `request_method` drives the framing
+  /// (HEAD responses carry no body).
+  virtual RelayOutcome relay_response(std::string_view backend_bytes,
+                                      http::Method request_method) const = 0;
+};
+
+/// Policy-driven implementation of both roles.
+class ModelImplementation final : public HttpImplementation {
+ public:
+  explicit ModelImplementation(ParsePolicy policy);
+
+  const ParsePolicy& policy() const noexcept override { return policy_; }
+  ServerVerdict parse_request(std::string_view raw) const override;
+  ProxyVerdict forward_request(std::string_view raw) const override;
+  std::string respond(std::string_view raw) const override;
+  RelayOutcome relay_response(std::string_view backend_bytes,
+                              http::Method request_method) const override;
+
+ private:
+  ParsePolicy policy_;
+};
+
+}  // namespace hdiff::impls

@@ -1,0 +1,207 @@
+// Behaviour-model configuration for HTTP implementations.
+//
+// Every dial in ParsePolicy corresponds to a *documented divergence point*
+// between real HTTP stacks — the places where RFC 7230 either demands one
+// behaviour that some products relax, or leaves recipients discretion that
+// products exercise differently.  A product model is (mostly) a ParsePolicy
+// value; the shared engine in model.h interprets it.  The specific values
+// assigned to the ten products in products.cpp encode the findings of the
+// paper's Table I/II and the associated CVE write-ups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "http/chunked.h"
+#include "http/uri.h"
+
+namespace hdiff::impls {
+
+/// What to do with a header whose field-name has whitespace before the
+/// colon ("Content-Length : 10") — RFC 7230 §3.2.4 mandates 400.
+enum class WsBeforeColon {
+  kReject400,    ///< RFC-conformant
+  kIgnoreHeader, ///< keep the message, treat the header as unknown garbage
+  kStripAndUse,  ///< trim the name and honour the header (IIS-style laxness)
+};
+
+/// What to do with a header line that has no colon at all.
+enum class GarbageLine {
+  kReject400,
+  kIgnoreLine,
+  kJoinPrevious,  ///< treat as a continuation of the previous field value
+};
+
+/// Handling of obsolete line folding in requests (RFC 7230 §3.2.4: reject
+/// with 400 or unfold to SP).
+enum class ObsFold {
+  kReject400,
+  kUnfoldToSp,   ///< RFC-sanctioned alternative
+  kForwardAsIs,  ///< proxies that neither reject nor unfold (gap source)
+};
+
+/// Duplicate Content-Length headers (or a list value "10, 10").
+enum class DuplicateCl {
+  kReject400,       ///< RFC-conformant for differing values
+  kMergeIfIdentical,///< RFC-sanctioned: collapse identical duplicates
+  kTakeFirst,
+  kTakeLast,
+};
+
+/// How a Content-Length *value* is parsed.
+enum class ClValueParse {
+  kStrict,        ///< 1*DIGIT only
+  kLenientScan,   ///< strtol-style: leading ws/'+', stop at first non-digit
+  kFirstListItem, ///< "6, 9" => 6 (then lenient scan)
+};
+
+/// How the Transfer-Encoding value is matched against "chunked".
+enum class TeValueParse {
+  kStrictTokenList,  ///< exact token list; last coding must be "chunked"
+  kTrimControls,     ///< strip CTL bytes (\v, \f, ...) then match (Tomcat-style)
+  kContainsChunked,  ///< any appearance of "chunked" in the value counts
+};
+
+/// What happens when both Content-Length and Transfer-Encoding are present
+/// and the TE value is *recognized*.
+enum class ClTeConflict {
+  kTeWins,     ///< RFC 7230 §3.3.3 precedence
+  kReject400,  ///< "ought to be handled as an error" hard-line reading
+  kClWins,     ///< non-conformant (gap source)
+};
+
+/// Handling of an unparseable HTTP-version token on the request line.
+enum class VersionHandling {
+  kReject400,
+  kAcceptAsIs,          ///< treat like 1.1 and continue
+  kCaseInsensitiveOnly, ///< accept "hTTP/1.1" but reject real garbage
+};
+
+/// What a proxy emits for the request line when forwarding.
+enum class VersionForwarding {
+  kRewriteToOwn,       ///< RFC: intermediaries send their own version
+  kBlindForward,       ///< copy the incoming line verbatim (Haproxy/0.9 gap)
+  kAppendOwnKeepBad,   ///< "GET / 1.1/HTTP" -> "GET / 1.1/HTTP HTTP/1.0"
+                       ///< (the Nginx/Squid/ATS repair bug)
+};
+
+/// Where the target host comes from when the request-target is an
+/// absolute-URI (RFC 7230 §5.4: the URI wins and proxies must rewrite).
+enum class AbsUriHostPolicy {
+  kUriWinsRewrite,      ///< RFC-conformant: use URI host, regenerate Host
+  kUriWinsHttpOnly,     ///< rewrite for http(s) schemes, forward other
+                        ///< schemes untouched (Varnish gap)
+  kHostHeaderWins,      ///< route on the Host header, keep line untouched
+};
+
+/// Validation applied to the Host header value.
+enum class HostValidation {
+  kStrict,   ///< RFC 3986 authority; 400 on anything else
+  kLoose,    ///< reject only embedded whitespace / empty
+  kNone,     ///< anything goes
+};
+
+/// How a GET/HEAD with a body ("fat" request) is treated.
+enum class FatGet {
+  kParseBody,   ///< frame per CL/TE like any message (RFC reading)
+  kIgnoreBody,  ///< treat body bytes as the next pipelined request
+  kReject400,
+};
+
+/// Expect: 100-continue appearing in a bodyless GET.
+enum class ExpectInGet {
+  kIgnore,       ///< process normally, drop the expectation
+  kReject417,    ///< Lighttpd-style refusal
+  kForwardAsIs,  ///< proxies forwarding the expectation blindly (ATS gap)
+};
+
+/// Full behaviour model for one implementation.
+struct ParsePolicy {
+  std::string name;         ///< product name, e.g. "varnish"
+  std::string version;      ///< modelled release, e.g. "6.5.1"
+  bool server_mode = false; ///< appears as back-end in Table I
+  bool proxy_mode = false;  ///< appears as front-end in Table I
+
+  // --- header-block syntax tolerance --------------------------------------
+  WsBeforeColon ws_before_colon = WsBeforeColon::kReject400;
+  GarbageLine garbage_line = GarbageLine::kIgnoreLine;
+  ObsFold obs_fold = ObsFold::kReject400;
+  bool reject_bare_lf = false;       ///< refuse LF-only line endings
+  bool reject_nul_byte = true;
+  bool reject_ctl_in_value = false;
+  bool reject_leading_header_ws = true;  ///< ws between start-line and headers
+  /// Strip CTL/whitespace from the *name* before matching known headers
+  /// ("\x0bTransfer-Encoding" recognized as TE).
+  bool lenient_header_name_trim = false;
+  /// Reject (400) header lines whose field-name is not a token, instead of
+  /// ignoring the line (strict stacks: Apache HttpProtocolOptions Strict,
+  /// nginx).  Ignored when lenient_header_name_trim recognizes the name.
+  bool reject_malformed_header_name = false;
+  std::size_t max_header_bytes = 8192;   ///< HHO CPDoS lever
+
+  // --- request line --------------------------------------------------------
+  VersionHandling version_handling = VersionHandling::kReject400;
+  bool accept_http09 = false;        ///< 2-token request line accepted
+  bool accept_http09_with_headers = false;  ///< 0.9 line yet header block read
+  bool accept_version_10 = true;
+  bool accept_version_2x = false;    ///< "HTTP/2.0" on a 1.x connection
+  bool tolerate_extra_request_ws = true;
+  /// Reject request lines with more than three whitespace-separated parts
+  /// (e.g. the "GET / 1.1/HTTP HTTP/1.1" shape produced by repair bugs).
+  bool reject_request_line_parts = true;
+
+  // --- body framing ---------------------------------------------------------
+  DuplicateCl duplicate_cl = DuplicateCl::kReject400;
+  ClValueParse cl_value_parse = ClValueParse::kStrict;
+  TeValueParse te_value_parse = TeValueParse::kStrictTokenList;
+  ClTeConflict cl_te_conflict = ClTeConflict::kTeWins;
+  /// Unknown/unrecognized transfer coding: 501 per RFC 7230 §3.3.1 (true),
+  /// or silently ignore the TE header and fall back to CL/none (false —
+  /// the lenient behaviour that opens TE-mangling smuggling gaps).
+  bool te_unknown_is_error = true;
+  bool te_honored_in_http10 = true;  ///< false => TE ignored for 1.0 requests
+  bool reject_te_identity = true;    ///< "chunked, identity" is obsolete
+  bool duplicate_te_reject = true;   ///< two TE headers => 400
+  FatGet fat_get = FatGet::kParseBody;
+  http::ChunkPolicy chunk;
+
+  // --- host resolution -------------------------------------------------------
+  http::HostExtraction host_extraction = http::HostExtraction::kStrict;
+  HostValidation host_validation = HostValidation::kStrict;
+  bool reject_missing_host = true;       ///< HTTP/1.1 without Host => 400
+  /// Reject absolute-form targets whose scheme is not http/https (servers
+  /// that refuse to serve schemes they do not implement).
+  bool reject_non_http_scheme = false;
+  bool reject_multiple_host = true;
+  bool multiple_host_take_last = false;  ///< when not rejecting
+  AbsUriHostPolicy abs_uri_host = AbsUriHostPolicy::kUriWinsRewrite;
+
+  // --- misc semantics ---------------------------------------------------------
+  ExpectInGet expect_in_get = ExpectInGet::kIgnore;
+  /// Server side: answer an accepted Expect: 100-continue with an interim
+  /// "HTTP/1.1 100 Continue" before the final response.
+  bool emits_100_continue = true;
+  /// Proxy side: recognize 1xx responses as interim and keep reading for
+  /// the final response.  When false, the interim is relayed as if it were
+  /// the final response and the real response strands on the back-end
+  /// connection — response desynchronization (the Expect HRS variant).
+  bool understands_interim_responses = true;
+
+  // --- proxy-only behaviour ----------------------------------------------------
+  VersionForwarding version_forwarding = VersionForwarding::kRewriteToOwn;
+  /// Strip headers named in Connection (hop-by-hop).  When
+  /// `connection_strip_protects_critical` is false, even Host/Cookie named in
+  /// Connection are removed (the Table II hop-by-hop CPDoS vector).
+  bool strip_connection_listed = true;
+  bool connection_strip_protects_critical = true;
+  /// Re-emit chunked bodies as Content-Length downstream (common proxy
+  /// normalization; surfaces size-repair bugs).
+  bool dechunk_downstream = false;
+  /// Normalize header spelling when forwarding (rebuild "Name: value");
+  /// false => copy original header lines byte-for-byte.
+  bool normalize_headers_on_forward = true;
+  /// Cache responses (experiment config caches even non-200, per §IV-A).
+  bool cache_enabled = false;
+};
+
+}  // namespace hdiff::impls

@@ -1,0 +1,379 @@
+#include "impls/products.h"
+
+#include "http/header_util.h"
+
+namespace hdiff::impls {
+
+namespace {
+
+/// Shared experiment configuration: per §IV-A all proxies run in
+/// reverse-proxy mode and are configured to cache any returned response,
+/// including error responses.
+void configure_proxy_defaults(ParsePolicy& p) {
+  p.proxy_mode = true;
+  p.cache_enabled = true;
+}
+
+}  // namespace
+
+ParsePolicy iis_policy() {
+  ParsePolicy p;
+  p.name = "iis";
+  p.version = "10";
+  p.server_mode = true;
+
+  // CVE-2020-0645 family: IIS tolerates whitespace between the field-name
+  // and the colon and *honours* the header ("Content-Length : 10" frames a
+  // body) — RFC 7230 §3.2.4 demands 400.  Primary HRS lever of §IV-B.
+  p.ws_before_colon = WsBeforeColon::kStripAndUse;
+
+  // Version token matching is case-insensitive ("hTTP/1.1" accepted).
+  p.version_handling = VersionHandling::kCaseInsensitiveOnly;
+
+  // Host handling: URL-parser semantics treat "h1.com@h2.com" as
+  // userinfo@host and route on h2.com; the request-line absolute-URI wins
+  // over the Host header (§IV-B "Bad absolute-URI vs Host").
+  p.host_validation = HostValidation::kLoose;
+  p.host_extraction = http::HostExtraction::kAfterAt;
+  p.abs_uri_host = AbsUriHostPolicy::kUriWinsRewrite;
+
+  p.obs_fold = ObsFold::kUnfoldToSp;
+  return p;
+}
+
+ParsePolicy tomcat_policy() {
+  ParsePolicy p;
+  p.name = "tomcat";
+  p.version = "9.0.29";
+  p.server_mode = true;
+
+  // CVE-2019-17569 / CVE-2020-1935 family: control bytes are stripped from
+  // the Transfer-Encoding value before matching, so
+  // "Transfer-Encoding:\x0bchunked" is honoured as chunked while conformant
+  // stacks treat the coding as unknown.
+  p.te_value_parse = TeValueParse::kTrimControls;
+  p.te_unknown_is_error = false;      // unrecognized codings silently ignored
+  p.lenient_header_name_trim = true;  // "\x0bTransfer-Encoding" recognized
+
+  // Tomcat does not support chunked encoding on HTTP/1.0 requests while
+  // most other stacks honour it — the "HTTP version 1.0 with TE chunked"
+  // HRS vector of §IV-B.
+  p.te_honored_in_http10 = false;
+
+  // Host: a comma-separated value routes on the *last* element; the
+  // absolute-URI wins over the Host header.
+  p.host_validation = HostValidation::kLoose;
+  p.host_extraction = http::HostExtraction::kLastListItem;
+  p.abs_uri_host = AbsUriHostPolicy::kUriWinsRewrite;
+
+  p.obs_fold = ObsFold::kUnfoldToSp;
+  // Continuation-like garbage lines are folded into the previous field
+  // value — the "Host: h1.com\t\nh2.com" obs-fold HoT vector of Table II.
+  p.garbage_line = GarbageLine::kJoinPrevious;
+  return p;
+}
+
+ParsePolicy weblogic_policy() {
+  ParsePolicy p;
+  p.name = "weblogic";
+  p.version = "12.2.1.4.0";
+  p.server_mode = true;
+
+  // CVE-2020-2867 / CVE-2020-14588 / CVE-2020-14589 family: lenient
+  // strtol-style Content-Length parsing accepts "+6" and stops at the first
+  // non-digit, and the first of several Content-Length headers wins.
+  p.cl_value_parse = ClValueParse::kLenientScan;
+  p.duplicate_cl = DuplicateCl::kTakeFirst;
+
+  // The only back-end that answers an HTTP/0.9-with-headers message with
+  // 200 (§IV-B "Blindly forwarding lower/higher HTTP-version").
+  p.accept_http09 = true;
+  p.accept_http09_with_headers = true;
+  p.accept_version_2x = true;
+  p.version_handling = VersionHandling::kAcceptAsIs;
+  p.reject_request_line_parts = false;  // garbage extra tokens tolerated
+
+  // Host: anything is accepted; URL semantics route after '@'; duplicate
+  // Host headers are tolerated (last wins); a request without Host is
+  // served against the default virtual host.
+  p.host_validation = HostValidation::kNone;
+  p.host_extraction = http::HostExtraction::kAfterAt;
+  p.reject_multiple_host = false;
+  p.multiple_host_take_last = true;
+  p.reject_missing_host = false;
+  p.abs_uri_host = AbsUriHostPolicy::kUriWinsRewrite;
+
+  // Fat GET: the body is left on the connection (next-request boundary gap).
+  p.fat_get = FatGet::kIgnoreBody;
+
+  // C-string body handling: a NUL byte inside chunk-data terminates the
+  // body (Table II "NULL in chunk-data" — an HRS desync primitive).
+  p.chunk.nul_terminates_body = true;
+
+  p.obs_fold = ObsFold::kUnfoldToSp;
+  p.garbage_line = GarbageLine::kJoinPrevious;
+  return p;
+}
+
+ParsePolicy lighttpd_policy() {
+  ParsePolicy p;
+  p.name = "lighttpd";
+  p.version = "1.4.58";
+  p.server_mode = true;
+
+  // HRS finding: a list-valued Content-Length ("6, 9") is parsed by taking
+  // the first element instead of rejecting the conflicting values.
+  p.cl_value_parse = ClValueParse::kFirstListItem;
+
+  // CPDoS pair with ATS (§IV-B "Blindly forwarding Expect header in GET
+  // request"): lighttpd rejects the expectation outright.
+  p.expect_in_get = ExpectInGet::kReject417;
+
+  // Fat GET/HEAD is refused (another §IV-B CPDoS/HRS vector: some
+  // implementations "directly consider this type of request to be illegal").
+  p.fat_get = FatGet::kReject400;
+
+  p.host_validation = HostValidation::kStrict;
+  p.host_extraction = http::HostExtraction::kStrict;
+  p.reject_non_http_scheme = true;
+  p.reject_malformed_header_name = true;
+  return p;
+}
+
+ParsePolicy apache_policy() {
+  ParsePolicy p;
+  p.name = "apache";
+  p.version = "2.4.47";
+  p.server_mode = true;
+  configure_proxy_defaults(p);
+
+  // Apache is the RFC-conformant baseline on message framing and host
+  // parsing (no HRS/HoT mark in Table I).  Its CPDoS exposure is the
+  // hop-by-hop vector of Table II: headers named in Connection are removed
+  // when forwarding, *including* end-to-end criticals like Host and Cookie
+  // ("Connection: close, Host").
+  p.strip_connection_listed = true;
+  p.connection_strip_protects_critical = false;
+
+  p.obs_fold = ObsFold::kUnfoldToSp;
+  p.reject_malformed_header_name = true;
+  p.host_validation = HostValidation::kStrict;
+  p.host_extraction = http::HostExtraction::kStrict;
+  p.reject_non_http_scheme = true;
+  p.version_forwarding = VersionForwarding::kRewriteToOwn;
+  // Conflicting CL+TE is handled as an error outright (the RFC's "ought to
+  // be handled as an error" reading) — no smuggling surface.
+  p.cl_te_conflict = ClTeConflict::kReject400;
+  return p;
+}
+
+ParsePolicy nginx_policy() {
+  ParsePolicy p;
+  p.name = "nginx";
+  p.version = "1.21.0";
+  p.server_mode = true;
+  configure_proxy_defaults(p);
+
+  // §IV-B "Invalid HTTP-version": nginx accepts a malformed version token
+  // and, when forwarding, appends its own version *without deleting the
+  // garbage*, producing "GET /?a=b 1.1/HTTP HTTP/1.1" downstream (CPDoS).
+  p.version_handling = VersionHandling::kAcceptAsIs;
+  p.version_forwarding = VersionForwarding::kAppendOwnKeepBad;
+
+  // Host: loose acceptance and before-delimiter routing; the raw value is
+  // forwarded unmodified, which makes nginx a HoT front-end against
+  // back-ends with '@'/list semantics (Nginx-Weblogic in §IV-B).
+  p.host_validation = HostValidation::kLoose;
+  p.host_extraction = http::HostExtraction::kBeforeDelims;
+  // http(s) absolute-URIs are rewritten to origin-form on forward; other
+  // schemes pass through untouched while routing stays on the Host header.
+  p.abs_uri_host = AbsUriHostPolicy::kUriWinsHttpOnly;
+
+  // Framing is conformant (no HRS mark in Table I); CL+TE conflicts are
+  // rejected outright, and malformed header names are refused.
+  p.cl_te_conflict = ClTeConflict::kReject400;
+  p.reject_malformed_header_name = true;
+  return p;
+}
+
+ParsePolicy varnish_policy() {
+  ParsePolicy p;
+  p.name = "varnish";
+  p.version = "6.5.1";
+  configure_proxy_defaults(p);
+
+  // §IV-B "Bad absolute-URI vs Host": varnish only rewrites http(s)
+  // absolute-URIs; a request-target like "test://h2.com/?a=1" is forwarded
+  // transparently while routing happens on the Host header.
+  p.abs_uri_host = AbsUriHostPolicy::kUriWinsHttpOnly;
+
+  // Invalid Host values — including duplicates — are forwarded without
+  // modification.
+  p.host_validation = HostValidation::kNone;
+  p.host_extraction = http::HostExtraction::kBeforeDelims;
+  p.reject_multiple_host = false;
+
+  // HRS finding: the Transfer-Encoding value is matched by substring, so
+  // "chunked, identity" (obsolete) and mangled values still select chunked.
+  p.te_value_parse = TeValueParse::kContainsChunked;
+  p.te_unknown_is_error = false;
+  p.reject_te_identity = false;
+
+  // Chunked uploads are buffered and re-emitted as Content-Length.
+  p.dechunk_downstream = true;
+  return p;
+}
+
+ParsePolicy squid_policy() {
+  ParsePolicy p;
+  p.name = "squid";
+  p.version = "5.0.6";
+  configure_proxy_defaults(p);
+
+  // §IV-B "Bad chunk-size value": the chunk-size scanner accumulates into a
+  // 32-bit integer (wrapping on overflow) and resynchronizes on framing
+  // mismatch, then re-emits the repaired — still wrong — size downstream.
+  p.chunk.wrapping_size = true;
+  p.chunk.wrap_bits = 32;
+  p.chunk.lenient_size_line = true;
+  p.chunk.require_crlf_after_data = false;
+
+  // §IV-B "Invalid HTTP-version": same repair bug as nginx.
+  p.version_handling = VersionHandling::kAcceptAsIs;
+  p.version_forwarding = VersionForwarding::kAppendOwnKeepBad;
+
+  // Host parsing and header-name syntax are strict — no HoT mark in
+  // Table I.
+  p.host_validation = HostValidation::kStrict;
+  p.host_extraction = http::HostExtraction::kStrict;
+  p.reject_malformed_header_name = true;
+  p.obs_fold = ObsFold::kUnfoldToSp;
+  return p;
+}
+
+ParsePolicy haproxy_policy() {
+  ParsePolicy p;
+  p.name = "haproxy";
+  p.version = "2.4.0";
+  configure_proxy_defaults(p);
+
+  // §IV-B "Blindly forwarding lower/higher HTTP-version": HTTP/0.9 lines —
+  // even with header fields attached — and HTTP/2.0 version tokens are
+  // forwarded verbatim.
+  p.accept_http09 = true;
+  p.accept_http09_with_headers = true;
+  p.accept_version_2x = true;
+  p.version_forwarding = VersionForwarding::kBlindForward;
+
+  // http(s) absolute-URIs are rewritten; other schemes are forwarded
+  // transparently, routed on the Host header (§IV-B).  Requests without a
+  // Host header are forwarded rather than rejected.
+  p.abs_uri_host = AbsUriHostPolicy::kUriWinsHttpOnly;
+  p.reject_missing_host = false;
+  p.host_validation = HostValidation::kNone;
+  p.host_extraction = http::HostExtraction::kBeforeDelims;
+  p.reject_multiple_host = false;
+
+  // Unknown transfer codings are ignored rather than answered with 501,
+  // the obsolete "chunked, identity" combination is tolerated, and lenient
+  // strtol-style Content-Length scanning is applied.
+  p.te_unknown_is_error = false;
+  p.reject_te_identity = false;
+  p.cl_value_parse = ClValueParse::kLenientScan;
+
+  // Header block is forwarded byte-for-byte (transparent mode), and the
+  // chunk-size scanner has the same wrap/resync repair as squid.
+  p.normalize_headers_on_forward = false;
+  p.chunk.wrapping_size = true;
+  p.chunk.wrap_bits = 32;
+  p.chunk.lenient_size_line = true;
+  p.chunk.require_crlf_after_data = false;
+  return p;
+}
+
+ParsePolicy ats_policy() {
+  ParsePolicy p;
+  p.name = "ats";
+  p.version = "8.0.5";
+  configure_proxy_defaults(p);
+
+  // CVE-2020-1944: ATS forwards repeated/mangled Transfer-Encoding header
+  // lines transparently.  A header with whitespace before the colon is
+  // ignored for ATS's own framing but still forwarded byte-for-byte —
+  // the canonical pair-level smuggling primitive against strippers (IIS).
+  p.normalize_headers_on_forward = false;
+  p.ws_before_colon = WsBeforeColon::kIgnoreHeader;
+  p.duplicate_te_reject = false;
+  p.te_unknown_is_error = false;  // mangled TE ignored for framing, forwarded
+  // Line endings are strict: bare-LF requests are refused rather than
+  // forwarded (keeps ATS out of the obs-fold HoT surface, per Table I).
+  p.reject_bare_lf = true;
+
+  // §IV-B "Blindly forwarding Expect header in GET request": the
+  // expectation is forwarded, and the interim "100 Continue" the origin
+  // then emits is mistaken for the final response — the response stream
+  // desynchronizes (the Expect HRS variant of Table II).
+  p.expect_in_get = ExpectInGet::kForwardAsIs;
+  p.understands_interim_responses = false;
+
+  // §IV-B "Invalid HTTP-version": repair-by-append, like nginx/squid.
+  p.version_handling = VersionHandling::kAcceptAsIs;
+  p.version_forwarding = VersionForwarding::kAppendOwnKeepBad;
+
+  p.host_validation = HostValidation::kStrict;
+  p.host_extraction = http::HostExtraction::kStrict;
+  return p;
+}
+
+std::vector<std::unique_ptr<HttpImplementation>> make_all_implementations() {
+  std::vector<std::unique_ptr<HttpImplementation>> out;
+  out.push_back(std::make_unique<ModelImplementation>(iis_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(tomcat_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(weblogic_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(lighttpd_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(apache_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(nginx_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(varnish_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(squid_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(haproxy_policy()));
+  out.push_back(std::make_unique<ModelImplementation>(ats_policy()));
+  return out;
+}
+
+std::unique_ptr<HttpImplementation> make_implementation(std::string_view name) {
+  std::string key = http::to_lower(name);
+  if (key == "iis") return std::make_unique<ModelImplementation>(iis_policy());
+  if (key == "tomcat") {
+    return std::make_unique<ModelImplementation>(tomcat_policy());
+  }
+  if (key == "weblogic") {
+    return std::make_unique<ModelImplementation>(weblogic_policy());
+  }
+  if (key == "lighttpd") {
+    return std::make_unique<ModelImplementation>(lighttpd_policy());
+  }
+  if (key == "apache") {
+    return std::make_unique<ModelImplementation>(apache_policy());
+  }
+  if (key == "nginx") {
+    return std::make_unique<ModelImplementation>(nginx_policy());
+  }
+  if (key == "varnish") {
+    return std::make_unique<ModelImplementation>(varnish_policy());
+  }
+  if (key == "squid") {
+    return std::make_unique<ModelImplementation>(squid_policy());
+  }
+  if (key == "haproxy") {
+    return std::make_unique<ModelImplementation>(haproxy_policy());
+  }
+  if (key == "ats") return std::make_unique<ModelImplementation>(ats_policy());
+  return nullptr;
+}
+
+std::vector<std::string_view> product_names() {
+  return {"iis",    "tomcat",  "weblogic", "lighttpd", "apache",
+          "nginx",  "varnish", "squid",    "haproxy",  "ats"};
+}
+
+}  // namespace hdiff::impls

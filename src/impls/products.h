@@ -1,0 +1,39 @@
+// The ten modelled HTTP products (paper Table I).
+//
+// Each factory returns the ParsePolicy encoding that product's documented
+// parsing behaviour at the modelled version — RFC-conformant where the
+// product conforms, and deviating exactly where the paper (and the
+// associated CVEs) report a deviation.  products.cpp documents every
+// non-default dial with the finding it reproduces.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "impls/model.h"
+
+namespace hdiff::impls {
+
+ParsePolicy iis_policy();        ///< IIS 10                (server)
+ParsePolicy tomcat_policy();     ///< Tomcat 9.0.29         (server)
+ParsePolicy weblogic_policy();   ///< Weblogic 12.2.1.4.0   (server)
+ParsePolicy lighttpd_policy();   ///< Lighttpd 1.4.58       (server)
+ParsePolicy apache_policy();     ///< Apache httpd 2.4.47   (server+proxy)
+ParsePolicy nginx_policy();      ///< Nginx 1.21.0          (server+proxy)
+ParsePolicy varnish_policy();    ///< Varnish 6.5.1         (proxy)
+ParsePolicy squid_policy();      ///< Squid 5.0.6           (proxy)
+ParsePolicy haproxy_policy();    ///< Haproxy 2.4.0         (proxy)
+ParsePolicy ats_policy();        ///< Apache Traffic Server 8.0.5 (proxy)
+
+/// All ten implementations, in Table I order.
+std::vector<std::unique_ptr<HttpImplementation>> make_all_implementations();
+
+/// One implementation by product name ("iis", "tomcat", ...); nullptr if
+/// unknown.  Lookup is case-insensitive.
+std::unique_ptr<HttpImplementation> make_implementation(std::string_view name);
+
+/// The names of all modelled products, in Table I order.
+std::vector<std::string_view> product_names();
+
+}  // namespace hdiff::impls

@@ -1,0 +1,69 @@
+// Observable outcomes of one implementation processing one raw request.
+//
+// These are the per-stage observations that difference analysis folds into
+// the HMetrics vector (core/hmetrics.h): what status the implementation
+// would answer, which host it routed on, which bytes it framed as the body,
+// and — crucially for smuggling — which bytes it left on the connection as
+// the *next* request.
+#pragma once
+
+#include <string>
+
+#include "http/message.h"
+
+namespace hdiff::impls {
+
+/// How the implementation decided the body length.
+enum class BodyFraming {
+  kNone,           ///< no body (no CL/TE, or body ignored)
+  kContentLength,
+  kChunked,
+  kUntilClose,     ///< HTTP/1.0-style read-to-EOF
+  kNotApplicable,  ///< message rejected before framing
+};
+
+std::string_view to_string(BodyFraming f) noexcept;
+
+/// Back-end (server-mode) outcome.
+struct ServerVerdict {
+  std::string impl;       ///< implementation name
+  int status = 0;         ///< 2xx accepted; 4xx/5xx rejected
+  bool incomplete = false;///< parser would block waiting for more bytes
+  BodyFraming framing = BodyFraming::kNone;
+  std::string host;       ///< interpreted target host ("" = none)
+  std::string body;       ///< bytes consumed as this request's body
+  std::string leftover;   ///< bytes treated as the start of the next request
+  http::Version version{1, 1};  ///< version the implementation inferred
+  bool close_connection = false;
+  std::string reason;     ///< human-readable diagnostic
+
+  bool accepted() const noexcept { return status >= 200 && status < 300; }
+};
+
+/// Outcome of a proxy relaying a back-end response stream to the client.
+struct RelayOutcome {
+  std::string to_client;           ///< bytes the client receives
+  std::string stale_backend_bytes; ///< response bytes stranded on the
+                                   ///< back-end connection (desync fuel)
+  bool desync = false;             ///< a response was stranded
+  int relayed_status = 0;          ///< status code of the relayed response
+};
+
+/// Front-end (proxy-mode) outcome.
+struct ProxyVerdict {
+  std::string impl;
+  int status = 0;            ///< 0 == forwarded; else the rejection status
+  std::string forwarded_bytes;  ///< the exact bytes sent downstream
+  std::string host;          ///< host the proxy routed on
+  std::string body;          ///< body as framed by the proxy
+  std::string leftover;      ///< bytes the proxy treats as a next request
+  bool incomplete = false;
+  bool would_cache = false;  ///< response (incl. errors, per experiment
+                             ///< config) would be stored under cache_key
+  std::string cache_key;     ///< "host + target" caching identity
+  std::string reason;
+
+  bool forwarded() const noexcept { return status == 0; }
+};
+
+}  // namespace hdiff::impls

@@ -1,0 +1,90 @@
+#include "net/chain.h"
+
+#include <set>
+
+#include "http/lexer.h" 
+
+namespace hdiff::net {
+
+void EchoServer::record(std::string uuid, std::string proxy, std::string raw) {
+  log_.push_back(Record{std::move(uuid), std::move(proxy), std::move(raw)});
+}
+
+std::string pair_key(std::string_view proxy, std::string_view backend) {
+  std::string out(proxy);
+  out += "->";
+  out += backend;
+  return out;
+}
+
+Chain::Chain(std::vector<const impls::HttpImplementation*> proxies,
+             std::vector<const impls::HttpImplementation*> backends,
+             ChainOptions options)
+    : proxies_(std::move(proxies)),
+      backends_(std::move(backends)),
+      options_(options) {}
+
+Chain Chain::from_fleet(
+    const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet,
+    ChainOptions options) {
+  std::vector<const impls::HttpImplementation*> proxies;
+  std::vector<const impls::HttpImplementation*> backends;
+  for (const auto& impl : fleet) {
+    if (impl->is_proxy()) proxies.push_back(impl.get());
+    if (impl->is_server()) backends.push_back(impl.get());
+  }
+  return Chain(std::move(proxies), std::move(backends), options);
+}
+
+ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
+                                EchoServer* echo) const {
+  ChainObservation obs;
+  obs.uuid.assign(uuid);
+  obs.request.assign(raw);
+
+  // Step 1: proxies.  `first_replayer` implements the replay-reduction
+  // heuristic: byte-identical forwards reuse the first replay's verdicts.
+  std::map<std::string, std::string> first_replayer;
+  for (const auto* proxy : proxies_) {
+    impls::ProxyVerdict v = proxy->forward_request(raw);
+    const std::string proxy_name(proxy->name());
+    if (v.forwarded()) {
+      if (echo) echo->record(obs.uuid, proxy_name, v.forwarded_bytes);
+      auto [it, inserted] = first_replayer.emplace(v.forwarded_bytes, proxy_name);
+      const http::Method forwarded_method = http::method_from_token(
+          http::lex_request(v.forwarded_bytes).line.method_token);
+      if (inserted || !options_.dedupe_identical_forwards) {
+        // Step 2: replay the forwarded bytes into every back-end, and relay
+        // each back-end's response stream back through this proxy.
+        for (const auto* backend : backends_) {
+          const std::string key = pair_key(proxy_name, backend->name());
+          obs.replays.emplace(key, backend->parse_request(v.forwarded_bytes));
+          obs.relays.emplace(
+              key, proxy->relay_response(backend->respond(v.forwarded_bytes),
+                                         forwarded_method));
+        }
+      } else {
+        for (const auto* backend : backends_) {
+          const std::string key = pair_key(proxy_name, backend->name());
+          obs.replays.emplace(
+              key, obs.replays.at(pair_key(it->second, backend->name())));
+          // The relay depends on *this* proxy's response handling, so it is
+          // recomputed even for deduplicated forwards.
+          obs.relays.emplace(
+              key, proxy->relay_response(backend->respond(v.forwarded_bytes),
+                                         forwarded_method));
+        }
+      }
+    }
+    obs.proxies.emplace(proxy_name, std::move(v));
+  }
+
+  // Step 3: direct back-end probes.
+  for (const auto* backend : backends_) {
+    obs.direct.emplace(std::string(backend->name()),
+                       backend->parse_request(raw));
+  }
+  return obs;
+}
+
+}  // namespace hdiff::net

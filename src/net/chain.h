@@ -1,0 +1,104 @@
+// In-process test chain reproducing the paper's Figure 6 workflow.
+//
+// The experiment topology is: client -> reverse proxy (front-end) -> echo
+// server, plus direct client -> back-end probes and replay of the proxy's
+// forwarded bytes into each back-end.  The paper runs this over VMs and raw
+// sockets; here the same three observation steps run in-process against the
+// behaviour models (DESIGN.md §1), which keeps the differential engine,
+// detection models and pair analysis identical while making every run
+// deterministic and offline.
+//
+//   Step 1  client sends the test case to each proxy; the proxy either
+//           rejects or produces forwarded bytes (recorded by the echo server).
+//   Step 2  the forwarded bytes are replayed into every back-end.
+//   Step 3  the original test case is also sent directly to every back-end.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "impls/model.h"
+
+namespace hdiff::net {
+
+/// The echo server: records every request forwarded by a proxy, exactly as
+/// received, for later replay analysis (paper §IV-A).
+class EchoServer {
+ public:
+  struct Record {
+    std::string uuid;
+    std::string proxy;
+    std::string raw;  ///< forwarded bytes
+  };
+
+  void record(std::string uuid, std::string proxy, std::string raw);
+  const std::vector<Record>& log() const noexcept { return log_; }
+  void clear() { log_.clear(); }
+
+ private:
+  std::vector<Record> log_;
+};
+
+/// Everything observed for one test case across the whole topology.
+struct ChainObservation {
+  std::string uuid;
+  std::string request;  ///< original raw bytes
+
+  /// Step 1: per-proxy outcome (key: proxy name).
+  std::map<std::string, impls::ProxyVerdict> proxies;
+
+  /// Step 2: per (proxy, back-end) replay of the forwarded bytes.
+  /// Key: "proxy->backend".
+  std::map<std::string, impls::ServerVerdict> replays;
+
+  /// Response path: for each replayed pair, the back-end's full response
+  /// stream relayed through the proxy (interim-response handling applied).
+  /// Key: "proxy->backend".
+  std::map<std::string, impls::RelayOutcome> relays;
+
+  /// Step 3: per back-end direct parse of the original bytes.
+  std::map<std::string, impls::ServerVerdict> direct;
+};
+
+/// Replay-reduction heuristic (paper §IV-A step 2): skip replaying forwards
+/// that are byte-identical to an already-replayed forward for the same test
+/// case, and only replay proxies that actually forwarded.
+struct ChainOptions {
+  bool dedupe_identical_forwards = true;
+};
+
+/// Non-owning view over a fleet of implementations, split by role.
+class Chain {
+ public:
+  Chain(std::vector<const impls::HttpImplementation*> proxies,
+        std::vector<const impls::HttpImplementation*> backends,
+        ChainOptions options = {});
+
+  /// Convenience: build from an owning fleet, selecting by working mode.
+  static Chain from_fleet(
+      const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet,
+      ChainOptions options = {});
+
+  /// Run all three steps for one test case.
+  ChainObservation observe(std::string_view uuid, std::string_view raw,
+                           EchoServer* echo = nullptr) const;
+
+  const std::vector<const impls::HttpImplementation*>& proxies() const {
+    return proxies_;
+  }
+  const std::vector<const impls::HttpImplementation*>& backends() const {
+    return backends_;
+  }
+
+ private:
+  std::vector<const impls::HttpImplementation*> proxies_;
+  std::vector<const impls::HttpImplementation*> backends_;
+  ChainOptions options_;
+};
+
+/// Key used in ChainObservation::replays.
+std::string pair_key(std::string_view proxy, std::string_view backend);
+
+}  // namespace hdiff::net

@@ -1,0 +1,125 @@
+#include "net/poison.h"
+
+#include "http/lexer.h"
+
+namespace hdiff::net {
+
+void ResponseCache::put(std::string key, Entry entry) {
+  entries_[std::move(key)] = std::move(entry);
+}
+
+std::optional<ResponseCache::Entry> ResponseCache::get(
+    std::string_view key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+CpdosDemo demonstrate_cpdos(const impls::HttpImplementation& front,
+                            const impls::HttpImplementation& back,
+                            std::string_view attack_request,
+                            std::string_view victim_request) {
+  CpdosDemo demo;
+  ResponseCache cache;
+
+  // --- attacker round: front forwards, back errs, cache stores -------------
+  impls::ProxyVerdict attack_forward = front.forward_request(attack_request);
+  if (!attack_forward.forwarded()) {
+    demo.narrative = "front-end rejects the attack request (" +
+                     std::to_string(attack_forward.status) + ") — no poison";
+    return demo;
+  }
+  impls::ServerVerdict attack_backend =
+      back.parse_request(attack_forward.forwarded_bytes);
+  int backend_status = attack_backend.incomplete ? 408 : attack_backend.status;
+  if (attack_forward.would_cache) {
+    cache.put(attack_forward.cache_key,
+              ResponseCache::Entry{backend_status, attack_backend.body});
+  }
+  if (backend_status < 400) {
+    demo.narrative = "back-end serves the attack request (" +
+                     std::to_string(backend_status) + ") — nothing to poison";
+    return demo;
+  }
+
+  // --- victim round: same resource, normally fine --------------------------
+  impls::ProxyVerdict victim_forward = front.forward_request(victim_request);
+  if (!victim_forward.forwarded()) {
+    demo.narrative = "victim request rejected by the front-end";
+    return demo;
+  }
+  demo.cache_key = victim_forward.cache_key;
+  impls::ServerVerdict victim_direct =
+      back.parse_request(victim_forward.forwarded_bytes);
+  demo.victim_direct_status =
+      victim_direct.incomplete ? 408 : victim_direct.status;
+
+  auto cached = cache.get(victim_forward.cache_key);
+  if (cached && cached->status >= 400 && demo.victim_direct_status < 400) {
+    demo.exploitable = true;
+    demo.poisoned_status = cached->status;
+    demo.narrative =
+        "victim is served the cached " + std::to_string(cached->status) +
+        " for '" + victim_forward.cache_key + "' although the origin would " +
+        "answer " + std::to_string(demo.victim_direct_status);
+  } else if (!cached) {
+    demo.narrative = "attack and victim requests map to different cache keys";
+  } else {
+    demo.narrative = "cache entry exists but the victim is not worse off";
+  }
+  return demo;
+}
+
+SmuggleDemo demonstrate_smuggling(const impls::HttpImplementation& front,
+                                  const impls::HttpImplementation& back,
+                                  std::string_view attack_request,
+                                  std::string_view victim_request) {
+  SmuggleDemo demo;
+
+  impls::ProxyVerdict attack_forward = front.forward_request(attack_request);
+  if (!attack_forward.forwarded()) {
+    demo.narrative = "front-end rejects the attack request — no smuggle";
+    return demo;
+  }
+  impls::ServerVerdict attack_backend =
+      back.parse_request(attack_forward.forwarded_bytes);
+  if (!attack_backend.accepted() || attack_backend.leftover.empty()) {
+    demo.narrative = "back-end sees exactly one request — no remainder";
+    return demo;
+  }
+
+  impls::ProxyVerdict victim_forward = front.forward_request(victim_request);
+  if (!victim_forward.forwarded()) {
+    demo.narrative = "victim request rejected by the front-end";
+    return demo;
+  }
+  http::RawRequest victim_lexed =
+      http::lex_request(victim_forward.forwarded_bytes);
+  demo.victim_target = victim_lexed.line.target;
+
+  // The back-end's connection buffer: the stranded remainder, then the
+  // victim's bytes.  Its next response answers whatever parses first.
+  std::string connection_bytes = attack_backend.leftover;
+  connection_bytes += victim_forward.forwarded_bytes;
+  impls::ServerVerdict next = back.parse_request(connection_bytes);
+  http::RawRequest first_lexed = http::lex_request(connection_bytes);
+  demo.victim_answered_for = first_lexed.line.target;
+  http::RawRequest smuggled_lexed = http::lex_request(attack_backend.leftover);
+  demo.smuggled_target = smuggled_lexed.line.target;
+
+  if (next.accepted() && demo.victim_answered_for != demo.victim_target) {
+    demo.exploitable = true;
+    demo.narrative = "back-end answers the victim with the response for '" +
+                     demo.victim_answered_for + "' instead of '" +
+                     demo.victim_target + "' — response queue poisoned";
+  } else if (!next.accepted()) {
+    demo.narrative =
+        "remainder desynchronizes the connection (back-end answers " +
+        std::to_string(next.status) + ") — denial of service, not hijack";
+  } else {
+    demo.narrative = "remainder did not displace the victim's request";
+  }
+  return demo;
+}
+
+}  // namespace hdiff::net

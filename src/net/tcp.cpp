@@ -1,0 +1,189 @@
+#include "net/tcp.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+
+namespace hdiff::net {
+
+namespace {
+
+/// Read until `idle_timeout_ms` of silence, peer close, or `stop` returns
+/// true for the accumulated bytes.
+std::string read_available(int fd, int idle_timeout_ms,
+                           const std::function<bool(std::string_view)>& stop) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, idle_timeout_ms);
+    if (ready <= 0) break;  // timeout or error: treat what we have as final
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;  // peer closed
+    out.append(buf, static_cast<std::size_t>(n));
+    if (stop && stop(out)) break;
+  }
+  return out;
+}
+
+void send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Render the model's verdict as a real HTTP response whose headers carry
+/// the HMetrics projection — the "echo information ... which shows the
+/// parsing results from the end servers" of §IV-A.
+std::string render_response(const impls::ServerVerdict& v) {
+  int status = v.incomplete ? 408 : v.status;
+  std::string reason = status == 200 ? "OK" : "Error";
+  std::string body = v.body;
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\n";
+  out += "X-HDiff-Impl: " + v.impl + "\r\n";
+  out += "X-HDiff-Host: " + (v.host.empty() ? "-" : v.host) + "\r\n";
+  out += "X-HDiff-Framing: " + std::string(to_string(v.framing)) + "\r\n";
+  out += "X-HDiff-Leftover: " + std::to_string(v.leftover.size()) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+TcpListener::TcpListener() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd_, 8) < 0) {
+    ::close(fd_);
+    throw std::runtime_error("bind/listen failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close_listener(); }
+
+int TcpListener::accept_connection() const {
+  if (fd_ < 0) return -1;
+  return ::accept(fd_, nullptr, nullptr);
+}
+
+void TcpListener::close_listener() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string tcp_roundtrip(std::uint16_t port, std::string_view request,
+                          int idle_timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return {};
+  }
+  send_all(fd, request);
+  ::shutdown(fd, SHUT_WR);
+  std::string response = read_available(fd, idle_timeout_ms, nullptr);
+  ::close(fd);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// ModelServer
+// ---------------------------------------------------------------------------
+
+ModelServer::ModelServer(const impls::HttpImplementation& impl)
+    : impl_(impl), thread_([this] { serve_loop(); }) {}
+
+ModelServer::~ModelServer() {
+  stopping_ = true;
+  listener_.close_listener();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ModelServer::serve_loop() {
+  while (!stopping_) {
+    int conn = listener_.accept_connection();
+    if (conn < 0) break;
+    std::string raw = read_available(conn, 200, [this](std::string_view got) {
+      impls::ServerVerdict v = impl_.parse_request(got);
+      return !v.incomplete;  // complete request (accepted or rejected)
+    });
+    impls::ServerVerdict verdict = impl_.parse_request(raw);
+    send_all(conn, render_response(verdict));
+    ::shutdown(conn, SHUT_RDWR);
+    ::close(conn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ModelProxy
+// ---------------------------------------------------------------------------
+
+ModelProxy::ModelProxy(const impls::HttpImplementation& impl,
+                       std::uint16_t backend_port)
+    : impl_(impl),
+      backend_port_(backend_port),
+      thread_([this] { serve_loop(); }) {}
+
+ModelProxy::~ModelProxy() {
+  stopping_ = true;
+  listener_.close_listener();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ModelProxy::serve_loop() {
+  while (!stopping_) {
+    int conn = listener_.accept_connection();
+    if (conn < 0) break;
+    std::string raw = read_available(conn, 200, [this](std::string_view got) {
+      impls::ProxyVerdict v = impl_.forward_request(got);
+      return !v.incomplete;
+    });
+    impls::ProxyVerdict verdict = impl_.forward_request(raw);
+    if (verdict.forwarded()) {
+      std::string response =
+          tcp_roundtrip(backend_port_, verdict.forwarded_bytes);
+      if (response.empty()) {
+        response = "HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n";
+      }
+      send_all(conn, response);
+    } else {
+      std::string response = "HTTP/1.1 " + std::to_string(verdict.status) +
+                             " Error\r\nX-HDiff-Impl: " + verdict.impl +
+                             "\r\nContent-Length: 0\r\nConnection: close"
+                             "\r\n\r\n";
+      send_all(conn, response);
+    }
+    ::shutdown(conn, SHUT_RDWR);
+    ::close(conn);
+  }
+}
+
+}  // namespace hdiff::net

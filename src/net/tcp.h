@@ -1,0 +1,90 @@
+// Real-socket hosting for the behaviour models (paper §IV-A: the authors
+// drive the products over raw sockets; here the models themselves are served
+// over loopback TCP so the chain can be exercised by any HTTP client).
+//
+// Scope: deliberately minimal — blocking I/O, loopback only, one connection
+// serviced at a time per server, used by examples/live_chain.cpp and the
+// live-chain integration test.  The in-process Chain (chain.h) remains the
+// engine for bulk differential testing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "impls/model.h"
+
+namespace hdiff::net {
+
+/// RAII loopback TCP listener on an ephemeral port.
+class TcpListener {
+ public:
+  TcpListener();               ///< throws std::runtime_error on failure
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocking accept; returns the connection fd or -1 once closed.
+  int accept_connection() const;
+
+  /// Unblock any pending accept and invalidate the listener.
+  void close_listener();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:port, send `request` and read the full response
+/// (until the peer closes or `idle_timeout_ms` of silence).  Returns the
+/// response bytes ("" on connect failure).
+std::string tcp_roundtrip(std::uint16_t port, std::string_view request,
+                          int idle_timeout_ms = 500);
+
+/// Serve one behaviour model as a real HTTP origin server.  Each connection
+/// reads one request (until the model stops reporting `incomplete` or the
+/// peer goes idle), answers with a small response carrying the model's
+/// HMetrics as headers, and closes.
+class ModelServer {
+ public:
+  explicit ModelServer(const impls::HttpImplementation& impl);
+  ~ModelServer();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+ private:
+  void serve_loop();
+
+  const impls::HttpImplementation& impl_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+/// Serve one behaviour model as a real reverse proxy in front of
+/// `backend_port`: requests are run through forward_request(); forwarded
+/// bytes go to the back-end over a fresh connection and the back-end's
+/// response is relayed; rejections are answered locally.
+class ModelProxy {
+ public:
+  ModelProxy(const impls::HttpImplementation& impl,
+             std::uint16_t backend_port);
+  ~ModelProxy();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+ private:
+  void serve_loop();
+
+  const impls::HttpImplementation& impl_;
+  std::uint16_t backend_port_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace hdiff::net

@@ -1,0 +1,45 @@
+// Minimal JSON writer (no external dependencies) used by the findings
+// exporter.  Produces compact, correctly escaped JSON; the writer is a small
+// streaming builder, not a DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hdiff::report {
+
+/// Escape and quote a string per RFC 8259 (UTF-8 passthrough; control bytes
+/// as \u00XX).
+std::string json_string(std::string_view s);
+
+/// Streaming JSON builder with explicit structure calls.  Misuse (e.g. a key
+/// outside an object) is the caller's bug; the builder keeps enough state to
+/// insert commas correctly but does not validate nesting.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key (call before the value inside an object).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace hdiff::report

@@ -1,0 +1,38 @@
+// ASCII table / matrix rendering for experiment binaries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::report {
+
+/// Simple column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header rule and column padding.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a front-end × back-end matrix (Figure 7 style): cell content is
+/// the concatenation of single-letter attack markers, "." when empty.
+std::string render_pair_matrix(
+    const std::vector<std::string>& fronts,
+    const std::vector<std::string>& backs,
+    const std::vector<std::pair<std::string, std::string>>& hrs,
+    const std::vector<std::pair<std::string, std::string>>& hot,
+    const std::vector<std::pair<std::string, std::string>>& cpdos);
+
+/// "front->back" keys to pairs.
+std::vector<std::pair<std::string, std::string>> parse_pair_keys(
+    const std::vector<std::string>& keys);
+
+}  // namespace hdiff::report

@@ -1,0 +1,173 @@
+#include "text/clause.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hdiff::text {
+
+namespace {
+
+bool is_noun_like(Pos p) {
+  return p == Pos::kNoun || p == Pos::kProperNoun;
+}
+
+/// Singular fold: strip one trailing 's' from words longer than 3 chars.
+std::string fold_plural(std::string_view w) {
+  std::string out(w);
+  if (out.size() > 3 && out.back() == 's') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+std::vector<Clause> split_clauses(std::string_view sentence) {
+  std::vector<Clause> out;
+  DepTree tree = parse_dependencies(sentence);
+  const auto& toks = tree.tokens;
+
+  // Find coordination boundaries: cc tokens that link verb groups (arcs with
+  // Rel::kCc), plus semicolons.
+  std::vector<std::size_t> cut_tokens;  // token index where a new clause starts
+  for (const auto& arc : tree.arcs) {
+    if (arc.rel == Rel::kCc) cut_tokens.push_back(arc.dep);
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].pos == Pos::kPunct && toks[i].text == ";") {
+      cut_tokens.push_back(i);
+    }
+  }
+  if (cut_tokens.empty()) {
+    out.push_back(Clause{std::string(sentence), std::nullopt});
+    return out;
+  }
+  std::sort(cut_tokens.begin(), cut_tokens.end());
+
+  // Main-clause subject (if any) is inherited by subject-less clauses.
+  std::optional<std::string> main_subject;
+  if (tree.root) {
+    if (auto subj = tree.find_dep(*tree.root, Rel::kNsubj)) {
+      main_subject = toks[*subj].text;
+    }
+  }
+
+  std::size_t clause_start_tok = 0;
+  auto emit = [&](std::size_t from_tok, std::size_t to_tok) {
+    if (from_tok >= to_tok || from_tok >= toks.size()) return;
+    std::size_t from_off = toks[from_tok].offset;
+    std::size_t to_off = to_tok < toks.size()
+                             ? toks[to_tok].offset
+                             : sentence.size();
+    std::string_view piece = sentence.substr(from_off, to_off - from_off);
+    while (!piece.empty() &&
+           (piece.back() == ' ' || piece.back() == ',' || piece.back() == ';')) {
+      piece.remove_suffix(1);
+    }
+    if (piece.empty()) return;
+    Clause clause;
+    clause.text.assign(piece);
+    // Does this clause have its own subject (a noun before its first verb)?
+    bool has_subject = false;
+    bool saw_verb = false;
+    for (std::size_t k = from_tok; k < std::min(to_tok, toks.size()); ++k) {
+      if (toks[k].pos == Pos::kVerb || toks[k].pos == Pos::kModal) {
+        saw_verb = true;
+        break;
+      }
+      if (is_noun_like(toks[k].pos) || toks[k].pos == Pos::kPron) {
+        has_subject = true;
+      }
+    }
+    if (saw_verb && !has_subject && !out.empty()) {
+      clause.inherited_subject = main_subject;
+    }
+    out.push_back(std::move(clause));
+  };
+
+  for (std::size_t cut : cut_tokens) {
+    emit(clause_start_tok, cut);
+    clause_start_tok = cut + 1;  // skip the conjunction / semicolon itself
+  }
+  emit(clause_start_tok, toks.size());
+
+  if (out.empty()) out.push_back(Clause{std::string(sentence), std::nullopt});
+  return out;
+}
+
+std::vector<Referent> find_referents(std::string_view sentence) {
+  static constexpr std::string_view kDeterminers[] = {"this", "that", "such",
+                                                      "these", "those"};
+  static constexpr std::string_view kNouns[] = {
+      "message",  "request", "response", "field",  "header",
+      "uri",      "value",   "element",  "method", "connection",
+      "encoding", "body",
+  };
+  std::vector<Referent> out;
+  std::vector<Token> toks = analyze(sentence);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    bool det_match = false;
+    for (auto d : kDeterminers) {
+      if (toks[i].lower == d) det_match = true;
+    }
+    if (!det_match) continue;
+    // "such a message": an article may sit between determiner and noun.
+    std::size_t noun_at = i + 1;
+    if (noun_at + 1 < toks.size() &&
+        (toks[noun_at].lower == "a" || toks[noun_at].lower == "an" ||
+         toks[noun_at].lower == "the")) {
+      ++noun_at;
+    }
+    std::string folded = fold_plural(toks[noun_at].lower);
+    for (auto noun : kNouns) {
+      if (folded == noun) {
+        Referent ref;
+        ref.phrase = toks[i].text + " " + toks[noun_at].text;
+        ref.noun = folded;
+        ref.offset = toks[i].offset;
+        out.push_back(std::move(ref));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> resolve_referent(
+    const std::vector<Sentence>& document, std::size_t sentence_index,
+    const Referent& referent, std::size_t window) {
+  if (sentence_index == 0 || document.empty()) return std::nullopt;
+  std::size_t lo = sentence_index > window ? sentence_index - window : 0;
+  for (std::size_t i = sentence_index; i-- > lo;) {
+    const Sentence& cand = document[i];
+    std::vector<Token> toks = analyze(cand.text);
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+      if (fold_plural(toks[k].lower) != referent.noun) continue;
+      // Exclude sentences where the noun is itself part of a referent
+      // phrase ("such request" referring further back) — the paper found no
+      // iterative referential chains in RFC text, so a defining mention is
+      // one *not* preceded by a referent determiner.
+      bool is_referent_use =
+          k > 0 && (toks[k - 1].lower == "such" || toks[k - 1].lower == "this" ||
+                    toks[k - 1].lower == "that" || toks[k - 1].lower == "these" ||
+                    toks[k - 1].lower == "those");
+      if (!is_referent_use) return cand.text;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string merge_referred_context(const std::vector<Sentence>& document,
+                                   std::size_t sentence_index,
+                                   std::size_t window) {
+  if (sentence_index >= document.size()) return {};
+  const std::string& sentence = document[sentence_index].text;
+  std::vector<Referent> refs = find_referents(sentence);
+  for (const auto& ref : refs) {
+    auto referred = resolve_referent(document, sentence_index, ref, window);
+    if (referred) {
+      return *referred + " " + sentence;
+    }
+  }
+  return sentence;
+}
+
+}  // namespace hdiff::text

@@ -1,0 +1,62 @@
+// Clause splitting and cross-sentence anaphora resolution (paper §III-C,
+// Text2Rule converter challenges 1 and 2).
+//
+// RFC sentences are long, with coordinated clauses ("... MUST reject X, or
+// MUST replace Y, and then SHOULD close Z").  Entailment over the whole
+// sentence loses the parallel semantics, so HDiff first splits on
+// cc/conj-linked verb groups (located via the dependency tree) and analyzes
+// each clause separately.  Referent phrases ("such request", "this message")
+// are resolved by a bounded forward search over preceding sentences using
+// keyword fuzzy matching — the paper found neural coreference tools
+// unnecessary for RFC prose, and so do we.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/dependency.h"
+#include "text/sentence.h"
+
+namespace hdiff::text {
+
+/// One clause extracted from a sentence.  The subject may be inherited from
+/// the main clause when the coordinated clause elides it ("A server MUST
+/// reject X and [it MUST] close the connection").
+struct Clause {
+  std::string text;
+  std::optional<std::string> inherited_subject;
+};
+
+/// Split a sentence into clauses along coordinated verb groups and
+/// sentence-level semicolons.  A sentence with no coordination yields itself.
+std::vector<Clause> split_clauses(std::string_view sentence);
+
+/// A referent phrase found in a sentence ("such request" => noun "request").
+struct Referent {
+  std::string phrase;  ///< e.g. "such request"
+  std::string noun;    ///< e.g. "request"
+  std::size_t offset;  ///< byte offset in the sentence
+};
+
+/// Detect referent phrases: determiners {this, that, such, the same} + a
+/// protocol noun {message, request, response, field, header, uri, value}.
+std::vector<Referent> find_referents(std::string_view sentence);
+
+/// Resolve a referent by searching backwards up to `window` sentences for a
+/// clause mentioning the referent noun; returns the referred sentence text.
+/// Fuzzy matching: the noun must appear as a token (case-insensitive),
+/// with simple plural folding ("requests" matches "request").
+std::optional<std::string> resolve_referent(
+    const std::vector<Sentence>& document, std::size_t sentence_index,
+    const Referent& referent, std::size_t window = 5);
+
+/// Convenience used by the Documentation Analyzer: if `sentence` has a
+/// resolvable referent, return "<referred sentence> <sentence>" merged for
+/// entailment analysis; otherwise return the sentence unchanged.
+std::string merge_referred_context(const std::vector<Sentence>& document,
+                                   std::size_t sentence_index,
+                                   std::size_t window = 5);
+
+}  // namespace hdiff::text

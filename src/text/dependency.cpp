@@ -1,0 +1,311 @@
+#include "text/dependency.h"
+
+#include <string>
+
+namespace hdiff::text {
+
+std::string_view to_string(Rel rel) noexcept {
+  switch (rel) {
+    case Rel::kRoot: return "root";
+    case Rel::kNsubj: return "nsubj";
+    case Rel::kAux: return "aux";
+    case Rel::kNeg: return "neg";
+    case Rel::kDobj: return "dobj";
+    case Rel::kPrep: return "prep";
+    case Rel::kPobj: return "pobj";
+    case Rel::kConj: return "conj";
+    case Rel::kCc: return "cc";
+    case Rel::kAmod: return "amod";
+    case Rel::kDet: return "det";
+    case Rel::kMark: return "mark";
+    case Rel::kDep: return "dep";
+  }
+  return "dep";
+}
+
+std::optional<std::size_t> DepTree::find_dep(std::size_t head, Rel rel) const {
+  for (const auto& a : arcs) {
+    if (a.head == head && a.rel == rel) return a.dep;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> DepTree::deps(std::size_t head, Rel rel) const {
+  std::vector<std::size_t> out;
+  for (const auto& a : arcs) {
+    if (a.head == head && a.rel == rel) out.push_back(a.dep);
+  }
+  return out;
+}
+
+std::optional<std::size_t> DepTree::head_of(std::size_t dep) const {
+  for (const auto& a : arcs) {
+    if (a.dep == dep) return a.head;
+  }
+  return std::nullopt;
+}
+
+std::string DepTree::to_debug_string() const {
+  std::string out;
+  for (const auto& a : arcs) {
+    out += std::string(to_string(a.rel)) + "(" + tokens[a.head].text + ", " +
+           tokens[a.dep].text + ")\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool is_noun_like(Pos p) {
+  return p == Pos::kNoun || p == Pos::kProperNoun || p == Pos::kPron ||
+         p == Pos::kNum || p == Pos::kSymbol;
+}
+
+bool is_verb_like(Pos p) { return p == Pos::kVerb; }
+
+bool is_neg(const Token& t) {
+  return t.lower == "not" || t.lower == "never" || t.lower == "cannot";
+}
+
+}  // namespace
+
+DepTree parse_dependencies(std::string_view sentence) {
+  return parse_dependencies(analyze(sentence));
+}
+
+DepTree parse_dependencies(std::vector<Token> tokens) {
+  DepTree tree;
+  tree.tokens = std::move(tokens);
+  const auto& toks = tree.tokens;
+  const std::size_t n = toks.size();
+  if (n == 0) return tree;
+
+  // ---- 1. Identify verb-group heads -------------------------------------
+  // A verb group is: [modal] [adv|neg]* verb+ ; its head is the last verb
+  // ("MUST NOT be forwarded" -> head "forwarded").  A lone modal (elliptical
+  // "... as a server would") is not a group.
+  struct VerbGroup {
+    std::size_t head;
+    std::optional<std::size_t> modal;
+    std::optional<std::size_t> neg;
+  };
+  std::vector<VerbGroup> groups;
+  std::vector<bool> in_group(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_group[i]) continue;
+    std::optional<std::size_t> modal;
+    std::size_t j = i;
+    if (toks[j].pos == Pos::kModal) {
+      modal = j;
+      ++j;
+    }
+    std::optional<std::size_t> neg;
+    while (j < n && (toks[j].pos == Pos::kAdv || is_neg(toks[j]))) {
+      if (is_neg(toks[j])) neg = j;
+      ++j;
+    }
+    // "cannot" is itself modal+neg.
+    if (modal && toks[*modal].lower == "cannot") neg = *modal;
+    // "ought to be handled": modal 'ought', then 'to', then verbs.
+    if (modal && j < n && toks[j].lower == "to") ++j;
+    std::size_t first_verb = j;
+    while (j < n && (is_verb_like(toks[j].pos) || is_neg(toks[j]) ||
+                     toks[j].pos == Pos::kAdv)) {
+      if (is_neg(toks[j])) neg = j;
+      ++j;
+    }
+    if (j == first_verb) continue;  // no verb found
+    // Head = last verb token in the run.
+    std::size_t head = first_verb;
+    for (std::size_t k = first_verb; k < j; ++k) {
+      if (is_verb_like(toks[k].pos)) head = k;
+    }
+    VerbGroup g{head, modal, neg};
+    groups.push_back(g);
+    for (std::size_t k = (modal ? *modal : first_verb); k < j; ++k) {
+      in_group[k] = true;
+    }
+    if (modal) in_group[*modal] = true;
+  }
+
+  if (groups.empty()) {
+    // Nominal sentence: root the first noun-like token so downstream code
+    // has an anchor.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_noun_like(toks[i].pos)) {
+        tree.root = i;
+        tree.arcs.push_back({i, i, Rel::kRoot});
+        break;
+      }
+    }
+    return tree;
+  }
+
+  // Root: prefer the first verb group that carries a modal (the requirement
+  // core, skipping relative-clause verbs like "that receives a request"),
+  // else the first group.
+  std::size_t root_group = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].modal) {
+      root_group = g;
+      break;
+    }
+  }
+  const std::size_t root = groups[root_group].head;
+  tree.root = root;
+  tree.arcs.push_back({root, root, Rel::kRoot});
+
+  // ---- 2. Per-group arcs: aux, neg, nsubj, dobj, prep/pobj ---------------
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto& g = groups[gi];
+    if (g.modal && *g.modal != g.head) {
+      tree.arcs.push_back({g.head, *g.modal, Rel::kAux});
+    }
+    if (g.neg && *g.neg != g.head) {
+      tree.arcs.push_back({g.head, *g.neg, Rel::kNeg});
+    }
+
+    // Subject: nearest noun-like token to the left of the group start that
+    // is not a prepositional object.  For the root group, fall back to the
+    // first noun in the sentence (subjects of requirement sentences lead).
+    std::size_t group_start = g.modal ? *g.modal : g.head;
+    std::optional<std::size_t> subj;
+    // Relative clause: "N0 that VERB ... N1 MUST ..." — the subject is N0,
+    // the noun immediately before the relativizer, not the clause-internal
+    // noun N1 nearest to the modal.
+    if (gi == root_group) {
+      for (std::size_t k = group_start; k-- > 0;) {
+        // "that" doubles as a determiner in the lexicon; a relativizer is
+        // recognized by the word itself with a verb following it.
+        const bool relativizer_word = toks[k].lower == "that" ||
+                                      toks[k].lower == "which" ||
+                                      toks[k].lower == "whose";
+        const bool verb_follows =
+            k + 1 < toks.size() && (is_verb_like(toks[k + 1].pos) ||
+                                    toks[k + 1].pos == Pos::kModal ||
+                                    toks[k + 1].pos == Pos::kAdv);
+        if (relativizer_word && verb_follows) {
+          for (std::size_t m = k; m-- > 0 && k - m <= 3;) {
+            if (is_noun_like(toks[m].pos)) {
+              subj = m;
+              break;
+            }
+          }
+          break;
+        }
+      }
+    }
+    for (std::size_t k = group_start; !subj && k-- > 0;) {
+      if (is_noun_like(toks[k].pos)) {
+        // Is this noun a prepositional object?  Look left for a preposition
+        // with no intervening noun.
+        bool pobj = false;
+        for (std::size_t m = k; m-- > 0;) {
+          if (toks[m].pos == Pos::kPrep) {
+            pobj = true;
+            break;
+          }
+          if (is_noun_like(toks[m].pos) || is_verb_like(toks[m].pos) ||
+              toks[m].pos == Pos::kPunct || toks[m].pos == Pos::kModal) {
+            break;
+          }
+        }
+        if (!pobj) {
+          subj = k;
+          break;
+        }
+        // keep scanning left past the prep phrase
+      }
+      if (toks[k].pos == Pos::kPunct && toks[k].text == ",") {
+        // clause boundary — keep going; subjects may sit before a comma
+        continue;
+      }
+    }
+    if (!subj && gi == root_group) {
+      for (std::size_t k = 0; k < group_start; ++k) {
+        if (is_noun_like(toks[k].pos)) {
+          subj = k;
+          break;
+        }
+      }
+    }
+    if (subj) {
+      tree.arcs.push_back({g.head, *subj, Rel::kNsubj});
+    }
+
+    // Object & prepositional attachments to the right, up to the next group.
+    std::size_t right_end = n;
+    for (const auto& g2 : groups) {
+      std::size_t s2 = g2.modal ? *g2.modal : g2.head;
+      if (s2 > g.head && s2 < right_end) right_end = s2;
+    }
+    bool have_dobj = false;
+    for (std::size_t k = g.head + 1; k < right_end; ++k) {
+      if (toks[k].pos == Pos::kPrep) {
+        tree.arcs.push_back({g.head, k, Rel::kPrep});
+        for (std::size_t m = k + 1; m < right_end; ++m) {
+          if (is_noun_like(toks[m].pos)) {
+            tree.arcs.push_back({k, m, Rel::kPobj});
+            break;
+          }
+          if (toks[m].pos == Pos::kPrep || toks[m].pos == Pos::kPunct) break;
+        }
+      } else if (!have_dobj && is_noun_like(toks[k].pos)) {
+        // First bare noun after the verb with no intervening preposition.
+        bool behind_prep = false;
+        for (std::size_t m = k; m-- > g.head + 1;) {
+          if (toks[m].pos == Pos::kPrep) {
+            behind_prep = true;
+            break;
+          }
+          if (is_noun_like(toks[m].pos)) break;
+        }
+        if (!behind_prep) {
+          tree.arcs.push_back({g.head, k, Rel::kDobj});
+          have_dobj = true;
+        }
+      }
+    }
+  }
+
+  // ---- 3. Coordination between verb groups ------------------------------
+  for (std::size_t gi = 0; gi + 1 < groups.size(); ++gi) {
+    std::size_t a = groups[gi].head;
+    std::size_t b = groups[gi + 1].head;
+    for (std::size_t k = a + 1; k < b; ++k) {
+      if (toks[k].pos == Pos::kConj) {
+        tree.arcs.push_back({a, k, Rel::kCc});
+        tree.arcs.push_back({a, b, Rel::kConj});
+        break;
+      }
+    }
+  }
+
+  // ---- 4. Local noun-phrase structure: det, amod, mark -------------------
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (toks[i].pos == Pos::kDet || toks[i].pos == Pos::kAdj) {
+      // attach to the next noun-like head
+      for (std::size_t k = i + 1; k < n && k <= i + 3; ++k) {
+        if (is_noun_like(toks[k].pos)) {
+          tree.arcs.push_back(
+              {k, i, toks[i].pos == Pos::kDet ? Rel::kDet : Rel::kAmod});
+          break;
+        }
+        if (toks[k].pos != Pos::kAdj && toks[k].pos != Pos::kNoun) break;
+      }
+    } else if (toks[i].pos == Pos::kSubConj) {
+      // mark the following verb group head
+      for (const auto& g : groups) {
+        std::size_t s = g.modal ? *g.modal : g.head;
+        if (s > i) {
+          tree.arcs.push_back({g.head, i, Rel::kMark});
+          break;
+        }
+      }
+    }
+  }
+
+  return tree;
+}
+
+}  // namespace hdiff::text

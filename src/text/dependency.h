@@ -1,0 +1,68 @@
+// Shallow dependency parsing for RFC requirement prose.
+//
+// The Text2Rule converter consumes a handful of grammatical relations: the
+// subject role ("server", "proxy", "sender"), the modal auxiliary ("MUST"),
+// negation, the governed verb ("respond", "reject"), objects and
+// prepositional attachments carrying HTTP fields and status codes, and
+// cc/conj coordination for clause splitting.  This parser produces exactly
+// those arcs with deterministic attachment rules (DESIGN.md §1 explains the
+// substitution for the paper's spaCy RoBERTa parser).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace hdiff::text {
+
+enum class Rel {
+  kRoot,
+  kNsubj,
+  kAux,    ///< modal auxiliary attached to a verb
+  kNeg,
+  kDobj,
+  kPrep,   ///< verb/noun -> preposition
+  kPobj,   ///< preposition -> object head
+  kConj,   ///< coordinated element
+  kCc,     ///< the conjunction token itself
+  kAmod,   ///< adjective modifier of a noun
+  kDet,
+  kMark,   ///< subordinating conjunction introducing a clause
+  kDep,    ///< unclassified attachment
+};
+
+std::string_view to_string(Rel rel) noexcept;
+
+struct Arc {
+  std::size_t head = 0;  ///< token index of the governor
+  std::size_t dep = 0;   ///< token index of the dependent
+  Rel rel = Rel::kDep;
+};
+
+struct DepTree {
+  std::vector<Token> tokens;
+  std::vector<Arc> arcs;
+  std::optional<std::size_t> root;  ///< main-clause verb
+
+  /// First dependent of `head` with relation `rel`, if any.
+  std::optional<std::size_t> find_dep(std::size_t head, Rel rel) const;
+
+  /// All dependents of `head` with relation `rel`, in token order.
+  std::vector<std::size_t> deps(std::size_t head, Rel rel) const;
+
+  /// All heads of `dep` (normally one).
+  std::optional<std::size_t> head_of(std::size_t dep) const;
+
+  /// Render "rel(head, dep)" lines for debugging / examples.
+  std::string to_debug_string() const;
+};
+
+/// Parse a single sentence.
+DepTree parse_dependencies(std::string_view sentence);
+
+/// Parse pre-analyzed tokens (lets callers reuse tokenization).
+DepTree parse_dependencies(std::vector<Token> tokens);
+
+}  // namespace hdiff::text

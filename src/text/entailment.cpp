@@ -1,0 +1,361 @@
+#include "text/entailment.h"
+
+#include <cctype>
+
+#include "text/sentiment.h"
+
+namespace hdiff::text {
+
+std::string_view to_string(Role r) noexcept {
+  switch (r) {
+    case Role::kClient: return "client";
+    case Role::kServer: return "server";
+    case Role::kProxy: return "proxy";
+    case Role::kSender: return "sender";
+    case Role::kRecipient: return "recipient";
+    case Role::kIntermediary: return "intermediary";
+    case Role::kCache: return "cache";
+    case Role::kGateway: return "gateway";
+    case Role::kUserAgent: return "user-agent";
+    case Role::kOrigin: return "origin-server";
+    case Role::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+Role role_from_word(std::string_view word) noexcept {
+  std::string w;
+  w.reserve(word.size());
+  for (char c : word) {
+    w.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (w == "client" || w == "clients") return Role::kClient;
+  if (w == "server" || w == "servers") return Role::kServer;
+  if (w == "proxy" || w == "proxies") return Role::kProxy;
+  if (w == "sender" || w == "senders") return Role::kSender;
+  if (w == "recipient" || w == "recipients") return Role::kRecipient;
+  if (w == "intermediary" || w == "intermediaries") return Role::kIntermediary;
+  if (w == "cache" || w == "caches") return Role::kCache;
+  if (w == "gateway" || w == "gateways") return Role::kGateway;
+  if (w == "user-agent" || w == "user agent" || w == "useragent") {
+    return Role::kUserAgent;
+  }
+  if (w == "origin" || w == "origin-server") return Role::kOrigin;
+  return Role::kUnknown;
+}
+
+bool role_covers(Role premise, Role hypothesis) noexcept {
+  if (premise == hypothesis) return true;
+  switch (premise) {
+    case Role::kRecipient:
+      return hypothesis == Role::kServer || hypothesis == Role::kProxy ||
+             hypothesis == Role::kCache || hypothesis == Role::kGateway ||
+             hypothesis == Role::kOrigin || hypothesis == Role::kIntermediary;
+    case Role::kSender:
+      return hypothesis == Role::kClient || hypothesis == Role::kProxy ||
+             hypothesis == Role::kUserAgent;
+    case Role::kIntermediary:
+      return hypothesis == Role::kProxy || hypothesis == Role::kCache ||
+             hypothesis == Role::kGateway;
+    case Role::kServer:
+      return hypothesis == Role::kOrigin;
+    case Role::kOrigin:
+      return hypothesis == Role::kServer;
+    case Role::kClient:
+      return hypothesis == Role::kUserAgent;
+    case Role::kUserAgent:
+      return hypothesis == Role::kClient;
+    default:
+      return false;
+  }
+}
+
+std::string_view to_string(Action a) noexcept {
+  switch (a) {
+    case Action::kReject: return "reject";
+    case Action::kRespond: return "respond";
+    case Action::kForward: return "forward";
+    case Action::kGenerate: return "generate";
+    case Action::kAccept: return "accept";
+    case Action::kIgnore: return "ignore";
+    case Action::kClose: return "close";
+    case Action::kReplace: return "replace";
+    case Action::kContain: return "contain";
+    case Action::kTreat: return "treat";
+    case Action::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+Action action_from_verb(std::string_view verb) noexcept {
+  std::string w;
+  w.reserve(verb.size());
+  for (char c : verb) {
+    w.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  // Strip common inflections: -ing, -ed, -es, -s.
+  auto base_matches = [&](std::string_view stem) {
+    if (w == stem) return true;
+    std::string s(stem);
+    if (w == s + "s" || w == s + "es" || w == s + "ed" || w == s + "d" ||
+        w == s + "ing") {
+      return true;
+    }
+    if (!s.empty() && w == s.substr(0, s.size() - 1) + "ing") return true;
+    return false;
+  };
+  struct Map {
+    std::string_view stem;
+    Action action;
+  };
+  static constexpr Map kMap[] = {
+      {"reject", Action::kReject},   {"refuse", Action::kReject},
+      {"discard", Action::kReject},  {"drop", Action::kReject},
+      {"respond", Action::kRespond}, {"reply", Action::kRespond},
+      {"return", Action::kRespond},  {"answer", Action::kRespond},
+      {"forward", Action::kForward}, {"relay", Action::kForward},
+      {"pass", Action::kForward},    {"generate", Action::kGenerate},
+      {"create", Action::kGenerate}, {"produce", Action::kGenerate},
+      {"send", Action::kGenerate},   {"accept", Action::kAccept},
+      {"process", Action::kAccept},  {"handle", Action::kAccept},
+      {"parse", Action::kAccept},    {"ignore", Action::kIgnore},
+      {"disregard", Action::kIgnore},{"skip", Action::kIgnore},
+      {"close", Action::kClose},     {"terminate", Action::kClose},
+      {"replace", Action::kReplace}, {"substitute", Action::kReplace},
+      {"rewrite", Action::kReplace}, {"remove", Action::kReplace},
+      {"contain", Action::kContain}, {"include", Action::kContain},
+      {"carry", Action::kContain},   {"have", Action::kContain},
+      {"lack", Action::kContain},    {"treat", Action::kTreat},
+      {"consider", Action::kTreat},  {"interpret", Action::kTreat},
+      {"regard", Action::kTreat},
+  };
+  for (const auto& m : kMap) {
+    if (base_matches(m.stem)) return m.action;
+  }
+  return Action::kUnknown;
+}
+
+namespace {
+
+
+/// Modifier vocabulary appearing in message descriptions.
+const std::set<std::string>& modifier_words() {
+  static const std::set<std::string> kWords = {
+      "invalid",   "valid",    "multiple", "duplicate", "repeated",
+      "empty",     "missing",  "malformed","ambiguous", "whitespace",
+      "obsolete",  "unknown",  "long",     "oversize",  "chunked",
+      "absolute",  "lacks",    "several",  "single",
+  };
+  return kWords;
+}
+
+bool is_status_code(const std::string& word, int* code) {
+  if (word.size() != 3) return false;
+  for (char c : word) {
+    if (c < '0' || c > '9') return false;
+  }
+  int v = (word[0] - '0') * 100 + (word[1] - '0') * 10 + (word[2] - '0');
+  if (v < 100 || v > 599) return false;
+  *code = v;
+  return true;
+}
+
+}  // namespace
+
+PremiseFacts extract_facts(std::string_view clause,
+                           const std::set<std::string>& field_dictionary) {
+  PremiseFacts facts;
+  DepTree tree = parse_dependencies(clause);
+  const auto& toks = tree.tokens;
+
+  SentimentClassifier sentiment;
+  SentimentResult s = sentiment.score(toks);
+  facts.modal_strength = s.strength;
+  facts.negated = s.polarity == SentimentPolarity::kProhibition;
+
+  if (tree.root) {
+    std::size_t root = *tree.root;
+    facts.verb = toks[root].lower;
+    facts.action = action_from_verb(facts.verb);
+    if (auto subj = tree.find_dep(root, Rel::kNsubj)) {
+      facts.subject = toks[*subj].lower;
+      facts.role = role_from_word(facts.subject);
+      // "user agent": two-word role
+      if (facts.role == Role::kUnknown && *subj > 0 &&
+          toks[*subj].lower == "agent" && toks[*subj - 1].lower == "user") {
+        facts.role = Role::kUserAgent;
+      }
+    }
+    if (tree.find_dep(root, Rel::kNeg)) facts.negated = true;
+  }
+
+  // Any role word in the clause is a fallback subject (passive sentences:
+  // "... MUST be rejected by the server").
+  if (facts.role == Role::kUnknown) {
+    for (const auto& t : toks) {
+      Role r = role_from_word(t.lower);
+      if (r != Role::kUnknown) {
+        facts.role = r;
+        break;
+      }
+    }
+  }
+
+  // Fields, status codes, modifiers: scan all tokens.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const auto& t = toks[i];
+    std::string lower = t.lower;
+    // Quoted symbols: strip quotes for dictionary lookup.
+    if (t.pos == Pos::kSymbol && lower.size() >= 2) {
+      lower = lower.substr(1, lower.size() - 2);
+    }
+    // Prose aliases: RFC text says "the version"/"an expectation" where the
+    // grammar names the element http-version / Expect.
+    if (lower == "version" || lower == "http-version") {
+      facts.fields.push_back("http-version");
+    } else if (lower == "expectation" || lower == "expectations") {
+      facts.fields.push_back("expect");
+    }
+    if (field_dictionary.contains(lower)) {
+      facts.fields.push_back(lower);
+    }
+    int code = 0;
+    if (is_status_code(t.text, &code)) {
+      facts.status_codes.push_back(code);
+    }
+    if (modifier_words().contains(lower)) {
+      facts.modifiers.insert(lower);
+    }
+    // "more than one", "at least two" => multiple
+    if (lower == "one" && i >= 2 && toks[i - 1].lower == "than" &&
+        toks[i - 2].lower == "more") {
+      facts.modifiers.insert("multiple");
+    }
+    // "lacks a Host header" / "without a Host header" => missing
+    if (lower == "lacks" || lower == "lack" || lower == "without") {
+      facts.modifiers.insert("missing");
+    }
+    if (lower == "whitespace" || lower == "space") {
+      facts.modifiers.insert("whitespace");
+    }
+    if (lower == "multiple" || lower == "duplicate" || lower == "repeated" ||
+        lower == "several" || lower == "both") {
+      facts.modifiers.insert("multiple");
+    }
+    // "more than once" (chunked applied twice)
+    if (lower == "once" && i >= 2 && toks[i - 1].lower == "than" &&
+        toks[i - 2].lower == "more") {
+      facts.modifiers.insert("multiple");
+    }
+  }
+  return facts;
+}
+
+std::string Hypothesis::to_string() const {
+  std::string out = label.empty() ? std::string("hypothesis") : label;
+  out += " {";
+  if (role) out += " role=" + std::string(text::to_string(*role));
+  if (action) {
+    out += negated ? " action=NOT-" : " action=";
+    out += text::to_string(*action);
+  }
+  if (field) out += " field=" + *field;
+  if (status_code) out += " status=" + std::to_string(*status_code);
+  if (modifier) out += " modifier=" + *modifier;
+  out += " }";
+  return out;
+}
+
+EntailmentEngine::EntailmentEngine(double min_modal_strength)
+    : min_modal_strength_(min_modal_strength) {}
+
+EntailmentResult EntailmentEngine::entails(const PremiseFacts& premise,
+                                           const Hypothesis& hypothesis) const {
+  EntailmentResult result;
+  std::size_t specified = 0;
+  std::size_t aligned = 0;
+
+  if (premise.modal_strength < min_modal_strength_) {
+    result.mismatches.push_back("premise lacks requirement-grade language");
+    return result;
+  }
+
+  if (hypothesis.role) {
+    ++specified;
+    if (premise.role != Role::kUnknown &&
+        role_covers(premise.role, *hypothesis.role)) {
+      ++aligned;
+    } else {
+      result.mismatches.push_back("role: premise=" +
+                                  std::string(to_string(premise.role)) +
+                                  " hypothesis=" +
+                                  std::string(to_string(*hypothesis.role)));
+    }
+  }
+  if (hypothesis.action) {
+    ++specified;
+    bool action_match = premise.action == *hypothesis.action;
+    // Polarity must agree: "MUST NOT forward" does not entail "forward".
+    bool polarity_match = premise.negated == hypothesis.negated;
+    if (action_match && polarity_match) {
+      ++aligned;
+    } else {
+      result.mismatches.push_back(
+          "action: premise=" + std::string(premise.negated ? "NOT-" : "") +
+          std::string(to_string(premise.action)) + " hypothesis=" +
+          std::string(hypothesis.negated ? "NOT-" : "") +
+          std::string(to_string(*hypothesis.action)));
+    }
+  }
+  if (hypothesis.field) {
+    ++specified;
+    bool found = false;
+    for (const auto& f : premise.fields) {
+      if (f == *hypothesis.field) found = true;
+    }
+    if (found) {
+      ++aligned;
+    } else {
+      result.mismatches.push_back("field: '" + *hypothesis.field +
+                                  "' not in premise");
+    }
+  }
+  if (hypothesis.status_code) {
+    ++specified;
+    bool found = false;
+    for (int c : premise.status_codes) {
+      if (c == *hypothesis.status_code) found = true;
+    }
+    if (found) {
+      ++aligned;
+    } else {
+      result.mismatches.push_back("status: " +
+                                  std::to_string(*hypothesis.status_code) +
+                                  " not in premise");
+    }
+  }
+  if (hypothesis.modifier) {
+    ++specified;
+    if (premise.modifiers.contains(*hypothesis.modifier)) {
+      ++aligned;
+    } else {
+      result.mismatches.push_back("modifier: '" + *hypothesis.modifier +
+                                  "' not in premise");
+    }
+  }
+
+  result.confidence =
+      specified == 0 ? 1.0
+                     : static_cast<double>(aligned) /
+                           static_cast<double>(specified);
+  result.entailed = specified > 0 && aligned == specified;
+  return result;
+}
+
+EntailmentResult EntailmentEngine::entails(
+    std::string_view premise_clause, const Hypothesis& hypothesis,
+    const std::set<std::string>& field_dictionary) const {
+  return entails(extract_facts(premise_clause, field_dictionary), hypothesis);
+}
+
+}  // namespace hdiff::text

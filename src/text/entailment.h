@@ -1,0 +1,130 @@
+// Textual entailment for specification requirements (paper §II-B, §III-C).
+//
+// The paper uses an AllenNLP entailment model as "an intelligent question
+// answering system": the RFC sentence is the premise, an SR seed-template
+// instance is the hypothesis, and the model answers whether the premise
+// implies it.  This engine answers the same question by structured
+// alignment: it extracts the premise's facts (role, action, polarity,
+// fields, status codes, modifiers) through the dependency tree, normalizes
+// them through synonym lexicons, and checks slot-wise compatibility with the
+// hypothesis.  Deterministic, and accurate on RFC-genre English (DESIGN.md
+// §1 documents the substitution).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/dependency.h"
+
+namespace hdiff::text {
+
+/// Protocol roles (RFC 7230 §2.5 vocabulary, the paper's 10 role names).
+enum class Role {
+  kClient,
+  kServer,
+  kProxy,
+  kSender,
+  kRecipient,
+  kIntermediary,
+  kCache,
+  kGateway,
+  kUserAgent,
+  kOrigin,
+  kUnknown,
+};
+
+std::string_view to_string(Role r) noexcept;
+
+/// Map a subject word to a role ("server" -> kServer, "recipient" ->
+/// kRecipient, "user agent"/"user-agent" -> kUserAgent, ...).
+Role role_from_word(std::string_view word) noexcept;
+
+/// Does a premise role cover a hypothesis role?  "recipient" covers server,
+/// proxy, cache and gateway; "sender" covers client and proxy;
+/// "intermediary" covers proxy, cache and gateway; identical roles match.
+bool role_covers(Role premise, Role hypothesis) noexcept;
+
+/// Normalized protocol actions used in role-action SRs.
+enum class Action {
+  kReject,     ///< reject, refuse, discard, drop
+  kRespond,    ///< respond, reply, return, answer, send (a response)
+  kForward,    ///< forward, relay, pass
+  kGenerate,   ///< generate, create, produce, send (a request)
+  kAccept,     ///< accept, process, handle, parse
+  kIgnore,     ///< ignore, disregard, skip
+  kClose,      ///< close (the connection), terminate
+  kReplace,    ///< replace, substitute, rewrite, remove+add
+  kContain,    ///< contain, include, carry (message-description verbs)
+  kTreat,      ///< treat as, consider as, interpret as
+  kUnknown,
+};
+
+std::string_view to_string(Action a) noexcept;
+
+/// Normalize a verb (any inflection) to an Action.
+Action action_from_verb(std::string_view verb) noexcept;
+
+/// Structured facts extracted from one premise clause.
+struct PremiseFacts {
+  Role role = Role::kUnknown;
+  Action action = Action::kUnknown;
+  bool negated = false;                ///< prohibition ("MUST NOT ...")
+  double modal_strength = 0.0;         ///< 0 when no requirement language
+  std::vector<std::string> fields;     ///< HTTP field names found (lower-case)
+  std::vector<int> status_codes;       ///< 3-digit codes mentioned
+  std::set<std::string> modifiers;     ///< invalid, multiple, missing, ...
+  std::string verb;                    ///< surface form of the main verb
+  std::string subject;                 ///< surface form of the subject
+};
+
+/// Extract facts from a clause.  `field_dictionary` is the set of known
+/// field names (lower-case; normally the ABNF rule names of header fields).
+PremiseFacts extract_facts(std::string_view clause,
+                           const std::set<std::string>& field_dictionary);
+
+/// An SR seed-template instance (hypothesis).  Empty/unset slots are
+/// wildcards.  Mirrors the paper's two template families:
+///   message description — "[field] header is [modifier]"
+///   role action         — "[role] [action] [status-code]"
+struct Hypothesis {
+  std::optional<Role> role;
+  std::optional<Action> action;
+  bool negated = false;
+  std::optional<std::string> field;     ///< lower-case field name
+  std::optional<int> status_code;
+  std::optional<std::string> modifier;  ///< invalid / multiple / missing / ...
+  std::string label;                    ///< template id, for reports
+
+  std::string to_string() const;
+};
+
+/// Entailment verdict with per-slot diagnostics.
+struct EntailmentResult {
+  bool entailed = false;
+  double confidence = 0.0;  ///< fraction of specified slots that aligned
+  std::vector<std::string> mismatches;
+};
+
+class EntailmentEngine {
+ public:
+  /// `min_confidence`: every *specified* hypothesis slot must align; this
+  /// threshold additionally requires the premise to carry requirement-grade
+  /// modal strength.
+  explicit EntailmentEngine(double min_modal_strength = 0.3);
+
+  EntailmentResult entails(const PremiseFacts& premise,
+                           const Hypothesis& hypothesis) const;
+
+  /// Convenience over raw text.
+  EntailmentResult entails(std::string_view premise_clause,
+                           const Hypothesis& hypothesis,
+                           const std::set<std::string>& field_dictionary) const;
+
+ private:
+  double min_modal_strength_;
+};
+
+}  // namespace hdiff::text

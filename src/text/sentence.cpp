@@ -1,0 +1,125 @@
+#include "text/sentence.h"
+
+#include <cctype>
+
+namespace hdiff::text {
+
+std::string normalize_whitespace(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_ws = true;  // also trims leading whitespace
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_ws) {
+        out.push_back(' ');
+        in_ws = true;
+      }
+    } else {
+      out.push_back(c);
+      in_ws = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::size_t count_words(std::string_view text) {
+  std::size_t count = 0;
+  bool in_word = false;
+  for (char c : text) {
+    bool ws = std::isspace(static_cast<unsigned char>(c)) != 0;
+    if (!ws && !in_word) ++count;
+    in_word = !ws;
+  }
+  return count;
+}
+
+namespace {
+
+/// Abbreviations after which a '.' does not end a sentence.
+bool is_protected_abbrev(std::string_view before) {
+  static constexpr std::string_view kAbbrevs[] = {
+      "e.g", "i.e", "cf", "etc", "vs", "sec", "fig", "no", "resp", "incl",
+  };
+  // `before` is the word immediately preceding the period, lower-cased by
+  // the caller.
+  for (auto a : kAbbrevs) {
+    if (before == a) return true;
+  }
+  return false;
+}
+
+std::string lower_copy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool looks_like_grammar(std::string_view sentence) {
+  // Rule-definition shape: a token followed by '=' early in the fragment,
+  // or several ABNF metacharacters ('/', '*(', '%x', DQUOTE pairs).
+  std::size_t eq = sentence.find(" = ");
+  if (eq != std::string_view::npos && eq < 24) return true;
+  if (sentence.find("=/") != std::string_view::npos) return true;
+  int metachars = 0;
+  for (std::size_t i = 0; i + 1 < sentence.size(); ++i) {
+    if (sentence[i] == '*' && sentence[i + 1] == '(') ++metachars;
+    if (sentence[i] == '%' && (sentence[i + 1] == 'x' || sentence[i + 1] == 'd')) {
+      ++metachars;
+    }
+    if (sentence[i] == ';' && i > 0 && sentence[i - 1] == ' ') ++metachars;
+  }
+  return metachars >= 2;
+}
+
+std::vector<Sentence> split_sentences(std::string_view raw,
+                                      std::size_t min_words) {
+  std::string text = normalize_whitespace(raw);
+  std::vector<Sentence> out;
+  std::size_t start = 0;
+  std::size_t index = 0;
+
+  auto emit = [&](std::size_t end) {
+    while (start < end && text[start] == ' ') ++start;
+    std::string_view s(text.data() + start, end - start);
+    while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+    if (count_words(s) >= min_words) {
+      out.push_back(Sentence{std::string(s), index++});
+    }
+    start = end;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    // Not a boundary when followed by a non-space (decimal "1.1", "3.2.2").
+    if (i + 1 < text.size() && text[i + 1] != ' ') continue;
+    if (c == '.') {
+      // Find the word before the period.
+      std::size_t w_end = i;
+      std::size_t w_start = w_end;
+      while (w_start > start && text[w_start - 1] != ' ') --w_start;
+      std::string before = lower_copy(
+          std::string_view(text.data() + w_start, w_end - w_start));
+      // Strip enclosing parens: "(e.g." -> "e.g"
+      while (!before.empty() && (before.front() == '(' || before.front() == '"')) {
+        before.erase(before.begin());
+      }
+      if (is_protected_abbrev(before)) continue;
+      // Single capital letter initial ("R. Fielding").
+      if (before.size() == 1 && std::isupper(static_cast<unsigned char>(
+                                    text[w_start]))) {
+        continue;
+      }
+    }
+    emit(i + 1);
+  }
+  if (start < text.size()) emit(text.size());
+  return out;
+}
+
+}  // namespace hdiff::text

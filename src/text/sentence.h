@@ -1,0 +1,37 @@
+// Sentence segmentation for RFC prose.
+//
+// RFC text is plain ASCII with hard-wrapped lines; sentence boundaries are
+// '.', '!', '?' followed by whitespace and an upper-case/clause start.  The
+// splitter protects common abbreviations ("e.g.", "i.e.", "Sec.", "cf."),
+// decimal/version numbers ("HTTP/1.1", "Section 3.2.2"), and list markers so
+// the SR finder sees whole requirement sentences.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::text {
+
+struct Sentence {
+  std::string text;       ///< whitespace-normalized sentence
+  std::size_t index = 0;  ///< position within the document
+};
+
+/// Collapse hard line wraps and repeated whitespace to single spaces.
+std::string normalize_whitespace(std::string_view text);
+
+/// Split normalized or raw document text into sentences.  Fragments shorter
+/// than `min_words` words are dropped (headings, table cells, ABNF lines).
+std::vector<Sentence> split_sentences(std::string_view text,
+                                      std::size_t min_words = 3);
+
+/// Count whitespace-delimited words.
+std::size_t count_words(std::string_view text);
+
+/// Heuristic: does this "sentence" actually look like ABNF grammar that
+/// leaked through sentence splitting ("OWS = *( SP / HTAB ) ...")?  The SR
+/// finder skips such fragments — grammar is handled by the ABNF extractor.
+bool looks_like_grammar(std::string_view sentence);
+
+}  // namespace hdiff::text

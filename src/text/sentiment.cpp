@@ -1,0 +1,161 @@
+#include "text/sentiment.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hdiff::text {
+
+std::string_view to_string(SentimentPolarity p) noexcept {
+  switch (p) {
+    case SentimentPolarity::kObligation: return "obligation";
+    case SentimentPolarity::kProhibition: return "prohibition";
+    case SentimentPolarity::kNeutral: return "neutral";
+  }
+  return "neutral";
+}
+
+namespace {
+
+struct Cue {
+  /// Token sequence to match (lower-cased); empty strings are wildcards for
+  /// a single token.
+  std::vector<std::string_view> pattern;
+  double weight;
+  bool prohibition;
+};
+
+const std::vector<Cue>& cue_lexicon() {
+  // Weights reflect RFC 2119's own hierarchy: absolute requirements score
+  // highest, recommendations mid, permissions low-but-present.  Informal
+  // obligation phrasings score like their formal counterparts.
+  static const std::vector<Cue> kCues = {
+      {{"must", "not"}, 0.95, true},
+      {{"must"}, 0.95, false},
+      {{"shall", "not"}, 0.95, true},
+      {{"shall"}, 0.95, false},
+      {{"required"}, 0.9, false},
+      {{"should", "not"}, 0.7, true},
+      {{"should"}, 0.7, false},
+      {{"recommended"}, 0.7, false},
+      {{"ought", "to"}, 0.7, false},
+      {{"may", "not"}, 0.5, true},
+      {{"may"}, 0.4, false},
+      {{"optional"}, 0.4, false},
+      {{"not", "allowed"}, 0.9, true},
+      {{"is", "not", "permitted"}, 0.9, true},
+      {{"not", "permitted"}, 0.9, true},
+      {{"cannot"}, 0.8, true},
+      {{"can", "not"}, 0.8, true},
+      {{"needs", "to"}, 0.8, false},
+      {{"need", "to"}, 0.6, false},
+      {{"has", "to"}, 0.8, false},
+      {{"have", "to"}, 0.6, false},
+      {{"forbidden"}, 0.9, true},
+      {{"prohibited"}, 0.9, true},
+      {{"disallowed"}, 0.9, true},
+      {{"rejected"}, 0.6, false},
+      {{"reject"}, 0.5, false},
+      {{"invalid"}, 0.35, false},
+      {{"error"}, 0.3, false},
+      {{"never"}, 0.7, true},
+      {{"always"}, 0.5, false},
+      {{"only"}, 0.25, false},
+  };
+  return kCues;
+}
+
+/// RFC-2119 keywords appear in CAPITALS in specification text; that casing
+/// is itself a strong cue.
+bool is_all_caps(std::string_view word) {
+  bool alpha = false;
+  for (char c : word) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') alpha = true;
+  }
+  return alpha;
+}
+
+}  // namespace
+
+SentimentClassifier::SentimentClassifier(double threshold)
+    : threshold_(threshold) {}
+
+SentimentResult SentimentClassifier::score(std::string_view sentence) const {
+  return score(analyze(sentence));
+}
+
+SentimentResult SentimentClassifier::score(
+    const std::vector<Token>& tokens) const {
+  SentimentResult result;
+  double best = 0.0;
+  bool prohibition = false;
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    for (const Cue& cue : cue_lexicon()) {
+      if (i + cue.pattern.size() > tokens.size()) continue;
+      bool match = true;
+      for (std::size_t k = 0; k < cue.pattern.size(); ++k) {
+        if (!cue.pattern[k].empty() &&
+            tokens[i + k].lower != cue.pattern[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      double w = cue.weight;
+      // Capitalized RFC-2119 keywords ("MUST") are the canonical strong form.
+      if (is_all_caps(tokens[i].text)) w = std::min(1.0, w + 0.1);
+      std::string cue_text;
+      for (std::size_t k = 0; k < cue.pattern.size(); ++k) {
+        if (k) cue_text += ' ';
+        cue_text += tokens[i + k].text;
+      }
+      result.cues.push_back(std::move(cue_text));
+      if (w > best) {
+        best = w;
+        prohibition = cue.prohibition;
+      } else if (w == best && cue.prohibition) {
+        prohibition = true;
+      }
+    }
+  }
+
+  // Several independent cues in one sentence stack mildly (multi-clause
+  // requirements), capped at 1.
+  if (result.cues.size() > 1) {
+    best = std::min(1.0, best + 0.02 * static_cast<double>(result.cues.size() - 1));
+  }
+  result.strength = best;
+  if (best >= threshold_) {
+    result.polarity = prohibition ? SentimentPolarity::kProhibition
+                                  : SentimentPolarity::kObligation;
+  }
+  return result;
+}
+
+bool SentimentClassifier::is_requirement(std::string_view sentence) const {
+  return score(sentence).strength >= threshold_;
+}
+
+bool keyword_filter_matches(std::string_view sentence) {
+  static constexpr std::string_view kKeywords[] = {
+      "MUST", "MUST NOT", "SHALL", "SHALL NOT", "SHOULD", "SHOULD NOT",
+      "REQUIRED", "RECOMMENDED", "NOT RECOMMENDED", "MAY", "OPTIONAL",
+  };
+  for (auto kw : kKeywords) {
+    std::size_t pos = sentence.find(kw);
+    while (pos != std::string_view::npos) {
+      // Whole-word match: boundaries must not be letters.
+      bool left_ok = pos == 0 || !std::isalpha(static_cast<unsigned char>(
+                                      sentence[pos - 1]));
+      std::size_t end = pos + kw.size();
+      bool right_ok = end >= sentence.size() ||
+                      !std::isalpha(static_cast<unsigned char>(sentence[end]));
+      if (left_ok && right_ok) return true;
+      pos = sentence.find(kw, pos + 1);
+    }
+  }
+  return false;
+}
+
+}  // namespace hdiff::text

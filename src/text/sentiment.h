@@ -1,0 +1,58 @@
+// Sentiment-based SR finder (paper §III-C).
+//
+// The paper's key observation: specification-requirement sentences carry a
+// *strong sentiment* — forceful modal and obligation language — and the more
+// security-critical the constraint, the more forceful the phrasing.  This
+// classifier scores that forcefulness.  It deliberately goes beyond plain
+// RFC-2119 keyword filtering: phrases like "is not allowed", "cannot contain
+// a message body", and "ought to be handled as an error" score as strong
+// requirements even though they contain no RFC-2119 keyword (the paper calls
+// these out as cases a keyword filter misses; ablation E9 measures exactly
+// this difference).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace hdiff::text {
+
+/// Polarity of the requirement: an obligation to act, or a prohibition.
+enum class SentimentPolarity {
+  kObligation,   ///< "MUST respond", "is required to"
+  kProhibition,  ///< "MUST NOT", "not allowed", "cannot"
+  kNeutral,
+};
+
+std::string_view to_string(SentimentPolarity p) noexcept;
+
+struct SentimentResult {
+  double strength = 0.0;  ///< [0,1]; >= threshold means SR candidate
+  SentimentPolarity polarity = SentimentPolarity::kNeutral;
+  std::vector<std::string> cues;  ///< matched lexicon entries, for reports
+};
+
+class SentimentClassifier {
+ public:
+  /// `threshold`: minimum strength for is_requirement().
+  explicit SentimentClassifier(double threshold = 0.45);
+
+  SentimentResult score(std::string_view sentence) const;
+  SentimentResult score(const std::vector<Token>& tokens) const;
+
+  /// Convenience: does the sentence carry SR-grade sentiment?
+  bool is_requirement(std::string_view sentence) const;
+
+  double threshold() const noexcept { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+/// The keyword-only baseline the paper compares against (RFC 2119 terms in
+/// capitals); used by ablation experiment E9.
+bool keyword_filter_matches(std::string_view sentence);
+
+}  // namespace hdiff::text

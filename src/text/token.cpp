@@ -1,0 +1,240 @@
+#include "text/token.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace hdiff::text {
+
+std::string_view to_string(Pos pos) noexcept {
+  switch (pos) {
+    case Pos::kNoun: return "NOUN";
+    case Pos::kProperNoun: return "PROPN";
+    case Pos::kVerb: return "VERB";
+    case Pos::kModal: return "MODAL";
+    case Pos::kAdj: return "ADJ";
+    case Pos::kAdv: return "ADV";
+    case Pos::kDet: return "DET";
+    case Pos::kPrep: return "PREP";
+    case Pos::kConj: return "CC";
+    case Pos::kSubConj: return "SCONJ";
+    case Pos::kPron: return "PRON";
+    case Pos::kNum: return "NUM";
+    case Pos::kPunct: return "PUNCT";
+    case Pos::kSymbol: return "SYM";
+    case Pos::kOther: return "X";
+  }
+  return "X";
+}
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == '/' || c == '.' || c == ':';
+}
+
+std::string lower_copy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+const std::unordered_map<std::string_view, Pos>& lexicon() {
+  static const std::unordered_map<std::string_view, Pos> kLexicon = {
+      // modals / requirement keywords (RFC 2119 plus informal forms)
+      {"must", Pos::kModal}, {"shall", Pos::kModal}, {"should", Pos::kModal},
+      {"may", Pos::kModal}, {"might", Pos::kModal}, {"can", Pos::kModal},
+      {"cannot", Pos::kModal}, {"ought", Pos::kModal}, {"will", Pos::kModal},
+      {"would", Pos::kModal}, {"required", Pos::kModal},
+      {"recommended", Pos::kModal}, {"optional", Pos::kModal},
+      // determiners
+      {"a", Pos::kDet}, {"an", Pos::kDet}, {"the", Pos::kDet},
+      {"any", Pos::kDet}, {"all", Pos::kDet}, {"each", Pos::kDet},
+      {"every", Pos::kDet}, {"no", Pos::kDet}, {"some", Pos::kDet},
+      {"this", Pos::kDet}, {"that", Pos::kDet}, {"these", Pos::kDet},
+      {"those", Pos::kDet}, {"such", Pos::kDet}, {"its", Pos::kDet},
+      {"both", Pos::kDet}, {"either", Pos::kDet}, {"multiple", Pos::kDet},
+      // prepositions
+      {"of", Pos::kPrep}, {"in", Pos::kPrep}, {"on", Pos::kPrep},
+      {"with", Pos::kPrep}, {"without", Pos::kPrep}, {"to", Pos::kPrep},
+      {"from", Pos::kPrep}, {"for", Pos::kPrep}, {"by", Pos::kPrep},
+      {"as", Pos::kPrep}, {"at", Pos::kPrep}, {"via", Pos::kPrep},
+      {"between", Pos::kPrep}, {"before", Pos::kPrep}, {"after", Pos::kPrep},
+      {"within", Pos::kPrep}, {"upon", Pos::kPrep}, {"into", Pos::kPrep},
+      {"per", Pos::kPrep}, {"over", Pos::kPrep},
+      // coordinating conjunctions
+      {"and", Pos::kConj}, {"or", Pos::kConj}, {"but", Pos::kConj},
+      {"nor", Pos::kConj},
+      // subordinating conjunctions / relativizers
+      {"if", Pos::kSubConj}, {"when", Pos::kSubConj},
+      {"whenever", Pos::kSubConj}, {"unless", Pos::kSubConj},
+      {"until", Pos::kSubConj}, {"because", Pos::kSubConj},
+      {"although", Pos::kSubConj}, {"while", Pos::kSubConj},
+      {"which", Pos::kSubConj}, {"whose", Pos::kSubConj},
+      {"where", Pos::kSubConj}, {"since", Pos::kSubConj},
+      {"so", Pos::kSubConj}, {"than", Pos::kSubConj},
+      {"whether", Pos::kSubConj},
+      // pronouns
+      {"it", Pos::kPron}, {"they", Pos::kPron}, {"them", Pos::kPron},
+      {"itself", Pos::kPron}, {"one", Pos::kPron}, {"there", Pos::kPron},
+      // adverbs common in RFC prose
+      {"not", Pos::kAdv}, {"never", Pos::kAdv}, {"only", Pos::kAdv},
+      {"also", Pos::kAdv}, {"then", Pos::kAdv}, {"thus", Pos::kAdv},
+      {"otherwise", Pos::kAdv}, {"instead", Pos::kAdv},
+      {"however", Pos::kAdv}, {"directly", Pos::kAdv},
+      {"immediately", Pos::kAdv}, {"always", Pos::kAdv},
+      {"often", Pos::kAdv}, {"usually", Pos::kAdv},
+      // copulas / frequent verbs (base + inflections that the suffix rules
+      // would mis-tag)
+      {"is", Pos::kVerb}, {"are", Pos::kVerb}, {"was", Pos::kVerb},
+      {"be", Pos::kVerb}, {"been", Pos::kVerb}, {"being", Pos::kVerb},
+      {"has", Pos::kVerb}, {"have", Pos::kVerb}, {"had", Pos::kVerb},
+      {"does", Pos::kVerb}, {"do", Pos::kVerb}, {"did", Pos::kVerb},
+      {"send", Pos::kVerb}, {"sends", Pos::kVerb}, {"sent", Pos::kVerb},
+      {"reject", Pos::kVerb}, {"rejects", Pos::kVerb},
+      {"respond", Pos::kVerb}, {"responds", Pos::kVerb},
+      {"receive", Pos::kVerb}, {"receives", Pos::kVerb},
+      {"forward", Pos::kVerb}, {"forwards", Pos::kVerb},
+      {"generate", Pos::kVerb}, {"generates", Pos::kVerb},
+      {"contain", Pos::kVerb}, {"contains", Pos::kVerb},
+      {"include", Pos::kVerb}, {"includes", Pos::kVerb},
+      {"ignore", Pos::kVerb}, {"ignores", Pos::kVerb},
+      {"treat", Pos::kVerb}, {"treats", Pos::kVerb},
+      {"close", Pos::kVerb}, {"closes", Pos::kVerb},
+      {"replace", Pos::kVerb}, {"replaces", Pos::kVerb},
+      {"remove", Pos::kVerb}, {"removes", Pos::kVerb},
+      {"accept", Pos::kVerb}, {"accepts", Pos::kVerb},
+      {"process", Pos::kVerb}, {"parse", Pos::kVerb},
+      {"handle", Pos::kVerb}, {"handled", Pos::kVerb},
+      {"consider", Pos::kVerb}, {"considered", Pos::kVerb},
+      {"allow", Pos::kVerb}, {"allowed", Pos::kVerb},
+      {"require", Pos::kVerb}, {"requires", Pos::kVerb},
+      {"use", Pos::kVerb}, {"uses", Pos::kVerb}, {"used", Pos::kVerb},
+      {"act", Pos::kVerb}, {"apply", Pos::kVerb}, {"applies", Pos::kVerb},
+      {"discard", Pos::kVerb}, {"discards", Pos::kVerb},
+      {"lacks", Pos::kVerb}, {"lack", Pos::kVerb},
+      {"precede", Pos::kVerb}, {"precedes", Pos::kVerb},
+      // frequent adjectives
+      {"invalid", Pos::kAdj}, {"valid", Pos::kAdj}, {"empty", Pos::kAdj},
+      {"ambiguous", Pos::kAdj}, {"duplicate", Pos::kAdj},
+      {"whole", Pos::kAdj}, {"entire", Pos::kAdj}, {"final", Pos::kAdj},
+      {"last", Pos::kAdj}, {"first", Pos::kAdj}, {"single", Pos::kAdj},
+      {"same", Pos::kAdj}, {"different", Pos::kAdj}, {"new", Pos::kAdj},
+      {"obsolete", Pos::kAdj}, {"malformed", Pos::kAdj},
+  };
+  return kLexicon;
+}
+
+bool all_digits_dots(std::string_view s) {
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != ',' && c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+Pos guess_by_suffix(const Token& tok, bool sentence_initial) {
+  const std::string& w = tok.lower;
+  if (all_digits_dots(w)) return Pos::kNum;
+  // Header names and protocol tokens: contain '-' or '/' with capitals, or
+  // are known field spellings — tag as proper nouns (field candidates).
+  bool has_upper = false;
+  for (char c : tok.text) {
+    if (std::isupper(static_cast<unsigned char>(c))) has_upper = true;
+  }
+  if (has_upper && !sentence_initial) return Pos::kProperNoun;
+  if (w.size() > 4) {
+    auto ends = [&](std::string_view suf) {
+      return w.size() >= suf.size() &&
+             w.compare(w.size() - suf.size(), suf.size(), suf) == 0;
+    };
+    if (ends("ly")) return Pos::kAdv;
+    if (ends("ing") || ends("ed") || ends("ify")) return Pos::kVerb;
+    if (ends("tion") || ends("sion") || ends("ment") || ends("ness") ||
+        ends("ity") || ends("ance") || ends("ence")) {
+      return Pos::kNoun;
+    }
+    if (ends("ous") || ends("ive") || ends("able") || ends("ible") ||
+        ends("ical") || ends("less")) {
+      return Pos::kAdj;
+    }
+  }
+  return Pos::kNoun;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view sentence) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < sentence.size()) {
+    char c = sentence[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (is_word_char(c)) {
+      std::size_t start = i;
+      while (i < sentence.size() && is_word_char(sentence[i])) ++i;
+      // Trailing '.'/':' is sentence punctuation, not part of the word —
+      // unless the token is a number/version like "1.1".
+      std::string_view word = sentence.substr(start, i - start);
+      while (word.size() > 1 && (word.back() == '.' || word.back() == ':') &&
+             !std::isdigit(static_cast<unsigned char>(word[word.size() - 2]))) {
+        word.remove_suffix(1);
+        --i;
+      }
+      tok.text.assign(word);
+    } else if (c == '"' || c == '\'') {
+      // Quoted literal: take through the matching quote as one symbol token.
+      char quote = c;
+      std::size_t start = i++;
+      while (i < sentence.size() && sentence[i] != quote) ++i;
+      if (i < sentence.size()) ++i;
+      tok.text.assign(sentence.substr(start, i - start));
+      tok.lower = lower_copy(tok.text);
+      tok.pos = Pos::kSymbol;
+      out.push_back(std::move(tok));
+      continue;
+    } else {
+      tok.text.assign(1, c);
+      tok.lower = tok.text;
+      tok.pos = Pos::kPunct;
+      out.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    tok.lower = lower_copy(tok.text);
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+void tag_pos(std::vector<Token>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    Token& tok = tokens[i];
+    if (tok.pos == Pos::kPunct || tok.pos == Pos::kSymbol) continue;
+    auto it = lexicon().find(tok.lower);
+    if (it != lexicon().end()) {
+      tok.pos = it->second;
+      continue;
+    }
+    tok.pos = guess_by_suffix(tok, /*sentence_initial=*/i == 0);
+  }
+}
+
+std::vector<Token> analyze(std::string_view sentence) {
+  std::vector<Token> tokens = tokenize(sentence);
+  tag_pos(tokens);
+  return tokens;
+}
+
+}  // namespace hdiff::text

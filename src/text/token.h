@@ -1,0 +1,56 @@
+// Tokenization and part-of-speech tagging for RFC prose.
+//
+// This is the base layer of HDiff's NLP substrate (substituting for the
+// stanza/spaCy stack of the paper — see DESIGN.md §1).  RFC requirement
+// prose is a narrow genre of technical English; a lexicon + suffix tagger is
+// accurate on it and, unlike a neural tagger, fully deterministic.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::text {
+
+/// Part-of-speech classes — only the distinctions the downstream dependency
+/// rules and entailment slots need.
+enum class Pos {
+  kNoun,
+  kProperNoun,  ///< capitalized mid-sentence tokens, header names, "HTTP/1.1"
+  kVerb,
+  kModal,       ///< MUST, SHOULD, MAY, shall, ought, cannot, ...
+  kAdj,
+  kAdv,
+  kDet,
+  kPrep,
+  kConj,        ///< coordinating conjunction (cc): and, or, but
+  kSubConj,     ///< subordinating: if, when, unless, that, which
+  kPron,
+  kNum,
+  kPunct,
+  kSymbol,      ///< code fragments, quoted literals
+  kOther,
+};
+
+std::string_view to_string(Pos pos) noexcept;
+
+struct Token {
+  std::string text;    ///< original spelling
+  std::string lower;   ///< lower-cased
+  Pos pos = Pos::kOther;
+  std::size_t offset = 0;  ///< byte offset in the source sentence
+};
+
+/// Split a sentence into word / number / punctuation tokens.  Quoted spans
+/// ("400 (Bad Request)", '"chunked"') stay intact enough for field lookup:
+/// hyphens and slashes inside words are kept ("field-name", "HTTP/1.1").
+std::vector<Token> tokenize(std::string_view sentence);
+
+/// Assign POS tags in place (lexicon first, then suffix heuristics,
+/// defaulting to noun — the safest class for RFC jargon).
+void tag_pos(std::vector<Token>& tokens);
+
+/// Convenience: tokenize + tag.
+std::vector<Token> analyze(std::string_view sentence);
+
+}  // namespace hdiff::text

@@ -1,0 +1,107 @@
+#include "abnf/adaptor.h"
+
+#include <gtest/gtest.h>
+
+#include "abnf/parser.h"
+
+namespace hdiff::abnf {
+namespace {
+
+Grammar grammar_of(std::string_view text, std::string_view doc) {
+  return parse_rulelist(text, doc);
+}
+
+TEST(ProseReference, ParsesConventionalShape) {
+  std::string rule, doc;
+  ASSERT_TRUE(Adaptor::parse_prose_reference(
+      "host, see [RFC3986], Section 3.2.2", &rule, &doc));
+  EXPECT_EQ(rule, "host");
+  EXPECT_EQ(doc, "RFC3986");
+}
+
+TEST(ProseReference, RejectsFreeText) {
+  EXPECT_FALSE(Adaptor::parse_prose_reference("any CHAR except CTLs", nullptr,
+                                              nullptr));
+  EXPECT_FALSE(Adaptor::parse_prose_reference("", nullptr, nullptr));
+}
+
+TEST(Adaptor, MostRecentDocumentWins) {
+  Adaptor adaptor;
+  adaptor.register_document("old", grammar_of("x = \"old\"\n", "old"));
+  adaptor.register_document("new", grammar_of("x = \"new\"\n", "new"));
+  Grammar merged = adaptor.adapt({"old", "new"});
+  EXPECT_EQ(merged.find("x")->source_doc, "new");
+}
+
+TEST(Adaptor, ResolvesProseIntoReferencedDocument) {
+  Adaptor adaptor;
+  adaptor.register_document(
+      "rfc1", grammar_of("Host = uri-host\n"
+                         "uri-host = <host, see [RFC2], Section 3>\n",
+                         "rfc1"));
+  adaptor.register_document("rfc2", grammar_of("host = 1*%x61-7A\n", "rfc2"));
+  AdaptReport report;
+  Grammar merged = adaptor.adapt({"rfc1"}, &report);
+  // The prose rule became a reference and rfc2's rules were pulled in.
+  EXPECT_TRUE(merged.contains("host"));
+  EXPECT_TRUE(merged.undefined_references().empty());
+  ASSERT_EQ(report.expanded_documents.size(), 1u);
+  EXPECT_EQ(report.expanded_documents[0], "RFC2");
+  EXPECT_EQ(report.resolved_prose.size(), 1u);
+}
+
+TEST(Adaptor, ExpansionDoesNotOverrideExistingNames) {
+  Adaptor adaptor;
+  adaptor.register_document(
+      "rfc1", grammar_of("host = \"mine\"\n"
+                         "other = <host, see [RFC2], Section 3>\n",
+                         "rfc1"));
+  adaptor.register_document("rfc2", grammar_of("host = \"theirs\"\n", "rfc2"));
+  Grammar merged = adaptor.adapt({"rfc1"});
+  EXPECT_EQ(merged.find("host")->source_doc, "rfc1");
+}
+
+TEST(Adaptor, CustomRuleSubstitutesUndefined) {
+  Adaptor adaptor;
+  adaptor.register_document("rfc1", grammar_of("a = b\n", "rfc1"));
+  adaptor.set_custom_rule("b", parse_elements("\"fallback\""));
+  AdaptReport report;
+  Grammar merged = adaptor.adapt({"rfc1"}, &report);
+  EXPECT_TRUE(merged.contains("b"));
+  EXPECT_EQ(merged.find("b")->source_doc, "custom");
+  ASSERT_EQ(report.custom_substitutions.size(), 1u);
+  EXPECT_TRUE(report.unresolved.empty());
+}
+
+TEST(Adaptor, UnresolvedReported) {
+  Adaptor adaptor;
+  adaptor.register_document("rfc1", grammar_of("a = b\n", "rfc1"));
+  AdaptReport report;
+  adaptor.adapt({"rfc1"}, &report);
+  ASSERT_EQ(report.unresolved.size(), 1u);
+  EXPECT_EQ(report.unresolved[0], "b");
+}
+
+TEST(Adaptor, UnknownDocumentInOrderIsSkipped) {
+  Adaptor adaptor;
+  adaptor.register_document("rfc1", grammar_of("a = \"x\"\n", "rfc1"));
+  Grammar merged = adaptor.adapt({"rfc1", "rfc-missing"});
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(Adaptor, ChainedProseResolution) {
+  // rfc1 -> rfc2 -> rfc3 across two rounds of expansion.
+  Adaptor adaptor;
+  adaptor.register_document(
+      "rfc1", grammar_of("a = <b, see [RFC2], Section 1>\n", "rfc1"));
+  adaptor.register_document(
+      "rfc2", grammar_of("b = <c, see [RFC3], Section 1>\n", "rfc2"));
+  adaptor.register_document("rfc3", grammar_of("c = \"leaf\"\n", "rfc3"));
+  Grammar merged = adaptor.adapt({"rfc1"});
+  EXPECT_TRUE(merged.contains("b"));
+  EXPECT_TRUE(merged.contains("c"));
+  EXPECT_TRUE(merged.undefined_references().empty());
+}
+
+}  // namespace
+}  // namespace hdiff::abnf

@@ -1,0 +1,96 @@
+#include "abnf/extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::abnf {
+namespace {
+
+constexpr std::string_view kRfcLike = R"(
+RFC 9999                    Test Protocol                   January 2026
+
+1.  Introduction
+
+   This sentence is prose and must not be extracted.  A parser MUST
+   accept the following grammar.
+
+     greeting   = "hello" SP name CRLF
+
+     name       = 1*ALPHA
+                / nickname
+
+     nickname   = "<" 1*ALPHA ">"
+
+   Some closing prose mentioning x = y in passing but across a clause
+   boundary it should fail to parse as ABNF and be filtered out.
+
+Someone & Other              Standards Track                    [Page 3]
+
+RFC 9999                    Test Protocol                   January 2026
+
+2.  More
+
+     farewell   = "bye" CRLF
+)";
+
+TEST(CleanRfcText, StripsPaginationArtifacts) {
+  std::string cleaned = clean_rfc_text(kRfcLike);
+  EXPECT_EQ(cleaned.find("[Page 3]"), std::string::npos);
+  EXPECT_EQ(cleaned.find("RFC 9999                    Test"),
+            std::string::npos);
+  EXPECT_NE(cleaned.find("greeting"), std::string::npos);
+}
+
+TEST(CleanRfcText, RemovesFormFeeds) {
+  EXPECT_EQ(clean_rfc_text("a\fb\n"), "ab\n");
+}
+
+TEST(Extractor, FindsAllRules) {
+  ExtractionStats stats;
+  Grammar g = extract_abnf(clean_rfc_text(kRfcLike), "rfc9999", &stats);
+  EXPECT_TRUE(g.contains("greeting"));
+  EXPECT_TRUE(g.contains("name"));
+  EXPECT_TRUE(g.contains("nickname"));
+  EXPECT_TRUE(g.contains("farewell"));
+  EXPECT_EQ(stats.parsed_rules, 4u);
+}
+
+TEST(Extractor, MultilineContinuationsJoin) {
+  Grammar g = extract_abnf(clean_rfc_text(kRfcLike), "rfc9999");
+  const Rule* name = g.find("name");
+  ASSERT_NE(name, nullptr);
+  const auto* alt = name->definition->as<Alternation>();
+  ASSERT_NE(alt, nullptr);
+  EXPECT_EQ(alt->alts.size(), 2u);
+}
+
+TEST(Extractor, ProseIsFilteredByParse) {
+  ExtractionStats stats;
+  Grammar g = extract_abnf(
+      "   value = is assigned when the parser = runs\n", "x", &stats);
+  // The candidate fails the ABNF parser and is dropped as prose.
+  EXPECT_FALSE(g.contains("value"));
+  EXPECT_EQ(stats.parse_failures, 1u);
+}
+
+TEST(Extractor, CountsProseValRules) {
+  ExtractionStats stats;
+  Grammar g = extract_abnf(
+      "   uri-host = <host, see [RFC3986], Section 3.2.2>\n", "x", &stats);
+  EXPECT_TRUE(g.contains("uri-host"));
+  EXPECT_EQ(stats.prose_val_rules, 1u);
+}
+
+TEST(Extractor, ProvenanceRecorded) {
+  Grammar g = extract_abnf("   a = \"x\"\n", "rfc9999");
+  EXPECT_EQ(g.find("a")->source_doc, "rfc9999");
+}
+
+TEST(Extractor, DoubleEqualsIsNotAbnf) {
+  ExtractionStats stats;
+  Grammar g = extract_abnf("   flag == enabled\n", "x", &stats);
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(stats.candidate_chunks, 0u);
+}
+
+}  // namespace
+}  // namespace hdiff::abnf

@@ -1,0 +1,176 @@
+#include "abnf/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "abnf/parser.h"
+
+namespace hdiff::abnf {
+namespace {
+
+Grammar http_version_grammar() {
+  return parse_rulelist(
+      "HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\n"
+      "HTTP-name = %x48.54.54.50\n"
+      "DIGIT = %x30-39\n",
+      "test");
+}
+
+TEST(Generator, EnumeratesVersions) {
+  Grammar g = http_version_grammar();
+  GenOptions opts;
+  opts.literal_case_variants = false;
+  Generator gen(g, opts);
+  auto values = gen.enumerate("HTTP-version", 100);
+  ASSERT_FALSE(values.empty());
+  for (const auto& v : values) {
+    EXPECT_EQ(v.substr(0, 5), "HTTP/");
+    EXPECT_EQ(v.size(), 8u);
+    EXPECT_EQ(v[6], '.');
+  }
+  // Representative digits cover lo and hi of the range.
+  bool has_zero = false, has_nine = false;
+  for (const auto& v : values) {
+    if (v[5] == '0') has_zero = true;
+    if (v[5] == '9') has_nine = true;
+  }
+  EXPECT_TRUE(has_zero);
+  EXPECT_TRUE(has_nine);
+}
+
+TEST(Generator, RespectsLimit) {
+  Generator gen(http_version_grammar());
+  EXPECT_LE(gen.enumerate("HTTP-version", 5).size(), 5u);
+}
+
+TEST(Generator, MinimalDerivation) {
+  Grammar g = parse_rulelist(
+      "msg = start *mid end\n"
+      "start = \"<\"\n"
+      "mid = \"m\"\n"
+      "end = \">\"\n",
+      "test");
+  Generator gen(g);
+  EXPECT_EQ(gen.minimal("msg"), "<>");
+}
+
+TEST(Generator, MinimalPicksShortestAlternative) {
+  Grammar g = parse_rulelist("x = \"abc\" / \"a\" / \"ab\"\n", "test");
+  Generator gen(g);
+  EXPECT_EQ(gen.minimal("x"), "a");
+}
+
+TEST(Generator, MinimalHandlesCycles) {
+  Grammar g = parse_rulelist("loop = \"x\" loop / \"y\"\n", "test");
+  Generator gen(g);
+  // The cycle contributes nothing; the non-recursive alternative wins.
+  std::string m = gen.minimal("loop");
+  EXPECT_TRUE(m == "y" || m == "x");
+}
+
+TEST(Generator, PredefinedValuesShortCircuit) {
+  Grammar g = parse_rulelist("Host = uri-host\nuri-host = 1*%x61-7A\n", "test");
+  Generator gen(g);
+  gen.set_predefined("uri-host", {"h1.com", "h2.com"});
+  auto values = gen.enumerate("uri-host", 10);
+  EXPECT_EQ(values, (std::vector<std::string>{"h1.com", "h2.com"}));
+  EXPECT_TRUE(gen.has_predefined("URI-HOST"));
+}
+
+TEST(Generator, DepthLimitFallsBackToMinimal) {
+  Grammar g = parse_rulelist(
+      "deep = \"(\" deep \")\" / \"x\"\n", "test");
+  GenOptions opts;
+  opts.max_depth = 3;
+  Generator gen(g, opts);
+  auto values = gen.enumerate("deep", 50);
+  for (const auto& v : values) {
+    // Nesting depth bounded by the recursion budget.
+    EXPECT_LE(std::count(v.begin(), v.end(), '('), 4);
+  }
+}
+
+TEST(Generator, OptionYieldsBothBranches) {
+  Grammar g = parse_rulelist("x = \"a\" [ \"b\" ]\n", "test");
+  GenOptions opts;
+  opts.literal_case_variants = false;
+  Generator gen(g, opts);
+  auto values = gen.enumerate("x", 10);
+  std::set<std::string> set(values.begin(), values.end());
+  EXPECT_TRUE(set.contains("a"));
+  EXPECT_TRUE(set.contains("ab"));
+}
+
+TEST(Generator, RepetitionWindow) {
+  Grammar g = parse_rulelist("x = 1*\"a\"\n", "test");
+  GenOptions opts;
+  opts.extra_repeats = 2;
+  opts.literal_case_variants = false;
+  Generator gen(g, opts);
+  auto values = gen.enumerate("x", 10);
+  std::set<std::string> set(values.begin(), values.end());
+  EXPECT_TRUE(set.contains("a"));
+  EXPECT_TRUE(set.contains("aa"));
+  EXPECT_TRUE(set.contains("aaa"));
+  EXPECT_FALSE(set.contains("aaaa"));  // beyond min + extra_repeats
+}
+
+TEST(Generator, CaseVariantsForInsensitiveLiterals) {
+  Grammar g = parse_rulelist("x = \"chunked\"\ny = %s\"Exact\"\n", "test");
+  Generator gen(g);
+  auto x = gen.enumerate("x", 10);
+  EXPECT_EQ(x, (std::vector<std::string>{"chunked", "CHUNKED"}));
+  auto y = gen.enumerate("y", 10);
+  EXPECT_EQ(y, (std::vector<std::string>{"Exact"}));
+}
+
+TEST(Generator, UnknownRuleYieldsNothing) {
+  Generator gen(http_version_grammar());
+  EXPECT_TRUE(gen.enumerate("nope", 10).empty());
+  EXPECT_EQ(gen.minimal("nope"), "");
+}
+
+TEST(Generator, SampleIsDeterministicPerSeed) {
+  Grammar g = http_version_grammar();
+  Generator gen(g);
+  std::mt19937_64 rng1(42), rng2(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(gen.sample("HTTP-version", rng1),
+              gen.sample("HTTP-version", rng2));
+  }
+}
+
+TEST(Generator, SampleRespectsGrammarShape) {
+  Grammar g = http_version_grammar();
+  GenOptions opts;
+  opts.literal_case_variants = false;
+  Generator gen(g, opts);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    std::string v = gen.sample("HTTP-version", rng);
+    ASSERT_EQ(v.size(), 8u);
+    EXPECT_EQ(v.substr(0, 5), "HTTP/");
+  }
+}
+
+TEST(Generator, Utf8EncodingAboveLatin1) {
+  Grammar g = parse_rulelist("u = %x2603\n", "test");  // snowman
+  Generator gen(g);
+  auto values = gen.enumerate("u", 3);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], "\xe2\x98\x83");
+}
+
+TEST(DefaultPredefined, LoadsHttpLeaves) {
+  Grammar g = http_version_grammar();
+  Generator gen(g);
+  load_default_http_predefined(gen);
+  EXPECT_TRUE(gen.has_predefined("uri-host"));
+  EXPECT_TRUE(gen.has_predefined("IPv4address"));
+  EXPECT_TRUE(gen.has_predefined("chunk-size"));
+}
+
+}  // namespace
+}  // namespace hdiff::abnf

@@ -1,0 +1,192 @@
+#include "abnf/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::abnf {
+namespace {
+
+TEST(AbnfParser, SimpleRule) {
+  Rule r = parse_rule("DIGIT = %x30-39");
+  EXPECT_EQ(r.name, "DIGIT");
+  const auto* nv = r.definition->as<NumVal>();
+  ASSERT_NE(nv, nullptr);
+  EXPECT_TRUE(nv->is_range);
+  EXPECT_EQ(nv->lo, 0x30u);
+  EXPECT_EQ(nv->hi, 0x39u);
+}
+
+TEST(AbnfParser, NumSequence) {
+  Rule r = parse_rule("HTTP-name = %x48.54.54.50");
+  const auto* nv = r.definition->as<NumVal>();
+  ASSERT_NE(nv, nullptr);
+  EXPECT_FALSE(nv->is_range);
+  EXPECT_EQ(nv->sequence, (std::vector<std::uint32_t>{0x48, 0x54, 0x54, 0x50}));
+}
+
+TEST(AbnfParser, DecimalAndBinaryBases) {
+  Rule d = parse_rule("CR = %d13");
+  EXPECT_EQ(d.definition->as<NumVal>()->sequence[0], 13u);
+  Rule b = parse_rule("BITZ = %b1010");
+  EXPECT_EQ(b.definition->as<NumVal>()->sequence[0], 10u);
+}
+
+TEST(AbnfParser, Alternation) {
+  Rule r = parse_rule("x = \"a\" / \"b\" / \"c\"");
+  const auto* alt = r.definition->as<Alternation>();
+  ASSERT_NE(alt, nullptr);
+  EXPECT_EQ(alt->alts.size(), 3u);
+}
+
+TEST(AbnfParser, ConcatenationBindsTighterThanAlternation) {
+  Rule r = parse_rule("x = \"a\" \"b\" / \"c\"");
+  const auto* alt = r.definition->as<Alternation>();
+  ASSERT_NE(alt, nullptr);
+  ASSERT_EQ(alt->alts.size(), 2u);
+  EXPECT_NE(alt->alts[0]->as<Concatenation>(), nullptr);
+  EXPECT_NE(alt->alts[1]->as<CharVal>(), nullptr);
+}
+
+TEST(AbnfParser, Repetitions) {
+  Rule star = parse_rule("x = *y");
+  const auto* rep = star.definition->as<Repetition>();
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->min, 0u);
+  EXPECT_FALSE(rep->max);
+
+  Rule bounded = parse_rule("x = 1*3y");
+  rep = bounded.definition->as<Repetition>();
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->min, 1u);
+  EXPECT_EQ(rep->max, 3u);
+
+  Rule exact = parse_rule("x = 2y");
+  rep = exact.definition->as<Repetition>();
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->min, 2u);
+  EXPECT_EQ(rep->max, 2u);
+}
+
+TEST(AbnfParser, GroupAndOption) {
+  Rule r = parse_rule("x = ( \"a\" / \"b\" ) [ \"c\" ]");
+  const auto* cat = r.definition->as<Concatenation>();
+  ASSERT_NE(cat, nullptr);
+  ASSERT_EQ(cat->parts.size(), 2u);
+  EXPECT_NE(cat->parts[0]->as<Alternation>(), nullptr);
+  EXPECT_NE(cat->parts[1]->as<Option>(), nullptr);
+}
+
+TEST(AbnfParser, ProseVal) {
+  Rule r = parse_rule("uri-host = <host, see [RFC3986], Section 3.2.2>");
+  const auto* p = r.definition->as<ProseVal>();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->text, "host, see [RFC3986], Section 3.2.2");
+}
+
+TEST(AbnfParser, CaseSensitiveString) {
+  Rule r = parse_rule("weak = %s\"W/\"");
+  const auto* cv = r.definition->as<CharVal>();
+  ASSERT_NE(cv, nullptr);
+  EXPECT_TRUE(cv->case_sensitive);
+  EXPECT_EQ(cv->text, "W/");
+}
+
+TEST(AbnfParser, CommentsIgnored) {
+  Rule r = parse_rule("x = \"a\" ; trailing comment");
+  EXPECT_NE(r.definition->as<CharVal>(), nullptr);
+}
+
+TEST(AbnfParser, IncrementalAlternative) {
+  Rule r = parse_rule("methods =/ \"PATCH\"");
+  EXPECT_TRUE(r.incremental);
+}
+
+TEST(AbnfParser, ListExtensionOneOrMore) {
+  // 1#element expands to element *( OWS "," OWS element ).
+  Rule r = parse_rule("Transfer-Encoding = 1#transfer-coding");
+  const auto* cat = r.definition->as<Concatenation>();
+  ASSERT_NE(cat, nullptr);
+  ASSERT_EQ(cat->parts.size(), 2u);
+  EXPECT_NE(cat->parts[0]->as<RuleRef>(), nullptr);
+  EXPECT_NE(cat->parts[1]->as<Repetition>(), nullptr);
+}
+
+TEST(AbnfParser, ListExtensionZeroOrMoreIsOptional) {
+  Rule r = parse_rule("Connection-ish = #token");
+  EXPECT_NE(r.definition->as<Option>(), nullptr);
+}
+
+TEST(AbnfParser, ErrorsCarryOffset) {
+  EXPECT_THROW(parse_rule("x = ("), ParseError);
+  EXPECT_THROW(parse_rule("x = \"unterminated"), ParseError);
+  EXPECT_THROW(parse_rule("= y"), ParseError);
+  EXPECT_THROW(parse_rule("x y"), ParseError);
+  EXPECT_THROW(parse_rule("x = %q12"), ParseError);
+}
+
+TEST(AbnfParser, MultilineRule) {
+  Rule r = parse_rule(
+      "transfer-coding = \"chunked\"\n"
+      "                / \"gzip\"\n"
+      "                / transfer-extension");
+  const auto* alt = r.definition->as<Alternation>();
+  ASSERT_NE(alt, nullptr);
+  EXPECT_EQ(alt->alts.size(), 3u);
+}
+
+TEST(AbnfParser, RulelistSplitsOnColumnZero) {
+  std::vector<std::string> errors;
+  Grammar g = parse_rulelist(
+      "a = \"x\"\nb = a\n    a  ; continuation of b?  no: indented comment\n"
+      "c = b\n",
+      "test", &errors);
+  EXPECT_TRUE(g.contains("a"));
+  EXPECT_TRUE(g.contains("b"));
+  EXPECT_TRUE(g.contains("c"));
+}
+
+TEST(AbnfGrammar, IncrementalMergesAlternatives) {
+  Grammar g;
+  g.add(parse_rule("m = \"GET\""));
+  g.add(parse_rule("m =/ \"POST\""));
+  const Rule* r = g.find("m");
+  ASSERT_NE(r, nullptr);
+  const auto* alt = r->definition->as<Alternation>();
+  ASSERT_NE(alt, nullptr);
+  EXPECT_EQ(alt->alts.size(), 2u);
+}
+
+TEST(AbnfGrammar, RedefinitionReplaces) {
+  Grammar g;
+  g.add(parse_rule("m = \"GET\"", "old"));
+  g.add(parse_rule("m = \"POST\"", "new"));
+  EXPECT_EQ(g.find("m")->source_doc, "new");
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(AbnfGrammar, NamesAreCaseInsensitive) {
+  Grammar g;
+  g.add(parse_rule("Http-Version = \"HTTP/1.1\""));
+  EXPECT_TRUE(g.contains("HTTP-VERSION"));
+  EXPECT_TRUE(g.contains("http-version"));
+  EXPECT_TRUE(g.contains("http_version"));  // '_' folds to '-'
+}
+
+TEST(AbnfGrammar, UndefinedReferences) {
+  Grammar g;
+  g.add(parse_rule("a = b c"));
+  g.add(parse_rule("b = \"x\""));
+  auto undefined = g.undefined_references();
+  ASSERT_EQ(undefined.size(), 1u);
+  EXPECT_EQ(undefined[0], "c");
+}
+
+TEST(AbnfAst, RoundTripRendering) {
+  Rule r = parse_rule("x = 1*3( \"a\" / %x41-5A ) [ y ]");
+  std::string rendered = to_string(r);
+  EXPECT_NE(rendered.find("1*3"), std::string::npos);
+  EXPECT_NE(rendered.find("%x41-5A"), std::string::npos);
+  EXPECT_NE(rendered.find("[ y ]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdiff::abnf

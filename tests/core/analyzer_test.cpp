@@ -1,0 +1,139 @@
+#include "core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::core {
+namespace {
+
+// The full analysis is deterministic; run it once for the suite.
+const AnalyzerResult& full_analysis() {
+  static const AnalyzerResult kResult = [] {
+    DocumentationAnalyzer analyzer;
+    return analyzer.analyze(
+        {"rfc7230", "rfc7231", "rfc7232", "rfc7233", "rfc7234", "rfc7235"});
+  }();
+  return kResult;
+}
+
+TEST(Analyzer, CorpusMeasured) {
+  const auto& r = full_analysis();
+  EXPECT_GT(r.total_words, 4000u);
+  EXPECT_GT(r.total_sentences, 150u);
+}
+
+TEST(Analyzer, FindsSubstantialSrSet) {
+  const auto& r = full_analysis();
+  // The corpus excerpt carries on the order of a hundred SRs.
+  EXPECT_GE(r.srs.size(), 60u);
+  EXPECT_GT(r.converted_sr_count, r.srs.size());
+}
+
+TEST(Analyzer, KnownSrSentencesFlagged) {
+  const auto& r = full_analysis();
+  auto contains = [&](std::string_view needle) {
+    for (const auto& sr : r.srs) {
+      if (sr.sentence.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("whitespace between a header field-name and colon"));
+  EXPECT_TRUE(contains("lacks a Host header field"));
+  EXPECT_TRUE(contains("ought to be handled as an error"));
+  EXPECT_TRUE(contains("MUST NOT apply chunked more than once"));
+}
+
+TEST(Analyzer, SrRecordsCarrySentimentAndPolarity) {
+  const auto& r = full_analysis();
+  for (const auto& sr : r.srs) {
+    EXPECT_GE(sr.sentiment, 0.45) << sr.sentence;
+    EXPECT_NE(sr.polarity, text::SentimentPolarity::kNeutral);
+    EXPECT_FALSE(sr.id.empty());
+  }
+}
+
+TEST(Analyzer, GrammarCoversCoreHttpRules) {
+  const auto& g = full_analysis().grammar;
+  for (auto rule : {"HTTP-message", "HTTP-version", "request-line", "Host",
+                    "Transfer-Encoding", "Content-Length", "chunked-body",
+                    "chunk-size", "header-field", "field-name", "OWS",
+                    "absolute-form", "Expect", "Connection"}) {
+    EXPECT_TRUE(g.contains(rule)) << rule;
+  }
+  EXPECT_GE(g.size(), 100u);
+}
+
+TEST(Analyzer, ProseReferencesResolvedAcrossDocuments) {
+  const auto& r = full_analysis();
+  // uri-host referenced RFC 3986; the adaptor pulled it in.
+  EXPECT_TRUE(r.grammar.contains("IPv4address"));
+  EXPECT_TRUE(r.grammar.contains("reg-name"));
+  bool expanded_3986 = false;
+  for (const auto& doc : r.adapt_report.expanded_documents) {
+    if (doc == "RFC3986") expanded_3986 = true;
+  }
+  EXPECT_TRUE(expanded_3986);
+}
+
+TEST(Analyzer, AbnfStatsAccumulated) {
+  const auto& stats = full_analysis().abnf_stats;
+  EXPECT_GT(stats.candidate_chunks, 50u);
+  EXPECT_GT(stats.parsed_rules, 50u);
+  EXPECT_GE(stats.prose_val_rules, 2u);
+}
+
+TEST(Analyzer, FieldDictionaryFromGrammar) {
+  const auto& dict = full_analysis().field_dictionary;
+  EXPECT_TRUE(dict.contains("host"));
+  EXPECT_TRUE(dict.contains("content-length"));
+  EXPECT_TRUE(dict.contains("transfer-encoding"));
+  EXPECT_TRUE(dict.contains("expect"));
+  EXPECT_TRUE(dict.contains("chunk-size"));
+  // Lower-case grammar rules are not header fields.
+  EXPECT_FALSE(dict.contains("token"));
+}
+
+TEST(Analyzer, ConversionsBindTemplates) {
+  const auto& r = full_analysis();
+  bool found_host_missing = false;
+  bool found_respond_400 = false;
+  for (const auto& sr : r.srs) {
+    for (const auto& conv : sr.conversions) {
+      if (conv.hypothesis.label == "msg:host:missing") found_host_missing = true;
+      if (conv.hypothesis.label.find("respond-400") != std::string::npos) {
+        found_respond_400 = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_host_missing);
+  EXPECT_TRUE(found_respond_400);
+}
+
+TEST(Analyzer, DefaultTemplatesCoverBothFamilies) {
+  std::set<std::string> fields{"host", "content-length"};
+  auto templates = make_default_sr_templates(fields);
+  std::size_t message = 0, action = 0;
+  for (const auto& t : templates) {
+    if (t.field) ++message;
+    if (t.role && t.action) ++action;
+  }
+  EXPECT_EQ(message, 12u);  // 2 fields x 6 modifiers
+  EXPECT_GT(action, 100u);  // 10 roles x 8 actions x 2 polarities + statuses
+}
+
+TEST(Analyzer, SingleDocumentScope) {
+  DocumentationAnalyzer analyzer;
+  AnalyzerResult r = analyzer.analyze({"rfc7235"});
+  EXPECT_LT(r.total_words, full_analysis().total_words);
+  EXPECT_TRUE(r.grammar.contains("WWW-Authenticate"));
+  EXPECT_FALSE(r.srs.empty());
+}
+
+TEST(Analyzer, UnknownDocumentIgnored) {
+  DocumentationAnalyzer analyzer;
+  AnalyzerResult r = analyzer.analyze({"rfc0000"});
+  EXPECT_EQ(r.total_words, 0u);
+  EXPECT_TRUE(r.srs.empty());
+}
+
+}  // namespace
+}  // namespace hdiff::core

@@ -1,0 +1,239 @@
+// Detection models over hand-built observations and the real chain.
+#include "core/detect.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hmetrics.h"
+#include "core/probes.h"
+#include "impls/products.h"
+
+namespace hdiff::core {
+namespace {
+
+net::Chain full_chain() {
+  static const auto kFleet = impls::make_all_implementations();
+  return net::Chain::from_fleet(kFleet);
+}
+
+TestCase make_case(std::string uuid, std::string raw,
+                   std::optional<Assertion> assertion = std::nullopt,
+                   AttackClass category = AttackClass::kGeneric) {
+  TestCase tc;
+  tc.uuid = std::move(uuid);
+  tc.raw = std::move(raw);
+  tc.description = "test";
+  tc.category = category;
+  tc.assertion = std::move(assertion);
+  return tc;
+}
+
+TEST(Detect, SrViolationOnLenientServer) {
+  Assertion a;
+  a.role = text::Role::kServer;
+  a.expect_reject = true;
+  a.sr_id = "sr-ws-colon";
+  TestCase tc = make_case(
+      "u1", "POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 5\r\n\r\nAAAAA",
+      a, AttackClass::kHrs);
+
+  net::Chain chain = full_chain();
+  DetectionEngine engine;
+  DetectionResult r = engine.evaluate(tc, chain.observe(tc.uuid, tc.raw));
+  bool iis_flagged = false;
+  for (const auto& v : r.violations) {
+    EXPECT_NE(v.impl, "apache");  // apache rejects => conformant
+    if (v.impl == "iis") iis_flagged = true;
+  }
+  EXPECT_TRUE(iis_flagged);
+}
+
+TEST(Detect, NotForwardAssertionFlagsProxies) {
+  Assertion a;
+  a.role = text::Role::kRecipient;
+  a.expect_not_forward = true;
+  a.sr_id = "sr-clte";
+  std::string body = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h\r\n\r\n";
+  TestCase tc = make_case(
+      "u2",
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body,
+      a, AttackClass::kHrs);
+
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  std::set<std::string> flagged;
+  for (const auto& v : r.violations) flagged.insert(v.impl);
+  // Apache and nginx reject CL+TE outright; the other proxies forward it.
+  EXPECT_FALSE(flagged.contains("apache"));
+  EXPECT_FALSE(flagged.contains("nginx"));
+  EXPECT_TRUE(flagged.contains("varnish"));
+  EXPECT_TRUE(flagged.contains("haproxy"));
+}
+
+TEST(Detect, HotPairOnAmbiguousHost) {
+  TestCase tc = make_case(
+      "u3", "GET /?a=1 HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n",
+      std::nullopt, AttackClass::kHot);
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  bool nginx_to_iis = false;
+  for (const auto& p : r.pairs) {
+    if (p.attack != AttackClass::kHot) continue;
+    EXPECT_NE(p.back, "nginx");  // nginx-back routes like the fronts
+    if (p.front == "nginx" && p.back == "iis") nginx_to_iis = true;
+  }
+  EXPECT_TRUE(nginx_to_iis);
+}
+
+TEST(Detect, HrsPairOnSmuggledSuffix) {
+  std::string smuggle = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h\r\n\r\n";
+  TestCase tc = make_case(
+      "u4",
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: \x0b" "chunked\r\n"
+      "Content-Length: " + std::to_string(smuggle.size()) + "\r\n\r\n" +
+          smuggle,
+      std::nullopt, AttackClass::kHrs);
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  bool ats_to_tomcat = false;
+  for (const auto& p : r.pairs) {
+    if (p.attack == AttackClass::kHrs && p.front == "ats" &&
+        p.back == "tomcat") {
+      ats_to_tomcat = true;
+    }
+  }
+  EXPECT_TRUE(ats_to_tomcat);
+}
+
+TEST(Detect, CpdosRequiresSomeBackendToAccept) {
+  // An unknown method is rejected by every backend => no semantic gap, no
+  // CPDoS pair despite cached errors.
+  TestCase tc = make_case("u5", "BREW / HTTP/1.1\r\nHost: h\r\n\r\n");
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  for (const auto& p : r.pairs) {
+    EXPECT_NE(p.attack, AttackClass::kCpdos) << p.front << "->" << p.back;
+  }
+}
+
+TEST(Detect, CpdosPairOnVersionRepair) {
+  TestCase tc = make_case("u6", "GET /?a=b 1.1/HTTP\r\nHost: h1.com\r\n\r\n",
+                          std::nullopt, AttackClass::kCpdos);
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  bool nginx_front = false;
+  for (const auto& p : r.pairs) {
+    if (p.attack == AttackClass::kCpdos && p.front == "nginx") {
+      nginx_front = true;
+    }
+  }
+  EXPECT_TRUE(nginx_front);
+}
+
+TEST(Detect, CleanRequestProducesNoFindings) {
+  TestCase tc = make_case("u7", "GET / HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_TRUE(r.pairs.empty());
+  EXPECT_EQ(r.discrepancies.inputs_with_discrepancy, 0u);
+}
+
+TEST(Detect, DiscrepanciesCounted) {
+  // Fat GET: lighttpd 400 while others 200 => status discrepancy.
+  TestCase tc = make_case(
+      "u8", "GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nAAAAA");
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  EXPECT_EQ(r.discrepancies.status_disagreements, 1u);
+  EXPECT_EQ(r.discrepancies.inputs_with_discrepancy, 1u);
+}
+
+TEST(Detect, AccumulateDeduplicates) {
+  DetectionResult total;
+  DetectionResult delta;
+  delta.violations.push_back({"iis", "sr-1", "u1", AttackClass::kHrs, "d"});
+  delta.pairs.push_back({"ats", "iis", AttackClass::kHrs, "u1", "d"});
+  delta.discrepancies.inputs_with_discrepancy = 1;
+  DetectionEngine::accumulate(total, delta);
+  DetectionEngine::accumulate(total, delta);
+  EXPECT_EQ(total.violations.size(), 1u);
+  EXPECT_EQ(total.pairs.size(), 1u);
+  EXPECT_EQ(total.discrepancies.inputs_with_discrepancy, 2u);
+}
+
+TEST(Detect, MatrixAttributionBlamesTransparentFront) {
+  // ats forwards the ws-colon header it ignored; the reference parser
+  // rejects the forwarded bytes => ats (front) is at fault, not IIS-as-back.
+  TestCase tc = make_case(
+      "u9", "POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 5\r\n\r\nAAAAA",
+      std::nullopt, AttackClass::kHrs);
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  VulnMatrix matrix = build_matrix(r, {tc});
+  EXPECT_TRUE(matrix.by_impl.at("ats").hrs);
+  EXPECT_FALSE(matrix.by_impl.at("apache").hrs);
+}
+
+TEST(Detect, MatrixBlamesDeviantBackOnCleanForward) {
+  // Fat GET forwarded cleanly; weblogic (back) ignores the body.
+  TestCase tc = make_case(
+      "u10", "GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nAAAAA",
+      std::nullopt, AttackClass::kHrs);
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  VulnMatrix matrix = build_matrix(r, {tc});
+  EXPECT_TRUE(matrix.by_impl.at("weblogic").hrs);
+  EXPECT_FALSE(matrix.by_impl.at("apache").hrs);
+  EXPECT_FALSE(matrix.by_impl.at("nginx").hrs);
+}
+
+TEST(Detect, VectorCatalogueBuilt) {
+  TestCase tc = make_case(
+      "u11", "GET /?a=1 HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n",
+      std::nullopt, AttackClass::kHot);
+  tc.vector_label = "Invalid Host header";
+  DetectionEngine engine;
+  DetectionResult r =
+      engine.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  VulnMatrix matrix = build_matrix(r, {tc});
+  ASSERT_TRUE(matrix.vector_catalogue.contains("Invalid Host header"));
+  EXPECT_TRUE(
+      matrix.vector_catalogue.at("Invalid Host header").contains("HoT"));
+}
+
+TEST(HMetricsVector, FromVerdicts) {
+  auto iis = impls::make_implementation("iis");
+  impls::ServerVerdict sv = iis->parse_request(
+      "POST / HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 3\r\n\r\nabcXY");
+  HMetrics m = from_verdict("u", sv, Stage::kDirect);
+  EXPECT_EQ(m.impl, "iis");
+  EXPECT_EQ(m.status_code, 200);
+  EXPECT_EQ(m.host, "h1.com");
+  EXPECT_EQ(m.data, "abc");
+  EXPECT_EQ(m.leftover, "XY");
+  EXPECT_TRUE(m.ok());
+  std::string rendered = to_string(m);
+  EXPECT_NE(rendered.find("iis"), std::string::npos);
+  EXPECT_NE(rendered.find("status=200"), std::string::npos);
+
+  auto varnish = impls::make_implementation("varnish");
+  impls::ProxyVerdict pv =
+      varnish->forward_request("GET / HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+  HMetrics pm = from_verdict("u", pv);
+  EXPECT_TRUE(pm.forwarded);
+  EXPECT_TRUE(pm.would_cache);
+  EXPECT_EQ(pm.stage, Stage::kProxy);
+}
+
+}  // namespace
+}  // namespace hdiff::core

@@ -1,0 +1,203 @@
+// Custom detection rules, JSON writer, and findings/corpus export.
+#include <gtest/gtest.h>
+
+#include "core/export.h"
+#include "core/probes.h"
+#include "core/rules.h"
+#include "impls/products.h"
+#include "report/json.h"
+
+namespace hdiff::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+TEST(Json, StringEscaping) {
+  using report::json_string;
+  EXPECT_EQ(json_string("plain"), "\"plain\"");
+  EXPECT_EQ(json_string("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_string("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_string("line\r\n"), "\"line\\r\\n\"");
+  EXPECT_EQ(json_string(std::string("\x0b", 1)), "\"\\u000b\"");
+  EXPECT_EQ(json_string(std::string("\0", 1)), "\"\\u0000\"");
+}
+
+TEST(Json, BuilderProducesValidStructure) {
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("name").value("hdiff");
+  w.key("count").value(std::uint64_t{3});
+  w.key("flags").begin_array().value(true).value(false).end_array();
+  w.key("nested").begin_object().key("x").value(1).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"hdiff\",\"count\":3,\"flags\":[true,false],"
+            "\"nested\":{\"x\":1}}");
+}
+
+// ---------------------------------------------------------------------------
+// Hex round trip
+// ---------------------------------------------------------------------------
+
+TEST(Hex, RoundTripsBinary) {
+  std::string bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<char>(i));
+  std::string decoded;
+  ASSERT_TRUE(hex_decode(hex_encode(bytes), &decoded));
+  EXPECT_EQ(decoded, bytes);
+}
+
+TEST(Hex, RejectsMalformed) {
+  std::string out;
+  EXPECT_FALSE(hex_decode("abc", &out));   // odd length
+  EXPECT_FALSE(hex_decode("zz", &out));    // non-hex
+  EXPECT_TRUE(hex_decode("", &out));       // empty is fine
+}
+
+// ---------------------------------------------------------------------------
+// Corpus export / import round trip
+// ---------------------------------------------------------------------------
+
+TEST(CorpusExport, RoundTripsProbesWithAssertions) {
+  auto probes = verification_probes();
+  std::string json = export_test_cases_json(probes);
+  std::vector<TestCase> back;
+  ASSERT_TRUE(import_test_cases_json(json, &back));
+  ASSERT_EQ(back.size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(back[i].uuid, probes[i].uuid);
+    EXPECT_EQ(back[i].raw, probes[i].raw);  // exact bytes, incl. CTL/NUL
+    EXPECT_EQ(back[i].description, probes[i].description);
+    EXPECT_EQ(back[i].vector_label, probes[i].vector_label);
+    EXPECT_EQ(back[i].origin, probes[i].origin);
+    EXPECT_EQ(back[i].category, probes[i].category);
+    ASSERT_EQ(back[i].assertion.has_value(), probes[i].assertion.has_value());
+    if (back[i].assertion) {
+      EXPECT_EQ(back[i].assertion->expect_reject,
+                probes[i].assertion->expect_reject);
+      EXPECT_EQ(back[i].assertion->expect_not_forward,
+                probes[i].assertion->expect_not_forward);
+      EXPECT_EQ(back[i].assertion->sr_id, probes[i].assertion->sr_id);
+    }
+  }
+}
+
+TEST(CorpusExport, RejectsGarbage) {
+  std::vector<TestCase> out;
+  EXPECT_FALSE(import_test_cases_json("", &out));
+  EXPECT_FALSE(import_test_cases_json("[]", &out));
+  EXPECT_FALSE(import_test_cases_json("{\"cases\":", &out));
+  EXPECT_FALSE(import_test_cases_json("{\"cases\":[{\"raw_hex\":\"zz\"}]}",
+                                      &out));
+}
+
+TEST(CorpusExport, EmptyCorpus) {
+  std::string json = export_test_cases_json({});
+  std::vector<TestCase> out{TestCase{}};
+  ASSERT_TRUE(import_test_cases_json(json, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Custom rule engine
+// ---------------------------------------------------------------------------
+
+net::Chain full_chain() {
+  static const auto kFleet = impls::make_all_implementations();
+  return net::Chain::from_fleet(kFleet);
+}
+
+TEST(CustomRules, BuiltinsAgreeWithDetectionEngine) {
+  auto probes = verification_probes();
+  net::Chain chain = full_chain();
+  DetectionEngine engine;
+  CustomRuleEngine rules = make_builtin_rules();
+
+  for (const auto& tc : probes) {
+    auto obs = chain.observe(tc.uuid, tc.raw);
+    DetectionResult builtin = engine.evaluate(tc, obs);
+    std::vector<RuleMatch> matches = rules.evaluate(tc, obs);
+
+    // Every built-in pair finding has a corresponding custom-rule match.
+    for (const auto& p : builtin.pairs) {
+      bool found = false;
+      for (const auto& m : matches) {
+        if (m.front == p.front && m.back == p.back && m.attack == p.attack) {
+          found = true;
+        }
+      }
+      // The CPDoS builtin additionally gates on "some backend accepts",
+      // which a per-pair rule cannot see; every other class must agree.
+      if (p.attack != AttackClass::kCpdos) {
+        EXPECT_TRUE(found) << tc.uuid << " " << p.front << "->" << p.back;
+      }
+    }
+  }
+}
+
+TEST(CustomRules, UserRuleFires) {
+  CustomRuleEngine rules;
+  rules.add(PairRule{
+      "body-shrinks", AttackClass::kHrs,
+      [](const PairMetrics& pm) -> std::string {
+        if (pm.back.ok() && pm.back.data.size() < pm.front.data.size()) {
+          return "back-end consumed a shorter body than the front framed";
+        }
+        return {};
+      }});
+  EXPECT_EQ(rules.rule_count(), 1u);
+
+  TestCase tc;
+  tc.uuid = "cr1";
+  std::string body = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h\r\n\r\n";
+  tc.raw = "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: \x0b"
+           "chunked\r\nContent-Length: " + std::to_string(body.size()) +
+           "\r\n\r\n" + body;
+  auto obs = full_chain().observe(tc.uuid, tc.raw);
+  auto matches = rules.evaluate(tc, obs);
+  bool tomcat_hit = false;
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.rule, "body-shrinks");
+    if (m.back == "tomcat") tomcat_hit = true;
+  }
+  EXPECT_TRUE(tomcat_hit);
+}
+
+TEST(CustomRules, DirectRuleSeesEveryBackend) {
+  CustomRuleEngine rules;
+  rules.add(DirectRule{
+      "always", AttackClass::kGeneric,
+      [](const HMetrics& m) { return std::string(m.impl); }});
+  TestCase tc;
+  tc.uuid = "cr2";
+  tc.raw = "GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+  auto matches = rules.evaluate(tc, full_chain().observe(tc.uuid, tc.raw));
+  std::size_t direct = 0;
+  for (const auto& m : matches) {
+    if (m.front.empty()) ++direct;
+  }
+  EXPECT_EQ(direct, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Findings export sanity
+// ---------------------------------------------------------------------------
+
+TEST(FindingsExport, ContainsMatrixAndPairs) {
+  PipelineResult result;
+  result.matrix.by_impl["iis"] = {true, true, false};
+  result.matrix.hot_pairs.insert("nginx->iis");
+  SrViolation v{"iis", "sr-1", "u1", AttackClass::kHrs, "detail \"quoted\""};
+  result.findings.violations.push_back(v);
+  std::string json = export_json(result);
+  EXPECT_NE(json.find("\"hdiff-findings-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"iis\":{\"hrs\":true,\"hot\":true,\"cpdos\":false}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"nginx->iis\""), std::string::npos);
+  EXPECT_NE(json.find("detail \\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdiff::core

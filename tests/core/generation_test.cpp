@@ -1,0 +1,253 @@
+// SR translator, ABNF test generation, mutation engine, and probes.
+#include <gtest/gtest.h>
+
+#include "core/abnf_testgen.h"
+#include "core/analyzer.h"
+#include "core/mutation.h"
+#include "core/probes.h"
+#include "core/translator.h"
+#include "http/lexer.h"
+
+namespace hdiff::core {
+namespace {
+
+const AnalyzerResult& analysis() {
+  static const AnalyzerResult kResult = [] {
+    DocumentationAnalyzer analyzer;
+    return analyzer.analyze({"rfc7230", "rfc7231"});
+  }();
+  return kResult;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation engine
+// ---------------------------------------------------------------------------
+
+TEST(Mutation, ProducesDistinctSingleStepMutants) {
+  http::RequestSpec seed = http::make_post("h1.com", "/", "abc");
+  MutationOptions options;
+  options.max_mutants = 200;
+  auto mutants = mutate(seed, options);
+  ASSERT_FALSE(mutants.empty());
+  std::set<std::string> wires;
+  for (const auto& m : mutants) {
+    EXPECT_EQ(m.applied.size(), 1u);
+    wires.insert(m.spec.to_wire());
+  }
+  // Every mutant differs from the seed.
+  EXPECT_FALSE(wires.contains(seed.to_wire()));
+}
+
+TEST(Mutation, TargetsOnlyListedHeaders) {
+  http::RequestSpec seed = http::make_get("h1.com");
+  seed.add("X-Other", "v");
+  MutationOptions options;
+  options.target_headers = {"Host"};
+  options.max_mutants = 500;
+  for (const auto& m : mutate(seed, options)) {
+    if (!m.applied[0].header.empty()) {
+      EXPECT_EQ(m.applied[0].header, "Host");
+    }
+  }
+}
+
+TEST(Mutation, CoversDocumentedKinds) {
+  http::RequestSpec seed = http::make_post("h1.com", "/", "abc");
+  MutationOptions options;
+  options.max_mutants = 500;
+  std::set<MutationKind> kinds;
+  for (const auto& m : mutate(seed, options)) {
+    kinds.insert(m.applied[0].kind);
+  }
+  for (auto kind :
+       {MutationKind::kRepeatHeader, MutationKind::kScBeforeName,
+        MutationKind::kScAfterName, MutationKind::kScBeforeValue,
+        MutationKind::kNameCaseVariation, MutationKind::kBareLfTerminator,
+        MutationKind::kObsFoldValue, MutationKind::kVersionSwap,
+        MutationKind::kVersionCase, MutationKind::kVersionPunct,
+        MutationKind::kVersionDrop}) {
+    EXPECT_TRUE(kinds.contains(kind)) << to_string(kind);
+  }
+}
+
+TEST(Mutation, VersionSwapMatchesPaperExample) {
+  http::RequestSpec seed = http::make_get("h1.com");
+  MutationOptions options;
+  options.max_mutants = 500;
+  bool found = false;
+  for (const auto& m : mutate(seed, options)) {
+    if (m.applied[0].kind == MutationKind::kVersionSwap) {
+      EXPECT_EQ(m.spec.version, "1.1/HTTP");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Mutation, RespectsCap) {
+  http::RequestSpec seed = http::make_post("h1.com", "/", "abc");
+  MutationOptions options;
+  options.max_mutants = 5;
+  EXPECT_LE(mutate(seed, options).size(), 5u + 5u);  // header cap + line muts
+}
+
+TEST(Mutation, SpecialCharsIncludeTableIiSet) {
+  const auto& chars = special_chars();
+  auto has = [&](std::string_view c) {
+    for (const auto& s : chars) {
+      if (s == c) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("\x0b"));
+  EXPECT_TRUE(has("\t"));
+  EXPECT_TRUE(has("@"));
+  EXPECT_TRUE(has(std::string_view("\0", 1)));
+}
+
+TEST(Mutation, DescribeIsHexEscaped) {
+  AppliedMutation m{MutationKind::kScBeforeValue, "Host", "\x0b"};
+  EXPECT_EQ(m.describe(), "sc-before-value on Host [\\x0b]");
+}
+
+// ---------------------------------------------------------------------------
+// SR translator
+// ---------------------------------------------------------------------------
+
+TEST(Translator, ProducesCasesWithAssertions) {
+  SrTranslator translator(analysis().grammar);
+  auto cases = translator.translate_all(analysis().srs);
+  ASSERT_GT(cases.size(), 100u);
+  std::size_t with_assertions = 0;
+  std::set<std::string> uuids;
+  for (const auto& tc : cases) {
+    EXPECT_FALSE(tc.raw.empty());
+    EXPECT_TRUE(uuids.insert(tc.uuid).second) << "duplicate uuid " << tc.uuid;
+    if (tc.assertion) ++with_assertions;
+  }
+  EXPECT_GT(with_assertions, 20u);
+}
+
+TEST(Translator, CoversKeyVectorLabels) {
+  SrTranslator translator(analysis().grammar);
+  auto cases = translator.translate_all(analysis().srs);
+  std::set<std::string> labels;
+  for (const auto& tc : cases) labels.insert(tc.vector_label);
+  EXPECT_TRUE(labels.contains("Invalid Host header"));
+  EXPECT_TRUE(labels.contains("Multiple CL/TE headers"));
+  EXPECT_TRUE(labels.contains("Invalid CL/TE header"));
+  EXPECT_TRUE(labels.contains("Missing Host header"));
+}
+
+TEST(Translator, GeneratedCasesAreLexable) {
+  SrTranslator translator(analysis().grammar);
+  auto cases = translator.translate_all(analysis().srs);
+  for (const auto& tc : cases) {
+    http::RawRequest r = http::lex_request(tc.raw);
+    EXPECT_FALSE(r.line.method_token.empty()) << tc.description;
+  }
+}
+
+TEST(Translator, MutationsInheritVectorLabelWithoutAssertion) {
+  TranslatorConfig config;
+  config.include_mutations = true;
+  SrTranslator translator(analysis().grammar, config);
+  auto cases = translator.translate_all(analysis().srs);
+  bool saw_mutation = false;
+  for (const auto& tc : cases) {
+    if (tc.origin == TestOrigin::kMutation) {
+      saw_mutation = true;
+      EXPECT_FALSE(tc.assertion) << tc.description;
+    }
+  }
+  EXPECT_TRUE(saw_mutation);
+}
+
+// ---------------------------------------------------------------------------
+// ABNF test generation
+// ---------------------------------------------------------------------------
+
+TEST(AbnfTestGen, GeneratesForDefaultTargets) {
+  AbnfGenConfig config;
+  config.include_mutations = false;
+  AbnfTestGen gen(analysis().grammar, config);
+  auto cases = gen.generate();
+  EXPECT_GT(cases.size(), 100u);
+  for (const auto& tc : cases) {
+    EXPECT_EQ(tc.origin, TestOrigin::kAbnfGenerator);
+    EXPECT_FALSE(tc.raw.empty());
+  }
+}
+
+TEST(AbnfTestGen, VersionTargetYieldsLowAndHighVersions) {
+  AbnfGenConfig config;
+  config.include_mutations = false;
+  AbnfTestGen gen(analysis().grammar, config);
+  auto cases = gen.generate({{"HTTP-version", EmbedPosition::kHttpVersion}});
+  bool low = false, high = false;
+  for (const auto& tc : cases) {
+    if (tc.raw.find(" HTTP/0.") != std::string::npos) low = true;
+    if (tc.raw.find(" HTTP/9.") != std::string::npos) high = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(AbnfTestGen, ChunkedBodyTargetYieldsOverflowSizes) {
+  AbnfGenConfig config;
+  config.include_mutations = false;
+  AbnfTestGen gen(analysis().grammar, config);
+  auto cases = gen.generate({{"chunked-body", EmbedPosition::kChunkedBody}});
+  ASSERT_FALSE(cases.empty());
+  bool overflow = false;
+  for (const auto& tc : cases) {
+    EXPECT_NE(tc.raw.find("Transfer-Encoding: chunked"), std::string::npos);
+    if (tc.raw.find("100000000a") != std::string::npos) overflow = true;
+  }
+  EXPECT_TRUE(overflow);
+}
+
+TEST(AbnfTestGen, MutationsInterleaved) {
+  AbnfGenConfig config;
+  config.include_mutations = true;
+  config.mutants_per_seed = 4;
+  AbnfTestGen gen(analysis().grammar, config);
+  auto cases = gen.generate({{"Host", EmbedPosition::kHostHeader}});
+  std::size_t mutants = 0;
+  for (const auto& tc : cases) {
+    if (tc.origin == TestOrigin::kMutation) ++mutants;
+  }
+  EXPECT_GT(mutants, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Verification probes
+// ---------------------------------------------------------------------------
+
+TEST(Probes, CoverEveryTableIiRow) {
+  auto probes = verification_probes();
+  std::set<std::string> labels;
+  for (const auto& tc : probes) labels.insert(tc.vector_label);
+  for (auto label :
+       {"Invalid HTTP-version", "lower/higher HTTP-version",
+        "Bad absolute-URI vs Host", "Fat HEAD/GET request",
+        "Invalid CL/TE header", "Multiple CL/TE headers",
+        "Invalid Host header", "Multiple Host headers", "Hop-by-Hop headers",
+        "Expect header", "Obs-fold header", "Obsoleted header or value",
+        "Bad chunk-size value", "NULL in chunk-data"}) {
+    EXPECT_TRUE(labels.contains(label)) << label;
+  }
+}
+
+TEST(Probes, UniqueUuidsAndNonEmptyRaw) {
+  auto probes = verification_probes();
+  std::set<std::string> uuids;
+  for (const auto& tc : probes) {
+    EXPECT_TRUE(uuids.insert(tc.uuid).second);
+    EXPECT_FALSE(tc.raw.empty());
+    EXPECT_EQ(tc.origin, TestOrigin::kManual);
+  }
+}
+
+}  // namespace
+}  // namespace hdiff::core

@@ -1,0 +1,102 @@
+// End-to-end pipeline integration: the paper's headline results (Table I
+// matrix, the nine HoT pairs) must reproduce from corpus to findings.
+#include <gtest/gtest.h>
+
+#include "core/hdiff.h"
+
+namespace hdiff::core {
+namespace {
+
+const PipelineResult& result() {
+  static const PipelineResult kResult = [] {
+    PipelineConfig config;
+    config.abnf_run_budget = 800;
+    return Pipeline(config).run();
+  }();
+  return kResult;
+}
+
+TEST(Pipeline, ReproducesTableIVulnerabilityMatrix) {
+  // Paper Table I, exactly.
+  struct Expected {
+    const char* impl;
+    bool hrs, hot, cpdos;
+  };
+  constexpr Expected kTableI[] = {
+      {"iis", true, true, false},     {"tomcat", true, true, false},
+      {"weblogic", true, true, false},{"lighttpd", true, false, false},
+      {"apache", false, false, true}, {"nginx", false, true, true},
+      {"varnish", true, true, true},  {"squid", true, false, true},
+      {"haproxy", true, true, true},  {"ats", true, false, true},
+  };
+  const auto& matrix = result().matrix;
+  for (const auto& e : kTableI) {
+    const auto& row = matrix.by_impl.at(e.impl);
+    EXPECT_EQ(row.hrs, e.hrs) << e.impl << " HRS";
+    EXPECT_EQ(row.hot, e.hot) << e.impl << " HoT";
+    EXPECT_EQ(row.cpdos, e.cpdos) << e.impl << " CPDoS";
+  }
+}
+
+TEST(Pipeline, ReproducesNineHotPairs) {
+  // §IV: "Nine different servers pairs (e.g., Varnish-IIS, Nginx-Weblogic)
+  // are vulnerable to HoT attacks."
+  const auto& pairs = result().matrix.hot_pairs;
+  EXPECT_EQ(pairs.size(), 9u);
+  for (auto front : {"nginx", "varnish", "haproxy"}) {
+    for (auto back : {"iis", "tomcat", "weblogic"}) {
+      EXPECT_TRUE(pairs.contains(std::string(front) + "->" + back))
+          << front << "->" << back;
+    }
+  }
+}
+
+TEST(Pipeline, AllProxiesCpdosAffected) {
+  // §IV: "all HTTP proxies could be affected by our ... CPDoS attacks".
+  std::set<std::string> fronts;
+  for (const auto& key : result().matrix.cpdos_pairs) {
+    fronts.insert(key.substr(0, key.find("->")));
+  }
+  for (auto proxy : {"apache", "nginx", "varnish", "squid", "haproxy", "ats"}) {
+    EXPECT_TRUE(fronts.contains(proxy)) << proxy;
+  }
+}
+
+TEST(Pipeline, HrsPairsExist) {
+  EXPECT_FALSE(result().matrix.hrs_pairs.empty());
+}
+
+TEST(Pipeline, ViolationAndDiscrepancyVolume) {
+  // §IV-B: "HDiff further found a number of (more than 100) violations of
+  // SRs and discrepancies in different HTTP implementations."
+  const auto& f = result().findings;
+  EXPECT_GT(f.violations.size() + f.discrepancies.inputs_with_discrepancy,
+            100u);
+}
+
+TEST(Pipeline, VectorCatalogueCoversTableIiRows) {
+  const auto& catalogue = result().matrix.vector_catalogue;
+  for (auto label :
+       {"Invalid HTTP-version", "Bad absolute-URI vs Host",
+        "Fat HEAD/GET request", "Invalid CL/TE header",
+        "Multiple CL/TE headers", "Invalid Host header",
+        "Hop-by-Hop headers", "Expect header", "Bad chunk-size value"}) {
+    EXPECT_TRUE(catalogue.contains(label)) << label;
+  }
+}
+
+TEST(Pipeline, GenerationVolumeReported) {
+  EXPECT_GT(result().sr_case_count, 150u);
+  EXPECT_GT(result().abnf_case_count, 1000u);
+  EXPECT_GE(result().executed_cases.size(), 800u);
+}
+
+TEST(Pipeline, AnalysisStatisticsPresent) {
+  const auto& a = result().analysis;
+  EXPECT_GT(a.total_words, 4000u);
+  EXPECT_GT(a.srs.size(), 60u);
+  EXPECT_GT(a.grammar.size(), 100u);
+}
+
+}  // namespace
+}  // namespace hdiff::core

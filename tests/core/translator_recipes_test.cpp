@@ -1,0 +1,176 @@
+// Direct coverage of the SR semantic definitions: each (field, modifier)
+// recipe, driven through SrTranslator::translate with synthetic SR records.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/translator.h"
+#include "http/lexer.h"
+
+namespace hdiff::core {
+namespace {
+
+const abnf::Grammar& grammar() {
+  static const abnf::Grammar kGrammar = [] {
+    DocumentationAnalyzer analyzer;
+    return analyzer.analyze({"rfc7230"}).grammar;
+  }();
+  return kGrammar;
+}
+
+SrRecord record_for(std::string_view field, std::string_view modifier,
+                    std::optional<text::Hypothesis> action = std::nullopt) {
+  SrRecord sr;
+  sr.id = "synthetic-sr";
+  sr.doc = "test";
+  sr.sentence = "synthetic";
+  sr.sentiment = 1.0;
+  sr.polarity = text::SentimentPolarity::kObligation;
+  ConvertedSr conv;
+  conv.hypothesis.field = std::string(field);
+  conv.hypothesis.modifier = std::string(modifier);
+  conv.confidence = 1.0;
+  sr.conversions.push_back(std::move(conv));
+  if (action) {
+    ConvertedSr act;
+    act.hypothesis = *action;
+    sr.conversions.push_back(std::move(act));
+  }
+  return sr;
+}
+
+std::vector<TestCase> translate(std::string_view field,
+                                std::string_view modifier) {
+  TranslatorConfig config;
+  config.include_mutations = false;
+  SrTranslator translator(grammar(), config);
+  return translator.translate(record_for(field, modifier));
+}
+
+TEST(Recipes, HostInvalidIncludesTableIiPayloads) {
+  auto cases = translate("host", "invalid");
+  ASSERT_FALSE(cases.empty());
+  bool at = false, comma = false, path = false;
+  for (const auto& tc : cases) {
+    EXPECT_EQ(tc.category, AttackClass::kHot);
+    EXPECT_EQ(tc.vector_label, "Invalid Host header");
+    if (tc.raw.find("h1.com@h2.com") != std::string::npos) at = true;
+    if (tc.raw.find("h1.com, h2.com") != std::string::npos) comma = true;
+    if (tc.raw.find("h1.com/.//test?") != std::string::npos) path = true;
+  }
+  EXPECT_TRUE(at);
+  EXPECT_TRUE(comma);
+  EXPECT_TRUE(path);
+}
+
+TEST(Recipes, HostMultipleAndMissing) {
+  auto multiple = translate("host", "multiple");
+  ASSERT_FALSE(multiple.empty());
+  bool two_hosts = false;
+  for (const auto& tc : multiple) {
+    if (http::lex_request(tc.raw).count("host") >= 2) two_hosts = true;
+  }
+  EXPECT_TRUE(two_hosts);
+
+  auto missing = translate("host", "missing");
+  ASSERT_FALSE(missing.empty());
+  for (const auto& tc : missing) {
+    EXPECT_EQ(http::lex_request(tc.raw).count("host"), 0u);
+  }
+}
+
+TEST(Recipes, ContentLengthInvalidCarriesFramingAssertion) {
+  auto cases = translate("content-length", "invalid");
+  ASSERT_FALSE(cases.empty());
+  for (const auto& tc : cases) {
+    ASSERT_TRUE(tc.assertion) << tc.description;
+    EXPECT_TRUE(tc.assertion->expect_reject);
+    EXPECT_TRUE(tc.assertion->expect_not_forward);
+    EXPECT_EQ(tc.assertion->sr_id, "synthetic-sr");
+  }
+}
+
+TEST(Recipes, ContentLengthMultipleMixesAssertedAndValid) {
+  auto cases = translate("content-length", "multiple");
+  std::size_t asserted = 0, unasserted = 0;
+  for (const auto& tc : cases) {
+    (tc.assertion ? asserted : unasserted)++;
+  }
+  EXPECT_GT(asserted, 0u);   // differing duplicates MUST be rejected
+  EXPECT_GT(unasserted, 0u); // identical duplicates are legal
+}
+
+TEST(Recipes, TransferEncodingVariants) {
+  for (auto modifier : {"invalid", "multiple", "whitespace", "obsolete"}) {
+    auto cases = translate("transfer-encoding", modifier);
+    EXPECT_FALSE(cases.empty()) << modifier;
+    for (const auto& tc : cases) {
+      EXPECT_EQ(tc.category, AttackClass::kHrs) << modifier;
+    }
+  }
+}
+
+TEST(Recipes, ChunkSizeInvalidBodies) {
+  auto cases = translate("chunk-size", "invalid");
+  ASSERT_GE(cases.size(), 3u);
+  bool overflow = false, nul = false;
+  for (const auto& tc : cases) {
+    if (tc.raw.find("100000000a") != std::string::npos) overflow = true;
+    if (tc.raw.find(std::string("\0", 1)) != std::string::npos) nul = true;
+  }
+  EXPECT_TRUE(overflow);
+  EXPECT_TRUE(nul);
+}
+
+TEST(Recipes, VersionAndFatGet) {
+  auto version = translate("http-version", "invalid");
+  ASSERT_FALSE(version.empty());
+  bool reversed = false;
+  for (const auto& tc : version) {
+    EXPECT_EQ(tc.category, AttackClass::kCpdos);
+    if (tc.raw.find(" 1.1/HTTP\r\n") != std::string::npos) reversed = true;
+  }
+  EXPECT_TRUE(reversed);
+
+  auto fat = translate("message-body", "invalid");
+  ASSERT_FALSE(fat.empty());
+  bool head = false;
+  for (const auto& tc : fat) {
+    if (tc.raw.substr(0, 5) == "HEAD ") head = true;
+  }
+  EXPECT_TRUE(head);
+}
+
+TEST(Recipes, UnknownFieldYieldsNothing) {
+  EXPECT_TRUE(translate("x-nonexistent", "invalid").empty());
+  EXPECT_TRUE(translate("host", "x-nonsense-modifier").empty());
+}
+
+TEST(Recipes, EntailedActionBecomesAssertion) {
+  text::Hypothesis action;
+  action.role = text::Role::kServer;
+  action.action = text::Action::kRespond;
+  action.status_code = 400;
+  SrRecord sr = record_for("host", "multiple", action);
+  TranslatorConfig config;
+  config.include_mutations = false;
+  SrTranslator translator(grammar(), config);
+  auto cases = translator.translate(sr);
+  ASSERT_FALSE(cases.empty());
+  bool found_status_assertion = false;
+  for (const auto& tc : cases) {
+    if (tc.assertion && tc.assertion->expect_status == 400) {
+      found_status_assertion = true;
+    }
+  }
+  EXPECT_TRUE(found_status_assertion);
+}
+
+TEST(Recipes, UuidsScopedToSrId) {
+  auto cases = translate("host", "invalid");
+  for (const auto& tc : cases) {
+    EXPECT_EQ(tc.uuid.substr(0, 12), "synthetic-sr");
+  }
+}
+
+}  // namespace
+}  // namespace hdiff::core

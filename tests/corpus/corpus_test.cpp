@@ -1,0 +1,96 @@
+#include "corpus/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+
+namespace hdiff::corpus {
+namespace {
+
+TEST(Corpus, AllEightDocumentsRegistered) {
+  auto docs = all_documents();
+  ASSERT_EQ(docs.size(), 8u);
+  for (const auto& doc : docs) {
+    EXPECT_FALSE(doc.text.empty()) << doc.name;
+    EXPECT_FALSE(doc.title.empty()) << doc.name;
+  }
+}
+
+TEST(Corpus, CoreSixInOrder) {
+  auto core = http_core_documents();
+  ASSERT_EQ(core.size(), 6u);
+  EXPECT_EQ(core.front(), "rfc7230");
+  EXPECT_EQ(core.back(), "rfc7235");
+}
+
+TEST(Corpus, LookupIsCaseInsensitive) {
+  EXPECT_NE(find_document("RFC7230"), nullptr);
+  EXPECT_NE(find_document("rfc3986"), nullptr);
+  EXPECT_EQ(find_document("rfc9999"), nullptr);
+}
+
+TEST(Corpus, MeasureCountsWordsAndSentences) {
+  const Document* doc = find_document("rfc7230");
+  ASSERT_NE(doc, nullptr);
+  CorpusSize size = measure(*doc);
+  EXPECT_GT(size.words, 2000u);
+  EXPECT_GT(size.valid_sentences, 60u);
+
+  CorpusSize total = measure_all();
+  EXPECT_GT(total.words, size.words);
+}
+
+TEST(Corpus, DocumentsCarryPageArtifactsForCleaning) {
+  // The excerpts intentionally keep RFC pagination so the cleaning stage
+  // has real work to do.
+  const Document* doc = find_document("rfc7230");
+  EXPECT_NE(doc->text.find("[Page"), std::string_view::npos);
+}
+
+TEST(Corpus, KeySmugglingSentencesPresent) {
+  const Document* doc = find_document("rfc7230");
+  EXPECT_NE(doc->text.find("request smuggling"), std::string_view::npos);
+  EXPECT_NE(doc->text.find("Transfer-Encoding overrides the"),
+            std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace hdiff::corpus
+
+namespace hdiff::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.render().find("| x |"), std::string::npos);
+}
+
+TEST(PairMatrix, MarksAttackLetters) {
+  auto hrs = parse_pair_keys({"ats->iis"});
+  auto hot = parse_pair_keys({"nginx->iis", "nginx->tomcat"});
+  auto cpdos = parse_pair_keys({"ats->iis"});
+  std::string out = render_pair_matrix({"ats", "nginx"}, {"iis", "tomcat"},
+                                       hrs, hot, cpdos);
+  EXPECT_NE(out.find("SC"), std::string::npos);  // ats->iis: HRS + CPDoS
+  EXPECT_NE(out.find("H"), std::string::npos);
+  EXPECT_NE(out.find("."), std::string::npos);
+}
+
+TEST(PairMatrix, ParsePairKeysSkipsMalformed) {
+  auto pairs = parse_pair_keys({"a->b", "nonsense"});
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, "a");
+}
+
+}  // namespace
+}  // namespace hdiff::report

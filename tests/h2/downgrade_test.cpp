@@ -1,0 +1,127 @@
+// HTTP/2 downgrade gaps (the paper's §V future-work direction), verified
+// end to end against the h1 behaviour models.
+#include "h2/downgrade.h"
+
+#include <gtest/gtest.h>
+
+#include "http/lexer.h"
+#include "impls/products.h"
+
+namespace hdiff::h2 {
+namespace {
+
+H2Request base_post(std::string_view body) {
+  H2Request r;
+  r.method = "POST";
+  r.authority = "h1.com";
+  r.path = "/upload";
+  r.body.assign(body);
+  return r;
+}
+
+TEST(Downgrade, CleanRequestTranslates) {
+  DowngradeResult out = downgrade(base_post("hello"), strict_gateway());
+  ASSERT_FALSE(out.rejected) << out.reason;
+  http::RawRequest lexed = http::lex_request(out.h1_bytes);
+  EXPECT_EQ(lexed.line.method_token, "POST");
+  EXPECT_EQ(lexed.line.target, "/upload");
+  EXPECT_EQ(lexed.find_first("host")->value, "h1.com");
+  EXPECT_EQ(lexed.find_first("content-length")->value, "5");
+  EXPECT_EQ(lexed.after_headers, "hello");
+}
+
+TEST(Downgrade, AuthorityBeatsHostHeader) {
+  H2Request r = base_post("x");
+  r.add("host", "evil.com");
+  DowngradeResult out = downgrade(r, strict_gateway());
+  ASSERT_FALSE(out.rejected);
+  http::RawRequest lexed = http::lex_request(out.h1_bytes);
+  EXPECT_EQ(lexed.count("host"), 1u);
+  EXPECT_EQ(lexed.find_first("host")->value, "h1.com");
+}
+
+TEST(Downgrade, StrictGatewayRejectsClMismatch) {
+  H2Request r = base_post("AAAAA");
+  r.add("content-length", "100");
+  DowngradeResult out = downgrade(r, strict_gateway());
+  EXPECT_TRUE(out.rejected);
+  EXPECT_NE(out.reason.find("8.1.2.6"), std::string::npos);
+}
+
+TEST(Downgrade, StrictGatewayRejectsTransferEncoding) {
+  H2Request r = base_post("AAAAA");
+  r.add("transfer-encoding", "chunked");
+  DowngradeResult out = downgrade(r, strict_gateway());
+  EXPECT_TRUE(out.rejected);
+}
+
+TEST(Downgrade, StrictGatewayRejectsHeaderInjection) {
+  H2Request r = base_post("x");
+  r.add("x-injected", "v\r\nX-Smuggled: 1");
+  EXPECT_TRUE(downgrade(r, strict_gateway()).rejected);
+
+  H2Request path_inject = base_post("x");
+  path_inject.path = "/a HTTP/1.1\r\nX-Smuggled: 1\r\n";
+  EXPECT_TRUE(downgrade(path_inject, strict_gateway()).rejected);
+}
+
+TEST(Downgrade, H2ClDesyncAgainstH1Origin) {
+  // The "h2.CL" class: h2 frames the body unambiguously (DATA length), but
+  // the weak gateway copies the *client's* content-length into the h1
+  // request.  The h1 origin then frames by that header and exposes the
+  // trailing bytes as a second request.
+  std::string smuggled = "GET /evil HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  H2Request r = base_post("AB" + smuggled);
+  r.add("content-length", "2");  // lies: DATA is longer
+
+  DowngradeResult strict = downgrade(r, strict_gateway());
+  EXPECT_TRUE(strict.rejected);
+
+  DowngradeResult weak = downgrade(r, cl_trusting_gateway());
+  ASSERT_FALSE(weak.rejected) << weak.reason;
+  auto origin = impls::make_implementation("apache");
+  impls::ServerVerdict v = origin->parse_request(weak.h1_bytes);
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.body, "AB");
+  EXPECT_EQ(v.leftover, smuggled);  // the hidden request
+}
+
+TEST(Downgrade, H2TeDesyncAgainstH1Origin) {
+  // The "h2.TE" class: a forwarded transfer-encoding header makes the h1
+  // origin frame by chunked while the gateway framed by DATA length.
+  std::string smuggled = "GET /evil HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  H2Request r = base_post("0\r\n\r\n" + smuggled);
+  r.add("transfer-encoding", "chunked");
+
+  DowngradeResult weak = downgrade(r, te_forwarding_gateway());
+  ASSERT_FALSE(weak.rejected) << weak.reason;
+  auto origin = impls::make_implementation("apache");
+  impls::ServerVerdict v = origin->parse_request(weak.h1_bytes);
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.framing, impls::BodyFraming::kChunked);
+  EXPECT_EQ(v.leftover, smuggled);
+}
+
+TEST(Downgrade, StrictGatewayOutputIsCleanForEveryOrigin) {
+  DowngradeResult out = downgrade(base_post("payload"), strict_gateway());
+  ASSERT_FALSE(out.rejected);
+  auto fleet = impls::make_all_implementations();
+  for (const auto& impl : fleet) {
+    if (!impl->is_server()) continue;
+    impls::ServerVerdict v = impl->parse_request(out.h1_bytes);
+    EXPECT_EQ(v.status, 200) << impl->name();
+    EXPECT_TRUE(v.leftover.empty()) << impl->name();
+  }
+}
+
+TEST(Downgrade, EmptyPathNormalizedToRoot) {
+  H2Request r;
+  r.authority = "h1.com";
+  r.path.clear();
+  DowngradeResult out = downgrade(r, strict_gateway());
+  ASSERT_FALSE(out.rejected);
+  EXPECT_EQ(http::lex_request(out.h1_bytes).line.target, "/");
+}
+
+}  // namespace
+}  // namespace hdiff::h2

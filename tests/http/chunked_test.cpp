@@ -1,0 +1,147 @@
+#include "http/chunked.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::http {
+namespace {
+
+ChunkPolicy strict() { return ChunkPolicy{}; }
+
+ChunkPolicy lenient() {
+  ChunkPolicy p;
+  p.wrapping_size = true;
+  p.wrap_bits = 32;
+  p.lenient_size_line = true;
+  p.require_crlf_after_data = false;
+  return p;
+}
+
+TEST(ChunkedStrict, DecodesCanonical) {
+  ChunkResult r = decode_chunked("3\r\nabc\r\n0\r\n\r\nNEXT", strict());
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.body, "abc");
+  EXPECT_EQ(r.leftover, "NEXT");
+  ASSERT_EQ(r.chunk_sizes.size(), 2u);
+  EXPECT_EQ(r.chunk_sizes[0], 3u);
+  EXPECT_EQ(r.chunk_sizes[1], 0u);
+}
+
+TEST(ChunkedStrict, MultipleChunks) {
+  ChunkResult r = decode_chunked("2\r\nab\r\n3\r\ncde\r\n0\r\n\r\n", strict());
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.body, "abcde");
+}
+
+TEST(ChunkedStrict, TrailersConsumed) {
+  ChunkResult r =
+      decode_chunked("1\r\nx\r\n0\r\nTrailer: v\r\n\r\nREST", strict());
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.leftover, "REST");
+}
+
+TEST(ChunkedStrict, ExtensionAccepted) {
+  ChunkResult r = decode_chunked("3;ext=1\r\nabc\r\n0\r\n\r\n", strict());
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(ChunkedStrict, ExtensionRejectedWhenDisallowed) {
+  ChunkPolicy p = strict();
+  p.allow_extensions = false;
+  ChunkResult r = decode_chunked("3;ext=1\r\nabc\r\n0\r\n\r\n", p);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ChunkedStrict, RejectsNonHexSize) {
+  ChunkResult r = decode_chunked("0xfgh\r\nabc\r\n0\r\n\r\n", strict());
+  // "0xfgh" is not 1*HEXDIG: "0" parses then "xfgh" is garbage => the size
+  // line "0xfgh" fails the strict parse.
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.incomplete);
+}
+
+TEST(ChunkedStrict, RejectsHugeSize) {
+  ChunkResult r =
+      decode_chunked("ffffffffff\r\nabc\r\n0\r\n\r\n", strict());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ChunkedStrict, IncompleteOnMissingData) {
+  ChunkResult r = decode_chunked("a\r\nabc", strict());
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.incomplete);
+}
+
+TEST(ChunkedStrict, SizeDataMismatchRejected) {
+  // Size 5 over "abc\r\n" consumes the CRLF as data; the next bytes "0\r\n"
+  // are then not a valid post-data CRLF.
+  ChunkResult r = decode_chunked("5\r\nabc\r\n0\r\n\r\n", strict());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ChunkedStrict, BareLfRejected) {
+  ChunkResult r = decode_chunked("3\nabc\n0\n\n", strict());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ChunkedLenient, BareLfAccepted) {
+  ChunkPolicy p = strict();
+  p.allow_bare_lf = true;
+  ChunkResult r = decode_chunked("3\nabc\n0\n\n", p);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.body, "abc");
+}
+
+TEST(ChunkedLenient, WrapsOversizeAndRepairsByLine) {
+  // 0x100000000a wraps to 10 in 32 bits; the repairing decoder distrusts the
+  // damaged size and takes the next line ("abc") as the chunk data — the
+  // §IV-B repair whose re-emitted size no longer matches the data.
+  ChunkResult r = decode_chunked("100000000a\r\nabc\r\n0\r\n\r\n", lenient());
+  EXPECT_TRUE(r.size_overflowed);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.body, "abc");
+  ASSERT_FALSE(r.chunk_sizes.empty());
+  EXPECT_EQ(r.chunk_sizes[0], 10u);  // the wrapped — wrong — size
+}
+
+TEST(ChunkedLenient, GarbageSizeLineScansDigits) {
+  ChunkResult r = decode_chunked("3zz\r\nabc\r\n0\r\n\r\n", lenient());
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.body, "abc");
+  EXPECT_TRUE(r.size_overflowed);  // digit truncation flagged
+}
+
+TEST(ChunkedNul, FlaggedAndOptionallyFatal) {
+  std::string in = "3\r\na";
+  in.push_back('\0');
+  in += "c\r\n0\r\n\r\n";
+  ChunkResult ok = decode_chunked(in, strict());
+  EXPECT_TRUE(ok.ok);
+  EXPECT_TRUE(ok.saw_nul);
+
+  ChunkPolicy p = strict();
+  p.reject_nul_in_data = true;
+  ChunkResult bad = decode_chunked(in, p);
+  EXPECT_FALSE(bad.ok);
+}
+
+TEST(ChunkedLimit, MaxChunkSizeEnforced) {
+  ChunkPolicy p = strict();
+  p.max_chunk_size = 2;
+  ChunkResult r = decode_chunked("3\r\nabc\r\n0\r\n\r\n", p);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(EncodeChunked, RoundTrips) {
+  std::string wire = encode_chunked("hello");
+  ChunkResult r = decode_chunked(wire, strict());
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.body, "hello");
+  EXPECT_TRUE(r.leftover.empty());
+}
+
+TEST(EncodeChunked, EmptyBody) {
+  EXPECT_EQ(encode_chunked(""), "0\r\n\r\n");
+}
+
+}  // namespace
+}  // namespace hdiff::http

@@ -1,0 +1,85 @@
+#include "http/header_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::http {
+namespace {
+
+TEST(AsciiCase, LowerAndEquals) {
+  EXPECT_EQ(to_lower("Content-LENGTH"), "content-length");
+  EXPECT_TRUE(iequals("Host", "hOST"));
+  EXPECT_FALSE(iequals("Host", "Hos"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(TokenPredicate, AcceptsTchars) {
+  EXPECT_TRUE(is_token("Content-Length"));
+  EXPECT_TRUE(is_token("x!#$%&'*+-.^_`|~09Az"));
+  EXPECT_FALSE(is_token(""));
+  EXPECT_FALSE(is_token("a b"));
+  EXPECT_FALSE(is_token("a:b"));
+  EXPECT_FALSE(is_token("a\x0b"));
+}
+
+TEST(Trim, OwsOnlyTouchesSpAndTab) {
+  EXPECT_EQ(trim_ows("  a b\t"), "a b");
+  EXPECT_EQ(trim_ows("\x0b val"), "\x0b val");  // VT is not OWS
+  EXPECT_EQ(trim_ows(""), "");
+  EXPECT_EQ(trim_ows("   "), "");
+}
+
+TEST(Trim, LenientEatsControls) {
+  EXPECT_EQ(trim_lenient_ws("\x0b\x0c val\r"), "val");
+}
+
+TEST(SplitList, DropsEmptyElements) {
+  auto items = split_list("chunked, , gzip ,deflate");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "chunked");
+  EXPECT_EQ(items[1], "gzip");
+  EXPECT_EQ(items[2], "deflate");
+}
+
+TEST(ContentLengthStrict, RejectsNonCanonical) {
+  EXPECT_EQ(parse_content_length_strict("10"), 10u);
+  EXPECT_EQ(parse_content_length_strict("0"), 0u);
+  EXPECT_FALSE(parse_content_length_strict("+6"));
+  EXPECT_FALSE(parse_content_length_strict("6,9"));
+  EXPECT_FALSE(parse_content_length_strict(" 6"));
+  EXPECT_FALSE(parse_content_length_strict("0x10"));
+  EXPECT_FALSE(parse_content_length_strict(""));
+  EXPECT_FALSE(parse_content_length_strict("99999999999999999999999999"));
+}
+
+TEST(ContentLengthLenient, StrtolStyle) {
+  EXPECT_EQ(parse_content_length_lenient("+6"), 6u);
+  EXPECT_EQ(parse_content_length_lenient("  10"), 10u);
+  EXPECT_EQ(parse_content_length_lenient("6,9"), 6u);
+  EXPECT_EQ(parse_content_length_lenient("6 6"), 6u);
+  EXPECT_FALSE(parse_content_length_lenient("abc"));
+  EXPECT_FALSE(parse_content_length_lenient("+"));
+}
+
+TEST(ChunkSizeStrict, HexOnly) {
+  EXPECT_EQ(parse_chunk_size_strict("a"), 10u);
+  EXPECT_EQ(parse_chunk_size_strict("FF"), 255u);
+  EXPECT_FALSE(parse_chunk_size_strict("0x10"));
+  EXPECT_FALSE(parse_chunk_size_strict("g"));
+  EXPECT_FALSE(parse_chunk_size_strict(""));
+}
+
+TEST(ChunkSizeWrapping, WrapsModulo) {
+  // 0x100000000a wraps to 0xa in 32 bits.
+  EXPECT_EQ(parse_chunk_size_wrapping("100000000a", 32), 10u);
+  // Stops at the first non-hex character.
+  EXPECT_EQ(parse_chunk_size_wrapping("a;ext", 32), 10u);
+  EXPECT_EQ(parse_chunk_size_wrapping("ffz", 32), 255u);
+  EXPECT_FALSE(parse_chunk_size_wrapping("z", 32));
+}
+
+TEST(ChunkSizeWrapping, FullWidthDoesNotWrapSmallValues) {
+  EXPECT_EQ(parse_chunk_size_wrapping("dead", 64), 0xdeadu);
+}
+
+}  // namespace
+}  // namespace hdiff::http

@@ -1,0 +1,154 @@
+#include "http/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::http {
+namespace {
+
+TEST(Lexer, CanonicalRequest) {
+  RawRequest r = lex_request(
+      "POST /path?q=1 HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 3\r\n\r\n"
+      "abc");
+  EXPECT_EQ(r.anomalies, 0u);
+  EXPECT_EQ(r.line.method_token, "POST");
+  EXPECT_EQ(r.line.target, "/path?q=1");
+  EXPECT_EQ(r.line.version_token, "HTTP/1.1");
+  ASSERT_TRUE(r.line.strict_version());
+  EXPECT_EQ(*r.line.strict_version(), (Version{1, 1}));
+  ASSERT_EQ(r.headers.size(), 2u);
+  EXPECT_EQ(r.headers[0].name, "Host");
+  EXPECT_EQ(r.headers[0].value, "h1.com");
+  EXPECT_EQ(r.after_headers, "abc");
+}
+
+TEST(Lexer, SkipsLeadingBlankLines) {
+  RawRequest r = lex_request("\r\n\r\nGET / HTTP/1.1\r\nHost: h\r\n\r\n");
+  EXPECT_EQ(r.line.method_token, "GET");
+  EXPECT_EQ(r.headers.size(), 1u);
+}
+
+TEST(Lexer, WhitespaceBeforeColonFlagged) {
+  RawRequest r = lex_request(
+      "GET / HTTP/1.1\r\nContent-Length : 5\r\nHost: h\r\n\r\n");
+  ASSERT_EQ(r.headers.size(), 2u);
+  EXPECT_TRUE(has_anomaly(r.headers[0].anomalies, Anomaly::kWsBeforeColon));
+  EXPECT_TRUE(has_anomaly(r.anomalies, Anomaly::kWsBeforeColon));
+  EXPECT_EQ(r.headers[0].normalized_name(), "content-length");
+}
+
+TEST(Lexer, BareLfTerminator) {
+  RawRequest r = lex_request("GET / HTTP/1.1\nHost: h\n\n");
+  EXPECT_TRUE(has_anomaly(r.anomalies, Anomaly::kBareLf));
+  EXPECT_EQ(r.headers.size(), 1u);
+}
+
+TEST(Lexer, ObsFoldJoinsValue) {
+  RawRequest r = lex_request(
+      "GET / HTTP/1.1\r\nHost: h1.com\r\n h2.com\r\n\r\n");
+  ASSERT_EQ(r.headers.size(), 1u);
+  EXPECT_TRUE(has_anomaly(r.headers[0].anomalies, Anomaly::kObsFold));
+  EXPECT_EQ(r.headers[0].value, "h1.com h2.com");
+}
+
+TEST(Lexer, MissingColonLine) {
+  RawRequest r = lex_request("GET / HTTP/1.1\r\nHost: h\r\ngarbage\r\n\r\n");
+  ASSERT_EQ(r.headers.size(), 2u);
+  EXPECT_TRUE(has_anomaly(r.headers[1].anomalies, Anomaly::kMissingColon));
+  EXPECT_EQ(r.headers[1].name, "garbage");
+}
+
+TEST(Lexer, Http09TwoTokenLine) {
+  RawRequest r = lex_request("GET /index.html\r\n\r\n");
+  EXPECT_TRUE(has_anomaly(r.line.anomalies, Anomaly::kNoVersion));
+  EXPECT_EQ(r.line.target, "/index.html");
+  EXPECT_TRUE(r.line.version_token.empty());
+}
+
+TEST(Lexer, FourPartRequestLine) {
+  RawRequest r = lex_request("GET /?a=b 1.1/HTTP HTTP/1.0\r\n\r\n");
+  EXPECT_TRUE(has_anomaly(r.line.anomalies, Anomaly::kRequestLineParts));
+  EXPECT_EQ(r.line.method_token, "GET");
+  EXPECT_EQ(r.line.target, "/?a=b 1.1/HTTP");
+  EXPECT_EQ(r.line.version_token, "HTTP/1.0");
+}
+
+TEST(Lexer, MalformedVersionFlagged) {
+  RawRequest r = lex_request("GET / 1.1/HTTP\r\n\r\n");
+  EXPECT_TRUE(has_anomaly(r.line.anomalies, Anomaly::kMalformedVersion));
+  EXPECT_FALSE(r.line.strict_version());
+}
+
+TEST(Lexer, CaseSensitiveHttpName) {
+  RawRequest r = lex_request("GET / hTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(has_anomaly(r.line.anomalies, Anomaly::kMalformedVersion));
+}
+
+TEST(Lexer, ExtraRequestLineWhitespace) {
+  RawRequest r = lex_request("GET  /  HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(has_anomaly(r.line.anomalies, Anomaly::kExtraRequestLineWs));
+  EXPECT_EQ(r.line.target, "/");
+}
+
+TEST(Lexer, TabSeparatorFlagged) {
+  RawRequest r = lex_request("GET\t/ HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(has_anomaly(r.line.anomalies, Anomaly::kExtraRequestLineWs));
+}
+
+TEST(Lexer, TruncatedHeaders) {
+  RawRequest r = lex_request("GET / HTTP/1.1\r\nHost: h\r\n");
+  EXPECT_TRUE(has_anomaly(r.anomalies, Anomaly::kTruncatedHeaders));
+  EXPECT_TRUE(r.after_headers.empty());
+}
+
+TEST(Lexer, NulByteFlagged) {
+  std::string raw = "GET / HTTP/1.1\r\nHost: h";
+  raw.push_back('\0');
+  raw += "x\r\n\r\n";
+  RawRequest r = lex_request(raw);
+  EXPECT_TRUE(has_anomaly(r.anomalies, Anomaly::kNulByte));
+}
+
+TEST(Lexer, NonTokenHeaderName) {
+  RawRequest r = lex_request(
+      "GET / HTTP/1.1\r\n\x0bTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(r.headers.size(), 1u);
+  // First header starting with a control byte is not obs-fold (not SP/HTAB).
+  EXPECT_TRUE(has_anomaly(r.headers[0].anomalies, Anomaly::kNonTokenName));
+  EXPECT_EQ(r.headers[0].normalized_name(), "transfer-encoding");
+}
+
+TEST(Lexer, LeadingHeaderWhitespace) {
+  RawRequest r = lex_request("GET / HTTP/1.1\r\n Host: h\r\n\r\n");
+  ASSERT_EQ(r.headers.size(), 1u);
+  EXPECT_TRUE(has_anomaly(r.headers[0].anomalies, Anomaly::kLeadingHeaderWs));
+}
+
+TEST(Lexer, EmptyHeaderName) {
+  RawRequest r = lex_request("GET / HTTP/1.1\r\n: value\r\n\r\n");
+  ASSERT_EQ(r.headers.size(), 1u);
+  EXPECT_TRUE(has_anomaly(r.headers[0].anomalies, Anomaly::kEmptyName));
+}
+
+TEST(Lexer, FindAllIsCaseInsensitive) {
+  RawRequest r = lex_request(
+      "GET / HTTP/1.1\r\nHost: a\r\nHOST: b\r\nhost: c\r\n\r\n");
+  EXPECT_EQ(r.count("Host"), 3u);
+  EXPECT_EQ(r.find_first("hOsT")->value, "a");
+}
+
+TEST(Lexer, AfterHeadersPreservedVerbatim) {
+  RawRequest r = lex_request(
+      "POST / HTTP/1.1\r\nHost: h\r\n\r\n0\r\n\r\nGET /evil HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(r.after_headers, "0\r\n\r\nGET /evil HTTP/1.1\r\n\r\n");
+}
+
+TEST(Anomalies, DescribeLists) {
+  AnomalySet set = 0;
+  add_anomaly(set, Anomaly::kBareLf);
+  add_anomaly(set, Anomaly::kObsFold);
+  EXPECT_EQ(describe_anomalies(set), "bare-lf|obs-fold");
+  EXPECT_EQ(describe_anomalies(0), "none");
+}
+
+}  // namespace
+}  // namespace hdiff::http

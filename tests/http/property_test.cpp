@@ -1,0 +1,112 @@
+// Property sweeps over the http substrate: chunked round-trips for
+// generated bodies, lexer totality, and serializer/lexer agreement.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "http/chunked.h"
+#include "http/lexer.h"
+#include "http/serialize.h"
+
+namespace hdiff::http {
+namespace {
+
+class ChunkedRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ChunkedRoundTrip, EncodeDecodeIsIdentity) {
+  std::mt19937_64 rng(GetParam());
+  ChunkPolicy strict;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::size_t len = rng() % 200;
+    std::string body;
+    body.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      body.push_back(static_cast<char>(rng() % 256));
+    }
+    // NUL-free bodies round-trip under every policy; with NUL bytes the
+    // strict policy still round-trips (NUL is legal chunk-data).
+    std::string wire = encode_chunked(body);
+    ChunkResult r = decode_chunked(wire, strict);
+    ASSERT_TRUE(r.ok) << "len=" << len;
+    EXPECT_EQ(r.body, body);
+    EXPECT_TRUE(r.leftover.empty());
+    EXPECT_FALSE(r.size_overflowed);
+
+    // Appending trailing bytes puts them, exactly, into leftover.
+    ChunkResult with_suffix = decode_chunked(wire + "SUFFIX", strict);
+    ASSERT_TRUE(with_suffix.ok);
+    EXPECT_EQ(with_suffix.leftover, "SUFFIX");
+  }
+}
+
+TEST_P(ChunkedRoundTrip, EveryPrefixIsIncompleteNotInvalid) {
+  std::mt19937_64 rng(GetParam());
+  ChunkPolicy strict;
+  std::string body = "hello chunked world";
+  std::string wire = encode_chunked(body);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    ChunkResult r = decode_chunked(wire.substr(0, cut), strict);
+    EXPECT_FALSE(r.ok) << "cut=" << cut;
+    EXPECT_TRUE(r.incomplete) << "cut=" << cut
+                              << " (a prefix of a valid stream must never be "
+                                 "*invalid*, only unfinished)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkedRoundTrip,
+                         ::testing::Values(3u, 17u, 2026u));
+
+class LexerTotality : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LexerTotality, NeverThrowsOnArbitraryBytes) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    std::size_t len = rng() % 300;
+    std::string raw;
+    raw.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      raw.push_back(static_cast<char>(rng() % 256));
+    }
+    RawRequest r = lex_request(raw);  // must not throw / crash
+    // The lexed pieces never contain more bytes than arrived.
+    std::size_t total = r.line.raw.size() + r.after_headers.size();
+    for (const auto& h : r.headers) total += h.raw_line.size();
+    EXPECT_LE(total, raw.size() + 2 * (r.headers.size() + 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LexerTotality, ::testing::Values(5u, 23u));
+
+TEST(SerializerLexerAgreement, CanonicalSpecsRoundTrip) {
+  // For canonical specs (default separators), lexing the serialized bytes
+  // recovers exactly the method/target/version/headers/body.
+  struct Case {
+    RequestSpec spec;
+  };
+  std::vector<RequestSpec> specs;
+  specs.push_back(make_get("h1.com", "/a/b?c=1"));
+  specs.push_back(make_post("h2.com:8080", "/upload", "payload-bytes"));
+  specs.push_back(make_chunked_post("h3.com", "/", "chunky"));
+  {
+    RequestSpec r = make_get("h1.com");
+    r.add("X-Custom", "value with spaces");
+    r.add("Accept", "*/*");
+    specs.push_back(std::move(r));
+  }
+  for (const auto& spec : specs) {
+    RawRequest lexed = lex_request(spec.to_wire());
+    EXPECT_EQ(lexed.anomalies, 0u);
+    EXPECT_EQ(lexed.line.method_token, spec.method);
+    EXPECT_EQ(lexed.line.target, spec.target);
+    EXPECT_EQ(lexed.line.version_token, spec.version);
+    ASSERT_EQ(lexed.headers.size(), spec.headers.size());
+    for (std::size_t i = 0; i < spec.headers.size(); ++i) {
+      EXPECT_EQ(lexed.headers[i].name, spec.headers[i].name);
+      EXPECT_EQ(lexed.headers[i].value, spec.headers[i].value);
+    }
+    EXPECT_EQ(lexed.after_headers, spec.body);
+  }
+}
+
+}  // namespace
+}  // namespace hdiff::http

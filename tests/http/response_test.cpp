@@ -1,0 +1,162 @@
+#include "http/response.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::http {
+namespace {
+
+TEST(ResponseLexer, CanonicalResponse) {
+  RawResponse r = lex_response(
+      "HTTP/1.1 200 OK\r\nContent-Length: 3\r\nServer: test\r\n\r\nabc");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.reason, "OK");
+  EXPECT_EQ(r.version, (Version{1, 1}));
+  ASSERT_NE(r.find_first("content-length"), nullptr);
+  EXPECT_EQ(r.after_headers, "abc");
+}
+
+TEST(ResponseLexer, MultiWordReason) {
+  RawResponse r = lex_response("HTTP/1.1 400 Bad Request\r\n\r\n");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(r.reason, "Bad Request");
+}
+
+TEST(ResponseLexer, GarbageStatusLine) {
+  EXPECT_FALSE(lex_response("not a response\r\n\r\n").status_line_valid());
+  EXPECT_FALSE(lex_response("HTTP/1.1 9999 X\r\n\r\n").status_line_valid());
+}
+
+TEST(ResponseFramingRules, BodylessStatuses) {
+  for (int status : {100, 101, 204, 304}) {
+    RawResponse r = lex_response("HTTP/1.1 " + std::to_string(status) +
+                                 " X\r\nContent-Length: 10\r\n\r\n");
+    EXPECT_FALSE(response_framing(r, Method::kGet).has_body) << status;
+  }
+}
+
+TEST(ResponseFramingRules, HeadNeverHasBody) {
+  RawResponse r =
+      lex_response("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n");
+  EXPECT_FALSE(response_framing(r, Method::kHead).has_body);
+  EXPECT_TRUE(response_framing(r, Method::kGet).has_body);
+}
+
+TEST(ResponseFramingRules, ChunkedBeatsContentLength) {
+  RawResponse r = lex_response(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n"
+      "Content-Length: 99\r\n\r\n");
+  ResponseFraming f = response_framing(r, Method::kGet);
+  EXPECT_TRUE(f.chunked);
+}
+
+TEST(ResponseFramingRules, NoLengthMeansUntilClose) {
+  RawResponse r = lex_response("HTTP/1.1 200 OK\r\n\r\nrest");
+  EXPECT_TRUE(response_framing(r, Method::kGet).until_close);
+}
+
+TEST(FrameFirst, SplitsPipelinedResponses) {
+  FramedResponse f = frame_first_response(
+      "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc"
+      "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n",
+      Method::kGet);
+  ASSERT_TRUE(f.complete);
+  EXPECT_EQ(f.head.status, 200);
+  EXPECT_EQ(f.body, "abc");
+  EXPECT_EQ(f.leftover.substr(0, 12), "HTTP/1.1 404");
+}
+
+TEST(FrameFirst, InterimResponseDetected) {
+  FramedResponse f = frame_first_response(
+      "HTTP/1.1 100 Continue\r\n\r\n"
+      "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n",
+      Method::kGet);
+  ASSERT_TRUE(f.complete);
+  EXPECT_TRUE(f.interim);
+  EXPECT_EQ(f.leftover.substr(0, 12), "HTTP/1.1 200");
+}
+
+TEST(FrameFirst, IncompleteBody) {
+  FramedResponse f = frame_first_response(
+      "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc", Method::kGet);
+  EXPECT_FALSE(f.complete);
+}
+
+TEST(BuildResponse, RoundTripsThroughLexer) {
+  std::string wire = build_response(417, "nope", "X-Extra: 1\r\n");
+  RawResponse r = lex_response(wire);
+  EXPECT_EQ(r.status, 417);
+  EXPECT_NE(r.find_first("x-extra"), nullptr);
+  FramedResponse f = frame_first_response(wire, Method::kGet);
+  ASSERT_TRUE(f.complete);
+  EXPECT_EQ(f.body, "nope");
+}
+
+TEST(BuildResponse, BodylessStatusOmitsBody) {
+  std::string wire = build_response(100, "ignored");
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+  EXPECT_EQ(wire.find("ignored"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdiff::http
+
+#include "impls/products.h"
+
+namespace hdiff::impls {
+namespace {
+
+TEST(Respond, EmitsInterimForAcceptedExpect) {
+  auto apache = make_implementation("apache");
+  std::string response = apache->respond(
+      "GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n");
+  EXPECT_EQ(response.substr(0, 21), "HTTP/1.1 100 Continue");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+}
+
+TEST(Respond, NoInterimWithoutExpect) {
+  auto apache = make_implementation("apache");
+  std::string response =
+      apache->respond("GET / HTTP/1.1\r\nHost: h\r\n\r\n");
+  EXPECT_EQ(response.substr(0, 12), "HTTP/1.1 200");
+}
+
+TEST(Respond, LighttpdRejectsWithoutInterim) {
+  auto lighttpd = make_implementation("lighttpd");
+  std::string response = lighttpd->respond(
+      "GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n");
+  EXPECT_EQ(response.substr(0, 12), "HTTP/1.1 417");
+}
+
+TEST(Relay, InterimSkippedByConformantProxy) {
+  auto apache_server = make_implementation("apache");
+  auto squid = make_implementation("squid");
+  std::string stream = apache_server->respond(
+      "GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n");
+  RelayOutcome relay = squid->relay_response(stream, http::Method::kGet);
+  EXPECT_FALSE(relay.desync);
+  EXPECT_EQ(relay.relayed_status, 200);
+  EXPECT_EQ(relay.to_client.substr(0, 12), "HTTP/1.1 200");
+}
+
+TEST(Relay, AtsMistakesInterimForFinal) {
+  auto apache_server = make_implementation("apache");
+  auto ats = make_implementation("ats");
+  std::string stream = apache_server->respond(
+      "GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n");
+  RelayOutcome relay = ats->relay_response(stream, http::Method::kGet);
+  EXPECT_TRUE(relay.desync);
+  EXPECT_EQ(relay.relayed_status, 100);
+  // The real 200 is stranded on the back-end connection.
+  EXPECT_EQ(relay.stale_backend_bytes.substr(0, 12), "HTTP/1.1 200");
+}
+
+TEST(Relay, PlainResponsePassesThrough) {
+  auto ats = make_implementation("ats");
+  RelayOutcome relay = ats->relay_response(
+      "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi", http::Method::kGet);
+  EXPECT_FALSE(relay.desync);
+  EXPECT_EQ(relay.relayed_status, 200);
+}
+
+}  // namespace
+}  // namespace hdiff::impls

@@ -1,0 +1,513 @@
+// Engine-level tests: one ParsePolicy dial at a time, verifying the
+// behaviour divergences the differential models rely on.
+#include "impls/model.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::impls {
+namespace {
+
+ParsePolicy strict_server() {
+  ParsePolicy p;
+  p.name = "strict";
+  p.server_mode = true;
+  return p;
+}
+
+ParsePolicy strict_proxy() {
+  ParsePolicy p;
+  p.name = "strict-proxy";
+  p.proxy_mode = true;
+  p.cache_enabled = true;
+  return p;
+}
+
+const std::string kPlainGet =
+    "GET /?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+
+TEST(Engine, AcceptsCanonicalGet) {
+  ModelImplementation impl(strict_server());
+  ServerVerdict v = impl.parse_request(kPlainGet);
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.host, "h1.com");
+  EXPECT_EQ(v.framing, BodyFraming::kNone);
+  EXPECT_TRUE(v.leftover.empty());
+}
+
+TEST(Engine, ContentLengthFraming) {
+  ModelImplementation impl(strict_server());
+  ServerVerdict v = impl.parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabcXYZ");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.framing, BodyFraming::kContentLength);
+  EXPECT_EQ(v.body, "abc");
+  EXPECT_EQ(v.leftover, "XYZ");
+}
+
+TEST(Engine, ChunkedFraming) {
+  ModelImplementation impl(strict_server());
+  ServerVerdict v = impl.parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\nNEXT");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.framing, BodyFraming::kChunked);
+  EXPECT_EQ(v.body, "abc");
+  EXPECT_EQ(v.leftover, "NEXT");
+}
+
+TEST(Engine, IncompleteBodyBlocks) {
+  ModelImplementation impl(strict_server());
+  ServerVerdict v = impl.parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\n\r\nabc");
+  EXPECT_TRUE(v.incomplete);
+  EXPECT_EQ(v.status, 0);
+}
+
+TEST(Engine, MissingHostRejected11Only) {
+  ModelImplementation impl(strict_server());
+  EXPECT_EQ(impl.parse_request("GET / HTTP/1.1\r\n\r\n").status, 400);
+  EXPECT_EQ(impl.parse_request("GET / HTTP/1.0\r\n\r\n").status, 200);
+}
+
+TEST(Engine, WsBeforeColonPolicies) {
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 3\r\n\r\nabc";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+
+  p.ws_before_colon = WsBeforeColon::kStripAndUse;
+  ServerVerdict strip = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(strip.status, 200);
+  EXPECT_EQ(strip.body, "abc");
+
+  p.ws_before_colon = WsBeforeColon::kIgnoreHeader;
+  ServerVerdict ignore = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(ignore.status, 200);
+  EXPECT_EQ(ignore.framing, BodyFraming::kNone);
+  EXPECT_EQ(ignore.leftover, "abc");  // boundary gap vs the stripper
+}
+
+TEST(Engine, DuplicateClPolicies) {
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n"
+      "Content-Length: 6\r\n\r\nabcdefXY";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+
+  p.duplicate_cl = DuplicateCl::kTakeFirst;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).body, "abc");
+  p.duplicate_cl = DuplicateCl::kTakeLast;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).body, "abcdef");
+}
+
+TEST(Engine, IdenticalDuplicateClCollapses) {
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n"
+      "Content-Length: 3\r\n\r\nabc";
+  EXPECT_EQ(ModelImplementation(strict_server()).parse_request(raw).status,
+            200);
+}
+
+TEST(Engine, LenientClScan) {
+  ParsePolicy p = strict_server();
+  p.cl_value_parse = ClValueParse::kLenientScan;
+  ServerVerdict v = ModelImplementation(p).parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: +3\r\n\r\nabcZ");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.body, "abc");
+}
+
+TEST(Engine, ClTeConflictPolicies) {
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n"
+      "Content-Length: 5\r\n\r\n0\r\n\r\nGET /evil HTTP/1.1\r\n\r\n";
+  ParsePolicy p = strict_server();  // kTeWins
+  ServerVerdict te = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(te.status, 200);
+  EXPECT_EQ(te.framing, BodyFraming::kChunked);
+  EXPECT_EQ(te.leftover, "GET /evil HTTP/1.1\r\n\r\n");
+
+  p.cl_te_conflict = ClTeConflict::kReject400;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+
+  p.cl_te_conflict = ClTeConflict::kClWins;
+  ServerVerdict cl = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(cl.framing, BodyFraming::kContentLength);
+  EXPECT_EQ(cl.body, "0\r\n\r\n");
+}
+
+TEST(Engine, MangledTeStrictVsTrimming) {
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: \x0b"
+      "chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 501);
+
+  p.te_value_parse = TeValueParse::kTrimControls;
+  ServerVerdict v = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.framing, BodyFraming::kChunked);
+  EXPECT_EQ(v.body, "abc");
+}
+
+TEST(Engine, TeUnknownIgnoredWhenLenient) {
+  ParsePolicy p = strict_server();
+  p.te_unknown_is_error = false;
+  ServerVerdict v = ModelImplementation(p).parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: xchunked\r\n"
+      "Content-Length: 3\r\n\r\nabcZ");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.framing, BodyFraming::kContentLength);
+  EXPECT_EQ(v.body, "abc");
+}
+
+TEST(Engine, TeNotHonoredInHttp10) {
+  const std::string raw =
+      "POST / HTTP/1.0\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).framing,
+            BodyFraming::kChunked);
+  p.te_honored_in_http10 = false;
+  ServerVerdict v = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(v.framing, BodyFraming::kNone);
+  EXPECT_EQ(v.leftover, "3\r\nabc\r\n0\r\n\r\n");
+}
+
+TEST(Engine, ObsoleteIdentityCoding) {
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked, identity"
+      "\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+  p.reject_te_identity = false;
+  p.te_value_parse = TeValueParse::kContainsChunked;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 200);
+}
+
+TEST(Engine, FatGetPolicies) {
+  const std::string raw =
+      "GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nAAAAA";
+  ParsePolicy p = strict_server();  // kParseBody
+  ServerVerdict parse = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(parse.body, "AAAAA");
+
+  p.fat_get = FatGet::kIgnoreBody;
+  ServerVerdict ignore = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(ignore.status, 200);
+  EXPECT_EQ(ignore.leftover, "AAAAA");
+
+  p.fat_get = FatGet::kReject400;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+}
+
+TEST(Engine, MultipleHostPolicies) {
+  const std::string raw =
+      "GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+
+  p.reject_multiple_host = false;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).host, "h1.com");
+  p.multiple_host_take_last = true;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).host, "h2.com");
+}
+
+TEST(Engine, HostValidationLevels) {
+  const std::string raw = "GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+
+  p.host_validation = HostValidation::kLoose;
+  p.host_extraction = http::HostExtraction::kAfterAt;
+  ServerVerdict v = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.host, "h2.com");
+}
+
+TEST(Engine, AbsoluteUriHostPolicies) {
+  const std::string raw =
+      "GET test://h2.com/?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  ParsePolicy p = strict_server();
+  p.host_validation = HostValidation::kLoose;
+  p.host_extraction = http::HostExtraction::kBeforeDelims;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).host, "h2.com");
+
+  p.abs_uri_host = AbsUriHostPolicy::kUriWinsHttpOnly;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).host, "h1.com");
+
+  p.abs_uri_host = AbsUriHostPolicy::kHostHeaderWins;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).host, "h1.com");
+}
+
+TEST(Engine, NonHttpSchemeRejection) {
+  ParsePolicy p = strict_server();
+  p.reject_non_http_scheme = true;
+  EXPECT_EQ(ModelImplementation(p)
+                .parse_request(
+                    "GET test://h2.com/ HTTP/1.1\r\nHost: h1.com\r\n\r\n")
+                .status,
+            400);
+  EXPECT_EQ(ModelImplementation(p)
+                .parse_request(
+                    "GET http://h2.com/ HTTP/1.1\r\nHost: h1.com\r\n\r\n")
+                .status,
+            200);
+}
+
+TEST(Engine, VersionHandlingPolicies) {
+  const std::string raw = "GET / hTTP/1.1\r\nHost: h\r\n\r\n";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+
+  p.version_handling = VersionHandling::kCaseInsensitiveOnly;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 200);
+  EXPECT_EQ(ModelImplementation(p)
+                .parse_request("GET / 1.1/HTTP\r\nHost: h\r\n\r\n")
+                .status,
+            400);
+
+  p.version_handling = VersionHandling::kAcceptAsIs;
+  EXPECT_EQ(ModelImplementation(p)
+                .parse_request("GET / 1.1/HTTP\r\nHost: h\r\n\r\n")
+                .status,
+            200);
+}
+
+TEST(Engine, Http09Policies) {
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request("GET /\r\n\r\n").status, 400);
+  p.accept_http09 = true;
+  EXPECT_EQ(ModelImplementation(p).parse_request("GET /\r\n\r\n").status, 200);
+  // Headers on a 0.9 line require the extra dial.
+  EXPECT_EQ(ModelImplementation(p)
+                .parse_request("GET /\r\nHost: h\r\n\r\n")
+                .status,
+            400);
+  p.accept_http09_with_headers = true;
+  EXPECT_EQ(ModelImplementation(p)
+                .parse_request("GET /\r\nHost: h\r\n\r\n")
+                .status,
+            200);
+}
+
+TEST(Engine, Http2VersionToken) {
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p)
+                .parse_request("GET / HTTP/2.0\r\nHost: h\r\n\r\n")
+                .status,
+            505);
+  p.accept_version_2x = true;
+  EXPECT_EQ(ModelImplementation(p)
+                .parse_request("GET / HTTP/2.0\r\nHost: h\r\n\r\n")
+                .status,
+            200);
+}
+
+TEST(Engine, ExpectInGetPolicies) {
+  const std::string raw =
+      "GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n";
+  ParsePolicy p = strict_server();
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 200);
+  p.expect_in_get = ExpectInGet::kReject417;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 417);
+}
+
+TEST(Engine, HeaderSizeLimit) {
+  ParsePolicy p = strict_server();
+  p.max_header_bytes = 64;
+  std::string raw = "GET / HTTP/1.1\r\nHost: h\r\nX-Pad: " +
+                    std::string(100, 'a') + "\r\n\r\n";
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 431);
+}
+
+TEST(Engine, MalformedHeaderNamePolicies) {
+  const std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\n\x0bTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+  ParsePolicy p = strict_server();  // default: ignore the line
+  ServerVerdict ignored = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(ignored.status, 200);
+  EXPECT_EQ(ignored.framing, BodyFraming::kNone);
+
+  p.reject_malformed_header_name = true;
+  EXPECT_EQ(ModelImplementation(p).parse_request(raw).status, 400);
+
+  p.reject_malformed_header_name = false;
+  p.lenient_header_name_trim = true;
+  ServerVerdict trimmed = ModelImplementation(p).parse_request(raw);
+  EXPECT_EQ(trimmed.framing, BodyFraming::kChunked);
+  EXPECT_EQ(trimmed.body, "abc");
+}
+
+// ---------------------------------------------------------------------------
+// Proxy forwarding
+// ---------------------------------------------------------------------------
+
+TEST(Forwarding, CanonicalRequestRoundTrips) {
+  ModelImplementation proxy(strict_proxy());
+  ProxyVerdict v = proxy.forward_request(kPlainGet);
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("GET /?a=1 HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(v.forwarded_bytes.find("Host: h1.com\r\n"), std::string::npos);
+  EXPECT_NE(v.forwarded_bytes.find("Via: 1.1 strict-proxy\r\n"),
+            std::string::npos);
+  EXPECT_TRUE(v.would_cache);
+  // The forwarded bytes parse cleanly.
+  ModelImplementation server(strict_server());
+  EXPECT_EQ(server.parse_request(v.forwarded_bytes).status, 200);
+}
+
+TEST(Forwarding, HopByHopHeadersStripped) {
+  ModelImplementation proxy(strict_proxy());
+  ProxyVerdict v = proxy.forward_request(
+      "GET / HTTP/1.1\r\nHost: h\r\nConnection: keep-alive\r\n"
+      "Keep-Alive: timeout=5\r\nUpgrade: h2c\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_EQ(v.forwarded_bytes.find("Keep-Alive"), std::string::npos);
+  EXPECT_EQ(v.forwarded_bytes.find("Upgrade"), std::string::npos);
+  EXPECT_EQ(v.forwarded_bytes.find("Connection:"), std::string::npos);
+}
+
+TEST(Forwarding, ConnectionListedStrippedButCriticalProtected) {
+  ModelImplementation proxy(strict_proxy());
+  ProxyVerdict v = proxy.forward_request(
+      "GET / HTTP/1.1\r\nHost: h\r\nX-Custom: 1\r\n"
+      "Connection: close, X-Custom, Host\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_EQ(v.forwarded_bytes.find("X-Custom"), std::string::npos);
+  EXPECT_NE(v.forwarded_bytes.find("Host: h"), std::string::npos);
+}
+
+TEST(Forwarding, UnprotectedConnectionStripDropsHost) {
+  ParsePolicy p = strict_proxy();
+  p.connection_strip_protects_critical = false;
+  ModelImplementation proxy(p);
+  ProxyVerdict v = proxy.forward_request(
+      "GET / HTTP/1.1\r\nHost: h\r\nConnection: close, Host\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_EQ(v.forwarded_bytes.find("Host:"), std::string::npos);
+}
+
+TEST(Forwarding, AbsoluteUriRewrittenToOriginForm) {
+  ModelImplementation proxy(strict_proxy());
+  ProxyVerdict v = proxy.forward_request(
+      "GET http://h2.com:8080/p?q=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("GET /p?q=1 HTTP/1.1\r\n"),
+            std::string::npos);
+  EXPECT_NE(v.forwarded_bytes.find("Host: h2.com:8080\r\n"), std::string::npos);
+  EXPECT_EQ(v.forwarded_bytes.find("h1.com"), std::string::npos);
+}
+
+TEST(Forwarding, VersionRepairAppendsOwnKeepingGarbage) {
+  ParsePolicy p = strict_proxy();
+  p.version_handling = VersionHandling::kAcceptAsIs;
+  p.version_forwarding = VersionForwarding::kAppendOwnKeepBad;
+  ModelImplementation proxy(p);
+  ProxyVerdict v = proxy.forward_request(
+      "GET /?a=b 1.1/HTTP\r\nHost: h\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("GET /?a=b 1.1/HTTP HTTP/1.1\r\n"),
+            std::string::npos);
+}
+
+TEST(Forwarding, BlindForwardKeepsVersion) {
+  ParsePolicy p = strict_proxy();
+  p.accept_version_2x = true;
+  p.version_forwarding = VersionForwarding::kBlindForward;
+  ModelImplementation proxy(p);
+  ProxyVerdict v = proxy.forward_request(
+      "GET / HTTP/2.0\r\nHost: h\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("GET / HTTP/2.0\r\n"), std::string::npos);
+}
+
+TEST(Forwarding, ChunkedReencodedCanonically) {
+  ModelImplementation proxy(strict_proxy());
+  ProxyVerdict v = proxy.forward_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "1\r\na\r\n2\r\nbc\r\n0\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("3\r\nabc\r\n0\r\n\r\n"), std::string::npos);
+}
+
+TEST(Forwarding, DechunkDownstreamEmitsContentLength) {
+  ParsePolicy p = strict_proxy();
+  p.dechunk_downstream = true;
+  ModelImplementation proxy(p);
+  ProxyVerdict v = proxy.forward_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_EQ(v.forwarded_bytes.find("Transfer-Encoding"), std::string::npos);
+  EXPECT_NE(v.forwarded_bytes.find("\r\n\r\nabc"), std::string::npos);
+}
+
+TEST(Forwarding, WrappedChunkRepairEmitsWrongSize) {
+  ParsePolicy p = strict_proxy();
+  p.chunk.wrapping_size = true;
+  p.chunk.wrap_bits = 32;
+  p.chunk.lenient_size_line = true;
+  p.chunk.require_crlf_after_data = false;
+  ModelImplementation proxy(p);
+  ProxyVerdict v = proxy.forward_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "100000000a\r\nabc\r\n0\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  // The repaired size ("a" = 10) does not match the data actually emitted —
+  // a strict downstream parser blocks on it.
+  std::size_t body_at = v.forwarded_bytes.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(v.forwarded_bytes.substr(body_at + 4, 3), "a\r\n");
+  ModelImplementation server(strict_server());
+  ServerVerdict sv = server.parse_request(v.forwarded_bytes);
+  EXPECT_TRUE(sv.incomplete || sv.status == 400);
+}
+
+TEST(Forwarding, TransparentModeCopiesRawHeaderLines) {
+  ParsePolicy p = strict_proxy();
+  p.normalize_headers_on_forward = false;
+  p.ws_before_colon = WsBeforeColon::kIgnoreHeader;
+  ModelImplementation proxy(p);
+  ProxyVerdict v = proxy.forward_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 5\r\n\r\nAAAAA");
+  ASSERT_TRUE(v.forwarded());
+  // The mangled line survives verbatim even though the proxy ignored it.
+  EXPECT_NE(v.forwarded_bytes.find("Content-Length : 5\r\n"),
+            std::string::npos);
+  // The proxy framed no body, so the payload bytes are NOT forwarded.
+  EXPECT_EQ(v.forwarded_bytes.find("AAAAA"), std::string::npos);
+}
+
+TEST(Forwarding, RejectionReportsStatus) {
+  ModelImplementation proxy(strict_proxy());
+  ProxyVerdict v = proxy.forward_request("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_FALSE(v.forwarded());
+  EXPECT_EQ(v.status, 400);
+}
+
+TEST(Forwarding, IncompleteRequestTimesOut) {
+  ModelImplementation proxy(strict_proxy());
+  ProxyVerdict v = proxy.forward_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 99\r\n\r\nshort");
+  EXPECT_FALSE(v.forwarded());
+  EXPECT_EQ(v.status, 408);
+  EXPECT_TRUE(v.incomplete);
+}
+
+TEST(Forwarding, NonProxyRefuses) {
+  ModelImplementation server(strict_server());
+  ProxyVerdict v = server.forward_request(kPlainGet);
+  EXPECT_EQ(v.status, 500);
+}
+
+TEST(Forwarding, CacheKeyCombinesHostAndTarget) {
+  ModelImplementation proxy(strict_proxy());
+  ProxyVerdict v = proxy.forward_request(kPlainGet);
+  EXPECT_EQ(v.cache_key, "h1.com|/?a=1");
+}
+
+}  // namespace
+}  // namespace hdiff::impls

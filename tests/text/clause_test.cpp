@@ -1,0 +1,114 @@
+#include "text/clause.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::text {
+namespace {
+
+TEST(ClauseSplit, NoCoordinationYieldsWholeSentence) {
+  auto clauses = split_clauses("A server MUST reject the message");
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0].text, "A server MUST reject the message");
+}
+
+TEST(ClauseSplit, CoordinatedRequirements) {
+  auto clauses = split_clauses(
+      "The server MUST reject the message or MUST close the connection");
+  ASSERT_EQ(clauses.size(), 2u);
+  EXPECT_NE(clauses[0].text.find("reject"), std::string::npos);
+  EXPECT_NE(clauses[1].text.find("close"), std::string::npos);
+}
+
+TEST(ClauseSplit, ElidedSubjectInherited) {
+  auto clauses = split_clauses(
+      "The server MUST reject the message and MUST close the connection");
+  ASSERT_EQ(clauses.size(), 2u);
+  ASSERT_TRUE(clauses[1].inherited_subject);
+  EXPECT_EQ(*clauses[1].inherited_subject, "server");
+}
+
+TEST(ClauseSplit, SemicolonSplits) {
+  auto clauses = split_clauses(
+      "the body length cannot be determined reliably; the server MUST "
+      "respond with the 400 status code");
+  ASSERT_EQ(clauses.size(), 2u);
+  EXPECT_NE(clauses[1].text.find("400"), std::string::npos);
+}
+
+TEST(Referents, DetectsDeterminerNounPairs) {
+  auto refs = find_referents("A recipient MUST treat such request as invalid");
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].noun, "request");
+  EXPECT_EQ(refs[0].phrase, "such request");
+}
+
+TEST(Referents, PluralFolding) {
+  auto refs = find_referents("Servers MUST ignore these fields entirely");
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].noun, "field");
+}
+
+TEST(Referents, NoFalsePositivesOnPlainDeterminers) {
+  EXPECT_TRUE(find_referents("The server MUST reject everything").empty());
+}
+
+std::vector<Sentence> doc(std::initializer_list<const char*> texts) {
+  std::vector<Sentence> out;
+  std::size_t i = 0;
+  for (const char* t : texts) out.push_back(Sentence{t, i++});
+  return out;
+}
+
+TEST(Anaphora, ForwardSearchFindsDefiningMention) {
+  auto d = doc({
+      "A request is received with both a Transfer-Encoding and a "
+      "Content-Length header field sometimes.",
+      "Unrelated sentence about something else entirely.",
+      "Such request ought to be handled as an error.",
+  });
+  Referent ref{"such request", "request", 0};
+  auto resolved = resolve_referent(d, 2, ref);
+  ASSERT_TRUE(resolved);
+  EXPECT_NE(resolved->find("Transfer-Encoding"), std::string::npos);
+}
+
+TEST(Anaphora, WindowBoundsSearch) {
+  auto d = doc({
+      "A request is defined early in the document right here.",
+      "Filler sentence one follows now.", "Filler sentence two follows now.",
+      "Filler sentence three follows now.", "Filler four follows now.",
+      "Filler five follows now.",
+      "Such request ought to be rejected immediately.",
+  });
+  Referent ref{"such request", "request", 0};
+  EXPECT_FALSE(resolve_referent(d, 6, ref, /*window=*/5));
+  EXPECT_TRUE(resolve_referent(d, 6, ref, /*window=*/6));
+}
+
+TEST(Anaphora, SkipsOtherReferentUses) {
+  auto d = doc({
+      "Such request was already mentioned referentially before.",
+      "Such request ought to be rejected.",
+  });
+  Referent ref{"such request", "request", 0};
+  // The earlier sentence is itself a referent use, not a definition.
+  EXPECT_FALSE(resolve_referent(d, 1, ref));
+}
+
+TEST(Anaphora, MergeProducesCombinedContext) {
+  auto d = doc({
+      "A message is received with an invalid Content-Length header field.",
+      "Such message MUST be treated as an unrecoverable error.",
+  });
+  std::string merged = merge_referred_context(d, 1);
+  EXPECT_NE(merged.find("Content-Length"), std::string::npos);
+  EXPECT_NE(merged.find("unrecoverable"), std::string::npos);
+}
+
+TEST(Anaphora, NoReferentReturnsOriginal) {
+  auto d = doc({"A server MUST reject the message."});
+  EXPECT_EQ(merge_referred_context(d, 0), d[0].text);
+}
+
+}  // namespace
+}  // namespace hdiff::text

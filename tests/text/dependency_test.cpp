@@ -1,0 +1,110 @@
+#include "text/dependency.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::text {
+namespace {
+
+const Token& tok(const DepTree& t, std::size_t i) { return t.tokens[i]; }
+
+TEST(Dependency, FindsModalRootAndSubject) {
+  DepTree t = parse_dependencies("A server MUST reject the message");
+  ASSERT_TRUE(t.root);
+  EXPECT_EQ(tok(t, *t.root).lower, "reject");
+  auto subj = t.find_dep(*t.root, Rel::kNsubj);
+  ASSERT_TRUE(subj);
+  EXPECT_EQ(tok(t, *subj).lower, "server");
+  auto aux = t.find_dep(*t.root, Rel::kAux);
+  ASSERT_TRUE(aux);
+  EXPECT_EQ(tok(t, *aux).lower, "must");
+}
+
+TEST(Dependency, NegationAttached) {
+  DepTree t = parse_dependencies("A proxy MUST NOT forward the request");
+  ASSERT_TRUE(t.root);
+  EXPECT_EQ(tok(t, *t.root).lower, "forward");
+  EXPECT_TRUE(t.find_dep(*t.root, Rel::kNeg));
+}
+
+TEST(Dependency, DirectObject) {
+  DepTree t = parse_dependencies("The server MUST reject the request");
+  auto dobj = t.find_dep(*t.root, Rel::kDobj);
+  ASSERT_TRUE(dobj);
+  EXPECT_EQ(tok(t, *dobj).lower, "request");
+}
+
+TEST(Dependency, PrepositionalAttachment) {
+  DepTree t =
+      parse_dependencies("The server MUST respond with a 400 status code");
+  ASSERT_TRUE(t.root);
+  auto preps = t.deps(*t.root, Rel::kPrep);
+  ASSERT_FALSE(preps.empty());
+  auto pobj = t.find_dep(preps[0], Rel::kPobj);
+  ASSERT_TRUE(pobj);
+  EXPECT_EQ(tok(t, *pobj).lower, "400");
+}
+
+TEST(Dependency, ModalGroupPreferredAsRoot) {
+  // The relative-clause verb "receives" precedes the modal group; the root
+  // must still be the requirement verb.
+  DepTree t = parse_dependencies(
+      "A server that receives an obs-fold MUST reject the message");
+  ASSERT_TRUE(t.root);
+  EXPECT_EQ(tok(t, *t.root).lower, "reject");
+  auto subj = t.find_dep(*t.root, Rel::kNsubj);
+  ASSERT_TRUE(subj);
+  EXPECT_EQ(tok(t, *subj).lower, "server");
+}
+
+TEST(Dependency, PassiveGroupHeadIsLastVerb) {
+  DepTree t = parse_dependencies("Such a message ought to be handled as an error");
+  ASSERT_TRUE(t.root);
+  EXPECT_EQ(tok(t, *t.root).lower, "handled");
+}
+
+TEST(Dependency, CoordinationProducesConjArcs) {
+  DepTree t = parse_dependencies(
+      "The server MUST reject the message or MUST close the connection");
+  ASSERT_TRUE(t.root);
+  bool has_cc = false, has_conj = false;
+  for (const auto& arc : t.arcs) {
+    if (arc.rel == Rel::kCc) has_cc = true;
+    if (arc.rel == Rel::kConj) has_conj = true;
+  }
+  EXPECT_TRUE(has_cc);
+  EXPECT_TRUE(has_conj);
+}
+
+TEST(Dependency, DeterminerAndAdjectiveAttachments) {
+  DepTree t = parse_dependencies("An invalid value MUST be rejected");
+  bool has_det = false, has_amod = false;
+  for (const auto& arc : t.arcs) {
+    if (arc.rel == Rel::kDet && tok(t, arc.dep).lower == "an") has_det = true;
+    if (arc.rel == Rel::kAmod && tok(t, arc.dep).lower == "invalid") {
+      has_amod = true;
+    }
+  }
+  EXPECT_TRUE(has_det);
+  EXPECT_TRUE(has_amod);
+}
+
+TEST(Dependency, NominalSentenceGetsNounRoot) {
+  DepTree t = parse_dependencies("No verb here whatsoever");
+  ASSERT_TRUE(t.root);
+}
+
+TEST(Dependency, EmptyInput) {
+  DepTree t = parse_dependencies("");
+  EXPECT_FALSE(t.root);
+  EXPECT_TRUE(t.arcs.empty());
+}
+
+TEST(Dependency, DebugRenderingMentionsRelations) {
+  DepTree t = parse_dependencies("A server MUST reject the message");
+  std::string dbg = t.to_debug_string();
+  EXPECT_NE(dbg.find("nsubj(reject, server)"), std::string::npos);
+  EXPECT_NE(dbg.find("aux(reject, MUST)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdiff::text

@@ -1,0 +1,179 @@
+#include "text/entailment.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::text {
+namespace {
+
+std::set<std::string> http_fields() {
+  return {"host", "content-length", "transfer-encoding", "expect",
+          "connection", "http-version"};
+}
+
+TEST(Roles, WordMapping) {
+  EXPECT_EQ(role_from_word("server"), Role::kServer);
+  EXPECT_EQ(role_from_word("Proxies"), Role::kProxy);
+  EXPECT_EQ(role_from_word("recipient"), Role::kRecipient);
+  EXPECT_EQ(role_from_word("widget"), Role::kUnknown);
+}
+
+TEST(Roles, CoverageHierarchy) {
+  EXPECT_TRUE(role_covers(Role::kRecipient, Role::kServer));
+  EXPECT_TRUE(role_covers(Role::kRecipient, Role::kProxy));
+  EXPECT_TRUE(role_covers(Role::kSender, Role::kClient));
+  EXPECT_TRUE(role_covers(Role::kIntermediary, Role::kProxy));
+  EXPECT_FALSE(role_covers(Role::kServer, Role::kClient));
+  EXPECT_FALSE(role_covers(Role::kClient, Role::kServer));
+  EXPECT_TRUE(role_covers(Role::kServer, Role::kOrigin));
+}
+
+TEST(Actions, VerbNormalization) {
+  EXPECT_EQ(action_from_verb("reject"), Action::kReject);
+  EXPECT_EQ(action_from_verb("rejects"), Action::kReject);
+  EXPECT_EQ(action_from_verb("rejected"), Action::kReject);
+  EXPECT_EQ(action_from_verb("forwarding"), Action::kForward);
+  EXPECT_EQ(action_from_verb("responds"), Action::kRespond);
+  EXPECT_EQ(action_from_verb("discarded"), Action::kReject);
+  EXPECT_EQ(action_from_verb("includes"), Action::kContain);
+  EXPECT_EQ(action_from_verb("xyzzy"), Action::kUnknown);
+}
+
+TEST(ExtractFacts, FullRequirementSentence) {
+  PremiseFacts f = extract_facts(
+      "A server MUST respond with a 400 status code to any request that "
+      "contains more than one Host header field",
+      http_fields());
+  EXPECT_EQ(f.role, Role::kServer);
+  EXPECT_EQ(f.action, Action::kRespond);
+  EXPECT_FALSE(f.negated);
+  EXPECT_GE(f.modal_strength, 0.9);
+  ASSERT_FALSE(f.status_codes.empty());
+  EXPECT_EQ(f.status_codes[0], 400);
+  ASSERT_FALSE(f.fields.empty());
+  EXPECT_EQ(f.fields[0], "host");
+  EXPECT_TRUE(f.modifiers.contains("multiple"));
+}
+
+TEST(ExtractFacts, ProhibitionAndNegation) {
+  PremiseFacts f = extract_facts(
+      "A sender MUST NOT send a Content-Length header field in any message "
+      "that contains a Transfer-Encoding header field",
+      http_fields());
+  EXPECT_EQ(f.role, Role::kSender);
+  EXPECT_TRUE(f.negated);
+}
+
+TEST(ExtractFacts, LacksImpliesMissing) {
+  PremiseFacts f = extract_facts(
+      "A server MUST reject any HTTP/1.1 request message that lacks a Host "
+      "header field",
+      http_fields());
+  EXPECT_TRUE(f.modifiers.contains("missing"));
+}
+
+TEST(ExtractFacts, WhitespaceModifier) {
+  PremiseFacts f = extract_facts(
+      "A server MUST reject any message that contains whitespace between a "
+      "header field-name and colon",
+      http_fields());
+  EXPECT_TRUE(f.modifiers.contains("whitespace"));
+}
+
+TEST(ExtractFacts, VersionAlias) {
+  PremiseFacts f = extract_facts(
+      "The intermediary MUST send its own HTTP version in forwarded messages",
+      http_fields());
+  bool has_version = false;
+  for (const auto& field : f.fields) {
+    if (field == "http-version") has_version = true;
+  }
+  EXPECT_TRUE(has_version);
+}
+
+TEST(Entailment, PositiveCase) {
+  EntailmentEngine engine;
+  Hypothesis h;
+  h.role = Role::kServer;
+  h.action = Action::kRespond;
+  h.status_code = 400;
+  h.field = "host";
+  auto r = engine.entails(
+      "A server MUST respond with a 400 status code to any request message "
+      "that contains more than one Host header field",
+      h, http_fields());
+  EXPECT_TRUE(r.entailed);
+  EXPECT_DOUBLE_EQ(r.confidence, 1.0);
+}
+
+TEST(Entailment, RoleMismatchBlocks) {
+  EntailmentEngine engine;
+  Hypothesis h;
+  h.role = Role::kClient;
+  h.action = Action::kRespond;
+  auto r = engine.entails("A server MUST respond with an error", h,
+                          http_fields());
+  EXPECT_FALSE(r.entailed);
+  ASSERT_FALSE(r.mismatches.empty());
+}
+
+TEST(Entailment, PolarityMismatchBlocks) {
+  EntailmentEngine engine;
+  Hypothesis h;
+  h.role = Role::kProxy;
+  h.action = Action::kForward;
+  h.negated = false;
+  auto r = engine.entails("A proxy MUST NOT forward the message", h,
+                          http_fields());
+  EXPECT_FALSE(r.entailed);
+
+  h.negated = true;
+  r = engine.entails("A proxy MUST NOT forward the message", h, http_fields());
+  EXPECT_TRUE(r.entailed);
+}
+
+TEST(Entailment, WeakLanguageBlocks) {
+  EntailmentEngine engine;
+  Hypothesis h;
+  h.role = Role::kServer;
+  h.action = Action::kAccept;
+  auto r = engine.entails("A server typically accepts such requests", h,
+                          http_fields());
+  EXPECT_FALSE(r.entailed);
+}
+
+TEST(Entailment, RecipientCoversServerHypothesis) {
+  EntailmentEngine engine;
+  Hypothesis h;
+  h.role = Role::kServer;
+  h.action = Action::kTreat;
+  auto r = engine.entails(
+      "The recipient MUST treat the message framing as invalid", h,
+      http_fields());
+  EXPECT_TRUE(r.entailed);
+}
+
+TEST(Entailment, MessageDescriptionHypothesis) {
+  EntailmentEngine engine;
+  Hypothesis h;
+  h.field = "content-length";
+  h.modifier = "invalid";
+  auto r = engine.entails(
+      "a message that contains a single Content-Length header field having "
+      "an invalid value MUST be rejected",
+      h, http_fields());
+  EXPECT_TRUE(r.entailed);
+}
+
+TEST(Entailment, HypothesisToString) {
+  Hypothesis h;
+  h.role = Role::kServer;
+  h.action = Action::kRespond;
+  h.status_code = 400;
+  h.label = "act:server:respond-400";
+  std::string s = h.to_string();
+  EXPECT_NE(s.find("server"), std::string::npos);
+  EXPECT_NE(s.find("400"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdiff::text

@@ -1,0 +1,86 @@
+#include "text/sentence.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::text {
+namespace {
+
+TEST(Normalize, CollapsesWhitespace) {
+  EXPECT_EQ(normalize_whitespace("  a\n   b\t\tc  "), "a b c");
+  EXPECT_EQ(normalize_whitespace(""), "");
+}
+
+TEST(CountWords, Counts) {
+  EXPECT_EQ(count_words("one two  three"), 3u);
+  EXPECT_EQ(count_words(""), 0u);
+  EXPECT_EQ(count_words("   "), 0u);
+}
+
+TEST(SplitSentences, BasicBoundaries) {
+  auto s = split_sentences(
+      "A server MUST reject the message. A proxy MAY forward it. Is it done?");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].text, "A server MUST reject the message.");
+  EXPECT_EQ(s[1].text, "A proxy MAY forward it.");
+  EXPECT_EQ(s[2].index, 2u);
+}
+
+TEST(SplitSentences, ProtectsAbbreviations) {
+  auto s = split_sentences(
+      "Some fields (e.g. Host and Expect) are special. Others are not here.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NE(s[0].text.find("Host"), std::string::npos);
+}
+
+TEST(SplitSentences, ProtectsVersionNumbers) {
+  auto s = split_sentences(
+      "HTTP/1.1 requests require a Host field as defined in Section 3.2.2 "
+      "of the specification. The next sentence starts here now.");
+  ASSERT_EQ(s.size(), 2u);
+}
+
+TEST(SplitSentences, DropsShortFragments) {
+  auto s = split_sentences("Heading. A real sentence with many words here.");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NE(s[0].text.find("real sentence"), std::string::npos);
+}
+
+TEST(SplitSentences, HardWrappedProse) {
+  auto s = split_sentences(
+      "A sender MUST NOT generate multiple header\n"
+      "   fields with the same field name in a\n"
+      "   message.  Another sentence follows here.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].text,
+            "A sender MUST NOT generate multiple header fields with the same "
+            "field name in a message.");
+}
+
+TEST(SplitSentences, TrailingTextWithoutPeriod) {
+  auto s = split_sentences("An unterminated final sentence lives here");
+  ASSERT_EQ(s.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hdiff::text
+
+namespace hdiff::text {
+namespace {
+
+TEST(GrammarFilter, FlagsAbnfFragments) {
+  EXPECT_TRUE(looks_like_grammar("OWS = *( SP / HTAB ) ; optional"));
+  EXPECT_TRUE(looks_like_grammar("methods =/ \"PATCH\""));
+  EXPECT_TRUE(looks_like_grammar(
+      "token = 1*tchar tchar = %x21 / %x23-27 ; any VCHAR"));
+}
+
+TEST(GrammarFilter, KeepsRequirementProse) {
+  EXPECT_FALSE(looks_like_grammar(
+      "A server MUST respond with a 400 status code to any request."));
+  EXPECT_FALSE(looks_like_grammar(
+      "The presence of a message body is signaled by a Content-Length or "
+      "Transfer-Encoding header field."));
+}
+
+}  // namespace
+}  // namespace hdiff::text

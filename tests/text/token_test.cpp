@@ -1,0 +1,86 @@
+#include "text/token.h"
+
+#include <gtest/gtest.h>
+
+namespace hdiff::text {
+namespace {
+
+Pos pos_of(const std::vector<Token>& toks, std::string_view word) {
+  for (const auto& t : toks) {
+    if (t.text == word) return t.pos;
+  }
+  ADD_FAILURE() << "token not found: " << word;
+  return Pos::kOther;
+}
+
+TEST(Tokenize, KeepsProtocolTokensIntact) {
+  auto toks = tokenize("The Transfer-Encoding header and HTTP/1.1 version.");
+  bool te = false, version = false;
+  for (const auto& t : toks) {
+    if (t.text == "Transfer-Encoding") te = true;
+    if (t.text == "HTTP/1.1") version = true;
+  }
+  EXPECT_TRUE(te);
+  EXPECT_TRUE(version);
+}
+
+TEST(Tokenize, SentencePeriodDetached) {
+  auto toks = tokenize("reject the message.");
+  EXPECT_EQ(toks.back().text, ".");
+  EXPECT_EQ(toks[toks.size() - 2].text, "message");
+}
+
+TEST(Tokenize, QuotedLiteralIsOneSymbol) {
+  auto toks = tokenize("the value \"chunked, identity\" is obsolete");
+  bool found = false;
+  for (const auto& t : toks) {
+    if (t.pos == Pos::kSymbol && t.text == "\"chunked, identity\"") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tokenize, OffsetsPointIntoSource) {
+  std::string s = "A server MUST reject";
+  auto toks = tokenize(s);
+  for (const auto& t : toks) {
+    ASSERT_LE(t.offset + t.text.size(), s.size() + 1);
+    EXPECT_EQ(s.substr(t.offset, t.text.size()), t.text);
+  }
+}
+
+TEST(TagPos, ModalsAndRoles) {
+  auto toks = analyze("A server MUST NOT forward the invalid message");
+  EXPECT_EQ(pos_of(toks, "MUST"), Pos::kModal);
+  EXPECT_EQ(pos_of(toks, "server"), Pos::kNoun);
+  EXPECT_EQ(pos_of(toks, "forward"), Pos::kVerb);
+  EXPECT_EQ(pos_of(toks, "invalid"), Pos::kAdj);
+  EXPECT_EQ(pos_of(toks, "A"), Pos::kDet);
+  EXPECT_EQ(pos_of(toks, "NOT"), Pos::kAdv);
+}
+
+TEST(TagPos, SuffixHeuristics) {
+  auto toks = analyze("the transformation quickly preceding validation");
+  EXPECT_EQ(pos_of(toks, "transformation"), Pos::kNoun);
+  EXPECT_EQ(pos_of(toks, "quickly"), Pos::kAdv);
+}
+
+TEST(TagPos, NumbersAndVersions) {
+  auto toks = analyze("respond with a 400 status code to HTTP/1.1 requests");
+  EXPECT_EQ(pos_of(toks, "400"), Pos::kNum);
+}
+
+TEST(TagPos, MidSentenceCapitalsAreProperNouns) {
+  auto toks = analyze("the Host header field");
+  EXPECT_EQ(pos_of(toks, "Host"), Pos::kProperNoun);
+}
+
+TEST(TagPos, ConjunctionsAndSubordinators) {
+  auto toks = analyze("reject it and close, unless the value is valid");
+  EXPECT_EQ(pos_of(toks, "and"), Pos::kConj);
+  EXPECT_EQ(pos_of(toks, "unless"), Pos::kSubConj);
+}
+
+}  // namespace
+}  // namespace hdiff::text

@@ -1,0 +1,245 @@
+// hdiff — command-line front end to the framework.
+//
+//   hdiff analyze [rfc7230 ...]        documentation-analyzer summary
+//   hdiff srs [rfc7230 ...]            list extracted specification reqs
+//   hdiff generate [--out FILE]        generate the test corpus (JSON)
+//   hdiff run [--corpus FILE] [--json FILE]
+//                                      full differential run; optionally
+//                                      replay a saved corpus / export JSON
+//   hdiff audit FRONT BACK             audit one proxy/origin combination
+//   hdiff parse IMPL                   parse one raw request from stdin
+//                                      under IMPL's model and show HMetrics
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/export.h"
+#include "core/hmetrics.h"
+#include "corpus/registry.h"
+#include "core/hdiff.h"
+#include "core/probes.h"
+#include "impls/products.h"
+#include "report/table.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hdiff <command> [args]\n"
+      "  analyze [docs...]            analyzer summary (default: core six)\n"
+      "  srs [docs...]                list extracted SRs\n"
+      "  generate [--out FILE]        write the generated corpus as JSON\n"
+      "  run [--corpus FILE] [--json FILE]\n"
+      "                               full differential run\n"
+      "  audit FRONT BACK             audit one proxy/origin pair\n"
+      "  parse IMPL                   parse stdin as IMPL (server model)\n");
+  return 2;
+}
+
+std::vector<std::string_view> doc_args(int argc, char** argv, int from) {
+  std::vector<std::string_view> docs;
+  for (int i = from; i < argc; ++i) docs.emplace_back(argv[i]);
+  return docs;
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+int cmd_analyze(int argc, char** argv) {
+  hdiff::core::DocumentationAnalyzer analyzer;
+  auto docs = doc_args(argc, argv, 2);
+  auto result = analyzer.analyze(
+      docs.empty() ? hdiff::corpus::http_core_documents() : docs);
+  hdiff::report::Table t({"metric", "value"});
+  t.add_row({"corpus words", std::to_string(result.total_words)});
+  t.add_row({"valid sentences", std::to_string(result.total_sentences)});
+  t.add_row({"specification requirements", std::to_string(result.srs.size())});
+  t.add_row({"converted SR instances",
+             std::to_string(result.converted_sr_count)});
+  t.add_row({"ABNF rules (adapted)", std::to_string(result.grammar.size())});
+  t.add_row({"ABNF candidates parsed",
+             std::to_string(result.abnf_stats.parsed_rules)});
+  t.add_row({"prose rules resolved",
+             std::to_string(result.adapt_report.resolved_prose.size())});
+  t.add_row({"unresolved references",
+             std::to_string(result.adapt_report.unresolved.size())});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_srs(int argc, char** argv) {
+  hdiff::core::DocumentationAnalyzer analyzer;
+  auto docs = doc_args(argc, argv, 2);
+  auto result = analyzer.analyze(
+      docs.empty() ? hdiff::corpus::http_core_documents() : docs);
+  for (const auto& sr : result.srs) {
+    std::printf("%s  [%.2f %s]  %s\n", sr.id.c_str(), sr.sentiment,
+                std::string(to_string(sr.polarity)).c_str(),
+                sr.sentence.c_str());
+    for (const auto& conv : sr.conversions) {
+      std::printf("    -> %s\n", conv.hypothesis.to_string().c_str());
+    }
+  }
+  std::printf("%zu SRs, %zu conversions\n", result.srs.size(),
+              result.converted_sr_count);
+  return 0;
+}
+
+int cmd_generate(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+  hdiff::core::DocumentationAnalyzer analyzer;
+  auto analysis = analyzer.analyze(hdiff::corpus::http_core_documents());
+  hdiff::core::SrTranslator translator(analysis.grammar);
+  auto cases = translator.translate_all(analysis.srs);
+  hdiff::core::AbnfTestGen abnf_gen(analysis.grammar);
+  auto abnf_cases = abnf_gen.generate();
+  auto probes = hdiff::core::verification_probes();
+  cases.insert(cases.end(), std::make_move_iterator(abnf_cases.begin()),
+               std::make_move_iterator(abnf_cases.end()));
+  cases.insert(cases.end(), std::make_move_iterator(probes.begin()),
+               std::make_move_iterator(probes.end()));
+  std::string json = hdiff::core::export_test_cases_json(cases);
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else if (!write_file(out_path, json)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  } else {
+    std::printf("wrote %zu test cases to %s\n", cases.size(),
+                out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  std::string corpus_path, json_path;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--corpus") == 0) corpus_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  hdiff::core::PipelineResult result;
+  if (!corpus_path.empty()) {
+    // Replay a saved corpus instead of regenerating (§V: "we can reuse the
+    // test cases for discovering vulnerabilities in more implementations").
+    std::ifstream in(corpus_path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<hdiff::core::TestCase> cases;
+    if (!in || !hdiff::core::import_test_cases_json(buffer.str(), &cases)) {
+      std::fprintf(stderr, "cannot read corpus %s\n", corpus_path.c_str());
+      return 1;
+    }
+    auto fleet = hdiff::impls::make_all_implementations();
+    auto chain = hdiff::net::Chain::from_fleet(fleet);
+    hdiff::core::DetectionEngine engine;
+    for (const auto& tc : cases) {
+      hdiff::core::DetectionEngine::accumulate(
+          result.findings, engine.evaluate(tc, chain.observe(tc.uuid, tc.raw)));
+    }
+    result.executed_cases = std::move(cases);
+    result.matrix =
+        hdiff::core::build_matrix(result.findings, result.executed_cases);
+  } else {
+    hdiff::core::Pipeline pipeline;
+    result = pipeline.run();
+  }
+
+  hdiff::report::Table t({"product", "HRS", "HoT", "CPDoS"});
+  for (const auto& [name, row] : result.matrix.by_impl) {
+    t.add_row({name, row.hrs ? "x" : ".", row.hot ? "x" : ".",
+               row.cpdos ? "x" : "."});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("%zu violations, %zu pairs (HoT %zu), %zu executed cases\n",
+              result.findings.violations.size(), result.findings.pairs.size(),
+              result.matrix.hot_pairs.size(), result.executed_cases.size());
+
+  if (!json_path.empty()) {
+    if (!write_file(json_path, hdiff::core::export_json(result))) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("findings exported to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_audit(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto front = hdiff::impls::make_implementation(argv[2]);
+  auto back = hdiff::impls::make_implementation(argv[3]);
+  if (!front || !back || !front->is_proxy() || !back->is_server()) {
+    std::fprintf(stderr, "unknown pair %s -> %s\n", argv[2], argv[3]);
+    return 1;
+  }
+  hdiff::net::Chain chain({front.get()}, {back.get()});
+  hdiff::core::DetectionEngine engine;
+  hdiff::core::DetectionResult total;
+  for (const auto& tc : hdiff::core::verification_probes()) {
+    hdiff::core::DetectionEngine::accumulate(
+        total, engine.evaluate(tc, chain.observe(tc.uuid, tc.raw)));
+  }
+  bool any = false;
+  for (const auto& p : total.pairs) {
+    std::printf("[%s] %s->%s: %s\n", std::string(to_string(p.attack)).c_str(),
+                p.front.c_str(), p.back.c_str(), p.detail.c_str());
+    any = true;
+  }
+  if (!any) std::printf("no pair-level findings\n");
+  return any ? 3 : 0;  // nonzero exit when exposed, for CI gating
+}
+
+int cmd_parse(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto impl = hdiff::impls::make_implementation(argv[2]);
+  if (!impl) {
+    std::fprintf(stderr, "unknown implementation %s\n", argv[2]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << std::cin.rdbuf();
+  std::string raw = buffer.str();
+  auto verdict = impl->parse_request(raw);
+  auto metrics = hdiff::core::from_verdict("stdin", verdict,
+                                           hdiff::core::Stage::kDirect);
+  std::printf("%s\n", to_string(metrics).c_str());
+  if (!verdict.reason.empty()) {
+    std::printf("reason: %s\n", verdict.reason.c_str());
+  }
+  if (impl->is_proxy()) {
+    auto pv = impl->forward_request(raw);
+    if (pv.forwarded()) {
+      std::printf("-- as proxy, would forward %zu bytes --\n%s\n",
+                  pv.forwarded_bytes.size(), pv.forwarded_bytes.c_str());
+    } else {
+      std::printf("-- as proxy: rejects with %d --\n", pv.status);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string_view cmd = argv[1];
+  if (cmd == "analyze") return cmd_analyze(argc, argv);
+  if (cmd == "srs") return cmd_srs(argc, argv);
+  if (cmd == "generate") return cmd_generate(argc, argv);
+  if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "audit") return cmd_audit(argc, argv);
+  if (cmd == "parse") return cmd_parse(argc, argv);
+  return usage();
+}
