@@ -5,6 +5,8 @@
 #include "abnf/generator.h"
 #include "abnf/parser.h"
 #include "core/analyzer.h"
+#include "core/executor.h"
+#include "core/hdiff.h"
 #include "corpus/registry.h"
 #include "http/lexer.h"
 #include "impls/products.h"
@@ -49,6 +51,50 @@ void BM_ChainObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChainObserve);
+
+/// The standard case mix (probes + SR translations + ABNF cases) exactly as
+/// the default pipeline executes it, generated once and shared by all
+/// BM_DifferentialEngine variants.
+const std::vector<hdiff::core::TestCase>& standard_case_mix() {
+  static const std::vector<hdiff::core::TestCase> cases = [] {
+    hdiff::core::Pipeline pipeline{hdiff::core::PipelineConfig{}};
+    return pipeline.run().executed_cases;
+  }();
+  return cases;
+}
+
+/// Differential-engine throughput: observe + evaluate + accumulate over the
+/// standard case mix.  Args are {jobs, memoize}; {1, 0} is the seed's serial
+/// every-case-from-scratch loop.  The executor (and thus both caches) is
+/// constructed inside the timed loop, so every iteration starts cold —
+/// hit-rate counters report the steady single-run value.
+void BM_DifferentialEngine(benchmark::State& state) {
+  const auto& cases = standard_case_mix();
+  auto fleet = hdiff::impls::make_all_implementations();
+  auto chain = hdiff::net::Chain::from_fleet(fleet);
+  hdiff::core::ExecutorConfig config;
+  config.jobs = static_cast<std::size_t>(state.range(0));
+  config.memoize = state.range(1) != 0;
+  hdiff::core::ExecutorStats stats;
+  for (auto _ : state) {
+    hdiff::core::ParallelExecutor executor(config);
+    benchmark::DoNotOptimize(executor.run(chain, cases, &stats));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cases.size()));
+  state.counters["cases"] = static_cast<double>(cases.size());
+  state.counters["memo_hit_rate"] = stats.memo_hit_rate();
+  state.counters["verdict_hit_rate"] = stats.verdict_hit_rate();
+}
+BENCHMARK(BM_DifferentialEngine)
+    ->Args({1, 0})  // seed path: serial, no caches
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->UseRealTime()  // count worker threads' time; CPU time only sees main
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AbnfExtract(benchmark::State& state) {
   const auto* doc = hdiff::corpus::find_document("rfc7230");

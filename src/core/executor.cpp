@@ -1,0 +1,165 @@
+#include "core/executor.h"
+
+#include <thread>
+#include <utility>
+
+namespace hdiff::core {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+const net::ChainObservation* ObservationMemo::find(std::string_view raw) {
+  const std::uint64_t hash = hasher_(raw);
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.buckets.find(hash);
+  if (it != shard.buckets.end()) {
+    for (const Entry& entry : it->second) {
+      if (entry.raw == raw) {  // full-byte confirm: collisions cannot alias
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return entry.obs.get();
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+const net::ChainObservation* ObservationMemo::insert(std::string_view raw,
+                                                     net::ChainObservation obs) {
+  const std::uint64_t hash = hasher_(raw);
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<Entry>& bucket = shard.buckets[hash];
+  for (const Entry& entry : bucket) {
+    if (entry.raw == raw) return entry.obs.get();  // racing worker won
+  }
+  bucket.push_back(Entry{
+      std::string(raw),
+      std::make_unique<net::ChainObservation>(std::move(obs))});
+  return bucket.back().obs.get();
+}
+
+std::size_t ObservationMemo::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [hash, bucket] : shard.buckets) total += bucket.size();
+  }
+  return total;
+}
+
+ParallelExecutor::ParallelExecutor(ExecutorConfig config) : config_(config) {}
+
+std::size_t ParallelExecutor::resolve_jobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+DetectionResult ParallelExecutor::run(const net::Chain& chain,
+                                      const std::vector<TestCase>& cases,
+                                      ExecutorStats* stats) const {
+  const std::size_t jobs = resolve_jobs(config_.jobs);
+  DetectionEngine engine;  // stateless; shared by all workers
+  DetectionResult total;
+  ExecutorStats local;
+  local.jobs = jobs;
+  local.cases = cases.size();
+
+  ObservationMemo memo;
+  net::VerdictCache verdicts;
+  ObservationMemo* memo_p = config_.memoize ? &memo : nullptr;
+  net::VerdictCache* verdicts_p = config_.memoize ? &verdicts : nullptr;
+
+  // Observe-and-evaluate for one case.  Memo hits (and freshly inserted
+  // entries) are evaluated in place — detection reads only the verdict
+  // maps, so no copy or uuid patching is needed.
+  const auto evaluate_case = [&](const TestCase& tc,
+                                 net::EchoServer& echo) -> DetectionResult {
+    if (memo_p) {
+      if (const net::ChainObservation* cached = memo_p->find(tc.raw)) {
+        // Keep the echo log faithful: a duplicate case still produces the
+        // same forwards on the wire.
+        for (const auto& [proxy, v] : cached->proxies) {
+          if (v.forwarded()) echo.record(tc.uuid, proxy, v.forwarded_bytes);
+        }
+        return engine.evaluate(tc, *cached);
+      }
+      const net::ChainObservation* stored = memo_p->insert(
+          tc.raw, chain.observe(tc.uuid, tc.raw, &echo, verdicts_p));
+      return engine.evaluate(tc, *stored);
+    }
+    return engine.evaluate(tc, chain.observe(tc.uuid, tc.raw, &echo));
+  };
+
+  const auto finish = [&](std::size_t echo_records, std::size_t echo_dropped) {
+    local.memo_hits = memo.hits();
+    local.memo_misses = memo.misses();
+    const net::VerdictCache::Stats vs = verdicts.stats();
+    local.verdict_hits = vs.hits;
+    local.verdict_misses = vs.misses;
+    local.echo_records = echo_records;
+    local.echo_dropped = echo_dropped;
+    if (stats) *stats = local;
+  };
+
+  if (jobs <= 1) {
+    // Serial path: with memoization off this is exactly the seed's loop in
+    // `Pipeline::run` — same calls, same order, no pool.
+    net::EchoServer echo(config_.echo_max_records);
+    for (const auto& tc : cases) {
+      DetectionEngine::accumulate(total, evaluate_case(tc, echo));
+    }
+    finish(echo.log().size(), echo.dropped());
+    return total;
+  }
+
+  // Parallel path: workers claim case indices from a shared counter and
+  // write per-case deltas; the merge then replays the deltas in index order,
+  // so dedupe-by-first-occurrence in `accumulate` resolves exactly as the
+  // serial loop would, independent of scheduling.
+  std::vector<DetectionResult> deltas(cases.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::unique_ptr<net::EchoServer>> echoes;
+  echoes.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    echoes.push_back(
+        std::make_unique<net::EchoServer>(config_.echo_max_records));
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back([&, w] {
+      net::EchoServer& echo = *echoes[w];
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= cases.size()) break;
+        deltas[i] = evaluate_case(cases[i], echo);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  for (const DetectionResult& delta : deltas) {
+    DetectionEngine::accumulate(total, delta);
+  }
+
+  std::size_t echo_records = 0;
+  std::size_t echo_dropped = 0;
+  for (const auto& echo : echoes) {
+    echo_records += echo->log().size();
+    echo_dropped += echo->dropped();
+  }
+  finish(echo_records, echo_dropped);
+  return total;
+}
+
+}  // namespace hdiff::core

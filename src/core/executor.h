@@ -1,0 +1,152 @@
+// Parallel differential-testing executor — the hot loop of Figure 6.
+//
+// Step 3 of the paper's workflow fires every test case at every proxy and
+// replays every forward into every back-end.  Each case is independent, so
+// the stage is embarrassingly parallel; the seed ran it as a single-threaded
+// loop in `Pipeline::run`.  `ParallelExecutor` shards the case list across a
+// fixed-size worker pool (each worker with its own `net::EchoServer` and its
+// own per-case `DetectionResult` deltas) and merges the deltas in stable
+// case-index order, so the accumulated result is bit-identical to the serial
+// run regardless of thread scheduling.
+//
+// Underneath sits a two-level observation memo:
+//   * `ObservationMemo` — whole-case level.  ABNF generation emits many
+//     byte-identical raw requests; the first observation of a given byte
+//     string is cached and reused (uuid patched) for every later duplicate.
+//   * `net::VerdictCache` — model-call level, shared with the chain.  It
+//     catches the far larger redundancy the case-level memo cannot see:
+//     distinct raw requests whose *forwarded* bytes collapse after proxy
+//     normalization, and the per-(proxy, back-end) respond/relay calls the
+//     seed chain recomputed for byte-identical forwards.
+// Both caches key on full input bytes (hash + full-byte compare), memoize
+// only deterministic `const` calls, and therefore never change findings —
+// the determinism test asserts this over the whole pipeline.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/detect.h"
+#include "core/testcase.h"
+#include "net/chain.h"
+
+namespace hdiff::core {
+
+/// FNV-1a over the raw bytes; the memo's default hash.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Cross-case observation cache keyed by raw request bytes.  A hash picks
+/// the bucket; entries within a bucket are confirmed by full-byte
+/// comparison, so distinct byte strings can never alias even under hash
+/// collision.  Entries are heap-allocated and never evicted, so pointers
+/// returned by `find` stay valid for the memo's lifetime.  Internally
+/// synchronized (sharded locks); hit/miss counters are exact.
+class ObservationMemo {
+ public:
+  using Hasher = std::uint64_t (*)(std::string_view) noexcept;
+
+  /// `hasher` is injectable for collision testing; production uses FNV-1a.
+  explicit ObservationMemo(Hasher hasher = &fnv1a64) : hasher_(hasher) {}
+
+  /// Returns the cached observation for `raw`, or nullptr and counts a
+  /// miss.  The entry's `uuid` is the first observer's; detection only
+  /// reads the verdict maps, so callers evaluating against a cached entry
+  /// need no per-case patching.
+  const net::ChainObservation* find(std::string_view raw);
+
+  /// Caches `obs` as the observation for `raw` and returns the stored
+  /// entry.  First insert for a given byte string wins; a racing worker's
+  /// later insert is discarded (the earlier, identical entry is returned).
+  const net::ChainObservation* insert(std::string_view raw,
+                                      net::ChainObservation obs);
+
+  std::size_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::size_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string raw;
+    std::unique_ptr<net::ChainObservation> obs;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_for(std::uint64_t hash) { return shards_[hash % kShards]; }
+
+  Hasher hasher_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+struct ExecutorConfig {
+  /// Worker threads; 0 = hardware_concurrency().  `jobs = 1` runs the exact
+  /// pre-executor serial loop in the calling thread (no pool is spawned).
+  std::size_t jobs = 0;
+  /// Enable the observation memo and verdict cache.  Disabling reproduces
+  /// the seed's every-case-from-scratch behaviour; findings are identical
+  /// either way.
+  bool memoize = true;
+  /// `max_records` bound for each worker's EchoServer (0 = unbounded).
+  /// Keeps resident memory flat at 92k-case scale.
+  std::size_t echo_max_records = 4096;
+};
+
+struct ExecutorStats {
+  std::size_t jobs = 0;           ///< workers actually used
+  std::size_t cases = 0;          ///< test cases executed
+  std::size_t memo_hits = 0;      ///< whole-case observation reuses
+  std::size_t memo_misses = 0;
+  std::size_t verdict_hits = 0;   ///< individual model-call reuses
+  std::size_t verdict_misses = 0;
+  std::size_t echo_records = 0;   ///< forwards retained across worker echoes
+  std::size_t echo_dropped = 0;   ///< forwards dropped by the echo bound
+
+  double memo_hit_rate() const noexcept {
+    const std::size_t total = memo_hits + memo_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(memo_hits) /
+                            static_cast<double>(total);
+  }
+  double verdict_hit_rate() const noexcept {
+    const std::size_t total = verdict_hits + verdict_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(verdict_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Runs the differential-testing stage (observe + evaluate + accumulate)
+/// over a case list.  Output is byte-identical to the seed's serial loop for
+/// every configuration; `jobs` and `memoize` trade only time and memory.
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(ExecutorConfig config = {});
+
+  DetectionResult run(const net::Chain& chain,
+                      const std::vector<TestCase>& cases,
+                      ExecutorStats* stats = nullptr) const;
+
+  /// 0 -> hardware_concurrency() (min 1), otherwise the request itself.
+  static std::size_t resolve_jobs(std::size_t requested);
+
+ private:
+  ExecutorConfig config_;
+};
+
+}  // namespace hdiff::core

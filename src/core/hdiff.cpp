@@ -56,12 +56,8 @@ PipelineResult Pipeline::run(
 
   // ---- differential testing ---------------------------------------------------
   net::Chain chain = net::Chain::from_fleet(fleet);
-  net::EchoServer echo;
-  DetectionEngine engine;
-  for (const auto& tc : result.executed_cases) {
-    net::ChainObservation obs = chain.observe(tc.uuid, tc.raw, &echo);
-    DetectionEngine::accumulate(result.findings, engine.evaluate(tc, obs));
-  }
+  ParallelExecutor executor(config_.executor);
+  result.findings = executor.run(chain, result.executed_cases, &result.exec_stats);
   result.matrix = build_matrix(result.findings, result.executed_cases);
   return result;
 }

@@ -14,6 +14,7 @@
 #include "core/abnf_testgen.h"
 #include "core/analyzer.h"
 #include "core/detect.h"
+#include "core/executor.h"
 #include "core/translator.h"
 #include "net/chain.h"
 
@@ -31,6 +32,10 @@ struct PipelineConfig {
   bool include_probes = true;
   /// Documents to analyze; empty = the HTTP/1.1 core six.
   std::vector<std::string_view> documents;
+  /// Differential-testing stage: worker count, memoization, echo bound.
+  /// Findings are identical for every setting (see executor.h); only time
+  /// and memory change.
+  ExecutorConfig executor;
 };
 
 struct PipelineResult {
@@ -40,6 +45,9 @@ struct PipelineResult {
   std::vector<TestCase> executed_cases;
   DetectionResult findings;
   VulnMatrix matrix;
+  /// Throughput accounting for the differential stage (jobs used, memo and
+  /// verdict-cache hit rates, echo retention).
+  ExecutorStats exec_stats;
 };
 
 class Pipeline {

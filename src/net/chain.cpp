@@ -1,13 +1,25 @@
 #include "net/chain.h"
 
 #include <set>
+#include <utility>
 
-#include "http/lexer.h" 
+#include "http/lexer.h"
 
 namespace hdiff::net {
 
 void EchoServer::record(std::string uuid, std::string proxy, std::string raw) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_records_ != 0 && log_.size() >= max_records_) {
+    ++dropped_;
+    return;
+  }
   log_.push_back(Record{std::move(uuid), std::move(proxy), std::move(raw)});
+}
+
+void EchoServer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  log_.clear();
+  dropped_ = 0;
 }
 
 std::string pair_key(std::string_view proxy, std::string_view backend) {
@@ -15,6 +27,70 @@ std::string pair_key(std::string_view proxy, std::string_view backend) {
   out += "->";
   out += backend;
   return out;
+}
+
+template <typename V>
+VerdictCache::Inner<V>& VerdictCache::PerImpl<V>::get(const void* impl) {
+  std::lock_guard<std::mutex> lock(mutex);
+  std::unique_ptr<Inner<V>>& slot = by_impl[impl];
+  if (!slot) slot = std::make_unique<Inner<V>>();
+  return *slot;
+}
+
+template <typename V, typename Fn>
+const V& VerdictCache::get_or_compute(Inner<V>& inner, std::string_view bytes,
+                                      Fn&& compute) {
+  {
+    std::lock_guard<std::mutex> lock(inner.mutex);
+    auto it = inner.map.find(bytes);  // heterogeneous: no key allocation
+    if (it != inner.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;  // node-stable: never modified or evicted
+    }
+  }
+  // Compute outside the lock: the model call dominates, and a rare
+  // duplicate computation by two racing threads is deterministic anyway.
+  V value = compute();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(inner.mutex);
+  auto [it, inserted] =
+      inner.map.emplace(std::string(bytes), std::move(value));
+  return it->second;
+}
+
+const impls::ProxyVerdict& VerdictCache::forward(
+    const impls::HttpImplementation& proxy, std::string_view raw) {
+  return get_or_compute(forwards_.get(&proxy), raw,
+                        [&] { return proxy.forward_request(raw); });
+}
+
+const impls::ServerVerdict& VerdictCache::parse(
+    const impls::HttpImplementation& backend, std::string_view raw) {
+  return get_or_compute(parses_.get(&backend), raw,
+                        [&] { return backend.parse_request(raw); });
+}
+
+const std::string& VerdictCache::respond(
+    const impls::HttpImplementation& backend, std::string_view raw) {
+  return get_or_compute(responses_.get(&backend), raw,
+                        [&] { return backend.respond(raw); });
+}
+
+const impls::RelayOutcome& VerdictCache::relay(
+    const impls::HttpImplementation& proxy, std::string_view backend_bytes,
+    http::Method request_method) {
+  PerImpl<impls::RelayOutcome>& by_method =
+      relays_[static_cast<std::size_t>(request_method)];
+  return get_or_compute(
+      by_method.get(&proxy), backend_bytes,
+      [&] { return proxy.relay_response(backend_bytes, request_method); });
+}
+
+VerdictCache::Stats VerdictCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Chain::Chain(std::vector<const impls::HttpImplementation*> proxies,
@@ -37,13 +113,30 @@ Chain Chain::from_fleet(
 }
 
 ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
-                                EchoServer* echo) const {
+                                EchoServer* echo, VerdictCache* cache) const {
   ChainObservation obs;
   obs.uuid.assign(uuid);
   obs.request.assign(raw);
 
+  const auto replay_parse = [&](const impls::HttpImplementation& backend,
+                                std::string_view bytes) {
+    return cache ? cache->parse(backend, bytes) : backend.parse_request(bytes);
+  };
+  const auto relay = [&](const impls::HttpImplementation& proxy,
+                         const impls::HttpImplementation& backend,
+                         std::string_view bytes, http::Method method) {
+    if (cache) {
+      return cache->relay(proxy, cache->respond(backend, bytes), method);
+    }
+    return proxy.relay_response(backend.respond(bytes), method);
+  };
+
   // Step 1: proxies.  `first_replayer` implements the replay-reduction
   // heuristic: byte-identical forwards reuse the first replay's verdicts.
+  // Forwards (and the direct parses of step 3) are keyed by the raw bytes,
+  // which the case-level ObservationMemo already deduplicates upstream, so
+  // they bypass the verdict cache: only the replay path below sees inputs
+  // (forwarded bytes, response streams) that collapse across distinct raws.
   std::map<std::string, std::string> first_replayer;
   for (const auto* proxy : proxies_) {
     impls::ProxyVerdict v = proxy->forward_request(raw);
@@ -58,10 +151,9 @@ ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
         // each back-end's response stream back through this proxy.
         for (const auto* backend : backends_) {
           const std::string key = pair_key(proxy_name, backend->name());
-          obs.replays.emplace(key, backend->parse_request(v.forwarded_bytes));
-          obs.relays.emplace(
-              key, proxy->relay_response(backend->respond(v.forwarded_bytes),
-                                         forwarded_method));
+          obs.replays.emplace(key, replay_parse(*backend, v.forwarded_bytes));
+          obs.relays.emplace(key, relay(*proxy, *backend, v.forwarded_bytes,
+                                        forwarded_method));
         }
       } else {
         for (const auto* backend : backends_) {
@@ -70,16 +162,15 @@ ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
               key, obs.replays.at(pair_key(it->second, backend->name())));
           // The relay depends on *this* proxy's response handling, so it is
           // recomputed even for deduplicated forwards.
-          obs.relays.emplace(
-              key, proxy->relay_response(backend->respond(v.forwarded_bytes),
-                                         forwarded_method));
+          obs.relays.emplace(key, relay(*proxy, *backend, v.forwarded_bytes,
+                                        forwarded_method));
         }
       }
     }
     obs.proxies.emplace(proxy_name, std::move(v));
   }
 
-  // Step 3: direct back-end probes.
+  // Step 3: direct back-end probes (uncached; raw bytes are the memo's key).
   for (const auto* backend : backends_) {
     obs.direct.emplace(std::string(backend->name()),
                        backend->parse_request(raw));

@@ -12,11 +12,32 @@
 //           rejects or produces forwarded bytes (recorded by the echo server).
 //   Step 2  the forwarded bytes are replayed into every back-end.
 //   Step 3  the original test case is also sent directly to every back-end.
+//
+// Thread-safety contract (audited for core::ParallelExecutor):
+//   * `Chain::observe` is `const`, touches only local state plus the
+//     `HttpImplementation` models, and the models' entry points
+//     (`parse_request`, `forward_request`, `respond`, `relay_response`) are
+//     `const`, stateless and deterministic — every product model is a pure
+//     function of its immutable `ParsePolicy` value (audit: no mutable
+//     members, no lazily-initialized statics, no globals anywhere in
+//     `src/impls` or the `src/http` parsers it calls).  Concurrent
+//     `observe` calls on one `Chain`, with any mix of test cases, are safe.
+//   * `EchoServer::record` is internally synchronized and may be shared by
+//     concurrent observers; reading `log()` must not race with `record`
+//     (snapshot after workers join, as the executor does).
+//   * `VerdictCache` is internally synchronized; one instance may back any
+//     number of concurrent `observe` calls.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstddef>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "impls/model.h"
@@ -25,6 +46,12 @@ namespace hdiff::net {
 
 /// The echo server: records every request forwarded by a proxy, exactly as
 /// received, for later replay analysis (paper §IV-A).
+///
+/// By default the log grows without bound; a pipeline-scale run (92k cases,
+/// each forwarded by up to six proxies) would retain every forwarded byte.
+/// Constructing with `max_records` caps retention: once full, further
+/// records are counted in `dropped()` instead of stored, keeping memory
+/// flat while the forward *counts* stay exact.
 class EchoServer {
  public:
   struct Record {
@@ -33,12 +60,30 @@ class EchoServer {
     std::string raw;  ///< forwarded bytes
   };
 
+  EchoServer() = default;
+  /// Bounded mode: retain at most `max_records` records (0 = unbounded).
+  explicit EchoServer(std::size_t max_records) : max_records_(max_records) {}
+
+  /// Thread-safe; callable from concurrent `Chain::observe` workers.
   void record(std::string uuid, std::string proxy, std::string raw);
+
+  /// Not synchronized against concurrent `record` — read only after the
+  /// recording threads have joined.
   const std::vector<Record>& log() const noexcept { return log_; }
-  void clear() { log_.clear(); }
+
+  /// Records rejected by the `max_records` bound (0 in unbounded mode).
+  std::size_t dropped() const noexcept { return dropped_; }
+  /// Total records offered (stored + dropped).
+  std::size_t offered() const noexcept { return log_.size() + dropped_; }
+  std::size_t max_records() const noexcept { return max_records_; }
+
+  void clear();
 
  private:
+  mutable std::mutex mutex_;
   std::vector<Record> log_;
+  std::size_t max_records_ = 0;  ///< 0 = unbounded
+  std::size_t dropped_ = 0;
 };
 
 /// Everything observed for one test case across the whole topology.
@@ -69,6 +114,85 @@ struct ChainOptions {
   bool dedupe_identical_forwards = true;
 };
 
+/// Cross-case memoization of the deterministic model calls on the chain's
+/// replay path.  Proxies normalize aggressively, so distinct raw requests
+/// frequently collapse to identical forwarded bytes downstream, and the
+/// seed chain recomputed `parse`/`respond`/`relay_response` for every
+/// (proxy, back-end) pair even when the forwarded bytes were byte-identical.
+/// Entries are keyed per implementation (and, for relays, per request
+/// method) with the input bytes as the map key — lookups take a
+/// `string_view` and allocate nothing on a hit, and return references to
+/// node-stable entries that are never evicted.  Internally synchronized.
+class VerdictCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    double hit_rate() const noexcept {
+      return hits + misses == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    }
+  };
+
+  /// Returned references point at cache-owned entries, which are never
+  /// modified or evicted once inserted: they stay valid (and safely
+  /// shareable across threads) for the cache's lifetime.
+  const impls::ProxyVerdict& forward(const impls::HttpImplementation& proxy,
+                                     std::string_view raw);
+  const impls::ServerVerdict& parse(const impls::HttpImplementation& backend,
+                                    std::string_view raw);
+  const std::string& respond(const impls::HttpImplementation& backend,
+                             std::string_view raw);
+  const impls::RelayOutcome& relay(const impls::HttpImplementation& proxy,
+                                   std::string_view backend_bytes,
+                                   http::Method request_method);
+
+  Stats stats() const;
+
+ private:
+  struct BytesHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view bytes) const noexcept {
+      return std::hash<std::string_view>{}(bytes);
+    }
+  };
+
+  /// Bytes -> value for one implementation; heterogeneous lookup keeps the
+  /// hit path allocation-free.
+  template <typename V>
+  struct Inner {
+    std::mutex mutex;
+    std::unordered_map<std::string, V, BytesHash, std::equal_to<>> map;
+  };
+
+  /// Implementation -> inner table, created on first use.  Implementations
+  /// are identified by address: the chain holds non-owning pointers to a
+  /// fleet that outlives the cache.
+  template <typename V>
+  struct PerImpl {
+    std::mutex mutex;
+    std::unordered_map<const void*, std::unique_ptr<Inner<V>>> by_impl;
+
+    Inner<V>& get(const void* impl);
+  };
+
+  template <typename V, typename Fn>
+  const V& get_or_compute(Inner<V>& inner, std::string_view bytes,
+                          Fn&& compute);
+
+  static constexpr std::size_t kMethods =
+      static_cast<std::size_t>(http::Method::kOther) + 1;
+
+  PerImpl<impls::ProxyVerdict> forwards_;
+  PerImpl<impls::ServerVerdict> parses_;
+  PerImpl<std::string> responses_;
+  std::array<PerImpl<impls::RelayOutcome>, kMethods> relays_;
+
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
 /// Non-owning view over a fleet of implementations, split by role.
 class Chain {
  public:
@@ -81,9 +205,13 @@ class Chain {
       const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet,
       ChainOptions options = {});
 
-  /// Run all three steps for one test case.
+  /// Run all three steps for one test case.  `cache`, when provided, memoizes
+  /// the individual model calls across observations (results are identical
+  /// with or without it — every cached call is deterministic and keyed by its
+  /// full input bytes).  Safe to call concurrently; see the contract above.
   ChainObservation observe(std::string_view uuid, std::string_view raw,
-                           EchoServer* echo = nullptr) const;
+                           EchoServer* echo = nullptr,
+                           VerdictCache* cache = nullptr) const;
 
   const std::vector<const impls::HttpImplementation*>& proxies() const {
     return proxies_;

@@ -1,0 +1,252 @@
+#include "core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "abnf/parser.h"
+#include "core/analyzer.h"
+#include "core/probes.h"
+#include "core/translator.h"
+#include "corpus/registry.h"
+#include "impls/products.h"
+#include "net/chain.h"
+
+namespace hdiff::core {
+namespace {
+
+// ---- ObservationMemo ------------------------------------------------------
+
+net::ChainObservation tagged_observation(std::string tag) {
+  net::ChainObservation obs;
+  obs.uuid = std::move(tag);
+  return obs;
+}
+
+TEST(ObservationMemo, CountsHitsAndMisses) {
+  ObservationMemo memo;
+  EXPECT_EQ(memo.find("alpha"), nullptr);
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(memo.misses(), 1u);
+
+  const net::ChainObservation* stored =
+      memo.insert("alpha", tagged_observation("first"));
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->uuid, "first");
+  EXPECT_EQ(memo.size(), 1u);
+
+  const net::ChainObservation* found = memo.find("alpha");
+  EXPECT_EQ(found, stored);  // same entry, no copy
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.misses(), 1u);
+}
+
+TEST(ObservationMemo, FirstInsertWins) {
+  ObservationMemo memo;
+  const net::ChainObservation* first =
+      memo.insert("alpha", tagged_observation("first"));
+  const net::ChainObservation* second =
+      memo.insert("alpha", tagged_observation("second"));
+  EXPECT_EQ(second, first);  // racing duplicate insert is discarded
+  EXPECT_EQ(first->uuid, "first");
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+std::uint64_t collide_everything(std::string_view) noexcept { return 42; }
+
+TEST(ObservationMemo, HashCollisionsCannotAlias) {
+  // Force every key onto one hash bucket: entries must still be told apart
+  // by the full-byte comparison.
+  ObservationMemo memo(&collide_everything);
+  memo.insert("alpha", tagged_observation("obs-a"));
+  memo.insert("bravo", tagged_observation("obs-b"));
+  memo.insert("", tagged_observation("obs-empty"));
+  EXPECT_EQ(memo.size(), 3u);
+
+  ASSERT_NE(memo.find("alpha"), nullptr);
+  EXPECT_EQ(memo.find("alpha")->uuid, "obs-a");
+  ASSERT_NE(memo.find("bravo"), nullptr);
+  EXPECT_EQ(memo.find("bravo")->uuid, "obs-b");
+  ASSERT_NE(memo.find(""), nullptr);
+  EXPECT_EQ(memo.find("")->uuid, "obs-empty");
+  EXPECT_EQ(memo.find("charlie"), nullptr);  // same hash, absent bytes
+}
+
+TEST(ObservationMemo, DefaultHashIsFnv1a) {
+  // FNV-1a 64-bit reference vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(ParallelExecutor, ResolveJobs) {
+  EXPECT_GE(ParallelExecutor::resolve_jobs(0), 1u);  // hardware_concurrency
+  EXPECT_EQ(ParallelExecutor::resolve_jobs(1), 1u);
+  EXPECT_EQ(ParallelExecutor::resolve_jobs(5), 5u);
+}
+
+// ---- determinism over the full probe + SR set -----------------------------
+
+// The probe set plus every SR-translated case, exactly as Pipeline::run
+// assembles them (same custom-ABNF adaptation inputs).
+const std::vector<TestCase>& probe_and_sr_cases() {
+  static const std::vector<TestCase> cases = [] {
+    DocumentationAnalyzer analyzer;
+    analyzer.set_custom_abnf("URI-reference",
+                             abnf::parse_elements("absolute-URI"));
+    analyzer.set_custom_abnf("HTTP-date", abnf::parse_elements("token"));
+    analyzer.set_custom_abnf("quoted-string",
+                             abnf::parse_elements("DQUOTE *VCHAR DQUOTE"));
+    AnalyzerResult analysis = analyzer.analyze(corpus::http_core_documents());
+    SrTranslator translator(analysis.grammar);
+    std::vector<TestCase> all = verification_probes();
+    std::vector<TestCase> sr = translator.translate_all(analysis.srs);
+    for (auto& tc : sr) all.push_back(std::move(tc));
+    return all;
+  }();
+  return cases;
+}
+
+void expect_same_findings(const DetectionResult& a, const DetectionResult& b) {
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].impl, b.violations[i].impl) << "at " << i;
+    EXPECT_EQ(a.violations[i].sr_id, b.violations[i].sr_id) << "at " << i;
+    EXPECT_EQ(a.violations[i].uuid, b.violations[i].uuid) << "at " << i;
+    EXPECT_EQ(a.violations[i].category, b.violations[i].category) << "at " << i;
+    EXPECT_EQ(a.violations[i].detail, b.violations[i].detail) << "at " << i;
+  }
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].front, b.pairs[i].front) << "at " << i;
+    EXPECT_EQ(a.pairs[i].back, b.pairs[i].back) << "at " << i;
+    EXPECT_EQ(a.pairs[i].attack, b.pairs[i].attack) << "at " << i;
+    EXPECT_EQ(a.pairs[i].uuid, b.pairs[i].uuid) << "at " << i;
+    EXPECT_EQ(a.pairs[i].detail, b.pairs[i].detail) << "at " << i;
+  }
+  EXPECT_EQ(a.discrepancies.status_disagreements,
+            b.discrepancies.status_disagreements);
+  EXPECT_EQ(a.discrepancies.host_disagreements,
+            b.discrepancies.host_disagreements);
+  EXPECT_EQ(a.discrepancies.body_disagreements,
+            b.discrepancies.body_disagreements);
+  EXPECT_EQ(a.discrepancies.inputs_with_discrepancy,
+            b.discrepancies.inputs_with_discrepancy);
+  EXPECT_EQ(a.vector_hits, b.vector_hits);
+}
+
+void expect_same_matrix(const VulnMatrix& a, const VulnMatrix& b) {
+  ASSERT_EQ(a.by_impl.size(), b.by_impl.size());
+  for (const auto& [name, row] : a.by_impl) {
+    auto it = b.by_impl.find(name);
+    ASSERT_NE(it, b.by_impl.end()) << name;
+    EXPECT_EQ(row.hrs, it->second.hrs) << name;
+    EXPECT_EQ(row.hot, it->second.hot) << name;
+    EXPECT_EQ(row.cpdos, it->second.cpdos) << name;
+  }
+  EXPECT_EQ(a.hrs_pairs, b.hrs_pairs);
+  EXPECT_EQ(a.hot_pairs, b.hot_pairs);
+  EXPECT_EQ(a.cpdos_pairs, b.cpdos_pairs);
+  EXPECT_EQ(a.vector_catalogue, b.vector_catalogue);
+}
+
+TEST(ParallelExecutor, ParallelRunIsBitIdenticalToSerial) {
+  const std::vector<TestCase>& cases = probe_and_sr_cases();
+  ASSERT_GT(cases.size(), 600u);  // probes + full SR set
+  auto fleet = impls::make_all_implementations();
+  net::Chain chain = net::Chain::from_fleet(fleet);
+
+  // jobs=1 memoize=off is exactly the seed's serial loop: the baseline.
+  ExecutorConfig serial_config;
+  serial_config.jobs = 1;
+  serial_config.memoize = false;
+  ExecutorStats serial_stats;
+  DetectionResult serial =
+      ParallelExecutor(serial_config).run(chain, cases, &serial_stats);
+  VulnMatrix serial_matrix = build_matrix(serial, cases);
+  EXPECT_EQ(serial_stats.jobs, 1u);
+  EXPECT_EQ(serial_stats.cases, cases.size());
+  EXPECT_EQ(serial_stats.memo_hits + serial_stats.memo_misses, 0u);
+  EXPECT_EQ(serial_stats.verdict_hits + serial_stats.verdict_misses, 0u);
+
+  struct Variant {
+    std::size_t jobs;
+    bool memoize;
+  };
+  for (const Variant v : {Variant{1, true}, Variant{8, false},
+                          Variant{8, true}}) {
+    SCOPED_TRACE("jobs=" + std::to_string(v.jobs) +
+                 " memoize=" + std::to_string(v.memoize));
+    ExecutorConfig config;
+    config.jobs = v.jobs;
+    config.memoize = v.memoize;
+    ExecutorStats stats;
+    DetectionResult result =
+        ParallelExecutor(config).run(chain, cases, &stats);
+    expect_same_findings(serial, result);
+    expect_same_matrix(serial_matrix, build_matrix(result, cases));
+    EXPECT_EQ(stats.jobs, v.jobs);
+    EXPECT_EQ(stats.cases, cases.size());
+    if (v.memoize) {
+      EXPECT_EQ(stats.memo_hits + stats.memo_misses, cases.size());
+    } else {
+      EXPECT_EQ(stats.memo_hits + stats.memo_misses, 0u);
+    }
+  }
+}
+
+TEST(ParallelExecutor, MemoHitsOnDuplicateCasesKeepFindingsIdentical) {
+  // Duplicate the probe set so the memo must serve hits, including from
+  // concurrent workers; findings must not change and the echo log must
+  // still count every duplicate's forwards.
+  std::vector<TestCase> cases = verification_probes();
+  const std::size_t unique = cases.size();
+  std::vector<TestCase> doubled = cases;
+  for (TestCase tc : cases) {
+    tc.uuid += "-dup";
+    doubled.push_back(std::move(tc));
+  }
+
+  auto fleet = impls::make_all_implementations();
+  net::Chain chain = net::Chain::from_fleet(fleet);
+
+  ExecutorConfig baseline;
+  baseline.jobs = 1;
+  baseline.memoize = false;
+  ExecutorStats base_stats;
+  DetectionResult expected =
+      ParallelExecutor(baseline).run(chain, doubled, &base_stats);
+
+  // Serial memoized run: execution order is the list order, so every
+  // duplicate is guaranteed to hit the original's entry.
+  ExecutorConfig memoized;
+  memoized.jobs = 1;
+  memoized.memoize = true;
+  ExecutorStats stats;
+  DetectionResult result =
+      ParallelExecutor(memoized).run(chain, doubled, &stats);
+
+  expect_same_findings(expected, result);
+  EXPECT_EQ(stats.memo_hits, unique);  // every duplicate is a hit
+  EXPECT_EQ(stats.memo_misses, unique);
+  // Echo sees the duplicates' forwards too (memo replays them into the log).
+  EXPECT_EQ(stats.echo_records + stats.echo_dropped,
+            base_stats.echo_records + base_stats.echo_dropped);
+
+  // Concurrent smoke (meaningful under HDIFF_SANITIZE=thread): workers may
+  // race a duplicate against its original, so only the total find count is
+  // deterministic — findings still must not change.
+  ExecutorConfig concurrent;
+  concurrent.jobs = 8;
+  concurrent.memoize = true;
+  ExecutorStats cstats;
+  DetectionResult cresult =
+      ParallelExecutor(concurrent).run(chain, doubled, &cstats);
+  expect_same_findings(expected, cresult);
+  EXPECT_EQ(cstats.memo_hits + cstats.memo_misses, doubled.size());
+  EXPECT_LE(cstats.memo_hits, unique);
+}
+
+}  // namespace
+}  // namespace hdiff::core

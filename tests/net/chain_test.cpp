@@ -80,6 +80,55 @@ TEST(Chain, DedupeCanBeDisabled) {
   EXPECT_EQ(obs.replays.size(), 1u);
 }
 
+TEST(Chain, BoundedEchoServerDropsBeyondCapAndCountsExactly) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  EchoServer echo(4);  // six proxies forward kPlainGet; two must be dropped
+  chain.observe("t6", kPlainGet, &echo);
+  EXPECT_EQ(echo.max_records(), 4u);
+  EXPECT_EQ(echo.log().size(), 4u);
+  EXPECT_EQ(echo.dropped(), 2u);
+  EXPECT_EQ(echo.offered(), 6u);
+
+  echo.clear();  // clearing resets both the log and the drop counter
+  EXPECT_TRUE(echo.log().empty());
+  EXPECT_EQ(echo.dropped(), 0u);
+  chain.observe("t7", kPlainGet, &echo);
+  EXPECT_EQ(echo.log().size(), 4u);
+  EXPECT_EQ(echo.dropped(), 2u);
+}
+
+TEST(Chain, VerdictCacheDoesNotChangeObservations) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  const std::string chunked =
+      "POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+
+  VerdictCache cache;
+  for (const std::string& raw : {kPlainGet, chunked}) {
+    ChainObservation plain = chain.observe("t8", raw);
+    ChainObservation cached = chain.observe("t8", raw, nullptr, &cache);
+    EXPECT_EQ(plain.proxies.size(), cached.proxies.size());
+    ASSERT_EQ(plain.replays.size(), cached.replays.size());
+    for (const auto& [key, verdict] : plain.replays) {
+      EXPECT_EQ(verdict.status, cached.replays.at(key).status) << key;
+      EXPECT_EQ(verdict.body, cached.replays.at(key).body) << key;
+    }
+    ASSERT_EQ(plain.relays.size(), cached.relays.size());
+    for (const auto& [key, relay] : plain.relays) {
+      EXPECT_EQ(relay.to_client, cached.relays.at(key).to_client) << key;
+    }
+  }
+  // A repeat observation of an already-seen raw is served from the cache.
+  const VerdictCache::Stats warm = cache.stats();
+  chain.observe("t9", kPlainGet, nullptr, &cache);
+  const VerdictCache::Stats after = cache.stats();
+  EXPECT_GT(after.hits, warm.hits);
+  EXPECT_EQ(after.misses, warm.misses);  // nothing new to compute
+  EXPECT_GT(after.hit_rate(), 0.0);
+}
+
 TEST(Chain, ReplayUsesForwardedBytesNotOriginal) {
   // Varnish dechunks; the backend must see Content-Length framing.
   auto varnish = impls::make_implementation("varnish");

@@ -3,13 +3,18 @@
 //   hdiff analyze [rfc7230 ...]        documentation-analyzer summary
 //   hdiff srs [rfc7230 ...]            list extracted specification reqs
 //   hdiff generate [--out FILE]        generate the test corpus (JSON)
-//   hdiff run [--corpus FILE] [--json FILE]
+//   hdiff run [--corpus FILE] [--json FILE] [--jobs N] [--no-memo]
 //                                      full differential run; optionally
-//                                      replay a saved corpus / export JSON
+//                                      replay a saved corpus / export JSON;
+//                                      --jobs shards the chain stage over N
+//                                      workers (default: all cores, 1 =
+//                                      serial), --no-memo disables the
+//                                      observation/verdict caches
 //   hdiff audit FRONT BACK             audit one proxy/origin combination
 //   hdiff parse IMPL                   parse one raw request from stdin
 //                                      under IMPL's model and show HMetrics
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,8 +37,9 @@ int usage() {
       "  analyze [docs...]            analyzer summary (default: core six)\n"
       "  srs [docs...]                list extracted SRs\n"
       "  generate [--out FILE]        write the generated corpus as JSON\n"
-      "  run [--corpus FILE] [--json FILE]\n"
-      "                               full differential run\n"
+      "  run [--corpus FILE] [--json FILE] [--jobs N] [--no-memo]\n"
+      "                               full differential run (N workers;\n"
+      "                               default all cores, 1 = serial)\n"
       "  audit FRONT BACK             audit one proxy/origin pair\n"
       "  parse IMPL                   parse stdin as IMPL (server model)\n");
   return 2;
@@ -124,9 +130,21 @@ int cmd_generate(int argc, char** argv) {
 
 int cmd_run(int argc, char** argv) {
   std::string corpus_path, json_path;
-  for (int i = 2; i + 1 < argc; ++i) {
+  hdiff::core::ExecutorConfig exec_config;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-memo") == 0) exec_config.memoize = false;
+    if (i + 1 >= argc) continue;
     if (std::strcmp(argv[i], "--corpus") == 0) corpus_path = argv[i + 1];
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const long jobs = std::atol(argv[i + 1]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs wants a positive integer, got %s\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      exec_config.jobs = static_cast<std::size_t>(jobs);
+    }
   }
 
   hdiff::core::PipelineResult result;
@@ -143,16 +161,15 @@ int cmd_run(int argc, char** argv) {
     }
     auto fleet = hdiff::impls::make_all_implementations();
     auto chain = hdiff::net::Chain::from_fleet(fleet);
-    hdiff::core::DetectionEngine engine;
-    for (const auto& tc : cases) {
-      hdiff::core::DetectionEngine::accumulate(
-          result.findings, engine.evaluate(tc, chain.observe(tc.uuid, tc.raw)));
-    }
+    hdiff::core::ParallelExecutor executor(exec_config);
+    result.findings = executor.run(chain, cases, &result.exec_stats);
     result.executed_cases = std::move(cases);
     result.matrix =
         hdiff::core::build_matrix(result.findings, result.executed_cases);
   } else {
-    hdiff::core::Pipeline pipeline;
+    hdiff::core::PipelineConfig config;
+    config.executor = exec_config;
+    hdiff::core::Pipeline pipeline(config);
     result = pipeline.run();
   }
 
@@ -165,6 +182,12 @@ int cmd_run(int argc, char** argv) {
   std::printf("%zu violations, %zu pairs (HoT %zu), %zu executed cases\n",
               result.findings.violations.size(), result.findings.pairs.size(),
               result.matrix.hot_pairs.size(), result.executed_cases.size());
+  std::printf(
+      "%zu worker(s); observation memo %.1f%% hits, verdict cache %.1f%% "
+      "hits; echo kept %zu / dropped %zu forwards\n",
+      result.exec_stats.jobs, 100.0 * result.exec_stats.memo_hit_rate(),
+      100.0 * result.exec_stats.verdict_hit_rate(),
+      result.exec_stats.echo_records, result.exec_stats.echo_dropped);
 
   if (!json_path.empty()) {
     if (!write_file(json_path, hdiff::core::export_json(result))) {
