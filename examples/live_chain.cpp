@@ -30,12 +30,20 @@ int main(int argc, char** argv) {
 
   auto show = [&](const char* title, const std::string& request) {
     std::printf("== %s ==\n", title);
-    std::string response = hdiff::net::tcp_roundtrip(proxy.port(), request);
-    std::size_t header_end = response.find("\r\n\r\n");
+    hdiff::net::TcpResult result =
+        hdiff::net::tcp_roundtrip(proxy.port(), request);
+    if (!result.ok()) {
+      // Structured failure channel: a dead socket is reported as a harness
+      // fault, never mistaken for an (empty) response from the chain.
+      std::printf("harness fault: %s\n\n",
+                  std::string(to_string(result.error)).c_str());
+      return;
+    }
+    std::size_t header_end = result.bytes.find("\r\n\r\n");
     std::printf("%s\n\n",
-                response
+                result.bytes
                     .substr(0, header_end == std::string::npos
-                                   ? response.size()
+                                   ? result.bytes.size()
                                    : header_end)
                     .c_str());
   };

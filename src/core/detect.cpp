@@ -40,6 +40,11 @@ bool hosts_differ(const std::string& a, const std::string& b) {
 DetectionResult DetectionEngine::evaluate(
     const TestCase& tc, const net::ChainObservation& obs) const {
   DetectionResult result;
+  // A faulted observation carries no genuine verdicts: evaluating it would
+  // manufacture differentials out of harness failures.  The executor
+  // quarantines such cases; this guard keeps the invariant even for direct
+  // callers.
+  if (obs.faulted()) return result;
   auto record_vector = [&](AttackClass attack) {
     if (!tc.vector_label.empty()) {
       result.vector_hits[tc.vector_label].insert(

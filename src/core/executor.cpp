@@ -1,5 +1,7 @@
 #include "core/executor.h"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -78,12 +80,31 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
   ObservationMemo* memo_p = config_.memoize ? &memo : nullptr;
   net::VerdictCache* verdicts_p = config_.memoize ? &verdicts : nullptr;
 
+  // Per-case fault bookkeeping, written by whichever worker runs the case
+  // and folded into the stats in stable case-index order.
+  struct CaseStatus {
+    bool quarantined = false;
+    std::size_t attempts_used = 1;
+    std::size_t faulted_attempts = 0;
+    std::array<std::size_t, net::kChainErrorCount> fault_counts{};
+    net::ChainError last_error = net::ChainError::kNone;
+    std::string last_detail;
+  };
+
+  const int attempts = std::max(1, config_.retry.attempts);
+  const int deadline_ms = config_.retry.case_deadline_ms;
+
   // Observe-and-evaluate for one case.  Memo hits (and freshly inserted
   // entries) are evaluated in place — detection reads only the verdict
-  // maps, so no copy or uuid patching is needed.
-  const auto evaluate_case = [&](const TestCase& tc,
-                                 net::EchoServer& echo) -> DetectionResult {
+  // maps, so no copy or uuid patching is needed.  A faulted observation is
+  // retried with backoff; only fault-free observations are cached or
+  // evaluated, and a case that faults through its whole retry budget is
+  // quarantined (empty delta, `status.quarantined` set).
+  const auto evaluate_case = [&](const TestCase& tc, net::EchoServer& echo,
+                                 CaseStatus& status) -> DetectionResult {
     if (memo_p) {
+      // Only successful observations are ever inserted, so a hit is a
+      // known-good observation regardless of the fault schedule.
       if (const net::ChainObservation* cached = memo_p->find(tc.raw)) {
         // Keep the echo log faithful: a duplicate case still produces the
         // same forwards on the wire.
@@ -92,11 +113,56 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
         }
         return engine.evaluate(tc, *cached);
       }
-      const net::ChainObservation* stored = memo_p->insert(
-          tc.raw, chain.observe(tc.uuid, tc.raw, &echo, verdicts_p));
-      return engine.evaluate(tc, *stored);
     }
-    return engine.evaluate(tc, chain.observe(tc.uuid, tc.raw, &echo));
+    const auto start = std::chrono::steady_clock::now();
+    for (int attempt = 0;; ++attempt) {
+      net::ChainObservation obs =
+          chain.observe(tc.uuid, tc.raw, &echo, verdicts_p);
+      status.attempts_used = static_cast<std::size_t>(attempt) + 1;
+      if (!obs.faulted()) {
+        if (memo_p) {
+          const net::ChainObservation* stored =
+              memo_p->insert(tc.raw, std::move(obs));
+          return engine.evaluate(tc, *stored);
+        }
+        return engine.evaluate(tc, obs);
+      }
+      ++status.faulted_attempts;
+      ++status.fault_counts[static_cast<std::size_t>(obs.fault)];
+      status.last_error = obs.fault;
+      status.last_detail = std::move(obs.fault_detail);
+      const auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const bool out_of_time = deadline_ms > 0 && elapsed_ms >= deadline_ms;
+      if (attempt + 1 >= attempts || out_of_time) {
+        status.quarantined = true;
+        if (out_of_time) {
+          status.last_detail += " [case deadline exceeded]";
+        }
+        return DetectionResult{};
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          config_.retry.backoff_ms(attempt, tc.raw)));
+    }
+  };
+
+  // Fold one case's fault bookkeeping into the run stats (call in stable
+  // case-index order so the quarantine report is deterministic).
+  const auto fold_status = [&](const TestCase& tc, CaseStatus& status) {
+    local.faulted_attempts += status.faulted_attempts;
+    local.retry_attempts += status.attempts_used - 1;
+    for (std::size_t k = 0; k < net::kChainErrorCount; ++k) {
+      local.fault_counts[k] += status.fault_counts[k];
+    }
+    if (status.quarantined) {
+      local.quarantined.push_back(QuarantinedCase{
+          tc.uuid, status.last_error, status.attempts_used,
+          std::move(status.last_detail)});
+    } else if (status.faulted_attempts > 0) {
+      ++local.recovered_cases;
+    }
   };
 
   const auto finish = [&](std::size_t echo_records, std::size_t echo_dropped) {
@@ -107,7 +173,8 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
     local.verdict_misses = vs.misses;
     local.echo_records = echo_records;
     local.echo_dropped = echo_dropped;
-    if (stats) *stats = local;
+    local.quarantined_cases = local.quarantined.size();
+    if (stats) *stats = std::move(local);
   };
 
   if (jobs <= 1) {
@@ -115,7 +182,9 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
     // `Pipeline::run` — same calls, same order, no pool.
     net::EchoServer echo(config_.echo_max_records);
     for (const auto& tc : cases) {
-      DetectionEngine::accumulate(total, evaluate_case(tc, echo));
+      CaseStatus status;
+      DetectionEngine::accumulate(total, evaluate_case(tc, echo, status));
+      fold_status(tc, status);
     }
     finish(echo.log().size(), echo.dropped());
     return total;
@@ -126,6 +195,7 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
   // so dedupe-by-first-occurrence in `accumulate` resolves exactly as the
   // serial loop would, independent of scheduling.
   std::vector<DetectionResult> deltas(cases.size());
+  std::vector<CaseStatus> statuses(cases.size());
   std::atomic<std::size_t> next{0};
   std::vector<std::unique_ptr<net::EchoServer>> echoes;
   echoes.reserve(jobs);
@@ -142,14 +212,15 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= cases.size()) break;
-        deltas[i] = evaluate_case(cases[i], echo);
+        deltas[i] = evaluate_case(cases[i], echo, statuses[i]);
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
 
-  for (const DetectionResult& delta : deltas) {
-    DetectionEngine::accumulate(total, delta);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    DetectionEngine::accumulate(total, deltas[i]);
+    fold_status(cases[i], statuses[i]);
   }
 
   std::size_t echo_records = 0;

@@ -21,6 +21,15 @@
 // Both caches key on full input bytes (hash + full-byte compare), memoize
 // only deterministic `const` calls, and therefore never change findings —
 // the determinism test asserts this over the whole pipeline.
+//
+// Graceful degradation: an observation that comes back with a harness
+// fault (ChainObservation::fault, e.g. from a fault-injected fleet or a
+// flaky live chain) is never evaluated, never cached, and never aborts the
+// run.  The executor retries it under `ExecutorConfig::retry` (exponential
+// backoff, deterministic jitter, per-case deadline); cases that still
+// fault are *quarantined* — excluded from difference analysis and reported
+// per-case in `ExecutorStats::quarantined` — so a bad harness leg can
+// reduce coverage but can never masquerade as a behavioural difference.
 #pragma once
 
 #include <array>
@@ -105,6 +114,22 @@ struct ExecutorConfig {
   /// `max_records` bound for each worker's EchoServer (0 = unbounded).
   /// Keeps resident memory flat at 92k-case scale.
   std::size_t echo_max_records = 4096;
+  /// Degradation policy for harness faults (fault-injected or live flaky
+  /// fleets): a faulted observation is retried up to `retry.attempts` times
+  /// with deterministic backoff, bounded by `retry.case_deadline_ms`; a
+  /// case still faulting afterwards is quarantined — excluded from
+  /// difference analysis and reported in ExecutorStats — instead of
+  /// aborting the run or poisoning findings.  On a fault-free fleet this
+  /// costs nothing (no fault -> no retry, no sleep).
+  net::RetryPolicy retry;
+};
+
+/// One case excluded from difference analysis after exhausting retries.
+struct QuarantinedCase {
+  std::string uuid;
+  net::ChainError error = net::ChainError::kNone;  ///< last fault seen
+  std::size_t attempts = 0;                        ///< observation attempts
+  std::string detail;
 };
 
 struct ExecutorStats {
@@ -116,6 +141,17 @@ struct ExecutorStats {
   std::size_t verdict_misses = 0;
   std::size_t echo_records = 0;   ///< forwards retained across worker echoes
   std::size_t echo_dropped = 0;   ///< forwards dropped by the echo bound
+
+  // ---- fault tolerance (all zero on a fault-free run) ----
+  std::size_t faulted_attempts = 0;   ///< observation attempts that faulted
+  std::size_t retry_attempts = 0;     ///< re-observations performed
+  std::size_t recovered_cases = 0;    ///< faulted at least once, then succeeded
+  std::size_t quarantined_cases = 0;  ///< == quarantined.size()
+  /// Faulted attempts by ChainError (index by static_cast<size_t>).
+  std::array<std::size_t, net::kChainErrorCount> fault_counts{};
+  /// Quarantined cases in stable case-index order (deterministic for a
+  /// given fault schedule, independent of jobs).
+  std::vector<QuarantinedCase> quarantined;
 
   double memo_hit_rate() const noexcept {
     const std::size_t total = memo_hits + memo_misses;

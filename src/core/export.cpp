@@ -345,6 +345,26 @@ std::string export_json(const PipelineResult& result, ExportOptions options) {
       result.findings.discrepancies.inputs_with_discrepancy);
   w.end_object();
 
+  // Harness-fault degradation accounting: consumers of a findings file must
+  // be able to see how much coverage was lost to quarantine (all zero on a
+  // healthy run).
+  w.key("degradation").begin_object();
+  w.key("faulted_attempts").value(result.exec_stats.faulted_attempts);
+  w.key("retry_attempts").value(result.exec_stats.retry_attempts);
+  w.key("recovered_cases").value(result.exec_stats.recovered_cases);
+  w.key("quarantined_cases").value(result.exec_stats.quarantined_cases);
+  w.key("quarantined").begin_array();
+  for (const auto& q : result.exec_stats.quarantined) {
+    w.begin_object();
+    w.key("uuid").value(q.uuid);
+    w.key("error").value(net::to_string(q.error));
+    w.key("attempts").value(q.attempts);
+    w.key("detail").value(q.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
   if (options.include_test_cases) {
     w.key("cases").begin_array();
     for (const auto& tc : result.executed_cases) write_test_case(w, tc);

@@ -32,9 +32,11 @@ struct PipelineConfig {
   bool include_probes = true;
   /// Documents to analyze; empty = the HTTP/1.1 core six.
   std::vector<std::string_view> documents;
-  /// Differential-testing stage: worker count, memoization, echo bound.
-  /// Findings are identical for every setting (see executor.h); only time
-  /// and memory change.
+  /// Differential-testing stage: worker count, memoization, echo bound,
+  /// and the fault-degradation policy (`executor.retry`: attempts, backoff,
+  /// per-case deadline).  Findings are identical for every setting (see
+  /// executor.h); only time and memory change — and under harness faults,
+  /// how many cases end up quarantined rather than observed.
   ExecutorConfig executor;
 };
 
@@ -45,8 +47,11 @@ struct PipelineResult {
   std::vector<TestCase> executed_cases;
   DetectionResult findings;
   VulnMatrix matrix;
-  /// Throughput accounting for the differential stage (jobs used, memo and
-  /// verdict-cache hit rates, echo retention).
+  /// Throughput and degradation accounting for the differential stage
+  /// (jobs used, memo and verdict-cache hit rates, echo retention, fault/
+  /// retry counters and the per-case quarantine report).  `findings` never
+  /// contains fault-induced differentials: faulted cases are retried and,
+  /// failing that, listed in `exec_stats.quarantined` instead.
   ExecutorStats exec_stats;
 };
 

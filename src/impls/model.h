@@ -47,6 +47,38 @@ class HttpImplementation {
                                       http::Method request_method) const = 0;
 };
 
+/// Pass-through decorator base: forwards every entry point to a wrapped
+/// implementation.  Derive from this to intercept a subset of the calls
+/// (e.g. net::FaultyImplementation injects harness faults before
+/// delegating).  Non-owning: `inner` must outlive the decorator.
+class ImplementationDecorator : public HttpImplementation {
+ public:
+  explicit ImplementationDecorator(const HttpImplementation& inner)
+      : inner_(inner) {}
+
+  const ParsePolicy& policy() const noexcept override {
+    return inner_.policy();
+  }
+  ServerVerdict parse_request(std::string_view raw) const override {
+    return inner_.parse_request(raw);
+  }
+  ProxyVerdict forward_request(std::string_view raw) const override {
+    return inner_.forward_request(raw);
+  }
+  std::string respond(std::string_view raw) const override {
+    return inner_.respond(raw);
+  }
+  RelayOutcome relay_response(std::string_view backend_bytes,
+                              http::Method request_method) const override {
+    return inner_.relay_response(backend_bytes, request_method);
+  }
+
+  const HttpImplementation& inner() const noexcept { return inner_; }
+
+ protected:
+  const HttpImplementation& inner_;
+};
+
 /// Policy-driven implementation of both roles.
 class ModelImplementation final : public HttpImplementation {
  public:

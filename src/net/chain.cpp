@@ -10,16 +10,18 @@ namespace hdiff::net {
 void EchoServer::record(std::string uuid, std::string proxy, std::string raw) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (max_records_ != 0 && log_.size() >= max_records_) {
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   log_.push_back(Record{std::move(uuid), std::move(proxy), std::move(raw)});
+  stored_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void EchoServer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   log_.clear();
-  dropped_ = 0;
+  stored_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::string pair_key(std::string_view proxy, std::string_view backend) {
@@ -118,6 +120,33 @@ ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
   obs.uuid.assign(uuid);
   obs.request.assign(raw);
 
+  // Echo records are buffered and flushed only after the whole observation
+  // succeeds: an attempt aborted mid-flight by a ChainFault must leave no
+  // partial forwards in the log (the retry will re-record them all).
+  std::vector<std::pair<std::string, std::string>> pending_echo;
+
+  try {
+    observe_steps(obs, raw, cache, echo ? &pending_echo : nullptr);
+  } catch (const ChainFault& fault) {
+    obs.proxies.clear();
+    obs.replays.clear();
+    obs.relays.clear();
+    obs.direct.clear();
+    obs.fault = fault.error();
+    obs.fault_detail = fault.what();
+    return obs;
+  }
+  if (echo) {
+    for (auto& [proxy, bytes] : pending_echo) {
+      echo->record(obs.uuid, std::move(proxy), std::move(bytes));
+    }
+  }
+  return obs;
+}
+
+void Chain::observe_steps(
+    ChainObservation& obs, std::string_view raw, VerdictCache* cache,
+    std::vector<std::pair<std::string, std::string>>* pending_echo) const {
   const auto replay_parse = [&](const impls::HttpImplementation& backend,
                                 std::string_view bytes) {
     return cache ? cache->parse(backend, bytes) : backend.parse_request(bytes);
@@ -142,7 +171,7 @@ ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
     impls::ProxyVerdict v = proxy->forward_request(raw);
     const std::string proxy_name(proxy->name());
     if (v.forwarded()) {
-      if (echo) echo->record(obs.uuid, proxy_name, v.forwarded_bytes);
+      if (pending_echo) pending_echo->emplace_back(proxy_name, v.forwarded_bytes);
       auto [it, inserted] = first_replayer.emplace(v.forwarded_bytes, proxy_name);
       const http::Method forwarded_method = http::method_from_token(
           http::lex_request(v.forwarded_bytes).line.method_token);
@@ -175,7 +204,6 @@ ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
     obs.direct.emplace(std::string(backend->name()),
                        backend->parse_request(raw));
   }
-  return obs;
 }
 
 }  // namespace hdiff::net

@@ -38,9 +38,11 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "impls/model.h"
+#include "net/error.h"
 
 namespace hdiff::net {
 
@@ -51,7 +53,10 @@ namespace hdiff::net {
 /// each forwarded by up to six proxies) would retain every forwarded byte.
 /// Constructing with `max_records` caps retention: once full, further
 /// records are counted in `dropped()` instead of stored, keeping memory
-/// flat while the forward *counts* stay exact.
+/// flat while the forward *counts* stay exact.  The stored/dropped counters
+/// are atomic, so `offered()`/`dropped()` are safely readable at any time —
+/// including while workers are still recording; only `log()` requires the
+/// recorders to have joined.
 class EchoServer {
  public:
   struct Record {
@@ -72,9 +77,15 @@ class EchoServer {
   const std::vector<Record>& log() const noexcept { return log_; }
 
   /// Records rejected by the `max_records` bound (0 in unbounded mode).
-  std::size_t dropped() const noexcept { return dropped_; }
-  /// Total records offered (stored + dropped).
-  std::size_t offered() const noexcept { return log_.size() + dropped_; }
+  /// Safe to read while workers may still `record`.
+  std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Total records offered (stored + dropped); safe at any time.
+  std::size_t offered() const noexcept {
+    return stored_.load(std::memory_order_relaxed) +
+           dropped_.load(std::memory_order_relaxed);
+  }
   std::size_t max_records() const noexcept { return max_records_; }
 
   void clear();
@@ -83,7 +94,8 @@ class EchoServer {
   mutable std::mutex mutex_;
   std::vector<Record> log_;
   std::size_t max_records_ = 0;  ///< 0 = unbounded
-  std::size_t dropped_ = 0;
+  std::atomic<std::size_t> stored_{0};
+  std::atomic<std::size_t> dropped_{0};
 };
 
 /// Everything observed for one test case across the whole topology.
@@ -105,6 +117,16 @@ struct ChainObservation {
 
   /// Step 3: per back-end direct parse of the original bytes.
   std::map<std::string, impls::ServerVerdict> direct;
+
+  /// Harness fault channel.  `kNone` means every verdict above is genuine
+  /// implementation behaviour; anything else means the observation aborted
+  /// mid-flight (a model leg reset/stalled/truncated), the verdict maps are
+  /// empty, and the case must be retried or quarantined — never fed to
+  /// difference analysis as if the implementations had answered.
+  ChainError fault = ChainError::kNone;
+  std::string fault_detail;
+
+  bool faulted() const noexcept { return fault != ChainError::kNone; }
 };
 
 /// Replay-reduction heuristic (paper §IV-A step 2): skip replaying forwards
@@ -209,6 +231,12 @@ class Chain {
   /// the individual model calls across observations (results are identical
   /// with or without it — every cached call is deterministic and keyed by its
   /// full input bytes).  Safe to call concurrently; see the contract above.
+  ///
+  /// Fault tolerance: if any model leg throws `ChainFault` (fault-injected
+  /// fleets, see fault.h), the observation returns with `fault` set and no
+  /// verdicts, and nothing is recorded in `echo` — a faulted attempt leaves
+  /// no trace in the forward log, so counters match the fault-free run once
+  /// the case is retried to success.
   ChainObservation observe(std::string_view uuid, std::string_view raw,
                            EchoServer* echo = nullptr,
                            VerdictCache* cache = nullptr) const;
@@ -221,6 +249,13 @@ class Chain {
   }
 
  private:
+  /// The three observation steps, minus fault handling; throws ChainFault
+  /// through from the models.  `pending_echo` (when non-null) buffers the
+  /// would-be echo records for the caller to flush on success.
+  void observe_steps(
+      ChainObservation& obs, std::string_view raw, VerdictCache* cache,
+      std::vector<std::pair<std::string, std::string>>* pending_echo) const;
+
   std::vector<const impls::HttpImplementation*> proxies_;
   std::vector<const impls::HttpImplementation*> backends_;
   ChainOptions options_;

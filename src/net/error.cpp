@@ -1,0 +1,55 @@
+#include "net/error.h"
+
+#include <algorithm>
+
+namespace hdiff::net {
+
+namespace {
+
+/// splitmix64 — deterministic 64-bit mix for the jitter hash.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_bytes(std::uint64_t seed, std::string_view bytes) noexcept {
+  std::uint64_t h = seed ^ 14695981039346656037ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+std::string_view to_string(ChainError e) noexcept {
+  switch (e) {
+    case ChainError::kNone: return "none";
+    case ChainError::kTimeout: return "timeout";
+    case ChainError::kReset: return "reset";
+    case ChainError::kTruncated: return "truncated";
+    case ChainError::kConnectFail: return "connect-fail";
+    case ChainError::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+int RetryPolicy::backoff_ms(int completed_attempts,
+                            std::string_view key) const noexcept {
+  const int shift = std::min(completed_attempts, 16);
+  long long delay = static_cast<long long>(std::max(backoff_base_ms, 0))
+                    << shift;
+  delay = std::min<long long>(delay, std::max(backoff_max_ms, 0));
+  if (delay <= 0) return 0;
+  const std::uint64_t h =
+      mix64(hash_bytes(jitter_seed, key) ^
+            static_cast<std::uint64_t>(completed_attempts));
+  const long long half = delay / 2;
+  return static_cast<int>(half + static_cast<long long>(
+                                     h % static_cast<std::uint64_t>(delay - half + 1)));
+}
+
+}  // namespace hdiff::net

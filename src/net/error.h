@@ -1,0 +1,75 @@
+// Structured harness-fault taxonomy for the test chain.
+//
+// The live chain (tcp.h) and the in-process chain (chain.h) both drive
+// implementations that can misbehave for reasons that have nothing to do
+// with HTTP semantics: a peer resets, a socket stalls, a response arrives
+// truncated.  The seed collapsed every such failure into an empty response,
+// which difference analysis cannot tell apart from "the implementation
+// rejected the request" — one bad socket could masquerade as a behavioural
+// difference.  `ChainError` names the failure modes explicitly so every
+// layer above (chain observation, executor retry/quarantine, detection)
+// can distinguish *harness fault* from *implementation behaviour*.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hdiff::net {
+
+/// Why an observation (or one leg of it) failed at the harness level.
+/// `kNone` means the observation is a genuine implementation behaviour.
+enum class ChainError {
+  kNone,         ///< no harness fault; verdicts are trustworthy
+  kTimeout,      ///< peer went silent before the response completed
+  kReset,        ///< connection reset / closed before any usable response
+  kTruncated,    ///< peer closed mid-message (framing says bytes are missing)
+  kConnectFail,  ///< could not reach the peer at all
+  kMalformed,    ///< peer answered bytes that are not an HTTP response
+};
+
+/// Number of `ChainError` values (for per-kind counter arrays).
+inline constexpr std::size_t kChainErrorCount = 6;
+
+std::string_view to_string(ChainError e) noexcept;
+
+/// Thrown by fault-injecting decorators (fault.h) and catchable by the
+/// chain: carries the taxonomy entry so the observation records *why* it
+/// failed instead of fabricating an empty verdict.
+class ChainFault : public std::runtime_error {
+ public:
+  ChainFault(ChainError error, const std::string& detail)
+      : std::runtime_error(detail), error_(error) {}
+
+  ChainError error() const noexcept { return error_; }
+
+ private:
+  ChainError error_;
+};
+
+/// Retry/backoff policy shared by the TCP client and the executor.
+///
+/// Backoff is exponential with *deterministic* jitter: the jitter for a
+/// given (key, attempt) is a pure hash, so two identical runs sleep the
+/// same schedule and a differential run stays reproducible end to end.
+struct RetryPolicy {
+  /// Total observation attempts per case (first try included).  1 = no
+  /// retries (the seed's behaviour).
+  int attempts = 3;
+  /// Backoff before retry k (0-based) is ~ `backoff_base_ms << k`, capped
+  /// at `backoff_max_ms`, jittered into [delay/2, delay].
+  int backoff_base_ms = 1;
+  int backoff_max_ms = 50;
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Wall-clock budget per case across all attempts; once exceeded no
+  /// further attempt is started (a finished good attempt is always kept).
+  /// 0 = unlimited.
+  int case_deadline_ms = 0;
+
+  /// Milliseconds to sleep before retry number `completed_attempts`
+  /// (0-based), jitter keyed by `key` (typically the raw request bytes).
+  int backoff_ms(int completed_attempts, std::string_view key) const noexcept;
+};
+
+}  // namespace hdiff::net

@@ -1,0 +1,164 @@
+#include "net/fault.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace hdiff::net {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv_step(std::uint64_t h, std::string_view bytes) noexcept {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= 0xff;  // field separator: "ab"+"c" and "a"+"bc" hash differently
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// Map a hash to [0, 1).
+double hash01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kReset: return "reset";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kConnectFail: return "connect-fail";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {
+  if (config_.kinds.empty()) config_.kinds = {FaultKind::kReset};
+}
+
+std::uint64_t FaultPlan::site_hash(std::string_view op, std::string_view impl,
+                                   std::string_view bytes) const noexcept {
+  std::uint64_t h = config_.seed ^ 14695981039346656037ull;
+  h = fnv_step(h, op);
+  h = fnv_step(h, impl);
+  h = fnv_step(h, bytes);
+  return mix64(h);
+}
+
+bool FaultPlan::is_victim_site(std::string_view op, std::string_view impl,
+                               std::string_view bytes) const noexcept {
+  if (config_.rate <= 0.0) return false;
+  return hash01(site_hash(op, impl, bytes)) < config_.rate;
+}
+
+std::optional<FaultKind> FaultPlan::decide(std::string_view op,
+                                           std::string_view impl,
+                                           std::string_view bytes) {
+  std::optional<FaultKind> kind;
+  const std::uint64_t site = site_hash(op, impl, bytes);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.calls;
+  ++calls_;
+  if (config_.every_nth != 0 && calls_ % config_.every_nth == 0) {
+    kind = config_.kinds[(calls_ / config_.every_nth) % config_.kinds.size()];
+  } else if (config_.rate > 0.0 && hash01(site) < config_.rate) {
+    std::size_t& so_far = faults_by_site_[site];
+    if (config_.max_faults_per_site == 0 ||
+        so_far < config_.max_faults_per_site) {
+      ++so_far;
+      kind = config_.kinds[site % config_.kinds.size()];
+    }
+  }
+  if (kind) {
+    ++stats_.injected;
+    ++stats_.by_kind[static_cast<std::size_t>(*kind)];
+  }
+  return kind;
+}
+
+FaultPlan::Stats FaultPlan::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+FaultyImplementation::FaultyImplementation(
+    const impls::HttpImplementation& inner, std::shared_ptr<FaultPlan> plan)
+    : impls::ImplementationDecorator(inner), plan_(std::move(plan)) {}
+
+void FaultyImplementation::maybe_fault(std::string_view op,
+                                       std::string_view bytes) const {
+  const std::optional<FaultKind> kind = plan_->decide(op, name(), bytes);
+  if (!kind) return;
+  const auto sleep = [&] {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(plan_->config().delay_ms));
+  };
+  const auto detail = [&](ChainError e) {
+    return std::string(to_string(e)) + " fault injected at " +
+           std::string(op) + "(" + std::string(name()) + ")";
+  };
+  switch (*kind) {
+    case FaultKind::kDelay:
+      sleep();
+      return;  // latency only: the call proceeds normally
+    case FaultKind::kStall:
+      sleep();
+      throw ChainFault(ChainError::kTimeout, detail(ChainError::kTimeout));
+    case FaultKind::kReset:
+      throw ChainFault(ChainError::kReset, detail(ChainError::kReset));
+    case FaultKind::kTruncate:
+      throw ChainFault(ChainError::kTruncated,
+                       detail(ChainError::kTruncated));
+    case FaultKind::kConnectFail:
+      throw ChainFault(ChainError::kConnectFail,
+                       detail(ChainError::kConnectFail));
+  }
+}
+
+impls::ServerVerdict FaultyImplementation::parse_request(
+    std::string_view raw) const {
+  maybe_fault("parse", raw);
+  return inner_.parse_request(raw);
+}
+
+impls::ProxyVerdict FaultyImplementation::forward_request(
+    std::string_view raw) const {
+  maybe_fault("forward", raw);
+  return inner_.forward_request(raw);
+}
+
+std::string FaultyImplementation::respond(std::string_view raw) const {
+  maybe_fault("respond", raw);
+  return inner_.respond(raw);
+}
+
+impls::RelayOutcome FaultyImplementation::relay_response(
+    std::string_view backend_bytes, http::Method request_method) const {
+  maybe_fault("relay", backend_bytes);
+  return inner_.relay_response(backend_bytes, request_method);
+}
+
+std::vector<std::unique_ptr<impls::HttpImplementation>> wrap_fleet_with_faults(
+    const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet,
+    std::shared_ptr<FaultPlan> plan) {
+  std::vector<std::unique_ptr<impls::HttpImplementation>> wrapped;
+  wrapped.reserve(fleet.size());
+  for (const auto& impl : fleet) {
+    wrapped.push_back(std::make_unique<FaultyImplementation>(*impl, plan));
+  }
+  return wrapped;
+}
+
+}  // namespace hdiff::net

@@ -1,0 +1,141 @@
+// Deterministic fault injection for the test chain.
+//
+// The paper's real deployment (Fig. 6) drives remote HTTP implementations
+// that stall, reset connections and truncate responses.  To prove the
+// pipeline degrades gracefully under exactly those conditions, `FaultPlan`
+// decides — deterministically, from a seed — which model calls misbehave,
+// and `FaultyImplementation` wraps any `HttpImplementation` so the planned
+// faults surface as `ChainFault` throws (or injected latency) instead of
+// silently-wrong verdicts.  The chain converts the throw into a structured
+// `ChainObservation::fault`, the executor retries/quarantines, and the
+// detection layer never sees a fault-induced false differential.
+//
+// Thread-safety: `FaultPlan` is internally synchronized and may be shared
+// by decorators across executor workers.  `FaultyImplementation` keeps the
+// `const`-entry-point contract of chain.h; its only state is the shared
+// plan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "impls/model.h"
+#include "net/error.h"
+
+namespace hdiff::net {
+
+/// What an injected fault does to the wrapped call.
+enum class FaultKind {
+  kDelay,        ///< sleep `delay_ms`, then answer normally (latency only)
+  kStall,        ///< sleep `delay_ms`, then fail as ChainError::kTimeout
+  kReset,        ///< fail as ChainError::kReset
+  kTruncate,     ///< fail as ChainError::kTruncated (partial bytes detected)
+  kConnectFail,  ///< fail as ChainError::kConnectFail
+};
+
+inline constexpr std::size_t kFaultKindCount = 5;
+
+std::string_view to_string(FaultKind k) noexcept;
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+
+  /// Probability that a given call *site* — the (operation, implementation,
+  /// input bytes) triple — is a fault victim.  Victim selection is a pure
+  /// hash of the seed and the triple, so it is identical across runs,
+  /// thread schedules and retries: a victim site faults its first
+  /// `max_faults_per_site` calls and then behaves normally forever
+  /// (intermittent fault), or faults every call when that cap is 0
+  /// (persistent fault).
+  double rate = 0.0;
+
+  /// Intermittency: how many times a victim site faults before recovering.
+  /// 0 = never recovers (persistent).  With `k` and an executor retry
+  /// budget of at least k+1 attempts per distinct victim site touched by a
+  /// case, every case eventually observes fault-free.
+  std::size_t max_faults_per_site = 1;
+
+  /// Additionally fault every Nth call through the plan, regardless of
+  /// site (0 = off).  The global counter depends on call order, so this
+  /// mode is for serial/self-test use; `rate` is the schedule-independent
+  /// mode.
+  std::size_t every_nth = 0;
+
+  /// Fault kinds to inject; a victim site's kind is chosen by hash, every-
+  /// Nth faults cycle through the list.
+  std::vector<FaultKind> kinds = {FaultKind::kReset, FaultKind::kTruncate,
+                                  FaultKind::kConnectFail};
+
+  /// Sleep for kDelay / kStall faults.
+  int delay_ms = 1;
+};
+
+/// Deterministic, seedable fault schedule.  See FaultPlanConfig.
+class FaultPlan {
+ public:
+  struct Stats {
+    std::size_t calls = 0;     ///< model calls consulted
+    std::size_t injected = 0;  ///< faults injected (kDelay included)
+    std::array<std::size_t, kFaultKindCount> by_kind{};
+  };
+
+  explicit FaultPlan(FaultPlanConfig config);
+
+  /// Decide the fault (if any) for one call of `op` ("parse", "forward",
+  /// "respond", "relay") on implementation `impl` with input `bytes`.
+  std::optional<FaultKind> decide(std::string_view op, std::string_view impl,
+                                  std::string_view bytes);
+
+  /// Pure victim query (no counters touched): would `rate` select this
+  /// call site?  Lets tests predict the schedule.
+  bool is_victim_site(std::string_view op, std::string_view impl,
+                      std::string_view bytes) const noexcept;
+
+  const FaultPlanConfig& config() const noexcept { return config_; }
+  Stats stats() const;
+
+ private:
+  std::uint64_t site_hash(std::string_view op, std::string_view impl,
+                          std::string_view bytes) const noexcept;
+
+  FaultPlanConfig config_;
+  mutable std::mutex mutex_;
+  std::size_t calls_ = 0;
+  Stats stats_;
+  std::unordered_map<std::uint64_t, std::size_t> faults_by_site_;
+};
+
+/// Decorator injecting the plan's faults in front of any implementation.
+/// Failing kinds throw ChainFault *before* touching the wrapped model —
+/// exactly like a socket that dies before the peer answers.
+class FaultyImplementation final : public impls::ImplementationDecorator {
+ public:
+  FaultyImplementation(const impls::HttpImplementation& inner,
+                       std::shared_ptr<FaultPlan> plan);
+
+  impls::ServerVerdict parse_request(std::string_view raw) const override;
+  impls::ProxyVerdict forward_request(std::string_view raw) const override;
+  std::string respond(std::string_view raw) const override;
+  impls::RelayOutcome relay_response(std::string_view backend_bytes,
+                                     http::Method request_method)
+      const override;
+
+ private:
+  void maybe_fault(std::string_view op, std::string_view bytes) const;
+
+  std::shared_ptr<FaultPlan> plan_;
+};
+
+/// Wrap every member of `fleet` with the same plan.  Non-owning with
+/// respect to `fleet`: the originals must outlive the returned decorators.
+std::vector<std::unique_ptr<impls::HttpImplementation>> wrap_fleet_with_faults(
+    const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet,
+    std::shared_ptr<FaultPlan> plan);
+
+}  // namespace hdiff::net

@@ -1,43 +1,122 @@
 #include "net/tcp.h"
 
+#include <cerrno>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <stdexcept>
+
+#include "http/lexer.h"
+#include "http/response.h"
 
 namespace hdiff::net {
 
 namespace {
 
+/// How a read loop stopped.
+enum class StreamEnd {
+  kIdle,   ///< idle timeout
+  kClose,  ///< orderly peer close
+  kError,  ///< recv error (reset)
+};
+
+struct ReadOutcome {
+  std::string bytes;
+  StreamEnd end = StreamEnd::kIdle;
+};
+
 /// Read until `idle_timeout_ms` of silence, peer close, or `stop` returns
 /// true for the accumulated bytes.
-std::string read_available(int fd, int idle_timeout_ms,
+ReadOutcome read_available(int fd, int idle_timeout_ms,
                            const std::function<bool(std::string_view)>& stop) {
-  std::string out;
+  ReadOutcome out;
   char buf[4096];
   while (true) {
     pollfd pfd{fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, idle_timeout_ms);
-    if (ready <= 0) break;  // timeout or error: treat what we have as final
+    if (ready == 0) {
+      out.end = StreamEnd::kIdle;
+      break;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      out.end = StreamEnd::kError;
+      break;
+    }
     ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;  // peer closed
-    out.append(buf, static_cast<std::size_t>(n));
-    if (stop && stop(out)) break;
+    if (n == 0) {
+      out.end = StreamEnd::kClose;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.end = StreamEnd::kError;
+      break;
+    }
+    out.bytes.append(buf, static_cast<std::size_t>(n));
+    if (stop && stop(out.bytes)) {
+      out.end = StreamEnd::kClose;  // logically complete
+      break;
+    }
   }
   return out;
 }
 
-void send_all(int fd, std::string_view bytes) {
+/// Write all of `bytes`; survives short sends and EINTR, and uses
+/// MSG_NOSIGNAL so a peer reset surfaces as EPIPE instead of killing the
+/// serving thread with SIGPIPE.  Returns false if the peer went away.
+bool send_all(int fd, std::string_view bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
-    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
-    if (n <= 0) return;
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
     off += static_cast<std::size_t>(n);
   }
+  return true;
+}
+
+/// Classify how a client exchange ended, given the accumulated response
+/// bytes, the request (for HEAD framing) and how the stream stopped.
+ChainError classify_response(std::string_view bytes, std::string_view request,
+                             StreamEnd end) {
+  if (bytes.empty()) {
+    // Connected, sent the request, got nothing back: silence is a timeout,
+    // anything else is the peer going away.
+    return end == StreamEnd::kIdle ? ChainError::kTimeout : ChainError::kReset;
+  }
+  if (bytes.substr(0, 5) != "HTTP/") return ChainError::kMalformed;
+  if (bytes.find("\r\n\r\n") == std::string_view::npos) {
+    // Header block never completed.
+    switch (end) {
+      case StreamEnd::kIdle: return ChainError::kTimeout;
+      case StreamEnd::kClose: return ChainError::kTruncated;
+      case StreamEnd::kError: return ChainError::kReset;
+    }
+  }
+  const http::Method method =
+      http::method_from_token(http::lex_request(request).line.method_token);
+  http::FramedResponse framed = http::frame_first_response(bytes, method);
+  if (!framed.head.status_line_valid()) return ChainError::kMalformed;
+  // Read-until-close framing cannot distinguish "done" from "cut off";
+  // frame_first_response reports it complete, matching the legacy
+  // read-to-idle semantics.
+  if (framed.complete) return ChainError::kNone;
+  switch (end) {
+    case StreamEnd::kIdle: return ChainError::kTimeout;
+    case StreamEnd::kClose: return ChainError::kTruncated;
+    case StreamEnd::kError: return ChainError::kReset;
+  }
+  return ChainError::kMalformed;  // unreachable
 }
 
 /// Render the model's verdict as a real HTTP response whose headers carry
@@ -59,59 +138,102 @@ std::string render_response(const impls::ServerVerdict& v) {
   return out;
 }
 
+void abort_connection(int fd) {
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
 }  // namespace
 
 TcpListener::TcpListener() {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
   int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = 0;
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd_, 8) < 0) {
-    ::close(fd_);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 8) < 0) {
+    ::close(fd);
     throw std::runtime_error("bind/listen failed");
   }
   socklen_t len = sizeof addr;
-  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  fd_.store(fd, std::memory_order_release);
 }
 
 TcpListener::~TcpListener() { close_listener(); }
 
 int TcpListener::accept_connection() const {
-  if (fd_ < 0) return -1;
-  return ::accept(fd_, nullptr, nullptr);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return -1;
+  return ::accept(fd, nullptr, nullptr);
 }
 
 void TcpListener::close_listener() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // exchange() makes concurrent closes idempotent; shutdown() unblocks a
+  // serve thread parked in accept() on the captured fd.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
-std::string tcp_roundtrip(std::uint16_t port, std::string_view request,
-                          int idle_timeout_ms) {
+TcpResult tcp_roundtrip(std::uint16_t port, std::string_view request,
+                        int idle_timeout_ms) {
+  TcpResult result;
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return {};
+  if (fd < 0) {
+    result.error = ChainError::kConnectFail;
+    return result;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
     ::close(fd);
-    return {};
+    result.error = ChainError::kConnectFail;
+    return result;
   }
-  send_all(fd, request);
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    result.error = ChainError::kReset;
+    return result;
+  }
   ::shutdown(fd, SHUT_WR);
-  std::string response = read_available(fd, idle_timeout_ms, nullptr);
+  ReadOutcome read = read_available(fd, idle_timeout_ms, nullptr);
   ::close(fd);
-  return response;
+  result.error = classify_response(read.bytes, request, read.end);
+  result.bytes = std::move(read.bytes);
+  return result;
+}
+
+TcpResult tcp_roundtrip_retry(std::uint16_t port, std::string_view request,
+                              const RetryPolicy& retry, int idle_timeout_ms) {
+  const int attempts = retry.attempts < 1 ? 1 : retry.attempts;
+  const auto start = std::chrono::steady_clock::now();
+  TcpResult result;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    result = tcp_roundtrip(port, request, idle_timeout_ms);
+    if (result.ok()) return result;
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (retry.case_deadline_ms > 0 && elapsed_ms >= retry.case_deadline_ms) {
+      return result;
+    }
+    if (attempt + 1 < attempts) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry.backoff_ms(attempt, request)));
+    }
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -131,14 +253,19 @@ void ModelServer::serve_loop() {
   while (!stopping_) {
     int conn = listener_.accept_connection();
     if (conn < 0) break;
-    std::string raw = read_available(conn, 200, [this](std::string_view got) {
-      impls::ServerVerdict v = impl_.parse_request(got);
-      return !v.incomplete;  // complete request (accepted or rejected)
-    });
-    impls::ServerVerdict verdict = impl_.parse_request(raw);
-    send_all(conn, render_response(verdict));
-    ::shutdown(conn, SHUT_RDWR);
-    ::close(conn);
+    try {
+      std::string raw =
+          read_available(conn, 200, [this](std::string_view got) {
+            impls::ServerVerdict v = impl_.parse_request(got);
+            return !v.incomplete;  // complete request (accepted or rejected)
+          }).bytes;
+      impls::ServerVerdict verdict = impl_.parse_request(raw);
+      send_all(conn, render_response(verdict));
+    } catch (const ChainFault&) {
+      // Fault-injected model: behave like a crashed upstream — drop the
+      // connection without a response, but keep serving.
+    }
+    abort_connection(conn);
   }
 }
 
@@ -147,9 +274,10 @@ void ModelServer::serve_loop() {
 // ---------------------------------------------------------------------------
 
 ModelProxy::ModelProxy(const impls::HttpImplementation& impl,
-                       std::uint16_t backend_port)
+                       std::uint16_t backend_port, RetryPolicy backend_retry)
     : impl_(impl),
       backend_port_(backend_port),
+      backend_retry_(backend_retry),
       thread_([this] { serve_loop(); }) {}
 
 ModelProxy::~ModelProxy() {
@@ -162,27 +290,43 @@ void ModelProxy::serve_loop() {
   while (!stopping_) {
     int conn = listener_.accept_connection();
     if (conn < 0) break;
-    std::string raw = read_available(conn, 200, [this](std::string_view got) {
-      impls::ProxyVerdict v = impl_.forward_request(got);
-      return !v.incomplete;
-    });
-    impls::ProxyVerdict verdict = impl_.forward_request(raw);
-    if (verdict.forwarded()) {
-      std::string response =
-          tcp_roundtrip(backend_port_, verdict.forwarded_bytes);
-      if (response.empty()) {
-        response = "HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n";
+    try {
+      std::string raw =
+          read_available(conn, 200, [this](std::string_view got) {
+            impls::ProxyVerdict v = impl_.forward_request(got);
+            return !v.incomplete;
+          }).bytes;
+      impls::ProxyVerdict verdict = impl_.forward_request(raw);
+      if (verdict.forwarded()) {
+        TcpResult backend = tcp_roundtrip_retry(
+            backend_port_, verdict.forwarded_bytes, backend_retry_);
+        if (backend.ok()) {
+          send_all(conn, backend.bytes);
+        } else {
+          // Graceful degradation: a back-end fault becomes a gateway error
+          // carrying the structured classification, never a phantom empty
+          // response.
+          const int status =
+              backend.error == ChainError::kTimeout ? 504 : 502;
+          std::string response =
+              "HTTP/1.1 " + std::to_string(status) +
+              (status == 504 ? " Gateway Timeout" : " Bad Gateway") +
+              "\r\nX-HDiff-Chain-Error: " +
+              std::string(to_string(backend.error)) +
+              "\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+          send_all(conn, response);
+        }
+      } else {
+        std::string response = "HTTP/1.1 " + std::to_string(verdict.status) +
+                               " Error\r\nX-HDiff-Impl: " + verdict.impl +
+                               "\r\nContent-Length: 0\r\nConnection: close"
+                               "\r\n\r\n";
+        send_all(conn, response);
       }
-      send_all(conn, response);
-    } else {
-      std::string response = "HTTP/1.1 " + std::to_string(verdict.status) +
-                             " Error\r\nX-HDiff-Impl: " + verdict.impl +
-                             "\r\nContent-Length: 0\r\nConnection: close"
-                             "\r\n\r\n";
-      send_all(conn, response);
+    } catch (const ChainFault&) {
+      // Fault-injected proxy model: crash the connection, not the thread.
     }
-    ::shutdown(conn, SHUT_RDWR);
-    ::close(conn);
+    abort_connection(conn);
   }
 }
 

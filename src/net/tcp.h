@@ -6,6 +6,14 @@
 // serviced at a time per server, used by examples/live_chain.cpp and the
 // live-chain integration test.  The in-process Chain (chain.h) remains the
 // engine for bulk differential testing.
+//
+// Fault model: every client round trip returns a `TcpResult` carrying a
+// `ChainError` classification alongside whatever bytes arrived, so a
+// connect failure, a stalled peer and a legitimately empty response are
+// three different observations — the seed's ""-on-failure conflation is
+// gone.  Serving threads survive peer resets (MSG_NOSIGNAL, short-send
+// handling) and fault-injected models (a ChainFault aborts the connection,
+// simulating a crashed upstream, instead of killing the thread).
 #pragma once
 
 #include <atomic>
@@ -15,6 +23,7 @@
 #include <thread>
 
 #include "impls/model.h"
+#include "net/error.h"
 
 namespace hdiff::net {
 
@@ -31,24 +40,53 @@ class TcpListener {
   /// Blocking accept; returns the connection fd or -1 once closed.
   int accept_connection() const;
 
-  /// Unblock any pending accept and invalidate the listener.
+  /// Unblock any pending accept and invalidate the listener.  Safe to call
+  /// from a different thread than the one blocked in accept_connection()
+  /// (that is its purpose); `fd_` is atomic so the close/accept handoff is
+  /// race-free.
   void close_listener();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 
+/// Outcome of one client round trip.  `bytes` holds whatever arrived (it
+/// may be non-empty even on error — e.g. a truncated body); `error`
+/// classifies how the exchange ended.
+struct TcpResult {
+  ChainError error = ChainError::kNone;
+  std::string bytes;
+
+  bool ok() const noexcept { return error == ChainError::kNone; }
+};
+
 /// Connect to 127.0.0.1:port, send `request` and read the full response
-/// (until the peer closes or `idle_timeout_ms` of silence).  Returns the
-/// response bytes ("" on connect failure).
-std::string tcp_roundtrip(std::uint16_t port, std::string_view request,
-                          int idle_timeout_ms = 500);
+/// (until the peer closes or `idle_timeout_ms` of silence).  Classification:
+///   kConnectFail — could not connect;
+///   kReset      — peer reset, or closed before sending anything;
+///   kTimeout    — idle timeout before the response completed;
+///   kTruncated  — peer closed mid-message (framing shows missing bytes);
+///   kMalformed  — the bytes received are not an HTTP response;
+///   kNone       — a complete response (read-until-close framing counts the
+///                 close, and the idle timeout, as normal completion).
+TcpResult tcp_roundtrip(std::uint16_t port, std::string_view request,
+                        int idle_timeout_ms = 500);
+
+/// `tcp_roundtrip` under a RetryPolicy: transient failures (connect-fail,
+/// reset, timeout) are retried with exponential backoff and deterministic
+/// jitter keyed on the request bytes; the last attempt's result is
+/// returned.  kTruncated/kMalformed responses are also retried — on a
+/// flaky harness they are transport damage, not behaviour.
+TcpResult tcp_roundtrip_retry(std::uint16_t port, std::string_view request,
+                              const RetryPolicy& retry,
+                              int idle_timeout_ms = 500);
 
 /// Serve one behaviour model as a real HTTP origin server.  Each connection
 /// reads one request (until the model stops reporting `incomplete` or the
 /// peer goes idle), answers with a small response carrying the model's
-/// HMetrics as headers, and closes.
+/// HMetrics as headers, and closes.  A ChainFault from a fault-injected
+/// model aborts the connection without a response (upstream crash).
 class ModelServer {
  public:
   explicit ModelServer(const impls::HttpImplementation& impl);
@@ -68,11 +106,15 @@ class ModelServer {
 /// Serve one behaviour model as a real reverse proxy in front of
 /// `backend_port`: requests are run through forward_request(); forwarded
 /// bytes go to the back-end over a fresh connection and the back-end's
-/// response is relayed; rejections are answered locally.
+/// response is relayed; rejections are answered locally.  Back-end faults
+/// are answered as gateway errors (502, or 504 on timeout) carrying the
+/// classification in an X-HDiff-Chain-Error header.
 class ModelProxy {
  public:
-  ModelProxy(const impls::HttpImplementation& impl,
-             std::uint16_t backend_port);
+  /// `backend_retry` governs the proxy->backend leg (fixed at construction:
+  /// the serving thread starts immediately).
+  ModelProxy(const impls::HttpImplementation& impl, std::uint16_t backend_port,
+             RetryPolicy backend_retry = {.attempts = 2});
   ~ModelProxy();
 
   std::uint16_t port() const noexcept { return listener_.port(); }
@@ -82,6 +124,7 @@ class ModelProxy {
 
   const impls::HttpImplementation& impl_;
   std::uint16_t backend_port_;
+  RetryPolicy backend_retry_;
   TcpListener listener_;
   std::atomic<bool> stopping_{false};
   std::thread thread_;

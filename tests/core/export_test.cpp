@@ -199,5 +199,32 @@ TEST(FindingsExport, ContainsMatrixAndPairs) {
   EXPECT_NE(json.find("detail \\\"quoted\\\""), std::string::npos);
 }
 
+TEST(FindingsExport, ReportsDegradationAccounting) {
+  PipelineResult result;
+  result.exec_stats.faulted_attempts = 5;
+  result.exec_stats.retry_attempts = 4;
+  result.exec_stats.recovered_cases = 2;
+  result.exec_stats.quarantined_cases = 1;
+  result.exec_stats.quarantined.push_back(
+      QuarantinedCase{"u-q1", net::ChainError::kReset, 3, "reset at parse"});
+  std::string json = export_json(result);
+  EXPECT_NE(json.find("\"degradation\":{\"faulted_attempts\":5,"
+                      "\"retry_attempts\":4,\"recovered_cases\":2,"
+                      "\"quarantined_cases\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"uuid\":\"u-q1\",\"error\":\"reset\",\"attempts\":3,"
+                      "\"detail\":\"reset at parse\"}"),
+            std::string::npos);
+}
+
+TEST(FindingsExport, DegradationZeroOnHealthyRun) {
+  PipelineResult result;
+  std::string json = export_json(result);
+  EXPECT_NE(json.find("\"degradation\":{\"faulted_attempts\":0,"
+                      "\"retry_attempts\":0,\"recovered_cases\":0,"
+                      "\"quarantined_cases\":0,\"quarantined\":[]}"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace hdiff::core

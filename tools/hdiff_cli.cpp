@@ -4,20 +4,29 @@
 //   hdiff srs [rfc7230 ...]            list extracted specification reqs
 //   hdiff generate [--out FILE]        generate the test corpus (JSON)
 //   hdiff run [--corpus FILE] [--json FILE] [--jobs N] [--no-memo]
+//             [--retries N] [--case-deadline-ms N]
 //                                      full differential run; optionally
 //                                      replay a saved corpus / export JSON;
 //                                      --jobs shards the chain stage over N
 //                                      workers (default: all cores, 1 =
 //                                      serial), --no-memo disables the
-//                                      observation/verdict caches
+//                                      observation/verdict caches,
+//                                      --retries/--case-deadline-ms set the
+//                                      fault-degradation policy
+//   hdiff selftest [--fault-plan SPEC] run the pipeline against a
+//                                      deliberately faulty fleet and assert
+//                                      zero fault-induced false differentials
 //   hdiff audit FRONT BACK             audit one proxy/origin combination
 //   hdiff parse IMPL                   parse one raw request from stdin
 //                                      under IMPL's model and show HMetrics
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <set>
 #include <sstream>
 
 #include "core/export.h"
@@ -26,6 +35,7 @@
 #include "core/hdiff.h"
 #include "core/probes.h"
 #include "impls/products.h"
+#include "net/fault.h"
 #include "report/table.h"
 
 namespace {
@@ -38,8 +48,15 @@ int usage() {
       "  srs [docs...]                list extracted SRs\n"
       "  generate [--out FILE]        write the generated corpus as JSON\n"
       "  run [--corpus FILE] [--json FILE] [--jobs N] [--no-memo]\n"
+      "      [--retries N] [--case-deadline-ms N]\n"
       "                               full differential run (N workers;\n"
       "                               default all cores, 1 = serial)\n"
+      "  selftest [--fault-plan SPEC] [--jobs N] [--retries N]\n"
+      "                               fault-plan self-test: run the chain\n"
+      "                               against deliberately faulty models and\n"
+      "                               assert zero false differentials\n"
+      "                               (SPEC: rate=0.3,seed=1,max=1,nth=0,\n"
+      "                               delay=1,kinds=reset+truncate+connect)\n"
       "  audit FRONT BACK             audit one proxy/origin pair\n"
       "  parse IMPL                   parse stdin as IMPL (server model)\n");
   return 2;
@@ -145,6 +162,25 @@ int cmd_run(int argc, char** argv) {
       }
       exec_config.jobs = static_cast<std::size_t>(jobs);
     }
+    if (std::strcmp(argv[i], "--retries") == 0) {
+      const long retries = std::atol(argv[i + 1]);
+      if (retries < 1) {
+        std::fprintf(stderr, "--retries wants a positive integer, got %s\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      exec_config.retry.attempts = static_cast<int>(retries);
+    }
+    if (std::strcmp(argv[i], "--case-deadline-ms") == 0) {
+      const long deadline = std::atol(argv[i + 1]);
+      if (deadline < 0) {
+        std::fprintf(stderr,
+                     "--case-deadline-ms wants a non-negative integer, got %s\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      exec_config.retry.case_deadline_ms = static_cast<int>(deadline);
+    }
   }
 
   hdiff::core::PipelineResult result;
@@ -188,6 +224,20 @@ int cmd_run(int argc, char** argv) {
       result.exec_stats.jobs, 100.0 * result.exec_stats.memo_hit_rate(),
       100.0 * result.exec_stats.verdict_hit_rate(),
       result.exec_stats.echo_records, result.exec_stats.echo_dropped);
+  if (result.exec_stats.faulted_attempts > 0 ||
+      result.exec_stats.quarantined_cases > 0) {
+    std::printf(
+        "harness faults: %zu faulted attempt(s), %zu retried, %zu case(s) "
+        "recovered, %zu quarantined\n",
+        result.exec_stats.faulted_attempts, result.exec_stats.retry_attempts,
+        result.exec_stats.recovered_cases,
+        result.exec_stats.quarantined_cases);
+    for (const auto& q : result.exec_stats.quarantined) {
+      std::printf("  quarantined %s after %zu attempt(s): %s (%s)\n",
+                  q.uuid.c_str(), q.attempts,
+                  std::string(to_string(q.error)).c_str(), q.detail.c_str());
+    }
+  }
 
   if (!json_path.empty()) {
     if (!write_file(json_path, hdiff::core::export_json(result))) {
@@ -195,6 +245,194 @@ int cmd_run(int argc, char** argv) {
       return 1;
     }
     std::printf("findings exported to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+// ---- selftest: fault-plan self-test (graceful-degradation proof) ----------
+
+/// Parse "rate=0.3,seed=7,max=1,nth=0,delay=1,kinds=reset+truncate" into a
+/// FaultPlanConfig.  Unknown keys are rejected.
+bool parse_fault_plan(std::string_view spec,
+                      hdiff::net::FaultPlanConfig* out) {
+  std::stringstream ss{std::string(spec)};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "rate") {
+      out->rate = std::atof(value.c_str());
+    } else if (key == "seed") {
+      out->seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "max") {
+      out->max_faults_per_site =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (key == "nth") {
+      out->every_nth = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (key == "delay") {
+      out->delay_ms = std::atoi(value.c_str());
+    } else if (key == "kinds") {
+      out->kinds.clear();
+      std::stringstream ks{value};
+      std::string kind;
+      while (std::getline(ks, kind, '+')) {
+        if (kind == "reset") out->kinds.push_back(hdiff::net::FaultKind::kReset);
+        else if (kind == "truncate")
+          out->kinds.push_back(hdiff::net::FaultKind::kTruncate);
+        else if (kind == "connect")
+          out->kinds.push_back(hdiff::net::FaultKind::kConnectFail);
+        else if (kind == "stall")
+          out->kinds.push_back(hdiff::net::FaultKind::kStall);
+        else if (kind == "delay")
+          out->kinds.push_back(hdiff::net::FaultKind::kDelay);
+        else return false;
+      }
+      if (out->kinds.empty()) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::set<std::string> pair_keys(const hdiff::core::DetectionResult& r) {
+  std::set<std::string> keys;
+  for (const auto& p : r.pairs) {
+    keys.insert(p.front + "|" + p.back + "|" +
+                std::string(to_string(p.attack)));
+  }
+  return keys;
+}
+
+std::set<std::string> violation_keys(const hdiff::core::DetectionResult& r) {
+  std::set<std::string> keys;
+  for (const auto& v : r.violations) keys.insert(v.impl + "|" + v.sr_id);
+  return keys;
+}
+
+bool findings_identical(const hdiff::core::DetectionResult& a,
+                        const hdiff::core::DetectionResult& b) {
+  if (a.violations.size() != b.violations.size() ||
+      a.pairs.size() != b.pairs.size())
+    return false;
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    if (a.violations[i].impl != b.violations[i].impl ||
+        a.violations[i].sr_id != b.violations[i].sr_id ||
+        a.violations[i].uuid != b.violations[i].uuid ||
+        a.violations[i].detail != b.violations[i].detail)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    if (a.pairs[i].front != b.pairs[i].front ||
+        a.pairs[i].back != b.pairs[i].back ||
+        a.pairs[i].attack != b.pairs[i].attack ||
+        a.pairs[i].uuid != b.pairs[i].uuid ||
+        a.pairs[i].detail != b.pairs[i].detail)
+      return false;
+  }
+  return a.discrepancies.status_disagreements ==
+             b.discrepancies.status_disagreements &&
+         a.discrepancies.host_disagreements ==
+             b.discrepancies.host_disagreements &&
+         a.discrepancies.body_disagreements ==
+             b.discrepancies.body_disagreements &&
+         a.discrepancies.inputs_with_discrepancy ==
+             b.discrepancies.inputs_with_discrepancy &&
+         a.vector_hits == b.vector_hits;
+}
+
+int cmd_selftest(int argc, char** argv) {
+  hdiff::net::FaultPlanConfig plan_config;
+  plan_config.rate = 0.3;
+  plan_config.max_faults_per_site = 1;
+  hdiff::core::PipelineConfig config;
+  // A case can touch many distinct victim sites (one per model leg), so the
+  // default retry budget is generous: with the default one-fault-per-site
+  // plan every case converges and findings come out byte-identical.
+  config.executor.retry.attempts = 64;
+  // Faults are injected in-process; waiting between attempts would only
+  // slow the self-test down without exercising anything.
+  config.executor.retry.backoff_base_ms = 0;
+  config.executor.retry.backoff_max_ms = 0;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      if (!parse_fault_plan(argv[i + 1], &plan_config)) {
+        std::fprintf(stderr, "bad --fault-plan spec %s\n", argv[i + 1]);
+        return 2;
+      }
+    }
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      config.executor.jobs =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[i + 1])));
+    }
+    if (std::strcmp(argv[i], "--retries") == 0) {
+      config.executor.retry.attempts =
+          std::max(1, std::atoi(argv[i + 1]));
+    }
+  }
+
+  hdiff::core::Pipeline pipeline(config);
+  auto fleet = hdiff::impls::make_all_implementations();
+  std::printf("fault-free reference run...\n");
+  hdiff::core::PipelineResult baseline = pipeline.run(fleet);
+
+  auto plan = std::make_shared<hdiff::net::FaultPlan>(plan_config);
+  auto faulty = hdiff::net::wrap_fleet_with_faults(fleet, plan);
+  std::printf(
+      "degraded run (rate=%.2f seed=%llu max=%zu nth=%zu, %d retries)...\n",
+      plan_config.rate,
+      static_cast<unsigned long long>(plan_config.seed),
+      plan_config.max_faults_per_site, plan_config.every_nth,
+      config.executor.retry.attempts);
+  hdiff::core::PipelineResult degraded = pipeline.run(faulty);
+
+  const hdiff::net::FaultPlan::Stats fs = plan->stats();
+  const hdiff::core::ExecutorStats& es = degraded.exec_stats;
+  std::printf(
+      "injected %zu fault(s) over %zu model call(s); %zu faulted attempt(s), "
+      "%zu retried, %zu recovered, %zu quarantined\n",
+      fs.injected, fs.calls, es.faulted_attempts, es.retry_attempts,
+      es.recovered_cases, es.quarantined_cases);
+
+  // Core guarantee: no fault-induced false differentials — every finding of
+  // the degraded run must exist in the fault-free run.
+  const auto base_pairs = pair_keys(baseline.findings);
+  const auto base_violations = violation_keys(baseline.findings);
+  std::size_t phantom = 0;
+  for (const auto& key : pair_keys(degraded.findings)) {
+    if (!base_pairs.count(key)) {
+      std::printf("FALSE DIFFERENTIAL (pair): %s\n", key.c_str());
+      ++phantom;
+    }
+  }
+  for (const auto& key : violation_keys(degraded.findings)) {
+    if (!base_violations.count(key)) {
+      std::printf("FALSE DIFFERENTIAL (violation): %s\n", key.c_str());
+      ++phantom;
+    }
+  }
+  if (phantom > 0) {
+    std::printf("selftest FAILED: %zu fault-induced finding(s)\n", phantom);
+    return 1;
+  }
+  // With every case recovered, the findings must be byte-identical.
+  if (es.quarantined_cases == 0 &&
+      !findings_identical(baseline.findings, degraded.findings)) {
+    std::printf(
+        "selftest FAILED: zero quarantine but findings differ from the "
+        "fault-free run\n");
+    return 1;
+  }
+  if (es.quarantined_cases == 0) {
+    std::printf(
+        "selftest PASSED: findings byte-identical to the fault-free run\n");
+  } else {
+    std::printf(
+        "selftest PASSED: no false differentials (%zu case(s) quarantined, "
+        "coverage reduced)\n",
+        es.quarantined_cases);
   }
   return 0;
 }
@@ -262,6 +500,7 @@ int main(int argc, char** argv) {
   if (cmd == "srs") return cmd_srs(argc, argv);
   if (cmd == "generate") return cmd_generate(argc, argv);
   if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "selftest") return cmd_selftest(argc, argv);
   if (cmd == "audit") return cmd_audit(argc, argv);
   if (cmd == "parse") return cmd_parse(argc, argv);
   return usage();
