@@ -1,0 +1,127 @@
+// E11: observability overhead — instrument hot paths in isolation, then the
+// full differential engine traced vs. untraced.  The acceptance bar is <2%
+// wall-clock overhead at jobs=8 with metrics + tracing both enabled
+// (BM_DifferentialEngineObs/8/1 vs /8/0).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/hdiff.h"
+#include "impls/products.h"
+#include "net/chain.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instrument micro-benchmarks: the per-event costs the executor pays.
+// ---------------------------------------------------------------------------
+
+void BM_CounterAdd(benchmark::State& state) {
+  static hdiff::obs::Counter counter;
+  for (auto _ : state) {
+    counter.add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterAdd)->Threads(1)->Threads(8);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  static hdiff::obs::Histogram histogram(
+      hdiff::obs::Histogram::latency_buckets_us());
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.observe(v);
+    v = v * 33 % 1000000 + 1;  // walk the bucket ladder
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramObserve)->Threads(1)->Threads(8);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  // The executor hoists these to run start; this shows why.
+  hdiff::obs::Registry registry;
+  registry.counter("hdiff_executor_cases_total");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &registry.counter("hdiff_executor_cases_total"));
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  hdiff::obs::TraceSink sink;
+  for (auto _ : state) {
+    hdiff::obs::Span span(&sink, "bench", "bench");
+  }
+  benchmark::DoNotOptimize(sink.event_count());
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  // The whole layer off: a Span over a null sink must be a pointer test.
+  for (auto _ : state) {
+    hdiff::obs::Span span(nullptr, "bench", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+// ---------------------------------------------------------------------------
+// End-to-end overhead: the differential engine with and without obs.
+// ---------------------------------------------------------------------------
+
+/// The standard case mix exactly as the default pipeline executes it,
+/// generated once and shared by every BM_DifferentialEngineObs variant.
+const std::vector<hdiff::core::TestCase>& standard_case_mix() {
+  static const std::vector<hdiff::core::TestCase> cases = [] {
+    hdiff::core::Pipeline pipeline{hdiff::core::PipelineConfig{}};
+    return pipeline.run().executed_cases;
+  }();
+  return cases;
+}
+
+/// Args are {jobs, obs_on}.  With obs_on the registry and trace sink are
+/// constructed inside the timed loop, so their setup and every per-case
+/// event count against the instrumented run — the honest comparison.
+void BM_DifferentialEngineObs(benchmark::State& state) {
+  const auto& cases = standard_case_mix();
+  auto fleet = hdiff::impls::make_all_implementations();
+  auto chain = hdiff::net::Chain::from_fleet(fleet);
+  const bool obs_on = state.range(1) != 0;
+  hdiff::core::ExecutorStats stats;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    hdiff::obs::Registry registry;
+    hdiff::obs::TraceSink sink;
+    hdiff::core::ExecutorConfig config;
+    config.jobs = static_cast<std::size_t>(state.range(0));
+    if (obs_on) {
+      config.obs.metrics = &registry;
+      config.obs.trace = &sink;
+    }
+    hdiff::core::ParallelExecutor executor(config);
+    benchmark::DoNotOptimize(executor.run(chain, cases, &stats));
+    events = sink.event_count();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cases.size()));
+  state.counters["cases"] = static_cast<double>(cases.size());
+  state.counters["trace_events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_DifferentialEngineObs)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})  // acceptance pair: compare against {8, 0}
+    ->UseRealTime()  // count worker threads' time; CPU time only sees main
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -45,6 +45,7 @@ const net::ChainObservation* ObservationMemo::insert(std::string_view raw,
   bucket.push_back(Entry{
       std::string(raw),
       std::make_unique<net::ChainObservation>(std::move(obs))});
+  bytes_.fetch_add(raw.size(), std::memory_order_relaxed);
   return bucket.back().obs.get();
 }
 
@@ -80,6 +81,18 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
   ObservationMemo* memo_p = config_.memoize ? &memo : nullptr;
   net::VerdictCache* verdicts_p = config_.memoize ? &verdicts : nullptr;
 
+  // Observability hooks, all null/disabled by default.  Registry name
+  // lookups happen here, once per run; workers touch only sharded atomics
+  // and their own trace buffers.
+  const obs::Observability& ob = config_.obs;
+  obs::TraceSink* const trace = ob.trace;
+  const obs::Clock& clock = ob.effective_clock();
+  const obs::ChainObs chain_obs = obs::ChainObs::from(ob);
+  const obs::ChainObs* const track = chain_obs.active() ? &chain_obs : nullptr;
+  obs::Histogram* const case_us =
+      ob.metrics ? &ob.metrics->histogram("hdiff_executor_case_micros")
+                 : nullptr;
+
   // Per-case fault bookkeeping, written by whichever worker runs the case
   // and folded into the stats in stable case-index order.
   struct CaseStatus {
@@ -100,8 +113,9 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
   // retried with backoff; only fault-free observations are cached or
   // evaluated, and a case that faults through its whole retry budget is
   // quarantined (empty delta, `status.quarantined` set).
-  const auto evaluate_case = [&](const TestCase& tc, net::EchoServer& echo,
-                                 CaseStatus& status) -> DetectionResult {
+  const auto observe_and_evaluate =
+      [&](const TestCase& tc, net::EchoServer& echo,
+          CaseStatus& status) -> DetectionResult {
     if (memo_p) {
       // Only successful observations are ever inserted, so a hit is a
       // known-good observation regardless of the fault schedule.
@@ -117,7 +131,7 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
     const auto start = std::chrono::steady_clock::now();
     for (int attempt = 0;; ++attempt) {
       net::ChainObservation obs =
-          chain.observe(tc.uuid, tc.raw, &echo, verdicts_p);
+          chain.observe(tc.uuid, tc.raw, &echo, verdicts_p, track);
       status.attempts_used = static_cast<std::size_t>(attempt) + 1;
       if (!obs.faulted()) {
         if (memo_p) {
@@ -131,6 +145,10 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
       ++status.fault_counts[static_cast<std::size_t>(obs.fault)];
       status.last_error = obs.fault;
       status.last_detail = std::move(obs.fault_detail);
+      if (trace) {
+        trace->instant("fault", "executor", "error",
+                       std::string(net::to_string(obs.fault)));
+      }
       const auto elapsed_ms =
           std::chrono::duration_cast<std::chrono::milliseconds>(
               std::chrono::steady_clock::now() - start)
@@ -141,11 +159,26 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
         if (out_of_time) {
           status.last_detail += " [case deadline exceeded]";
         }
+        if (trace) trace->instant("quarantine", "executor", "uuid", tc.uuid);
         return DetectionResult{};
       }
+      obs::Span backoff(trace, "backoff", "executor");
       std::this_thread::sleep_for(std::chrono::milliseconds(
           config_.retry.backoff_ms(attempt, tc.raw)));
     }
+  };
+
+  // Timing wrapper: one "case" span and one latency sample per test case.
+  // With obs disabled this is a transparent pass-through.
+  const auto evaluate_case = [&](const TestCase& tc, net::EchoServer& echo,
+                                 CaseStatus& status) -> DetectionResult {
+    if (!trace && !case_us) return observe_and_evaluate(tc, echo, status);
+    const std::uint64_t c0 = clock.now_us();
+    DetectionResult delta = observe_and_evaluate(tc, echo, status);
+    const std::uint64_t c1 = clock.now_us();
+    if (case_us) case_us->observe(c1 - c0);
+    if (trace) trace->complete("case", "executor", c0, c1 - c0, "uuid", tc.uuid);
+    return delta;
   };
 
   // Fold one case's fault bookkeeping into the run stats (call in stable
@@ -171,9 +204,31 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
     const net::VerdictCache::Stats vs = verdicts.stats();
     local.verdict_hits = vs.hits;
     local.verdict_misses = vs.misses;
+    local.memo_bytes = memo.stored_bytes();
+    local.verdict_bytes = vs.bytes;
     local.echo_records = echo_records;
     local.echo_dropped = echo_dropped;
     local.quarantined_cases = local.quarantined.size();
+    // Fold run totals into the registry once, after the workers joined —
+    // the hot path never touches these names.
+    if (ob.metrics) {
+      obs::Registry& m = *ob.metrics;
+      m.gauge("hdiff_executor_jobs").set(static_cast<std::int64_t>(local.jobs));
+      m.counter("hdiff_executor_cases_total").add(local.cases);
+      m.counter("hdiff_memo_hits_total").add(local.memo_hits);
+      m.counter("hdiff_memo_misses_total").add(local.memo_misses);
+      m.counter("hdiff_verdict_hits_total").add(local.verdict_hits);
+      m.counter("hdiff_verdict_misses_total").add(local.verdict_misses);
+      m.gauge("hdiff_memo_bytes").set(static_cast<std::int64_t>(local.memo_bytes));
+      m.gauge("hdiff_verdict_bytes")
+          .set(static_cast<std::int64_t>(local.verdict_bytes));
+      m.counter("hdiff_echo_records_total").add(local.echo_records);
+      m.counter("hdiff_echo_dropped_total").add(local.echo_dropped);
+      m.counter("hdiff_faulted_attempts_total").add(local.faulted_attempts);
+      m.counter("hdiff_retry_attempts_total").add(local.retry_attempts);
+      m.counter("hdiff_recovered_cases_total").add(local.recovered_cases);
+      m.counter("hdiff_quarantined_cases_total").add(local.quarantined_cases);
+    }
     if (stats) *stats = std::move(local);
   };
 

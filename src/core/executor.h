@@ -45,6 +45,7 @@
 #include "core/detect.h"
 #include "core/testcase.h"
 #include "net/chain.h"
+#include "obs/obs.h"
 
 namespace hdiff::core {
 
@@ -82,6 +83,10 @@ class ObservationMemo {
   std::size_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Raw request bytes retained as memo keys (memory footprint proxy).
+  std::size_t stored_bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const;
 
  private:
@@ -101,6 +106,7 @@ class ObservationMemo {
   std::array<Shard, kShards> shards_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> bytes_{0};
 };
 
 struct ExecutorConfig {
@@ -122,6 +128,12 @@ struct ExecutorConfig {
   /// aborting the run or poisoning findings.  On a fault-free fleet this
   /// costs nothing (no fault -> no retry, no sleep).
   net::RetryPolicy retry;
+  /// Optional tracing/metrics (obs.h).  Default-disabled; when enabled the
+  /// executor emits one "case" span per test case, chain-hop spans and
+  /// latency histograms via obs::ChainObs, "fault"/"quarantine" instants,
+  /// and folds its counters into the registry when the run finishes.
+  /// Observability only reads — findings are byte-identical either way.
+  obs::Observability obs;
 };
 
 /// One case excluded from difference analysis after exhausting retries.
@@ -139,6 +151,8 @@ struct ExecutorStats {
   std::size_t memo_misses = 0;
   std::size_t verdict_hits = 0;   ///< individual model-call reuses
   std::size_t verdict_misses = 0;
+  std::size_t memo_bytes = 0;     ///< raw bytes retained as memo keys
+  std::size_t verdict_bytes = 0;  ///< input bytes retained as cache keys
   std::size_t echo_records = 0;   ///< forwards retained across worker echoes
   std::size_t echo_dropped = 0;   ///< forwards dropped by the echo bound
 

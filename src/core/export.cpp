@@ -365,6 +365,34 @@ std::string export_json(const PipelineResult& result, ExportOptions options) {
   w.end_array();
   w.end_object();
 
+  // Throughput accounting for the differential stage (mirrors
+  // ExecutorStats); cache hit rates and bytes quantify how much work the
+  // memo layers absorbed.
+  w.key("metrics").begin_object();
+  w.key("jobs").value(result.exec_stats.jobs);
+  w.key("cases").value(result.exec_stats.cases);
+  w.key("memo_hits").value(result.exec_stats.memo_hits);
+  w.key("memo_misses").value(result.exec_stats.memo_misses);
+  w.key("memo_hit_rate").value(result.exec_stats.memo_hit_rate());
+  w.key("memo_bytes").value(result.exec_stats.memo_bytes);
+  w.key("verdict_hits").value(result.exec_stats.verdict_hits);
+  w.key("verdict_misses").value(result.exec_stats.verdict_misses);
+  w.key("verdict_hit_rate").value(result.exec_stats.verdict_hit_rate());
+  w.key("verdict_bytes").value(result.exec_stats.verdict_bytes);
+  w.key("echo_records").value(result.exec_stats.echo_records);
+  w.key("echo_dropped").value(result.exec_stats.echo_dropped);
+  w.end_object();
+
+  // Per-stage wall clock in execution order (microseconds).
+  w.key("stage_timings").begin_array();
+  for (const auto& st : result.stage_timings) {
+    w.begin_object();
+    w.key("stage").value(st.stage);
+    w.key("micros").value(st.micros);
+    w.end_object();
+  }
+  w.end_array();
+
   if (options.include_test_cases) {
     w.key("cases").begin_array();
     for (const auto& tc : result.executed_cases) write_test_case(w, tc);

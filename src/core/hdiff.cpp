@@ -18,47 +18,82 @@ PipelineResult Pipeline::run(
     const {
   PipelineResult result;
 
+  const obs::Observability& ob = config_.obs;
+  const obs::Clock& clock = ob.effective_clock();
+  // Times one stage body: a StageTiming row always, plus a span and a
+  // `hdiff_stage_<name>_micros` gauge when obs is enabled.
+  const auto stage = [&](std::string_view name, auto&& body) {
+    obs::Span span(ob.trace, name, "pipeline");
+    const std::uint64_t s0 = clock.now_us();
+    body();
+    const std::uint64_t micros = clock.now_us() - s0;
+    result.stage_timings.push_back(StageTiming{std::string(name), micros});
+    if (ob.metrics) {
+      std::string metric = "hdiff_stage_";
+      for (char c : name) metric += c == '-' ? '_' : c;
+      metric += "_micros";
+      ob.metrics->gauge(metric).set(static_cast<std::int64_t>(micros));
+    }
+  };
+
   // ---- Documentation Analyzer ---------------------------------------------
-  DocumentationAnalyzer analyzer(config_.analyzer);
-  // Manual input #4: custom ABNF for rules left undefined after adaptation.
-  analyzer.set_custom_abnf("URI-reference",
-                           abnf::parse_elements("absolute-URI"));
-  analyzer.set_custom_abnf("HTTP-date",
-                           abnf::parse_elements("token"));
-  analyzer.set_custom_abnf("quoted-string",
-                           abnf::parse_elements("DQUOTE *VCHAR DQUOTE"));
-  std::vector<std::string_view> docs = config_.documents.empty()
-                                           ? corpus::http_core_documents()
-                                           : config_.documents;
-  result.analysis = analyzer.analyze(docs);
+  stage("analyze", [&] {
+    DocumentationAnalyzer analyzer(config_.analyzer);
+    // Manual input #4: custom ABNF for rules left undefined after adaptation.
+    analyzer.set_custom_abnf("URI-reference",
+                             abnf::parse_elements("absolute-URI"));
+    analyzer.set_custom_abnf("HTTP-date",
+                             abnf::parse_elements("token"));
+    analyzer.set_custom_abnf("quoted-string",
+                             abnf::parse_elements("DQUOTE *VCHAR DQUOTE"));
+    std::vector<std::string_view> docs = config_.documents.empty()
+                                             ? corpus::http_core_documents()
+                                             : config_.documents;
+    result.analysis = analyzer.analyze(docs);
+  });
 
   // ---- test-case generation -------------------------------------------------
-  SrTranslator translator(result.analysis.grammar, config_.translator);
-  std::vector<TestCase> sr_cases = translator.translate_all(result.analysis.srs);
-  result.sr_case_count = sr_cases.size();
+  std::vector<TestCase> sr_cases;
+  stage("translate-srs", [&] {
+    SrTranslator translator(result.analysis.grammar, config_.translator);
+    sr_cases = translator.translate_all(result.analysis.srs);
+    result.sr_case_count = sr_cases.size();
+  });
 
-  AbnfTestGen abnf_gen(result.analysis.grammar, config_.abnf_gen);
-  std::vector<TestCase> abnf_cases = abnf_gen.generate();
-  result.abnf_case_count = abnf_cases.size();
+  std::vector<TestCase> abnf_cases;
+  stage("generate-abnf", [&] {
+    AbnfTestGen abnf_gen(result.analysis.grammar, config_.abnf_gen);
+    abnf_cases = abnf_gen.generate();
+    result.abnf_case_count = abnf_cases.size();
+  });
 
-  if (config_.include_probes) {
-    result.executed_cases = verification_probes();
-  }
-  result.executed_cases.insert(result.executed_cases.end(),
-                               std::make_move_iterator(sr_cases.begin()),
-                               std::make_move_iterator(sr_cases.end()));
-  const std::size_t budget = config_.abnf_run_budget == 0
-                                 ? abnf_cases.size()
-                                 : config_.abnf_run_budget;
-  for (std::size_t i = 0; i < abnf_cases.size() && i < budget; ++i) {
-    result.executed_cases.push_back(std::move(abnf_cases[i]));
-  }
+  stage("assemble-cases", [&] {
+    if (config_.include_probes) {
+      result.executed_cases = verification_probes();
+    }
+    result.executed_cases.insert(result.executed_cases.end(),
+                                 std::make_move_iterator(sr_cases.begin()),
+                                 std::make_move_iterator(sr_cases.end()));
+    const std::size_t budget = config_.abnf_run_budget == 0
+                                   ? abnf_cases.size()
+                                   : config_.abnf_run_budget;
+    for (std::size_t i = 0; i < abnf_cases.size() && i < budget; ++i) {
+      result.executed_cases.push_back(std::move(abnf_cases[i]));
+    }
+  });
 
   // ---- differential testing ---------------------------------------------------
-  net::Chain chain = net::Chain::from_fleet(fleet);
-  ParallelExecutor executor(config_.executor);
-  result.findings = executor.run(chain, result.executed_cases, &result.exec_stats);
-  result.matrix = build_matrix(result.findings, result.executed_cases);
+  stage("differential", [&] {
+    net::Chain chain = net::Chain::from_fleet(fleet);
+    ExecutorConfig exec_config = config_.executor;
+    if (!exec_config.obs.enabled()) exec_config.obs = config_.obs;
+    ParallelExecutor executor(exec_config);
+    result.findings =
+        executor.run(chain, result.executed_cases, &result.exec_stats);
+  });
+  stage("build-matrix", [&] {
+    result.matrix = build_matrix(result.findings, result.executed_cases);
+  });
   return result;
 }
 

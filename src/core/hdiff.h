@@ -8,7 +8,9 @@
 // Each stage is also available separately for experiments and ablations.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/abnf_testgen.h"
@@ -38,6 +40,17 @@ struct PipelineConfig {
   /// executor.h); only time and memory change — and under harness faults,
   /// how many cases end up quarantined rather than observed.
   ExecutorConfig executor;
+  /// Optional tracing/metrics for the whole pipeline (obs.h): one span and
+  /// one `hdiff_stage_<name>_micros` gauge per stage, plus everything the
+  /// executor emits.  Propagated to the executor unless `executor.obs` is
+  /// already enabled.  Findings are byte-identical with obs on or off.
+  obs::Observability obs;
+};
+
+/// Wall-clock of one pipeline stage (microseconds, monotonic clock).
+struct StageTiming {
+  std::string stage;
+  std::uint64_t micros = 0;
 };
 
 struct PipelineResult {
@@ -53,6 +66,9 @@ struct PipelineResult {
   /// contains fault-induced differentials: faulted cases are retried and,
   /// failing that, listed in `exec_stats.quarantined` instead.
   ExecutorStats exec_stats;
+  /// Per-stage wall clock, in execution order (always populated — stage
+  /// timing costs two clock reads per stage, so it is not gated on obs).
+  std::vector<StageTiming> stage_timings;
 };
 
 class Pipeline {

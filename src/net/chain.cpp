@@ -57,6 +57,7 @@ const V& VerdictCache::get_or_compute(Inner<V>& inner, std::string_view bytes,
   std::lock_guard<std::mutex> lock(inner.mutex);
   auto [it, inserted] =
       inner.map.emplace(std::string(bytes), std::move(value));
+  if (inserted) bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
   return it->second;
 }
 
@@ -92,6 +93,7 @@ VerdictCache::Stats VerdictCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -115,7 +117,10 @@ Chain Chain::from_fleet(
 }
 
 ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
-                                EchoServer* echo, VerdictCache* cache) const {
+                                EchoServer* echo, VerdictCache* cache,
+                                const obs::ChainObs* track) const {
+  if (track && !track->active()) track = nullptr;
+
   ChainObservation obs;
   obs.uuid.assign(uuid);
   obs.request.assign(raw);
@@ -125,8 +130,9 @@ ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
   // partial forwards in the log (the retry will re-record them all).
   std::vector<std::pair<std::string, std::string>> pending_echo;
 
+  const std::uint64_t t0 = track ? track->now() : 0;
   try {
-    observe_steps(obs, raw, cache, echo ? &pending_echo : nullptr);
+    observe_steps(obs, raw, cache, echo ? &pending_echo : nullptr, track);
   } catch (const ChainFault& fault) {
     obs.proxies.clear();
     obs.replays.clear();
@@ -134,7 +140,13 @@ ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
     obs.direct.clear();
     obs.fault = fault.error();
     obs.fault_detail = fault.what();
+    if (track && track->observe_us) {
+      track->observe_us->observe(track->now() - t0);
+    }
     return obs;
+  }
+  if (track && track->observe_us) {
+    track->observe_us->observe(track->now() - t0);
   }
   if (echo) {
     for (auto& [proxy, bytes] : pending_echo) {
@@ -146,7 +158,8 @@ ChainObservation Chain::observe(std::string_view uuid, std::string_view raw,
 
 void Chain::observe_steps(
     ChainObservation& obs, std::string_view raw, VerdictCache* cache,
-    std::vector<std::pair<std::string, std::string>>* pending_echo) const {
+    std::vector<std::pair<std::string, std::string>>* pending_echo,
+    const obs::ChainObs* track) const {
   const auto replay_parse = [&](const impls::HttpImplementation& backend,
                                 std::string_view bytes) {
     return cache ? cache->parse(backend, bytes) : backend.parse_request(bytes);
@@ -168,13 +181,24 @@ void Chain::observe_steps(
   // (forwarded bytes, response streams) that collapse across distinct raws.
   std::map<std::string, std::string> first_replayer;
   for (const auto* proxy : proxies_) {
-    impls::ProxyVerdict v = proxy->forward_request(raw);
     const std::string proxy_name(proxy->name());
+    const std::uint64_t f0 = track ? track->now() : 0;
+    impls::ProxyVerdict v = proxy->forward_request(raw);
+    std::uint64_t f1 = 0;
+    if (track) {
+      f1 = track->now();
+      if (track->forward_us) track->forward_us->observe(f1 - f0);
+      if (track->trace) {
+        track->trace->complete("send->proxy", "chain", f0, f1 - f0, "proxy",
+                               proxy_name);
+      }
+    }
     if (v.forwarded()) {
       if (pending_echo) pending_echo->emplace_back(proxy_name, v.forwarded_bytes);
       auto [it, inserted] = first_replayer.emplace(v.forwarded_bytes, proxy_name);
       const http::Method forwarded_method = http::method_from_token(
           http::lex_request(v.forwarded_bytes).line.method_token);
+      const std::uint64_t r0 = track ? track->now() : 0;
       if (inserted || !options_.dedupe_identical_forwards) {
         // Step 2: replay the forwarded bytes into every back-end, and relay
         // each back-end's response stream back through this proxy.
@@ -195,14 +219,28 @@ void Chain::observe_steps(
                                         forwarded_method));
         }
       }
+      if (track) {
+        const std::uint64_t r1 = track->now();
+        if (track->replay_us) track->replay_us->observe(r1 - r0);
+        if (track->trace) {
+          track->trace->complete("forward->backend", "chain", r0, r1 - r0,
+                                 "proxy", proxy_name);
+        }
+      }
     }
     obs.proxies.emplace(proxy_name, std::move(v));
   }
 
   // Step 3: direct back-end probes (uncached; raw bytes are the memo's key).
+  const std::uint64_t d0 = track ? track->now() : 0;
   for (const auto* backend : backends_) {
     obs.direct.emplace(std::string(backend->name()),
                        backend->parse_request(raw));
+  }
+  if (track) {
+    const std::uint64_t d1 = track->now();
+    if (track->direct_us) track->direct_us->observe(d1 - d0);
+    if (track->trace) track->trace->complete("direct", "chain", d0, d1 - d0);
   }
 }
 

@@ -43,6 +43,7 @@
 
 #include "impls/model.h"
 #include "net/error.h"
+#include "obs/obs.h"
 
 namespace hdiff::net {
 
@@ -150,6 +151,7 @@ class VerdictCache {
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
+    std::size_t bytes = 0;  ///< input bytes retained as cache keys
     double hit_rate() const noexcept {
       return hits + misses == 0
                  ? 0.0
@@ -213,6 +215,7 @@ class VerdictCache {
 
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> bytes_{0};
 };
 
 /// Non-owning view over a fleet of implementations, split by role.
@@ -237,9 +240,17 @@ class Chain {
   /// verdicts, and nothing is recorded in `echo` — a faulted attempt leaves
   /// no trace in the forward log, so counters match the fault-free run once
   /// the case is retried to success.
+  ///
+  /// `track`, when provided (see obs::ChainObs), times each hop — the
+  /// send->proxy forward, the forward->backend replay block per proxy, the
+  /// direct back-end probes, and the observation as a whole — into
+  /// pre-resolved histograms and emits one trace event per hop.
+  /// Observability only reads: verdicts, echo records and cache contents
+  /// are byte-identical with or without it.
   ChainObservation observe(std::string_view uuid, std::string_view raw,
                            EchoServer* echo = nullptr,
-                           VerdictCache* cache = nullptr) const;
+                           VerdictCache* cache = nullptr,
+                           const obs::ChainObs* track = nullptr) const;
 
   const std::vector<const impls::HttpImplementation*>& proxies() const {
     return proxies_;
@@ -254,7 +265,8 @@ class Chain {
   /// would-be echo records for the caller to flush on success.
   void observe_steps(
       ChainObservation& obs, std::string_view raw, VerdictCache* cache,
-      std::vector<std::pair<std::string, std::string>>* pending_echo) const;
+      std::vector<std::pair<std::string, std::string>>* pending_echo,
+      const obs::ChainObs* track) const;
 
   std::vector<const impls::HttpImplementation*> proxies_;
   std::vector<const impls::HttpImplementation*> backends_;

@@ -94,13 +94,24 @@ FaultPlan::Stats FaultPlan::stats() const {
 }
 
 FaultyImplementation::FaultyImplementation(
-    const impls::HttpImplementation& inner, std::shared_ptr<FaultPlan> plan)
-    : impls::ImplementationDecorator(inner), plan_(std::move(plan)) {}
+    const impls::HttpImplementation& inner, std::shared_ptr<FaultPlan> plan,
+    obs::Observability obs)
+    : impls::ImplementationDecorator(inner),
+      plan_(std::move(plan)),
+      injected_(obs.metrics
+                    ? &obs.metrics->counter("hdiff_faults_injected_total")
+                    : nullptr),
+      trace_(obs.trace) {}
 
 void FaultyImplementation::maybe_fault(std::string_view op,
                                        std::string_view bytes) const {
   const std::optional<FaultKind> kind = plan_->decide(op, name(), bytes);
   if (!kind) return;
+  if (injected_) injected_->add(1);
+  if (trace_) {
+    trace_->instant("fault-injected", "fault", "kind",
+                    std::string(to_string(*kind)));
+  }
   const auto sleep = [&] {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(plan_->config().delay_ms));
@@ -152,11 +163,11 @@ impls::RelayOutcome FaultyImplementation::relay_response(
 
 std::vector<std::unique_ptr<impls::HttpImplementation>> wrap_fleet_with_faults(
     const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet,
-    std::shared_ptr<FaultPlan> plan) {
+    std::shared_ptr<FaultPlan> plan, obs::Observability obs) {
   std::vector<std::unique_ptr<impls::HttpImplementation>> wrapped;
   wrapped.reserve(fleet.size());
   for (const auto& impl : fleet) {
-    wrapped.push_back(std::make_unique<FaultyImplementation>(*impl, plan));
+    wrapped.push_back(std::make_unique<FaultyImplementation>(*impl, plan, obs));
   }
   return wrapped;
 }

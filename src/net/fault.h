@@ -27,6 +27,7 @@
 
 #include "impls/model.h"
 #include "net/error.h"
+#include "obs/obs.h"
 
 namespace hdiff::net {
 
@@ -116,8 +117,12 @@ class FaultPlan {
 /// exactly like a socket that dies before the peer answers.
 class FaultyImplementation final : public impls::ImplementationDecorator {
  public:
+  /// `obs`, when enabled, counts injections in
+  /// `hdiff_faults_injected_total` and marks each with a trace instant
+  /// (name/counter resolved once here, not per call).
   FaultyImplementation(const impls::HttpImplementation& inner,
-                       std::shared_ptr<FaultPlan> plan);
+                       std::shared_ptr<FaultPlan> plan,
+                       obs::Observability obs = {});
 
   impls::ServerVerdict parse_request(std::string_view raw) const override;
   impls::ProxyVerdict forward_request(std::string_view raw) const override;
@@ -130,12 +135,14 @@ class FaultyImplementation final : public impls::ImplementationDecorator {
   void maybe_fault(std::string_view op, std::string_view bytes) const;
 
   std::shared_ptr<FaultPlan> plan_;
+  obs::Counter* injected_ = nullptr;  ///< hdiff_faults_injected_total
+  obs::TraceSink* trace_ = nullptr;
 };
 
 /// Wrap every member of `fleet` with the same plan.  Non-owning with
 /// respect to `fleet`: the originals must outlive the returned decorators.
 std::vector<std::unique_ptr<impls::HttpImplementation>> wrap_fleet_with_faults(
     const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet,
-    std::shared_ptr<FaultPlan> plan);
+    std::shared_ptr<FaultPlan> plan, obs::Observability obs = {});
 
 }  // namespace hdiff::net

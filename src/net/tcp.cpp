@@ -240,8 +240,14 @@ TcpResult tcp_roundtrip_retry(std::uint16_t port, std::string_view request,
 // ModelServer
 // ---------------------------------------------------------------------------
 
-ModelServer::ModelServer(const impls::HttpImplementation& impl)
-    : impl_(impl), thread_([this] { serve_loop(); }) {}
+ModelServer::ModelServer(const impls::HttpImplementation& impl,
+                         obs::Observability obs)
+    : impl_(impl),
+      obs_(obs),
+      requests_(obs.metrics
+                    ? &obs.metrics->counter("hdiff_server_requests_total")
+                    : nullptr),
+      thread_([this] { serve_loop(); }) {}
 
 ModelServer::~ModelServer() {
   stopping_ = true;
@@ -253,6 +259,8 @@ void ModelServer::serve_loop() {
   while (!stopping_) {
     int conn = listener_.accept_connection();
     if (conn < 0) break;
+    obs::Span span(obs_.trace, "serve", "server");
+    if (requests_) requests_->add(1);
     try {
       std::string raw =
           read_available(conn, 200, [this](std::string_view got) {
@@ -274,10 +282,19 @@ void ModelServer::serve_loop() {
 // ---------------------------------------------------------------------------
 
 ModelProxy::ModelProxy(const impls::HttpImplementation& impl,
-                       std::uint16_t backend_port, RetryPolicy backend_retry)
+                       std::uint16_t backend_port, RetryPolicy backend_retry,
+                       obs::Observability obs)
     : impl_(impl),
       backend_port_(backend_port),
       backend_retry_(backend_retry),
+      obs_(obs),
+      requests_(obs.metrics
+                    ? &obs.metrics->counter("hdiff_proxy_requests_total")
+                    : nullptr),
+      gateway_errors_(
+          obs.metrics
+              ? &obs.metrics->counter("hdiff_proxy_gateway_errors_total")
+              : nullptr),
       thread_([this] { serve_loop(); }) {}
 
 ModelProxy::~ModelProxy() {
@@ -290,6 +307,8 @@ void ModelProxy::serve_loop() {
   while (!stopping_) {
     int conn = listener_.accept_connection();
     if (conn < 0) break;
+    obs::Span span(obs_.trace, "proxy-request", "proxy");
+    if (requests_) requests_->add(1);
     try {
       std::string raw =
           read_available(conn, 200, [this](std::string_view got) {
@@ -298,14 +317,19 @@ void ModelProxy::serve_loop() {
           }).bytes;
       impls::ProxyVerdict verdict = impl_.forward_request(raw);
       if (verdict.forwarded()) {
-        TcpResult backend = tcp_roundtrip_retry(
-            backend_port_, verdict.forwarded_bytes, backend_retry_);
+        TcpResult backend;
+        {
+          obs::Span upstream(obs_.trace, "forward->backend", "proxy");
+          backend = tcp_roundtrip_retry(backend_port_, verdict.forwarded_bytes,
+                                        backend_retry_);
+        }
         if (backend.ok()) {
           send_all(conn, backend.bytes);
         } else {
           // Graceful degradation: a back-end fault becomes a gateway error
           // carrying the structured classification, never a phantom empty
           // response.
+          if (gateway_errors_) gateway_errors_->add(1);
           const int status =
               backend.error == ChainError::kTimeout ? 504 : 502;
           std::string response =

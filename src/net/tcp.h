@@ -24,6 +24,7 @@
 
 #include "impls/model.h"
 #include "net/error.h"
+#include "obs/obs.h"
 
 namespace hdiff::net {
 
@@ -89,7 +90,12 @@ TcpResult tcp_roundtrip_retry(std::uint16_t port, std::string_view request,
 /// model aborts the connection without a response (upstream crash).
 class ModelServer {
  public:
-  explicit ModelServer(const impls::HttpImplementation& impl);
+  /// `obs`, when enabled, emits one "serve" span per connection and counts
+  /// requests in `hdiff_server_requests_total`.  The sink/registry must
+  /// outlive the server; render traces only after the server is destroyed
+  /// (the serving thread writes until then).
+  explicit ModelServer(const impls::HttpImplementation& impl,
+                       obs::Observability obs = {});
   ~ModelServer();
 
   std::uint16_t port() const noexcept { return listener_.port(); }
@@ -99,6 +105,8 @@ class ModelServer {
 
   const impls::HttpImplementation& impl_;
   TcpListener listener_;
+  obs::Observability obs_;
+  obs::Counter* requests_ = nullptr;
   std::atomic<bool> stopping_{false};
   std::thread thread_;
 };
@@ -112,9 +120,13 @@ class ModelServer {
 class ModelProxy {
  public:
   /// `backend_retry` governs the proxy->backend leg (fixed at construction:
-  /// the serving thread starts immediately).
+  /// the serving thread starts immediately).  `obs`, when enabled, emits a
+  /// "proxy-request" span per connection and a "forward->backend" span per
+  /// upstream leg, and counts requests/gateway errors; same lifetime rules
+  /// as ModelServer.
   ModelProxy(const impls::HttpImplementation& impl, std::uint16_t backend_port,
-             RetryPolicy backend_retry = {.attempts = 2});
+             RetryPolicy backend_retry = {.attempts = 2},
+             obs::Observability obs = {});
   ~ModelProxy();
 
   std::uint16_t port() const noexcept { return listener_.port(); }
@@ -126,6 +138,9 @@ class ModelProxy {
   std::uint16_t backend_port_;
   RetryPolicy backend_retry_;
   TcpListener listener_;
+  obs::Observability obs_;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* gateway_errors_ = nullptr;
   std::atomic<bool> stopping_{false};
   std::thread thread_;
 };

@@ -1,0 +1,61 @@
+// Injectable time source for the observability layer.
+//
+// Everything in hdiff::obs that reads time — spans, stage timings, latency
+// histograms — goes through a `Clock` so tests can drive a `ManualClock`
+// and assert exact timestamps/durations, while production uses the
+// monotonic `SteadyClock`.  All values are microseconds on an arbitrary
+// monotonic epoch (Chrome trace-event `ts` units).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace hdiff::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds; the epoch is unspecified but fixed for the
+  /// process, so differences and orderings are meaningful everywhere.
+  virtual std::uint64_t now_us() const noexcept = 0;
+};
+
+/// Production clock: std::chrono::steady_clock in microseconds.  Stateless;
+/// every instance reads the same epoch, so mixing instances is safe.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_us() const noexcept override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Shared stateless SteadyClock, the fallback wherever no clock is injected.
+const Clock& steady_clock_instance() noexcept;
+
+/// Test clock: time moves only when the test says so.  Thread-safe, so a
+/// multi-worker run under a ManualClock is race-free (all events simply land
+/// on the same instant unless the test advances between phases).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_us = 0) : now_(start_us) {}
+
+  std::uint64_t now_us() const noexcept override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance_us(std::uint64_t delta) noexcept {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set_us(std::uint64_t t) noexcept {
+    now_.store(t, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace hdiff::obs

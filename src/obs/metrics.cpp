@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+
+namespace hdiff::obs {
+
+const Clock& steady_clock_instance() noexcept {
+  static const SteadyClock clock;
+  return clock;
+}
+
+std::size_t shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      stride_(bounds_.size() + 1),
+      cells_(kMetricShards * stride_) {
+  if (bounds_.empty()) {
+    bounds_ = latency_buckets_us();
+    stride_ = bounds_.size() + 1;
+    cells_ = std::vector<std::atomic<std::uint64_t>>(kMetricShards * stride_);
+  }
+}
+
+std::vector<std::uint64_t> Histogram::latency_buckets_us() {
+  return {1,    2,    5,    10,    20,    50,    100,    200,    500,
+          1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+          1000000};
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const noexcept {
+  // First bound >= value ("le" buckets); past-the-end = overflow bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  const std::size_t s = shard_slot();
+  cells_[s * stride_ + bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  totals_[s].sum.fetch_add(value, std::memory_order_relaxed);
+  totals_[s].count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& s : totals_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Histogram::sum() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& s : totals_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> merged(stride_, 0);
+  for (std::size_t s = 0; s < kMetricShards; ++s) {
+    for (std::size_t b = 0; b < stride_; ++b) {
+      merged[b] += cells_[s * stride_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += counts[b];
+    if (static_cast<double>(cum) >= rank) {
+      if (b == bounds_.size()) return static_cast<double>(bounds_.back());
+      const double lower = b == 0 ? 0.0 : static_cast<double>(bounds_[b - 1]);
+      const double upper = static_cast<double>(bounds_[b]);
+      double frac =
+          (rank - static_cast<double>(prev)) / static_cast<double>(counts[b]);
+      frac = std::clamp(frac, 0.0, 1.0);
+      return lower + frac * (upper - lower);
+    }
+  }
+  return static_cast<double>(bounds_.back());  // unreachable: cum == total
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramRow row;
+    row.name = name;
+    row.count = h->count();
+    row.sum = h->sum();
+    row.p50 = h->quantile(0.50);
+    row.p90 = h->quantile(0.90);
+    row.p99 = h->quantile(0.99);
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  std::lock_guard<std::mutex> lock(registry.mutex_);
+  for (const auto& [name, c] : registry.counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : registry.gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : registry.histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    const std::vector<std::uint64_t>& bounds = h->bounds();
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      cum += counts[b];
+      out += name + "_bucket{le=\"" + std::to_string(bounds[b]) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    cum += counts.back();
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+    out += name + "_sum " + std::to_string(h->sum()) + "\n";
+    out += name + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hdiff::obs

@@ -1,0 +1,155 @@
+// Low-overhead metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms with quantile estimation.
+//
+// Hot-path instruments (Counter::add, Histogram::observe) are sharded over a
+// fixed set of cache-line-padded slots; a thread picks its slot once
+// (thread-local) and then increments with a relaxed atomic, so executor
+// workers at `--jobs 8` never contend on a shared counter line.  Reads merge
+// the slots, so `value()` is exact once the writing threads are quiescent
+// and monotonically approximate while they are running — the same contract
+// as the EchoServer counters.
+//
+// The registry hands out stable references: entries are heap-allocated and
+// never erased, so call sites hoist `&registry.counter("x")` out of loops
+// and skip the name lookup on the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::obs {
+
+/// Slots for sharded hot-path instruments.  More than the executor's
+/// practical worker count; collisions only cost contention, never accuracy.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// This thread's shard slot (assigned round-robin on first use).
+std::size_t shard_slot() noexcept;
+
+/// Monotonic counter, per-thread-sharded.  add() is wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    slots_[shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Merged total across shards.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kMetricShards> slots_{};
+};
+
+/// Last-write-wins scalar (worker counts, stage timings, config echoes).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    v_.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram over unsigned values (microseconds by
+/// convention), per-thread-sharded like Counter.  Bucket `i` counts values
+/// `v <= bounds[i]` (Prometheus `le` semantics); one extra overflow bucket
+/// catches everything beyond the last bound.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+
+  /// Merged per-bucket counts, `bounds().size() + 1` entries (overflow
+  /// bucket last).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Rank-interpolated quantile estimate, `q` clamped to [0, 1].  An empty
+  /// histogram reports 0; values in the overflow bucket clamp the estimate
+  /// to the last finite bound (the histogram cannot see past it).
+  double quantile(double q) const;
+
+  const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+
+  /// Default latency bucket ladder: 1us .. 1s in a 1-2-5 progression.
+  static std::vector<std::uint64_t> latency_buckets_us();
+
+ private:
+  std::size_t bucket_index(std::uint64_t value) const noexcept;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  std::vector<std::uint64_t> bounds_;
+  std::size_t stride_;  ///< buckets per shard row == bounds_.size() + 1
+  /// Shard-major bucket cells: cell (s, b) at `s * stride_ + b`.
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  std::array<Slot, kMetricShards> totals_{};
+};
+
+/// Name -> instrument table.  Lookup takes a mutex (hoist references out of
+/// hot loops); returned references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First registration fixes the bucket bounds; later calls with the same
+  /// name return the existing histogram and ignore `bounds`.
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> bounds = {});
+
+  /// Point-in-time copy for reporting, sorted by name.
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<HistogramRow> histograms;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+
+  friend std::string render_prometheus(const Registry& registry);
+};
+
+/// Prometheus text exposition (format 0.0.4) of every registered
+/// instrument, sorted by name; histograms render cumulative `le` buckets
+/// plus `_sum`/`_count` series.
+std::string render_prometheus(const Registry& registry);
+
+}  // namespace hdiff::obs

@@ -1,0 +1,60 @@
+// Bundles threading the observability layer through the pipeline.
+//
+// `Observability` is the user-facing handle: a metrics registry and/or a
+// trace sink (both optional, both non-owning) plus an optional clock.  A
+// default-constructed bundle disables everything; instrumented code guards
+// each site with a pointer test, so the disabled cost is near zero and the
+// findings are byte-identical either way (observability only reads).
+//
+// `ChainObs` is the pre-resolved per-run form the chain hot path consumes:
+// the registry name lookups happen once (when the executor or caller builds
+// it), not per observation, so `--jobs 8` workers share only relaxed
+// sharded-atomic increments.
+#pragma once
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hdiff::obs {
+
+struct Observability {
+  Registry* metrics = nullptr;  ///< null = no metrics collection
+  TraceSink* trace = nullptr;   ///< null = no tracing
+  const Clock* clock = nullptr;  ///< timing source; null = steady clock
+
+  bool enabled() const noexcept { return metrics || trace; }
+  const Clock& effective_clock() const noexcept {
+    return clock ? *clock : steady_clock_instance();
+  }
+};
+
+/// Per-run chain hooks: trace sink plus pre-registered latency histograms
+/// for the whole observation and each hop class.  Build once per run with
+/// `from()`; pass null to `Chain::observe` to disable.
+struct ChainObs {
+  TraceSink* trace = nullptr;
+  Histogram* observe_us = nullptr;  ///< whole three-step observation
+  Histogram* forward_us = nullptr;  ///< step 1, send->proxy
+  Histogram* replay_us = nullptr;   ///< step 2, forward->backend (per proxy)
+  Histogram* direct_us = nullptr;   ///< step 3, direct back-end probes
+  const Clock* clock = nullptr;
+
+  bool active() const noexcept { return trace || observe_us; }
+  std::uint64_t now() const noexcept { return clock->now_us(); }
+
+  static ChainObs from(const Observability& o) {
+    ChainObs c;
+    c.trace = o.trace;
+    c.clock = &o.effective_clock();
+    if (o.metrics) {
+      c.observe_us = &o.metrics->histogram("hdiff_chain_observe_micros");
+      c.forward_us = &o.metrics->histogram("hdiff_chain_forward_micros");
+      c.replay_us = &o.metrics->histogram("hdiff_chain_replay_micros");
+      c.direct_us = &o.metrics->histogram("hdiff_chain_direct_micros");
+    }
+    return c;
+  }
+};
+
+}  // namespace hdiff::obs

@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "report/json.h"
+
+namespace hdiff::obs {
+
+namespace {
+
+/// Sink identity for the per-thread buffer cache.  Generations (never
+/// reused) make the cache safe against a new sink landing at a dead sink's
+/// address.
+std::atomic<std::uint64_t> g_sink_generation{1};
+
+struct LocalRef {
+  const void* sink = nullptr;
+  std::uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+thread_local LocalRef t_local_ref;
+
+}  // namespace
+
+TraceSink::TraceSink(const Clock* clock)
+    : clock_(clock ? clock : &steady_clock_instance()),
+      generation_(g_sink_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceSink::Buffer& TraceSink::local_buffer() {
+  if (t_local_ref.sink == this && t_local_ref.generation == generation_) {
+    return *static_cast<Buffer*>(t_local_ref.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& buf : buffers_) {
+    if (buf->owner == self) {  // this thread used the sink before a switch
+      t_local_ref = {this, generation_, buf.get()};
+      return *buf;
+    }
+  }
+  auto buf = std::make_unique<Buffer>();
+  buf->owner = self;
+  buf->tid = static_cast<std::uint32_t>(buffers_.size());
+  buf->events.reserve(256);
+  buffers_.push_back(std::move(buf));
+  Buffer* raw = buffers_.back().get();
+  t_local_ref = {this, generation_, raw};
+  return *raw;
+}
+
+void TraceSink::complete(std::string name, std::string_view cat,
+                         std::uint64_t ts, std::uint64_t dur,
+                         std::string arg_key, std::string arg_value) {
+  Buffer& buf = local_buffer();
+  buf.events.push_back(Event{'X', buf.tid, ts, dur, std::move(name),
+                             std::string(cat), std::move(arg_key),
+                             std::move(arg_value)});
+}
+
+void TraceSink::instant(std::string name, std::string_view cat,
+                        std::string arg_key, std::string arg_value) {
+  Buffer& buf = local_buffer();
+  buf.events.push_back(Event{'i', buf.tid, now(), 0, std::move(name),
+                             std::string(cat), std::move(arg_key),
+                             std::move(arg_value)});
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buf : buffers_) total += buf->events.size();
+  return total;
+}
+
+std::string TraceSink::render_chrome_json() const {
+  std::vector<const Event*> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      for (const Event& e : buf->events) events.push_back(&e);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->ts != b->ts) return a->ts < b->ts;
+                     return a->tid < b->tid;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event* e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":";
+    out += report::json_string(e->name);
+    out += ",\"cat\":";
+    out += report::json_string(e->cat.empty() ? "hdiff" : e->cat);
+    out += ",\"ph\":\"";
+    out += e->ph;
+    out += "\",\"ts\":" + std::to_string(e->ts);
+    if (e->ph == 'X') {
+      out += ",\"dur\":" + std::to_string(e->dur);
+    } else {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e->tid);
+    if (!e->arg_key.empty()) {
+      out += ",\"args\":{";
+      out += report::json_string(e->arg_key);
+      out += ':';
+      out += report::json_string(e->arg_value);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace hdiff::obs

@@ -1,0 +1,130 @@
+// Span tracing that renders to Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+// Hot-path design: each writing thread appends events to its own buffer
+// (created once per thread under the sink mutex, then owned exclusively by
+// that thread), so emitting an event is two clock reads plus a vector
+// push — no lock, no contention.  The cost of that choice is a quiescence
+// contract, the same one EchoServer::log() has:
+//
+//   `render_chrome_json()` / `event_count()` must not race with writers —
+//   call them after the emitting threads have joined (the executor joins
+//   its workers before returning, so "after ParallelExecutor::run returns"
+//   is always safe) or been destroyed (ModelProxy/ModelServer).
+//
+// When tracing is disabled every instrumentation site holds a null
+// TraceSink* and the instrumentation reduces to one pointer test — no
+// clock reads, no allocation, no stores.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace hdiff::obs {
+
+class TraceSink {
+ public:
+  /// `clock` is injectable for deterministic tests; null = steady clock.
+  /// Non-owning; the clock must outlive the sink.
+  explicit TraceSink(const Clock* clock = nullptr);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  const Clock& clock() const noexcept { return *clock_; }
+  std::uint64_t now() const noexcept { return clock_->now_us(); }
+
+  /// Append a complete ("ph":"X") event with an explicit start and
+  /// duration in microseconds.  One optional key/value argument pair.
+  /// Thread-safe and lock-free after the calling thread's first event.
+  void complete(std::string name, std::string_view cat, std::uint64_t ts,
+                std::uint64_t dur, std::string arg_key = {},
+                std::string arg_value = {});
+
+  /// Append an instant ("ph":"i", thread-scoped) event stamped now.
+  void instant(std::string name, std::string_view cat,
+               std::string arg_key = {}, std::string arg_value = {});
+
+  /// Events recorded so far.  Quiescence contract above.
+  std::size_t event_count() const;
+
+  /// Render `{"displayTimeUnit":...,"traceEvents":[...]}` with all strings
+  /// JSON-escaped (control bytes as \u00XX — case names carry raw CR/LF by
+  /// construction and must round-trip).  Events are sorted by (ts, tid) so
+  /// equal-clock runs render byte-identically.  Quiescence contract above.
+  std::string render_chrome_json() const;
+
+ private:
+  struct Event {
+    char ph;  ///< 'X' complete, 'i' instant
+    std::uint32_t tid;
+    std::uint64_t ts;
+    std::uint64_t dur;
+    std::string name;
+    std::string cat;
+    std::string arg_key;
+    std::string arg_value;
+  };
+  struct Buffer {
+    std::thread::id owner;
+    std::uint32_t tid = 0;
+    std::vector<Event> events;
+  };
+
+  Buffer& local_buffer();
+
+  const Clock* clock_;
+  const std::uint64_t generation_;  ///< invalidates stale thread-local caches
+  mutable std::mutex mutex_;        ///< guards the buffer list, not appends
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII span: stamps the start on construction, emits one complete event on
+/// destruction.  With a null sink the constructor and destructor are a
+/// single pointer test each.  For per-case hot paths prefer manual
+/// `TraceSink::complete` calls that share clock reads between adjacent
+/// hops; Span is for stage- and connection-level scopes.
+class Span {
+ public:
+  Span(TraceSink* sink, std::string_view name, std::string_view cat = "hdiff")
+      : sink_(sink) {
+    if (!sink_) return;
+    name_.assign(name);
+    cat_.assign(cat);
+    start_ = sink_->now();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach the span's key/value argument (last call wins). No-op when
+  /// disabled.
+  void arg(std::string_view key, std::string_view value) {
+    if (!sink_) return;
+    arg_key_.assign(key);
+    arg_value_.assign(value);
+  }
+
+  ~Span() {
+    if (!sink_) return;
+    sink_->complete(std::move(name_), cat_, start_, sink_->now() - start_,
+                    std::move(arg_key_), std::move(arg_value_));
+  }
+
+ private:
+  TraceSink* sink_;
+  std::uint64_t start_ = 0;
+  std::string name_;
+  std::string cat_;
+  std::string arg_key_;
+  std::string arg_value_;
+};
+
+}  // namespace hdiff::obs

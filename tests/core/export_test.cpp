@@ -217,6 +217,39 @@ TEST(FindingsExport, ReportsDegradationAccounting) {
             std::string::npos);
 }
 
+TEST(FindingsExport, ReportsExecutorMetricsBlock) {
+  PipelineResult result;
+  result.exec_stats.jobs = 4;
+  result.exec_stats.cases = 10;
+  result.exec_stats.memo_hits = 3;
+  result.exec_stats.memo_misses = 1;
+  result.exec_stats.memo_bytes = 128;
+  result.exec_stats.verdict_hits = 1;
+  result.exec_stats.verdict_misses = 3;
+  result.exec_stats.verdict_bytes = 256;
+  result.exec_stats.echo_records = 7;
+  result.exec_stats.echo_dropped = 2;
+  std::string json = export_json(result);
+  EXPECT_NE(json.find("\"metrics\":{\"jobs\":4,\"cases\":10,"
+                      "\"memo_hits\":3,\"memo_misses\":1,"
+                      "\"memo_hit_rate\":0.75,\"memo_bytes\":128,"
+                      "\"verdict_hits\":1,\"verdict_misses\":3,"
+                      "\"verdict_hit_rate\":0.25,\"verdict_bytes\":256,"
+                      "\"echo_records\":7,\"echo_dropped\":2}"),
+            std::string::npos);
+}
+
+TEST(FindingsExport, ReportsStageTimingsInOrder) {
+  PipelineResult result;
+  result.stage_timings.push_back(StageTiming{"analyze", 1500});
+  result.stage_timings.push_back(StageTiming{"differential", 42000});
+  std::string json = export_json(result);
+  EXPECT_NE(json.find("\"stage_timings\":[{\"stage\":\"analyze\","
+                      "\"micros\":1500},{\"stage\":\"differential\","
+                      "\"micros\":42000}]"),
+            std::string::npos);
+}
+
 TEST(FindingsExport, DegradationZeroOnHealthyRun) {
   PipelineResult result;
   std::string json = export_json(result);

@@ -1,0 +1,179 @@
+// Metrics registry: sharded counters/histograms must merge exactly, and
+// quantile estimation must behave at the edges (empty, single sample,
+// overflow bucket) where rank interpolation usually goes wrong.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hdiff::obs {
+namespace {
+
+TEST(Counter, AddAndMerge) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ShardedMergeAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Histogram, EmptyQuantilesAreZero) {
+  Histogram h({10, 100, 1000});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h({10, 100, 1000});
+  h.observe(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 42u);
+  // Every quantile of a one-sample histogram lands in the sample's bucket;
+  // q=0 interpolates to the bucket's lower edge, so the range is [10, 100].
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 10.0) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 100.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, LeBucketSemantics) {
+  Histogram h({10, 100});
+  h.observe(10);   // == bound: belongs to the le=10 bucket
+  h.observe(11);   // first value past the bound
+  h.observe(100);
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);  // two finite buckets + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(Histogram, OverflowBucketClampsQuantile) {
+  Histogram h({10, 100});
+  for (int i = 0; i < 100; ++i) h.observe(5000);  // all beyond the last bound
+  EXPECT_EQ(h.bucket_counts().back(), 100u);
+  // The histogram cannot see past its last finite bound: the estimate
+  // clamps there instead of inventing a value.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+}
+
+TEST(Histogram, ShardedMergeAcrossThreads) {
+  Histogram h({10, 100, 1000});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(50);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.sum(), static_cast<std::uint64_t>(kThreads) * kPerThread * 50);
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  EXPECT_EQ(counts[1], static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({0, 100});
+  for (int i = 0; i < 100; ++i) h.observe(50);  // all in bucket (0, 100]
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 100.0);
+  // Median rank sits mid-bucket: the interpolation must not collapse to an
+  // endpoint.
+  EXPECT_NEAR(p50, 50.0, 10.0);
+}
+
+TEST(Histogram, DefaultLatencyBucketsAreAscending) {
+  const std::vector<std::uint64_t> b = Histogram::latency_buckets_us();
+  ASSERT_GE(b.size(), 2u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(Registry, StableReferencesAndFindOrCreate) {
+  Registry r;
+  Counter& a = r.counter("hdiff_test_total");
+  a.add(3);
+  Counter& b = r.counter("hdiff_test_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = r.histogram("hdiff_test_micros", {1, 2, 3});
+  Histogram& h2 = r.histogram("hdiff_test_micros", {9});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 3u);
+}
+
+TEST(Registry, SnapshotSortedByName) {
+  Registry r;
+  r.counter("z_total").add(1);
+  r.counter("a_total").add(2);
+  r.gauge("m_gauge").set(5);
+  r.histogram("h_micros", {10, 100}).observe(7);
+  const Registry::Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a_total");
+  EXPECT_EQ(snap.counters[1].first, "z_total");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].sum, 7u);
+}
+
+TEST(Prometheus, RendersAllInstrumentKinds) {
+  Registry r;
+  r.counter("hdiff_cases_total").add(5);
+  r.gauge("hdiff_jobs").set(8);
+  Histogram& h = r.histogram("hdiff_lat_micros", {10, 100});
+  h.observe(5);
+  h.observe(50);
+  h.observe(5000);  // overflow
+  const std::string text = render_prometheus(r);
+  EXPECT_NE(text.find("# TYPE hdiff_cases_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("hdiff_cases_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hdiff_jobs gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("hdiff_jobs 8\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hdiff_lat_micros histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative (le=100 includes le=10) and end at +Inf == count.
+  EXPECT_NE(text.find("hdiff_lat_micros_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hdiff_lat_micros_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hdiff_lat_micros_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hdiff_lat_micros_sum 5055\n"), std::string::npos);
+  EXPECT_NE(text.find("hdiff_lat_micros_count 3\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdiff::obs

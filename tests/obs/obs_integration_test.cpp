@@ -1,0 +1,173 @@
+// Observability wired through the pipeline: findings must be byte-identical
+// with obs on and off, every stage/case/hop must be visible in the trace
+// and the registry, and the fault path must surface as instants — all
+// without the hot path paying for disabled instrumentation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/hdiff.h"
+#include "impls/products.h"
+#include "net/fault.h"
+#include "obs/obs.h"
+
+namespace hdiff::core {
+namespace {
+
+PipelineConfig small_config() {
+  PipelineConfig config;
+  config.abnf_run_budget = 200;
+  config.executor.jobs = 2;
+  return config;
+}
+
+void expect_identical_findings(const DetectionResult& a,
+                               const DetectionResult& b) {
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].impl, b.violations[i].impl);
+    EXPECT_EQ(a.violations[i].sr_id, b.violations[i].sr_id);
+    EXPECT_EQ(a.violations[i].uuid, b.violations[i].uuid);
+    EXPECT_EQ(a.violations[i].detail, b.violations[i].detail);
+  }
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].front, b.pairs[i].front);
+    EXPECT_EQ(a.pairs[i].back, b.pairs[i].back);
+    EXPECT_EQ(a.pairs[i].attack, b.pairs[i].attack);
+    EXPECT_EQ(a.pairs[i].uuid, b.pairs[i].uuid);
+    EXPECT_EQ(a.pairs[i].detail, b.pairs[i].detail);
+  }
+  EXPECT_EQ(a.discrepancies.status_disagreements,
+            b.discrepancies.status_disagreements);
+  EXPECT_EQ(a.discrepancies.inputs_with_discrepancy,
+            b.discrepancies.inputs_with_discrepancy);
+}
+
+TEST(ObsIntegration, FindingsIdenticalWithObsOnAndOff) {
+  PipelineResult plain = Pipeline(small_config()).run();
+
+  obs::Registry registry;
+  obs::TraceSink sink;
+  PipelineConfig traced_config = small_config();
+  traced_config.obs.metrics = &registry;
+  traced_config.obs.trace = &sink;
+  PipelineResult traced = Pipeline(traced_config).run();
+
+  expect_identical_findings(plain.findings, traced.findings);
+  EXPECT_EQ(plain.executed_cases.size(), traced.executed_cases.size());
+  EXPECT_GT(sink.event_count(), 0u);
+}
+
+TEST(ObsIntegration, EveryStageGetsSpanGaugeAndTiming) {
+  obs::Registry registry;
+  obs::TraceSink sink;
+  PipelineConfig config = small_config();
+  config.obs.metrics = &registry;
+  config.obs.trace = &sink;
+  PipelineResult result = Pipeline(config).run();
+
+  const char* kStages[] = {"analyze",        "translate-srs", "generate-abnf",
+                           "assemble-cases", "differential",  "build-matrix"};
+  ASSERT_EQ(result.stage_timings.size(), 6u);
+  const std::string json = sink.render_chrome_json();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.stage_timings[i].stage, kStages[i]);
+    EXPECT_NE(json.find("\"name\":\"" + std::string(kStages[i]) + "\""),
+              std::string::npos)
+        << kStages[i];
+  }
+  // Gauge names flatten '-' to '_'.
+  EXPECT_GT(registry.gauge("hdiff_stage_analyze_micros").value(), 0);
+  EXPECT_GT(registry.gauge("hdiff_stage_differential_micros").value(), 0);
+}
+
+TEST(ObsIntegration, ExecutorAndChainMetricsMatchStats) {
+  obs::Registry registry;
+  PipelineConfig config = small_config();
+  config.obs.metrics = &registry;
+  PipelineResult result = Pipeline(config).run();
+  const ExecutorStats& es = result.exec_stats;
+
+  EXPECT_EQ(registry.counter("hdiff_executor_cases_total").value(), es.cases);
+  EXPECT_EQ(registry.counter("hdiff_memo_hits_total").value(), es.memo_hits);
+  EXPECT_EQ(registry.counter("hdiff_memo_misses_total").value(),
+            es.memo_misses);
+  EXPECT_EQ(registry.counter("hdiff_verdict_hits_total").value(),
+            es.verdict_hits);
+  EXPECT_EQ(static_cast<std::size_t>(registry.gauge("hdiff_memo_bytes").value()),
+            es.memo_bytes);
+  EXPECT_GT(es.memo_bytes, 0u);
+  EXPECT_GT(es.verdict_bytes, 0u);
+  // One case span and one whole-observation sample per non-memoized case.
+  EXPECT_EQ(registry.histogram("hdiff_executor_case_micros").count(),
+            es.cases);
+  EXPECT_EQ(registry.histogram("hdiff_chain_observe_micros").count(),
+            es.memo_misses);
+  // Hop histograms fire per proxy per observed case.
+  EXPECT_GT(registry.histogram("hdiff_chain_forward_micros").count(),
+            es.memo_misses);
+  EXPECT_GT(registry.histogram("hdiff_chain_direct_micros").count(), 0u);
+}
+
+TEST(ObsIntegration, CaseAndHopSpansInTrace) {
+  obs::Registry registry;
+  obs::TraceSink sink;
+  PipelineConfig config = small_config();
+  config.obs.metrics = &registry;
+  config.obs.trace = &sink;
+  Pipeline(config).run();
+  const std::string json = sink.render_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"case\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"send->proxy\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"forward->backend\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"direct\""), std::string::npos);
+}
+
+TEST(ObsIntegration, FaultsSurfaceAsInstantsAndCounters) {
+  obs::Registry registry;
+  obs::TraceSink sink;
+  obs::Observability ob{&registry, &sink, nullptr};
+
+  PipelineConfig config = small_config();
+  config.obs = ob;
+  config.executor.retry.attempts = 64;
+  config.executor.retry.backoff_base_ms = 0;
+  config.executor.retry.backoff_max_ms = 0;
+
+  auto fleet = impls::make_all_implementations();
+  net::FaultPlanConfig plan_config;
+  plan_config.rate = 0.05;
+  plan_config.max_faults_per_site = 1;
+  auto plan = std::make_shared<net::FaultPlan>(plan_config);
+  auto faulty = net::wrap_fleet_with_faults(fleet, plan, ob);
+  PipelineResult result = Pipeline(config).run(faulty);
+
+  ASSERT_GT(result.exec_stats.faulted_attempts, 0u);
+  EXPECT_EQ(registry.counter("hdiff_faults_injected_total").value(),
+            plan->stats().injected);
+  EXPECT_EQ(registry.counter("hdiff_faulted_attempts_total").value(),
+            result.exec_stats.faulted_attempts);
+  EXPECT_EQ(registry.counter("hdiff_retry_attempts_total").value(),
+            result.exec_stats.retry_attempts);
+  const std::string json = sink.render_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fault-injected\""), std::string::npos);
+}
+
+TEST(ObsIntegration, ChainObsFromDisabledBundleIsInactive) {
+  obs::Observability off;
+  EXPECT_FALSE(off.enabled());
+  const obs::ChainObs hooks = obs::ChainObs::from(off);
+  EXPECT_FALSE(hooks.active());
+
+  obs::Registry registry;
+  obs::Observability metrics_only{&registry, nullptr, nullptr};
+  const obs::ChainObs on = obs::ChainObs::from(metrics_only);
+  EXPECT_TRUE(on.active());
+  EXPECT_NE(on.observe_us, nullptr);
+}
+
+}  // namespace
+}  // namespace hdiff::core

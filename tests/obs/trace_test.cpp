@@ -1,0 +1,194 @@
+// Trace sink: deterministic span timing under a ManualClock, per-thread
+// buffers, and — critically for this codebase — Chrome trace-event JSON
+// that round-trips the raw CR/LF/control bytes HTTP test cases carry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace hdiff::obs {
+namespace {
+
+/// Decode one JSON string literal starting at `pos` (the opening quote).
+/// Returns the decoded bytes and leaves `pos` after the closing quote.
+/// Minimal but strict: unknown escapes fail the test.
+std::string decode_json_string(const std::string& json, std::size_t* pos) {
+  EXPECT_EQ(json[*pos], '"');
+  ++*pos;
+  std::string out;
+  while (*pos < json.size() && json[*pos] != '"') {
+    char c = json[*pos];
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte inside a JSON string";
+    if (c != '\\') {
+      out += c;
+      ++*pos;
+      continue;
+    }
+    char esc = json[*pos + 1];
+    *pos += 2;
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const std::string hex = json.substr(*pos, 4);
+        *pos += 4;
+        out += static_cast<char>(std::stoi(hex, nullptr, 16));
+        break;
+      }
+      default:
+        ADD_FAILURE() << "unexpected escape \\" << esc;
+    }
+  }
+  ++*pos;  // closing quote
+  return out;
+}
+
+/// All decoded values of `"key":"..."` pairs in the rendered JSON.
+std::vector<std::string> string_values_of(const std::string& json,
+                                          const std::string& key) {
+  std::vector<std::string> values;
+  const std::string needle = "\"" + key + "\":\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    std::size_t at = pos + needle.size() - 1;  // opening quote
+    values.push_back(decode_json_string(json, &at));
+    pos = at;
+  }
+  return values;
+}
+
+TEST(TraceSink, SpanTimingUnderManualClock) {
+  ManualClock clock(1000);
+  TraceSink sink(&clock);
+  {
+    Span span(&sink, "stage", "pipeline");
+    clock.advance_us(250);
+  }
+  EXPECT_EQ(sink.event_count(), 1u);
+  const std::string json = sink.render_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos);
+}
+
+TEST(TraceSink, NullSinkSpanIsNoOp) {
+  Span span(nullptr, "ignored");
+  span.arg("k", "v");  // must not crash; nothing to flush
+}
+
+TEST(TraceSink, SpanArgLastWins) {
+  ManualClock clock;
+  TraceSink sink(&clock);
+  {
+    Span span(&sink, "s");
+    span.arg("first", "a");
+    span.arg("uuid", "tc-1");
+  }
+  const std::string json = sink.render_chrome_json();
+  EXPECT_EQ(json.find("\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"uuid\":\"tc-1\"}"), std::string::npos);
+}
+
+TEST(TraceSink, InstantEventsAreThreadScoped) {
+  ManualClock clock(77);
+  TraceSink sink(&clock);
+  sink.instant("fault", "executor", "error", "reset");
+  const std::string json = sink.render_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"error\":\"reset\"}"), std::string::npos);
+}
+
+TEST(TraceSink, ControlBytesRoundTripThroughJson) {
+  // Test-case names and args carry raw HTTP bytes: CRLF, NUL-adjacent
+  // controls, tabs, quotes, backslashes.  They must come back byte-exact.
+  const std::string nasty =
+      "GET /\x01 HTTP/1.1\r\nHost: a\tb\"c\\d\x1f\r\n\r\n";
+  ManualClock clock;
+  TraceSink sink(&clock);
+  sink.complete(nasty, "chain", 0, 5, "raw", nasty);
+  const std::string json = sink.render_chrome_json();
+  // No raw control bytes may survive in the serialized form ('\n' is
+  // emitted between events as JSON whitespace, which is legal).
+  for (char c : json) {
+    if (c != '\n') {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+  }
+  const std::vector<std::string> names = string_values_of(json, "name");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], nasty);
+  const std::vector<std::string> raws = string_values_of(json, "raw");
+  ASSERT_EQ(raws.size(), 1u);
+  EXPECT_EQ(raws[0], nasty);
+}
+
+TEST(TraceSink, PerThreadBuffersGetDistinctTids) {
+  ManualClock clock;
+  TraceSink sink(&clock);
+  sink.instant("main", "t");
+  std::thread other([&] { sink.instant("worker", "t"); });
+  other.join();
+  EXPECT_EQ(sink.event_count(), 2u);
+  const std::string json = sink.render_chrome_json();
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(TraceSink, EventsSortedByTimestamp) {
+  ManualClock clock(100);
+  TraceSink sink(&clock);
+  sink.complete("late", "t", 900, 1);
+  sink.complete("early", "t", 50, 1);
+  const std::string json = sink.render_chrome_json();
+  EXPECT_LT(json.find("\"early\""), json.find("\"late\""));
+}
+
+TEST(TraceSink, RenderIsValidJsonShape) {
+  ManualClock clock;
+  TraceSink sink(&clock);
+  sink.instant("a", "t");
+  sink.complete("b", "t", 1, 2);
+  const std::string json = sink.render_chrome_json();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\n]}\n"), std::string::npos);
+  // Balanced braces (no nested objects beyond events and args).
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceSink, EmptySinkRendersEmptyArray) {
+  TraceSink sink;
+  EXPECT_EQ(sink.event_count(), 0u);
+  EXPECT_EQ(sink.render_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+}  // namespace
+}  // namespace hdiff::obs

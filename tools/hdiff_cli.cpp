@@ -5,6 +5,7 @@
 //   hdiff generate [--out FILE]        generate the test corpus (JSON)
 //   hdiff run [--corpus FILE] [--json FILE] [--jobs N] [--no-memo]
 //             [--retries N] [--case-deadline-ms N]
+//             [--trace-out FILE] [--metrics-out FILE]
 //                                      full differential run; optionally
 //                                      replay a saved corpus / export JSON;
 //                                      --jobs shards the chain stage over N
@@ -12,10 +13,19 @@
 //                                      serial), --no-memo disables the
 //                                      observation/verdict caches,
 //                                      --retries/--case-deadline-ms set the
-//                                      fault-degradation policy
+//                                      fault-degradation policy,
+//                                      --trace-out writes a Chrome
+//                                      trace-event JSON timeline and
+//                                      --metrics-out a Prometheus text file
+//   hdiff stats [--jobs N]             run the pipeline with metrics enabled
+//                                      and print the stage timings and the
+//                                      full metrics snapshot
 //   hdiff selftest [--fault-plan SPEC] run the pipeline against a
 //                                      deliberately faulty fleet and assert
 //                                      zero fault-induced false differentials
+//   hdiff selftest --trace             run the pipeline with and without
+//                                      observability and assert the findings
+//                                      are byte-identical
 //   hdiff audit FRONT BACK             audit one proxy/origin combination
 //   hdiff parse IMPL                   parse one raw request from stdin
 //                                      under IMPL's model and show HMetrics
@@ -36,6 +46,7 @@
 #include "core/probes.h"
 #include "impls/products.h"
 #include "net/fault.h"
+#include "obs/obs.h"
 #include "report/table.h"
 
 namespace {
@@ -49,14 +60,23 @@ int usage() {
       "  generate [--out FILE]        write the generated corpus as JSON\n"
       "  run [--corpus FILE] [--json FILE] [--jobs N] [--no-memo]\n"
       "      [--retries N] [--case-deadline-ms N]\n"
+      "      [--trace-out FILE] [--metrics-out FILE]\n"
       "                               full differential run (N workers;\n"
-      "                               default all cores, 1 = serial)\n"
+      "                               default all cores, 1 = serial);\n"
+      "                               --trace-out writes a Chrome trace-event\n"
+      "                               timeline, --metrics-out a Prometheus\n"
+      "                               text snapshot\n"
+      "  stats [--jobs N]             run with metrics enabled and print the\n"
+      "                               stage timings and metrics snapshot\n"
       "  selftest [--fault-plan SPEC] [--jobs N] [--retries N]\n"
       "                               fault-plan self-test: run the chain\n"
       "                               against deliberately faulty models and\n"
       "                               assert zero false differentials\n"
       "                               (SPEC: rate=0.3,seed=1,max=1,nth=0,\n"
       "                               delay=1,kinds=reset+truncate+connect)\n"
+      "  selftest --trace [--jobs N]  observability self-test: assert\n"
+      "                               findings are byte-identical with\n"
+      "                               tracing/metrics on and off\n"
       "  audit FRONT BACK             audit one proxy/origin pair\n"
       "  parse IMPL                   parse stdin as IMPL (server model)\n");
   return 2;
@@ -146,13 +166,15 @@ int cmd_generate(int argc, char** argv) {
 }
 
 int cmd_run(int argc, char** argv) {
-  std::string corpus_path, json_path;
+  std::string corpus_path, json_path, trace_path, metrics_path;
   hdiff::core::ExecutorConfig exec_config;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-memo") == 0) exec_config.memoize = false;
     if (i + 1 >= argc) continue;
     if (std::strcmp(argv[i], "--corpus") == 0) corpus_path = argv[i + 1];
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_path = argv[i + 1];
     if (std::strcmp(argv[i], "--jobs") == 0) {
       const long jobs = std::atol(argv[i + 1]);
       if (jobs < 1) {
@@ -183,6 +205,15 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
+  // Observability is opt-in per flag: --trace-out enables the span
+  // timeline, --metrics-out the metrics registry.  Both stay null (near
+  // zero overhead, byte-identical findings) when the flags are absent.
+  hdiff::obs::Registry registry;
+  hdiff::obs::TraceSink sink;
+  hdiff::obs::Observability ob;
+  if (!metrics_path.empty()) ob.metrics = &registry;
+  if (!trace_path.empty()) ob.trace = &sink;
+
   hdiff::core::PipelineResult result;
   if (!corpus_path.empty()) {
     // Replay a saved corpus instead of regenerating (§V: "we can reuse the
@@ -197,6 +228,7 @@ int cmd_run(int argc, char** argv) {
     }
     auto fleet = hdiff::impls::make_all_implementations();
     auto chain = hdiff::net::Chain::from_fleet(fleet);
+    exec_config.obs = ob;
     hdiff::core::ParallelExecutor executor(exec_config);
     result.findings = executor.run(chain, cases, &result.exec_stats);
     result.executed_cases = std::move(cases);
@@ -205,6 +237,7 @@ int cmd_run(int argc, char** argv) {
   } else {
     hdiff::core::PipelineConfig config;
     config.executor = exec_config;
+    config.obs = ob;  // the pipeline propagates this to the executor
     hdiff::core::Pipeline pipeline(config);
     result = pipeline.run();
   }
@@ -246,6 +279,71 @@ int cmd_run(int argc, char** argv) {
     }
     std::printf("findings exported to %s\n", json_path.c_str());
   }
+  // Safe to render here: the executor joined its workers before returning.
+  if (!trace_path.empty()) {
+    if (!write_file(trace_path, sink.render_chrome_json())) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                sink.event_count());
+  }
+  if (!metrics_path.empty()) {
+    if (!write_file(metrics_path, hdiff::obs::render_prometheus(registry))) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+// ---- stats: pipeline run with the metrics layer on, snapshot printed ------
+
+int cmd_stats(int argc, char** argv) {
+  hdiff::core::PipelineConfig config;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      config.executor.jobs =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[i + 1])));
+    }
+  }
+  hdiff::obs::Registry registry;
+  config.obs.metrics = &registry;
+  hdiff::core::Pipeline pipeline(config);
+  hdiff::core::PipelineResult result = pipeline.run();
+
+  hdiff::report::Table stages({"stage", "ms"});
+  for (const auto& st : result.stage_timings) {
+    char ms[32];
+    std::snprintf(ms, sizeof ms, "%.2f",
+                  static_cast<double>(st.micros) / 1000.0);
+    stages.add_row({st.stage, ms});
+  }
+  std::printf("%s", stages.render().c_str());
+
+  const hdiff::obs::Registry::Snapshot snap = registry.snapshot();
+  hdiff::report::Table scalars({"metric", "value"});
+  for (const auto& [name, v] : snap.counters) {
+    scalars.add_row({name, std::to_string(v)});
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    scalars.add_row({name, std::to_string(v)});
+  }
+  std::printf("%s", scalars.render().c_str());
+
+  hdiff::report::Table hists({"histogram", "count", "p50us", "p90us", "p99us"});
+  for (const auto& h : snap.histograms) {
+    char p50[32], p90[32], p99[32];
+    std::snprintf(p50, sizeof p50, "%.0f", h.p50);
+    std::snprintf(p90, sizeof p90, "%.0f", h.p90);
+    std::snprintf(p99, sizeof p99, "%.0f", h.p99);
+    hists.add_row({h.name, std::to_string(h.count), p50, p90, p99});
+  }
+  std::printf("%s", hists.render().c_str());
+  std::printf("%zu violations, %zu pairs, %zu executed cases\n",
+              result.findings.violations.size(), result.findings.pairs.size(),
+              result.executed_cases.size());
   return 0;
 }
 
@@ -343,10 +441,58 @@ bool findings_identical(const hdiff::core::DetectionResult& a,
          a.vector_hits == b.vector_hits;
 }
 
+/// `selftest --trace`: prove observability never perturbs findings.  Runs
+/// the pipeline once with obs fully off and once with tracing + metrics
+/// fully on, and asserts the findings are byte-identical (the obs layer
+/// only reads).  Also sanity-checks that the traced run actually produced
+/// per-stage spans and executor metrics.
+int selftest_trace(hdiff::core::PipelineConfig config) {
+  hdiff::core::Pipeline baseline_pipeline(config);
+  std::printf("obs-off reference run...\n");
+  hdiff::core::PipelineResult baseline = baseline_pipeline.run();
+
+  hdiff::obs::Registry registry;
+  hdiff::obs::TraceSink sink;
+  config.obs.metrics = &registry;
+  config.obs.trace = &sink;
+  hdiff::core::Pipeline traced_pipeline(config);
+  std::printf("traced run (metrics + spans)...\n");
+  hdiff::core::PipelineResult traced = traced_pipeline.run();
+
+  if (!findings_identical(baseline.findings, traced.findings)) {
+    std::printf("selftest FAILED: findings differ with observability on\n");
+    return 1;
+  }
+  const std::string trace_json = sink.render_chrome_json();
+  std::size_t missing = 0;
+  for (const char* span : {"\"analyze\"", "\"differential\"", "\"case\"",
+                           "\"send->proxy\"", "\"direct\""}) {
+    if (trace_json.find(span) == std::string::npos) {
+      std::printf("selftest FAILED: trace has no %s span\n", span);
+      ++missing;
+    }
+  }
+  if (registry.counter("hdiff_executor_cases_total").value() !=
+      traced.exec_stats.cases) {
+    std::printf("selftest FAILED: hdiff_executor_cases_total != cases run\n");
+    ++missing;
+  }
+  if (missing > 0) return 1;
+  std::printf(
+      "selftest PASSED: findings byte-identical with observability on and "
+      "off (%zu trace events, %zu cases)\n",
+      sink.event_count(), traced.exec_stats.cases);
+  return 0;
+}
+
 int cmd_selftest(int argc, char** argv) {
   hdiff::net::FaultPlanConfig plan_config;
   plan_config.rate = 0.3;
   plan_config.max_faults_per_site = 1;
+  bool trace_mode = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_mode = true;
+  }
   hdiff::core::PipelineConfig config;
   // A case can touch many distinct victim sites (one per model leg), so the
   // default retry budget is generous: with the default one-fault-per-site
@@ -372,6 +518,8 @@ int cmd_selftest(int argc, char** argv) {
           std::max(1, std::atoi(argv[i + 1]));
     }
   }
+
+  if (trace_mode) return selftest_trace(std::move(config));
 
   hdiff::core::Pipeline pipeline(config);
   auto fleet = hdiff::impls::make_all_implementations();
@@ -500,6 +648,7 @@ int main(int argc, char** argv) {
   if (cmd == "srs") return cmd_srs(argc, argv);
   if (cmd == "generate") return cmd_generate(argc, argv);
   if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "selftest") return cmd_selftest(argc, argv);
   if (cmd == "audit") return cmd_audit(argc, argv);
   if (cmd == "parse") return cmd_parse(argc, argv);
