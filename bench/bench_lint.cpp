@@ -1,0 +1,70 @@
+// E12: spec-lint runtime — each analyzer in isolation over the adapted
+// full-corpus grammar, then the combined `hdiff lint` engine at several
+// --jobs values.  The lint pass is a pre-flight gate, so the bar is "cheap
+// next to one pipeline run", not microseconds.
+#include <benchmark/benchmark.h>
+
+#include "analysis/lint.h"
+#include "core/analyzer.h"
+#include "corpus/registry.h"
+
+namespace {
+
+const hdiff::abnf::Grammar& corpus_grammar() {
+  static const hdiff::abnf::Grammar grammar = [] {
+    std::vector<std::string_view> docs;
+    for (const auto& doc : hdiff::corpus::all_documents()) {
+      docs.push_back(doc.name);
+    }
+    hdiff::core::DocumentationAnalyzer analyzer;
+    return analyzer.analyze(docs).grammar;
+  }();
+  return grammar;
+}
+
+void BM_GrammarLint(benchmark::State& state) {
+  const auto& grammar = corpus_grammar();
+  hdiff::analysis::GrammarLintOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto diags = hdiff::analysis::lint_grammar(grammar, options);
+    benchmark::DoNotOptimize(diags.data());
+  }
+}
+BENCHMARK(BM_GrammarLint)->Arg(1)->Arg(4);
+
+void BM_RuleBaseLint(benchmark::State& state) {
+  const auto engine = hdiff::core::make_builtin_rules();
+  for (auto _ : state) {
+    auto diags = hdiff::analysis::lint_rulebase(engine);
+    benchmark::DoNotOptimize(diags.data());
+  }
+}
+BENCHMARK(BM_RuleBaseLint);
+
+void BM_MutationCoverage(benchmark::State& state) {
+  const auto& grammar = corpus_grammar();
+  hdiff::analysis::MutationCoverageOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = hdiff::analysis::analyze_mutation_coverage(grammar, options);
+    benchmark::DoNotOptimize(result.stats.mutants);
+  }
+}
+BENCHMARK(BM_MutationCoverage)->Arg(1)->Arg(4);
+
+void BM_FullLint(benchmark::State& state) {
+  const auto& grammar = corpus_grammar();
+  const auto engine = hdiff::core::make_builtin_rules();
+  hdiff::analysis::LintOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = hdiff::analysis::run_lint(grammar, engine, options);
+    benchmark::DoNotOptimize(result.counts.total());
+  }
+}
+BENCHMARK(BM_FullLint)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -85,10 +85,10 @@ int main(int argc, char** argv) {
     std::printf("  HRS end-game:   %s\n", smuggle.narrative.c_str());
   }
   {
-    auto cpdos = hdiff::net::demonstrate_cpdos(
+    auto cpdos_demo = hdiff::net::demonstrate_cpdos(
         *front, *back, "GET /?a=1 1.1/HTTP\r\nHost: h1.com\r\n\r\n",
         "GET /?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n");
-    std::printf("  CPDoS end-game: %s\n", cpdos.narrative.c_str());
+    std::printf("  CPDoS end-game: %s\n", cpdos_demo.narrative.c_str());
   }
 
   // Per-side specification violations observed on this pair's traffic.

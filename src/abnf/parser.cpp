@@ -312,7 +312,19 @@ Grammar parse_rulelist(std::string_view text, std::string_view source_doc,
 
   for (const auto& chunk : chunks) {
     try {
-      grammar.add(parse_rule(chunk, source_doc));
+      Rule rule = parse_rule(chunk, source_doc);
+      // A plain "=" redefinition inside one rulelist is a conflict, not a
+      // revision: silently letting the last writer win hid authoring errors
+      // from every downstream consumer.  Keep the first definition and
+      // report the duplicate ("=/" increments still merge as specified).
+      if (!rule.incremental && grammar.contains(rule.name)) {
+        if (errors) {
+          errors->push_back("duplicate definition of rule '" + rule.name +
+                            "' (first definition kept)");
+        }
+        continue;
+      }
+      grammar.add(std::move(rule));
     } catch (const ParseError& e) {
       if (errors) {
         errors->push_back("rule chunk '" + chunk.substr(0, 40) +

@@ -1,0 +1,104 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace hdiff::analysis {
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool diagnostic_less(const Diagnostic& a, const Diagnostic& b) noexcept {
+  return std::tie(a.code, a.rule, a.span, a.message) <
+         std::tie(b.code, b.rule, b.span, b.message);
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(), diagnostic_less);
+  // Scheduling can legitimately double-report a finding when two shards see
+  // the same cross-rule fact; a deterministic report keeps exactly one.
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return !diagnostic_less(a, b) &&
+                                   !diagnostic_less(b, a);
+                          }),
+              diags.end());
+}
+
+std::size_t apply_waivers(std::vector<Diagnostic>& diags,
+                          const std::vector<Waiver>& waivers) {
+  std::size_t matched = 0;
+  for (auto& d : diags) {
+    if (d.waived) {
+      ++matched;
+      continue;
+    }
+    for (const auto& w : waivers) {
+      if (w.code != d.code) continue;
+      if (w.rule != "*" && w.rule != d.rule) continue;
+      d.waived = true;
+      d.waiver_reason = w.reason;
+      ++matched;
+      break;
+    }
+  }
+  return matched;
+}
+
+DiagnosticCounts count_diagnostics(const std::vector<Diagnostic>& diags) {
+  DiagnosticCounts c;
+  for (const auto& d : diags) {
+    if (d.waived) {
+      ++c.waived;
+      continue;
+    }
+    switch (d.severity) {
+      case Severity::kError:
+        ++c.errors;
+        break;
+      case Severity::kWarning:
+        ++c.warnings;
+        break;
+      case Severity::kInfo:
+        ++c.infos;
+        break;
+    }
+  }
+  return c;
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::string out;
+  out.reserve(64 + d.message.size());
+  out += to_string(d.severity);
+  out += ' ';
+  out += d.code;
+  out += " [";
+  out += d.analyzer;
+  out += "] ";
+  out += d.rule;
+  out += ": ";
+  out += d.message;
+  if (!d.span.empty()) {
+    out += " (";
+    out += d.span;
+    out += ')';
+  }
+  if (d.waived) {
+    out += " [waived: ";
+    out += d.waiver_reason;
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace hdiff::analysis

@@ -1,0 +1,74 @@
+// Shared diagnostic model for the static spec-lint pass (DESIGN.md §9).
+//
+// Every analyzer (GrammarLint, RuleBaseLint, MutationCoverage) reports
+// through one value type so the CLI, the JSON report, and the tests speak a
+// single vocabulary.  Codes are *stable identifiers* (GLnnn / RBnnn / MCnnn):
+// they are part of the tool's contract — waivers key on them, and tests
+// assert them — so a code is never renumbered or reused.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdiff::analysis {
+
+enum class Severity {
+  kInfo,     ///< expected on real-world grammars (e.g. ambiguity seeds)
+  kWarning,  ///< degrades generator/detector quality; gate with waiver
+  kError,    ///< the artifact is broken (left recursion, undefined ref, ...)
+};
+
+std::string_view to_string(Severity s) noexcept;
+
+/// One finding.  `rule` names the subject (grammar rule, SR rule name, or
+/// mutation operator); `span` locates the finding inside the subject (an
+/// alternative index, a rendered ABNF excerpt, a probe name).
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string code;      ///< stable, e.g. "GL001"
+  std::string analyzer;  ///< "grammar" / "rulebase" / "mutation"
+  std::string rule;
+  std::string span;
+  std::string message;
+  bool waived = false;
+  std::string waiver_reason;
+};
+
+/// A checked-in exception: diagnostics matching (code, rule) are kept in the
+/// report but excluded from the severity gate.  `rule == "*"` matches any
+/// subject with that code.
+struct Waiver {
+  std::string code;
+  std::string rule;
+  std::string reason;
+};
+
+/// Total order over every field, so reports are byte-identical regardless
+/// of analyzer scheduling (`--jobs` sharding included).
+bool diagnostic_less(const Diagnostic& a, const Diagnostic& b) noexcept;
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+/// Mark matching diagnostics as waived; returns how many matched.
+std::size_t apply_waivers(std::vector<Diagnostic>& diags,
+                          const std::vector<Waiver>& waivers);
+
+/// Severity tally, split by waiver status (waived findings stay visible but
+/// never gate).
+struct DiagnosticCounts {
+  std::size_t errors = 0;    ///< unwaived errors
+  std::size_t warnings = 0;  ///< unwaived warnings
+  std::size_t infos = 0;     ///< unwaived infos
+  std::size_t waived = 0;    ///< waived findings of any severity
+  std::size_t total() const noexcept {
+    return errors + warnings + infos + waived;
+  }
+};
+
+DiagnosticCounts count_diagnostics(const std::vector<Diagnostic>& diags);
+
+/// One-line rendering: "error GL001 [grammar] rule: message (span)".
+std::string to_string(const Diagnostic& d);
+
+}  // namespace hdiff::analysis

@@ -1,0 +1,537 @@
+#include "analysis/grammar_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <set>
+#include <thread>
+
+namespace hdiff::analysis {
+namespace {
+
+using abnf::Alternation;
+using abnf::CharVal;
+using abnf::Concatenation;
+using abnf::Grammar;
+using abnf::Node;
+using abnf::NodePtr;
+using abnf::NumVal;
+using abnf::Option;
+using abnf::ProseVal;
+using abnf::Repetition;
+using abnf::RuleRef;
+
+unsigned char lower(char c) noexcept {
+  return static_cast<unsigned char>(
+      std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool ci_equal(const std::string& a, const std::string& b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+/// Rendered ABNF excerpt for spans, bounded so reports stay one-line.
+std::string excerpt(const NodePtr& node) {
+  std::string s = abnf::to_string(node);
+  constexpr std::size_t kMax = 60;
+  if (s.size() > kMax) {
+    s.resize(kMax - 3);
+    s += "...";
+  }
+  return s;
+}
+
+bool node_nullable(const NodePtr& node,
+                   const std::map<std::string, bool>& rule_nullable) {
+  if (!node) return true;
+  if (const auto* alt = node->as<Alternation>()) {
+    for (const auto& a : alt->alts) {
+      if (node_nullable(a, rule_nullable)) return true;
+    }
+    return false;
+  }
+  if (const auto* cat = node->as<Concatenation>()) {
+    for (const auto& p : cat->parts) {
+      if (!node_nullable(p, rule_nullable)) return false;
+    }
+    return true;
+  }
+  if (const auto* rep = node->as<Repetition>()) {
+    return rep->min == 0 || node_nullable(rep->element, rule_nullable);
+  }
+  if (node->as<Option>() != nullptr) return true;
+  if (const auto* cv = node->as<CharVal>()) return cv->text.empty();
+  if (const auto* ref = node->as<RuleRef>()) {
+    auto it = rule_nullable.find(ref->name);
+    return it != rule_nullable.end() && it->second;
+  }
+  return false;  // NumVal, ProseVal
+}
+
+/// Byte class a terminal can start with.  Case-insensitive char-vals admit
+/// both cases of their first character.
+void add_first_of_char_val(const CharVal& cv, std::bitset<256>& out) {
+  if (cv.text.empty()) return;
+  auto c = static_cast<unsigned char>(cv.text.front());
+  out.set(c);
+  if (!cv.case_sensitive) {
+    out.set(lower(cv.text.front()));
+    out.set(static_cast<unsigned char>(
+        std::toupper(static_cast<unsigned char>(cv.text.front()))));
+  }
+}
+
+std::bitset<256> node_first(
+    const NodePtr& node, const std::map<std::string, bool>& rule_nullable,
+    const std::map<std::string, std::bitset<256>>& rule_first) {
+  std::bitset<256> out;
+  if (!node) return out;
+  if (const auto* alt = node->as<Alternation>()) {
+    for (const auto& a : alt->alts) {
+      out |= node_first(a, rule_nullable, rule_first);
+    }
+    return out;
+  }
+  if (const auto* cat = node->as<Concatenation>()) {
+    for (const auto& p : cat->parts) {
+      out |= node_first(p, rule_nullable, rule_first);
+      if (!node_nullable(p, rule_nullable)) break;
+    }
+    return out;
+  }
+  if (const auto* rep = node->as<Repetition>()) {
+    return node_first(rep->element, rule_nullable, rule_first);
+  }
+  if (const auto* opt = node->as<Option>()) {
+    return node_first(opt->element, rule_nullable, rule_first);
+  }
+  if (const auto* cv = node->as<CharVal>()) {
+    add_first_of_char_val(*cv, out);
+    return out;
+  }
+  if (const auto* nv = node->as<NumVal>()) {
+    if (nv->is_range) {
+      for (std::uint32_t c = nv->lo; c <= nv->hi && c < 256; ++c) out.set(c);
+    } else if (!nv->sequence.empty() && nv->sequence.front() < 256) {
+      out.set(nv->sequence.front());
+    }
+    return out;
+  }
+  if (const auto* ref = node->as<RuleRef>()) {
+    auto it = rule_first.find(ref->name);
+    if (it != rule_first.end()) out |= it->second;
+    return out;
+  }
+  return out;  // ProseVal: unknowable, treated as empty
+}
+
+/// Rule references that can occur at the leftmost position of `node` —
+/// i.e. through a (possibly empty) nullable prefix.
+void collect_left_calls(const NodePtr& node,
+                        const std::map<std::string, bool>& rule_nullable,
+                        std::vector<std::string>& out) {
+  if (!node) return;
+  if (const auto* alt = node->as<Alternation>()) {
+    for (const auto& a : alt->alts) collect_left_calls(a, rule_nullable, out);
+    return;
+  }
+  if (const auto* cat = node->as<Concatenation>()) {
+    for (const auto& p : cat->parts) {
+      collect_left_calls(p, rule_nullable, out);
+      if (!node_nullable(p, rule_nullable)) break;
+    }
+    return;
+  }
+  if (const auto* rep = node->as<Repetition>()) {
+    collect_left_calls(rep->element, rule_nullable, out);
+    return;
+  }
+  if (const auto* opt = node->as<Option>()) {
+    collect_left_calls(opt->element, rule_nullable, out);
+    return;
+  }
+  if (const auto* ref = node->as<RuleRef>()) {
+    out.push_back(ref->name);
+    return;
+  }
+}
+
+/// Does alternative `a` accept everything alternative `b` accepts?  Used
+/// for GL004: a later branch subsumed by an earlier one can never match.
+/// Conservative: only shapes we can decide exactly return true.
+bool subsumes(const NodePtr& a, const NodePtr& b);
+
+bool subsumes_char_val(const CharVal& a, const CharVal& b) {
+  if (!ci_equal(a.text, b.text)) return false;
+  if (!a.case_sensitive) return true;        // "foo" covers every casing
+  return b.case_sensitive && a.text == b.text;
+}
+
+bool subsumes_num_val(const NumVal& a, const NumVal& b) {
+  if (a.is_range && b.is_range) return a.lo <= b.lo && b.hi <= a.hi;
+  if (a.is_range && !b.is_range) {
+    return b.sequence.size() == 1 && a.lo <= b.sequence.front() &&
+           b.sequence.front() <= a.hi;
+  }
+  if (!a.is_range && !b.is_range) return a.sequence == b.sequence;
+  return false;
+}
+
+bool subsumes(const NodePtr& a, const NodePtr& b) {
+  if (!a || !b) return false;
+  if (const auto* acv = a->as<CharVal>()) {
+    const auto* bcv = b->as<CharVal>();
+    return bcv != nullptr && subsumes_char_val(*acv, *bcv);
+  }
+  if (const auto* anv = a->as<NumVal>()) {
+    const auto* bnv = b->as<NumVal>();
+    return bnv != nullptr && subsumes_num_val(*anv, *bnv);
+  }
+  if (const auto* aref = a->as<RuleRef>()) {
+    const auto* bref = b->as<RuleRef>();
+    return bref != nullptr && aref->name == bref->name;
+  }
+  if (const auto* acat = a->as<Concatenation>()) {
+    const auto* bcat = b->as<Concatenation>();
+    if (bcat == nullptr || acat->parts.size() != bcat->parts.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < acat->parts.size(); ++i) {
+      if (!subsumes(acat->parts[i], bcat->parts[i])) return false;
+    }
+    return true;
+  }
+  if (const auto* aalt = a->as<Alternation>()) {
+    const auto* balt = b->as<Alternation>();
+    if (balt == nullptr || aalt->alts.size() != balt->alts.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < aalt->alts.size(); ++i) {
+      if (!subsumes(aalt->alts[i], balt->alts[i])) return false;
+    }
+    return true;
+  }
+  if (const auto* arep = a->as<Repetition>()) {
+    const auto* brep = b->as<Repetition>();
+    return brep != nullptr && arep->min == brep->min &&
+           arep->max == brep->max && subsumes(arep->element, brep->element);
+  }
+  if (const auto* aopt = a->as<Option>()) {
+    const auto* bopt = b->as<Option>();
+    return bopt != nullptr && subsumes(aopt->element, bopt->element);
+  }
+  return false;  // ProseVal: opaque
+}
+
+/// Byte class of an alternative consisting of exactly one terminal, for
+/// GL006.  Returns an empty set for non-terminal shapes.
+std::bitset<256> terminal_byte_class(const NodePtr& node) {
+  std::bitset<256> out;
+  if (!node) return out;
+  if (const auto* cv = node->as<CharVal>()) {
+    if (cv->text.size() == 1) add_first_of_char_val(*cv, out);
+    return out;
+  }
+  if (const auto* nv = node->as<NumVal>()) {
+    if (nv->is_range) {
+      for (std::uint32_t c = nv->lo; c <= nv->hi && c < 256; ++c) out.set(c);
+    } else if (nv->sequence.size() == 1 && nv->sequence.front() < 256) {
+      out.set(nv->sequence.front());
+    }
+    return out;
+  }
+  return out;
+}
+
+struct ScanContext {
+  const Grammar* grammar = nullptr;
+  const GrammarFacts* facts = nullptr;
+};
+
+Diagnostic make_diag(Severity sev, std::string code, std::string rule,
+                     std::string span, std::string message) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.analyzer = "grammar";
+  d.rule = std::move(rule);
+  d.span = std::move(span);
+  d.message = std::move(message);
+  return d;
+}
+
+/// Structural checks that only need the rule itself plus precomputed facts.
+/// Safe to run per-rule in parallel.
+void scan_node(const std::string& rule_name, const NodePtr& node,
+               const ScanContext& ctx, std::vector<Diagnostic>& out) {
+  if (!node) return;
+  const auto& nullable = ctx.facts->nullable;
+
+  if (const auto* rep = node->as<Repetition>()) {
+    if (rep->max && rep->min > *rep->max) {
+      out.push_back(make_diag(
+          Severity::kError, "GL008", rule_name, excerpt(node),
+          "repetition lower bound " + std::to_string(rep->min) +
+              " exceeds upper bound " + std::to_string(*rep->max)));
+    }
+    if (!rep->max && node_nullable(rep->element, nullable)) {
+      out.push_back(make_diag(
+          Severity::kWarning, "GL003", rule_name, excerpt(node),
+          "unbounded repetition of a nullable element: the generator can "
+          "loop without consuming input"));
+    }
+    scan_node(rule_name, rep->element, ctx, out);
+    return;
+  }
+  if (const auto* nv = node->as<NumVal>()) {
+    if (nv->is_range && nv->lo > nv->hi) {
+      out.push_back(make_diag(
+          Severity::kError, "GL009", rule_name, excerpt(node),
+          "empty num-val range: lower bound " + std::to_string(nv->lo) +
+              " exceeds upper bound " + std::to_string(nv->hi)));
+    }
+    return;
+  }
+  if (const auto* ref = node->as<RuleRef>()) {
+    if (!ctx.grammar->contains(ref->name)) {
+      out.push_back(make_diag(Severity::kError, "GL002", rule_name, ref->name,
+                              "reference to undefined rule '" + ref->name +
+                                  "'"));
+    }
+    return;
+  }
+  if (const auto* opt = node->as<Option>()) {
+    scan_node(rule_name, opt->element, ctx, out);
+    return;
+  }
+  if (const auto* cat = node->as<Concatenation>()) {
+    for (const auto& p : cat->parts) scan_node(rule_name, p, ctx, out);
+    return;
+  }
+  if (const auto* alt = node->as<Alternation>()) {
+    const auto& alts = alt->alts;
+    for (std::size_t j = 0; j < alts.size(); ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        if (subsumes(alts[i], alts[j])) {
+          out.push_back(make_diag(
+              Severity::kWarning, "GL004", rule_name, excerpt(alts[j]),
+              "alternative " + std::to_string(j + 1) +
+                  " is unreachable: subsumed by alternative " +
+                  std::to_string(i + 1) + " (" + excerpt(alts[i]) + ")"));
+          continue;
+        }
+        const auto ti = terminal_byte_class(alts[i]);
+        const auto tj = terminal_byte_class(alts[j]);
+        if (ti.any() && tj.any()) {
+          if ((ti & tj).any()) {
+            out.push_back(make_diag(
+                Severity::kWarning, "GL006", rule_name,
+                excerpt(alts[i]) + " vs " + excerpt(alts[j]),
+                "terminal byte classes of alternatives " +
+                    std::to_string(i + 1) + " and " + std::to_string(j + 1) +
+                    " overlap"));
+          }
+          continue;  // pure terminals: GL006 decides, GL005 would duplicate
+        }
+        const auto fi = node_first(alts[i], nullable, ctx.facts->first);
+        const auto fj = node_first(alts[j], nullable, ctx.facts->first);
+        if ((fi & fj).any()) {
+          out.push_back(make_diag(
+              Severity::kInfo, "GL005", rule_name,
+              excerpt(alts[i]) + " vs " + excerpt(alts[j]),
+              "FIRST sets of alternatives " + std::to_string(i + 1) +
+                  " and " + std::to_string(j + 1) +
+                  " overlap: a parser must look past one byte to choose "
+                  "(semantic-gap seed)"));
+        }
+      }
+    }
+    for (const auto& a : alts) scan_node(rule_name, a, ctx, out);
+    return;
+  }
+  // CharVal / ProseVal: nothing rule-local to check.
+}
+
+/// Shortest left-call cycle through `start`, or empty when none exists.
+std::vector<std::string> find_left_cycle(
+    const std::string& start,
+    const std::map<std::string, std::vector<std::string>>& left_calls) {
+  std::map<std::string, std::string> parent;
+  std::deque<std::string> queue;
+  auto it = left_calls.find(start);
+  if (it == left_calls.end()) return {};
+  for (const auto& next : it->second) {
+    if (parent.emplace(next, start).second) queue.push_back(next);
+  }
+  while (!queue.empty()) {
+    std::string cur = queue.front();
+    queue.pop_front();
+    if (cur == start) {
+      std::vector<std::string> path{start};
+      for (std::string n = parent.at(start); n != start; n = parent.at(n)) {
+        path.push_back(n);
+      }
+      std::reverse(path.begin() + 1, path.end());
+      path.push_back(start);
+      return path;
+    }
+    auto cit = left_calls.find(cur);
+    if (cit == left_calls.end()) continue;
+    for (const auto& next : cit->second) {
+      if (parent.emplace(next, cur).second) queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::string join_path(const std::vector<std::string>& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += path[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+GrammarFacts compute_grammar_facts(const Grammar& grammar) {
+  GrammarFacts facts;
+  for (const auto& [name, rule] : grammar.rules()) {
+    facts.nullable[name] = false;
+    facts.first[name] = {};
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, rule] : grammar.rules()) {
+      if (facts.nullable[name]) continue;
+      if (node_nullable(rule.definition, facts.nullable)) {
+        facts.nullable[name] = true;
+        changed = true;
+      }
+    }
+  }
+
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, rule] : grammar.rules()) {
+      auto next = facts.first[name] |
+                  node_first(rule.definition, facts.nullable, facts.first);
+      if (next != facts.first[name]) {
+        facts.first[name] = next;
+        changed = true;
+      }
+    }
+  }
+
+  for (const auto& [name, rule] : grammar.rules()) {
+    std::vector<std::string> calls;
+    collect_left_calls(rule.definition, facts.nullable, calls);
+    std::sort(calls.begin(), calls.end());
+    calls.erase(std::unique(calls.begin(), calls.end()), calls.end());
+    facts.left_calls[name] = std::move(calls);
+  }
+  return facts;
+}
+
+std::vector<Diagnostic> lint_grammar(const Grammar& grammar,
+                                     const GrammarLintOptions& options) {
+  const GrammarFacts facts = compute_grammar_facts(grammar);
+  ScanContext ctx{&grammar, &facts};
+
+  // Stable rule order for sharding: the grammar map is already sorted by
+  // normalized name.
+  std::vector<const std::pair<const std::string, abnf::Rule>*> entries;
+  entries.reserve(grammar.size());
+  for (const auto& e : grammar.rules()) entries.push_back(&e);
+
+  std::size_t jobs = std::max<std::size_t>(1, options.jobs);
+  jobs = std::min(jobs, std::max<std::size_t>(1, entries.size()));
+  std::vector<std::vector<Diagnostic>> slots(entries.size());
+  auto scan_range = [&](std::size_t worker) {
+    for (std::size_t i = worker; i < entries.size(); i += jobs) {
+      scan_node(entries[i]->first, entries[i]->second.definition, ctx,
+                slots[i]);
+    }
+  };
+  if (jobs == 1) {
+    scan_range(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers.emplace_back(scan_range, w);
+    }
+    for (auto& t : workers) t.join();
+  }
+
+  std::vector<Diagnostic> diags;
+  for (auto& slot : slots) {
+    diags.insert(diags.end(), std::make_move_iterator(slot.begin()),
+                 std::make_move_iterator(slot.end()));
+  }
+
+  // GL001: left recursion over the whole leftmost-call graph.
+  for (const auto* entry : entries) {
+    auto cycle = find_left_cycle(entry->first, facts.left_calls);
+    if (!cycle.empty()) {
+      diags.push_back(make_diag(
+          Severity::kError, "GL001", entry->first, join_path(cycle),
+          cycle.size() == 2 ? "direct left recursion"
+                            : "indirect left recursion"));
+    }
+  }
+
+  // GL007: unused / unreachable rules.
+  std::set<std::string> roots;
+  for (const auto& r : options.roots) {
+    roots.insert(abnf::normalize_rule_name(r));
+  }
+  if (roots.empty()) {
+    std::set<std::string> referenced;
+    for (const auto* entry : entries) {
+      std::vector<std::string> refs;
+      Grammar::collect_refs(entry->second.definition, refs);
+      referenced.insert(refs.begin(), refs.end());
+    }
+    for (const auto* entry : entries) {
+      if (referenced.count(entry->first) == 0) {
+        diags.push_back(make_diag(
+            Severity::kInfo, "GL007", entry->first, "",
+            "rule is never referenced by any other rule"));
+      }
+    }
+  } else {
+    std::set<std::string> reachable;
+    std::deque<std::string> queue(roots.begin(), roots.end());
+    while (!queue.empty()) {
+      std::string cur = queue.front();
+      queue.pop_front();
+      if (!reachable.insert(cur).second) continue;
+      const auto* rule = grammar.find(cur);
+      if (rule == nullptr) continue;
+      std::vector<std::string> refs;
+      Grammar::collect_refs(rule->definition, refs);
+      for (auto& r : refs) queue.push_back(std::move(r));
+    }
+    for (const auto* entry : entries) {
+      if (reachable.count(entry->first) == 0) {
+        diags.push_back(make_diag(
+            Severity::kInfo, "GL007", entry->first, "",
+            "rule is unreachable from the configured roots"));
+      }
+    }
+  }
+
+  sort_diagnostics(diags);
+  return diags;
+}
+
+}  // namespace hdiff::analysis

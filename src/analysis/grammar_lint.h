@@ -1,0 +1,62 @@
+// GrammarLint: static analysis over `abnf::Grammar` DAGs.
+//
+// Computes the classic grammar facts — nullability, FIRST sets (as byte
+// classes), and leftmost-call graphs — by fixed-point iteration, then scans
+// every rule for the defect classes that weaken the ABNF generator or signal
+// specification ambiguity (DESIGN.md §9):
+//
+//   GL001 error    direct or indirect left recursion
+//   GL002 error    reference to an undefined rule
+//   GL003 warning  unbounded repetition of a nullable element
+//                  (infinite-generation / infinite-loop risk)
+//   GL004 warning  unreachable alternation branch (duplicate of an earlier
+//                  alternative, including case-insensitive CharVal equality)
+//   GL005 info     FIRST-set overlap between alternatives — the paper's
+//                  semantic-gap seed; expected in real HTTP grammar, hence
+//                  info severity
+//   GL006 warning  char-val/num-val byte-class overlap between
+//                  single-terminal alternatives (one branch shadows part of
+//                  another's range)
+//   GL007 info     rule defined but never referenced (and not a root)
+//   GL008 error    repetition with min > max
+//   GL009 error    num-val range with lo > hi
+#pragma once
+
+#include <bitset>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "abnf/ast.h"
+#include "analysis/diagnostic.h"
+
+namespace hdiff::analysis {
+
+struct GrammarLintOptions {
+  /// Rules treated as entry points: they are exempt from GL007 and seed the
+  /// reachability walk.  Empty means "every rule is a root" (GL007 then
+  /// reports only rules with zero inbound references).
+  std::vector<std::string> roots;
+  /// Worker threads for the per-rule scans.  Facts (nullable/FIRST/left
+  /// calls) are always computed single-threaded: the fixed points are cheap
+  /// and inherently sequential.
+  std::size_t jobs = 1;
+};
+
+/// Grammar-wide facts, exposed for tests and for MutationCoverage.
+struct GrammarFacts {
+  std::map<std::string, bool> nullable;             // key: normalized name
+  std::map<std::string, std::bitset<256>> first;    // FIRST as byte class
+  std::map<std::string, std::vector<std::string>> left_calls;
+};
+
+/// Compute nullable / FIRST / leftmost-call facts by fixed point.
+GrammarFacts compute_grammar_facts(const abnf::Grammar& grammar);
+
+/// Run every grammar check; diagnostics come back sorted and deduplicated
+/// (byte-identical for any `jobs` value).
+std::vector<Diagnostic> lint_grammar(const abnf::Grammar& grammar,
+                                     const GrammarLintOptions& options = {});
+
+}  // namespace hdiff::analysis

@@ -1,0 +1,68 @@
+// Lint orchestrator: runs GrammarLint, RuleBaseLint, and MutationCoverage
+// over one grammar + rule engine, applies waivers, and renders the combined
+// report (JSON fragment, human table, exit code).  This is the engine behind
+// `hdiff lint` and the "lint" block of the findings JSON (DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abnf/ast.h"
+#include "analysis/diagnostic.h"
+#include "analysis/grammar_lint.h"
+#include "analysis/mutation_coverage.h"
+#include "analysis/rulebase_lint.h"
+#include "core/rules.h"
+#include "obs/obs.h"
+
+namespace hdiff::analysis {
+
+struct LintOptions {
+  GrammarLintOptions grammar;
+  MutationCoverageOptions mutation;
+  std::vector<Waiver> waivers;
+  /// Include the checked-in corpus waivers (default_corpus_waivers()).
+  bool use_default_corpus_waivers = true;
+  /// Run MutationCoverage (the one analyzer that derives seeds; tests on
+  /// tiny fixture grammars can skip it).
+  bool run_mutation_coverage = true;
+  std::size_t jobs = 1;
+  obs::Observability obs;  ///< optional metrics/trace sinks
+};
+
+/// Per-analyzer runtime, for the JSON report (never the text report — text
+/// output must stay byte-identical across runs and `--jobs` values).
+struct AnalyzerStats {
+  std::string name;
+  std::size_t diagnostics = 0;
+  std::uint64_t micros = 0;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  ///< sorted, waivers applied
+  DiagnosticCounts counts;
+  std::vector<AnalyzerStats> analyzers;
+  MutationCoverageStats mutation_stats;
+};
+
+/// The checked-in waivers that keep the shipped corpus green.  Every entry
+/// documents a *known, accepted* finding; removing the underlying defect
+/// means removing the waiver (tests pin this list against the corpus).
+std::vector<Waiver> default_corpus_waivers();
+
+LintResult run_lint(const abnf::Grammar& grammar,
+                    const core::CustomRuleEngine& engine,
+                    const LintOptions& options = {});
+
+/// JSON object fragment for the "lint" report block (includes timings).
+std::string lint_json(const LintResult& result);
+
+/// Human-readable report: diagnostics table + summary line.  Deliberately
+/// timing-free so output is byte-identical across `--jobs` values.
+std::string lint_text(const LintResult& result);
+
+/// 0 = clean (waived/info only), 3 = unwaived warnings, 4 = unwaived errors.
+int lint_exit_code(const LintResult& result) noexcept;
+
+}  // namespace hdiff::analysis

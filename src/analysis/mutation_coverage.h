@@ -1,0 +1,60 @@
+// MutationCoverage: cross-reference the `MutationKind` operator set against
+// the grammar-derived seed corpus.
+//
+// For every generation target (grammar rule × embed position) the analyzer
+// enumerates a bounded sample of derivations, embeds each into a canonical
+// request (the same `embed_value` path the real generator uses), runs the
+// mutation engine on it, and tallies which operators found applicable sites.
+// Blind spots surface as (DESIGN.md §9):
+//
+//   MC001 warning  mutation operator with zero applicable sites across the
+//                  whole corpus (the operator set advertises a capability
+//                  the engine never exercises)
+//   MC002 warning  generation target no operator can perturb (seeds from
+//                  that production reach the chain unmutated)
+//   MC003 info     target rule not derivable from the grammar (no seeds, so
+//                  coverage is vacuous there)
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "abnf/ast.h"
+#include "analysis/diagnostic.h"
+#include "core/abnf_testgen.h"
+#include "core/mutation.h"
+
+namespace hdiff::analysis {
+
+struct MutationCoverageOptions {
+  /// Targets to measure; empty = core::default_abnf_targets().
+  std::vector<core::AbnfTarget> targets;
+  /// Derivations sampled per target (a fraction of the generator's real
+  /// budget — applicability saturates quickly).
+  std::size_t values_per_target = 16;
+  core::MutationOptions mutation;
+  std::size_t jobs = 1;
+};
+
+/// Raw tallies, exposed for the report table and the tests.
+struct MutationCoverageStats {
+  /// Applicable-site count per operator (key: to_string(MutationKind)).
+  std::map<std::string, std::size_t> sites_per_kind;
+  /// Mutant count per target rule (key: "rule@position").
+  std::map<std::string, std::size_t> mutants_per_target;
+  std::size_t seeds = 0;
+  std::size_t mutants = 0;
+};
+
+struct MutationCoverageResult {
+  std::vector<Diagnostic> diagnostics;
+  MutationCoverageStats stats;
+};
+
+MutationCoverageResult analyze_mutation_coverage(
+    const abnf::Grammar& grammar,
+    const MutationCoverageOptions& options = {});
+
+}  // namespace hdiff::analysis

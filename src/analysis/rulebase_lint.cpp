@@ -1,0 +1,236 @@
+#include "analysis/rulebase_lint.h"
+
+#include <map>
+#include <utility>
+
+#include "impls/verdict.h"
+
+namespace hdiff::analysis {
+namespace {
+
+using core::AttackClass;
+using core::HMetrics;
+using core::PairMetrics;
+using core::Stage;
+
+/// One synthetic chain scenario.  Owns the metrics that `PairMetrics`
+/// references.
+struct PairProbe {
+  std::string name;
+  HMetrics front;
+  HMetrics back;
+  impls::RelayOutcome relay;
+  bool has_relay = true;
+};
+
+HMetrics base_front() {
+  HMetrics m;
+  m.uuid = "lint-probe";
+  m.impl = "probe-front";
+  m.stage = Stage::kProxy;
+  m.forwarded = true;  // the engine only evaluates forwarded fronts
+  m.host = "origin.example";
+  m.version = "HTTP/1.1";
+  return m;
+}
+
+HMetrics base_back() {
+  HMetrics m;
+  m.uuid = "lint-probe";
+  m.impl = "probe-back";
+  m.stage = Stage::kReplay;
+  m.via_proxy = "probe-front";
+  m.status_code = 200;
+  m.host = "origin.example";
+  m.version = "HTTP/1.1";
+  return m;
+}
+
+/// The battery: canonical attack shapes plus clean and near-miss controls.
+/// Fixed and ordered — signatures must be comparable across runs.
+std::vector<PairProbe> make_pair_battery() {
+  std::vector<PairProbe> battery;
+  auto add = [&battery](std::string name, auto mutate) {
+    PairProbe p;
+    p.name = std::move(name);
+    p.front = base_front();
+    p.back = base_back();
+    mutate(p);
+    battery.push_back(std::move(p));
+  };
+
+  add("clean", [](PairProbe&) {});
+  add("smuggled-remainder", [](PairProbe& p) {
+    p.back.leftover = "GET /admin HTTP/1.1\r\n\r\n";
+  });
+  add("desync-hang", [](PairProbe& p) {
+    p.back.status_code = 0;
+    p.back.incomplete = true;
+  });
+  add("host-disagreement", [](PairProbe& p) {
+    p.back.host = "attacker.example";
+  });
+  add("relay-desync", [](PairProbe& p) {
+    p.relay.desync = true;
+    p.relay.stale_backend_bytes = "HTTP/1.1 200 OK\r\n\r\nreal";
+    p.relay.relayed_status = 100;
+  });
+  add("cached-error", [](PairProbe& p) {
+    p.front.would_cache = true;
+    p.back.status_code = 404;
+  });
+  add("cached-ok", [](PairProbe& p) { p.front.would_cache = true; });
+  add("plain-400", [](PairProbe& p) { p.back.status_code = 400; });
+  add("plain-503", [](PairProbe& p) { p.back.status_code = 503; });
+  add("no-relay-observation", [](PairProbe& p) { p.has_relay = false; });
+  add("combined-smuggle-route-cache", [](PairProbe& p) {
+    p.back.leftover = "GET /poison HTTP/1.1\r\n\r\n";
+    p.back.host = "attacker.example";
+    p.relay.desync = true;
+    p.front.would_cache = true;
+  });
+  return battery;
+}
+
+/// Synthetic direct-observation battery for `DirectRule`s.
+std::vector<std::pair<std::string, HMetrics>> make_direct_battery() {
+  std::vector<std::pair<std::string, HMetrics>> battery;
+  auto add = [&battery](std::string name, auto mutate) {
+    HMetrics m;
+    m.uuid = "lint-probe";
+    m.impl = "probe-back";
+    m.stage = Stage::kDirect;
+    m.status_code = 200;
+    m.host = "origin.example";
+    m.version = "HTTP/1.1";
+    mutate(m);
+    battery.emplace_back(std::move(name), std::move(m));
+  };
+  add("clean", [](HMetrics&) {});
+  add("rejected-400", [](HMetrics& m) { m.status_code = 400; });
+  add("leftover", [](HMetrics& m) {
+    m.leftover = "GET /admin HTTP/1.1\r\n\r\n";
+  });
+  add("incomplete", [](HMetrics& m) {
+    m.status_code = 0;
+    m.incomplete = true;
+  });
+  add("missing-host", [](HMetrics& m) { m.host.clear(); });
+  return battery;
+}
+
+Diagnostic make_diag(Severity sev, std::string code, std::string rule,
+                     std::string span, std::string message) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.analyzer = "rulebase";
+  d.rule = std::move(rule);
+  d.span = std::move(span);
+  d.message = std::move(message);
+  return d;
+}
+
+std::string attack_name(AttackClass a) {
+  return std::string(core::to_string(a));
+}
+
+/// Report RB001/RB002/RB003/RB004 over one rule family's signatures.
+void lint_signatures(const std::vector<RuleSignature>& sigs,
+                     const std::string& family,
+                     std::vector<Diagnostic>& out) {
+  std::map<std::string, std::size_t> seen_names;
+  for (const auto& sig : sigs) {
+    auto [it, inserted] = seen_names.emplace(sig.name, 1);
+    if (!inserted) {
+      ++it->second;
+      out.push_back(make_diag(
+          Severity::kWarning, "RB002", sig.name, family,
+          "rule name registered " + std::to_string(it->second) +
+              " times: later registrations shadow reporting of earlier "
+              "ones"));
+    }
+  }
+
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    bool fires_ever = false;
+    for (bool f : sigs[i].fires) fires_ever = fires_ever || f;
+    if (!fires_ever) {
+      out.push_back(make_diag(
+          Severity::kWarning, "RB004", sigs[i].name, family,
+          "rule never fires on any battery probe (dead rule?)"));
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (sigs[i].name == sigs[j].name) continue;  // RB002 already covers
+      if (sigs[i].fires != sigs[j].fires || !fires_ever) continue;
+      if (sigs[i].attack == sigs[j].attack) {
+        out.push_back(make_diag(
+            Severity::kWarning, "RB001", sigs[i].name, sigs[j].name,
+            "identical fire signature and attack class as rule '" +
+                sigs[j].name + "': one is redundant"));
+      } else {
+        out.push_back(make_diag(
+            Severity::kError, "RB003", sigs[i].name, sigs[j].name,
+            "identical fire signature as rule '" + sigs[j].name +
+                "' but conflicting verdicts (" +
+                attack_name(sigs[i].attack) + " vs " +
+                attack_name(sigs[j].attack) + ")"));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> pair_probe_names() {
+  std::vector<std::string> names;
+  for (const auto& p : make_pair_battery()) names.push_back(p.name);
+  return names;
+}
+
+std::vector<RuleSignature> pair_rule_signatures(
+    const core::CustomRuleEngine& engine) {
+  const auto battery = make_pair_battery();
+  std::vector<RuleSignature> sigs;
+  sigs.reserve(engine.pair_rules().size());
+  for (const auto& rule : engine.pair_rules()) {
+    RuleSignature sig;
+    sig.name = rule.name;
+    sig.attack = rule.attack;
+    sig.fires.reserve(battery.size());
+    for (const auto& probe : battery) {
+      PairMetrics pm{probe.front, probe.back,
+                     probe.has_relay ? &probe.relay : nullptr};
+      bool fired = rule.predicate && !rule.predicate(pm).empty();
+      sig.fires.push_back(fired);
+    }
+    sigs.push_back(std::move(sig));
+  }
+  return sigs;
+}
+
+std::vector<Diagnostic> lint_rulebase(const core::CustomRuleEngine& engine) {
+  std::vector<Diagnostic> diags;
+
+  lint_signatures(pair_rule_signatures(engine), "pair", diags);
+
+  const auto direct_battery = make_direct_battery();
+  std::vector<RuleSignature> direct_sigs;
+  direct_sigs.reserve(engine.direct_rules().size());
+  for (const auto& rule : engine.direct_rules()) {
+    RuleSignature sig;
+    sig.name = rule.name;
+    sig.attack = rule.attack;
+    for (const auto& [name, metrics] : direct_battery) {
+      bool fired = rule.predicate && !rule.predicate(metrics).empty();
+      sig.fires.push_back(fired);
+    }
+    direct_sigs.push_back(std::move(sig));
+  }
+  lint_signatures(direct_sigs, "direct", diags);
+
+  sort_diagnostics(diags);
+  return diags;
+}
+
+}  // namespace hdiff::analysis

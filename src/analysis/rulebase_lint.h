@@ -1,0 +1,44 @@
+// RuleBaseLint: static analysis over a `core::CustomRuleEngine`.
+//
+// SR-derived rules are opaque predicates (`std::function` over HMetrics
+// projections), so the linter characterizes them behaviourally: every rule
+// is evaluated against a fixed battery of synthetic chain scenarios — the
+// canonical HRS / HoT / CPDoS shapes plus clean and near-miss controls —
+// and its *fire signature* (which probes it matches) becomes a comparable
+// fingerprint (DESIGN.md §9):
+//
+//   RB001 warning  duplicate rules: identical signature, same attack class,
+//                  different names (one is redundant)
+//   RB002 warning  shadowed rule: the same name registered more than once
+//   RB003 error    contradictory rules: identical signature but conflicting
+//                  attack-class verdicts
+//   RB004 warning  rule never fires on any battery probe (dead rule or a
+//                  predicate the corpus can never exercise)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/rules.h"
+
+namespace hdiff::analysis {
+
+/// Names of the synthetic pair scenarios, in battery order (exposed so the
+/// tests and DESIGN.md stay honest about what "never fires" means).
+std::vector<std::string> pair_probe_names();
+
+/// Behavioural fingerprint of one rule.
+struct RuleSignature {
+  std::string name;
+  core::AttackClass attack = core::AttackClass::kGeneric;
+  std::vector<bool> fires;  ///< one slot per battery probe
+};
+
+/// Fingerprints for every registered pair rule, in registration order.
+std::vector<RuleSignature> pair_rule_signatures(
+    const core::CustomRuleEngine& engine);
+
+std::vector<Diagnostic> lint_rulebase(const core::CustomRuleEngine& engine);
+
+}  // namespace hdiff::analysis

@@ -64,7 +64,10 @@ AttackClass category_for(EmbedPosition p) {
   return AttackClass::kGeneric;
 }
 
-http::RequestSpec embed(EmbedPosition position, const std::string& value) {
+}  // namespace
+
+http::RequestSpec embed_value(EmbedPosition position,
+                              const std::string& value) {
   http::RequestSpec spec = http::make_get("h1.com");
   switch (position) {
     case EmbedPosition::kHostHeader:
@@ -108,8 +111,6 @@ http::RequestSpec embed(EmbedPosition position, const std::string& value) {
   return spec;
 }
 
-}  // namespace
-
 std::vector<TestCase> AbnfTestGen::generate(
     const std::vector<AbnfTarget>& targets_in) const {
   const std::vector<AbnfTarget> targets =
@@ -121,7 +122,7 @@ std::vector<TestCase> AbnfTestGen::generate(
     std::vector<std::string> values =
         generator_.enumerate(target.rule, config_.values_per_target);
     for (std::size_t vi = 0; vi < values.size(); ++vi) {
-      http::RequestSpec spec = embed(target.position, values[vi]);
+      http::RequestSpec spec = embed_value(target.position, values[vi]);
       TestCase tc;
       char buf[32];
       std::snprintf(buf, sizeof buf, "abnf-%06zu", counter++);

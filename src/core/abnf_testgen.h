@@ -13,6 +13,7 @@
 
 #include "abnf/generator.h"
 #include "core/testcase.h"
+#include "http/serialize.h"
 
 namespace hdiff::core {
 
@@ -44,6 +45,12 @@ struct AbnfTarget {
 
 /// The default target set for the HTTP experiments.
 std::vector<AbnfTarget> default_abnf_targets();
+
+/// Embed one derived value into an otherwise canonical request at the given
+/// position (the seed construction `generate()` uses for every test case;
+/// analysis::MutationCoverage reuses it to measure operator applicability).
+http::RequestSpec embed_value(EmbedPosition position,
+                              const std::string& value);
 
 class AbnfTestGen {
  public:

@@ -393,6 +393,12 @@ std::string export_json(const PipelineResult& result, ExportOptions options) {
   }
   w.end_array();
 
+  // Static-analysis verdicts over the run's grammar and rule base
+  // (pre-rendered by the analysis layer; see ExportOptions::lint_json).
+  if (!options.lint_json.empty()) {
+    w.key("lint").raw(options.lint_json);
+  }
+
   if (options.include_test_cases) {
     w.key("cases").begin_array();
     for (const auto& tc : result.executed_cases) write_test_case(w, tc);

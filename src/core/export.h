@@ -17,6 +17,10 @@ namespace hdiff::core {
 struct ExportOptions {
   bool include_test_cases = false;  ///< embed the executed corpus (large)
   bool include_pair_details = true;
+  /// Pre-rendered JSON object for the "lint" block (analysis::lint_json).
+  /// Rendered by the caller because core does not depend on hdiff_analysis;
+  /// empty = omit the block.
+  std::string lint_json;
 };
 
 /// Serialize a pipeline result to JSON.

@@ -38,6 +38,19 @@ std::string_view to_string(MutationKind k) noexcept {
   return "?";
 }
 
+const std::vector<MutationKind>& all_mutation_kinds() {
+  static const std::vector<MutationKind> kKinds = {
+      MutationKind::kRepeatHeader,      MutationKind::kScBeforeName,
+      MutationKind::kScAfterName,       MutationKind::kScBeforeValue,
+      MutationKind::kNameCaseVariation, MutationKind::kValueCaseVariation,
+      MutationKind::kUnicodeInValue,    MutationKind::kBareLfTerminator,
+      MutationKind::kObsFoldValue,      MutationKind::kVersionSwap,
+      MutationKind::kVersionCase,       MutationKind::kVersionPunct,
+      MutationKind::kVersionDrop,
+  };
+  return kKinds;
+}
+
 namespace {
 
 std::string hex_escape(std::string_view s) {

@@ -38,6 +38,10 @@ enum class MutationKind {
 
 std::string_view to_string(MutationKind k) noexcept;
 
+/// Every MutationKind, in declaration order (analysis::MutationCoverage
+/// iterates the operator set to find kinds `mutate()` never emits).
+const std::vector<MutationKind>& all_mutation_kinds();
+
 /// One applied mutation, for labelling test cases.
 struct AppliedMutation {
   MutationKind kind;

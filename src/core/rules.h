@@ -66,6 +66,15 @@ class CustomRuleEngine {
     return pair_rules_.size() + direct_rules_.size();
   }
 
+  /// Registered rules, in registration order (analysis::RuleBaseLint probes
+  /// these against synthetic HMetrics batteries).
+  const std::vector<PairRule>& pair_rules() const noexcept {
+    return pair_rules_;
+  }
+  const std::vector<DirectRule>& direct_rules() const noexcept {
+    return direct_rules_;
+  }
+
  private:
   std::vector<PairRule> pair_rules_;
   std::vector<DirectRule> direct_rules_;

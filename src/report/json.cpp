@@ -100,6 +100,13 @@ JsonWriter& JsonWriter::value(std::uint64_t v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  comma();
+  out_ += fragment;
+  need_comma_ = true;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(double v) {
   comma();
   char buf[32];

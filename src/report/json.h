@@ -34,6 +34,11 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(double v);
 
+  /// Splice a pre-rendered JSON fragment in value position.  The fragment
+  /// must itself be valid JSON; the writer only manages the surrounding
+  /// comma state (used to embed sub-reports built by other layers).
+  JsonWriter& raw(std::string_view fragment);
+
   const std::string& str() const noexcept { return out_; }
 
  private:

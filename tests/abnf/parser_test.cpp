@@ -163,6 +163,31 @@ TEST(AbnfGrammar, RedefinitionReplaces) {
   EXPECT_EQ(g.size(), 1u);
 }
 
+TEST(AbnfParser, RulelistRejectsDuplicateDefinition) {
+  // A plain "=" redefinition inside one rulelist is a conflict: the first
+  // definition is kept and the duplicate is reported, instead of the old
+  // silent last-writer-wins.
+  std::vector<std::string> errors;
+  Grammar g = parse_rulelist("m = \"GET\"\nm = \"POST\"\n", "test", &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("duplicate definition of rule 'm'"),
+            std::string::npos);
+  const Rule* r = g.find("m");
+  ASSERT_NE(r, nullptr);
+  const auto* cv = r->definition->as<CharVal>();
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(cv->text, "GET");  // first definition wins
+}
+
+TEST(AbnfParser, RulelistStillMergesIncrementalDefinitions) {
+  std::vector<std::string> errors;
+  Grammar g = parse_rulelist("m = \"GET\"\nm =/ \"POST\"\n", "test", &errors);
+  EXPECT_TRUE(errors.empty());
+  const auto* alt = g.find("m")->definition->as<Alternation>();
+  ASSERT_NE(alt, nullptr);
+  EXPECT_EQ(alt->alts.size(), 2u);
+}
+
 TEST(AbnfGrammar, NamesAreCaseInsensitive) {
   Grammar g;
   g.add(parse_rule("Http-Version = \"HTTP/1.1\""));

@@ -1,0 +1,240 @@
+// GrammarLint: every seeded defect class must fire its stable code, clean
+// grammars must stay clean, and output must be schedule-independent.
+#include "analysis/grammar_lint.h"
+
+#include <gtest/gtest.h>
+
+#include "abnf/parser.h"
+
+namespace hdiff::analysis {
+namespace {
+
+abnf::Grammar grammar_of(std::string_view text) {
+  std::vector<std::string> errors;
+  abnf::Grammar g = abnf::parse_rulelist(text, "fixture", &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return g;
+}
+
+std::vector<Diagnostic> lint(std::string_view text,
+                             GrammarLintOptions options = {}) {
+  return lint_grammar(grammar_of(text), options);
+}
+
+bool has(const std::vector<Diagnostic>& diags, std::string_view code,
+         std::string_view rule = {}) {
+  for (const auto& d : diags) {
+    if (d.code == code && (rule.empty() || d.rule == rule)) return true;
+  }
+  return false;
+}
+
+std::size_t count_code(const std::vector<Diagnostic>& diags,
+                       std::string_view code) {
+  std::size_t n = 0;
+  for (const auto& d : diags) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+TEST(GrammarLint, EmptyGrammarIsClean) {
+  abnf::Grammar empty;
+  EXPECT_TRUE(lint_grammar(empty).empty());
+}
+
+TEST(GrammarLint, CleanGrammarHasNoFindings) {
+  auto diags = lint(
+      "msg = start *field\n"
+      "start = \"GET\" \" \" target\n"
+      "target = 1*%x61-7A\n"
+      "field = \"x:\" 1*%x30-39\n",
+      {{"msg"}, 1});
+  EXPECT_TRUE(diags.empty()) << to_string(diags.front());
+}
+
+TEST(GrammarLint, DirectLeftRecursion) {
+  auto diags = lint("a = a \"x\" / \"y\"\n");
+  ASSERT_TRUE(has(diags, "GL001", "a"));
+  for (const auto& d : diags) {
+    if (d.code == "GL001") {
+      EXPECT_EQ(d.severity, Severity::kError);
+      EXPECT_EQ(d.span, "a -> a");
+    }
+  }
+}
+
+TEST(GrammarLint, SelfReferentialSingleRule) {
+  // Degenerate `a = a`: exactly the shape the corpus adaptor produces for
+  // prose aliases, and the smallest possible left recursion.
+  auto diags = lint("a = a\n");
+  EXPECT_TRUE(has(diags, "GL001", "a"));
+}
+
+TEST(GrammarLint, IndirectLeftRecursionReportsCycle) {
+  auto diags = lint(
+      "a = b \"q\"\n"
+      "b = a \"x\" / \"z\"\n");
+  EXPECT_TRUE(has(diags, "GL001", "a"));
+  EXPECT_TRUE(has(diags, "GL001", "b"));
+  for (const auto& d : diags) {
+    if (d.code == "GL001" && d.rule == "a") {
+      EXPECT_EQ(d.span, "a -> b -> a");
+      EXPECT_NE(d.message.find("indirect"), std::string::npos);
+    }
+  }
+}
+
+TEST(GrammarLint, OptionWrappedRecursionIsStillLeftRecursion) {
+  // The recursive reference sits inside [ ]: the nullable wrapper does not
+  // save the rule, a parser can still loop without consuming input.
+  auto diags = lint("a = [ a ] \"x\"\n");
+  EXPECT_TRUE(has(diags, "GL001", "a"));
+}
+
+TEST(GrammarLint, NullablePrefixExposesLeftRecursion) {
+  // `pad` derives "" so `a`'s reference to itself is effectively leftmost.
+  auto diags = lint(
+      "a = pad a \"x\" / \"y\"\n"
+      "pad = *\" \"\n");
+  EXPECT_TRUE(has(diags, "GL001", "a"));
+}
+
+TEST(GrammarLint, RightRecursionIsFine) {
+  auto diags = lint("a = \"x\" a / \"y\"\n");
+  EXPECT_FALSE(has(diags, "GL001"));
+}
+
+TEST(GrammarLint, UndefinedReference) {
+  auto diags = lint("a = b \"x\"\n");
+  ASSERT_TRUE(has(diags, "GL002", "a"));
+  for (const auto& d : diags) {
+    if (d.code == "GL002") {
+      EXPECT_EQ(d.severity, Severity::kError);
+      EXPECT_EQ(d.span, "b");
+    }
+  }
+}
+
+TEST(GrammarLint, UnboundedNullableRepetition) {
+  auto diags = lint("a = *( *\"x\" )\n");
+  EXPECT_TRUE(has(diags, "GL003", "a"));
+  // The inner *"x" repeats a non-nullable element: only the outer loop is
+  // degenerate.
+  EXPECT_EQ(count_code(diags, "GL003"), 1u);
+}
+
+TEST(GrammarLint, BoundedRepetitionOfNullableIsFine) {
+  auto diags = lint("a = 1*3( *\"x\" )\n");
+  EXPECT_FALSE(has(diags, "GL003"));
+}
+
+TEST(GrammarLint, DuplicateAlternativeIsUnreachable) {
+  auto diags = lint("a = \"x\" / \"x\"\n");
+  ASSERT_TRUE(has(diags, "GL004", "a"));
+}
+
+TEST(GrammarLint, CaseInsensitiveCharValOverlap) {
+  // ABNF literals are case-insensitive by default: "FOO" is the same
+  // language as "foo", so the second branch can never be chosen.
+  auto diags = lint("a = \"foo\" / \"FOO\"\n");
+  EXPECT_TRUE(has(diags, "GL004", "a"));
+}
+
+TEST(GrammarLint, CaseSensitiveVariantsDoNotCollide) {
+  auto diags = lint("a = %s\"foo\" / %s\"FOO\"\n");
+  EXPECT_FALSE(has(diags, "GL004"));
+}
+
+TEST(GrammarLint, FirstSetOverlapIsInfo) {
+  auto diags = lint("a = \"ab\" / \"ac\"\n");
+  ASSERT_TRUE(has(diags, "GL005", "a"));
+  for (const auto& d : diags) {
+    if (d.code == "GL005") {
+      EXPECT_EQ(d.severity, Severity::kInfo);
+    }
+  }
+}
+
+TEST(GrammarLint, DisjointAlternativesAreClean) {
+  auto diags = lint("a = \"bx\" / \"cy\"\n");
+  EXPECT_FALSE(has(diags, "GL005"));
+  EXPECT_FALSE(has(diags, "GL006"));
+}
+
+TEST(GrammarLint, NumValRangeOverlap) {
+  auto diags = lint("a = %x41-5A / %x50-60\n");
+  EXPECT_TRUE(has(diags, "GL006", "a"));
+}
+
+TEST(GrammarLint, CharValNumValOverlap) {
+  // "a" (case-insensitive: 0x41 and 0x61) intersects %x41-5A.
+  auto diags = lint("a = \"a\" / %x41-5A\n");
+  EXPECT_TRUE(has(diags, "GL006", "a"));
+}
+
+TEST(GrammarLint, UnusedRuleIsInfo) {
+  auto diags = lint(
+      "a = b\n"
+      "b = \"x\"\n");
+  EXPECT_TRUE(has(diags, "GL007", "a"));  // nothing references the root
+  EXPECT_FALSE(has(diags, "GL007", "b"));
+}
+
+TEST(GrammarLint, RootsControlReachability) {
+  auto diags = lint(
+      "a = b\n"
+      "b = \"x\"\n"
+      "c = \"y\"\n",
+      {{"a"}, 1});
+  EXPECT_FALSE(has(diags, "GL007", "a"));
+  EXPECT_FALSE(has(diags, "GL007", "b"));
+  EXPECT_TRUE(has(diags, "GL007", "c"));
+}
+
+TEST(GrammarLint, RepetitionBoundsInverted) {
+  auto diags = lint("a = 3*2\"x\"\n");
+  EXPECT_TRUE(has(diags, "GL008", "a"));
+}
+
+TEST(GrammarLint, NumValRangeInverted) {
+  auto diags = lint("a = %x5A-41\n");
+  EXPECT_TRUE(has(diags, "GL009", "a"));
+}
+
+TEST(GrammarLint, Facts) {
+  auto g = grammar_of(
+      "a = *\"x\" b\n"
+      "b = \"yz\"\n");
+  GrammarFacts facts = compute_grammar_facts(g);
+  EXPECT_FALSE(facts.nullable.at("a"));
+  EXPECT_FALSE(facts.nullable.at("b"));
+  EXPECT_TRUE(facts.first.at("a").test('x'));
+  EXPECT_TRUE(facts.first.at("a").test('y'));  // *"x" is nullable
+  EXPECT_TRUE(facts.first.at("a").test('X'));  // case-insensitive literal
+  EXPECT_FALSE(facts.first.at("b").test('z'));
+}
+
+TEST(GrammarLint, DiagnosticsIdenticalAcrossJobs) {
+  // One grammar exercising several analyzers at once.
+  const char* text =
+      "root = a b c d e\n"
+      "a = a \"x\" / \"y\"\n"
+      "b = \"foo\" / \"FOO\"\n"
+      "c = *( *\"p\" )\n"
+      "d = %x41-5A / %x50-60\n"
+      "e = missing\n"
+      "orphan = \"q\"\n";
+  auto base = lint(text, {{"root"}, 1});
+  EXPECT_FALSE(base.empty());
+  for (std::size_t jobs : {2u, 3u, 8u}) {
+    auto shardy = lint(text, {{"root"}, jobs});
+    ASSERT_EQ(base.size(), shardy.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(to_string(base[i]), to_string(shardy[i])) << "jobs=" << jobs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdiff::analysis

@@ -1,0 +1,179 @@
+// Lint orchestrator: waiver gating, exit codes, report rendering, and obs
+// wiring — the contract `hdiff lint` and the findings-JSON block rely on.
+#include "analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include "abnf/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hdiff::analysis {
+namespace {
+
+abnf::Grammar grammar_of(std::string_view text) {
+  std::vector<std::string> errors;
+  abnf::Grammar g = abnf::parse_rulelist(text, "fixture", &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return g;
+}
+
+LintOptions fixture_options() {
+  LintOptions options;
+  // Tiny fixture grammars: the corpus waivers and the corpus-wide mutation
+  // sweep would only add noise (every operator is zero-site on a grammar
+  // that feeds no target).
+  options.use_default_corpus_waivers = false;
+  options.run_mutation_coverage = false;
+  return options;
+}
+
+TEST(LintIntegration, CleanGrammarExitsZero) {
+  auto result = run_lint(grammar_of("a = \"x\"\n"), core::make_builtin_rules(),
+                         fixture_options());
+  EXPECT_EQ(result.counts.errors, 0u);
+  EXPECT_EQ(result.counts.warnings, 0u);
+  EXPECT_EQ(lint_exit_code(result), 0);
+}
+
+TEST(LintIntegration, ErrorsExitFour) {
+  auto result = run_lint(grammar_of("a = a\n"), core::make_builtin_rules(),
+                         fixture_options());
+  EXPECT_GT(result.counts.errors, 0u);
+  EXPECT_EQ(lint_exit_code(result), 4);
+}
+
+TEST(LintIntegration, WarningsExitThree) {
+  auto result = run_lint(grammar_of("a = *( *\"x\" )\n"),
+                         core::make_builtin_rules(), fixture_options());
+  EXPECT_EQ(result.counts.errors, 0u);
+  EXPECT_GT(result.counts.warnings, 0u);
+  EXPECT_EQ(lint_exit_code(result), 3);
+}
+
+TEST(LintIntegration, InfosAloneExitZero) {
+  auto result = run_lint(grammar_of("a = \"ab\" / \"ac\"\n"),
+                         core::make_builtin_rules(), fixture_options());
+  EXPECT_GT(result.counts.infos, 0u);
+  EXPECT_EQ(lint_exit_code(result), 0);
+}
+
+TEST(LintIntegration, WaiverDowngradesExitCode) {
+  LintOptions options = fixture_options();
+  auto unwaived =
+      run_lint(grammar_of("a = a\n"), core::make_builtin_rules(), options);
+  EXPECT_EQ(lint_exit_code(unwaived), 4);
+
+  options.waivers.push_back({"GL001", "a", "fixture: accepted self-loop"});
+  auto waived =
+      run_lint(grammar_of("a = a\n"), core::make_builtin_rules(), options);
+  EXPECT_EQ(waived.counts.errors, 0u);
+  EXPECT_GT(waived.counts.waived, 0u);
+  EXPECT_EQ(lint_exit_code(waived), 0);
+  // The diagnostic itself survives, marked rather than dropped.
+  bool saw = false;
+  for (const auto& d : waived.diagnostics) {
+    if (d.code == "GL001") {
+      saw = true;
+      EXPECT_TRUE(d.waived);
+      EXPECT_EQ(d.waiver_reason, "fixture: accepted self-loop");
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(LintIntegration, WildcardWaiverMatchesAnyRule) {
+  LintOptions options = fixture_options();
+  options.waivers.push_back({"GL002", "*", "fixture: excerpt"});
+  auto result = run_lint(grammar_of("a = b\nc = d\n"),
+                         core::make_builtin_rules(), options);
+  EXPECT_EQ(result.counts.errors, 0u);
+  EXPECT_EQ(result.counts.waived, 2u);
+}
+
+TEST(LintIntegration, WaiverDoesNotMatchOtherCodes) {
+  LintOptions options = fixture_options();
+  options.waivers.push_back({"GL002", "*", "fixture"});
+  auto result =
+      run_lint(grammar_of("a = a\n"), core::make_builtin_rules(), options);
+  EXPECT_EQ(lint_exit_code(result), 4);  // GL001 untouched
+}
+
+TEST(LintIntegration, DefaultCorpusWaiversAreEnumerated) {
+  // Every default waiver names a specific accepted finding; only the two
+  // excerpt-shaped classes may use the wildcard.
+  for (const auto& w : default_corpus_waivers()) {
+    EXPECT_FALSE(w.reason.empty()) << w.code;
+    if (w.code == "GL001" || w.code == "MC001") {
+      EXPECT_NE(w.rule, "*") << w.code << " waivers must name their rule";
+    }
+  }
+}
+
+TEST(LintIntegration, JsonReportCarriesSummaryAndAnalyzers) {
+  auto result = run_lint(grammar_of("a = a\n"), core::make_builtin_rules(),
+                         fixture_options());
+  std::string json = lint_json(result);
+  EXPECT_NE(json.find("\"diagnostics\":["), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"GL001\""), std::string::npos);
+  EXPECT_NE(json.find("\"summary\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"exit_code\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"grammar\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rulebase\""), std::string::npos);
+}
+
+TEST(LintIntegration, TextReportIsTimingFree) {
+  auto result = run_lint(grammar_of("a = a\n"), core::make_builtin_rules(),
+                         fixture_options());
+  std::string text = lint_text(result);
+  EXPECT_NE(text.find("GL001"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+  EXPECT_EQ(text.find("micros"), std::string::npos);
+  // Byte-identical on a second run (the determinism contract, in-process).
+  auto again = run_lint(grammar_of("a = a\n"), core::make_builtin_rules(),
+                        fixture_options());
+  EXPECT_EQ(text, lint_text(again));
+}
+
+TEST(LintIntegration, CleanTextReportIsJustTheSummaryLine) {
+  LintOptions options = fixture_options();
+  options.grammar.roots = {"a"};  // suppress the unreferenced-rule info
+  auto result = run_lint(grammar_of("a = \"x\"\n"), core::make_builtin_rules(),
+                         options);
+  EXPECT_EQ(lint_text(result),
+            "lint: 0 error(s), 0 warning(s), 0 info(s), 0 waived\n");
+}
+
+TEST(LintIntegration, ObsCountersAndSpansAreEmitted) {
+  obs::Registry registry;
+  obs::TraceSink sink;
+  LintOptions options = fixture_options();
+  options.obs.metrics = &registry;
+  options.obs.trace = &sink;
+  auto result =
+      run_lint(grammar_of("a = a\n"), core::make_builtin_rules(), options);
+  EXPECT_EQ(registry.counter("hdiff_lint_diagnostics_total").value(),
+            result.diagnostics.size());
+  EXPECT_GE(registry.counter("hdiff_lint_grammar_diagnostics_total").value(),
+            1u);
+  EXPECT_EQ(registry.gauge("hdiff_lint_errors").value(),
+            static_cast<std::int64_t>(result.counts.errors));
+  EXPECT_EQ(registry.histogram("hdiff_lint_grammar_micros").count(), 1u);
+  // Spans: lint + lint:grammar + lint:rulebase at minimum.
+  EXPECT_GE(sink.event_count(), 3u);
+  EXPECT_NE(sink.render_chrome_json().find("lint:grammar"), std::string::npos);
+}
+
+TEST(LintIntegration, MutationAnalyzerRunsWhenEnabled) {
+  LintOptions options = fixture_options();
+  options.run_mutation_coverage = true;
+  options.mutation.targets = {{"a", core::EmbedPosition::kHostHeader}};
+  auto result =
+      run_lint(grammar_of("a = \"x\"\n"), core::make_builtin_rules(), options);
+  ASSERT_EQ(result.analyzers.size(), 3u);
+  EXPECT_EQ(result.analyzers[2].name, "mutation");
+  EXPECT_GT(result.mutation_stats.seeds, 0u);
+}
+
+}  // namespace
+}  // namespace hdiff::analysis

@@ -1,0 +1,120 @@
+// MutationCoverage: operator blind spots (MC001), unperturbable targets
+// (MC002), and underivable targets (MC003) against small fixture grammars.
+#include "analysis/mutation_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "abnf/parser.h"
+
+namespace hdiff::analysis {
+namespace {
+
+using core::AbnfTarget;
+using core::EmbedPosition;
+
+abnf::Grammar grammar_of(std::string_view text) {
+  std::vector<std::string> errors;
+  abnf::Grammar g = abnf::parse_rulelist(text, "fixture", &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return g;
+}
+
+bool has(const std::vector<Diagnostic>& diags, std::string_view code,
+         std::string_view rule = {}) {
+  for (const auto& d : diags) {
+    if (d.code == code && (rule.empty() || d.rule == rule)) return true;
+  }
+  return false;
+}
+
+TEST(MutationCoverage, HostSeedCoversCoreOperators) {
+  auto g = grammar_of("myhost = \"origin.example\"\n");
+  MutationCoverageOptions options;
+  options.targets = {{"myhost", EmbedPosition::kHostHeader}};
+  auto result = analyze_mutation_coverage(g, options);
+  EXPECT_GE(result.stats.seeds, 1u);
+  EXPECT_GT(result.stats.mutants, 0u);
+  EXPECT_GT(result.stats.sites_per_kind.at("repeat-header"), 0u);
+  EXPECT_GT(result.stats.sites_per_kind.at("name-case"), 0u);
+  EXPECT_FALSE(has(result.diagnostics, "MC002"));
+  EXPECT_FALSE(has(result.diagnostics, "MC003"));
+}
+
+TEST(MutationCoverage, OperatorWithZeroSitesIsMC001) {
+  // The structural blind spot: mutate() declares kUnicodeInValue but no
+  // branch emits it, so it is zero-site on every corpus.
+  auto g = grammar_of("myhost = \"h.example\"\n");
+  MutationCoverageOptions options;
+  options.targets = {{"myhost", EmbedPosition::kHostHeader}};
+  auto result = analyze_mutation_coverage(g, options);
+  ASSERT_TRUE(has(result.diagnostics, "MC001", "unicode-in-value"));
+  for (const auto& d : result.diagnostics) {
+    if (d.code == "MC001") {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_EQ(d.analyzer, "mutation");
+    }
+  }
+  // The stats row still exists, pinned at zero.
+  EXPECT_EQ(result.stats.sites_per_kind.at("unicode-in-value"), 0u);
+}
+
+TEST(MutationCoverage, AllKindsPreSeededInStats) {
+  auto g = grammar_of("myhost = \"h\"\n");
+  MutationCoverageOptions options;
+  options.targets = {{"myhost", EmbedPosition::kHostHeader}};
+  auto result = analyze_mutation_coverage(g, options);
+  EXPECT_EQ(result.stats.sites_per_kind.size(),
+            core::all_mutation_kinds().size());
+}
+
+TEST(MutationCoverage, UnperturbableTargetIsMC002) {
+  // An empty-string version with no eligible headers: the canonical request
+  // at kHttpVersion with value "" has no version token to mutate, and the
+  // options restrict header mutation to a header the request lacks.
+  auto g = grammar_of("nothing = \"\"\n");
+  MutationCoverageOptions options;
+  options.targets = {{"nothing", EmbedPosition::kHttpVersion}};
+  options.mutation.target_headers = {"X-None"};
+  auto result = analyze_mutation_coverage(g, options);
+  ASSERT_TRUE(has(result.diagnostics, "MC002", "nothing"));
+  EXPECT_EQ(result.stats.mutants_per_target.at("nothing@http-version"), 0u);
+}
+
+TEST(MutationCoverage, UnderivableTargetIsMC003) {
+  auto g = grammar_of("myhost = \"h\"\n");
+  MutationCoverageOptions options;
+  options.targets = {{"no-such-rule", EmbedPosition::kRequestTarget}};
+  auto result = analyze_mutation_coverage(g, options);
+  ASSERT_TRUE(has(result.diagnostics, "MC003", "no-such-rule"));
+  for (const auto& d : result.diagnostics) {
+    if (d.code == "MC003") {
+      EXPECT_EQ(d.severity, Severity::kInfo);
+    }
+  }
+  EXPECT_EQ(result.stats.seeds, 0u);
+}
+
+TEST(MutationCoverage, DiagnosticsIdenticalAcrossJobs) {
+  auto g = grammar_of(
+      "myhost = \"a.example\" / \"b.example\"\n"
+      "tok = \"x\"\n");
+  MutationCoverageOptions options;
+  options.targets = {{"myhost", EmbedPosition::kHostHeader},
+                     {"tok", EmbedPosition::kMethod},
+                     {"missing", EmbedPosition::kRequestTarget}};
+  options.jobs = 1;
+  auto base = analyze_mutation_coverage(g, options);
+  options.jobs = 4;
+  auto sharded = analyze_mutation_coverage(g, options);
+  ASSERT_EQ(base.diagnostics.size(), sharded.diagnostics.size());
+  for (std::size_t i = 0; i < base.diagnostics.size(); ++i) {
+    EXPECT_EQ(to_string(base.diagnostics[i]), to_string(sharded.diagnostics[i]));
+  }
+  EXPECT_EQ(base.stats.seeds, sharded.stats.seeds);
+  EXPECT_EQ(base.stats.mutants, sharded.stats.mutants);
+  EXPECT_EQ(base.stats.sites_per_kind, sharded.stats.sites_per_kind);
+  EXPECT_EQ(base.stats.mutants_per_target, sharded.stats.mutants_per_target);
+}
+
+}  // namespace
+}  // namespace hdiff::analysis

@@ -1,0 +1,145 @@
+// RuleBaseLint: the builtin rule base must fingerprint clean, and each
+// RB-code must fire on a synthetic engine seeded with that defect.
+#include "analysis/rulebase_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hdiff::analysis {
+namespace {
+
+using core::AttackClass;
+using core::CustomRuleEngine;
+using core::DirectRule;
+using core::PairMetrics;
+using core::PairRule;
+
+bool has(const std::vector<Diagnostic>& diags, std::string_view code,
+         std::string_view rule = {}) {
+  for (const auto& d : diags) {
+    if (d.code == code && (rule.empty() || d.rule == rule)) return true;
+  }
+  return false;
+}
+
+// A predicate guaranteed to fire on at least one battery probe: the
+// desync-hang scenario sets back.incomplete.
+std::string fires_on_hang(const PairMetrics& pm) {
+  return pm.back.incomplete ? "hang" : "";
+}
+
+TEST(RuleBaseLint, BuiltinRuleBaseIsClean) {
+  auto diags = lint_rulebase(core::make_builtin_rules());
+  EXPECT_TRUE(diags.empty()) << to_string(diags.front());
+}
+
+TEST(RuleBaseLint, BuiltinSignaturesAreDistinctAndAlive) {
+  auto sigs = pair_rule_signatures(core::make_builtin_rules());
+  ASSERT_FALSE(sigs.empty());
+  std::set<std::vector<bool>> distinct;
+  for (const auto& sig : sigs) {
+    ASSERT_EQ(sig.fires.size(), pair_probe_names().size()) << sig.name;
+    bool alive = false;
+    for (bool f : sig.fires) alive = alive || f;
+    EXPECT_TRUE(alive) << sig.name << " never fires on the battery";
+    EXPECT_TRUE(distinct.insert(sig.fires).second)
+        << sig.name << " shares a fire signature with another builtin";
+  }
+}
+
+TEST(RuleBaseLint, BatteryIncludesCleanControl) {
+  // "Never fires" is only meaningful if a clean probe exists; a rule firing
+  // on *everything* (including clean) is likewise suspect but alive.
+  auto names = pair_probe_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "clean"), names.end());
+}
+
+TEST(RuleBaseLint, DuplicateSignatureSameAttackIsRB001) {
+  CustomRuleEngine engine;
+  engine.add(PairRule{"hang-a", AttackClass::kHrs, fires_on_hang});
+  engine.add(PairRule{"hang-b", AttackClass::kHrs, fires_on_hang});
+  auto diags = lint_rulebase(engine);
+  ASSERT_TRUE(has(diags, "RB001", "hang-b"));
+  for (const auto& d : diags) {
+    if (d.code == "RB001") {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_EQ(d.span, "hang-a");
+    }
+  }
+}
+
+TEST(RuleBaseLint, ShadowedNameIsRB002) {
+  CustomRuleEngine engine;
+  engine.add(PairRule{"dup", AttackClass::kHrs, fires_on_hang});
+  engine.add(PairRule{"dup", AttackClass::kHrs,
+                      [](const PairMetrics& pm) {
+                        return pm.back.leftover.empty() ? "" : "leftover";
+                      }});
+  auto diags = lint_rulebase(engine);
+  EXPECT_TRUE(has(diags, "RB002", "dup"));
+  // Same name: the identical-signature pass skips the pair, no RB001/RB003.
+  EXPECT_FALSE(has(diags, "RB001"));
+  EXPECT_FALSE(has(diags, "RB003"));
+}
+
+TEST(RuleBaseLint, ConflictingVerdictsAreRB003) {
+  CustomRuleEngine engine;
+  engine.add(PairRule{"hang-hrs", AttackClass::kHrs, fires_on_hang});
+  engine.add(PairRule{"hang-cpdos", AttackClass::kCpdos, fires_on_hang});
+  auto diags = lint_rulebase(engine);
+  ASSERT_TRUE(has(diags, "RB003", "hang-cpdos"));
+  for (const auto& d : diags) {
+    if (d.code == "RB003") {
+      EXPECT_EQ(d.severity, Severity::kError);
+      EXPECT_NE(d.message.find("conflicting verdicts"), std::string::npos);
+    }
+  }
+}
+
+TEST(RuleBaseLint, DeadRuleIsRB004) {
+  CustomRuleEngine engine;
+  engine.add(PairRule{"never", AttackClass::kGeneric,
+                      [](const PairMetrics&) { return std::string(); }});
+  auto diags = lint_rulebase(engine);
+  ASSERT_TRUE(has(diags, "RB004", "never"));
+  EXPECT_EQ(diags.size(), 1u);
+}
+
+TEST(RuleBaseLint, DeadPairIsNotAlsoDuplicate) {
+  // Two dead rules share the all-false signature; flagging them as
+  // duplicates of each other would be noise on top of two RB004s.
+  CustomRuleEngine engine;
+  engine.add(PairRule{"dead-a", AttackClass::kHrs,
+                      [](const PairMetrics&) { return std::string(); }});
+  engine.add(PairRule{"dead-b", AttackClass::kHrs,
+                      [](const PairMetrics&) { return std::string(); }});
+  auto diags = lint_rulebase(engine);
+  EXPECT_TRUE(has(diags, "RB004", "dead-a"));
+  EXPECT_TRUE(has(diags, "RB004", "dead-b"));
+  EXPECT_FALSE(has(diags, "RB001"));
+}
+
+TEST(RuleBaseLint, DirectRulesAreLintedToo) {
+  CustomRuleEngine engine;
+  engine.add(DirectRule{"direct-dead", AttackClass::kGeneric,
+                        [](const core::HMetrics&) { return std::string(); }});
+  auto diags = lint_rulebase(engine);
+  ASSERT_TRUE(has(diags, "RB004", "direct-dead"));
+  for (const auto& d : diags) {
+    if (d.code == "RB004") {
+      EXPECT_EQ(d.span, "direct");
+    }
+  }
+}
+
+TEST(RuleBaseLint, NullPredicateCountsAsDead) {
+  CustomRuleEngine engine;
+  engine.add(PairRule{"null-pred", AttackClass::kGeneric, nullptr});
+  auto diags = lint_rulebase(engine);
+  EXPECT_TRUE(has(diags, "RB004", "null-pred"));
+}
+
+}  // namespace
+}  // namespace hdiff::analysis

@@ -108,8 +108,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllProducts, ProductInvariants,
     ::testing::Values("iis", "tomcat", "weblogic", "lighttpd", "apache",
                       "nginx", "varnish", "squid", "haproxy", "ats"),
-    [](const ::testing::TestParamInfo<std::string_view>& info) {
-      return std::string(info.param);
+    [](const ::testing::TestParamInfo<std::string_view>& param_info) {
+      return std::string(param_info.param);
     });
 
 // ---------------------------------------------------------------------------

@@ -41,7 +41,9 @@ TEST(FaultPlan, DecisionsAreDeterministicAcrossInstances) {
         auto da = a.decide(op, impl, bytes);
         auto db = b.decide(op, impl, bytes);
         EXPECT_EQ(da.has_value(), db.has_value());
-        if (da && db) EXPECT_EQ(*da, *db);
+        if (da && db) {
+          EXPECT_EQ(*da, *db);
+        }
         EXPECT_EQ(da.has_value(), a.is_victim_site(op, impl, bytes));
         victims += da.has_value();
       }

@@ -26,6 +26,12 @@
 //   hdiff selftest --trace             run the pipeline with and without
 //                                      observability and assert the findings
 //                                      are byte-identical
+//   hdiff lint [docs...] [--all-corpus] [--jobs N] [--json FILE]
+//              [--no-default-waivers]  static spec-lint: grammar analysis
+//                                      (left recursion, ambiguity, dead
+//                                      branches), SR rule-base consistency,
+//                                      and mutation-operator coverage; exit
+//                                      0 clean, 3 warnings, 4 errors
 //   hdiff audit FRONT BACK             audit one proxy/origin combination
 //   hdiff parse IMPL                   parse one raw request from stdin
 //                                      under IMPL's model and show HMetrics
@@ -39,6 +45,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/lint.h"
 #include "core/export.h"
 #include "core/hmetrics.h"
 #include "corpus/registry.h"
@@ -77,6 +84,11 @@ int usage() {
       "  selftest --trace [--jobs N]  observability self-test: assert\n"
       "                               findings are byte-identical with\n"
       "                               tracing/metrics on and off\n"
+      "  lint [docs...] [--all-corpus] [--jobs N] [--json FILE]\n"
+      "       [--no-default-waivers]  static spec-lint over the extracted\n"
+      "                               grammar, the SR rule base, and the\n"
+      "                               mutation operators; exit 0 = clean,\n"
+      "                               3 = unwaived warnings, 4 = errors\n"
       "  audit FRONT BACK             audit one proxy/origin pair\n"
       "  parse IMPL                   parse stdin as IMPL (server model)\n");
   return 2;
@@ -163,6 +175,28 @@ int cmd_generate(int argc, char** argv) {
                 out_path.c_str());
   }
   return 0;
+}
+
+/// Entry points of the generator: every default generation target plus the
+/// whole-message rule.  Rules outside these cones are reported as GL007.
+std::vector<std::string> lint_roots() {
+  std::vector<std::string> roots{"http-message"};
+  for (const auto& target : hdiff::core::default_abnf_targets()) {
+    roots.push_back(target.rule);
+  }
+  return roots;
+}
+
+hdiff::analysis::LintResult lint_grammar_and_rules(
+    const hdiff::abnf::Grammar& grammar, std::size_t jobs,
+    bool use_default_waivers, hdiff::obs::Observability ob = {}) {
+  hdiff::analysis::LintOptions options;
+  options.jobs = jobs;
+  options.grammar.roots = lint_roots();
+  options.use_default_corpus_waivers = use_default_waivers;
+  options.obs = ob;
+  return hdiff::analysis::run_lint(grammar, hdiff::core::make_builtin_rules(),
+                                   options);
 }
 
 int cmd_run(int argc, char** argv) {
@@ -273,7 +307,16 @@ int cmd_run(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    if (!write_file(json_path, hdiff::core::export_json(result))) {
+    hdiff::core::ExportOptions export_options;
+    // Replay runs carry no analyzer grammar; the lint block is only
+    // meaningful (and only emitted) for full pipeline runs.
+    if (result.analysis.grammar.size() > 0) {
+      export_options.lint_json = hdiff::analysis::lint_json(
+          lint_grammar_and_rules(result.analysis.grammar, exec_config.jobs,
+                                 /*use_default_waivers=*/true, ob));
+    }
+    if (!write_file(json_path,
+                    hdiff::core::export_json(result, export_options))) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
@@ -585,6 +628,66 @@ int cmd_selftest(int argc, char** argv) {
   return 0;
 }
 
+// ---- lint: static spec-lint over grammar, rule base, mutation set --------
+
+int cmd_lint(int argc, char** argv) {
+  std::vector<std::string_view> docs;
+  std::string json_path;
+  bool all_corpus = false;
+  bool use_default_waivers = true;
+  std::size_t jobs = 1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all-corpus") == 0) {
+      all_corpus = true;
+    } else if (std::strcmp(argv[i], "--no-default-waivers") == 0) {
+      use_default_waivers = false;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--jobs wants a positive integer, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(n);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown lint option %s\n", argv[i]);
+      return 2;
+    } else {
+      docs.emplace_back(argv[i]);
+    }
+  }
+  if (all_corpus) {
+    docs.clear();
+    for (const auto& doc : hdiff::corpus::all_documents()) {
+      docs.push_back(doc.name);
+    }
+  } else if (docs.empty()) {
+    docs = hdiff::corpus::http_core_documents();
+  }
+  for (const auto& doc : docs) {
+    if (hdiff::corpus::find_document(doc) == nullptr) {
+      std::fprintf(stderr, "unknown document %s\n",
+                   std::string(doc).c_str());
+      return 2;
+    }
+  }
+
+  hdiff::core::DocumentationAnalyzer analyzer;
+  auto analysis = analyzer.analyze(docs);
+  auto result =
+      lint_grammar_and_rules(analysis.grammar, jobs, use_default_waivers);
+  std::printf("%s", hdiff::analysis::lint_text(result).c_str());
+  if (!json_path.empty()) {
+    if (!write_file(json_path, hdiff::analysis::lint_json(result))) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return hdiff::analysis::lint_exit_code(result);
+}
+
 int cmd_audit(int argc, char** argv) {
   if (argc < 4) return usage();
   auto front = hdiff::impls::make_implementation(argv[2]);
@@ -650,6 +753,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "selftest") return cmd_selftest(argc, argv);
+  if (cmd == "lint") return cmd_lint(argc, argv);
   if (cmd == "audit") return cmd_audit(argc, argv);
   if (cmd == "parse") return cmd_parse(argc, argv);
   return usage();
