@@ -1,0 +1,160 @@
+// E13: campaign-engine throughput — full mini-campaigns over the modelled
+// fleet (rounds/sec with novel-signature yield and dedup ratio as
+// counters), plus the component costs a round is made of: signature
+// extraction + fingerprinting, budget apportionment across arms, and
+// delta-debug minimization.  The engine's bar is "a round costs about one
+// pipeline pass over its case list"; the dedup ratio shows why later
+// rounds get cheaper per finding.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.h"
+#include "campaign/fingerprint.h"
+#include "campaign/minimize.h"
+#include "campaign/scheduler.h"
+#include "core/probes.h"
+#include "impls/products.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir() {
+  static int counter = 0;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("hdiff-bench-campaign-" + std::to_string(::getpid()) + "-" +
+       std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+const std::vector<std::unique_ptr<hdiff::impls::HttpImplementation>>& fleet() {
+  static const auto f = hdiff::impls::make_all_implementations();
+  return f;
+}
+
+hdiff::campaign::CampaignConfig base_config(std::size_t rounds,
+                                            std::size_t jobs) {
+  hdiff::campaign::CampaignConfig config;
+  config.rounds = rounds;
+  config.budget_per_round = 24;
+  config.minimize.max_steps = 128;
+  config.executor.jobs = jobs;
+  config.bootstrap = hdiff::core::verification_probes();
+  return config;
+}
+
+// Whole campaigns, fresh state dir per iteration: rounds/sec end to end.
+void BM_CampaignRun(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  std::size_t findings = 0, novel = 0, duplicate = 0;
+  for (auto _ : state) {
+    auto config = base_config(rounds, jobs);
+    config.state_dir = fresh_dir();
+    hdiff::campaign::CampaignEngine engine(config);
+    const auto report = engine.run(fleet());
+    findings = report.total_findings;
+    novel += report.novel_total;
+    duplicate += report.duplicate_total;
+    benchmark::DoNotOptimize(report.rounds_completed);
+    fs::remove_all(config.state_dir);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rounds + 1));
+  state.counters["findings"] = static_cast<double>(findings);
+  state.counters["novel_per_round"] =
+      static_cast<double>(novel) /
+      static_cast<double>(state.iterations() * (rounds + 1));
+  const double seen = static_cast<double>(novel + duplicate);
+  state.counters["dedup_ratio"] =
+      seen == 0.0 ? 0.0 : static_cast<double>(duplicate) / seen;
+}
+BENCHMARK(BM_CampaignRun)
+    ->ArgNames({"rounds", "jobs"})
+    ->Args({2, 1})
+    ->Args({2, 4})
+    ->Args({5, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Resume cost: the second engine sees a fully-committed campaign and must
+// only load the checkpoint and verify there is nothing left to run.
+void BM_CampaignResumeNoop(benchmark::State& state) {
+  auto config = base_config(2, 1);
+  config.state_dir = fresh_dir();
+  hdiff::campaign::CampaignEngine(config).run(fleet());
+  for (auto _ : state) {
+    hdiff::campaign::CampaignEngine engine(config);
+    const auto report = engine.run(fleet());
+    benchmark::DoNotOptimize(report.resumed);
+  }
+  fs::remove_all(config.state_dir);
+}
+BENCHMARK(BM_CampaignResumeNoop)->Unit(benchmark::kMillisecond);
+
+void BM_SignatureFingerprint(benchmark::State& state) {
+  hdiff::core::DetectionResult delta;
+  for (int i = 0; i < 4; ++i) {
+    hdiff::core::PairFinding p;
+    p.front = "proxy-" + std::to_string(i);
+    p.back = "server-" + std::to_string(i % 2);
+    p.attack = hdiff::core::AttackClass::kHrs;
+    delta.pairs.push_back(p);
+  }
+  hdiff::core::SrViolation v;
+  v.impl = "tomcat";
+  v.sr_id = "SR-12";
+  delta.violations.push_back(v);
+  for (auto _ : state) {
+    for (const auto& sig : hdiff::campaign::signatures_of(delta)) {
+      benchmark::DoNotOptimize(
+          hdiff::campaign::fingerprint(sig, "mutant:abc:duplicate-header"));
+    }
+  }
+}
+BENCHMARK(BM_SignatureFingerprint);
+
+void BM_SchedulerAllocate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<hdiff::campaign::ArmView> arms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    arms[i] = {i % 7, i % 3, 8};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdiff::campaign::allocate_budget(96, arms));
+  }
+}
+BENCHMARK(BM_SchedulerAllocate)->Arg(64)->Arg(512);
+
+void BM_MinimizeSyntheticOracle(benchmark::State& state) {
+  hdiff::http::RequestSpec spec;
+  spec.method = "POST";
+  spec.line_terminator = "\n";
+  spec.add("Host", "origin.example");
+  for (int i = 0; i < 6; ++i) {
+    spec.add("X-Junk-" + std::to_string(i), std::string(32, 'j'));
+  }
+  spec.add("Key", "needle");
+  spec.body = std::string(256, 'b');
+  const auto oracle = [](const hdiff::http::RequestSpec& s) {
+    return s.get("Key").has_value();
+  };
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const auto outcome = hdiff::campaign::minimize_spec(spec, oracle);
+    steps = outcome.steps;
+    benchmark::DoNotOptimize(outcome.accepted);
+  }
+  state.counters["oracle_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_MinimizeSyntheticOracle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

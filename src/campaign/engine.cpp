@@ -1,0 +1,544 @@
+#include "campaign/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "campaign/fingerprint.h"
+#include "campaign/scheduler.h"
+#include "core/mutation.h"
+#include "net/chain.h"
+#include "report/json.h"
+
+namespace hdiff::campaign {
+namespace {
+
+/// Metric-name segment for a mutation kind ("repeat-header" -> in metric
+/// names dashes become underscores, matching the pipeline's stage gauges).
+std::string metric_segment(std::string_view kind) {
+  std::string out;
+  for (char c : kind) out += c == '-' ? '_' : c;
+  return out;
+}
+
+/// All single-kind variants of a corpus entry, grouped by kind in
+/// deterministic emission order.  `max_mutants` is lifted far above the
+/// generation caps so the full operator surface is schedulable.
+std::map<std::string, std::vector<core::Mutant>> variants_by_kind(
+    const http::RequestSpec& spec) {
+  core::MutationOptions options;
+  options.max_mutants = 4096;
+  std::map<std::string, std::vector<core::Mutant>> grouped;
+  for (auto& mutant : core::mutate(spec, options)) {
+    const std::string kind(to_string(mutant.applied.front().kind));
+    grouped[kind].push_back(std::move(mutant));
+  }
+  return grouped;
+}
+
+std::string mutant_provenance(const std::string& entry_hash,
+                              std::string_view kind) {
+  return "mutant:" + entry_hash + ":" + std::string(kind);
+}
+
+/// Canonical signature-set key used by the minimizer oracle ("does the
+/// candidate still reproduce every original signature?").
+std::set<std::string> canonical_set(const std::vector<Signature>& sigs) {
+  std::set<std::string> out;
+  for (const auto& s : sigs) out.insert(s.canonical());
+  return out;
+}
+
+/// One case with per-round deterministic bookkeeping.
+struct PlannedCase {
+  core::TestCase tc;
+  std::string provenance;
+  /// Arm this case's observation feeds back into; entry index == npos for
+  /// bootstrap cases and unattributable replays.
+  std::size_t arm_entry = static_cast<std::size_t>(-1);
+  std::string arm_kind;
+  /// Buildable form (empty spec_text = bootstrap case, wire bytes only).
+  http::RequestSpec spec;
+  std::string spec_text;
+};
+
+/// Parse "mutant:<hash>:<kind>" back into an arm for replay attribution.
+bool parse_mutant_provenance(const std::string& prov, std::string* hash,
+                             std::string* kind) {
+  if (prov.rfind("mutant:", 0) != 0) return false;
+  const std::size_t colon = prov.find(':', 7);
+  if (colon == std::string::npos) return false;
+  *hash = prov.substr(7, colon - 7);
+  *kind = prov.substr(colon + 1);
+  return !hash->empty() && !kind->empty();
+}
+
+}  // namespace
+
+std::vector<SeedSpec> default_campaign_seeds() {
+  std::vector<SeedSpec> seeds;
+  seeds.push_back({"get", http::make_get("origin.example")});
+  seeds.push_back(
+      {"post", http::make_post("origin.example", "/submit", "payload=1")});
+  seeds.push_back(
+      {"chunked", http::make_chunked_post("origin.example", "/up", "data")});
+  // The classic ambiguous-framing seed: Content-Length and Transfer-Encoding
+  // on the same request, the surface most HRS vectors mutate around.
+  {
+    http::RequestSpec te_cl = http::make_post("origin.example", "/q", "0\r\n\r\n");
+    te_cl.add("Transfer-Encoding", "chunked");
+    seeds.push_back({"te-cl", std::move(te_cl)});
+  }
+  // Absolute-form target alongside a Host header (HoT surface).
+  {
+    http::RequestSpec absolute = http::make_get("origin.example");
+    absolute.target = "http://origin.example/";
+    seeds.push_back({"absolute", std::move(absolute)});
+  }
+  return seeds;
+}
+
+std::string campaign_config_sig(const CampaignConfig& config) {
+  std::string acc = "campaign-config-v1";
+  acc += "|budget=" + std::to_string(config.budget_per_round);
+  acc += "|minimize=" + std::string(config.minimize_new ? "1" : "0");
+  acc += "|minsteps=" + std::to_string(config.minimize.max_steps);
+  const std::vector<SeedSpec> seeds =
+      config.seeds.empty() ? default_campaign_seeds() : config.seeds;
+  for (const auto& s : seeds) {
+    acc += "|seed:" + s.name + ":" + content_address(s.spec);
+  }
+  for (const auto& tc : config.bootstrap) {
+    acc += "|case:" + tc.uuid + ":" + hex64(tc.raw);
+  }
+  return hex64(acc);
+}
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : config_(std::move(config)) {
+  if (config_.seeds.empty()) config_.seeds = default_campaign_seeds();
+}
+
+CampaignReport CampaignEngine::run(
+    const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet) {
+  CampaignReport report;
+  const std::string sig = campaign_config_sig(config_);
+
+  StateStore store(config_.state_dir);
+  if (store.exists()) {
+    if (!store.load()) {
+      report.error = store.error();
+      return report;
+    }
+    if (store.config_sig != sig) {
+      report.error = "config signature mismatch: state dir " +
+                     config_.state_dir + " was created by a campaign with " +
+                     "different seeds/bootstrap/budget (" + store.config_sig +
+                     " vs " + sig + ")";
+      return report;
+    }
+    report.resumed = true;
+  } else {
+    if (!store.init(sig)) {
+      report.error = store.error();
+      return report;
+    }
+  }
+  // Seed entries are (re-)registered on every fresh start: add_entry is
+  // idempotent, and a crash before the round-0 commit leaves a checkpoint
+  // with no entries, healed here on resume.
+  if (store.rounds_completed == 0) {
+    for (const auto& s : config_.seeds) {
+      CorpusEntry entry;
+      entry.hash = content_address(s.spec);
+      entry.provenance = "seed:" + s.name;
+      entry.spec = s.spec;
+      store.add_entry(std::move(entry));
+    }
+  }
+
+  net::Chain chain = net::Chain::from_fleet(fleet);
+  // Cross-round caches: a mutant re-scheduled in a later round (or replayed
+  // by the minimizer) costs a hash lookup instead of a chain observation.
+  core::ObservationMemo memo;
+  net::VerdictCache verdicts;
+
+  // Single-case replay used by the minimizer oracle.  Serial (jobs=1) and
+  // memoized, so repeated candidates are cache hits.
+  auto signatures_of_spec = [&](const http::RequestSpec& spec) {
+    core::TestCase probe;
+    probe.uuid = "camp-minimize-probe";
+    probe.raw = spec.to_wire();
+    probe.description = "minimizer probe";
+    probe.origin = core::TestOrigin::kMutation;
+    std::vector<Signature> sigs;
+    bool quarantined = false;
+    core::ExecutorConfig ec = config_.executor;
+    ec.jobs = 1;
+    ec.shared_memo = &memo;
+    ec.shared_verdicts = &verdicts;
+    ec.obs = {};
+    ec.on_delta = [&](std::size_t, const core::TestCase&,
+                      const core::DetectionResult& delta, bool q) {
+      quarantined = q;
+      if (!q) sigs = signatures_of(delta);
+    };
+    core::ParallelExecutor executor(ec);
+    executor.run(chain, {probe});
+    return std::make_pair(std::move(sigs), quarantined);
+  };
+
+  const std::size_t total_rounds = config_.rounds + 1;
+  for (std::size_t round = store.rounds_completed; round < total_rounds;
+       ++round) {
+    obs::Span round_span(config_.obs.trace, "campaign:round", "campaign");
+    if (config_.obs.trace) {
+      round_span.arg("round", std::to_string(round));
+    }
+    RoundReport rr;
+    rr.round = round;
+
+    // ---- plan the round's case list -------------------------------------
+    std::vector<PlannedCase> planned;
+    if (round == 0) {
+      for (const auto& tc : config_.bootstrap) {
+        PlannedCase pc;
+        pc.tc = tc;
+        pc.provenance = "seed:" + std::string(to_string(tc.origin));
+        planned.push_back(std::move(pc));
+      }
+    } else {
+      // Quarantine replays first (PR-2 integration): cases the fault layer
+      // starved last round get another chance before new budget is spent.
+      std::vector<RetryEntry> replays = std::move(store.retry_queue);
+      store.retry_queue.clear();
+      for (std::size_t i = 0; i < replays.size(); ++i) {
+        RetryEntry& r = replays[i];
+        PlannedCase pc;
+        pc.tc.uuid =
+            "camp-r" + std::to_string(round) + "-retry" + std::to_string(i);
+        pc.tc.raw = r.raw;
+        pc.tc.description = r.description;
+        pc.tc.origin = core::TestOrigin::kMutation;
+        pc.provenance = r.provenance;
+        pc.spec_text = r.spec_text;
+        if (!r.spec_text.empty()) deserialize_spec(r.spec_text, &pc.spec);
+        std::string hash, kind;
+        if (parse_mutant_provenance(r.provenance, &hash, &kind)) {
+          for (std::size_t e = 0; e < store.entries.size(); ++e) {
+            if (store.entries[e].hash == hash) {
+              pc.arm_entry = e;
+              pc.arm_kind = kind;
+              break;
+            }
+          }
+        }
+        ++rr.replayed;
+        planned.push_back(std::move(pc));
+      }
+
+      // Divergence-feedback schedule over (entry x kind) arms.
+      struct ArmPlan {
+        std::size_t entry;
+        std::string kind;
+        std::vector<core::Mutant>* variants;
+      };
+      std::vector<ArmPlan> arm_plans;
+      std::vector<ArmView> views;
+      std::vector<std::map<std::string, std::vector<core::Mutant>>> grouped;
+      grouped.reserve(store.entries.size());
+      for (const auto& entry : store.entries) {
+        grouped.push_back(variants_by_kind(entry.spec));
+      }
+      for (std::size_t e = 0; e < store.entries.size(); ++e) {
+        for (core::MutationKind kind : core::all_mutation_kinds()) {
+          const std::string kind_name(to_string(kind));
+          auto it = grouped[e].find(kind_name);
+          if (it == grouped[e].end() || it->second.empty()) continue;
+          const ArmStats& stats = store.arms[{e, kind_name}];
+          views.push_back(
+              {stats.attempts, stats.novel, it->second.size()});
+          arm_plans.push_back({e, kind_name, &it->second});
+        }
+      }
+      const std::vector<std::size_t> counts =
+          allocate_budget(config_.budget_per_round, views);
+      for (std::size_t a = 0; a < arm_plans.size(); ++a) {
+        if (counts[a] == 0) continue;
+        ArmStats& stats = store.arms[{arm_plans[a].entry, arm_plans[a].kind}];
+        const auto& variants = *arm_plans[a].variants;
+        for (std::size_t j = 0; j < counts[a]; ++j) {
+          const core::Mutant& mutant =
+              variants[(stats.cursor + j) % variants.size()];
+          PlannedCase pc;
+          pc.tc.uuid = "camp-r" + std::to_string(round) + "-" +
+                       std::to_string(planned.size());
+          pc.tc.raw = mutant.spec.to_wire();
+          pc.tc.description = mutant.applied.front().describe();
+          pc.tc.origin = core::TestOrigin::kMutation;
+          pc.provenance = mutant_provenance(
+              store.entries[arm_plans[a].entry].hash, arm_plans[a].kind);
+          pc.arm_entry = arm_plans[a].entry;
+          pc.arm_kind = arm_plans[a].kind;
+          pc.spec = mutant.spec;
+          pc.spec_text = serialize_spec(mutant.spec);
+          planned.push_back(std::move(pc));
+        }
+        stats.cursor += counts[a];
+      }
+    }
+    rr.cases = planned.size();
+
+    // ---- execute the round ----------------------------------------------
+    std::vector<core::TestCase> cases;
+    cases.reserve(planned.size());
+    for (const auto& pc : planned) cases.push_back(pc.tc);
+    std::vector<core::DetectionResult> deltas(cases.size());
+    std::vector<char> quarantined(cases.size(), 0);
+    core::ExecutorConfig ec = config_.executor;
+    ec.shared_memo = &memo;
+    ec.shared_verdicts = &verdicts;
+    if (!ec.obs.enabled()) ec.obs = config_.obs;
+    ec.on_delta = [&](std::size_t index, const core::TestCase&,
+                      const core::DetectionResult& delta, bool q) {
+      deltas[index] = delta;
+      quarantined[index] = q ? 1 : 0;
+    };
+    core::ParallelExecutor executor(ec);
+    core::ExecutorStats exec_stats;
+    core::DetectionResult total = executor.run(chain, cases, &exec_stats);
+    if (round == 0) report.bootstrap_findings = std::move(total);
+
+    // ---- fingerprint, dedup, feed back, grow the corpus -----------------
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      PlannedCase& pc = planned[i];
+      if (quarantined[i]) {
+        ++rr.quarantined;
+        store.retry_queue.push_back(
+            {pc.provenance, pc.tc.raw, pc.spec_text, pc.tc.description});
+        continue;
+      }
+      ArmStats* arm = nullptr;
+      if (pc.arm_entry != static_cast<std::size_t>(-1)) {
+        arm = &store.arms[{pc.arm_entry, pc.arm_kind}];
+        ++arm->attempts;
+      }
+      bool interesting = false;
+      for (const Signature& found : signatures_of(deltas[i])) {
+        const std::string fp = fingerprint(found, pc.provenance);
+        if (store.known_fingerprint(fp)) {
+          ++rr.duplicate;
+          continue;
+        }
+        Finding f;
+        f.round = round;
+        f.fingerprint = fp;
+        f.detector = found.detector;
+        f.vector = found.vector;
+        f.provenance = pc.provenance;
+        f.case_uuid = pc.tc.uuid;
+        f.description = pc.tc.description;
+        store.add_finding(std::move(f));
+        ++rr.novel;
+        interesting = true;
+        if (arm) ++arm->novel;
+        if (config_.obs.metrics && !pc.arm_kind.empty()) {
+          config_.obs.metrics
+              ->counter("hdiff_campaign_novel_" + metric_segment(pc.arm_kind) +
+                        "_total")
+              .add(1);
+        }
+      }
+      // An interesting mutant becomes a new mutation seed: minimize it,
+      // then store it content-addressed (idempotent on replay).
+      if (interesting && !pc.spec_text.empty()) {
+        http::RequestSpec stored = pc.spec;
+        if (config_.minimize_new) {
+          const auto target = canonical_set(signatures_of(deltas[i]));
+          auto oracle = [&](const http::RequestSpec& candidate) {
+            auto [sigs, q] = signatures_of_spec(candidate);
+            if (q) return false;
+            const auto got = canonical_set(sigs);
+            return std::includes(got.begin(), got.end(), target.begin(),
+                                 target.end());
+          };
+          MinimizeOutcome mo =
+              minimize_spec(stored, oracle, config_.minimize);
+          rr.minimize_steps += mo.steps;
+          if (config_.obs.metrics) {
+            config_.obs.metrics->histogram("hdiff_campaign_minimize_steps")
+                .observe(mo.steps);
+          }
+          stored = std::move(mo.spec);
+        }
+        const std::string hash = content_address(stored);
+        if (!store.has_entry(hash)) {
+          CorpusEntry entry;
+          entry.hash = hash;
+          entry.provenance = pc.provenance;
+          entry.spec = std::move(stored);
+          store.add_entry(std::move(entry));
+          ++rr.new_entries;
+        }
+      }
+    }
+
+    if (config_.obs.metrics) {
+      auto& m = *config_.obs.metrics;
+      m.counter("hdiff_campaign_rounds_total").add(1);
+      m.counter("hdiff_campaign_cases_total").add(rr.cases);
+      m.counter("hdiff_campaign_novel_total").add(rr.novel);
+      m.counter("hdiff_campaign_duplicate_total").add(rr.duplicate);
+      m.counter("hdiff_campaign_quarantined_total").add(rr.quarantined);
+      m.gauge("hdiff_campaign_corpus_entries")
+          .set(static_cast<std::int64_t>(store.entries.size()));
+      m.gauge("hdiff_campaign_findings")
+          .set(static_cast<std::int64_t>(store.findings.size()));
+    }
+    report.rounds.push_back(rr);
+    report.novel_total += rr.novel;
+    report.duplicate_total += rr.duplicate;
+
+    // ---- checkpoint ------------------------------------------------------
+    // The round's findings are already appended to findings.jsonl (inside
+    // add_finding); the rename below is the commit point.  The crash hook
+    // stops exactly between the two — the worst window — which load() heals
+    // by truncating the artifact back to the checkpoint.
+    if (config_.crash_after_round == static_cast<int>(round)) {
+      report.interrupted = true;
+      report.rounds_completed = store.rounds_completed;
+      report.total_findings = store.findings.size();
+      report.corpus_entries = store.entries.size();
+      report.retry_depth = store.retry_queue.size();
+      return report;
+    }
+    if (!store.commit_round(round)) {
+      report.error = store.error();
+      return report;
+    }
+  }
+
+  report.rounds_completed = store.rounds_completed;
+  report.total_findings = store.findings.size();
+  report.corpus_entries = store.entries.size();
+  report.retry_depth = store.retry_queue.size();
+  return report;
+}
+
+CampaignReport CampaignEngine::status(const std::string& state_dir) {
+  CampaignReport report;
+  StateStore store(state_dir);
+  if (!store.exists()) {
+    report.error = "no campaign state at " + state_dir;
+    return report;
+  }
+  if (!store.load()) {
+    report.error = store.error();
+    return report;
+  }
+  report.rounds_completed = store.rounds_completed;
+  report.total_findings = store.findings.size();
+  report.corpus_entries = store.entries.size();
+  report.retry_depth = store.retry_queue.size();
+  for (std::size_t r = 0; r < store.rounds_completed; ++r) {
+    RoundReport rr;
+    rr.round = r;
+    for (const auto& f : store.findings) {
+      if (f.round == r) ++rr.novel;
+    }
+    report.rounds.push_back(rr);
+    report.novel_total += rr.novel;
+  }
+  return report;
+}
+
+CampaignEngine::MinimizeReport CampaignEngine::minimize_corpus(
+    const std::string& state_dir,
+    const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet) {
+  MinimizeReport report;
+  StateStore store(state_dir);
+  if (!store.load()) {
+    report.error = store.error();
+    return report;
+  }
+  net::Chain chain = net::Chain::from_fleet(fleet);
+  core::ObservationMemo memo;
+  net::VerdictCache verdicts;
+  core::DetectionEngine engine;
+  auto signatures_of_spec = [&](const http::RequestSpec& spec) {
+    const std::string raw = spec.to_wire();
+    const net::ChainObservation* cached = memo.find(raw);
+    core::TestCase probe;
+    probe.uuid = "camp-minimize-probe";
+    probe.raw = raw;
+    probe.origin = core::TestOrigin::kMutation;
+    if (cached == nullptr) {
+      cached = memo.insert(
+          raw, chain.observe(probe.uuid, raw, /*echo=*/nullptr, &verdicts));
+    }
+    if (cached->faulted())
+      return std::make_pair(std::vector<Signature>{}, true);
+    return std::make_pair(signatures_of(engine.evaluate(probe, *cached)),
+                          false);
+  };
+  for (const auto& entry : store.entries) {
+    if (entry.provenance.rfind("mutant:", 0) != 0) continue;
+    ++report.entries;
+    auto [target_sigs, faulted] = signatures_of_spec(entry.spec);
+    if (faulted || target_sigs.empty()) continue;
+    const auto target = canonical_set(target_sigs);
+    auto oracle = [&](const http::RequestSpec& candidate) {
+      auto [sigs, q] = signatures_of_spec(candidate);
+      if (q) return false;
+      const auto got = canonical_set(sigs);
+      return std::includes(got.begin(), got.end(), target.begin(),
+                           target.end());
+    };
+    MinimizeOutcome mo = minimize_spec(entry.spec, oracle);
+    report.steps += mo.steps;
+    if (mo.accepted > 0) ++report.shrunk;
+  }
+  return report;
+}
+
+std::string campaign_report_json(const CampaignReport& report) {
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("campaign").begin_object();
+  w.key("rounds_completed")
+      .value(static_cast<std::uint64_t>(report.rounds_completed));
+  w.key("findings").value(static_cast<std::uint64_t>(report.total_findings));
+  w.key("corpus_entries")
+      .value(static_cast<std::uint64_t>(report.corpus_entries));
+  w.key("retry_depth").value(static_cast<std::uint64_t>(report.retry_depth));
+  w.key("resumed").value(report.resumed);
+  w.key("interrupted").value(report.interrupted);
+  w.key("novel").value(static_cast<std::uint64_t>(report.novel_total));
+  w.key("duplicate").value(static_cast<std::uint64_t>(report.duplicate_total));
+  const std::size_t signatures = report.novel_total + report.duplicate_total;
+  w.key("dedup_ratio")
+      .value(signatures == 0 ? 0.0
+                             : static_cast<double>(report.duplicate_total) /
+                                   static_cast<double>(signatures));
+  w.key("rounds").begin_array();
+  for (const auto& rr : report.rounds) {
+    w.begin_object();
+    w.key("round").value(static_cast<std::uint64_t>(rr.round));
+    w.key("cases").value(static_cast<std::uint64_t>(rr.cases));
+    w.key("replayed").value(static_cast<std::uint64_t>(rr.replayed));
+    w.key("novel").value(static_cast<std::uint64_t>(rr.novel));
+    w.key("duplicate").value(static_cast<std::uint64_t>(rr.duplicate));
+    w.key("quarantined").value(static_cast<std::uint64_t>(rr.quarantined));
+    w.key("new_entries").value(static_cast<std::uint64_t>(rr.new_entries));
+    w.key("minimize_steps")
+        .value(static_cast<std::uint64_t>(rr.minimize_steps));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace hdiff::campaign

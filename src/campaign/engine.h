@@ -1,0 +1,146 @@
+// Persistent differential-fuzzing campaign engine (the subsystem's round
+// loop; paper §V: "the tool can be run periodically").
+//
+// A campaign is a sequence of rounds against a fixed fleet:
+//
+//   round 0      executes the bootstrap corpus (the exact one-shot `hdiff
+//                run` case list), so the campaign's findings are a superset
+//                of a one-shot run by construction;
+//   round 1..N   replay the quarantine retry queue, then fire the mutants
+//                the divergence-feedback scheduler allocated across
+//                (corpus entry x MutationKind) arms.
+//
+// Every per-case delta (via ExecutorConfig::on_delta) is fingerprinted;
+// novel fingerprints become findings, and the mutant that produced one is
+// "interesting": it is delta-debug minimized and joins the corpus as a new
+// mutation seed for later rounds.  After each round the engine appends the
+// round's findings to findings.jsonl and then atomically publishes the
+// checkpoint; a kill at any point resumes to byte-identical state (the
+// `hdiff selftest --campaign` proof).
+//
+// Determinism: rounds depend only on the checkpoint (scheduler weights,
+// cursors, retry queue) and the deterministic model fleet — no wall clock,
+// no RNG — and the executor merges per-case results in stable index order,
+// so state and findings bytes are identical across `--jobs` settings.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/minimize.h"
+#include "campaign/store.h"
+#include "core/executor.h"
+#include "core/testcase.h"
+#include "impls/model.h"
+#include "obs/obs.h"
+
+namespace hdiff::campaign {
+
+/// A named mutation seed (joins the corpus as "seed:<name>").
+struct SeedSpec {
+  std::string name;
+  http::RequestSpec spec;
+};
+
+struct CampaignConfig {
+  std::string state_dir;
+  /// Mutation rounds to run (round 0, the bootstrap pass, is extra).
+  std::size_t rounds = 5;
+  /// Mutants fired per mutation round.
+  std::size_t budget_per_round = 96;
+  /// Minimize each newly-interesting mutant before storing it.
+  bool minimize_new = true;
+  MinimizeOptions minimize;
+  /// Executor settings for every round (jobs, memoize, retry policy).  The
+  /// engine installs its own cross-round caches and delta tap on top.
+  core::ExecutorConfig executor;
+  obs::Observability obs;
+
+  /// One-shot case list executed as round 0.  Must be reproducible across
+  /// resumes (the CLI regenerates it; generation is deterministic).
+  std::vector<core::TestCase> bootstrap;
+  /// Initial mutation seeds.  Empty = default_campaign_seeds().
+  std::vector<SeedSpec> seeds;
+
+  /// Test hook: simulate a kill after this round appended its findings but
+  /// before the checkpoint rename (the worst crash window).  -1 = never.
+  int crash_after_round = -1;
+};
+
+/// Per-round accounting for the report and the JSON block.
+struct RoundReport {
+  std::size_t round = 0;
+  std::size_t cases = 0;        ///< cases executed this round
+  std::size_t replayed = 0;     ///< retry-queue replays among them
+  std::size_t novel = 0;        ///< novel fingerprints filed
+  std::size_t duplicate = 0;    ///< signatures deduplicated away
+  std::size_t quarantined = 0;  ///< cases pushed to the retry queue
+  std::size_t new_entries = 0;  ///< interesting mutants added to the corpus
+  std::size_t minimize_steps = 0;
+};
+
+struct CampaignReport {
+  std::vector<RoundReport> rounds;  ///< rounds executed by THIS call
+  std::size_t rounds_completed = 0;
+  std::size_t total_findings = 0;
+  std::size_t corpus_entries = 0;
+  std::size_t retry_depth = 0;       ///< retry queue length at exit
+  bool resumed = false;              ///< picked up an existing checkpoint
+  bool interrupted = false;          ///< stopped by crash_after_round
+  std::size_t novel_total = 0;       ///< this call's novel fingerprints
+  std::size_t duplicate_total = 0;   ///< this call's deduplicated signatures
+  /// Accumulated detection result of round 0, exactly what a one-shot
+  /// `hdiff run` over the bootstrap corpus returns (empty when round 0 was
+  /// already committed before this call).
+  core::DetectionResult bootstrap_findings;
+  std::string error;  ///< non-empty = the campaign failed to run
+};
+
+/// Default mutation seeds: canonical requests exercising the framing,
+/// routing, and caching surfaces the detectors watch.
+std::vector<SeedSpec> default_campaign_seeds();
+
+/// Signature of everything that must match for a checkpoint to be resumed:
+/// seeds, bootstrap corpus, and budget.  Jobs and round count are excluded
+/// on purpose (resuming with more rounds or different parallelism is
+/// legitimate and changes nothing already committed).
+std::string campaign_config_sig(const CampaignConfig& config);
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(CampaignConfig config);
+
+  /// Run (or resume) the campaign against `fleet` until
+  /// `config.rounds + 1` total rounds are committed.  On config-signature
+  /// mismatch with an existing checkpoint, fails without touching it.
+  CampaignReport run(
+      const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet);
+
+  /// Read-only view of an existing campaign state dir.
+  static CampaignReport status(const std::string& state_dir);
+
+  /// Re-minimize every mutant entry in an existing campaign (fixed-point
+  /// check: a committed corpus accepts no further shrinking, so this
+  /// reports steps but rewrites nothing).  Returns oracle steps taken and
+  /// how many entries actually shrank (expected 0).
+  struct MinimizeReport {
+    std::size_t entries = 0;
+    std::size_t steps = 0;
+    std::size_t shrunk = 0;
+    std::string error;
+  };
+  static MinimizeReport minimize_corpus(
+      const std::string& state_dir,
+      const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet);
+
+ private:
+  CampaignConfig config_;
+};
+
+/// Render a CampaignReport (plus store totals) as the `"campaign"` JSON
+/// block written by `hdiff campaign ... --json`.
+std::string campaign_report_json(const CampaignReport& report);
+
+}  // namespace hdiff::campaign

@@ -1,0 +1,56 @@
+// Delta-debugging minimizer for interesting mutants.
+//
+// An interesting mutant often drags along structure that has nothing to do
+// with the divergence it triggers (extra headers from the seed, a body, a
+// long value around the one byte that matters).  The minimizer shrinks the
+// spec while an *oracle* — "does this variant still reproduce the original
+// divergence signatures?" — keeps answering yes.  The engine's oracle
+// replays the candidate through the executor (jobs=1, shared observation
+// memo, so repeats are cache hits) and compares signature sets.
+//
+// Passes, repeated to a fixed point:
+//   1. header ddmin    — remove header chunks, halving chunk size (classic
+//                        Zeller/Hildebrandt ddmin over the header list);
+//   2. body            — drop it, else halve it;
+//   3. canonicalize    — restore request-line separators, terminators, and
+//                        header separators to canonical HTTP syntax;
+//   4. value shrink    — halve header values (front half, then back half).
+//
+// Progress is measured lexicographically: (non-canonical element count,
+// serialized byte size).  A candidate is accepted only when the oracle
+// holds AND the measure strictly decreases, so the loop terminates: the
+// measure is a well-founded order, and a full sweep with no acceptance is
+// the fixed point (re-minimizing a minimized spec accepts nothing).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "http/serialize.h"
+
+namespace hdiff::campaign {
+
+struct MinimizeOptions {
+  /// Hard cap on oracle invocations (a pathological oracle cannot stall a
+  /// round); 0 = unlimited.
+  std::size_t max_steps = 512;
+};
+
+struct MinimizeOutcome {
+  http::RequestSpec spec;     ///< minimized spec (== input at fixed point)
+  std::size_t steps = 0;      ///< oracle invocations
+  std::size_t accepted = 0;   ///< candidates that shrank the measure
+};
+
+/// (non-canonical element count, serialized bytes) — the well-founded
+/// measure the minimizer strictly decreases.
+std::pair<std::size_t, std::size_t> spec_measure(const http::RequestSpec& s);
+
+/// Shrink `start` while `still_interesting(candidate)` holds.  The oracle
+/// must be deterministic; `start` itself is assumed interesting.
+MinimizeOutcome minimize_spec(
+    const http::RequestSpec& start,
+    const std::function<bool(const http::RequestSpec&)>& still_interesting,
+    const MinimizeOptions& options = {});
+
+}  // namespace hdiff::campaign

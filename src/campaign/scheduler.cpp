@@ -1,0 +1,73 @@
+#include "campaign/scheduler.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hdiff::campaign {
+
+std::size_t arm_weight(const ArmView& arm) {
+  // 64-bit intermediate: novel is bounded by total findings (small), so
+  // (1 + novel) << 16 cannot overflow in any realistic campaign.
+  const std::uint64_t numerator = (1 + static_cast<std::uint64_t>(arm.novel))
+                                  << 16;
+  return static_cast<std::size_t>(numerator / (1 + arm.attempts));
+}
+
+std::vector<std::size_t> allocate_budget(std::size_t budget,
+                                         const std::vector<ArmView>& arms) {
+  std::vector<std::size_t> counts(arms.size(), 0);
+  // Re-apportion until the budget is spent or every arm is at capacity.
+  // Each pass runs largest-remainder over the arms with headroom; spill
+  // from arms that hit their cap feeds the next pass.
+  std::size_t remaining = budget;
+  for (;;) {
+    std::uint64_t total_weight = 0;
+    std::vector<std::size_t> open;
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      if (counts[i] < arms[i].capacity) {
+        open.push_back(i);
+        total_weight += arm_weight(arms[i]);
+      }
+    }
+    if (remaining == 0 || open.empty() || total_weight == 0) break;
+
+    // Integer quota + fractional remainder per open arm.
+    struct Slice {
+      std::size_t index;
+      std::uint64_t remainder;
+    };
+    std::vector<Slice> slices;
+    std::size_t handed = 0;
+    for (std::size_t i : open) {
+      const std::uint64_t w = arm_weight(arms[i]);
+      const std::uint64_t exact = static_cast<std::uint64_t>(remaining) * w;
+      std::size_t quota = static_cast<std::size_t>(exact / total_weight);
+      const std::uint64_t remainder = exact % total_weight;
+      const std::size_t headroom = arms[i].capacity - counts[i];
+      quota = std::min(quota, headroom);
+      counts[i] += quota;
+      handed += quota;
+      if (counts[i] < arms[i].capacity) slices.push_back({i, remainder});
+    }
+    // Distribute the leftover units by largest remainder, index ascending
+    // on ties (stable deterministic order).
+    std::stable_sort(slices.begin(), slices.end(),
+                     [](const Slice& a, const Slice& b) {
+                       return a.remainder > b.remainder;
+                     });
+    std::size_t leftover = remaining - handed;
+    for (const Slice& s : slices) {
+      if (leftover == 0) break;
+      if (counts[s.index] < arms[s.index].capacity) {
+        ++counts[s.index];
+        ++handed;
+        --leftover;
+      }
+    }
+    if (handed == 0) break;  // all open arms saturated mid-pass
+    remaining -= handed;
+  }
+  return counts;
+}
+
+}  // namespace hdiff::campaign

@@ -1,0 +1,43 @@
+// Divergence-feedback mutation scheduling.
+//
+// Each scheduler *arm* is one (corpus entry, MutationKind) pair.  The
+// engine asks for a per-round allocation of the mutation budget across
+// arms; the allocation is proportional to each arm's recent novel-signature
+// yield and is a pure function of the persisted arm statistics — no wall
+// clock, no RNG — so a resumed campaign and a `--jobs 8` campaign schedule
+// the exact same mutants as a fresh serial one.
+//
+// Weighting: integer-only, `weight = ((1 + novel) << 16) / (1 + attempts)`.
+// An untried arm (0/0) gets full weight, so new corpus entries are explored
+// immediately; an arm that keeps yielding keeps its share; an arm that has
+// been hammered without yield decays as 1/attempts but never reaches zero
+// (every arm stays live — yield can appear late, e.g. after a fleet swap).
+// Budget shares use largest-remainder apportionment with per-arm capacity
+// caps and index-order tie-breaks, so every unit of budget lands
+// deterministically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hdiff::campaign {
+
+/// Scheduler view of one arm.
+struct ArmView {
+  std::size_t attempts = 0;  ///< mutants observed so far
+  std::size_t novel = 0;     ///< novel fingerprints produced so far
+  std::size_t capacity = 0;  ///< variants available this round (hard cap)
+};
+
+/// Integer feedback weight of one arm (see header comment).
+std::size_t arm_weight(const ArmView& arm);
+
+/// Split `budget` across `arms` proportionally to `arm_weight`, capped at
+/// each arm's capacity.  Returns one count per arm, summing to
+/// `min(budget, total capacity)`.  Deterministic: largest-remainder
+/// apportionment, ties broken by lower arm index; spill from capped arms is
+/// re-apportioned over the rest.
+std::vector<std::size_t> allocate_budget(std::size_t budget,
+                                         const std::vector<ArmView>& arms);
+
+}  // namespace hdiff::campaign

@@ -1,0 +1,369 @@
+#include "campaign/store.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/fingerprint.h"
+#include "core/export.h"
+#include "report/json.h"
+
+namespace hdiff::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Empty strings hex-encode to zero bytes, which would vanish under
+// space-tokenization; "-" marks them explicitly.
+std::string enc(std::string_view s) {
+  return s.empty() ? std::string("-") : core::hex_encode(s);
+}
+
+bool dec(std::string_view token, std::string* out) {
+  if (token == "-") {
+    out->clear();
+    return true;
+  }
+  return core::hex_decode(token, out);
+}
+
+std::vector<std::string> split_ws(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+/// tmp+rename publish: readers see the old bytes or the new bytes, never a
+/// torn prefix; a kill before the rename leaves the previous checkpoint.
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  if (!write_file(tmp, content)) return false;
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::size_t to_size(const std::string& s) {
+  return static_cast<std::size_t>(std::strtoull(s.c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+std::string serialize_spec(const http::RequestSpec& spec) {
+  std::string out = "spec-v1\n";
+  out += "method=" + enc(spec.method) + "\n";
+  out += "target=" + enc(spec.target) + "\n";
+  out += "version=" + enc(spec.version) + "\n";
+  out += "sep1=" + enc(spec.sep1) + "\n";
+  out += "sep2=" + enc(spec.sep2) + "\n";
+  out += "eol=" + enc(spec.line_terminator) + "\n";
+  out += "end=" + enc(spec.headers_terminator) + "\n";
+  out += "body=" + enc(spec.body) + "\n";
+  for (const auto& h : spec.headers) {
+    out += "h=" + enc(h.name) + " " + enc(h.value) + " " + enc(h.separator) +
+           " " + enc(h.terminator) + "\n";
+  }
+  return out;
+}
+
+bool deserialize_spec(std::string_view text, http::RequestSpec* out) {
+  *out = http::RequestSpec{};
+  out->headers.clear();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "spec-v1") return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = line.substr(0, eq);
+    const std::string rest = line.substr(eq + 1);
+    if (key == "h") {
+      auto tokens = split_ws(rest);
+      if (tokens.size() != 4) return false;
+      http::HeaderSpec h;
+      if (!dec(tokens[0], &h.name) || !dec(tokens[1], &h.value) ||
+          !dec(tokens[2], &h.separator) || !dec(tokens[3], &h.terminator))
+        return false;
+      out->headers.push_back(std::move(h));
+      continue;
+    }
+    std::string* field = nullptr;
+    if (key == "method") field = &out->method;
+    else if (key == "target") field = &out->target;
+    else if (key == "version") field = &out->version;
+    else if (key == "sep1") field = &out->sep1;
+    else if (key == "sep2") field = &out->sep2;
+    else if (key == "eol") field = &out->line_terminator;
+    else if (key == "end") field = &out->headers_terminator;
+    else if (key == "body") field = &out->body;
+    else return false;
+    if (!dec(rest, field)) return false;
+  }
+  return true;
+}
+
+std::string content_address(const http::RequestSpec& spec) {
+  return hex64(serialize_spec(spec));
+}
+
+std::string finding_jsonl(const Finding& f) {
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("round").value(static_cast<std::uint64_t>(f.round));
+  w.key("fingerprint").value(f.fingerprint);
+  w.key("detector").value(f.detector);
+  w.key("provenance").value(f.provenance);
+  w.key("case_uuid").value(f.case_uuid);
+  w.key("description").value(f.description);
+  w.key("vector").begin_array();
+  for (const auto& v : f.vector) w.value(v);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+StateStore::StateStore(std::string state_dir) : dir_(std::move(state_dir)) {}
+
+std::string StateStore::state_path() const { return dir_ + "/campaign.state"; }
+std::string StateStore::findings_path() const {
+  return dir_ + "/findings.jsonl";
+}
+std::string StateStore::corpus_path(const std::string& hash) const {
+  return dir_ + "/corpus/" + hash + ".case";
+}
+
+bool StateStore::exists() const {
+  std::error_code ec;
+  return fs::exists(state_path(), ec);
+}
+
+bool StateStore::init(const std::string& sig) {
+  std::error_code ec;
+  fs::create_directories(dir_ + "/corpus", ec);
+  if (ec) {
+    error_ = "cannot create " + dir_ + "/corpus: " + ec.message();
+    return false;
+  }
+  config_sig = sig;
+  rounds_completed = 0;
+  if (!write_file(findings_path(), "")) {
+    error_ = "cannot create " + findings_path();
+    return false;
+  }
+  if (!write_file_atomic(state_path(), render_state())) {
+    error_ = "cannot write " + state_path();
+    return false;
+  }
+  return true;
+}
+
+bool StateStore::write_corpus_file(const CorpusEntry& entry) {
+  if (!write_file(corpus_path(entry.hash), serialize_spec(entry.spec))) {
+    error_ = "cannot write " + corpus_path(entry.hash);
+    return false;
+  }
+  return true;
+}
+
+std::size_t StateStore::add_entry(CorpusEntry entry) {
+  if (entry_hashes_.count(entry.hash)) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].hash == entry.hash) return i;
+    }
+  }
+  write_corpus_file(entry);
+  entry_hashes_.insert(entry.hash);
+  entries.push_back(std::move(entry));
+  return entries.size() - 1;
+}
+
+bool StateStore::has_entry(const std::string& hash) const {
+  return entry_hashes_.count(hash) > 0;
+}
+
+void StateStore::add_finding(Finding f) {
+  fingerprints_.insert(f.fingerprint);
+  std::ofstream out(findings_path(), std::ios::binary | std::ios::app);
+  out << finding_jsonl(f) << "\n";
+  findings.push_back(std::move(f));
+}
+
+std::string StateStore::render_state() const {
+  std::string out = "hdiff-campaign-state-v1\n";
+  out += "config_sig=" + config_sig + "\n";
+  out += "rounds_completed=" + std::to_string(rounds_completed) + "\n";
+  for (const auto& e : entries) {
+    out += "entry=" + e.hash + " " + enc(e.provenance) + "\n";
+  }
+  for (const auto& [key, stats] : arms) {
+    out += "arm=" + std::to_string(key.first) + " " + key.second + " " +
+           std::to_string(stats.attempts) + " " + std::to_string(stats.novel) +
+           " " + std::to_string(stats.cursor) + "\n";
+  }
+  for (const auto& r : retry_queue) {
+    out += "retry=" + enc(r.provenance) + " " + enc(r.raw) + " " +
+           enc(r.spec_text) + " " + enc(r.description) + "\n";
+  }
+  for (const auto& f : findings) {
+    out += "finding=" + std::to_string(f.round) + " " + f.fingerprint + " " +
+           enc(f.detector) + " " + enc(f.provenance) + " " + enc(f.case_uuid) +
+           " " + enc(f.description);
+    for (const auto& v : f.vector) out += " " + enc(v);
+    out += "\n";
+  }
+  return out;
+}
+
+bool StateStore::parse_state(std::string_view text) {
+  entries.clear();
+  arms.clear();
+  retry_queue.clear();
+  findings.clear();
+  entry_hashes_.clear();
+  fingerprints_.clear();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "hdiff-campaign-state-v1") {
+    error_ = "bad state header in " + state_path();
+    return false;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      error_ = "bad state line: " + line;
+      return false;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string rest = line.substr(eq + 1);
+    if (key == "config_sig") {
+      config_sig = rest;
+    } else if (key == "rounds_completed") {
+      rounds_completed = to_size(rest);
+    } else if (key == "entry") {
+      auto tokens = split_ws(rest);
+      CorpusEntry e;
+      if (tokens.size() != 2 || !dec(tokens[1], &e.provenance)) {
+        error_ = "bad entry line: " + line;
+        return false;
+      }
+      e.hash = tokens[0];
+      std::string spec_text;
+      if (!read_file(corpus_path(e.hash), &spec_text) ||
+          !deserialize_spec(spec_text, &e.spec)) {
+        error_ = "cannot load corpus entry " + corpus_path(e.hash);
+        return false;
+      }
+      entry_hashes_.insert(e.hash);
+      entries.push_back(std::move(e));
+    } else if (key == "arm") {
+      auto tokens = split_ws(rest);
+      if (tokens.size() != 5) {
+        error_ = "bad arm line: " + line;
+        return false;
+      }
+      ArmStats stats;
+      stats.attempts = to_size(tokens[2]);
+      stats.novel = to_size(tokens[3]);
+      stats.cursor = to_size(tokens[4]);
+      arms[{to_size(tokens[0]), tokens[1]}] = stats;
+    } else if (key == "retry") {
+      auto tokens = split_ws(rest);
+      RetryEntry r;
+      if (tokens.size() != 4 || !dec(tokens[0], &r.provenance) ||
+          !dec(tokens[1], &r.raw) || !dec(tokens[2], &r.spec_text) ||
+          !dec(tokens[3], &r.description)) {
+        error_ = "bad retry line: " + line;
+        return false;
+      }
+      retry_queue.push_back(std::move(r));
+    } else if (key == "finding") {
+      auto tokens = split_ws(rest);
+      Finding f;
+      if (tokens.size() < 6 || !dec(tokens[2], &f.detector) ||
+          !dec(tokens[3], &f.provenance) || !dec(tokens[4], &f.case_uuid) ||
+          !dec(tokens[5], &f.description)) {
+        error_ = "bad finding line: " + line;
+        return false;
+      }
+      f.round = to_size(tokens[0]);
+      f.fingerprint = tokens[1];
+      for (std::size_t i = 6; i < tokens.size(); ++i) {
+        std::string component;
+        if (!dec(tokens[i], &component)) {
+          error_ = "bad finding line: " + line;
+          return false;
+        }
+        f.vector.push_back(std::move(component));
+      }
+      fingerprints_.insert(f.fingerprint);
+      findings.push_back(std::move(f));
+    } else {
+      error_ = "unknown state key: " + key;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StateStore::truncate_findings() const {
+  // The checkpoint is the source of truth; regenerating the artifact from
+  // it drops exactly the lines a crash appended after the last rename (and
+  // heals a missing or damaged artifact the same way).  Content is
+  // byte-identical to what the committed appends wrote.
+  std::string out;
+  for (const auto& f : findings) {
+    out += finding_jsonl(f);
+    out += "\n";
+  }
+  return write_file_atomic(findings_path(), out);
+}
+
+bool StateStore::load() {
+  std::string text;
+  if (!read_file(state_path(), &text)) {
+    error_ = "cannot read " + state_path();
+    return false;
+  }
+  if (!parse_state(text)) return false;
+  if (!truncate_findings()) {
+    error_ = "cannot rewrite " + findings_path();
+    return false;
+  }
+  return true;
+}
+
+bool StateStore::commit_round(std::size_t round) {
+  rounds_completed = round + 1;
+  if (!write_file_atomic(state_path(), render_state())) {
+    error_ = "cannot write " + state_path();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hdiff::campaign

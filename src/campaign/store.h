@@ -1,0 +1,155 @@
+// Persistent campaign state: content-addressed corpus + append-only
+// findings DB + crash-safe checkpoint.
+//
+// State-dir layout:
+//
+//   <state-dir>/campaign.state    checkpointed state (the source of truth):
+//                                 config signature, committed round count,
+//                                 corpus entry list, scheduler arm stats,
+//                                 quarantine retry queue, and every finding.
+//                                 Written tmp+rename, so a kill at any point
+//                                 leaves either the previous or the next
+//                                 checkpoint, never a torn file.
+//   <state-dir>/corpus/<h>.case   one request spec per file, named by the
+//                                 16-hex-digit content address of its
+//                                 serialized form.  Writes are idempotent
+//                                 (same content -> same bytes at the same
+//                                 path), so replaying an interrupted round
+//                                 rewrites them identically.
+//   <state-dir>/findings.jsonl    append-only JSON-lines artifact, one
+//                                 finding per line, round-tagged.  Lines for
+//                                 rounds newer than the checkpoint (a crash
+//                                 hit between append and rename) are
+//                                 truncated away on load, which is what
+//                                 makes resume byte-identical to an
+//                                 uninterrupted run.
+//
+// Everything is line-based text with hex-encoded payload fields (reusing
+// core::hex_encode), so specs with NUL/CTL bytes survive and the files diff
+// cleanly under version control.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "http/serialize.h"
+
+namespace hdiff::campaign {
+
+/// One corpus member: a mutation seed ("seed:<name>") or an interesting
+/// mutant ("mutant:<seed-hash>:<kind>"), stored as a buildable spec so it
+/// can be mutated further in later rounds.
+struct CorpusEntry {
+  std::string hash;        ///< content address of the serialized spec
+  std::string provenance;
+  http::RequestSpec spec;
+};
+
+/// One deduplicated finding (see campaign/fingerprint.h for the key).
+struct Finding {
+  std::size_t round = 0;
+  std::string fingerprint;
+  std::string detector;
+  std::vector<std::string> vector;  ///< normalized divergence components
+  std::string provenance;
+  std::string case_uuid;    ///< first case that hit this fingerprint
+  std::string description;  ///< that case's human-readable synopsis
+};
+
+/// A case that exhausted its retries under harness faults; replayed at the
+/// start of the next round (PR-2 quarantine integration).  `spec_text` is
+/// empty for bootstrap cases, which exist only as wire bytes.
+struct RetryEntry {
+  std::string provenance;
+  std::string raw;
+  std::string spec_text;  ///< serialize_spec() form, "" when unavailable
+  std::string description;
+};
+
+/// Divergence-feedback statistics for one scheduler arm (corpus entry x
+/// mutation kind); persisted so the schedule is a pure function of the
+/// checkpoint.
+struct ArmStats {
+  std::size_t attempts = 0;  ///< mutants of this arm actually observed
+  std::size_t novel = 0;     ///< novel fingerprints those mutants produced
+  std::size_t cursor = 0;    ///< next variant index (rotation)
+};
+
+/// Canonical text form of a spec (field-per-line, hex payloads).  The
+/// corpus file format and the content-address preimage.
+std::string serialize_spec(const http::RequestSpec& spec);
+bool deserialize_spec(std::string_view text, http::RequestSpec* out);
+
+/// Content address: fingerprint-format hash of `serialize_spec(spec)`.
+/// Keyed on the serialized spec rather than the wire bytes so two specs
+/// that happen to concatenate to the same wire form keep distinct files.
+std::string content_address(const http::RequestSpec& spec);
+
+/// In-memory image of the state dir plus the commit protocol.
+class StateStore {
+ public:
+  explicit StateStore(std::string state_dir);
+
+  /// True when a checkpoint file exists.
+  bool exists() const;
+
+  /// Create the directory layout for a fresh campaign.
+  bool init(const std::string& config_sig);
+
+  /// Load the checkpoint, the corpus files it references, and truncate
+  /// findings.jsonl back to the committed round count.
+  bool load();
+
+  /// Append an entry (writes its corpus file immediately; idempotent).
+  /// Returns the entry index, or the existing index for a duplicate hash.
+  std::size_t add_entry(CorpusEntry entry);
+  bool has_entry(const std::string& hash) const;
+
+  /// Record a finding and append its JSON line to findings.jsonl.  The
+  /// jsonl append happens before the checkpoint rename; a crash in between
+  /// is healed by load()'s truncation.
+  void add_finding(Finding f);
+  bool known_fingerprint(const std::string& fp) const {
+    return fingerprints_.count(fp) > 0;
+  }
+
+  /// Atomically publish the state with `rounds_completed = round + 1`.
+  bool commit_round(std::size_t round);
+
+  // ---- checkpointed state (mutated by the engine between commits) ----
+  std::string config_sig;
+  std::size_t rounds_completed = 0;  ///< committed rounds (round 0 = first)
+  std::vector<CorpusEntry> entries;
+  std::map<std::pair<std::size_t, std::string>, ArmStats> arms;
+  std::vector<RetryEntry> retry_queue;
+  std::vector<Finding> findings;
+
+  const std::string& state_dir() const { return dir_; }
+  const std::string& error() const { return error_; }
+
+  /// Paths (exposed for tests and the selftest's byte-identity check).
+  std::string state_path() const;
+  std::string findings_path() const;
+  std::string corpus_path(const std::string& hash) const;
+
+ private:
+  bool write_corpus_file(const CorpusEntry& entry);
+  std::string render_state() const;
+  bool parse_state(std::string_view text);
+  bool truncate_findings() const;
+
+  std::string dir_;
+  std::string error_;
+  std::set<std::string> entry_hashes_;
+  std::set<std::string> fingerprints_;
+};
+
+/// Render one finding as its findings.jsonl line (no trailing newline).
+/// The line starts with the round field so truncation can parse it cheaply.
+std::string finding_jsonl(const Finding& f);
+
+}  // namespace hdiff::campaign

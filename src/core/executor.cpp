@@ -76,8 +76,13 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
   local.jobs = jobs;
   local.cases = cases.size();
 
-  ObservationMemo memo;
-  net::VerdictCache verdicts;
+  // Per-run caches, unless the caller supplied longer-lived ones (campaign
+  // sessions share a memo across rounds and minimizer replays).
+  ObservationMemo own_memo;
+  net::VerdictCache own_verdicts;
+  ObservationMemo& memo = config_.shared_memo ? *config_.shared_memo : own_memo;
+  net::VerdictCache& verdicts =
+      config_.shared_verdicts ? *config_.shared_verdicts : own_verdicts;
   ObservationMemo* memo_p = config_.memoize ? &memo : nullptr;
   net::VerdictCache* verdicts_p = config_.memoize ? &verdicts : nullptr;
 
@@ -236,9 +241,14 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
     // Serial path: with memoization off this is exactly the seed's loop in
     // `Pipeline::run` — same calls, same order, no pool.
     net::EchoServer echo(config_.echo_max_records);
-    for (const auto& tc : cases) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const TestCase& tc = cases[i];
       CaseStatus status;
-      DetectionEngine::accumulate(total, evaluate_case(tc, echo, status));
+      DetectionResult delta = evaluate_case(tc, echo, status);
+      if (config_.on_delta) {
+        config_.on_delta(i, tc, delta, status.quarantined);
+      }
+      DetectionEngine::accumulate(total, delta);
       fold_status(tc, status);
     }
     finish(echo.log().size(), echo.dropped());
@@ -274,6 +284,9 @@ DetectionResult ParallelExecutor::run(const net::Chain& chain,
   for (std::thread& worker : workers) worker.join();
 
   for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (config_.on_delta) {
+      config_.on_delta(i, cases[i], deltas[i], statuses[i].quarantined);
+    }
     DetectionEngine::accumulate(total, deltas[i]);
     fold_status(cases[i], statuses[i]);
   }

@@ -35,6 +35,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -134,6 +135,28 @@ struct ExecutorConfig {
   /// and folds its counters into the registry when the run finishes.
   /// Observability only reads — findings are byte-identical either way.
   obs::Observability obs;
+
+  // ---- campaign hooks (src/campaign) ----
+  /// Caller-owned caches reused *across* `run()` calls (the campaign engine
+  /// keeps one of each for a whole multi-round session, so a mutant already
+  /// observed in round k costs a hash lookup in round k+n, and minimizer
+  /// replays are nearly free).  When set they replace the per-run caches;
+  /// `memoize = false` disables both, shared or not.  Sharing never changes
+  /// findings: entries are keyed by full input bytes and observations are
+  /// deterministic, so a cross-run hit returns exactly what a fresh
+  /// observation would.
+  ObservationMemo* shared_memo = nullptr;
+  net::VerdictCache* shared_verdicts = nullptr;
+  /// Per-case delta tap, invoked once per test case in stable case-index
+  /// order (after the workers joined, during the deterministic merge), with
+  /// the case's own `DetectionResult` delta *before* accumulation dedup.
+  /// `quarantined` distinguishes "no divergence" from "never observed"
+  /// (the delta is empty either way).  The campaign engine derives
+  /// divergence signatures from these deltas; accumulated totals cannot
+  /// recover per-case attribution.
+  std::function<void(std::size_t index, const TestCase& tc,
+                     const DetectionResult& delta, bool quarantined)>
+      on_delta;
 };
 
 /// One case excluded from difference analysis after exhausting retries.

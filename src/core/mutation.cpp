@@ -139,6 +139,20 @@ std::vector<Mutant> mutate(const http::RequestSpec& seed,
         emit(std::move(spec), {MutationKind::kScBeforeValue, h.name, sc});
       }
     }
+    // Unicode injected *inside* the value (paper §III-D "inserting Unicode
+    // characters"): the sc-* operators only reach the value's edges, so
+    // splicing at the midpoint is a distinct site — "ch{U+200B}unked" parses
+    // differently from "{U+200B}chunked" in implementations that trim edges.
+    if (options.include_unicode && !h.value.empty()) {
+      for (const auto& sc : special_chars()) {
+        if (sc.size() <= 1) continue;  // multi-byte UTF-8 payloads only
+        http::RequestSpec spec = seed;
+        const std::size_t mid = h.value.size() / 2;
+        spec.headers[i].value =
+            h.value.substr(0, mid) + sc + h.value.substr(mid);
+        emit(std::move(spec), {MutationKind::kUnicodeInValue, h.name, sc});
+      }
+    }
     // Case variation (skipped when the text has no letters to vary).
     if (std::string flipped = flip_case(h.name); flipped != h.name) {
       http::RequestSpec spec = seed;

@@ -40,12 +40,26 @@ TEST(MutationCoverage, HostSeedCoversCoreOperators) {
   EXPECT_FALSE(has(result.diagnostics, "MC003"));
 }
 
-TEST(MutationCoverage, OperatorWithZeroSitesIsMC001) {
-  // The structural blind spot: mutate() declares kUnicodeInValue but no
-  // branch emits it, so it is zero-site on every corpus.
+TEST(MutationCoverage, UnicodeInValueFiresOnRealSeeds) {
+  // The historical MC001 blind spot is closed: mutate() now splices
+  // multi-byte UTF-8 into the middle of a targeted header value, so the
+  // operator has applicable sites on any host seed.
   auto g = grammar_of("myhost = \"h.example\"\n");
   MutationCoverageOptions options;
   options.targets = {{"myhost", EmbedPosition::kHostHeader}};
+  auto result = analyze_mutation_coverage(g, options);
+  EXPECT_FALSE(has(result.diagnostics, "MC001", "unicode-in-value"));
+  EXPECT_GT(result.stats.sites_per_kind.at("unicode-in-value"), 0u);
+}
+
+TEST(MutationCoverage, OperatorWithZeroSitesIsMC001) {
+  // With unicode payloads disabled the splice site (and the multi-byte
+  // sc-* payloads) vanish, so kUnicodeInValue is zero-site again and the
+  // MC001 machinery must flag it.
+  auto g = grammar_of("myhost = \"h.example\"\n");
+  MutationCoverageOptions options;
+  options.targets = {{"myhost", EmbedPosition::kHostHeader}};
+  options.mutation.include_unicode = false;
   auto result = analyze_mutation_coverage(g, options);
   ASSERT_TRUE(has(result.diagnostics, "MC001", "unicode-in-value"));
   for (const auto& d : result.diagnostics) {

@@ -1,0 +1,224 @@
+// Campaign engine end-to-end properties on the modelled fleet: `--jobs`
+// determinism (byte-identical state and findings artifacts), crash/resume
+// byte-identity, fingerprint uniqueness, config-signature protection, and
+// the PR-2 quarantine/retry integration under persistent harness faults.
+#include "campaign/engine.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/store.h"
+#include "core/probes.h"
+#include "impls/products.h"
+#include "net/fault.h"
+
+namespace hdiff::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("hdiff-engine-test-" + std::to_string(::getpid()) +
+                        "-" + tag + "-" + std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Small but divergence-rich bootstrap: the first Table II verification
+// probes keep each round fast while still tripping every detector class.
+std::vector<core::TestCase> small_bootstrap() {
+  auto probes = core::verification_probes();
+  if (probes.size() > 12) probes.resize(12);
+  return probes;
+}
+
+CampaignConfig make_config(const std::string& dir, std::size_t rounds,
+                           std::size_t jobs) {
+  CampaignConfig config;
+  config.state_dir = dir;
+  config.rounds = rounds;
+  config.budget_per_round = 16;
+  config.minimize.max_steps = 64;
+  config.executor.jobs = jobs;
+  config.bootstrap = small_bootstrap();
+  return config;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fleet_ = impls::make_all_implementations(); }
+  std::vector<std::unique_ptr<impls::HttpImplementation>> fleet_;
+};
+
+TEST_F(EngineTest, StateAndFindingsAreByteIdenticalAcrossJobs) {
+  const std::string dir1 = fresh_dir("jobs1");
+  const std::string dir8 = fresh_dir("jobs8");
+
+  const auto r1 = CampaignEngine(make_config(dir1, 2, 1)).run(fleet_);
+  const auto r8 = CampaignEngine(make_config(dir8, 2, 8)).run(fleet_);
+  ASSERT_TRUE(r1.error.empty()) << r1.error;
+  ASSERT_TRUE(r8.error.empty()) << r8.error;
+  EXPECT_GT(r1.total_findings, 0u);
+
+  StateStore s1(dir1), s8(dir8);
+  EXPECT_EQ(slurp(s1.state_path()), slurp(s8.state_path()));
+  EXPECT_EQ(slurp(s1.findings_path()), slurp(s8.findings_path()));
+
+  fs::remove_all(dir1);
+  fs::remove_all(dir8);
+}
+
+TEST_F(EngineTest, CrashedRoundResumesByteIdentically) {
+  const std::string ref_dir = fresh_dir("ref");
+  const std::string crash_dir = fresh_dir("crash");
+
+  const auto ref = CampaignEngine(make_config(ref_dir, 2, 1)).run(fleet_);
+  ASSERT_TRUE(ref.error.empty()) << ref.error;
+
+  // Kill in the worst window: round 1's findings appended, checkpoint not
+  // yet renamed.
+  auto crashing = make_config(crash_dir, 2, 1);
+  crashing.crash_after_round = 1;
+  const auto interrupted = CampaignEngine(crashing).run(fleet_);
+  ASSERT_TRUE(interrupted.error.empty()) << interrupted.error;
+  EXPECT_TRUE(interrupted.interrupted);
+  EXPECT_LT(interrupted.rounds_completed, ref.rounds_completed);
+
+  const auto resumed =
+      CampaignEngine(make_config(crash_dir, 2, 1)).run(fleet_);
+  ASSERT_TRUE(resumed.error.empty()) << resumed.error;
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.rounds_completed, ref.rounds_completed);
+
+  StateStore a(ref_dir), b(crash_dir);
+  EXPECT_EQ(slurp(a.state_path()), slurp(b.state_path()));
+  EXPECT_EQ(slurp(a.findings_path()), slurp(b.findings_path()));
+
+  fs::remove_all(ref_dir);
+  fs::remove_all(crash_dir);
+}
+
+TEST_F(EngineTest, EveryFingerprintIsReportedExactlyOnce) {
+  const std::string dir = fresh_dir("unique");
+  const auto report = CampaignEngine(make_config(dir, 2, 1)).run(fleet_);
+  ASSERT_TRUE(report.error.empty()) << report.error;
+
+  StateStore store(dir);
+  ASSERT_TRUE(store.load()) << store.error();
+  std::set<std::string> seen;
+  for (const auto& f : store.findings) {
+    EXPECT_TRUE(seen.insert(f.fingerprint).second)
+        << "duplicate fingerprint " << f.fingerprint;
+  }
+  EXPECT_EQ(seen.size(), report.total_findings);
+
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, ResumeRunsOnlyTheMissingRounds) {
+  const std::string dir = fresh_dir("extend");
+  const auto first = CampaignEngine(make_config(dir, 1, 1)).run(fleet_);
+  ASSERT_TRUE(first.error.empty()) << first.error;
+  EXPECT_EQ(first.rounds_completed, 2u);  // bootstrap + 1 mutation round
+
+  // Same signature (rounds are excluded from it): extends by one round.
+  const auto second = CampaignEngine(make_config(dir, 2, 1)).run(fleet_);
+  ASSERT_TRUE(second.error.empty()) << second.error;
+  EXPECT_TRUE(second.resumed);
+  ASSERT_EQ(second.rounds.size(), 1u);
+  EXPECT_EQ(second.rounds[0].round, 2u);
+  EXPECT_EQ(second.rounds_completed, 3u);
+
+  const auto status = CampaignEngine::status(dir);
+  EXPECT_EQ(status.rounds_completed, 3u);
+  EXPECT_EQ(status.total_findings, second.total_findings);
+
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, ConfigSignatureMismatchRefusesToTouchState) {
+  const std::string dir = fresh_dir("sig");
+  const auto first = CampaignEngine(make_config(dir, 1, 1)).run(fleet_);
+  ASSERT_TRUE(first.error.empty()) << first.error;
+
+  auto other = make_config(dir, 1, 1);
+  other.budget_per_round = 99;  // budget is part of the signature
+  const auto rejected = CampaignEngine(other).run(fleet_);
+  EXPECT_FALSE(rejected.error.empty());
+
+  const auto status = CampaignEngine::status(dir);
+  EXPECT_EQ(status.rounds_completed, first.rounds_completed);
+  EXPECT_EQ(status.total_findings, first.total_findings);
+
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, PersistentFaultsQuarantineAndReplayOnResume) {
+  const std::string dir = fresh_dir("fault");
+
+  // Every model call faults, forever: round 0 must quarantine every case
+  // into the retry queue instead of filing findings or aborting.
+  net::FaultPlanConfig plan_config;
+  plan_config.rate = 1.0;
+  plan_config.max_faults_per_site = 0;  // persistent
+  plan_config.kinds = {net::FaultKind::kReset};
+  auto plan = std::make_shared<net::FaultPlan>(plan_config);
+  auto faulty = net::wrap_fleet_with_faults(fleet_, plan);
+
+  auto config = make_config(dir, 0, 1);
+  config.executor.retry.attempts = 1;  // no retries: quarantine fast
+  const auto broken = CampaignEngine(config).run(faulty);
+  ASSERT_TRUE(broken.error.empty()) << broken.error;
+  ASSERT_EQ(broken.rounds.size(), 1u);
+  EXPECT_EQ(broken.rounds[0].quarantined, config.bootstrap.size());
+  EXPECT_EQ(broken.total_findings, 0u);
+  EXPECT_EQ(broken.retry_depth, config.bootstrap.size());
+
+  // Fleet health is not part of the signature: resuming against the healthy
+  // fleet replays the quarantined cases first and recovers their findings.
+  auto healthy_config = make_config(dir, 1, 1);
+  healthy_config.executor.retry.attempts = 1;
+  const auto recovered = CampaignEngine(healthy_config).run(fleet_);
+  ASSERT_TRUE(recovered.error.empty()) << recovered.error;
+  EXPECT_TRUE(recovered.resumed);
+  ASSERT_FALSE(recovered.rounds.empty());
+  EXPECT_EQ(recovered.rounds[0].replayed, config.bootstrap.size());
+  EXPECT_GT(recovered.total_findings, 0u);
+  EXPECT_EQ(recovered.retry_depth, 0u);
+
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, ReportJsonCarriesTheCampaignBlock) {
+  const std::string dir = fresh_dir("json");
+  const auto report = CampaignEngine(make_config(dir, 1, 1)).run(fleet_);
+  ASSERT_TRUE(report.error.empty()) << report.error;
+
+  const std::string json = campaign_report_json(report);
+  EXPECT_NE(json.find("\"campaign\""), std::string::npos);
+  EXPECT_NE(json.find("\"rounds_completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"dedup_ratio\""), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hdiff::campaign

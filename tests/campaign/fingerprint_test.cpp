@@ -1,0 +1,139 @@
+// Finding fingerprints: per-detector signature extraction must be a pure
+// function of the structural divergence facts (never of uuids, details, or
+// discovery order), and the fingerprint key must change with provenance.
+#include "campaign/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/detect.h"
+#include "core/testcase.h"
+
+namespace hdiff::campaign {
+namespace {
+
+core::PairFinding pair(std::string front, std::string back,
+                       core::AttackClass attack, std::string uuid = "u") {
+  core::PairFinding p;
+  p.front = std::move(front);
+  p.back = std::move(back);
+  p.attack = attack;
+  p.uuid = std::move(uuid);
+  p.detail = "detail for " + p.uuid;
+  return p;
+}
+
+core::SrViolation violation(std::string impl, std::string sr_id,
+                            std::string uuid = "u") {
+  core::SrViolation v;
+  v.impl = std::move(impl);
+  v.sr_id = std::move(sr_id);
+  v.uuid = std::move(uuid);
+  v.detail = "detail for " + v.uuid;
+  return v;
+}
+
+TEST(FingerprintTest, EmptyDeltaHasNoSignatures) {
+  EXPECT_TRUE(signatures_of(core::DetectionResult{}).empty());
+}
+
+TEST(FingerprintTest, CanonicalJoinsDetectorAndSortedComponents) {
+  Signature sig;
+  sig.detector = "HRS";
+  sig.vector = {"ats->tomcat", "squid->iis"};
+  EXPECT_EQ(sig.canonical(), "HRS:ats->tomcat,squid->iis");
+}
+
+TEST(FingerprintTest, ComponentsAreSortedAndDeduped) {
+  core::DetectionResult delta;
+  delta.pairs.push_back(pair("squid", "iis", core::AttackClass::kHrs, "u1"));
+  delta.pairs.push_back(pair("ats", "tomcat", core::AttackClass::kHrs, "u2"));
+  // Same structural pair rediscovered under another uuid: must collapse.
+  delta.pairs.push_back(pair("squid", "iis", core::AttackClass::kHrs, "u3"));
+
+  const auto sigs = signatures_of(delta);
+  ASSERT_EQ(sigs.size(), 1u);
+  EXPECT_EQ(sigs[0].detector, "HRS");
+  ASSERT_EQ(sigs[0].vector.size(), 2u);
+  EXPECT_EQ(sigs[0].vector[0], "ats->tomcat");
+  EXPECT_EQ(sigs[0].vector[1], "squid->iis");
+}
+
+TEST(FingerprintTest, OneSignaturePerDetectorClass) {
+  core::DetectionResult delta;
+  delta.pairs.push_back(pair("squid", "iis", core::AttackClass::kHrs));
+  delta.pairs.push_back(pair("ats", "nginx", core::AttackClass::kHot));
+  delta.violations.push_back(violation("tomcat", "SR-12"));
+  delta.discrepancies.inputs_with_discrepancy = 1;
+  delta.discrepancies.status_disagreements = 2;
+
+  const auto sigs = signatures_of(delta);
+  std::vector<std::string> detectors;
+  for (const auto& s : sigs) detectors.push_back(s.detector);
+  std::sort(detectors.begin(), detectors.end());
+  EXPECT_EQ(detectors, (std::vector<std::string>{"HRS", "HoT", "discrepancy",
+                                                 "sr-violation"}));
+}
+
+TEST(FingerprintTest, SignaturesIgnoreUuidAndDetail) {
+  core::DetectionResult a;
+  a.pairs.push_back(pair("squid", "iis", core::AttackClass::kCpdos, "case-1"));
+  a.violations.push_back(violation("nginx", "SR-7", "case-1"));
+
+  core::DetectionResult b;
+  b.pairs.push_back(pair("squid", "iis", core::AttackClass::kCpdos, "case-2"));
+  b.violations.push_back(violation("nginx", "SR-7", "case-2"));
+
+  const auto sa = signatures_of(a);
+  const auto sb = signatures_of(b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].canonical(), sb[i].canonical());
+    EXPECT_EQ(fingerprint(sa[i], "seed:x"), fingerprint(sb[i], "seed:x"));
+  }
+}
+
+TEST(FingerprintTest, DiscrepancyVectorEncodesWhichCountersFired) {
+  core::DetectionResult delta;
+  delta.discrepancies.inputs_with_discrepancy = 1;
+  delta.discrepancies.host_disagreements = 1;
+  delta.discrepancies.body_disagreements = 3;
+
+  const auto sigs = signatures_of(delta);
+  ASSERT_EQ(sigs.size(), 1u);
+  EXPECT_EQ(sigs[0].detector, "discrepancy");
+  EXPECT_EQ(sigs[0].vector, (std::vector<std::string>{"body", "host"}));
+}
+
+TEST(FingerprintTest, ProvenanceIsPartOfTheKey) {
+  Signature sig;
+  sig.detector = "HRS";
+  sig.vector = {"squid->iis"};
+  EXPECT_NE(fingerprint(sig, "seed:get"),
+            fingerprint(sig, "mutant:abc:duplicate-header"));
+  EXPECT_EQ(fingerprint(sig, "seed:get"), fingerprint(sig, "seed:get"));
+}
+
+TEST(FingerprintTest, FingerprintIsSixteenLowercaseHexDigits) {
+  Signature sig;
+  sig.detector = "HoT";
+  sig.vector = {"ats->nginx"};
+  const std::string fp = fingerprint(sig, "seed:absolute");
+  ASSERT_EQ(fp.size(), 16u);
+  for (char c : fp) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)) ||
+                (c >= 'a' && c <= 'f'))
+        << fp;
+  }
+}
+
+TEST(FingerprintTest, Hex64MatchesFnv1a64Basis) {
+  // FNV-1a64 of the empty string is the offset basis.
+  EXPECT_EQ(hex64(""), "cbf29ce484222325");
+  EXPECT_NE(hex64("a"), hex64("b"));
+}
+
+}  // namespace
+}  // namespace hdiff::campaign

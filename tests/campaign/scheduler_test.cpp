@@ -1,0 +1,101 @@
+// Divergence-feedback scheduling: the allocation must be a pure function
+// of the persisted arm statistics — exact budget conservation, capacity
+// caps, spill redistribution, and yield-proportional shares with
+// deterministic tie-breaks.
+#include "campaign/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace hdiff::campaign {
+namespace {
+
+std::size_t sum(const std::vector<std::size_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::size_t{0});
+}
+
+TEST(SchedulerTest, UntriedArmGetsFullWeight) {
+  EXPECT_EQ(arm_weight(ArmView{0, 0, 10}), std::size_t{1} << 16);
+}
+
+TEST(SchedulerTest, WeightDecaysWithBarrenAttempts) {
+  const std::size_t fresh = arm_weight(ArmView{0, 0, 10});
+  const std::size_t hammered = arm_weight(ArmView{15, 0, 10});
+  EXPECT_LT(hammered, fresh);
+  EXPECT_GT(hammered, 0u);  // every arm stays live
+}
+
+TEST(SchedulerTest, WeightGrowsWithNovelYield) {
+  EXPECT_GT(arm_weight(ArmView{10, 5, 10}), arm_weight(ArmView{10, 0, 10}));
+}
+
+TEST(SchedulerTest, AllocationSumsToMinOfBudgetAndCapacity) {
+  const std::vector<ArmView> arms = {{0, 0, 4}, {3, 1, 4}, {9, 0, 4}};
+  // Budget below capacity: everything spent.
+  EXPECT_EQ(sum(allocate_budget(7, arms)), 7u);
+  // Budget above capacity: saturates at 12.
+  EXPECT_EQ(sum(allocate_budget(100, arms)), 12u);
+  // Zero budget: nothing.
+  EXPECT_EQ(sum(allocate_budget(0, arms)), 0u);
+}
+
+TEST(SchedulerTest, CapacityIsAHardCap) {
+  const std::vector<ArmView> arms = {{0, 0, 2}, {0, 0, 3}, {0, 0, 1}};
+  const auto alloc = allocate_budget(50, arms);
+  ASSERT_EQ(alloc.size(), arms.size());
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    EXPECT_LE(alloc[i], arms[i].capacity);
+  }
+  EXPECT_EQ(sum(alloc), 6u);
+}
+
+TEST(SchedulerTest, ZeroCapacityArmsGetNothing) {
+  const std::vector<ArmView> arms = {{0, 0, 0}, {0, 0, 8}, {0, 0, 0}};
+  const auto alloc = allocate_budget(8, arms);
+  EXPECT_EQ(alloc[0], 0u);
+  EXPECT_EQ(alloc[1], 8u);
+  EXPECT_EQ(alloc[2], 0u);
+}
+
+TEST(SchedulerTest, YieldingArmOutranksBarrenArm) {
+  // Same attempts, very different yield, ample capacity.
+  const std::vector<ArmView> arms = {{10, 8, 100}, {10, 0, 100}};
+  const auto alloc = allocate_budget(10, arms);
+  EXPECT_GT(alloc[0], alloc[1]);
+}
+
+TEST(SchedulerTest, SpillFromCappedArmIsRedistributed) {
+  // The high-yield arm would deserve nearly everything but can only take 1;
+  // the rest must land on the other arms, not evaporate.
+  const std::vector<ArmView> arms = {{1, 50, 1}, {20, 0, 10}, {20, 0, 10}};
+  const auto alloc = allocate_budget(9, arms);
+  EXPECT_EQ(alloc[0], 1u);
+  EXPECT_EQ(sum(alloc), 9u);
+}
+
+TEST(SchedulerTest, DeterministicAcrossCalls) {
+  const std::vector<ArmView> arms = {{3, 1, 5}, {0, 0, 7}, {12, 2, 4},
+                                     {1, 0, 9}, {6, 6, 2}};
+  const auto first = allocate_budget(17, arms);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(allocate_budget(17, arms), first);
+  }
+}
+
+TEST(SchedulerTest, TiesBreakTowardLowerIndex) {
+  // Four identical arms, budget not divisible: the odd unit must go to the
+  // earliest arm, deterministically.
+  const std::vector<ArmView> arms(4, ArmView{0, 0, 10});
+  const auto alloc = allocate_budget(5, arms);
+  EXPECT_EQ(alloc, (std::vector<std::size_t>{2, 1, 1, 1}));
+}
+
+TEST(SchedulerTest, EmptyArmListSpendsNothing) {
+  EXPECT_TRUE(allocate_budget(10, {}).empty());
+}
+
+}  // namespace
+}  // namespace hdiff::campaign

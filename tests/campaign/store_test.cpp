@@ -1,0 +1,253 @@
+// Persistent campaign state: spec text format round-trips byte-exotic
+// specs, content addressing keys on the serialized form (not the wire
+// concatenation), and the StateStore survives a commit/load cycle with the
+// findings artifact healed back to the committed round.
+#include "campaign/store.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/fingerprint.h"
+
+namespace hdiff::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("hdiff-store-test-" + std::to_string(::getpid()) +
+                        "-" + tag + "-" + std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+http::RequestSpec exotic_spec() {
+  http::RequestSpec spec;
+  spec.method = "PO ST";  // space inside a field must survive hex encoding
+  spec.target = "/p?q=\x01\x7f";
+  spec.version = "HTTP/1.1";
+  spec.sep1 = "\t";
+  spec.sep2 = "  ";
+  spec.line_terminator = "\n";
+  spec.headers_terminator = "\r\n";
+  http::HeaderSpec h;
+  h.name = "X-Bin";
+  h.value = std::string("a\0b", 3);  // embedded NUL
+  h.separator = " :\t";
+  h.terminator = "\r\r\n";
+  spec.headers.push_back(h);
+  spec.add("Host", "origin.example");
+  spec.body = std::string("len\0gth\xff", 8);
+  return spec;
+}
+
+TEST(StoreTest, SerializeRoundTripsExoticBytes) {
+  const http::RequestSpec spec = exotic_spec();
+  http::RequestSpec back;
+  ASSERT_TRUE(deserialize_spec(serialize_spec(spec), &back));
+  EXPECT_EQ(back, spec);
+}
+
+TEST(StoreTest, SerializeRoundTripsEmptyFields) {
+  http::RequestSpec spec;  // canonical GET /, no headers, no body
+  spec.version = "";       // 0.9-style: empty version field
+  http::RequestSpec back;
+  ASSERT_TRUE(deserialize_spec(serialize_spec(spec), &back));
+  EXPECT_EQ(back, spec);
+}
+
+TEST(StoreTest, DeserializeRejectsGarbage) {
+  http::RequestSpec out;
+  EXPECT_FALSE(deserialize_spec("", &out));
+  EXPECT_FALSE(deserialize_spec("not-a-spec\n", &out));
+}
+
+TEST(StoreTest, ContentAddressSeparatesWireCollisions) {
+  // Both specs concatenate to the identical wire bytes "GET / HTTP/1.1\r\n"
+  // "X: a\r\nHost: h\r\n\r\n" — only the value/terminator split differs.
+  http::RequestSpec a;
+  a.add("X", "a");
+  a.add("Host", "h");
+
+  http::RequestSpec b = a;
+  b.headers[0].value = "a\r";
+  b.headers[0].terminator = "\n";
+
+  ASSERT_EQ(a.to_wire(), b.to_wire());
+  EXPECT_NE(content_address(a), content_address(b));
+}
+
+TEST(StoreTest, ContentAddressIsStableAndHex) {
+  const http::RequestSpec spec = exotic_spec();
+  const std::string addr = content_address(spec);
+  EXPECT_EQ(addr.size(), 16u);
+  EXPECT_EQ(addr, content_address(spec));
+  EXPECT_EQ(addr, hex64(serialize_spec(spec)));
+}
+
+TEST(StoreTest, AddEntryIsIdempotentByHash) {
+  StateStore store(fresh_dir("idem"));
+  ASSERT_TRUE(store.init("sig"));
+
+  CorpusEntry entry;
+  entry.spec = exotic_spec();
+  entry.hash = content_address(entry.spec);
+  entry.provenance = "seed:exotic";
+
+  const std::size_t first = store.add_entry(entry);
+  const std::size_t again = store.add_entry(entry);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(store.entries.size(), 1u);
+  EXPECT_TRUE(store.has_entry(entry.hash));
+  EXPECT_TRUE(fs::exists(store.corpus_path(entry.hash)));
+}
+
+TEST(StoreTest, CommitLoadRoundTripsEveryField) {
+  const std::string dir = fresh_dir("roundtrip");
+  StateStore store(dir);
+  ASSERT_TRUE(store.init("cfg-sig-1"));
+
+  CorpusEntry entry;
+  entry.spec = exotic_spec();
+  entry.hash = content_address(entry.spec);
+  entry.provenance = "seed:exotic";
+  store.add_entry(entry);
+
+  store.arms[{0, "duplicate-header"}] = ArmStats{5, 2, 3};
+  store.arms[{0, "unicode-in-value"}] = ArmStats{1, 0, 1};
+
+  RetryEntry retry;
+  retry.provenance = "seed:get";
+  retry.raw = "GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+  retry.spec_text = serialize_spec(entry.spec);
+  retry.description = "faulted twice";
+  store.retry_queue.push_back(retry);
+
+  Finding f;
+  f.round = 0;
+  f.fingerprint = "0123456789abcdef";
+  f.detector = "HRS";
+  f.vector = {"squid->iis", "ats->tomcat"};
+  f.provenance = "seed:exotic";
+  f.case_uuid = "camp-r0-1";
+  f.description = "desc with \"quotes\" and \x01 bytes";
+  store.add_finding(f);
+
+  ASSERT_TRUE(store.commit_round(0)) << store.error();
+
+  StateStore loaded(dir);
+  ASSERT_TRUE(loaded.exists());
+  ASSERT_TRUE(loaded.load()) << loaded.error();
+  EXPECT_EQ(loaded.config_sig, "cfg-sig-1");
+  EXPECT_EQ(loaded.rounds_completed, 1u);
+  ASSERT_EQ(loaded.entries.size(), 1u);
+  EXPECT_EQ(loaded.entries[0].hash, entry.hash);
+  EXPECT_EQ(loaded.entries[0].provenance, entry.provenance);
+  EXPECT_EQ(loaded.entries[0].spec, entry.spec);
+
+  ASSERT_EQ(loaded.arms.size(), 2u);
+  const auto& arm = loaded.arms.at({0, "duplicate-header"});
+  EXPECT_EQ(arm.attempts, 5u);
+  EXPECT_EQ(arm.novel, 2u);
+  EXPECT_EQ(arm.cursor, 3u);
+
+  ASSERT_EQ(loaded.retry_queue.size(), 1u);
+  EXPECT_EQ(loaded.retry_queue[0].provenance, retry.provenance);
+  EXPECT_EQ(loaded.retry_queue[0].raw, retry.raw);
+  EXPECT_EQ(loaded.retry_queue[0].spec_text, retry.spec_text);
+  EXPECT_EQ(loaded.retry_queue[0].description, retry.description);
+
+  ASSERT_EQ(loaded.findings.size(), 1u);
+  EXPECT_EQ(loaded.findings[0].fingerprint, f.fingerprint);
+  EXPECT_EQ(loaded.findings[0].vector, f.vector);
+  EXPECT_EQ(loaded.findings[0].description, f.description);
+  EXPECT_TRUE(loaded.known_fingerprint(f.fingerprint));
+
+  // Re-committing the loaded image must reproduce the state bytes exactly
+  // (this is what makes resume byte-identical).
+  const std::string before = slurp(loaded.state_path());
+  ASSERT_TRUE(loaded.commit_round(0));
+  EXPECT_EQ(slurp(loaded.state_path()), before);
+
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, LoadTruncatesUncommittedFindingLines) {
+  const std::string dir = fresh_dir("truncate");
+  StateStore store(dir);
+  ASSERT_TRUE(store.init("sig"));
+
+  Finding f;
+  f.round = 0;
+  f.fingerprint = "00000000000000aa";
+  f.detector = "HoT";
+  f.vector = {"ats->nginx"};
+  f.provenance = "seed:absolute";
+  f.case_uuid = "camp-r0-0";
+  f.description = "committed";
+  store.add_finding(f);
+  ASSERT_TRUE(store.commit_round(0));
+
+  // Simulate the crash window: a round-1 finding line was appended but the
+  // checkpoint rename never happened.
+  {
+    std::ofstream out(store.findings_path(), std::ios::app | std::ios::binary);
+    Finding orphan = f;
+    orphan.round = 1;
+    orphan.fingerprint = "00000000000000bb";
+    orphan.description = "uncommitted-orphan";
+    out << finding_jsonl(orphan) << "\n";
+  }
+  ASSERT_NE(slurp(store.findings_path()).find("uncommitted-orphan"),
+            std::string::npos);
+
+  StateStore loaded(dir);
+  ASSERT_TRUE(loaded.load()) << loaded.error();
+  const std::string healed = slurp(loaded.findings_path());
+  EXPECT_EQ(healed.find("uncommitted-orphan"), std::string::npos);
+  EXPECT_NE(healed.find("committed"), std::string::npos);
+  ASSERT_EQ(loaded.findings.size(), 1u);
+
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, FindingJsonlIsOneRoundTaggedLine) {
+  Finding f;
+  f.round = 7;
+  f.fingerprint = "deadbeefdeadbeef";
+  f.detector = "CPDoS";
+  f.vector = {"squid->iis"};
+  f.provenance = "mutant:abc:space-before-colon";
+  f.case_uuid = "camp-r7-3";
+  f.description = "cacheable error split";
+
+  const std::string line = finding_jsonl(f);
+  EXPECT_EQ(line.find("{\"round\":7,"), 0u);  // round first, cheap truncation
+  EXPECT_NE(line.find("\"fingerprint\":\"deadbeefdeadbeef\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"detector\":\"CPDoS\""), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(StoreTest, FreshDirDoesNotExist) {
+  StateStore store(fresh_dir("missing"));
+  EXPECT_FALSE(store.exists());
+  EXPECT_FALSE(store.load());
+}
+
+}  // namespace
+}  // namespace hdiff::campaign

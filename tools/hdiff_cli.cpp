@@ -32,6 +32,23 @@
 //                                      branches), SR rule-base consistency,
 //                                      and mutation-operator coverage; exit
 //                                      0 clean, 3 warnings, 4 errors
+//   hdiff campaign run|resume|status|minimize --state-dir DIR
+//                  [--rounds N] [--budget N] [--jobs N] [--json FILE]
+//                  [--mini] [--no-minimize]
+//                                      persistent differential-fuzzing
+//                                      campaign (src/campaign): round 0
+//                                      executes the one-shot corpus, later
+//                                      rounds fire scheduler-allocated
+//                                      mutants, novel divergence signatures
+//                                      become deduplicated findings, and
+//                                      every round ends in a crash-safe
+//                                      checkpoint under --state-dir
+//   hdiff selftest --campaign          campaign self-test: mini campaign
+//                                      into a temp state dir; asserts the
+//                                      findings are a superset of a one-shot
+//                                      run, every fingerprint is unique, and
+//                                      a kill-and-resume run reproduces the
+//                                      uninterrupted state byte-identically
 //   hdiff audit FRONT BACK             audit one proxy/origin combination
 //   hdiff parse IMPL                   parse one raw request from stdin
 //                                      under IMPL's model and show HMetrics
@@ -45,7 +62,13 @@
 #include <set>
 #include <sstream>
 
+#include <filesystem>
+#include <unistd.h>
+
 #include "analysis/lint.h"
+#include "campaign/engine.h"
+#include "campaign/fingerprint.h"
+#include "campaign/store.h"
 #include "core/export.h"
 #include "core/hmetrics.h"
 #include "corpus/registry.h"
@@ -89,6 +112,16 @@ int usage() {
       "                               grammar, the SR rule base, and the\n"
       "                               mutation operators; exit 0 = clean,\n"
       "                               3 = unwaived warnings, 4 = errors\n"
+      "  selftest --campaign          campaign self-test: superset of the\n"
+      "                               one-shot findings, fingerprint dedup,\n"
+      "                               and byte-identical kill-and-resume\n"
+      "  campaign run|resume|status|minimize --state-dir DIR\n"
+      "           [--rounds N] [--budget N] [--jobs N] [--json FILE]\n"
+      "           [--mini] [--no-minimize]\n"
+      "                               persistent fuzzing campaign with\n"
+      "                               divergence-feedback scheduling,\n"
+      "                               finding dedup, delta-debug minimized\n"
+      "                               corpus growth and checkpoint/resume\n"
       "  audit FRONT BACK             audit one proxy/origin pair\n"
       "  parse IMPL                   parse stdin as IMPL (server model)\n");
   return 2;
@@ -528,13 +561,17 @@ int selftest_trace(hdiff::core::PipelineConfig config) {
   return 0;
 }
 
+int selftest_campaign(std::size_t jobs);  // defined with the campaign CLI
+
 int cmd_selftest(int argc, char** argv) {
   hdiff::net::FaultPlanConfig plan_config;
   plan_config.rate = 0.3;
   plan_config.max_faults_per_site = 1;
   bool trace_mode = false;
+  bool campaign_mode = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_mode = true;
+    if (std::strcmp(argv[i], "--campaign") == 0) campaign_mode = true;
   }
   hdiff::core::PipelineConfig config;
   // A case can touch many distinct victim sites (one per model leg), so the
@@ -562,6 +599,7 @@ int cmd_selftest(int argc, char** argv) {
     }
   }
 
+  if (campaign_mode) return selftest_campaign(config.executor.jobs);
   if (trace_mode) return selftest_trace(std::move(config));
 
   hdiff::core::Pipeline pipeline(config);
@@ -688,6 +726,290 @@ int cmd_lint(int argc, char** argv) {
   return hdiff::analysis::lint_exit_code(result);
 }
 
+// ---- campaign: persistent differential-fuzzing engine (src/campaign) -----
+
+/// The exact case list a one-shot `hdiff run` executes (probes + SR cases +
+/// budget-capped ABNF cases).  Running the pipeline against an empty fleet
+/// performs only the generation stages — the differential stage iterates
+/// zero models — so this stays bit-for-bit what `Pipeline::run` assembles.
+std::vector<hdiff::core::TestCase> one_shot_corpus() {
+  hdiff::core::Pipeline pipeline;
+  std::vector<std::unique_ptr<hdiff::impls::HttpImplementation>> empty;
+  return std::move(pipeline.run(empty).executed_cases);
+}
+
+void print_campaign_report(const hdiff::campaign::CampaignReport& report) {
+  if (!report.rounds.empty()) {
+    hdiff::report::Table t({"round", "cases", "replayed", "novel", "dup",
+                            "quarantined", "new-entries", "min-steps"});
+    for (const auto& rr : report.rounds) {
+      t.add_row({std::to_string(rr.round), std::to_string(rr.cases),
+                 std::to_string(rr.replayed), std::to_string(rr.novel),
+                 std::to_string(rr.duplicate), std::to_string(rr.quarantined),
+                 std::to_string(rr.new_entries),
+                 std::to_string(rr.minimize_steps)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  std::printf(
+      "campaign: %zu round(s) committed, %zu finding(s), %zu corpus "
+      "entr%s, retry queue %zu%s%s\n",
+      report.rounds_completed, report.total_findings, report.corpus_entries,
+      report.corpus_entries == 1 ? "y" : "ies", report.retry_depth,
+      report.resumed ? " (resumed)" : "",
+      report.interrupted ? " (interrupted)" : "");
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string_view sub = argv[2];
+  std::string state_dir, json_path;
+  hdiff::campaign::CampaignConfig config;
+  bool mini = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mini") == 0) {
+      mini = true;
+    } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+      config.minimize_new = false;
+    } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
+      state_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--rounds wants a positive integer, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.rounds = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--budget wants a positive integer, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.budget_per_round = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--jobs wants a positive integer, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.executor.jobs = static_cast<std::size_t>(n);
+    } else {
+      std::fprintf(stderr, "unknown campaign option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (state_dir.empty()) {
+    std::fprintf(stderr, "campaign %s requires --state-dir DIR\n",
+                 std::string(sub).c_str());
+    return 2;
+  }
+
+  if (sub == "status") {
+    auto report = hdiff::campaign::CampaignEngine::status(state_dir);
+    if (!report.error.empty()) {
+      std::fprintf(stderr, "%s\n", report.error.c_str());
+      return 1;
+    }
+    print_campaign_report(report);
+    if (!json_path.empty() &&
+        !write_file(json_path, hdiff::campaign::campaign_report_json(report))) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  auto fleet = hdiff::impls::make_all_implementations();
+  if (sub == "minimize") {
+    auto report =
+        hdiff::campaign::CampaignEngine::minimize_corpus(state_dir, fleet);
+    if (!report.error.empty()) {
+      std::fprintf(stderr, "%s\n", report.error.c_str());
+      return 1;
+    }
+    std::printf(
+        "minimize: %zu mutant entr%s checked in %zu oracle step(s), %zu "
+        "shrinkable (0 = corpus is at its fixed point)\n",
+        report.entries, report.entries == 1 ? "y" : "ies", report.steps,
+        report.shrunk);
+    return report.shrunk == 0 ? 0 : 3;
+  }
+  if (sub != "run" && sub != "resume") return usage();
+  if (sub == "resume" &&
+      !hdiff::campaign::StateStore(state_dir).exists()) {
+    std::fprintf(stderr, "campaign resume: no state at %s\n",
+                 state_dir.c_str());
+    return 1;
+  }
+
+  config.state_dir = state_dir;
+  config.bootstrap =
+      mini ? hdiff::core::verification_probes() : one_shot_corpus();
+  hdiff::campaign::CampaignEngine engine(std::move(config));
+  auto report = engine.run(fleet);
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "%s\n", report.error.c_str());
+    return 1;
+  }
+  print_campaign_report(report);
+  if (!json_path.empty() &&
+      !write_file(json_path, hdiff::campaign::campaign_report_json(report))) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// `selftest --campaign`: the acceptance proof for the campaign engine.
+/// Runs a 2-round mini campaign (probe bootstrap) twice — once
+/// uninterrupted, once killed in the worst crash window (findings appended,
+/// checkpoint not yet renamed) and resumed — and asserts:
+///   1. the campaign's findings are a superset of the one-shot findings;
+///   2. every fingerprint appears exactly once in the findings DB;
+///   3. state and findings files of the resumed run are byte-identical to
+///      the uninterrupted run's.
+int selftest_campaign(std::size_t jobs) {
+  namespace fs = std::filesystem;
+  namespace camp = hdiff::campaign;
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("hdiff-selftest-campaign-" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  auto base_config = [&](const std::string& leaf) {
+    camp::CampaignConfig config;
+    config.state_dir = (root / leaf).string();
+    config.rounds = 2;
+    config.budget_per_round = 24;
+    config.minimize.max_steps = 128;
+    config.executor.jobs = jobs == 0 ? 1 : jobs;
+    config.bootstrap = hdiff::core::verification_probes();
+    return config;
+  };
+  auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  auto fleet = hdiff::impls::make_all_implementations();
+  std::printf("uninterrupted 2-round mini campaign...\n");
+  camp::CampaignEngine uninterrupted(base_config("uninterrupted"));
+  camp::CampaignReport ref = uninterrupted.run(fleet);
+  if (!ref.error.empty()) {
+    std::printf("selftest FAILED: %s\n", ref.error.c_str());
+    return 1;
+  }
+  print_campaign_report(ref);
+
+  camp::StateStore ref_store(base_config("uninterrupted").state_dir);
+  if (!ref_store.load()) {
+    std::printf("selftest FAILED: %s\n", ref_store.error().c_str());
+    return 1;
+  }
+
+  // 1. Superset of the one-shot findings.  Round 0 executed the exact
+  // one-shot case list; its accumulated DetectionResult IS the one-shot
+  // result.  Rebuild pair/violation keys from the findings DB's normalized
+  // vectors and check every one-shot key is present.
+  std::set<std::string> campaign_pairs, campaign_violations;
+  std::set<std::string> fingerprints;
+  for (const auto& f : ref_store.findings) {
+    fingerprints.insert(f.fingerprint);
+    for (const auto& component : f.vector) {
+      const std::size_t arrow = component.find("->");
+      if (f.detector == "sr-violation") {
+        campaign_violations.insert(component);
+      } else if (arrow != std::string::npos) {
+        campaign_pairs.insert(component.substr(0, arrow) + "|" +
+                              component.substr(arrow + 2) + "|" + f.detector);
+      }
+    }
+  }
+  std::size_t missing = 0;
+  for (const auto& key : pair_keys(ref.bootstrap_findings)) {
+    if (!campaign_pairs.count(key)) {
+      std::printf("selftest FAILED: one-shot pair %s missing\n", key.c_str());
+      ++missing;
+    }
+  }
+  for (const auto& key : violation_keys(ref.bootstrap_findings)) {
+    if (!campaign_violations.count(key)) {
+      std::printf("selftest FAILED: one-shot violation %s missing\n",
+                  key.c_str());
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+  std::printf("superset check: %zu one-shot pair(s) + %zu violation(s) all "
+              "present in the findings DB\n",
+              pair_keys(ref.bootstrap_findings).size(),
+              violation_keys(ref.bootstrap_findings).size());
+
+  // 2. Each fingerprint reported exactly once.
+  if (fingerprints.size() != ref_store.findings.size()) {
+    std::printf("selftest FAILED: %zu findings but %zu distinct "
+                "fingerprints\n",
+                ref_store.findings.size(), fingerprints.size());
+    return 1;
+  }
+  std::printf("dedup check: %zu finding(s), all fingerprints unique\n",
+              ref_store.findings.size());
+
+  // 3. Kill in the worst window (findings appended, checkpoint not yet
+  // renamed) and resume; state and findings bytes must match the
+  // uninterrupted run exactly.
+  std::printf("crashed run (kill after round 1's findings append)...\n");
+  camp::CampaignConfig crash_config = base_config("resumed");
+  crash_config.crash_after_round = 1;
+  camp::CampaignEngine crashed(std::move(crash_config));
+  camp::CampaignReport crash_report = crashed.run(fleet);
+  if (!crash_report.error.empty() || !crash_report.interrupted) {
+    std::printf("selftest FAILED: crash hook did not fire (%s)\n",
+                crash_report.error.c_str());
+    return 1;
+  }
+  std::printf("resuming...\n");
+  camp::CampaignEngine resumed(base_config("resumed"));
+  camp::CampaignReport resume_report = resumed.run(fleet);
+  if (!resume_report.error.empty() || !resume_report.resumed) {
+    std::printf("selftest FAILED: resume failed (%s)\n",
+                resume_report.error.c_str());
+    return 1;
+  }
+
+  const camp::StateStore res_store(base_config("resumed").state_dir);
+  int rc = 0;
+  if (read_bytes(ref_store.state_path()) !=
+      read_bytes(res_store.state_path())) {
+    std::printf("selftest FAILED: campaign.state differs after resume\n");
+    rc = 1;
+  }
+  if (read_bytes(ref_store.findings_path()) !=
+      read_bytes(res_store.findings_path())) {
+    std::printf("selftest FAILED: findings.jsonl differs after resume\n");
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf(
+        "selftest PASSED: resumed state and findings byte-identical to the "
+        "uninterrupted run (%zu finding(s), %zu corpus entr%s)\n",
+        ref.total_findings, ref.corpus_entries,
+        ref.corpus_entries == 1 ? "y" : "ies");
+    fs::remove_all(root, ec);
+  }
+  return rc;
+}
+
 int cmd_audit(int argc, char** argv) {
   if (argc < 4) return usage();
   auto front = hdiff::impls::make_implementation(argv[2]);
@@ -754,6 +1076,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "selftest") return cmd_selftest(argc, argv);
   if (cmd == "lint") return cmd_lint(argc, argv);
+  if (cmd == "campaign") return cmd_campaign(argc, argv);
   if (cmd == "audit") return cmd_audit(argc, argv);
   if (cmd == "parse") return cmd_parse(argc, argv);
   return usage();
