@@ -9,8 +9,9 @@ namespace hdiff::http {
 
 namespace {
 
+/// One framing line as a view into the scanned input.
 struct LineRead {
-  std::string text;
+  std::string_view text;
   std::size_t next = 0;   // offset after terminator
   bool found = false;     // a terminator was found
   bool bare_lf = false;
@@ -21,7 +22,7 @@ LineRead read_line(std::string_view in, std::size_t pos) {
   std::size_t i = pos;
   while (i < in.size() && in[i] != '\n') ++i;
   if (i >= in.size()) {
-    out.text.assign(in.substr(pos));
+    out.text = in.substr(pos);
     out.next = in.size();
     return out;
   }
@@ -31,7 +32,7 @@ LineRead read_line(std::string_view in, std::size_t pos) {
   } else {
     out.bare_lf = true;
   }
-  out.text.assign(in.substr(pos, end - pos));
+  out.text = in.substr(pos, end - pos);
   out.next = i + 1;
   out.found = true;
   return out;
@@ -44,24 +45,42 @@ bool is_hex(char c) {
 
 }  // namespace
 
-ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
-  ChunkResult r;
+std::size_t ChunkScan::body_size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [offset, length] : data) n += length;
+  return n;
+}
+
+void ChunkScan::reset() noexcept {
+  ok = false;
+  incomplete = false;
+  size_overflowed = false;
+  saw_nul = false;
+  leftover_begin = std::string_view::npos;
+  error = {};
+  data.clear();
+  chunk_sizes.clear();
+}
+
+void scan_chunked(std::string_view in, const ChunkPolicy& policy,
+                  ChunkScan& r) {
+  r.reset();
   std::size_t pos = 0;
   while (true) {
     LineRead line = read_line(in, pos);
     if (!line.found) {
       r.incomplete = true;
       r.error = "input ended inside chunk-size line";
-      return r;
+      return;
     }
     if (line.bare_lf && !policy.allow_bare_lf) {
       r.error = "bare LF in chunk framing";
-      return r;
+      return;
     }
     pos = line.next;
 
     // Split size token from extension / garbage.
-    std::string_view size_line{line.text};
+    std::string_view size_line = line.text;
     std::string_view size_token = size_line;
     std::string_view tail;
     std::size_t semi = size_line.find(';');
@@ -79,11 +98,11 @@ ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
       while (digits < size_token.size() && is_hex(size_token[digits])) ++digits;
       if (digits == 0) {
         r.error = "chunk-size has no hex digits";
-        return r;
+        return;
       }
       if (digits < size_token.size() && !policy.lenient_size_line) {
         r.error = "garbage after chunk-size";
-        return r;
+        return;
       }
       unsigned wrap = policy.wrapping_size ? policy.wrap_bits : 64;
       size = parse_chunk_size_wrapping(size_token.substr(0, digits), wrap);
@@ -95,21 +114,21 @@ ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
       size = parse_chunk_size_strict(size_token);
       if (!size) {
         r.error = "invalid chunk-size";
-        return r;
+        return;
       }
       if (!tail.empty() && !policy.allow_extensions) {
         r.error = "chunk extension not allowed";
-        return r;
+        return;
       }
     }
     if (!size) {
       r.error = "invalid chunk-size";
-      return r;
+      return;
     }
     r.size_overflowed = r.size_overflowed || overflowed;
     if (*size > policy.max_chunk_size) {
       r.error = "chunk-size exceeds implementation limit";
-      return r;
+      return;
     }
     r.chunk_sizes.push_back(*size);
 
@@ -123,9 +142,11 @@ ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
       if (!data_line.found) {
         r.incomplete = true;
         r.error = "input ended inside repaired chunk-data";
-        return r;
+        return;
       }
-      r.body += data_line.text;
+      if (!data_line.text.empty()) {
+        r.data.emplace_back(pos, data_line.text.size());
+      }
       pos = data_line.next;
       continue;
     }
@@ -137,24 +158,24 @@ ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
         if (!trailer.found) {
           r.incomplete = true;
           r.error = "input ended inside trailer section";
-          return r;
+          return;
         }
         if (trailer.bare_lf && !policy.allow_bare_lf) {
           r.error = "bare LF in trailer";
-          return r;
+          return;
         }
         pos = trailer.next;
         if (trailer.text.empty()) break;
       }
       r.ok = true;
-      r.leftover.assign(in.substr(pos));
-      return r;
+      r.leftover_begin = pos;
+      return;
     }
 
     if (pos + *size > in.size()) {
       r.incomplete = true;
       r.error = "input ended inside chunk-data";
-      return r;
+      return;
     }
     std::string_view data = in.substr(pos, static_cast<std::size_t>(*size));
     std::size_t nul_at = data.find('\0');
@@ -162,17 +183,17 @@ ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
       r.saw_nul = true;
       if (policy.reject_nul_in_data) {
         r.error = "NUL byte in chunk-data";
-        return r;
+        return;
       }
       if (policy.nul_terminates_body) {
         r.ok = true;
-        r.body.append(data.substr(0, nul_at));
-        r.leftover.assign(in.substr(pos + nul_at + 1));
+        if (nul_at != 0) r.data.emplace_back(pos, nul_at);
+        r.leftover_begin = pos + nul_at + 1;
         r.error = "body terminated at NUL byte";
-        return r;
+        return;
       }
     }
-    r.body.append(data);
+    r.data.emplace_back(pos, data.size());
     pos += static_cast<std::size_t>(*size);
 
     // CRLF after chunk-data.
@@ -192,11 +213,11 @@ ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
       if (crlf_may_follow) {
         r.incomplete = true;
         r.error = "input ended before chunk-data CRLF";
-        return r;
+        return;
       }
       if (policy.require_crlf_after_data) {
         r.error = "chunk-data not followed by CRLF";
-        return r;
+        return;
       }
       // Resynchronize: scan for the next LF and continue from there.  This
       // models the repair behaviour of proxies that trust the size line only
@@ -205,11 +226,30 @@ ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
       if (lf == std::string_view::npos) {
         r.incomplete = true;
         r.error = "resync failed: no further LF";
-        return r;
+        return;
       }
       pos = lf + 1;
     }
   }
+}
+
+ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy) {
+  thread_local ChunkScan scan;
+  scan_chunked(in, policy, scan);
+
+  ChunkResult r;
+  r.ok = scan.ok;
+  r.incomplete = scan.incomplete;
+  r.size_overflowed = scan.size_overflowed;
+  r.saw_nul = scan.saw_nul;
+  r.error.assign(scan.error);
+  r.chunk_sizes = scan.chunk_sizes;
+  r.body.reserve(scan.body_size());
+  for (const auto& [offset, length] : scan.data) {
+    r.body.append(in.substr(offset, length));
+  }
+  if (scan.ok) r.leftover.assign(in.substr(scan.leftover_begin));
+  return r;
 }
 
 std::string encode_chunked(std::string_view body) {

@@ -56,6 +56,39 @@ struct ChunkResult {
 
 ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy);
 
+/// Allocation-free scan outcome: chunk-data is reported as (offset, length)
+/// ranges into the scanned input instead of a concatenated string, and the
+/// error is a view of a static literal.  `decode_chunked` is a materializing
+/// wrapper over `scan_chunked`; hot paths (response framing on views, the
+/// event-loop stream prober) consume the scan directly.  A reused ChunkScan
+/// re-scans with zero allocations once its vectors have warmed up.
+struct ChunkScan {
+  bool ok = false;
+  bool incomplete = false;
+  bool size_overflowed = false;
+  bool saw_nul = false;
+  /// Offset of the first byte after the terminating sequence; npos when the
+  /// scan did not complete a message (leftover undefined).
+  std::size_t leftover_begin = std::string_view::npos;
+  std::string_view error;  ///< static literal; empty on clean success
+  std::vector<std::pair<std::size_t, std::size_t>> data;  ///< body ranges
+  std::vector<std::uint64_t> chunk_sizes;  ///< as interpreted, in order
+
+  /// Total decoded body length across all ranges.
+  std::size_t body_size() const noexcept;
+
+  /// Forget the previous scan but keep vector capacity.
+  void reset() noexcept;
+};
+
+/// Scan `in` as a chunked body under `policy`, reusing `out`'s capacity.
+/// Field-for-field equivalent to decode_chunked (same flags, same error
+/// strings, same chunk_sizes); `out` borrows `in` only via offsets, so the
+/// result stays valid as long as the caller interprets the ranges against
+/// the same bytes.
+void scan_chunked(std::string_view in, const ChunkPolicy& policy,
+                  ChunkScan& out);
+
 /// Re-serialize a decoded body as a single well-formed chunked sequence
 /// ("<hex>\r\n<data>\r\n0\r\n\r\n"), as a repairing proxy would emit.
 std::string encode_chunked(std::string_view body);

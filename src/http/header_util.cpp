@@ -72,6 +72,10 @@ std::string_view trim_lenient_ws(std::string_view s) noexcept {
   return s.substr(b, e - b);
 }
 
+bool header_name_is(std::string_view raw_name, std::string_view key) noexcept {
+  return iequals(trim_lenient_ws(raw_name), key);
+}
+
 std::vector<std::string> split_list(std::string_view value) {
   std::vector<std::string> out;
   std::size_t start = 0;
@@ -83,6 +87,19 @@ std::vector<std::string> split_list(std::string_view value) {
     }
   }
   return out;
+}
+
+std::string_view last_list_item(std::string_view value) noexcept {
+  std::string_view last;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= value.size(); ++i) {
+    if (i == value.size() || value[i] == ',') {
+      std::string_view elem = trim_ows(value.substr(start, i - start));
+      if (!elem.empty()) last = elem;
+      start = i + 1;
+    }
+  }
+  return last;
 }
 
 std::optional<std::uint64_t> parse_content_length_strict(std::string_view v) {

@@ -42,9 +42,22 @@ std::string_view trim_ows(std::string_view s) noexcept;
 /// SP, HTAB, VT (0x0B), FF (0x0C), CR.
 std::string_view trim_lenient_ws(std::string_view s) noexcept;
 
+/// Case-insensitive header-name match after lenient-whitespace trimming of
+/// the wire name — the allocation-free equivalent of
+/// `RawHeader::normalized_name() == to_lower(key)`.  The key most lenient
+/// parsers actually use; every header lookup in message.h/response.h and
+/// the view layer (view.h) routes through this.
+bool header_name_is(std::string_view raw_name, std::string_view key) noexcept;
+
 /// Split a comma-separated list field value into OWS-trimmed elements.
 /// Empty elements are dropped, matching the `#rule` extension of RFC 7230.
 std::vector<std::string> split_list(std::string_view value);
+
+/// Last non-empty OWS-trimmed element of a comma-separated list value —
+/// what the Transfer-Encoding framing rule inspects — as a view into
+/// `value`.  Empty view when the list has no non-empty element.
+/// Allocation-free counterpart of `split_list(value).back()`.
+std::string_view last_list_item(std::string_view value) noexcept;
 
 /// Parse a decimal Content-Length value strictly: 1*DIGIT only.
 /// Rejects signs, hex, lists, whitespace inside, and values > 2^63-1.

@@ -1,248 +1,20 @@
 #include "http/lexer.h"
 
-#include <cstddef>
-
-#include "http/header_util.h"
+#include "http/view.h"
 
 namespace hdiff::http {
 
-namespace {
-
-/// One physical line plus how it was terminated.
-struct Line {
-  std::string text;        // line content without terminator
-  bool bare_lf = false;    // terminated by LF without preceding CR
-  bool stray_cr = false;   // CR appearing inside the line (not part of CRLF)
-  bool terminated = true;  // false if input ended mid-line
-  std::size_t end_offset = 0;  // offset one past the terminator in the input
-};
-
-/// Extract the next line starting at `pos`.  A line ends at the first LF;
-/// a CR immediately before that LF is consumed as part of the terminator.
-Line next_line(std::string_view raw, std::size_t pos) {
-  Line line;
-  std::size_t i = pos;
-  while (i < raw.size() && raw[i] != '\n') ++i;
-  if (i >= raw.size()) {
-    line.text.assign(raw.substr(pos));
-    line.terminated = false;
-    line.end_offset = raw.size();
-  } else {
-    std::size_t text_end = i;
-    if (text_end > pos && raw[text_end - 1] == '\r') {
-      --text_end;
-    } else {
-      line.bare_lf = true;
-    }
-    line.text.assign(raw.substr(pos, text_end - pos));
-    line.end_offset = i + 1;
-  }
-  for (char c : line.text) {
-    if (c == '\r') {
-      line.stray_cr = true;
-      break;
-    }
-  }
-  return line;
-}
-
-void scan_byte_anomalies(std::string_view text, AnomalySet& set) {
-  for (char c : text) {
-    unsigned char u = static_cast<unsigned char>(c);
-    if (u == 0) add_anomaly(set, Anomaly::kNulByte);
-    if (u >= 0x80) add_anomaly(set, Anomaly::kHighBitChar);
-  }
-}
-
-/// Split the request line on runs of SP/HTAB.  RFC 7230 mandates exactly one
-/// SP between the three components; anything else is flagged.
-void parse_request_line(const Line& line, RequestLine& out) {
-  out.raw = line.text;
-  if (line.bare_lf) add_anomaly(out.anomalies, Anomaly::kBareLf);
-  if (line.stray_cr) add_anomaly(out.anomalies, Anomaly::kBareCr);
-  scan_byte_anomalies(line.text, out.anomalies);
-
-  // Tokenize on runs of SP/HTAB.  The strict grammar permits exactly one SP
-  // between components, so HTAB separators, consecutive separators, and
-  // leading/trailing separators are all flagged as kExtraRequestLineWs.
-  const std::string& s = line.text;
-  std::vector<std::string> parts;
-  bool saw_extra_ws = false;
-  auto is_sep = [](char c) { return c == ' ' || c == '\t'; };
-  std::size_t i = 0;
-  while (i < s.size()) {
-    if (is_sep(s[i])) {
-      std::size_t run = 0;
-      bool tab = false;
-      while (i < s.size() && is_sep(s[i])) {
-        tab = tab || s[i] == '\t';
-        ++run;
-        ++i;
-      }
-      if (tab || run > 1 || parts.empty() || i >= s.size()) saw_extra_ws = true;
-      continue;
-    }
-    std::size_t start = i;
-    while (i < s.size() && !is_sep(s[i])) ++i;
-    parts.emplace_back(s.substr(start, i - start));
-  }
-  if (saw_extra_ws) add_anomaly(out.anomalies, Anomaly::kExtraRequestLineWs);
-
-  if (parts.size() == 3) {
-    out.method_token = parts[0];
-    out.target = parts[1];
-    out.version_token = parts[2];
-  } else if (parts.size() == 2) {
-    // HTTP/0.9 simple-request form: METHOD SP target
-    out.method_token = parts[0];
-    out.target = parts[1];
-    add_anomaly(out.anomalies, Anomaly::kNoVersion);
-  } else if (parts.size() > 3) {
-    add_anomaly(out.anomalies, Anomaly::kRequestLineParts);
-    out.method_token = parts.front();
-    out.version_token = parts.back();
-    std::string target;
-    for (std::size_t p = 1; p + 1 < parts.size(); ++p) {
-      if (!target.empty()) target += ' ';
-      target += parts[p];
-    }
-    out.target = target;
-  } else {
-    add_anomaly(out.anomalies, Anomaly::kRequestLineParts);
-    if (!parts.empty()) out.method_token = parts[0];
-  }
-
-  if (!out.version_token.empty() && !out.strict_version()) {
-    add_anomaly(out.anomalies, Anomaly::kMalformedVersion);
-  }
-}
-
-RawHeader parse_header_line(const Line& line) {
-  RawHeader h;
-  h.raw_line = line.text;
-  if (line.bare_lf) add_anomaly(h.anomalies, Anomaly::kBareLf);
-  if (line.stray_cr) add_anomaly(h.anomalies, Anomaly::kBareCr);
-  scan_byte_anomalies(line.text, h.anomalies);
-
-  std::size_t colon = line.text.find(':');
-  if (colon == std::string::npos) {
-    add_anomaly(h.anomalies, Anomaly::kMissingColon);
-    h.name = line.text;
-    return h;
-  }
-  h.name = line.text.substr(0, colon);
-  std::string_view value{line.text};
-  value.remove_prefix(colon + 1);
-  h.value.assign(trim_ows(value));
-
-  if (h.name.empty()) {
-    add_anomaly(h.anomalies, Anomaly::kEmptyName);
-  } else {
-    // Whitespace directly before the colon is the classic smuggling lever
-    // ("Content-Length : 10"); other embedded whitespace is tracked apart.
-    if (is_ows(h.name.back()) || h.name.back() == '\v' || h.name.back() == '\f') {
-      add_anomaly(h.anomalies, Anomaly::kWsBeforeColon);
-    }
-    std::string_view core = trim_lenient_ws(h.name);
-    for (char c : core) {
-      if (c == ' ' || c == '\t' || c == '\v' || c == '\f') {
-        add_anomaly(h.anomalies, Anomaly::kWsInFieldName);
-        break;
-      }
-    }
-    if (core.empty()) {
-      add_anomaly(h.anomalies, Anomaly::kEmptyName);
-    } else if (!is_token(core)) {
-      add_anomaly(h.anomalies, Anomaly::kNonTokenName);
-    } else if (core.data() != h.name.data()) {
-      // Leading control bytes (VT/FF/CR — SP/HTAB-led lines never reach
-      // here) around an otherwise valid token: the name is not a token on
-      // the wire, even though lenient recognizers will strip and match it.
-      add_anomaly(h.anomalies, Anomaly::kNonTokenName);
-    }
-    // Leading whitespace on the name (e.g. " Host: ...") means the line
-    // begins with whitespace; when it is the *first* header line this is the
-    // kLeadingHeaderWs case, otherwise it lexes as an obs-fold candidate and
-    // is handled by the caller before we get here.
-  }
-  for (char c : h.value) {
-    unsigned char u = static_cast<unsigned char>(c);
-    if (u < 0x20 && c != '\t') {
-      add_anomaly(h.anomalies, Anomaly::kCtlInValue);
-      break;
-    }
-  }
-  return h;
-}
-
-}  // namespace
-
+// The owned lexer is a materializing wrapper over the zero-copy view parser
+// (view.cpp holds the single tokenizer implementation); the historical
+// owned lexer survives verbatim in http::reference as the parity oracle.
+// The thread_local view keeps its vector capacity across calls, so repeat
+// lexing only pays for the owned-copy allocations materialize() must make.
 RawRequest lex_request(std::string_view raw) {
-  RawRequest req;
-  std::size_t pos = 0;
-
-  // Skip blank lines before the request line (RFC 7230 §3.5).
-  Line line = next_line(raw, pos);
-  while (line.terminated && line.text.empty() && line.end_offset < raw.size()) {
-    pos = line.end_offset;
-    line = next_line(raw, pos);
-  }
-
-  parse_request_line(line, req.line);
-  req.anomalies |= req.line.anomalies;
-  if (!line.terminated) {
-    add_anomaly(req.anomalies, Anomaly::kTruncatedHeaders);
-    return req;
-  }
-  pos = line.end_offset;
-
-  bool first_header = true;
-  while (true) {
-    if (pos >= raw.size()) {
-      add_anomaly(req.anomalies, Anomaly::kTruncatedHeaders);
-      return req;
-    }
-    line = next_line(raw, pos);
-    pos = line.end_offset;
-    if (line.text.empty()) {
-      if (!line.terminated) {
-        add_anomaly(req.anomalies, Anomaly::kTruncatedHeaders);
-        return req;
-      }
-      break;  // end of header block
-    }
-    if (!line.terminated) {
-      add_anomaly(req.anomalies, Anomaly::kTruncatedHeaders);
-      // Still record the partial line so models can inspect it.
-    }
-
-    const bool starts_with_ws = line.text[0] == ' ' || line.text[0] == '\t';
-    if (starts_with_ws && !first_header && !req.headers.empty()) {
-      // Obsolete line folding: the line continues the previous field value.
-      RawHeader& prev = req.headers.back();
-      add_anomaly(prev.anomalies, Anomaly::kObsFold);
-      add_anomaly(req.anomalies, Anomaly::kObsFold);
-      std::string_view cont = trim_ows(line.text);
-      if (!prev.value.empty() && !cont.empty()) prev.value += ' ';
-      prev.value.append(cont);
-      prev.raw_line += "\\n" + line.text;
-      scan_byte_anomalies(line.text, req.anomalies);
-      if (!line.terminated) return req;
-      continue;
-    }
-
-    RawHeader h = parse_header_line(line);
-    if (starts_with_ws && first_header) {
-      add_anomaly(h.anomalies, Anomaly::kLeadingHeaderWs);
-    }
-    req.anomalies |= h.anomalies;
-    req.headers.push_back(std::move(h));
-    first_header = false;
-    if (!line.terminated) return req;
-  }
-
-  req.after_headers.assign(raw.substr(pos));
-  return req;
+  thread_local RequestView view;
+  parse_request_view(raw, view);
+  RawRequest out = view.materialize();
+  view.clear();  // do not keep borrowing `raw` past this call
+  return out;
 }
 
 }  // namespace hdiff::http

@@ -70,40 +70,45 @@ std::string describe_anomalies(AnomalySet set) {
   return out;
 }
 
-std::string RawHeader::normalized_name() const {
-  return to_lower(trim_lenient_ws(name));
-}
-
-std::optional<Version> RequestLine::strict_version() const {
-  const std::string& v = version_token;
+std::optional<Version> parse_strict_version(std::string_view v) noexcept {
   // HTTP-version = "HTTP" "/" DIGIT "." DIGIT  (case-sensitive HTTP-name)
   if (v.size() != 8) return std::nullopt;
-  if (v.compare(0, 5, "HTTP/") != 0) return std::nullopt;
+  if (v.substr(0, 5) != "HTTP/") return std::nullopt;
   if (v[5] < '0' || v[5] > '9' || v[6] != '.' || v[7] < '0' || v[7] > '9') {
     return std::nullopt;
   }
   return Version{v[5] - '0', v[7] - '0'};
 }
 
+std::string RawHeader::normalized_name() const {
+  return to_lower(trim_lenient_ws(name));
+}
+
+std::optional<Version> RequestLine::strict_version() const {
+  return parse_strict_version(version_token);
+}
+
 std::vector<const RawHeader*> RawRequest::find_all(std::string_view name) const {
   std::vector<const RawHeader*> out;
-  std::string key = to_lower(name);
   for (const auto& h : headers) {
-    if (h.normalized_name() == key) out.push_back(&h);
+    if (header_name_is(h.name, name)) out.push_back(&h);
   }
   return out;
 }
 
 const RawHeader* RawRequest::find_first(std::string_view name) const {
-  std::string key = to_lower(name);
   for (const auto& h : headers) {
-    if (h.normalized_name() == key) return &h;
+    if (header_name_is(h.name, name)) return &h;
   }
   return nullptr;
 }
 
 std::size_t RawRequest::count(std::string_view name) const {
-  return find_all(name).size();
+  std::size_t n = 0;
+  for (const auto& h : headers) {
+    if (header_name_is(h.name, name)) ++n;
+  }
+  return n;
 }
 
 }  // namespace hdiff::http

@@ -55,6 +55,10 @@ inline constexpr Version kHttp20{2, 0};
 /// Render as "HTTP/x.y".
 std::string to_string(Version v);
 
+/// Strict version parse of a token: HTTP-version = "HTTP" "/" DIGIT "."
+/// DIGIT (case-sensitive HTTP-name); nullopt if malformed.
+std::optional<Version> parse_strict_version(std::string_view token) noexcept;
+
 /// Per-line / per-field syntax anomalies the lexer can observe.  One message
 /// may exhibit several.  The names follow the vocabulary of RFC 7230 and of
 /// the paper's Table II.

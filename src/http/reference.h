@@ -1,0 +1,41 @@
+// Frozen pre-view parser implementations, kept as a differential oracle.
+//
+// PR 6 replaced the owned per-field lexers with the zero-copy view parser
+// (view.h): `lex_request` / `lex_response` / `decode_chunked` are now thin
+// materializing wrappers over views.  This header preserves the historical
+// implementations *verbatim* (allocating per line, per header, per chunk)
+// so the repo can differentially test its own parser the way it
+// differentially tests HTTP stacks: the parity suite
+// (tests/http/view_parity_test.cpp) and `hdiff selftest --views` fuzz raw
+// messages through both and assert field-identical output.
+//
+// Do not "fix" or modernize these functions — their value is that they do
+// not change.  They are not built into any hot path.
+#pragma once
+
+#include <string_view>
+
+#include "http/chunked.h"
+#include "http/message.h"
+#include "http/response.h"
+
+namespace hdiff::http::reference {
+
+/// The pre-view owned request lexer, byte-for-byte.
+RawRequest lex_request(std::string_view raw);
+
+/// The pre-view owned response lexer.
+RawResponse lex_response(std::string_view raw);
+
+/// The pre-view response framing decision (allocating split_list walk).
+ResponseFraming response_framing(const RawResponse& response,
+                                 Method request_method);
+
+/// The pre-view first-response framer.
+FramedResponse frame_first_response(std::string_view raw,
+                                    Method request_method);
+
+/// The pre-view chunked decoder (allocating line reads, string body).
+ChunkResult decode_chunked(std::string_view in, const ChunkPolicy& policy);
+
+}  // namespace hdiff::http::reference

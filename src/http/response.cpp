@@ -2,64 +2,22 @@
 
 #include "http/chunked.h"
 #include "http/header_util.h"
-#include "http/lexer.h"
+#include "http/view.h"
 
 namespace hdiff::http {
 
-namespace {
-
-/// Reuse the request lexer's header-block machinery by lexing the raw bytes
-/// as if they were a request, then reinterpret the "request line" as a
-/// status line.
-int parse_status_code(std::string_view token) {
-  if (token.size() != 3) return 0;
-  int value = 0;
-  for (char c : token) {
-    if (c < '0' || c > '9') return 0;
-    value = value * 10 + (c - '0');
-  }
-  return (value >= 100 && value <= 599) ? value : 0;
-}
-
-}  // namespace
-
 const RawHeader* RawResponse::find_first(std::string_view name) const {
-  std::string key = to_lower(name);
   for (const auto& h : headers) {
-    if (h.normalized_name() == key) return &h;
+    if (header_name_is(h.name, name)) return &h;
   }
   return nullptr;
 }
 
 RawResponse lex_response(std::string_view raw) {
-  RawResponse out;
-  RawRequest as_request = lex_request(raw);
-  out.headers = std::move(as_request.headers);
-  out.after_headers = std::move(as_request.after_headers);
-  out.anomalies = as_request.anomalies;
-
-  // status-line = HTTP-version SP status-code SP reason-phrase.  The
-  // request lexer's tokenization mangles multi-word reason phrases, so the
-  // status line is re-split from the raw line directly.
-  const std::string& raw_line = as_request.line.raw;
-  std::size_t first_sp = raw_line.find(' ');
-  if (first_sp == std::string::npos) return out;
-  std::string_view version_token =
-      std::string_view(raw_line).substr(0, first_sp);
-  if (version_token.size() == 8 && version_token.substr(0, 5) == "HTTP/" &&
-      version_token[6] == '.') {
-    out.version = Version{version_token[5] - '0', version_token[7] - '0'};
-  }
-  std::size_t second_sp = raw_line.find(' ', first_sp + 1);
-  std::string_view status_token =
-      second_sp == std::string::npos
-          ? std::string_view(raw_line).substr(first_sp + 1)
-          : std::string_view(raw_line).substr(first_sp + 1,
-                                              second_sp - first_sp - 1);
-  out.status = parse_status_code(status_token);
-  if (second_sp != std::string::npos) {
-    out.reason = raw_line.substr(second_sp + 1);
-  }
+  thread_local ResponseView view;
+  parse_response_view(raw, view);
+  RawResponse out = view.materialize();
+  view.clear();  // do not keep borrowing `raw` past this call
   return out;
 }
 
@@ -73,8 +31,8 @@ ResponseFraming response_framing(const RawResponse& response,
     return framing;
   }
   if (const RawHeader* te = response.find_first("transfer-encoding")) {
-    auto items = split_list(te->value);
-    if (!items.empty() && iequals(items.back(), "chunked")) {
+    std::string_view last = last_list_item(te->value);
+    if (!last.empty() && iequals(last, "chunked")) {
       framing.chunked = true;
       return framing;
     }
@@ -82,6 +40,32 @@ ResponseFraming response_framing(const RawResponse& response,
   if (const RawHeader* cl = response.find_first("content-length")) {
     framing.content_length =
         parse_content_length_strict(trim_ows(cl->value));
+    if (framing.content_length) return framing;
+  }
+  framing.until_close = true;
+  return framing;
+}
+
+ResponseFraming response_framing(const ResponseView& response,
+                                 Method request_method, std::string& scratch) {
+  ResponseFraming framing;
+  const int status = response.status;
+  if (request_method == Method::kHead || (status >= 100 && status < 200) ||
+      status == 204 || status == 304) {
+    framing.has_body = false;
+    return framing;
+  }
+  if (const HeaderView* te = response.find_first("transfer-encoding")) {
+    std::string_view last =
+        last_list_item(response.joined_value(*te, scratch));
+    if (!last.empty() && iequals(last, "chunked")) {
+      framing.chunked = true;
+      return framing;
+    }
+  }
+  if (const HeaderView* cl = response.find_first("content-length")) {
+    framing.content_length = parse_content_length_strict(
+        trim_ows(response.joined_value(*cl, scratch)));
     if (framing.content_length) return framing;
   }
   framing.until_close = true;
@@ -124,6 +108,37 @@ FramedResponse frame_first_response(std::string_view raw,
   out.body = payload;
   out.complete = true;
   return out;
+}
+
+ResponseProbe probe_first_response(std::string_view raw,
+                                   Method request_method) noexcept {
+  thread_local ResponseView view;
+  thread_local std::string scratch;
+  thread_local ChunkScan scan;
+
+  ResponseProbe probe;
+  parse_response_view(raw, view);
+  if (!view.status_line_valid()) {
+    view.clear();
+    return probe;
+  }
+  probe.status_line_valid = true;
+  probe.interim = view.status >= 100 && view.status < 200;
+
+  ResponseFraming framing = response_framing(view, request_method, scratch);
+  const std::string_view payload = view.after_headers();
+  if (!framing.has_body) {
+    probe.complete = true;
+  } else if (framing.chunked) {
+    scan_chunked(payload, ChunkPolicy{}, scan);
+    probe.complete = scan.ok;
+  } else if (framing.content_length) {
+    probe.complete = payload.size() >= *framing.content_length;
+  } else {
+    probe.complete = true;  // read-until-close
+  }
+  view.clear();
+  return probe;
 }
 
 std::string build_response(int status, std::string_view body,

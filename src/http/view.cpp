@@ -1,0 +1,413 @@
+#include "http/view.h"
+
+#include <cstddef>
+
+#include "http/header_util.h"
+
+namespace hdiff::http {
+
+namespace {
+
+/// One physical line as a view plus how it was terminated.  Mirrors the
+/// historical owned lexer's Line struct, minus the copy.
+struct LineView {
+  std::string_view text;   // line content without terminator
+  bool bare_lf = false;    // terminated by LF without preceding CR
+  bool stray_cr = false;   // CR appearing inside the line (not part of CRLF)
+  bool terminated = true;  // false if input ended mid-line
+  std::size_t end_offset = 0;  // offset one past the terminator in the input
+};
+
+/// Extract the next line starting at `pos`.  A line ends at the first LF;
+/// a CR immediately before that LF is consumed as part of the terminator.
+LineView next_line(std::string_view raw, std::size_t pos) {
+  LineView line;
+  std::size_t i = pos;
+  while (i < raw.size() && raw[i] != '\n') ++i;
+  if (i >= raw.size()) {
+    line.text = raw.substr(pos);
+    line.terminated = false;
+    line.end_offset = raw.size();
+  } else {
+    std::size_t text_end = i;
+    if (text_end > pos && raw[text_end - 1] == '\r') {
+      --text_end;
+    } else {
+      line.bare_lf = true;
+    }
+    line.text = raw.substr(pos, text_end - pos);
+    line.end_offset = i + 1;
+  }
+  line.stray_cr = line.text.find('\r') != std::string_view::npos;
+  return line;
+}
+
+void scan_byte_anomalies(std::string_view text, AnomalySet& set) {
+  for (char c : text) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u == 0) add_anomaly(set, Anomaly::kNulByte);
+    if (u >= 0x80) add_anomaly(set, Anomaly::kHighBitChar);
+  }
+}
+
+/// Split the request line on runs of SP/HTAB.  RFC 7230 mandates exactly one
+/// SP between the three components; anything else is flagged.
+void parse_request_line(const LineView& line, RequestLineView& out,
+                        std::vector<std::string_view>& parts) {
+  out.raw = line.text;
+  if (line.bare_lf) add_anomaly(out.anomalies, Anomaly::kBareLf);
+  if (line.stray_cr) add_anomaly(out.anomalies, Anomaly::kBareCr);
+  scan_byte_anomalies(line.text, out.anomalies);
+
+  const std::string_view s = line.text;
+  bool saw_extra_ws = false;
+  auto is_sep = [](char c) { return c == ' ' || c == '\t'; };
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (is_sep(s[i])) {
+      std::size_t run = 0;
+      bool tab = false;
+      while (i < s.size() && is_sep(s[i])) {
+        tab = tab || s[i] == '\t';
+        ++run;
+        ++i;
+      }
+      if (tab || run > 1 || parts.empty() || i >= s.size()) saw_extra_ws = true;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < s.size() && !is_sep(s[i])) ++i;
+    parts.push_back(s.substr(start, i - start));
+  }
+  if (saw_extra_ws) add_anomaly(out.anomalies, Anomaly::kExtraRequestLineWs);
+
+  if (parts.size() == 3) {
+    out.method_token = parts[0];
+    out.target = parts[1];
+    out.version_token = parts[2];
+  } else if (parts.size() == 2) {
+    // HTTP/0.9 simple-request form: METHOD SP target
+    out.method_token = parts[0];
+    out.target = parts[1];
+    add_anomaly(out.anomalies, Anomaly::kNoVersion);
+  } else if (parts.size() > 3) {
+    add_anomaly(out.anomalies, Anomaly::kRequestLineParts);
+    out.method_token = parts.front();
+    out.version_token = parts.back();
+    // The middle tokens span contiguous buffer bytes; the view keeps the
+    // raw span (separators included) and materialize() re-joins the tokens
+    // with single spaces, matching the owned lexer.
+    const std::string_view first = parts[1];
+    const std::string_view last = parts[parts.size() - 2];
+    out.target = s.substr(
+        static_cast<std::size_t>(first.data() - s.data()),
+        static_cast<std::size_t>(last.data() + last.size() - first.data()));
+    out.target_rejoined = true;
+  } else {
+    add_anomaly(out.anomalies, Anomaly::kRequestLineParts);
+    if (!parts.empty()) out.method_token = parts[0];
+  }
+
+  if (!out.version_token.empty() && !out.strict_version()) {
+    add_anomaly(out.anomalies, Anomaly::kMalformedVersion);
+  }
+}
+
+HeaderView parse_header_line(const LineView& line) {
+  HeaderView h;
+  h.raw_line = line.text;
+  if (line.bare_lf) add_anomaly(h.anomalies, Anomaly::kBareLf);
+  if (line.stray_cr) add_anomaly(h.anomalies, Anomaly::kBareCr);
+  scan_byte_anomalies(line.text, h.anomalies);
+
+  std::size_t colon = line.text.find(':');
+  if (colon == std::string_view::npos) {
+    add_anomaly(h.anomalies, Anomaly::kMissingColon);
+    h.name = line.text;
+    return h;
+  }
+  h.name = line.text.substr(0, colon);
+  h.value = trim_ows(line.text.substr(colon + 1));
+
+  if (h.name.empty()) {
+    add_anomaly(h.anomalies, Anomaly::kEmptyName);
+  } else {
+    // Whitespace directly before the colon is the classic smuggling lever
+    // ("Content-Length : 10"); other embedded whitespace is tracked apart.
+    if (is_ows(h.name.back()) || h.name.back() == '\v' || h.name.back() == '\f') {
+      add_anomaly(h.anomalies, Anomaly::kWsBeforeColon);
+    }
+    std::string_view core = trim_lenient_ws(h.name);
+    for (char c : core) {
+      if (c == ' ' || c == '\t' || c == '\v' || c == '\f') {
+        add_anomaly(h.anomalies, Anomaly::kWsInFieldName);
+        break;
+      }
+    }
+    if (core.empty()) {
+      add_anomaly(h.anomalies, Anomaly::kEmptyName);
+    } else if (!is_token(core)) {
+      add_anomaly(h.anomalies, Anomaly::kNonTokenName);
+    } else if (core.data() != h.name.data()) {
+      // Leading control bytes (VT/FF/CR — SP/HTAB-led lines never reach
+      // here) around an otherwise valid token: the name is not a token on
+      // the wire, even though lenient recognizers will strip and match it.
+      add_anomaly(h.anomalies, Anomaly::kNonTokenName);
+    }
+  }
+  for (char c : h.value) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 && c != '\t') {
+      add_anomaly(h.anomalies, Anomaly::kCtlInValue);
+      break;
+    }
+  }
+  return h;
+}
+
+/// Materialize one HeaderView (plus its fold segments) into a RawHeader,
+/// replaying the owned lexer's sequential join rules.
+RawHeader materialize_header(const HeaderView& h,
+                             const std::vector<FoldView>& folds) {
+  RawHeader out;
+  out.name.assign(h.name);
+  out.value.assign(h.value);
+  out.raw_line.assign(h.raw_line);
+  out.anomalies = h.anomalies;
+  for (std::uint32_t k = 0; k < h.fold_count; ++k) {
+    const FoldView& fold = folds[h.fold_begin + k];
+    if (!out.value.empty() && !fold.cont.empty()) out.value += ' ';
+    out.value.append(fold.cont);
+    out.raw_line += "\\n";
+    out.raw_line.append(fold.raw_text);
+  }
+  return out;
+}
+
+}  // namespace
+
+const HeaderView* RequestView::find_first(
+    std::string_view name) const noexcept {
+  for (const HeaderView& h : headers) {
+    if (iequals(trim_lenient_ws(h.name), name)) return &h;
+  }
+  return nullptr;
+}
+
+std::size_t RequestView::count(std::string_view name) const noexcept {
+  std::size_t n = 0;
+  for (const HeaderView& h : headers) {
+    if (iequals(trim_lenient_ws(h.name), name)) ++n;
+  }
+  return n;
+}
+
+std::string_view RequestView::joined_value(const HeaderView& h,
+                                           std::string& scratch) const {
+  if (!h.folded()) return h.value;
+  scratch.assign(h.value);
+  for (std::uint32_t k = 0; k < h.fold_count; ++k) {
+    const FoldView& fold = folds[h.fold_begin + k];
+    if (!scratch.empty() && !fold.cont.empty()) scratch += ' ';
+    scratch.append(fold.cont);
+  }
+  return scratch;
+}
+
+RawRequest RequestView::materialize() const {
+  RawRequest out;
+  out.line.raw.assign(line.raw);
+  out.line.method_token.assign(line.method_token);
+  out.line.version_token.assign(line.version_token);
+  out.line.anomalies = line.anomalies;
+  if (line.target_rejoined) {
+    // >3 request-line parts: the owned lexer joins the middle tokens with
+    // single spaces regardless of the original separators.
+    for (std::size_t p = 1; p + 1 < line_parts.size(); ++p) {
+      if (!out.line.target.empty()) out.line.target += ' ';
+      out.line.target.append(line_parts[p]);
+    }
+  } else {
+    out.line.target.assign(line.target);
+  }
+  out.headers.reserve(headers.size());
+  for (const HeaderView& h : headers) {
+    out.headers.push_back(materialize_header(h, folds));
+  }
+  out.after_headers.assign(after_headers);
+  out.anomalies = anomalies;
+  return out;
+}
+
+void RequestView::clear() noexcept {
+  raw = {};
+  line = RequestLineView{};
+  headers.clear();
+  folds.clear();
+  line_parts.clear();
+  after_headers = {};
+  anomalies = 0;
+}
+
+void parse_request_view(std::string_view raw, RequestView& out) {
+  out.clear();
+  out.raw = raw;
+  std::size_t pos = 0;
+
+  // Skip blank lines before the request line (RFC 7230 §3.5).
+  LineView line = next_line(raw, pos);
+  while (line.terminated && line.text.empty() && line.end_offset < raw.size()) {
+    pos = line.end_offset;
+    line = next_line(raw, pos);
+  }
+
+  parse_request_line(line, out.line, out.line_parts);
+  out.anomalies |= out.line.anomalies;
+  if (!line.terminated) {
+    add_anomaly(out.anomalies, Anomaly::kTruncatedHeaders);
+    return;
+  }
+  pos = line.end_offset;
+
+  bool first_header = true;
+  while (true) {
+    if (pos >= raw.size()) {
+      add_anomaly(out.anomalies, Anomaly::kTruncatedHeaders);
+      return;
+    }
+    line = next_line(raw, pos);
+    pos = line.end_offset;
+    if (line.text.empty()) {
+      if (!line.terminated) {
+        add_anomaly(out.anomalies, Anomaly::kTruncatedHeaders);
+        return;
+      }
+      break;  // end of header block
+    }
+    if (!line.terminated) {
+      add_anomaly(out.anomalies, Anomaly::kTruncatedHeaders);
+      // Still record the partial line so models can inspect it.
+    }
+
+    const bool starts_with_ws = line.text[0] == ' ' || line.text[0] == '\t';
+    if (starts_with_ws && !first_header && !out.headers.empty()) {
+      // Obsolete line folding: the line continues the previous field value.
+      HeaderView& prev = out.headers.back();
+      add_anomaly(prev.anomalies, Anomaly::kObsFold);
+      add_anomaly(out.anomalies, Anomaly::kObsFold);
+      if (prev.fold_count == 0) {
+        prev.fold_begin = static_cast<std::uint32_t>(out.folds.size());
+      }
+      out.folds.push_back(FoldView{trim_ows(line.text), line.text});
+      ++prev.fold_count;
+      scan_byte_anomalies(line.text, out.anomalies);
+      if (!line.terminated) return;
+      continue;
+    }
+
+    HeaderView h = parse_header_line(line);
+    if (starts_with_ws && first_header) {
+      add_anomaly(h.anomalies, Anomaly::kLeadingHeaderWs);
+    }
+    out.anomalies |= h.anomalies;
+    out.headers.push_back(h);
+    first_header = false;
+    if (!line.terminated) return;
+  }
+
+  out.after_headers = raw.substr(pos);
+}
+
+RequestView parse_request_view(std::string_view raw) {
+  RequestView out;
+  parse_request_view(raw, out);
+  return out;
+}
+
+RawResponse ResponseView::materialize() const {
+  RawResponse out;
+  out.version = version;
+  out.status = status;
+  out.reason.assign(reason);
+  out.headers.reserve(base.headers.size());
+  for (const HeaderView& h : base.headers) {
+    out.headers.push_back(materialize_header(h, base.folds));
+  }
+  out.after_headers.assign(base.after_headers);
+  out.anomalies = base.anomalies;
+  return out;
+}
+
+void ResponseView::clear() noexcept {
+  base.clear();
+  version = Version{1, 1};
+  status = 0;
+  reason = {};
+}
+
+namespace {
+
+int parse_status_code(std::string_view token) {
+  if (token.size() != 3) return 0;
+  int value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + (c - '0');
+  }
+  return (value >= 100 && value <= 599) ? value : 0;
+}
+
+}  // namespace
+
+void parse_response_view(std::string_view raw, ResponseView& out) {
+  out.clear();
+  parse_request_view(raw, out.base);
+
+  // status-line = HTTP-version SP status-code SP reason-phrase.  The
+  // request tokenization mangles multi-word reason phrases, so the status
+  // line is re-split from the raw line directly (same rule as the owned
+  // lex_response, including its lax version check).
+  const std::string_view raw_line = out.base.line.raw;
+  std::size_t first_sp = raw_line.find(' ');
+  if (first_sp == std::string_view::npos) return;
+  std::string_view version_token = raw_line.substr(0, first_sp);
+  if (version_token.size() == 8 && version_token.substr(0, 5) == "HTTP/" &&
+      version_token[6] == '.') {
+    out.version = Version{version_token[5] - '0', version_token[7] - '0'};
+  }
+  std::size_t second_sp = raw_line.find(' ', first_sp + 1);
+  std::string_view status_token =
+      second_sp == std::string_view::npos
+          ? raw_line.substr(first_sp + 1)
+          : raw_line.substr(first_sp + 1, second_sp - first_sp - 1);
+  out.status = parse_status_code(status_token);
+  if (second_sp != std::string_view::npos) {
+    out.reason = raw_line.substr(second_sp + 1);
+  }
+}
+
+ResponseView parse_response_view(std::string_view raw) {
+  ResponseView out;
+  parse_response_view(raw, out);
+  return out;
+}
+
+Method sniff_method(std::string_view raw) noexcept {
+  std::size_t pos = 0;
+  LineView line = next_line(raw, pos);
+  while (line.terminated && line.text.empty() && line.end_offset < raw.size()) {
+    pos = line.end_offset;
+    line = next_line(raw, pos);
+  }
+  // The owned lexer's request-line split assigns the first SP/HTAB-delimited
+  // token as the method for every part count, so the sniff is just that
+  // first token.
+  const std::string_view s = line.text;
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  std::size_t start = i;
+  while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+  return method_from_token(s.substr(start, i - start));
+}
+
+}  // namespace hdiff::http

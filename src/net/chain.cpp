@@ -3,7 +3,7 @@
 #include <set>
 #include <utility>
 
-#include "http/lexer.h"
+#include "http/view.h"
 
 namespace hdiff::net {
 
@@ -196,8 +196,8 @@ void Chain::observe_steps(
     if (v.forwarded()) {
       if (pending_echo) pending_echo->emplace_back(proxy_name, v.forwarded_bytes);
       auto [it, inserted] = first_replayer.emplace(v.forwarded_bytes, proxy_name);
-      const http::Method forwarded_method = http::method_from_token(
-          http::lex_request(v.forwarded_bytes).line.method_token);
+      const http::Method forwarded_method =
+          http::sniff_method(v.forwarded_bytes);
       const std::uint64_t r0 = track ? track->now() : 0;
       if (inserted || !options_.dedupe_identical_forwards) {
         // Step 2: replay the forwarded bytes into every back-end, and relay

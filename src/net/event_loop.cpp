@@ -1,0 +1,437 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace hdiff::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+constexpr std::size_t kRecvChunk = 16 * 1024;
+
+// Readiness bits shared by the epoll and poll backends.
+constexpr std::uint32_t kEvIn = 1u;
+constexpr std::uint32_t kEvOut = 2u;
+constexpr std::uint32_t kEvErr = 4u;
+
+int ms_until(TimePoint now, TimePoint deadline) {
+  if (deadline <= now) return 0;
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count();
+  return ms > 60'000 ? 60'000 : static_cast<int>(ms) + 1;
+}
+
+}  // namespace
+
+std::string_view to_string(NetLoopMode mode) noexcept {
+  switch (mode) {
+    case NetLoopMode::kOff: return "off";
+    case NetLoopMode::kOn: return "on";
+    case NetLoopMode::kAuto: return "auto";
+  }
+  return "auto";
+}
+
+bool net_loop_mode_from_string(std::string_view s, NetLoopMode& out) noexcept {
+  if (s == "off") { out = NetLoopMode::kOff; return true; }
+  if (s == "on") { out = NetLoopMode::kOn; return true; }
+  if (s == "auto") { out = NetLoopMode::kAuto; return true; }
+  return false;
+}
+
+bool net_loop_enabled(NetLoopMode mode) noexcept {
+  // poll() is POSIX-universal, so auto is on everywhere this compiles.
+  return mode != NetLoopMode::kOff;
+}
+
+/// Per-roundtrip connection state machine.
+struct EventLoop::Conn {
+  enum class St {
+    kQueued,      ///< not started yet (over the in-flight cap)
+    kConnecting,  ///< nonblocking connect in progress
+    kSending,     ///< request bytes partially written
+    kReading,     ///< accumulating response until close/idle
+    kBackoff,     ///< between retry attempts
+    kDone,
+  };
+
+  St st = St::kQueued;
+  int fd = -1;
+  std::size_t job = 0;
+  std::uint32_t want = 0;  ///< kEvIn / kEvOut currently of interest
+  std::size_t send_off = 0;
+  std::string bytes;
+  StreamEnd end = StreamEnd::kIdle;
+  int attempt = 0;
+  TimePoint deadline{};    ///< connect/idle deadline or backoff wake time
+  TimePoint case_start{};  ///< first-attempt start (case deadline base)
+};
+
+EventLoop::EventLoop(EventLoopConfig config)
+    : config_(config),
+      obs_(obs::NetLoopObs::from(config.obs)),
+      recv_scratch_(kRecvChunk) {
+  if (config_.max_in_flight == 0) config_.max_in_flight = 1;
+#ifdef __linux__
+  if (!config_.force_poll) {
+    epoll_fd_ = ::epoll_create1(0);  // -1 => poll fallback
+  }
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::vector<TcpResult> EventLoop::run_batch(
+    const std::vector<RoundtripJob>& jobs) {
+  return run_batch_retry(jobs, RetryPolicy{.attempts = 1});
+}
+
+std::vector<TcpResult> EventLoop::run_batch_retry(
+    const std::vector<RoundtripJob>& jobs, const RetryPolicy& retry) {
+  std::vector<TcpResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  obs::Span span(obs_.trace, "net-batch", "net");
+  if (obs_.active()) {
+    span.arg("jobs", std::to_string(jobs.size()));
+    if (obs_.batches) obs_.batches->add(1);
+    if (obs_.roundtrips) obs_.roundtrips->add(jobs.size());
+    if (obs_.batch_size) obs_.batch_size->observe(jobs.size());
+    if (!using_epoll() && obs_.poll_fallback) obs_.poll_fallback->add(1);
+  }
+  const std::uint64_t t0 = obs_.batch_us ? obs_.now() : 0;
+  drive(jobs, retry, results);
+  if (obs_.batch_us) obs_.batch_us->observe(obs_.now() - t0);
+  return results;
+}
+
+void EventLoop::drive(const std::vector<RoundtripJob>& jobs,
+                      const RetryPolicy& retry,
+                      std::vector<TcpResult>& results) {
+  const int attempts = retry.attempts < 1 ? 1 : retry.attempts;
+  std::vector<Conn> conns(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    conns[i].job = i;
+    conns[i].bytes.reserve(reserve_hint_);
+  }
+
+  std::size_t next_to_start = 0;  // conns[0..next_to_start) have begun
+  std::size_t open_fds = 0;
+  std::size_t completed = 0;
+
+#ifdef __linux__
+  epoll_event ep_events[64];
+#endif
+  std::vector<pollfd> pollfds;         // poll backend scratch
+  std::vector<std::size_t> poll_idx;   // pollfds[k] -> conn index
+  std::vector<std::pair<std::size_t, std::uint32_t>> ready;
+
+  auto set_interest = [&](Conn& c, std::uint32_t want) {
+    if (c.want == want) return;
+#ifdef __linux__
+    if (epoll_fd_ >= 0) {
+      epoll_event ev{};
+      ev.events = (want & kEvIn ? EPOLLIN : 0u) |
+                  (want & kEvOut ? EPOLLOUT : 0u);
+      ev.data.u64 = c.job;
+      ::epoll_ctl(epoll_fd_, c.want == 0 ? EPOLL_CTL_ADD : EPOLL_CTL_MOD,
+                  c.fd, &ev);
+    }
+#endif
+    c.want = want;
+  };
+
+  auto close_conn = [&](Conn& c) {
+    if (c.fd < 0) return;
+#ifdef __linux__
+    if (epoll_fd_ >= 0 && c.want != 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+    }
+#endif
+    ::close(c.fd);
+    c.fd = -1;
+    c.want = 0;
+    --open_fds;
+  };
+
+  // Record the (final) outcome of the current attempt, or schedule a retry
+  // with the same deterministic schedule tcp_roundtrip_retry sleeps.
+  auto finish_attempt = [&](Conn& c, ChainError error) {
+    close_conn(c);
+    bool record = error == ChainError::kNone || c.attempt + 1 > attempts;
+    if (!record) {
+      const auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                c.case_start)
+              .count();
+      if (retry.case_deadline_ms > 0 && elapsed_ms >= retry.case_deadline_ms) {
+        record = true;
+      } else if (c.attempt >= attempts) {
+        record = true;
+      }
+    }
+    if (record) {
+      if (c.bytes.size() > reserve_hint_) reserve_hint_ = c.bytes.size();
+      results[c.job].error = error;
+      results[c.job].bytes = std::move(c.bytes);
+      c.st = Conn::St::kDone;
+      ++completed;
+      return;
+    }
+    if (obs_.retries) obs_.retries->add(1);
+    c.st = Conn::St::kBackoff;
+    c.deadline = Clock::now() + std::chrono::milliseconds(retry.backoff_ms(
+                                    c.attempt - 1, jobs[c.job].request));
+    c.bytes.clear();
+    c.send_off = 0;
+    c.end = StreamEnd::kIdle;
+  };
+
+  auto finish_read = [&](Conn& c, StreamEnd end) {
+    c.end = end;
+    finish_attempt(c,
+                   classify_exchange(c.bytes, jobs[c.job].request, c.end));
+  };
+
+  // Drain the socket until EAGAIN/close/error; refresh the idle deadline on
+  // every successful recv (matching the blocking client's poll-per-read
+  // timeout semantics).
+  auto pump_read = [&](Conn& c) {
+    while (true) {
+      ssize_t n = ::recv(c.fd, recv_scratch_.data(), recv_scratch_.size(), 0);
+      if (n > 0) {
+        c.bytes.append(recv_scratch_.data(), static_cast<std::size_t>(n));
+        c.deadline =
+            Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+        continue;
+      }
+      if (n == 0) {
+        finish_read(c, StreamEnd::kClose);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      finish_read(c, StreamEnd::kError);
+      return;
+    }
+  };
+
+  // Write as much of the request as the kernel accepts; on completion move
+  // to reading (half-close first, like the blocking client).
+  auto pump_send = [&](Conn& c) {
+    const std::string_view request = jobs[c.job].request;
+    while (c.send_off < request.size()) {
+      ssize_t n = ::send(c.fd, request.data() + c.send_off,
+                         request.size() - c.send_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.send_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        set_interest(c, kEvOut);
+        return;
+      }
+      finish_attempt(c, ChainError::kReset);
+      return;
+    }
+    ::shutdown(c.fd, SHUT_WR);
+    c.st = Conn::St::kReading;
+    c.deadline =
+        Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+    set_interest(c, kEvIn);
+    pump_read(c);
+  };
+
+  auto start_connect = [&](Conn& c) {
+    ++c.attempt;
+    c.st = Conn::St::kConnecting;
+    c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (c.fd < 0) {
+      finish_attempt(c, ChainError::kConnectFail);
+      return;
+    }
+    ++open_fds;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(jobs[c.job].port);
+    int rc = ::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc == 0) {
+      c.st = Conn::St::kSending;
+      c.deadline =
+          Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+      set_interest(c, kEvOut);
+      pump_send(c);
+      return;
+    }
+    if (errno != EINPROGRESS) {
+      finish_attempt(c, ChainError::kConnectFail);
+      return;
+    }
+    c.deadline =
+        Clock::now() + std::chrono::milliseconds(config_.connect_timeout_ms);
+    set_interest(c, kEvOut);
+  };
+
+  auto on_ready = [&](Conn& c, std::uint32_t ev) {
+    switch (c.st) {
+      case Conn::St::kConnecting: {
+        int err = 0;
+        socklen_t len = sizeof err;
+        ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0 || (ev & kEvErr)) {
+          finish_attempt(c, ChainError::kConnectFail);
+          return;
+        }
+        c.st = Conn::St::kSending;
+        c.deadline =
+            Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+        pump_send(c);
+        return;
+      }
+      case Conn::St::kSending:
+        pump_send(c);
+        return;
+      case Conn::St::kReading:
+        pump_read(c);
+        return;
+      default:
+        return;
+    }
+  };
+
+  while (completed < jobs.size()) {
+    // Admit queued jobs up to the in-flight cap.  start_connect can finish
+    // an attempt synchronously (socket/connect failure), so re-check.
+    while (next_to_start < conns.size() && open_fds < config_.max_in_flight) {
+      Conn& c = conns[next_to_start++];
+      c.case_start = Clock::now();
+      start_connect(c);
+    }
+    if (completed >= jobs.size()) break;
+
+    // Wake backed-off conns whose schedule elapsed; collect the earliest
+    // pending deadline for the wait timeout.
+    TimePoint now = Clock::now();
+    TimePoint earliest = TimePoint::max();
+    for (Conn& c : conns) {
+      if (c.st == Conn::St::kBackoff && c.deadline <= now) {
+        start_connect(c);
+      }
+    }
+    for (Conn& c : conns) {
+      switch (c.st) {
+        case Conn::St::kConnecting:
+        case Conn::St::kSending:
+        case Conn::St::kReading:
+        case Conn::St::kBackoff:
+          if (c.deadline < earliest) earliest = c.deadline;
+          break;
+        default:
+          break;
+      }
+    }
+    if (completed >= jobs.size()) break;
+    now = Clock::now();
+    const int timeout_ms =
+        earliest == TimePoint::max() ? 10 : ms_until(now, earliest);
+
+    ready.clear();
+#ifdef __linux__
+    if (epoll_fd_ >= 0) {
+      int n = ::epoll_wait(epoll_fd_, ep_events, 64, timeout_ms);
+      for (int k = 0; k < n; ++k) {
+        std::uint32_t ev = 0;
+        if (ep_events[k].events & EPOLLIN) ev |= kEvIn;
+        if (ep_events[k].events & EPOLLOUT) ev |= kEvOut;
+        if (ep_events[k].events & (EPOLLERR | EPOLLHUP)) ev |= kEvErr | kEvIn;
+        ready.emplace_back(
+            static_cast<std::size_t>(ep_events[k].data.u64), ev);
+      }
+    } else
+#endif
+    {
+      pollfds.clear();
+      poll_idx.clear();
+      for (std::size_t i = 0; i < conns.size(); ++i) {
+        const Conn& c = conns[i];
+        if (c.fd < 0) continue;
+        short events = 0;
+        if (c.want & kEvIn) events |= POLLIN;
+        if (c.want & kEvOut) events |= POLLOUT;
+        pollfds.push_back(pollfd{c.fd, events, 0});
+        poll_idx.push_back(i);
+      }
+      int n = ::poll(pollfds.data(),
+                     static_cast<nfds_t>(pollfds.size()), timeout_ms);
+      if (n > 0) {
+        for (std::size_t k = 0; k < pollfds.size(); ++k) {
+          if (pollfds[k].revents == 0) continue;
+          std::uint32_t ev = 0;
+          if (pollfds[k].revents & POLLIN) ev |= kEvIn;
+          if (pollfds[k].revents & POLLOUT) ev |= kEvOut;
+          if (pollfds[k].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+            ev |= kEvErr | kEvIn;
+          }
+          ready.emplace_back(poll_idx[k], ev);
+        }
+      }
+    }
+
+    for (const auto& [index, ev] : ready) {
+      Conn& c = conns[index];
+      if (c.fd < 0 || c.st == Conn::St::kDone) continue;
+      on_ready(c, ev);
+    }
+
+    // Deadline sweep: idle reads complete as timeouts, stalled connects
+    // fail, and elapsed backoffs restart on the next loop pass.
+    now = Clock::now();
+    for (Conn& c : conns) {
+      if (c.deadline > now) continue;
+      switch (c.st) {
+        case Conn::St::kConnecting:
+          finish_attempt(c, ChainError::kConnectFail);
+          break;
+        case Conn::St::kSending:
+          c.end = StreamEnd::kIdle;
+          finish_attempt(
+              c, classify_exchange(c.bytes, jobs[c.job].request, c.end));
+          break;
+        case Conn::St::kReading:
+          finish_read(c, StreamEnd::kIdle);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+std::vector<TcpResult> tcp_roundtrip_batch(
+    const std::vector<RoundtripJob>& jobs, const RetryPolicy& retry,
+    EventLoopConfig config) {
+  EventLoop loop(config);
+  return loop.run_batch_retry(jobs, retry);
+}
+
+}  // namespace hdiff::net

@@ -1,0 +1,112 @@
+// Nonblocking concurrent roundtrip driver for the live chain.
+//
+// The blocking client (tcp.h) costs one thread per in-flight roundtrip:
+// `tcp_roundtrip` parks in connect/poll/recv, so driving N scheduled cases
+// concurrently from one worker is impossible and `--jobs N` buys N sockets
+// at most.  `EventLoop` replaces that with an epoll-driven (poll fallback)
+// state machine per connection — kConnecting -> kSending -> kReading (->
+// kBackoff on retry) — so one thread drives a whole batch of roundtrips,
+// overlapping every wait.  Results are classified with exactly the same
+// `classify_exchange` the blocking path uses and retried under the same
+// RetryPolicy (same deterministic backoff schedule, same last-attempt-wins
+// and case-deadline semantics), so findings are byte-identical; only the
+// wall clock changes.
+//
+// Buffer contract: `RoundtripJob::request` is borrowed — the caller keeps
+// the request bytes alive and unmodified until the batch call returns (they
+// are both sent and used as the retry jitter key and classification input).
+// Each connection accumulates into a reusable recv buffer owned by the
+// loop, recycled across jobs and batches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/error.h"
+#include "net/tcp.h"
+#include "obs/obs.h"
+
+namespace hdiff::net {
+
+/// Whether the executor/campaign drive roundtrips through the event loop.
+/// kAuto resolves to on where the platform supports it (epoll or poll —
+/// i.e. everywhere this builds; the knob exists so a regression can be
+/// bisected at runtime with --net-loop off).
+enum class NetLoopMode { kOff, kOn, kAuto };
+
+std::string_view to_string(NetLoopMode mode) noexcept;
+
+/// Parse "off" / "on" / "auto"; returns false on anything else.
+bool net_loop_mode_from_string(std::string_view s, NetLoopMode& out) noexcept;
+
+/// Resolve kAuto to a concrete on/off for this platform.
+bool net_loop_enabled(NetLoopMode mode) noexcept;
+
+/// One roundtrip to drive: connect to 127.0.0.1:port, send `request`, read
+/// the full response.  `request` is borrowed for the duration of the batch.
+struct RoundtripJob {
+  std::uint16_t port = 0;
+  std::string_view request;
+};
+
+struct EventLoopConfig {
+  /// Silence window per connection, refreshed on every recv — the same
+  /// meaning the blocking client's `idle_timeout_ms` has.
+  int idle_timeout_ms = 500;
+  /// Deadline for connect establishment (kConnectFail when exceeded).
+  int connect_timeout_ms = 500;
+  /// Upper bound on simultaneously open connections; jobs beyond it queue
+  /// and start as slots free.  Bounds fd usage for large batches.
+  std::size_t max_in_flight = 64;
+  /// Force the poll() backend even where epoll is available (testing).
+  bool force_poll = false;
+  /// Metrics/tracing; resolved once at construction.
+  obs::Observability obs{};
+};
+
+/// Drives batches of roundtrips from the calling thread.  Not thread-safe:
+/// one EventLoop per driving thread (workers each own one).  Reusable
+/// across batches; per-connection recv buffers are recycled.
+class EventLoop {
+ public:
+  explicit EventLoop(EventLoopConfig config = {});
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// True when this loop is multiplexing with epoll, false on the poll
+  /// fallback.
+  bool using_epoll() const noexcept { return epoll_fd_ >= 0; }
+
+  /// Run every job to completion concurrently; `results[i]` corresponds to
+  /// `jobs[i]` and matches what `tcp_roundtrip(jobs[i]...)` would return.
+  std::vector<TcpResult> run_batch(const std::vector<RoundtripJob>& jobs);
+
+  /// `run_batch` under a RetryPolicy: per-job retries with the same
+  /// deterministic backoff, case-deadline and last-attempt-wins semantics
+  /// as `tcp_roundtrip_retry`; backoffs are waited inside the loop (other
+  /// jobs keep progressing while one backs off).
+  std::vector<TcpResult> run_batch_retry(const std::vector<RoundtripJob>& jobs,
+                                         const RetryPolicy& retry);
+
+ private:
+  struct Conn;
+  void drive(const std::vector<RoundtripJob>& jobs, const RetryPolicy& retry,
+             std::vector<TcpResult>& results);
+
+  EventLoopConfig config_;
+  obs::NetLoopObs obs_;
+  int epoll_fd_ = -1;
+  std::vector<char> recv_scratch_;   ///< reused recv chunk buffer
+  std::size_t reserve_hint_ = 4096;  ///< grow-once hint for accumulators
+};
+
+/// Convenience one-shot: construct a loop, run one batch with retries.
+/// The executor path keeps a per-worker EventLoop instead.
+std::vector<TcpResult> tcp_roundtrip_batch(
+    const std::vector<RoundtripJob>& jobs, const RetryPolicy& retry = {},
+    EventLoopConfig config = {});
+
+}  // namespace hdiff::net

@@ -1,0 +1,163 @@
+#include "net/live.h"
+
+#include <utility>
+
+#include "http/header_util.h"
+#include "http/view.h"
+
+namespace hdiff::net {
+
+namespace {
+
+impls::BodyFraming framing_from_string(std::string_view s) noexcept {
+  if (s == "content-length") return impls::BodyFraming::kContentLength;
+  if (s == "chunked") return impls::BodyFraming::kChunked;
+  if (s == "until-close") return impls::BodyFraming::kUntilClose;
+  if (s == "n/a") return impls::BodyFraming::kNotApplicable;
+  return impls::BodyFraming::kNone;
+}
+
+bool parse_size(std::string_view s, std::size_t& out) noexcept {
+  if (s.empty()) return false;
+  std::size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+impls::ServerVerdict verdict_from_wire(std::string_view wire) {
+  thread_local http::ResponseView view;
+  thread_local std::string scratch;
+  http::parse_response_view(wire, view);
+
+  impls::ServerVerdict v;
+  v.status = view.status;
+  // render_response maps `incomplete` to 408; no model answers 408 itself.
+  v.incomplete = view.status == 408;
+  if (const http::HeaderView* h = view.find_first("X-HDiff-Impl")) {
+    v.impl.assign(view.joined_value(*h, scratch));
+  }
+  if (const http::HeaderView* h = view.find_first("X-HDiff-Host")) {
+    const std::string_view host = view.joined_value(*h, scratch);
+    if (host != "-") v.host.assign(host);
+  }
+  if (const http::HeaderView* h = view.find_first("X-HDiff-Framing")) {
+    v.framing = framing_from_string(view.joined_value(*h, scratch));
+  }
+  if (const http::HeaderView* h = view.find_first("X-HDiff-Leftover")) {
+    std::size_t n = 0;
+    if (parse_size(view.joined_value(*h, scratch), n)) {
+      v.leftover.assign(n, '?');  // only the length survives the wire
+    }
+  }
+  if (const http::HeaderView* h = view.find_first("Connection")) {
+    v.close_connection =
+        http::iequals(http::last_list_item(view.joined_value(*h, scratch)),
+                      "close");
+  }
+  // The server frames its echo body with Content-Length.
+  if (const http::HeaderView* h = view.find_first("Content-Length")) {
+    std::size_t n = 0;
+    if (parse_size(view.joined_value(*h, scratch), n)) {
+      v.body.assign(view.after_headers().substr(0, n));
+    }
+  }
+  view.clear();  // do not keep borrowing `wire` past this call
+  return v;
+}
+
+LiveFleet::LiveFleet(std::vector<const impls::HttpImplementation*> backends,
+                     LiveFleetConfig config)
+    : backends_(std::move(backends)),
+      config_(config),
+      loop_enabled_(net_loop_enabled(config.mode)) {
+  servers_.reserve(backends_.size());
+  for (const impls::HttpImplementation* backend : backends_) {
+    servers_.push_back(std::make_unique<ModelServer>(
+        *backend, config_.obs, config_.server_concurrency,
+        config_.service_delay_ms));
+  }
+}
+
+std::uint16_t LiveFleet::port(std::size_t i) const noexcept {
+  return i < servers_.size() ? servers_[i]->port() : 0;
+}
+
+ChainObservation LiveFleet::fold_case(std::string_view uuid,
+                                      std::string_view raw,
+                                      const TcpResult* legs) const {
+  ChainObservation obs;
+  obs.uuid.assign(uuid);
+  obs.request.assign(raw);
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    const TcpResult& leg = legs[b];
+    if (!leg.ok()) {
+      // Same contract as Chain::observe on a ChainFault: one bad leg
+      // poisons the case — no partial verdict maps reach detection.
+      obs.direct.clear();
+      obs.fault = leg.error;
+      obs.fault_detail = "live ";
+      obs.fault_detail += backends_[b]->name();
+      obs.fault_detail += ": ";
+      obs.fault_detail += to_string(leg.error);
+      return obs;
+    }
+    obs.direct.emplace(std::string(backends_[b]->name()),
+                       verdict_from_wire(leg.bytes));
+  }
+  return obs;
+}
+
+ChainObservation LiveFleet::observe(std::string_view uuid,
+                                    std::string_view raw,
+                                    const RetryPolicy& retry) {
+  const std::vector<LiveCase> one{{uuid, raw}};
+  return std::move(observe_batch(one, retry).front());
+}
+
+std::vector<ChainObservation> LiveFleet::observe_batch(
+    const std::vector<LiveCase>& cases, const RetryPolicy& retry) {
+  const std::size_t width = backends_.size();
+  std::vector<TcpResult> legs;
+  if (loop_enabled_) {
+    std::vector<RoundtripJob> jobs;
+    jobs.reserve(cases.size() * width);
+    for (const LiveCase& c : cases) {
+      for (std::size_t b = 0; b < width; ++b) {
+        jobs.push_back(RoundtripJob{servers_[b]->port(), c.raw});
+      }
+    }
+    EventLoopConfig loop_config;
+    loop_config.idle_timeout_ms = config_.idle_timeout_ms;
+    loop_config.force_poll = config_.force_poll;
+    loop_config.obs = config_.obs;
+    // A fresh loop per batch keeps observe_batch callable from concurrent
+    // executor workers; construction is one epoll_create1 against a batch
+    // of real roundtrips.
+    EventLoop loop(loop_config);
+    legs = loop.run_batch_retry(jobs, retry);
+  } else {
+    legs.reserve(cases.size() * width);
+    for (const LiveCase& c : cases) {
+      for (std::size_t b = 0; b < width; ++b) {
+        legs.push_back(tcp_roundtrip_retry(servers_[b]->port(), c.raw, retry,
+                                           config_.idle_timeout_ms));
+      }
+    }
+  }
+
+  std::vector<ChainObservation> out;
+  out.reserve(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    out.push_back(
+        fold_case(cases[i].uuid, cases[i].raw, legs.data() + i * width));
+  }
+  return out;
+}
+
+}  // namespace hdiff::net

@@ -1,0 +1,110 @@
+// Live back-end fleet: every behaviour model served as a real loopback HTTP
+// origin (ModelServer), probed over actual sockets instead of in-process
+// calls.  This is the workload the event-loop driver (event_loop.h) exists
+// for — each observation is dominated by network waits, so batching N cases
+// through one `EventLoop` overlaps what the blocking client must serialize.
+//
+// The fleet produces `ChainObservation`s whose `direct` map is reconstructed
+// from the wire via `verdict_from_wire`, so the same executor/detection
+// pipeline that consumes in-process chain observations runs unchanged.  Both
+// probe modes (blocking roundtrips and the event loop) classify and retry
+// with the same machinery, so their observations — and therefore findings —
+// are byte-identical; `hdiff selftest --net-loop` asserts exactly that.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "impls/model.h"
+#include "impls/verdict.h"
+#include "net/chain.h"
+#include "net/error.h"
+#include "net/event_loop.h"
+#include "net/tcp.h"
+#include "obs/obs.h"
+
+namespace hdiff::net {
+
+/// Reconstruct a `ServerVerdict` from the response bytes a ModelServer
+/// renders (tcp.cpp render_response).  The projection is lossy where the
+/// wire is: `reason` and `version` are not echoed and stay defaulted, and
+/// the leftover bytes travel only as a length (X-HDiff-Leftover), so the
+/// verdict carries a placeholder string of that length.  The mapping is
+/// deterministic, so verdicts recovered from identical wire bytes compare
+/// equal — which is all cross-mode finding identity needs.
+impls::ServerVerdict verdict_from_wire(std::string_view wire);
+
+struct LiveFleetConfig {
+  /// Probe transport: kOff = one blocking `tcp_roundtrip_retry` per leg,
+  /// kOn/kAuto(resolved) = all legs of a batch multiplexed through one
+  /// EventLoop.
+  NetLoopMode mode = NetLoopMode::kAuto;
+  /// Per-connection silence window (same meaning in both modes).
+  int idle_timeout_ms = 500;
+  /// Accept/serve threads per ModelServer; the event loop needs >1 to have
+  /// its concurrent roundtrips actually serviced concurrently.
+  int server_concurrency = 4;
+  /// Simulated per-request service time on every backend (ModelServer's
+  /// `service_delay_ms`) — benchmark knob for the latency-bound regime the
+  /// event loop targets; 0 keeps the historical instant-answer servers.
+  int service_delay_ms = 0;
+  /// Force the poll() backend of the event loop (testing).
+  bool force_poll = false;
+  obs::Observability obs{};
+};
+
+/// One scheduled case for `observe_batch`.  Both views are borrowed for the
+/// duration of the call.
+struct LiveCase {
+  std::string_view uuid;
+  std::string_view raw;
+};
+
+/// Serves `backends` as live origins for its own lifetime and observes test
+/// cases against all of them.  Thread-safe: `observe`/`observe_batch` may be
+/// called from concurrent executor workers (each batch call drives its own
+/// EventLoop; the blocking path is per-call already).
+class LiveFleet {
+ public:
+  explicit LiveFleet(std::vector<const impls::HttpImplementation*> backends,
+                     LiveFleetConfig config = {});
+
+  /// Whether batches go through the event loop (config mode resolved).
+  bool loop_enabled() const noexcept { return loop_enabled_; }
+
+  const std::vector<const impls::HttpImplementation*>& backends()
+      const noexcept {
+    return backends_;
+  }
+
+  /// Port the i-th backend is served on (tests).
+  std::uint16_t port(std::size_t i) const noexcept;
+
+  /// Observe one case: one roundtrip per backend, retried under `retry`.
+  /// Any leg still failing after retries faults the whole observation
+  /// (direct map cleared, `fault`/`fault_detail` set) exactly like the
+  /// in-process chain does, so executor quarantine semantics carry over.
+  ChainObservation observe(std::string_view uuid, std::string_view raw,
+                           const RetryPolicy& retry = {});
+
+  /// Observe a whole scheduled block: `cases.size() * backends.size()`
+  /// roundtrips, multiplexed through one EventLoop when the loop is
+  /// enabled (sequential blocking roundtrips otherwise).  `out[i]`
+  /// corresponds to `cases[i]` and is byte-identical to what `observe`
+  /// would have produced for it.
+  std::vector<ChainObservation> observe_batch(
+      const std::vector<LiveCase>& cases, const RetryPolicy& retry = {});
+
+ private:
+  ChainObservation fold_case(std::string_view uuid, std::string_view raw,
+                             const TcpResult* legs) const;
+
+  std::vector<const impls::HttpImplementation*> backends_;
+  LiveFleetConfig config_;
+  bool loop_enabled_ = false;
+  std::vector<std::unique_ptr<ModelServer>> servers_;
+};
+
+}  // namespace hdiff::net

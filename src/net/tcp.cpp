@@ -9,33 +9,42 @@
 #include <chrono>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 
-#include "http/lexer.h"
-#include "http/response.h"
+#include "http/view.h"
 
 namespace hdiff::net {
 
 namespace {
-
-/// How a read loop stopped.
-enum class StreamEnd {
-  kIdle,   ///< idle timeout
-  kClose,  ///< orderly peer close
-  kError,  ///< recv error (reset)
-};
 
 struct ReadOutcome {
   std::string bytes;
   StreamEnd end = StreamEnd::kIdle;
 };
 
+/// Reused per-thread recv scratch (16 KiB — large enough to take a typical
+/// model response in one recv) and a grow-once hint for the accumulator, so
+/// steady-state roundtrips stop paying reallocation churn for every read.
+constexpr std::size_t kRecvChunk = 16 * 1024;
+
+char* recv_scratch() {
+  thread_local std::unique_ptr<char[]> buf(new char[kRecvChunk]);
+  return buf.get();
+}
+
+std::size_t& reserve_hint() {
+  thread_local std::size_t hint = 4096;
+  return hint;
+}
+
 /// Read until `idle_timeout_ms` of silence, peer close, or `stop` returns
 /// true for the accumulated bytes.
 ReadOutcome read_available(int fd, int idle_timeout_ms,
                            const std::function<bool(std::string_view)>& stop) {
   ReadOutcome out;
-  char buf[4096];
+  char* buf = recv_scratch();
+  out.bytes.reserve(reserve_hint());
   while (true) {
     pollfd pfd{fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, idle_timeout_ms);
@@ -48,7 +57,7 @@ ReadOutcome read_available(int fd, int idle_timeout_ms,
       out.end = StreamEnd::kError;
       break;
     }
-    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    ssize_t n = ::recv(fd, buf, kRecvChunk, 0);
     if (n == 0) {
       out.end = StreamEnd::kClose;
       break;
@@ -64,6 +73,7 @@ ReadOutcome read_available(int fd, int idle_timeout_ms,
       break;
     }
   }
+  if (out.bytes.size() > reserve_hint()) reserve_hint() = out.bytes.size();
   return out;
 }
 
@@ -83,40 +93,6 @@ bool send_all(int fd, std::string_view bytes) {
     off += static_cast<std::size_t>(n);
   }
   return true;
-}
-
-/// Classify how a client exchange ended, given the accumulated response
-/// bytes, the request (for HEAD framing) and how the stream stopped.
-ChainError classify_response(std::string_view bytes, std::string_view request,
-                             StreamEnd end) {
-  if (bytes.empty()) {
-    // Connected, sent the request, got nothing back: silence is a timeout,
-    // anything else is the peer going away.
-    return end == StreamEnd::kIdle ? ChainError::kTimeout : ChainError::kReset;
-  }
-  if (bytes.substr(0, 5) != "HTTP/") return ChainError::kMalformed;
-  if (bytes.find("\r\n\r\n") == std::string_view::npos) {
-    // Header block never completed.
-    switch (end) {
-      case StreamEnd::kIdle: return ChainError::kTimeout;
-      case StreamEnd::kClose: return ChainError::kTruncated;
-      case StreamEnd::kError: return ChainError::kReset;
-    }
-  }
-  const http::Method method =
-      http::method_from_token(http::lex_request(request).line.method_token);
-  http::FramedResponse framed = http::frame_first_response(bytes, method);
-  if (!framed.head.status_line_valid()) return ChainError::kMalformed;
-  // Read-until-close framing cannot distinguish "done" from "cut off";
-  // frame_first_response reports it complete, matching the legacy
-  // read-to-idle semantics.
-  if (framed.complete) return ChainError::kNone;
-  switch (end) {
-    case StreamEnd::kIdle: return ChainError::kTimeout;
-    case StreamEnd::kClose: return ChainError::kTruncated;
-    case StreamEnd::kError: return ChainError::kReset;
-  }
-  return ChainError::kMalformed;  // unreachable
 }
 
 /// Render the model's verdict as a real HTTP response whose headers carry
@@ -145,6 +121,37 @@ void abort_connection(int fd) {
 
 }  // namespace
 
+ChainError classify_exchange(std::string_view bytes, std::string_view request,
+                             StreamEnd end) noexcept {
+  if (bytes.empty()) {
+    // Connected, sent the request, got nothing back: silence is a timeout,
+    // anything else is the peer going away.
+    return end == StreamEnd::kIdle ? ChainError::kTimeout : ChainError::kReset;
+  }
+  if (bytes.substr(0, 5) != "HTTP/") return ChainError::kMalformed;
+  if (bytes.find("\r\n\r\n") == std::string_view::npos) {
+    // Header block never completed.
+    switch (end) {
+      case StreamEnd::kIdle: return ChainError::kTimeout;
+      case StreamEnd::kClose: return ChainError::kTruncated;
+      case StreamEnd::kError: return ChainError::kReset;
+    }
+  }
+  const http::Method method = http::sniff_method(request);
+  http::ResponseProbe probe = http::probe_first_response(bytes, method);
+  if (!probe.status_line_valid) return ChainError::kMalformed;
+  // Read-until-close framing cannot distinguish "done" from "cut off";
+  // the probe reports it complete, matching the legacy read-to-idle
+  // semantics.
+  if (probe.complete) return ChainError::kNone;
+  switch (end) {
+    case StreamEnd::kIdle: return ChainError::kTimeout;
+    case StreamEnd::kClose: return ChainError::kTruncated;
+    case StreamEnd::kError: return ChainError::kReset;
+  }
+  return ChainError::kMalformed;  // unreachable
+}
+
 TcpListener::TcpListener() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("socket() failed");
@@ -155,7 +162,7 @@ TcpListener::TcpListener() {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = 0;
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 8) < 0) {
+      ::listen(fd, 128) < 0) {
     ::close(fd);
     throw std::runtime_error("bind/listen failed");
   }
@@ -208,7 +215,7 @@ TcpResult tcp_roundtrip(std::uint16_t port, std::string_view request,
   ::shutdown(fd, SHUT_WR);
   ReadOutcome read = read_available(fd, idle_timeout_ms, nullptr);
   ::close(fd);
-  result.error = classify_response(read.bytes, request, read.end);
+  result.error = classify_exchange(read.bytes, request, read.end);
   result.bytes = std::move(read.bytes);
   return result;
 }
@@ -241,18 +248,27 @@ TcpResult tcp_roundtrip_retry(std::uint16_t port, std::string_view request,
 // ---------------------------------------------------------------------------
 
 ModelServer::ModelServer(const impls::HttpImplementation& impl,
-                         obs::Observability obs)
+                         obs::Observability obs, int concurrency,
+                         int service_delay_ms)
     : impl_(impl),
       obs_(obs),
       requests_(obs.metrics
                     ? &obs.metrics->counter("hdiff_server_requests_total")
                     : nullptr),
-      thread_([this] { serve_loop(); }) {}
+      service_delay_ms_(service_delay_ms) {
+  if (concurrency < 1) concurrency = 1;
+  threads_.reserve(static_cast<std::size_t>(concurrency));
+  for (int i = 0; i < concurrency; ++i) {
+    threads_.emplace_back([this] { serve_loop(); });
+  }
+}
 
 ModelServer::~ModelServer() {
   stopping_ = true;
   listener_.close_listener();
-  if (thread_.joinable()) thread_.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void ModelServer::serve_loop() {
@@ -268,6 +284,13 @@ void ModelServer::serve_loop() {
             return !v.incomplete;  // complete request (accepted or rejected)
           }).bytes;
       impls::ServerVerdict verdict = impl_.parse_request(raw);
+      if (service_delay_ms_ > 0) {
+        // Simulated service time: hold the connection like a busy upstream
+        // would, then answer.  This is the wait a concurrent transport can
+        // overlap and a blocking one must eat serially.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(service_delay_ms_));
+      }
       send_all(conn, render_response(verdict));
     } catch (const ChainFault&) {
       // Fault-injected model: behave like a crashed upstream — drop the

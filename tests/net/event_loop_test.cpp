@@ -1,0 +1,206 @@
+// net::EventLoop: the epoll/poll nonblocking batch driver must produce
+// byte-identical results to the blocking client for every classification
+// path, under retries, and on the poll fallback.
+#include "net/event_loop.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "impls/products.h"
+#include "net/tcp.h"
+#include "obs/obs.h"
+
+namespace hdiff::net {
+namespace {
+
+TEST(NetLoopMode, ParsesAndPrints) {
+  NetLoopMode mode = NetLoopMode::kOff;
+  EXPECT_TRUE(net_loop_mode_from_string("on", mode));
+  EXPECT_EQ(mode, NetLoopMode::kOn);
+  EXPECT_TRUE(net_loop_mode_from_string("off", mode));
+  EXPECT_EQ(mode, NetLoopMode::kOff);
+  EXPECT_TRUE(net_loop_mode_from_string("auto", mode));
+  EXPECT_EQ(mode, NetLoopMode::kAuto);
+  EXPECT_FALSE(net_loop_mode_from_string("bogus", mode));
+  EXPECT_EQ(to_string(NetLoopMode::kOn), "on");
+  EXPECT_EQ(to_string(NetLoopMode::kOff), "off");
+  EXPECT_EQ(to_string(NetLoopMode::kAuto), "auto");
+  EXPECT_TRUE(net_loop_enabled(NetLoopMode::kOn));
+  EXPECT_FALSE(net_loop_enabled(NetLoopMode::kOff));
+}
+
+TEST(EventLoop, EmptyBatchReturnsEmpty) {
+  EventLoop loop;
+  EXPECT_TRUE(loop.run_batch({}).empty());
+}
+
+// A batch against live ModelServers must return, per job, exactly what the
+// blocking client returns for the same request.
+void expect_batch_matches_blocking(bool force_poll) {
+  auto apache = impls::make_implementation("apache");
+  auto nginx = impls::make_implementation("nginx");
+  ModelServer apache_server(*apache, {}, /*concurrency=*/4);
+  ModelServer nginx_server(*nginx, {}, /*concurrency=*/4);
+
+  const std::vector<std::string> requests = {
+      "GET /x HTTP/1.1\r\nHost: h1.com\r\n\r\n",
+      "GET / HTTP/1.1\r\n\r\n",  // rejected: no Host
+      "POST / HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 5\r\n\r\nhello",
+      "POST / HTTP/1.1\r\nHost: h1.com\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\n",
+  };
+  std::vector<RoundtripJob> jobs;
+  for (const std::string& r : requests) {
+    jobs.push_back(RoundtripJob{apache_server.port(), r});
+    jobs.push_back(RoundtripJob{nginx_server.port(), r});
+  }
+
+  EventLoopConfig config;
+  config.force_poll = force_poll;
+  EventLoop loop(config);
+  EXPECT_EQ(loop.using_epoll(), !force_poll);
+  const std::vector<TcpResult> batch = loop.run_batch(jobs);
+  ASSERT_EQ(batch.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const TcpResult blocking =
+        tcp_roundtrip(jobs[i].port, jobs[i].request);
+    EXPECT_EQ(batch[i].error, blocking.error) << "job " << i;
+    EXPECT_EQ(batch[i].bytes, blocking.bytes) << "job " << i;
+  }
+}
+
+TEST(EventLoop, BatchMatchesBlockingClient) {
+  expect_batch_matches_blocking(/*force_poll=*/false);
+}
+
+TEST(EventLoop, PollFallbackMatchesBlockingClient) {
+  expect_batch_matches_blocking(/*force_poll=*/true);
+}
+
+TEST(EventLoop, ConnectFailureIsClassifiedPerJob) {
+  // Port 1 on loopback is almost certainly closed; a live server in the
+  // same batch must be unaffected by its neighbours' failures.
+  auto apache = impls::make_implementation("apache");
+  ModelServer server(*apache, {}, /*concurrency=*/2);
+  const std::string good = "GET /x HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  const std::vector<RoundtripJob> jobs = {
+      {1, good}, {server.port(), good}, {1, good}};
+  EventLoop loop;
+  const std::vector<TcpResult> batch = loop.run_batch(jobs);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].error, ChainError::kConnectFail);
+  EXPECT_TRUE(batch[1].ok());
+  EXPECT_NE(batch[1].bytes.find("X-HDiff-Impl: apache"), std::string::npos);
+  EXPECT_EQ(batch[2].error, ChainError::kConnectFail);
+}
+
+TEST(EventLoop, SilentPeerTimesOutLikeBlockingClient) {
+  // A listener that never accepts: the kernel completes the connect and
+  // swallows the request, then nothing arrives — idle timeout, kTimeout.
+  TcpListener silent;
+  EventLoopConfig config;
+  config.idle_timeout_ms = 50;
+  EventLoop loop(config);
+  const std::vector<RoundtripJob> jobs = {
+      {silent.port(), "GET / HTTP/1.1\r\n\r\n"}};
+  const std::vector<TcpResult> batch = loop.run_batch(jobs);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].error, ChainError::kTimeout);
+  EXPECT_EQ(tcp_roundtrip(silent.port(), "GET / HTTP/1.1\r\n\r\n", 50).error,
+            ChainError::kTimeout);
+}
+
+TEST(EventLoop, RetryPolicyMatchesBlockingRetrySemantics) {
+  // All attempts against a dead port fail: the last attempt's result is
+  // returned, after the full deterministic backoff schedule.
+  RetryPolicy retry;
+  retry.attempts = 3;
+  retry.backoff_base_ms = 1;
+  retry.backoff_max_ms = 2;
+  obs::Registry registry;
+  EventLoopConfig config;
+  config.obs.metrics = &registry;
+  EventLoop loop(config);
+  const std::vector<RoundtripJob> jobs = {{1, "GET / HTTP/1.1\r\n\r\n"},
+                                          {1, "HEAD / HTTP/1.1\r\n\r\n"}};
+  const std::vector<TcpResult> batch = loop.run_batch_retry(jobs, retry);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const TcpResult& r : batch) {
+    EXPECT_EQ(r.error, ChainError::kConnectFail);
+  }
+  // 2 jobs x 3 attempts = 6 roundtrips, of which 4 are retries.
+  EXPECT_EQ(registry.counter("hdiff_net_loop_batches_total").value(), 1u);
+  EXPECT_EQ(registry.counter("hdiff_net_loop_roundtrips_total").value(), 2u);
+  EXPECT_EQ(registry.counter("hdiff_net_loop_retries_total").value(), 4u);
+}
+
+TEST(EventLoop, RetryRecoversWhenServerComesUp) {
+  // First attempts hit a dead port; a server bound to that port between
+  // attempts must turn the case into a success (same as the blocking
+  // client's retry loop would see).  We approximate by retrying against a
+  // live server with attempts > 1: the first attempt already succeeds and
+  // no retries are recorded.
+  auto apache = impls::make_implementation("apache");
+  ModelServer server(*apache, {}, /*concurrency=*/2);
+  RetryPolicy retry;
+  retry.attempts = 3;
+  obs::Registry registry;
+  EventLoopConfig config;
+  config.obs.metrics = &registry;
+  EventLoop loop(config);
+  const std::vector<RoundtripJob> jobs = {
+      {server.port(), "GET /x HTTP/1.1\r\nHost: h1.com\r\n\r\n"}};
+  const std::vector<TcpResult> batch = loop.run_batch_retry(jobs, retry);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_EQ(registry.counter("hdiff_net_loop_retries_total").value(), 0u);
+}
+
+TEST(EventLoop, LargeBatchBoundedByMaxInFlight) {
+  auto apache = impls::make_implementation("apache");
+  ModelServer server(*apache, {}, /*concurrency=*/4);
+  const std::string request = "GET /x HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  EventLoopConfig config;
+  config.max_in_flight = 4;  // force queuing: 24 jobs through 4 slots
+  EventLoop loop(config);
+  std::vector<RoundtripJob> jobs(24, RoundtripJob{server.port(), request});
+  const std::vector<TcpResult> batch = loop.run_batch(jobs);
+  ASSERT_EQ(batch.size(), jobs.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(batch[i].ok()) << "job " << i << ": "
+                               << to_string(batch[i].error);
+    EXPECT_NE(batch[i].bytes.find("X-HDiff-Impl: apache"), std::string::npos);
+  }
+}
+
+TEST(EventLoop, LoopIsReusableAcrossBatches) {
+  auto nginx = impls::make_implementation("nginx");
+  ModelServer server(*nginx, {}, /*concurrency=*/2);
+  const std::string request = "GET /x HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+  EventLoop loop;
+  const TcpResult want = tcp_roundtrip(server.port(), request);
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<TcpResult> batch =
+        loop.run_batch({{server.port(), request}, {server.port(), request}});
+    ASSERT_EQ(batch.size(), 2u);
+    for (const TcpResult& r : batch) {
+      EXPECT_EQ(r.error, want.error);
+      EXPECT_EQ(r.bytes, want.bytes);
+    }
+  }
+}
+
+TEST(EventLoop, OneShotBatchHelper) {
+  auto apache = impls::make_implementation("apache");
+  ModelServer server(*apache, {}, /*concurrency=*/2);
+  const std::vector<TcpResult> batch = tcp_roundtrip_batch(
+      {{server.port(), "GET /x HTTP/1.1\r\nHost: h1.com\r\n\r\n"}});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].ok());
+}
+
+}  // namespace
+}  // namespace hdiff::net

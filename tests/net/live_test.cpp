@@ -1,0 +1,180 @@
+// net::LiveFleet + verdict_from_wire: live-socket observations must project
+// the model verdicts faithfully and be byte-identical between the blocking
+// transport and the event loop.
+#include "net/live.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "impls/products.h"
+#include "net/tcp.h"
+
+namespace hdiff::net {
+namespace {
+
+TEST(VerdictFromWire, ParsesEchoHeaders) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\n"
+      "X-HDiff-Impl: apache\r\n"
+      "X-HDiff-Host: h1.com\r\n"
+      "X-HDiff-Framing: content-length\r\n"
+      "X-HDiff-Leftover: 4\r\n"
+      "Content-Length: 5\r\n"
+      "Connection: close\r\n\r\n"
+      "hello";
+  const impls::ServerVerdict v = verdict_from_wire(wire);
+  EXPECT_EQ(v.impl, "apache");
+  EXPECT_EQ(v.status, 200);
+  EXPECT_FALSE(v.incomplete);
+  EXPECT_EQ(v.framing, impls::BodyFraming::kContentLength);
+  EXPECT_EQ(v.host, "h1.com");
+  EXPECT_EQ(v.body, "hello");
+  EXPECT_EQ(v.leftover.size(), 4u);  // only the length survives the wire
+  EXPECT_TRUE(v.close_connection);
+  EXPECT_TRUE(v.accepted());
+}
+
+TEST(VerdictFromWire, MapsSentinelsBack) {
+  const std::string wire =
+      "HTTP/1.1 408 Error\r\n"
+      "X-HDiff-Impl: nginx\r\n"
+      "X-HDiff-Host: -\r\n"
+      "X-HDiff-Framing: n/a\r\n"
+      "X-HDiff-Leftover: 0\r\n"
+      "Content-Length: 0\r\n"
+      "Connection: close\r\n\r\n";
+  const impls::ServerVerdict v = verdict_from_wire(wire);
+  EXPECT_EQ(v.status, 408);
+  EXPECT_TRUE(v.incomplete);          // 408 is the incomplete sentinel
+  EXPECT_TRUE(v.host.empty());        // "-" means no host
+  EXPECT_EQ(v.framing, impls::BodyFraming::kNotApplicable);
+  EXPECT_TRUE(v.leftover.empty());
+  EXPECT_TRUE(v.body.empty());
+}
+
+TEST(VerdictFromWire, AllFramingStringsRoundTrip) {
+  for (impls::BodyFraming f :
+       {impls::BodyFraming::kNone, impls::BodyFraming::kContentLength,
+        impls::BodyFraming::kChunked, impls::BodyFraming::kUntilClose,
+        impls::BodyFraming::kNotApplicable}) {
+    const std::string wire = "HTTP/1.1 200 OK\r\nX-HDiff-Framing: " +
+                             std::string(impls::to_string(f)) +
+                             "\r\nContent-Length: 0\r\n\r\n";
+    EXPECT_EQ(verdict_from_wire(wire).framing, f) << impls::to_string(f);
+  }
+}
+
+std::vector<const impls::HttpImplementation*> backend_ptrs(
+    const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet) {
+  std::vector<const impls::HttpImplementation*> out;
+  for (const auto& impl : fleet) {
+    if (impl->is_server()) out.push_back(impl.get());
+  }
+  return out;
+}
+
+// The live observation must carry, per backend, the same verdict the model
+// produces in-process — restricted to the fields that survive the wire.
+TEST(LiveFleet, ObservationMatchesInProcessVerdicts) {
+  auto fleet = impls::make_all_implementations();
+  const auto backends = backend_ptrs(fleet);
+  ASSERT_GE(backends.size(), 2u);
+  LiveFleetConfig config;
+  config.mode = NetLoopMode::kOff;
+  LiveFleet live(backends, config);
+
+  const std::string raw =
+      "POST /p HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 5\r\n\r\nhelloX";
+  const ChainObservation obs = live.observe("case-1", raw);
+  ASSERT_FALSE(obs.faulted()) << obs.fault_detail;
+  EXPECT_EQ(obs.uuid, "case-1");
+  ASSERT_EQ(obs.direct.size(), backends.size());
+  for (const impls::HttpImplementation* backend : backends) {
+    const auto it = obs.direct.find(std::string(backend->name()));
+    ASSERT_NE(it, obs.direct.end()) << backend->name();
+    const impls::ServerVerdict want = backend->parse_request(raw);
+    const impls::ServerVerdict& got = it->second;
+    EXPECT_EQ(got.impl, want.impl);
+    EXPECT_EQ(got.incomplete, want.incomplete);
+    if (!want.incomplete) {
+      EXPECT_EQ(got.status, want.status);
+    }
+    EXPECT_EQ(got.framing, want.framing);
+    EXPECT_EQ(got.host, want.host);
+    EXPECT_EQ(got.body, want.body);
+    EXPECT_EQ(got.leftover.size(), want.leftover.size());
+  }
+}
+
+// Core identity gate: blocking transport and event loop (epoll and poll)
+// produce field-identical observations for the same corpus.
+TEST(LiveFleet, BlockingAndEventLoopObservationsIdentical) {
+  auto fleet = impls::make_all_implementations();
+  const auto backends = backend_ptrs(fleet);
+  const std::vector<std::string> corpus = {
+      "GET /x HTTP/1.1\r\nHost: h1.com\r\n\r\n",
+      "GET / HTTP/1.1\r\n\r\n",
+      "POST / HTTP/1.1\r\nHost: h1.com\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\nGET /smuggled HTTP/1.1\r\n\r\n",
+      "POST / HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 5\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+  };
+  std::vector<LiveCase> cases;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    cases.push_back(LiveCase{"case", corpus[i]});
+  }
+
+  const auto run = [&](NetLoopMode mode, bool force_poll) {
+    LiveFleetConfig config;
+    config.mode = mode;
+    config.force_poll = force_poll;
+    LiveFleet live(backends, config);
+    EXPECT_EQ(live.loop_enabled(), mode == NetLoopMode::kOn);
+    return live.observe_batch(cases);
+  };
+  const std::vector<ChainObservation> off = run(NetLoopMode::kOff, false);
+  const std::vector<ChainObservation> epoll = run(NetLoopMode::kOn, false);
+  const std::vector<ChainObservation> poll = run(NetLoopMode::kOn, true);
+
+  const auto expect_same = [&](const std::vector<ChainObservation>& a,
+                               const std::vector<ChainObservation>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      SCOPED_TRACE("case " + std::to_string(i));
+      EXPECT_EQ(a[i].fault, b[i].fault);
+      ASSERT_EQ(a[i].direct.size(), b[i].direct.size());
+      for (const auto& [name, va] : a[i].direct) {
+        const auto it = b[i].direct.find(name);
+        ASSERT_NE(it, b[i].direct.end()) << name;
+        const impls::ServerVerdict& vb = it->second;
+        EXPECT_EQ(va.impl, vb.impl) << name;
+        EXPECT_EQ(va.status, vb.status) << name;
+        EXPECT_EQ(va.incomplete, vb.incomplete) << name;
+        EXPECT_EQ(va.framing, vb.framing) << name;
+        EXPECT_EQ(va.host, vb.host) << name;
+        EXPECT_EQ(va.body, vb.body) << name;
+        EXPECT_EQ(va.leftover, vb.leftover) << name;
+        EXPECT_EQ(va.close_connection, vb.close_connection) << name;
+      }
+    }
+  };
+  expect_same(off, epoll);
+  expect_same(off, poll);
+}
+
+TEST(LiveFleet, ExposesBackendPorts) {
+  auto fleet = impls::make_all_implementations();
+  const auto backends = backend_ptrs(fleet);
+  LiveFleetConfig config;
+  config.mode = NetLoopMode::kOff;
+  LiveFleet live(backends, config);
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    EXPECT_GT(live.port(i), 0) << i;
+  }
+  EXPECT_EQ(live.port(backends.size()), 0);  // out of range
+}
+
+}  // namespace
+}  // namespace hdiff::net

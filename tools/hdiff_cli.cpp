@@ -26,6 +26,14 @@
 //   hdiff selftest --trace             run the pipeline with and without
 //                                      observability and assert the findings
 //                                      are byte-identical
+//   hdiff selftest --views             assert the zero-copy view parsers
+//                                      (http/view.h) are byte-identical to
+//                                      the frozen reference lexer
+//   hdiff selftest --net-loop          assert findings are byte-identical
+//                                      when live roundtrips go through the
+//                                      epoll event loop vs the blocking
+//                                      client (--force-poll for the poll
+//                                      fallback)
 //   hdiff lint [docs...] [--all-corpus] [--jobs N] [--json FILE]
 //              [--no-default-waivers]  static spec-lint: grammar analysis
 //                                      (left recursion, ambiguity, dead
@@ -74,8 +82,15 @@
 #include "corpus/registry.h"
 #include "core/hdiff.h"
 #include "core/probes.h"
+#include "http/chunked.h"
+#include "http/lexer.h"
+#include "http/reference.h"
+#include "http/response.h"
+#include "http/view.h"
 #include "impls/products.h"
+#include "net/event_loop.h"
 #include "net/fault.h"
+#include "net/live.h"
 #include "obs/obs.h"
 #include "report/table.h"
 
@@ -107,6 +122,16 @@ int usage() {
       "  selftest --trace [--jobs N]  observability self-test: assert\n"
       "                               findings are byte-identical with\n"
       "                               tracing/metrics on and off\n"
+      "  selftest --views             zero-copy parity self-test: assert the\n"
+      "                               view-backed parsers are byte-identical\n"
+      "                               to the frozen reference lexer over\n"
+      "                               probes + deterministic fuzz mutants\n"
+      "  selftest --net-loop [--jobs N] [--force-poll]\n"
+      "                               live-transport self-test: assert\n"
+      "                               findings are byte-identical with\n"
+      "                               --net-loop on (epoll event loop, or\n"
+      "                               poll via --force-poll) and off\n"
+      "                               (blocking roundtrips)\n"
       "  lint [docs...] [--all-corpus] [--jobs N] [--json FILE]\n"
       "       [--no-default-waivers]  static spec-lint over the extracted\n"
       "                               grammar, the SR rule base, and the\n"
@@ -561,6 +586,393 @@ int selftest_trace(hdiff::core::PipelineConfig config) {
   return 0;
 }
 
+// ---- selftest --views: view-parse vs frozen-reference parity --------------
+//
+// The owned lexers are now thin materializing wrappers over the zero-copy
+// view parsers (http/view.h); http::reference keeps a verbatim copy of the
+// pre-view implementation as a differential oracle.  This self-test drives
+// a corpus of handcrafted edge cases, the Table II probe set, and
+// deterministic fuzz mutants through both and asserts every observable
+// field is byte-identical.
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    if (c >= 0x20 && c < 0x7f && c != '\\') {
+      out += static_cast<char>(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", c);
+      out += buf;
+    }
+  }
+}
+
+std::string dump_headers(const std::vector<hdiff::http::RawHeader>& headers) {
+  std::string out;
+  for (const auto& h : headers) {
+    out += "  [";
+    append_escaped(out, h.name);
+    out += "|";
+    append_escaped(out, h.value);
+    out += "|";
+    append_escaped(out, h.raw_line);
+    out += "|" + hdiff::http::describe_anomalies(h.anomalies) + "|" +
+           h.normalized_name() + "]\n";
+  }
+  return out;
+}
+
+std::string dump_request(const hdiff::http::RawRequest& r) {
+  std::string out = "line[";
+  append_escaped(out, r.line.method_token);
+  out += "|";
+  append_escaped(out, r.line.target);
+  out += "|";
+  append_escaped(out, r.line.version_token);
+  out += "|";
+  append_escaped(out, r.line.raw);
+  out += "|" + hdiff::http::describe_anomalies(r.line.anomalies) + "]\n";
+  out += dump_headers(r.headers);
+  out += "after[";
+  append_escaped(out, r.after_headers);
+  out += "] anomalies=" + hdiff::http::describe_anomalies(r.anomalies);
+  return out;
+}
+
+std::string dump_response(const hdiff::http::RawResponse& r) {
+  std::string out = "status[" + hdiff::http::to_string(r.version) + "|" +
+                    std::to_string(r.status) + "|";
+  append_escaped(out, r.reason);
+  out += "]\n";
+  out += dump_headers(r.headers);
+  out += "after[";
+  append_escaped(out, r.after_headers);
+  out += "] anomalies=" + hdiff::http::describe_anomalies(r.anomalies);
+  return out;
+}
+
+std::string dump_framing(const hdiff::http::ResponseFraming& f) {
+  std::string out = "has_body=" + std::to_string(f.has_body) +
+                    " chunked=" + std::to_string(f.chunked) + " cl=";
+  out += f.content_length ? std::to_string(*f.content_length) : "-";
+  out += " until_close=" + std::to_string(f.until_close);
+  return out;
+}
+
+std::string dump_framed(const hdiff::http::FramedResponse& f) {
+  std::string out = dump_response(f.head) + "\nbody[";
+  append_escaped(out, f.body);
+  out += "] leftover[";
+  append_escaped(out, f.leftover);
+  out += "] complete=" + std::to_string(f.complete) +
+         " interim=" + std::to_string(f.interim);
+  return out;
+}
+
+std::string dump_chunk(const hdiff::http::ChunkResult& c) {
+  std::string out = "ok=" + std::to_string(c.ok) +
+                    " incomplete=" + std::to_string(c.incomplete) +
+                    " overflow=" + std::to_string(c.size_overflowed) +
+                    " nul=" + std::to_string(c.saw_nul) + " body[";
+  append_escaped(out, c.body);
+  out += "] leftover[";
+  append_escaped(out, c.leftover);
+  out += "] error[" + c.error + "] sizes=";
+  for (auto s : c.chunk_sizes) out += std::to_string(s) + ",";
+  return out;
+}
+
+std::vector<std::string> view_parity_corpus() {
+  std::vector<std::string> corpus = {
+      "",
+      "\r\n",
+      "GET / HTTP/1.1\r\nHost: a\r\n\r\n",
+      "GET /\xe2\x80\xa8/u HTTP/1.1\r\nHost: a\r\n\r\n",  // unicode splice
+      "POST / HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhello",
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\nGET /next HTTP/1.1\r\n\r\n",
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5;ext=1\r\nhello\r\n0\r\nTrailer: t\r\n\r\n",
+      "GET / HTTP/1.1\nHost: bare-lf\n\n",
+      "GET / HTTP/1.1\r\nHost: a\r\n Folded: continuation\r\n\r\n",
+      "GET / HTTP/1.1\r\nX: first\r\n\tsecond\r\n\tthird\r\n\r\n",
+      "GET / HTTP/1.1\r\nBad Name: v\r\nName : ws-colon\r\n\r\n",
+      "GET / HTTP/1.1\r\nNoColonHere\r\n: emptyname\r\n\r\n",
+      "GET  /  HTTP/1.1 extra parts\r\n\r\n",
+      "GET /\r\n\r\n",              // 0.9 form
+      "GET / HTTP/9.9.9\r\n\r\n",   // malformed version
+      "GET / HTTP/1.1\r\nTrunc",    // truncated headers
+      std::string("GET /\0nul HTTP/1.1\r\nH: a\0b\r\n\r\n", 33),
+      "GET /\x80\xff HTTP/1.1\r\nH\x81: v\xfe\r\n\r\n",
+      "GET / HTTP/1.1\r\nCr\rinside: v\r\n\r\n",
+      "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabcDEF",
+      "HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 200 OK\r\n"
+      "Content-Length: 0\r\n\r\n",
+      "HTTP/1.1 204 No Content\r\nContent-Length: 9\r\n\r\nleftover!",
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\nrest",
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: gzip, chunked\r\n\r\n"
+      "0\r\n\r\n",
+      "HTTP/1.1 200 OK\r\nFolded:\r\n chunked\r\n\r\nbody",
+      "HTTP/1.1 304 Not Modified\r\n\r\n",
+      "HTTP/2.0 200 OK\r\n\r\nuntil-close body",
+      "NOTHTTP 200 OK\r\n\r\n",
+      "5\r\nhello\r\n0\r\n\r\n",   // bare chunked stream
+      "5\r\nhel\0o\r\n0\r\n\r\n",  // NUL in chunk-data
+      "ff5\r\nshort\r\n",          // incomplete chunk
+      "zz\r\njunk\r\n0\r\n\r\n",   // bad size line
+      "ffffffffffffffffffff\r\nx\r\n0\r\n\r\n",  // size overflow
+  };
+  for (const hdiff::core::TestCase& tc : hdiff::core::verification_probes()) {
+    corpus.push_back(tc.raw);
+  }
+  // Deterministic fuzz mutants: splice random edits into the handcrafted
+  // templates with a fixed LCG, so every run exercises the same inputs.
+  const std::size_t templates = corpus.size();
+  std::uint64_t state = 0x5deece66dull;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state >> 33);
+  };
+  const char alphabet[] = "\r\n\t :;,/\x00\x80\xff\x0bGEThost01af";
+  for (int i = 0; i < 600; ++i) {
+    std::string m = corpus[next() % templates];
+    const int edits = 1 + static_cast<int>(next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      const char c = alphabet[next() % (sizeof alphabet - 1)];
+      switch (next() % 3) {
+        case 0:  // replace
+          if (!m.empty()) m[next() % m.size()] = c;
+          break;
+        case 1:  // insert
+          m.insert(m.begin() + static_cast<long>(next() % (m.size() + 1)), c);
+          break;
+        default:  // delete
+          if (!m.empty()) m.erase(next() % m.size(), 1);
+          break;
+      }
+    }
+    corpus.push_back(std::move(m));
+  }
+  for (int i = 0; i < 100; ++i) {  // pure-random byte soup
+    std::string m(next() % 160, '\0');
+    for (char& c : m) c = static_cast<char>(next() % 256);
+    corpus.push_back(std::move(m));
+  }
+  return corpus;
+}
+
+int selftest_views() {
+  namespace http = hdiff::http;
+  namespace ref = hdiff::http::reference;
+  const std::vector<std::string> corpus = view_parity_corpus();
+  const std::vector<http::ChunkPolicy> policies = {
+      {},
+      {.nul_terminates_body = true},
+      {.lenient_size_line = true,
+       .require_crlf_after_data = false,
+       .allow_bare_lf = true},
+      {.wrapping_size = true, .wrap_bits = 16, .reject_nul_in_data = true},
+  };
+  std::size_t checks = 0;
+  std::size_t failures = 0;
+  const auto expect = [&](bool ok, const char* what, const std::string& in,
+                          const std::string& got, const std::string& want) {
+    ++checks;
+    if (ok) return;
+    ++failures;
+    if (failures > 8) return;  // keep the report readable
+    std::string shown;
+    append_escaped(shown, std::string_view(in).substr(0, 96));
+    std::printf("MISMATCH %s on input [%s]\n--- view-backed:\n%s\n"
+                "--- reference:\n%s\n",
+                what, shown.c_str(), got.c_str(), want.c_str());
+  };
+  std::string scratch;
+  for (const std::string& in : corpus) {
+    const http::RawRequest want_req = ref::lex_request(in);
+    {
+      const std::string got = dump_request(http::lex_request(in));
+      const std::string want = dump_request(want_req);
+      expect(got == want, "lex_request", in, got, want);
+    }
+    expect(http::sniff_method(in) ==
+               http::method_from_token(want_req.line.method_token),
+           "sniff_method", in, std::string(http::to_string(
+                                   http::sniff_method(in))),
+           want_req.line.method_token);
+    {
+      const std::string got = dump_response(http::lex_response(in));
+      const std::string want = dump_response(ref::lex_response(in));
+      expect(got == want, "lex_response", in, got, want);
+    }
+    for (http::Method m : {http::Method::kGet, http::Method::kHead}) {
+      const hdiff::http::FramedResponse want_framed =
+          ref::frame_first_response(in, m);
+      {
+        const std::string got = dump_framed(http::frame_first_response(in, m));
+        const std::string want = dump_framed(want_framed);
+        expect(got == want, "frame_first_response", in, got, want);
+      }
+      {
+        http::ResponseView view;
+        http::parse_response_view(in, view);
+        const std::string got =
+            dump_framing(http::response_framing(view, m, scratch));
+        const std::string want =
+            dump_framing(ref::response_framing(ref::lex_response(in), m));
+        expect(got == want, "response_framing(view)", in, got, want);
+      }
+      expect(http::probe_first_response(in, m).complete == want_framed.complete,
+             "probe_first_response", in,
+             std::to_string(http::probe_first_response(in, m).complete),
+             std::to_string(want_framed.complete));
+    }
+    for (const http::ChunkPolicy& policy : policies) {
+      const std::string got = dump_chunk(http::decode_chunked(in, policy));
+      const std::string want = dump_chunk(ref::decode_chunked(in, policy));
+      expect(got == want, "decode_chunked", in, got, want);
+    }
+  }
+  if (failures > 0) {
+    std::printf("selftest FAILED: %zu/%zu view-parity checks diverged\n",
+                failures, checks);
+    return 1;
+  }
+  std::printf(
+      "selftest PASSED: view parse byte-identical to the reference lexer "
+      "(%zu inputs, %zu checks)\n",
+      corpus.size(), checks);
+  return 0;
+}
+
+// ---- selftest --net-loop: blocking vs event-loop finding identity ---------
+
+std::string dump_observation(const hdiff::net::ChainObservation& obs) {
+  std::string out = "fault=" +
+                    std::string(hdiff::net::to_string(obs.fault)) + "\n";
+  for (const auto& [name, v] : obs.direct) {
+    out += name + ": impl=" + v.impl + " status=" + std::to_string(v.status) +
+           " incomplete=" + std::to_string(v.incomplete) +
+           " framing=" + std::string(hdiff::impls::to_string(v.framing)) +
+           " host=" + v.host + " close=" + std::to_string(v.close_connection) +
+           " body[";
+    append_escaped(out, v.body);
+    out += "] leftover[";
+    append_escaped(out, v.leftover);
+    out += "]\n";
+  }
+  return out;
+}
+
+int selftest_netloop(std::size_t jobs, bool force_poll) {
+  namespace net = hdiff::net;
+  namespace core = hdiff::core;
+  if (jobs == 0) jobs = 2;
+
+  const auto fleet = hdiff::impls::make_all_implementations();
+  std::vector<const hdiff::impls::HttpImplementation*> backends;
+  for (const auto& impl : fleet) {
+    if (impl->is_server()) backends.push_back(impl.get());
+  }
+  std::vector<core::TestCase> cases = core::verification_probes();
+  if (cases.size() > 48) cases.resize(48);
+
+  net::RetryPolicy transport;
+  transport.attempts = 3;
+  transport.backoff_base_ms = 1;
+  transport.backoff_max_ms = 20;
+
+  // One pass per mode: observe the corpus directly (observation digests)
+  // and through the executor batch seam (findings).
+  const auto run_mode = [&](net::NetLoopMode mode, bool poll_fallback,
+                            std::vector<std::string>& digests,
+                            core::DetectionResult& findings) {
+    net::LiveFleetConfig config;
+    config.mode = mode;
+    config.force_poll = poll_fallback;
+    config.server_concurrency = static_cast<int>(std::min<std::size_t>(
+        jobs * 2, 8));
+    net::LiveFleet live(backends, config);
+
+    std::vector<net::LiveCase> live_cases;
+    live_cases.reserve(cases.size());
+    for (const core::TestCase& tc : cases) {
+      live_cases.push_back(net::LiveCase{tc.uuid, tc.raw});
+    }
+    for (const net::ChainObservation& obs :
+         live.observe_batch(live_cases, transport)) {
+      digests.push_back(dump_observation(obs));
+    }
+
+    core::ExecutorConfig ec;
+    ec.jobs = jobs;
+    ec.batch_size = 16;
+    ec.observe_batch = [&live, &transport](const core::TestCase* block,
+                                           std::size_t n,
+                                           std::vector<net::ChainObservation>&
+                                               out) {
+      std::vector<net::LiveCase> batch;
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(net::LiveCase{block[i].uuid, block[i].raw});
+      }
+      for (net::ChainObservation& obs : live.observe_batch(batch, transport)) {
+        out.push_back(std::move(obs));
+      }
+    };
+    const net::Chain chain({}, {}, {});  // transport comes from the hook
+    const core::ParallelExecutor executor(ec);
+    findings = executor.run(chain, cases);
+    return live.loop_enabled();
+  };
+
+  std::vector<std::string> off_digests;
+  std::vector<std::string> on_digests;
+  core::DetectionResult off_findings;
+  core::DetectionResult on_findings;
+  std::printf("blocking-client run (--net-loop off, %zu cases x %zu "
+              "backends)...\n",
+              cases.size(), backends.size());
+  run_mode(net::NetLoopMode::kOff, false, off_digests, off_findings);
+  std::printf("event-loop run (--net-loop on%s)...\n",
+              force_poll ? ", poll fallback" : "");
+  const bool loop_used =
+      run_mode(net::NetLoopMode::kOn, force_poll, on_digests, on_findings);
+  if (!loop_used) {
+    std::printf("selftest FAILED: --net-loop on did not engage the loop\n");
+    return 1;
+  }
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < off_digests.size(); ++i) {
+    if (off_digests[i] != on_digests[i]) {
+      if (++mismatches <= 4) {
+        std::printf("OBSERVATION MISMATCH case %s\n--- blocking:\n%s"
+                    "--- event loop:\n%s",
+                    cases[i].uuid.c_str(), off_digests[i].c_str(),
+                    on_digests[i].c_str());
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::printf("selftest FAILED: %zu/%zu observations differ between "
+                "transports\n",
+                mismatches, off_digests.size());
+    return 1;
+  }
+  if (!findings_identical(off_findings, on_findings)) {
+    std::printf(
+        "selftest FAILED: findings differ between --net-loop on and off\n");
+    return 1;
+  }
+  std::printf(
+      "selftest PASSED: findings byte-identical with --net-loop on and off "
+      "(%zu cases, %zu backends, %zu roundtrip observations per mode)\n",
+      cases.size(), backends.size(), off_digests.size());
+  return 0;
+}
+
 int selftest_campaign(std::size_t jobs);  // defined with the campaign CLI
 
 int cmd_selftest(int argc, char** argv) {
@@ -569,9 +981,15 @@ int cmd_selftest(int argc, char** argv) {
   plan_config.max_faults_per_site = 1;
   bool trace_mode = false;
   bool campaign_mode = false;
+  bool views_mode = false;
+  bool netloop_mode = false;
+  bool force_poll = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_mode = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign_mode = true;
+    if (std::strcmp(argv[i], "--views") == 0) views_mode = true;
+    if (std::strcmp(argv[i], "--net-loop") == 0) netloop_mode = true;
+    if (std::strcmp(argv[i], "--force-poll") == 0) force_poll = true;
   }
   hdiff::core::PipelineConfig config;
   // A case can touch many distinct victim sites (one per model leg), so the
@@ -601,6 +1019,12 @@ int cmd_selftest(int argc, char** argv) {
 
   if (campaign_mode) return selftest_campaign(config.executor.jobs);
   if (trace_mode) return selftest_trace(std::move(config));
+  if (views_mode) return selftest_views();
+  if (netloop_mode) {
+    // The fault-plan defaults above size `jobs` for the in-process chain;
+    // the live self-test interprets 0 as "pick a small worker pool".
+    return selftest_netloop(config.executor.jobs, force_poll);
+  }
 
   hdiff::core::Pipeline pipeline(config);
   auto fleet = hdiff::impls::make_all_implementations();
