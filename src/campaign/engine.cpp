@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <set>
 #include <utility>
 
@@ -49,19 +50,6 @@ std::set<std::string> canonical_set(const std::vector<Signature>& sigs) {
   for (const auto& s : sigs) out.insert(s.canonical());
   return out;
 }
-
-/// One case with per-round deterministic bookkeeping.
-struct PlannedCase {
-  core::TestCase tc;
-  std::string provenance;
-  /// Arm this case's observation feeds back into; entry index == npos for
-  /// bootstrap cases and unattributable replays.
-  std::size_t arm_entry = static_cast<std::size_t>(-1);
-  std::string arm_kind;
-  /// Buildable form (empty spec_text = bootstrap case, wire bytes only).
-  http::RequestSpec spec;
-  std::string spec_text;
-};
 
 /// Parse "mutant:<hash>:<kind>" back into an arm for replay attribution.
 bool parse_mutant_provenance(const std::string& prov, std::string* hash,
@@ -115,6 +103,276 @@ std::string campaign_config_sig(const CampaignConfig& config) {
   return hex64(acc);
 }
 
+void register_seed_entries(StateStore& store, const CampaignConfig& config) {
+  const std::vector<SeedSpec> seeds =
+      config.seeds.empty() ? default_campaign_seeds() : config.seeds;
+  for (const auto& s : seeds) {
+    CorpusEntry entry;
+    entry.hash = content_address(s.spec);
+    entry.provenance = "seed:" + s.name;
+    entry.spec = s.spec;
+    store.add_entry(std::move(entry));
+  }
+}
+
+RoundPlan plan_round(StateStore& store, const CampaignConfig& config,
+                     std::size_t round) {
+  RoundPlan plan;
+  std::vector<PlannedCase>& planned = plan.cases;
+  if (round == 0) {
+    for (const auto& tc : config.bootstrap) {
+      PlannedCase pc;
+      pc.tc = tc;
+      pc.provenance = "seed:" + std::string(to_string(tc.origin));
+      planned.push_back(std::move(pc));
+    }
+    return plan;
+  }
+
+  // Quarantine replays first (PR-2 integration): cases the fault layer
+  // starved last round get another chance before new budget is spent.
+  std::vector<RetryEntry> replays = std::move(store.retry_queue);
+  store.retry_queue.clear();
+  for (std::size_t i = 0; i < replays.size(); ++i) {
+    RetryEntry& r = replays[i];
+    PlannedCase pc;
+    pc.tc.uuid =
+        "camp-r" + std::to_string(round) + "-retry" + std::to_string(i);
+    pc.tc.raw = r.raw;
+    pc.tc.description = r.description;
+    pc.tc.origin = core::TestOrigin::kMutation;
+    pc.provenance = r.provenance;
+    pc.spec_text = r.spec_text;
+    if (!r.spec_text.empty()) deserialize_spec(r.spec_text, &pc.spec);
+    std::string hash, kind;
+    if (parse_mutant_provenance(r.provenance, &hash, &kind)) {
+      for (std::size_t e = 0; e < store.entries.size(); ++e) {
+        if (store.entries[e].hash == hash) {
+          pc.arm_entry = e;
+          pc.arm_kind = kind;
+          break;
+        }
+      }
+    }
+    ++plan.replayed;
+    planned.push_back(std::move(pc));
+  }
+
+  // Divergence-feedback schedule over (entry x kind) arms.
+  struct ArmPlan {
+    std::size_t entry;
+    std::string kind;
+    std::vector<core::Mutant>* variants;
+  };
+  std::vector<ArmPlan> arm_plans;
+  std::vector<ArmView> views;
+  std::vector<std::map<std::string, std::vector<core::Mutant>>> grouped;
+  grouped.reserve(store.entries.size());
+  for (const auto& entry : store.entries) {
+    grouped.push_back(variants_by_kind(entry.spec));
+  }
+  for (std::size_t e = 0; e < store.entries.size(); ++e) {
+    for (core::MutationKind kind : core::all_mutation_kinds()) {
+      const std::string kind_name(to_string(kind));
+      auto it = grouped[e].find(kind_name);
+      if (it == grouped[e].end() || it->second.empty()) continue;
+      const ArmStats& stats = store.arms[{e, kind_name}];
+      views.push_back({stats.attempts, stats.novel, it->second.size()});
+      arm_plans.push_back({e, kind_name, &it->second});
+    }
+  }
+  const std::vector<std::size_t> counts =
+      allocate_budget(config.budget_per_round, views);
+  for (std::size_t a = 0; a < arm_plans.size(); ++a) {
+    if (counts[a] == 0) continue;
+    ArmStats& stats = store.arms[{arm_plans[a].entry, arm_plans[a].kind}];
+    const auto& variants = *arm_plans[a].variants;
+    for (std::size_t j = 0; j < counts[a]; ++j) {
+      const core::Mutant& mutant =
+          variants[(stats.cursor + j) % variants.size()];
+      PlannedCase pc;
+      pc.tc.uuid = "camp-r" + std::to_string(round) + "-" +
+                   std::to_string(planned.size());
+      pc.tc.raw = mutant.spec.to_wire();
+      pc.tc.description = mutant.applied.front().describe();
+      pc.tc.origin = core::TestOrigin::kMutation;
+      pc.provenance = mutant_provenance(
+          store.entries[arm_plans[a].entry].hash, arm_plans[a].kind);
+      pc.arm_entry = arm_plans[a].entry;
+      pc.arm_kind = arm_plans[a].kind;
+      pc.spec = mutant.spec;
+      pc.spec_text = serialize_spec(mutant.spec);
+      planned.push_back(std::move(pc));
+    }
+    stats.cursor += counts[a];
+  }
+  return plan;
+}
+
+ExecutedRound execute_round(const CampaignConfig& config,
+                            const net::Chain& chain,
+                            const std::vector<PlannedCase>& planned,
+                            core::ObservationMemo* memo,
+                            net::VerdictCache* verdicts,
+                            const std::vector<std::size_t>* subset) {
+  ExecutedRound out;
+  out.outcomes.resize(planned.size());
+  std::vector<std::size_t> index_map;
+  if (subset != nullptr) {
+    index_map = *subset;
+  } else {
+    index_map.resize(planned.size());
+    std::iota(index_map.begin(), index_map.end(), std::size_t{0});
+  }
+  std::vector<core::TestCase> cases;
+  cases.reserve(index_map.size());
+  for (std::size_t idx : index_map) cases.push_back(planned[idx].tc);
+
+  core::ExecutorConfig ec = config.executor;
+  ec.shared_memo = memo;
+  ec.shared_verdicts = verdicts;
+  if (!ec.obs.enabled()) ec.obs = config.obs;
+  ec.on_delta = [&](std::size_t index, const core::TestCase&,
+                    const core::DetectionResult& delta, bool q) {
+    CaseOutcome& oc = out.outcomes[index_map[index]];
+    oc.executed = true;
+    oc.quarantined = q;
+    if (!q) oc.signatures = signatures_of(delta);
+  };
+  core::ParallelExecutor executor(ec);
+  out.total = executor.run(chain, cases, &out.stats);
+  return out;
+}
+
+RoundReport integrate_round(StateStore& store, const CampaignConfig& config,
+                            std::size_t round,
+                            const std::vector<PlannedCase>& planned,
+                            const std::vector<CaseOutcome>& outcomes,
+                            const net::Chain& chain,
+                            core::ObservationMemo* memo,
+                            net::VerdictCache* verdicts) {
+  RoundReport rr;
+  rr.round = round;
+  rr.cases = planned.size();
+
+  // Single-case replay used by the minimizer oracle.  Serial (jobs=1) and
+  // memoized, so repeated candidates are cache hits.
+  auto signatures_of_spec = [&](const http::RequestSpec& spec) {
+    core::TestCase probe;
+    probe.uuid = "camp-minimize-probe";
+    probe.raw = spec.to_wire();
+    probe.description = "minimizer probe";
+    probe.origin = core::TestOrigin::kMutation;
+    std::vector<Signature> sigs;
+    bool quarantined = false;
+    core::ExecutorConfig ec = config.executor;
+    ec.jobs = 1;
+    ec.shared_memo = memo;
+    ec.shared_verdicts = verdicts;
+    ec.obs = {};
+    ec.on_delta = [&](std::size_t, const core::TestCase&,
+                      const core::DetectionResult& delta, bool q) {
+      quarantined = q;
+      if (!q) sigs = signatures_of(delta);
+    };
+    core::ParallelExecutor executor(ec);
+    executor.run(chain, {probe});
+    return std::make_pair(std::move(sigs), quarantined);
+  };
+
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    const PlannedCase& pc = planned[i];
+    const CaseOutcome& oc = outcomes[i];
+    // An unexecuted outcome (a shard-coverage hole, which the supervisor
+    // prevents) degrades to quarantine semantics: the case goes back to the
+    // retry queue instead of silently vanishing.
+    if (oc.quarantined || !oc.executed) {
+      ++rr.quarantined;
+      store.retry_queue.push_back(
+          {pc.provenance, pc.tc.raw, pc.spec_text, pc.tc.description});
+      continue;
+    }
+    ArmStats* arm = nullptr;
+    if (pc.arm_entry != static_cast<std::size_t>(-1)) {
+      arm = &store.arms[{pc.arm_entry, pc.arm_kind}];
+      ++arm->attempts;
+    }
+    bool interesting = false;
+    for (const Signature& found : oc.signatures) {
+      const std::string fp = fingerprint(found, pc.provenance);
+      if (store.known_fingerprint(fp)) {
+        ++rr.duplicate;
+        continue;
+      }
+      Finding f;
+      f.round = round;
+      f.fingerprint = fp;
+      f.detector = found.detector;
+      f.vector = found.vector;
+      f.provenance = pc.provenance;
+      f.case_uuid = pc.tc.uuid;
+      f.description = pc.tc.description;
+      store.add_finding(std::move(f));
+      ++rr.novel;
+      interesting = true;
+      if (arm) ++arm->novel;
+      if (config.obs.metrics && !pc.arm_kind.empty()) {
+        config.obs.metrics
+            ->counter("hdiff_campaign_novel_" + metric_segment(pc.arm_kind) +
+                      "_total")
+            .add(1);
+      }
+    }
+    // An interesting mutant becomes a new mutation seed: minimize it,
+    // then store it content-addressed (idempotent on replay).
+    if (interesting && !pc.spec_text.empty()) {
+      http::RequestSpec stored = pc.spec;
+      if (config.minimize_new) {
+        const auto target = canonical_set(oc.signatures);
+        auto oracle = [&](const http::RequestSpec& candidate) {
+          auto [sigs, q] = signatures_of_spec(candidate);
+          if (q) return false;
+          const auto got = canonical_set(sigs);
+          return std::includes(got.begin(), got.end(), target.begin(),
+                               target.end());
+        };
+        MinimizeOutcome mo = minimize_spec(stored, oracle, config.minimize);
+        rr.minimize_steps += mo.steps;
+        if (config.obs.metrics) {
+          config.obs.metrics->histogram("hdiff_campaign_minimize_steps")
+              .observe(mo.steps);
+        }
+        stored = std::move(mo.spec);
+      }
+      const std::string hash = content_address(stored);
+      if (!store.has_entry(hash)) {
+        CorpusEntry entry;
+        entry.hash = hash;
+        entry.provenance = pc.provenance;
+        entry.spec = std::move(stored);
+        store.add_entry(std::move(entry));
+        ++rr.new_entries;
+      }
+    }
+  }
+  return rr;
+}
+
+void emit_round_metrics(const obs::Observability& obs, const RoundReport& rr,
+                        const StateStore& store) {
+  if (!obs.metrics) return;
+  auto& m = *obs.metrics;
+  m.counter("hdiff_campaign_rounds_total").add(1);
+  m.counter("hdiff_campaign_cases_total").add(rr.cases);
+  m.counter("hdiff_campaign_novel_total").add(rr.novel);
+  m.counter("hdiff_campaign_duplicate_total").add(rr.duplicate);
+  m.counter("hdiff_campaign_quarantined_total").add(rr.quarantined);
+  m.gauge("hdiff_campaign_corpus_entries")
+      .set(static_cast<std::int64_t>(store.entries.size()));
+  m.gauge("hdiff_campaign_findings")
+      .set(static_cast<std::int64_t>(store.findings.size()));
+}
+
 CampaignEngine::CampaignEngine(CampaignConfig config)
     : config_(std::move(config)) {
   if (config_.seeds.empty()) config_.seeds = default_campaign_seeds();
@@ -126,6 +384,12 @@ CampaignReport CampaignEngine::run(
   const std::string sig = campaign_config_sig(config_);
 
   StateStore store(config_.state_dir);
+  // Writer lock first: two engines appending to one state dir would corrupt
+  // the findings artifact; the loser gets a structured refusal instead.
+  if (!store.acquire_lock()) {
+    report.error = store.error();
+    return report;
+  }
   if (store.exists()) {
     if (!store.load()) {
       report.error = store.error();
@@ -148,46 +412,13 @@ CampaignReport CampaignEngine::run(
   // Seed entries are (re-)registered on every fresh start: add_entry is
   // idempotent, and a crash before the round-0 commit leaves a checkpoint
   // with no entries, healed here on resume.
-  if (store.rounds_completed == 0) {
-    for (const auto& s : config_.seeds) {
-      CorpusEntry entry;
-      entry.hash = content_address(s.spec);
-      entry.provenance = "seed:" + s.name;
-      entry.spec = s.spec;
-      store.add_entry(std::move(entry));
-    }
-  }
+  if (store.rounds_completed == 0) register_seed_entries(store, config_);
 
   net::Chain chain = net::Chain::from_fleet(fleet);
   // Cross-round caches: a mutant re-scheduled in a later round (or replayed
   // by the minimizer) costs a hash lookup instead of a chain observation.
   core::ObservationMemo memo;
   net::VerdictCache verdicts;
-
-  // Single-case replay used by the minimizer oracle.  Serial (jobs=1) and
-  // memoized, so repeated candidates are cache hits.
-  auto signatures_of_spec = [&](const http::RequestSpec& spec) {
-    core::TestCase probe;
-    probe.uuid = "camp-minimize-probe";
-    probe.raw = spec.to_wire();
-    probe.description = "minimizer probe";
-    probe.origin = core::TestOrigin::kMutation;
-    std::vector<Signature> sigs;
-    bool quarantined = false;
-    core::ExecutorConfig ec = config_.executor;
-    ec.jobs = 1;
-    ec.shared_memo = &memo;
-    ec.shared_verdicts = &verdicts;
-    ec.obs = {};
-    ec.on_delta = [&](std::size_t, const core::TestCase&,
-                      const core::DetectionResult& delta, bool q) {
-      quarantined = q;
-      if (!q) sigs = signatures_of(delta);
-    };
-    core::ParallelExecutor executor(ec);
-    executor.run(chain, {probe});
-    return std::make_pair(std::move(sigs), quarantined);
-  };
 
   const std::size_t total_rounds = config_.rounds + 1;
   for (std::size_t round = store.rounds_completed; round < total_rounds;
@@ -196,206 +427,17 @@ CampaignReport CampaignEngine::run(
     if (config_.obs.trace) {
       round_span.arg("round", std::to_string(round));
     }
-    RoundReport rr;
-    rr.round = round;
 
-    // ---- plan the round's case list -------------------------------------
-    std::vector<PlannedCase> planned;
-    if (round == 0) {
-      for (const auto& tc : config_.bootstrap) {
-        PlannedCase pc;
-        pc.tc = tc;
-        pc.provenance = "seed:" + std::string(to_string(tc.origin));
-        planned.push_back(std::move(pc));
-      }
-    } else {
-      // Quarantine replays first (PR-2 integration): cases the fault layer
-      // starved last round get another chance before new budget is spent.
-      std::vector<RetryEntry> replays = std::move(store.retry_queue);
-      store.retry_queue.clear();
-      for (std::size_t i = 0; i < replays.size(); ++i) {
-        RetryEntry& r = replays[i];
-        PlannedCase pc;
-        pc.tc.uuid =
-            "camp-r" + std::to_string(round) + "-retry" + std::to_string(i);
-        pc.tc.raw = r.raw;
-        pc.tc.description = r.description;
-        pc.tc.origin = core::TestOrigin::kMutation;
-        pc.provenance = r.provenance;
-        pc.spec_text = r.spec_text;
-        if (!r.spec_text.empty()) deserialize_spec(r.spec_text, &pc.spec);
-        std::string hash, kind;
-        if (parse_mutant_provenance(r.provenance, &hash, &kind)) {
-          for (std::size_t e = 0; e < store.entries.size(); ++e) {
-            if (store.entries[e].hash == hash) {
-              pc.arm_entry = e;
-              pc.arm_kind = kind;
-              break;
-            }
-          }
-        }
-        ++rr.replayed;
-        planned.push_back(std::move(pc));
-      }
+    RoundPlan plan = plan_round(store, config_, round);
+    ExecutedRound executed =
+        execute_round(config_, chain, plan.cases, &memo, &verdicts);
+    if (round == 0) report.bootstrap_findings = std::move(executed.total);
 
-      // Divergence-feedback schedule over (entry x kind) arms.
-      struct ArmPlan {
-        std::size_t entry;
-        std::string kind;
-        std::vector<core::Mutant>* variants;
-      };
-      std::vector<ArmPlan> arm_plans;
-      std::vector<ArmView> views;
-      std::vector<std::map<std::string, std::vector<core::Mutant>>> grouped;
-      grouped.reserve(store.entries.size());
-      for (const auto& entry : store.entries) {
-        grouped.push_back(variants_by_kind(entry.spec));
-      }
-      for (std::size_t e = 0; e < store.entries.size(); ++e) {
-        for (core::MutationKind kind : core::all_mutation_kinds()) {
-          const std::string kind_name(to_string(kind));
-          auto it = grouped[e].find(kind_name);
-          if (it == grouped[e].end() || it->second.empty()) continue;
-          const ArmStats& stats = store.arms[{e, kind_name}];
-          views.push_back(
-              {stats.attempts, stats.novel, it->second.size()});
-          arm_plans.push_back({e, kind_name, &it->second});
-        }
-      }
-      const std::vector<std::size_t> counts =
-          allocate_budget(config_.budget_per_round, views);
-      for (std::size_t a = 0; a < arm_plans.size(); ++a) {
-        if (counts[a] == 0) continue;
-        ArmStats& stats = store.arms[{arm_plans[a].entry, arm_plans[a].kind}];
-        const auto& variants = *arm_plans[a].variants;
-        for (std::size_t j = 0; j < counts[a]; ++j) {
-          const core::Mutant& mutant =
-              variants[(stats.cursor + j) % variants.size()];
-          PlannedCase pc;
-          pc.tc.uuid = "camp-r" + std::to_string(round) + "-" +
-                       std::to_string(planned.size());
-          pc.tc.raw = mutant.spec.to_wire();
-          pc.tc.description = mutant.applied.front().describe();
-          pc.tc.origin = core::TestOrigin::kMutation;
-          pc.provenance = mutant_provenance(
-              store.entries[arm_plans[a].entry].hash, arm_plans[a].kind);
-          pc.arm_entry = arm_plans[a].entry;
-          pc.arm_kind = arm_plans[a].kind;
-          pc.spec = mutant.spec;
-          pc.spec_text = serialize_spec(mutant.spec);
-          planned.push_back(std::move(pc));
-        }
-        stats.cursor += counts[a];
-      }
-    }
-    rr.cases = planned.size();
-
-    // ---- execute the round ----------------------------------------------
-    std::vector<core::TestCase> cases;
-    cases.reserve(planned.size());
-    for (const auto& pc : planned) cases.push_back(pc.tc);
-    std::vector<core::DetectionResult> deltas(cases.size());
-    std::vector<char> quarantined(cases.size(), 0);
-    core::ExecutorConfig ec = config_.executor;
-    ec.shared_memo = &memo;
-    ec.shared_verdicts = &verdicts;
-    if (!ec.obs.enabled()) ec.obs = config_.obs;
-    ec.on_delta = [&](std::size_t index, const core::TestCase&,
-                      const core::DetectionResult& delta, bool q) {
-      deltas[index] = delta;
-      quarantined[index] = q ? 1 : 0;
-    };
-    core::ParallelExecutor executor(ec);
-    core::ExecutorStats exec_stats;
-    core::DetectionResult total = executor.run(chain, cases, &exec_stats);
-    if (round == 0) report.bootstrap_findings = std::move(total);
-
-    // ---- fingerprint, dedup, feed back, grow the corpus -----------------
-    for (std::size_t i = 0; i < planned.size(); ++i) {
-      PlannedCase& pc = planned[i];
-      if (quarantined[i]) {
-        ++rr.quarantined;
-        store.retry_queue.push_back(
-            {pc.provenance, pc.tc.raw, pc.spec_text, pc.tc.description});
-        continue;
-      }
-      ArmStats* arm = nullptr;
-      if (pc.arm_entry != static_cast<std::size_t>(-1)) {
-        arm = &store.arms[{pc.arm_entry, pc.arm_kind}];
-        ++arm->attempts;
-      }
-      bool interesting = false;
-      for (const Signature& found : signatures_of(deltas[i])) {
-        const std::string fp = fingerprint(found, pc.provenance);
-        if (store.known_fingerprint(fp)) {
-          ++rr.duplicate;
-          continue;
-        }
-        Finding f;
-        f.round = round;
-        f.fingerprint = fp;
-        f.detector = found.detector;
-        f.vector = found.vector;
-        f.provenance = pc.provenance;
-        f.case_uuid = pc.tc.uuid;
-        f.description = pc.tc.description;
-        store.add_finding(std::move(f));
-        ++rr.novel;
-        interesting = true;
-        if (arm) ++arm->novel;
-        if (config_.obs.metrics && !pc.arm_kind.empty()) {
-          config_.obs.metrics
-              ->counter("hdiff_campaign_novel_" + metric_segment(pc.arm_kind) +
-                        "_total")
-              .add(1);
-        }
-      }
-      // An interesting mutant becomes a new mutation seed: minimize it,
-      // then store it content-addressed (idempotent on replay).
-      if (interesting && !pc.spec_text.empty()) {
-        http::RequestSpec stored = pc.spec;
-        if (config_.minimize_new) {
-          const auto target = canonical_set(signatures_of(deltas[i]));
-          auto oracle = [&](const http::RequestSpec& candidate) {
-            auto [sigs, q] = signatures_of_spec(candidate);
-            if (q) return false;
-            const auto got = canonical_set(sigs);
-            return std::includes(got.begin(), got.end(), target.begin(),
-                                 target.end());
-          };
-          MinimizeOutcome mo =
-              minimize_spec(stored, oracle, config_.minimize);
-          rr.minimize_steps += mo.steps;
-          if (config_.obs.metrics) {
-            config_.obs.metrics->histogram("hdiff_campaign_minimize_steps")
-                .observe(mo.steps);
-          }
-          stored = std::move(mo.spec);
-        }
-        const std::string hash = content_address(stored);
-        if (!store.has_entry(hash)) {
-          CorpusEntry entry;
-          entry.hash = hash;
-          entry.provenance = pc.provenance;
-          entry.spec = std::move(stored);
-          store.add_entry(std::move(entry));
-          ++rr.new_entries;
-        }
-      }
-    }
-
-    if (config_.obs.metrics) {
-      auto& m = *config_.obs.metrics;
-      m.counter("hdiff_campaign_rounds_total").add(1);
-      m.counter("hdiff_campaign_cases_total").add(rr.cases);
-      m.counter("hdiff_campaign_novel_total").add(rr.novel);
-      m.counter("hdiff_campaign_duplicate_total").add(rr.duplicate);
-      m.counter("hdiff_campaign_quarantined_total").add(rr.quarantined);
-      m.gauge("hdiff_campaign_corpus_entries")
-          .set(static_cast<std::int64_t>(store.entries.size()));
-      m.gauge("hdiff_campaign_findings")
-          .set(static_cast<std::int64_t>(store.findings.size()));
-    }
+    RoundReport rr = integrate_round(store, config_, round, plan.cases,
+                                     executed.outcomes, chain, &memo,
+                                     &verdicts);
+    rr.replayed = plan.replayed;
+    emit_round_metrics(config_.obs, rr, store);
     report.rounds.push_back(rr);
     report.novel_total += rr.novel;
     report.duplicate_total += rr.duplicate;
@@ -433,7 +475,10 @@ CampaignReport CampaignEngine::status(const std::string& state_dir) {
     report.error = "no campaign state at " + state_dir;
     return report;
   }
-  if (!store.load()) {
+  // Read-only on purpose: status may be asked about a *live* state dir (a
+  // serve supervisor mid-round); load()'s findings heal would race the
+  // owner's appends.
+  if (!store.load_readonly()) {
     report.error = store.error();
     return report;
   }
@@ -458,7 +503,7 @@ CampaignEngine::MinimizeReport CampaignEngine::minimize_corpus(
     const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet) {
   MinimizeReport report;
   StateStore store(state_dir);
-  if (!store.load()) {
+  if (!store.load_readonly()) {
     report.error = store.error();
     return report;
   }

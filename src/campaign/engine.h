@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/fingerprint.h"
 #include "campaign/minimize.h"
 #include "campaign/store.h"
 #include "core/executor.h"
@@ -107,6 +108,99 @@ std::vector<SeedSpec> default_campaign_seeds();
 /// on purpose (resuming with more rounds or different parallelism is
 /// legitimate and changes nothing already committed).
 std::string campaign_config_sig(const CampaignConfig& config);
+
+// ---- round reentry hooks (shared by CampaignEngine::run and hdiff serve) --
+//
+// A round decomposes into three pure-ish stages:
+//
+//   plan_round       checkpoint -> deterministic case list (mutates the
+//                    in-memory retry queue and arm cursors exactly as the
+//                    classic loop did — commit publishes the mutation);
+//   execute_round    case list -> per-case outcomes (no store access at
+//                    all, so it can run in a sharded worker process against
+//                    a read-only checkpoint copy);
+//   integrate_round  outcomes -> findings / arm feedback / corpus growth
+//                    (store-mutating; single writer).
+//
+// Because the plan is a pure function of the committed checkpoint and the
+// config, a worker that loads the same checkpoint computes the *same* plan
+// as its supervisor, executes only the case indices its shard owns, and
+// ships back outcomes the supervisor merges in stable index order — byte-
+// identical, by construction, to a single-process run.
+
+/// One planned case with its deterministic bookkeeping.
+struct PlannedCase {
+  core::TestCase tc;
+  std::string provenance;
+  /// Arm this case's observation feeds back into; entry index == npos for
+  /// bootstrap cases and unattributable replays.
+  std::size_t arm_entry = static_cast<std::size_t>(-1);
+  std::string arm_kind;
+  /// Buildable form (empty spec_text = bootstrap case, wire bytes only).
+  http::RequestSpec spec;
+  std::string spec_text;
+};
+
+struct RoundPlan {
+  std::vector<PlannedCase> cases;
+  std::size_t replayed = 0;  ///< retry-queue replays at the head of `cases`
+};
+
+/// Plan round `round` from the loaded checkpoint.  Round 0 is the bootstrap
+/// pass; later rounds replay the retry queue then spend the mutation
+/// budget.  Mutates `store` in memory (retry queue drained, arm cursors
+/// advanced) — nothing is published until commit_round.
+RoundPlan plan_round(StateStore& store, const CampaignConfig& config,
+                     std::size_t round);
+
+/// What executing one planned case produced — everything integrate_round
+/// needs, and small enough to ship across a process boundary (serve shard
+/// result files).
+struct CaseOutcome {
+  bool executed = false;     ///< false = not run (another shard owns it)
+  bool quarantined = false;  ///< faulted out; goes back to the retry queue
+  std::vector<Signature> signatures;
+};
+
+struct ExecutedRound {
+  /// One slot per planned case, index-aligned with the plan.
+  std::vector<CaseOutcome> outcomes;
+  /// Accumulated detection result of the executed cases (round 0's is the
+  /// one-shot-equivalence proof); empty when a subset was executed.
+  core::DetectionResult total;
+  core::ExecutorStats stats;
+};
+
+/// Execute the planned cases (all of them, or only the indices in `subset`)
+/// through the PR-1 executor with the campaign's caches and delta tap.
+/// Store-free and side-effect-free apart from the caches.
+ExecutedRound execute_round(const CampaignConfig& config,
+                            const net::Chain& chain,
+                            const std::vector<PlannedCase>& planned,
+                            core::ObservationMemo* memo,
+                            net::VerdictCache* verdicts,
+                            const std::vector<std::size_t>* subset = nullptr);
+
+/// Fingerprint, deduplicate, feed the scheduler arms, minimize and store
+/// interesting mutants.  Every outcome must have `executed == true`.
+/// Returns the round's accounting (novel/duplicate/quarantined/new_entries/
+/// minimize_steps; round/cases/replayed are the caller's).  `chain`,
+/// `memo` and `verdicts` serve the minimizer oracle.
+RoundReport integrate_round(StateStore& store, const CampaignConfig& config,
+                            std::size_t round,
+                            const std::vector<PlannedCase>& planned,
+                            const std::vector<CaseOutcome>& outcomes,
+                            const net::Chain& chain,
+                            core::ObservationMemo* memo,
+                            net::VerdictCache* verdicts);
+
+/// (Re-)register the config's mutation seeds as corpus entries; idempotent,
+/// called on every fresh start (rounds_completed == 0).
+void register_seed_entries(StateStore& store, const CampaignConfig& config);
+
+/// Fold one round's accounting into the hdiff_campaign_* metrics.
+void emit_round_metrics(const obs::Observability& obs, const RoundReport& rr,
+                        const StateStore& store);
 
 class CampaignEngine {
  public:

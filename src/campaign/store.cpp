@@ -1,5 +1,11 @@
 #include "campaign/store.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -13,32 +19,6 @@ namespace hdiff::campaign {
 namespace {
 
 namespace fs = std::filesystem;
-
-// Empty strings hex-encode to zero bytes, which would vanish under
-// space-tokenization; "-" marks them explicitly.
-std::string enc(std::string_view s) {
-  return s.empty() ? std::string("-") : core::hex_encode(s);
-}
-
-bool dec(std::string_view token, std::string* out) {
-  if (token == "-") {
-    out->clear();
-    return true;
-  }
-  return core::hex_decode(token, out);
-}
-
-std::vector<std::string> split_ws(std::string_view line) {
-  std::vector<std::string> out;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && line[i] == ' ') ++i;
-    std::size_t start = i;
-    while (i < line.size() && line[i] != ' ') ++i;
-    if (i > start) out.emplace_back(line.substr(start, i - start));
-  }
-  return out;
-}
 
 bool read_file(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
@@ -56,14 +36,30 @@ bool write_file(const std::string& path, std::string_view content) {
   return static_cast<bool>(out);
 }
 
-/// tmp+rename publish: readers see the old bytes or the new bytes, never a
-/// torn prefix; a kill before the rename leaves the previous checkpoint.
-bool write_file_atomic(const std::string& path, std::string_view content) {
-  const std::string tmp = path + ".tmp";
-  if (!write_file(tmp, content)) return false;
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  return !ec;
+/// write(2) the whole buffer, surviving EINTR and short writes.
+bool write_all(int fd, std::string_view content) {
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsync the directory containing `path`, so a just-renamed entry is itself
+/// durable (rename updates the directory, not the file).
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
 }
 
 std::size_t to_size(const std::string& s) {
@@ -72,19 +68,65 @@ std::size_t to_size(const std::string& s) {
 
 }  // namespace
 
+// Empty strings hex-encode to zero bytes, which would vanish under
+// space-tokenization; "-" marks them explicitly.
+std::string field_enc(std::string_view s) {
+  return s.empty() ? std::string("-") : core::hex_encode(s);
+}
+
+bool field_dec(std::string_view token, std::string* out) {
+  if (token == "-") {
+    out->clear();
+    return true;
+  }
+  return core::hex_decode(token, out);
+}
+
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+bool write_file_atomic_durable(const std::string& path,
+                               std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  // The tmp bytes must be on disk *before* the rename publishes them: a
+  // rename-without-fsync crash can legally surface a zero-length file.
+  const bool written = write_all(fd, content) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!written) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return false;
+  return fsync_parent_dir(path);
+}
+
 std::string serialize_spec(const http::RequestSpec& spec) {
   std::string out = "spec-v1\n";
-  out += "method=" + enc(spec.method) + "\n";
-  out += "target=" + enc(spec.target) + "\n";
-  out += "version=" + enc(spec.version) + "\n";
-  out += "sep1=" + enc(spec.sep1) + "\n";
-  out += "sep2=" + enc(spec.sep2) + "\n";
-  out += "eol=" + enc(spec.line_terminator) + "\n";
-  out += "end=" + enc(spec.headers_terminator) + "\n";
-  out += "body=" + enc(spec.body) + "\n";
+  out += "method=" + field_enc(spec.method) + "\n";
+  out += "target=" + field_enc(spec.target) + "\n";
+  out += "version=" + field_enc(spec.version) + "\n";
+  out += "sep1=" + field_enc(spec.sep1) + "\n";
+  out += "sep2=" + field_enc(spec.sep2) + "\n";
+  out += "eol=" + field_enc(spec.line_terminator) + "\n";
+  out += "end=" + field_enc(spec.headers_terminator) + "\n";
+  out += "body=" + field_enc(spec.body) + "\n";
   for (const auto& h : spec.headers) {
-    out += "h=" + enc(h.name) + " " + enc(h.value) + " " + enc(h.separator) +
-           " " + enc(h.terminator) + "\n";
+    out += "h=" + field_enc(h.name) + " " + field_enc(h.value) + " " + field_enc(h.separator) +
+           " " + field_enc(h.terminator) + "\n";
   }
   return out;
 }
@@ -102,11 +144,11 @@ bool deserialize_spec(std::string_view text, http::RequestSpec* out) {
     const std::string key = line.substr(0, eq);
     const std::string rest = line.substr(eq + 1);
     if (key == "h") {
-      auto tokens = split_ws(rest);
+      auto tokens = split_fields(rest);
       if (tokens.size() != 4) return false;
       http::HeaderSpec h;
-      if (!dec(tokens[0], &h.name) || !dec(tokens[1], &h.value) ||
-          !dec(tokens[2], &h.separator) || !dec(tokens[3], &h.terminator))
+      if (!field_dec(tokens[0], &h.name) || !field_dec(tokens[1], &h.value) ||
+          !field_dec(tokens[2], &h.separator) || !field_dec(tokens[3], &h.terminator))
         return false;
       out->headers.push_back(std::move(h));
       continue;
@@ -121,7 +163,7 @@ bool deserialize_spec(std::string_view text, http::RequestSpec* out) {
     else if (key == "end") field = &out->headers_terminator;
     else if (key == "body") field = &out->body;
     else return false;
-    if (!dec(rest, field)) return false;
+    if (!field_dec(rest, field)) return false;
   }
   return true;
 }
@@ -148,12 +190,48 @@ std::string finding_jsonl(const Finding& f) {
 
 StateStore::StateStore(std::string state_dir) : dir_(std::move(state_dir)) {}
 
+StateStore::~StateStore() { release_lock(); }
+
 std::string StateStore::state_path() const { return dir_ + "/campaign.state"; }
 std::string StateStore::findings_path() const {
   return dir_ + "/findings.jsonl";
 }
 std::string StateStore::corpus_path(const std::string& hash) const {
   return dir_ + "/corpus/" + hash + ".case";
+}
+std::string StateStore::lock_path() const { return dir_ + "/lock"; }
+
+bool StateStore::acquire_lock() {
+  if (lock_fd_ >= 0) return true;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    error_ = "cannot create " + dir_ + ": " + ec.message();
+    return false;
+  }
+  const int fd =
+      ::open(lock_path().c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    error_ = "cannot open " + lock_path();
+    return false;
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    error_ = "state dir " + dir_ +
+             " is locked by another campaign writer (flock on " + lock_path() +
+             "); refusing to run two engines against one state dir";
+    return false;
+  }
+  lock_fd_ = fd;
+  return true;
+}
+
+void StateStore::release_lock() {
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+  }
 }
 
 bool StateStore::exists() const {
@@ -174,7 +252,7 @@ bool StateStore::init(const std::string& sig) {
     error_ = "cannot create " + findings_path();
     return false;
   }
-  if (!write_file_atomic(state_path(), render_state())) {
+  if (!write_file_atomic_durable(state_path(), render_state())) {
     error_ = "cannot write " + state_path();
     return false;
   }
@@ -182,7 +260,11 @@ bool StateStore::init(const std::string& sig) {
 }
 
 bool StateStore::write_corpus_file(const CorpusEntry& entry) {
-  if (!write_file(corpus_path(entry.hash), serialize_spec(entry.spec))) {
+  // Durable before the checkpoint that references it commits: a checkpoint
+  // naming a corpus hash whose file evaporated in a crash would fail to
+  // load.
+  if (!write_file_atomic_durable(corpus_path(entry.hash),
+                                 serialize_spec(entry.spec))) {
     error_ = "cannot write " + corpus_path(entry.hash);
     return false;
   }
@@ -217,7 +299,7 @@ std::string StateStore::render_state() const {
   out += "config_sig=" + config_sig + "\n";
   out += "rounds_completed=" + std::to_string(rounds_completed) + "\n";
   for (const auto& e : entries) {
-    out += "entry=" + e.hash + " " + enc(e.provenance) + "\n";
+    out += "entry=" + e.hash + " " + field_enc(e.provenance) + "\n";
   }
   for (const auto& [key, stats] : arms) {
     out += "arm=" + std::to_string(key.first) + " " + key.second + " " +
@@ -225,14 +307,15 @@ std::string StateStore::render_state() const {
            " " + std::to_string(stats.cursor) + "\n";
   }
   for (const auto& r : retry_queue) {
-    out += "retry=" + enc(r.provenance) + " " + enc(r.raw) + " " +
-           enc(r.spec_text) + " " + enc(r.description) + "\n";
+    out += "retry=" + field_enc(r.provenance) + " " + field_enc(r.raw) + " " +
+           field_enc(r.spec_text) + " " + field_enc(r.description) + "\n";
   }
   for (const auto& f : findings) {
     out += "finding=" + std::to_string(f.round) + " " + f.fingerprint + " " +
-           enc(f.detector) + " " + enc(f.provenance) + " " + enc(f.case_uuid) +
-           " " + enc(f.description);
-    for (const auto& v : f.vector) out += " " + enc(v);
+           field_enc(f.detector) + " " + field_enc(f.provenance) + " " +
+           field_enc(f.case_uuid) +
+           " " + field_enc(f.description);
+    for (const auto& v : f.vector) out += " " + field_enc(v);
     out += "\n";
   }
   return out;
@@ -265,9 +348,9 @@ bool StateStore::parse_state(std::string_view text) {
     } else if (key == "rounds_completed") {
       rounds_completed = to_size(rest);
     } else if (key == "entry") {
-      auto tokens = split_ws(rest);
+      auto tokens = split_fields(rest);
       CorpusEntry e;
-      if (tokens.size() != 2 || !dec(tokens[1], &e.provenance)) {
+      if (tokens.size() != 2 || !field_dec(tokens[1], &e.provenance)) {
         error_ = "bad entry line: " + line;
         return false;
       }
@@ -281,7 +364,7 @@ bool StateStore::parse_state(std::string_view text) {
       entry_hashes_.insert(e.hash);
       entries.push_back(std::move(e));
     } else if (key == "arm") {
-      auto tokens = split_ws(rest);
+      auto tokens = split_fields(rest);
       if (tokens.size() != 5) {
         error_ = "bad arm line: " + line;
         return false;
@@ -292,21 +375,21 @@ bool StateStore::parse_state(std::string_view text) {
       stats.cursor = to_size(tokens[4]);
       arms[{to_size(tokens[0]), tokens[1]}] = stats;
     } else if (key == "retry") {
-      auto tokens = split_ws(rest);
+      auto tokens = split_fields(rest);
       RetryEntry r;
-      if (tokens.size() != 4 || !dec(tokens[0], &r.provenance) ||
-          !dec(tokens[1], &r.raw) || !dec(tokens[2], &r.spec_text) ||
-          !dec(tokens[3], &r.description)) {
+      if (tokens.size() != 4 || !field_dec(tokens[0], &r.provenance) ||
+          !field_dec(tokens[1], &r.raw) || !field_dec(tokens[2], &r.spec_text) ||
+          !field_dec(tokens[3], &r.description)) {
         error_ = "bad retry line: " + line;
         return false;
       }
       retry_queue.push_back(std::move(r));
     } else if (key == "finding") {
-      auto tokens = split_ws(rest);
+      auto tokens = split_fields(rest);
       Finding f;
-      if (tokens.size() < 6 || !dec(tokens[2], &f.detector) ||
-          !dec(tokens[3], &f.provenance) || !dec(tokens[4], &f.case_uuid) ||
-          !dec(tokens[5], &f.description)) {
+      if (tokens.size() < 6 || !field_dec(tokens[2], &f.detector) ||
+          !field_dec(tokens[3], &f.provenance) || !field_dec(tokens[4], &f.case_uuid) ||
+          !field_dec(tokens[5], &f.description)) {
         error_ = "bad finding line: " + line;
         return false;
       }
@@ -314,7 +397,7 @@ bool StateStore::parse_state(std::string_view text) {
       f.fingerprint = tokens[1];
       for (std::size_t i = 6; i < tokens.size(); ++i) {
         std::string component;
-        if (!dec(tokens[i], &component)) {
+        if (!field_dec(tokens[i], &component)) {
           error_ = "bad finding line: " + line;
           return false;
         }
@@ -340,7 +423,7 @@ bool StateStore::truncate_findings() const {
     out += finding_jsonl(f);
     out += "\n";
   }
-  return write_file_atomic(findings_path(), out);
+  return write_file_atomic_durable(findings_path(), out);
 }
 
 bool StateStore::load() {
@@ -357,9 +440,18 @@ bool StateStore::load() {
   return true;
 }
 
+bool StateStore::load_readonly() {
+  std::string text;
+  if (!read_file(state_path(), &text)) {
+    error_ = "cannot read " + state_path();
+    return false;
+  }
+  return parse_state(text);
+}
+
 bool StateStore::commit_round(std::size_t round) {
   rounds_completed = round + 1;
-  if (!write_file_atomic(state_path(), render_state())) {
+  if (!write_file_atomic_durable(state_path(), render_state())) {
     error_ = "cannot write " + state_path();
     return false;
   }

@@ -23,16 +23,29 @@
 //                                 truncated away on load, which is what
 //                                 makes resume byte-identical to an
 //                                 uninterrupted run.
+//   <state-dir>/lock              flock(2) advisory lock taken by every
+//                                 writer (engine run, serve supervisor).  A
+//                                 second writer pointed at the same dir gets
+//                                 a structured refusal instead of corrupting
+//                                 the append-only artifact.
 //
 // Everything is line-based text with hex-encoded payload fields (reusing
 // core::hex_encode), so specs with NUL/CTL bytes survive and the files diff
 // cleanly under version control.
+//
+// Durability: checkpoint and corpus writes go through
+// `write_file_atomic_durable`, which fsyncs the tmp file *and* the parent
+// directory around the rename, so a power-loss-style kill cannot surface an
+// empty or partial checkpoint (the classic rename-without-fsync hole).
+// findings.jsonl appends are deliberately not fsynced: the checkpoint is
+// the source of truth and load() regenerates the artifact from it.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -89,13 +102,41 @@ bool deserialize_spec(std::string_view text, http::RequestSpec* out);
 /// that happen to concatenate to the same wire form keep distinct files.
 std::string content_address(const http::RequestSpec& spec);
 
+/// Space-safe field encoding shared by every line-based campaign file
+/// (checkpoint, shard results): hex for non-empty payloads, "-" for the
+/// empty string (zero hex bytes would vanish under space-tokenization).
+std::string field_enc(std::string_view s);
+bool field_dec(std::string_view token, std::string* out);
+/// Split a line into its space-separated fields.
+std::vector<std::string> split_fields(std::string_view line);
+
+/// Durable tmp+rename publish: writes `path + ".tmp"`, fsyncs it, renames
+/// it over `path`, and fsyncs the parent directory so the rename itself
+/// survives a power loss.  Readers see the old bytes or the new bytes,
+/// never a torn prefix; a stale/torn tmp file left by an earlier crash is
+/// simply overwritten.
+bool write_file_atomic_durable(const std::string& path,
+                               std::string_view content);
+
 /// In-memory image of the state dir plus the commit protocol.
 class StateStore {
  public:
   explicit StateStore(std::string state_dir);
+  ~StateStore();
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
 
   /// True when a checkpoint file exists.
   bool exists() const;
+
+  /// Take the exclusive writer lock (flock on `<dir>/lock`, creating the
+  /// directory if needed).  Non-blocking: returns false with error() set
+  /// when another process (or another StateStore in this process) holds
+  /// it.  flock is per open file description, so the refusal is testable
+  /// single-process.  Released by release_lock() or the destructor.
+  bool acquire_lock();
+  void release_lock();
+  bool locked() const noexcept { return lock_fd_ >= 0; }
 
   /// Create the directory layout for a fresh campaign.
   bool init(const std::string& config_sig);
@@ -103,6 +144,12 @@ class StateStore {
   /// Load the checkpoint, the corpus files it references, and truncate
   /// findings.jsonl back to the committed round count.
   bool load();
+
+  /// Load without healing findings.jsonl and without requiring the lock —
+  /// the observer path (`campaign status`) and serve workers, which read
+  /// the supervisor-owned master checkpoint while the supervisor may be
+  /// appending to the artifact.
+  bool load_readonly();
 
   /// Append an entry (writes its corpus file immediately; idempotent).
   /// Returns the entry index, or the existing index for a duplicate hash.
@@ -135,6 +182,7 @@ class StateStore {
   std::string state_path() const;
   std::string findings_path() const;
   std::string corpus_path(const std::string& hash) const;
+  std::string lock_path() const;
 
  private:
   bool write_corpus_file(const CorpusEntry& entry);
@@ -144,6 +192,7 @@ class StateStore {
 
   std::string dir_;
   std::string error_;
+  int lock_fd_ = -1;
   std::set<std::string> entry_hashes_;
   std::set<std::string> fingerprints_;
 };

@@ -19,7 +19,9 @@
 // loop, recycled across jobs and batches.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -108,5 +110,80 @@ class EventLoop {
 std::vector<TcpResult> tcp_roundtrip_batch(
     const std::vector<RoundtripJob>& jobs, const RetryPolicy& retry = {},
     EventLoopConfig config = {});
+
+// ---------------------------------------------------------------------------
+// Server side: the control-plane accept path.
+//
+// EventLoop above is a *client* — it originates roundtrips.  ServeLoop is
+// its server-side sibling for the `hdiff serve` control plane: a poll()-
+// based accept/read/dispatch/write pump over a TcpListener, driven from the
+// owner's own thread via `poll_once` so the supervisor multiplexes HTTP
+// handling with worker heartbeats and waitpid in one loop, no threads.
+// Deliberately poll()-only: a control plane holds a handful of fds, the
+// epoll machinery would buy nothing.  One HTTP request per connection
+// (Connection: close), bodies framed by Content-Length.
+// ---------------------------------------------------------------------------
+
+/// One parsed control-plane request.
+struct ControlRequest {
+  std::string method;  ///< e.g. "GET", "POST"
+  std::string target;  ///< origin-form target, e.g. "/healthz"
+  std::string body;    ///< Content-Length bytes (may be empty)
+};
+
+/// What the handler answers.  `status` picks a canned reason phrase.
+struct ControlResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using ControlHandler = std::function<ControlResponse(const ControlRequest&)>;
+
+struct ServeLoopConfig {
+  /// Drop a connection that has not completed its request or drained its
+  /// response within this window (a stalled client must not pin fds in the
+  /// daemon).
+  int conn_timeout_ms = 2000;
+  /// Reject request heads/bodies larger than this (control requests are
+  /// tiny; anything big is abuse or a framing bug).
+  std::size_t max_request_bytes = 64 * 1024;
+  obs::Observability obs{};
+};
+
+/// Poll-based single-threaded HTTP server pump.  Not thread-safe; the
+/// listener must outlive the loop.  Malformed requests are answered 400 and
+/// counted as rejected; handler exceptions answer 500.
+class ServeLoop {
+ public:
+  ServeLoop(TcpListener& listener, ControlHandler handler,
+            ServeLoopConfig config = {});
+  ~ServeLoop();
+  ServeLoop(const ServeLoop&) = delete;
+  ServeLoop& operator=(const ServeLoop&) = delete;
+
+  /// Accept new connections and advance every open one; blocks at most
+  /// `timeout_ms` waiting for activity (0 = pure poll).  Returns the number
+  /// of requests dispatched to the handler during this pass.
+  std::size_t poll_once(int timeout_ms);
+
+  std::size_t requests_handled() const noexcept { return requests_handled_; }
+  std::size_t requests_rejected() const noexcept { return requests_rejected_; }
+  std::size_t open_connections() const noexcept;
+
+ private:
+  struct ServeConn;
+  void finish(ServeConn& c, int status, std::string_view content_type,
+              std::string_view body);
+
+  TcpListener& listener_;
+  ControlHandler handler_;
+  ServeLoopConfig config_;
+  obs::Counter* requests_ = nullptr;  ///< hdiff_serve_http_requests_total
+  obs::Counter* rejected_ = nullptr;  ///< hdiff_serve_http_rejected_total
+  std::vector<ServeConn> conns_;
+  std::size_t requests_handled_ = 0;
+  std::size_t requests_rejected_ = 0;
+};
 
 }  // namespace hdiff::net

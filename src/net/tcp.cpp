@@ -152,24 +152,62 @@ ChainError classify_exchange(std::string_view bytes, std::string_view request,
   return ChainError::kMalformed;  // unreachable
 }
 
-TcpListener::TcpListener() {
+namespace {
+
+/// One bind+listen attempt on 127.0.0.1:`port` (0 = ephemeral).  Returns
+/// the listening fd and the bound port, or -1 with `*bind_errno` set.
+int try_bind_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                      int* bind_errno) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("socket() failed");
+  if (fd < 0) {
+    *bind_errno = errno;
+    return -1;
+  }
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
+  addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
       ::listen(fd, 128) < 0) {
+    *bind_errno = errno;
     ::close(fd);
-    throw std::runtime_error("bind/listen failed");
+    return -1;
   }
   socklen_t len = sizeof addr;
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  fd_.store(fd, std::memory_order_release);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+TcpListener::TcpListener() : TcpListener(0, RetryPolicy{.attempts = 1}) {}
+
+TcpListener::TcpListener(std::uint16_t requested_port,
+                         const RetryPolicy& bind_retry) {
+  const int attempts = bind_retry.attempts > 0 ? bind_retry.attempts : 1;
+  const std::string key = "bind:" + std::to_string(requested_port);
+  int bind_errno = 0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(bind_retry.backoff_ms(attempt - 1, key)));
+    const int fd = try_bind_loopback(requested_port, &port_, &bind_errno);
+    if (fd >= 0) {
+      fd_.store(fd, std::memory_order_release);
+      return;
+    }
+    // Only an in-use fixed port is worth retrying: the previous daemon
+    // instance's socket is still draining and will free the address.  Any
+    // other errno (EACCES, EMFILE, ...) is permanent for this process.
+    if (bind_errno != EADDRINUSE || requested_port == 0) break;
+  }
+  throw ChainFault(ChainError::kConnectFail,
+                   "bind 127.0.0.1:" + std::to_string(requested_port) +
+                       " failed after " + std::to_string(attempts) +
+                       " attempt(s): " + std::strerror(bind_errno));
 }
 
 TcpListener::~TcpListener() { close_listener(); }

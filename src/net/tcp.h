@@ -30,14 +30,33 @@
 namespace hdiff::net {
 
 /// RAII loopback TCP listener on an ephemeral port.
+///
+/// Bind failures throw `ChainFault` (is-a std::runtime_error) carrying a
+/// `ChainError` classification, so a daemon restart that loses the bind
+/// race reports a structured harness fault instead of aborting opaquely.
 class TcpListener {
  public:
-  TcpListener();               ///< throws std::runtime_error on failure
+  TcpListener();               ///< ephemeral port; throws ChainFault on failure
+  /// Bind a *requested* port (the serve control plane needs a stable
+  /// address across daemon restarts).  EADDRINUSE — the previous daemon
+  /// instance's socket still draining — is retried up to
+  /// `bind_retry.attempts` times with the policy's deterministic backoff
+  /// (keyed on the port); SO_REUSEADDR makes a TIME_WAIT-held port bindable
+  /// immediately.  Throws ChainFault(kConnectFail) when attempts run out.
+  explicit TcpListener(std::uint16_t requested_port,
+                       const RetryPolicy& bind_retry = {});
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   std::uint16_t port() const noexcept { return port_; }
+
+  /// The listening fd, or -1 once closed.  For pollers (net::ServeLoop)
+  /// that multiplex the listener with other fds; they may flip it to
+  /// O_NONBLOCK but must not close it.
+  int native_handle() const noexcept {
+    return fd_.load(std::memory_order_acquire);
+  }
 
   /// Blocking accept; returns the connection fd or -1 once closed.
   int accept_connection() const;

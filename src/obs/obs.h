@@ -89,4 +89,43 @@ struct NetLoopObs {
   }
 };
 
+/// Pre-resolved hooks for the `hdiff serve` supervisor (serve/supervisor.h):
+/// worker lifecycle counters plus live gauges the /metrics endpoint exports.
+/// One registry lookup per daemon construction, relaxed updates per event.
+struct ServeObs {
+  TraceSink* trace = nullptr;
+  Counter* rounds = nullptr;      ///< hdiff_serve_rounds_total
+  Counter* spawns = nullptr;      ///< hdiff_serve_worker_spawns_total
+  Counter* deaths = nullptr;      ///< hdiff_serve_worker_deaths_total
+  Counter* restarts = nullptr;    ///< hdiff_serve_worker_restarts_total
+  Counter* hangs = nullptr;       ///< hdiff_serve_worker_hangs_total
+  Counter* quarantines = nullptr;  ///< hdiff_serve_shard_quarantines_total
+  Counter* heartbeats = nullptr;   ///< hdiff_serve_heartbeats_total
+  Gauge* round = nullptr;          ///< hdiff_serve_round
+  Gauge* workers_healthy = nullptr;    ///< hdiff_serve_workers_healthy
+  Gauge* shards_quarantined = nullptr;  ///< hdiff_serve_shards_quarantined
+
+  bool active() const noexcept { return trace || rounds; }
+
+  static ServeObs from(const Observability& o) {
+    ServeObs s;
+    s.trace = o.trace;
+    if (o.metrics) {
+      s.rounds = &o.metrics->counter("hdiff_serve_rounds_total");
+      s.spawns = &o.metrics->counter("hdiff_serve_worker_spawns_total");
+      s.deaths = &o.metrics->counter("hdiff_serve_worker_deaths_total");
+      s.restarts = &o.metrics->counter("hdiff_serve_worker_restarts_total");
+      s.hangs = &o.metrics->counter("hdiff_serve_worker_hangs_total");
+      s.quarantines =
+          &o.metrics->counter("hdiff_serve_shard_quarantines_total");
+      s.heartbeats = &o.metrics->counter("hdiff_serve_heartbeats_total");
+      s.round = &o.metrics->gauge("hdiff_serve_round");
+      s.workers_healthy = &o.metrics->gauge("hdiff_serve_workers_healthy");
+      s.shards_quarantined =
+          &o.metrics->gauge("hdiff_serve_shards_quarantined");
+    }
+    return s;
+  }
+};
+
 }  // namespace hdiff::obs

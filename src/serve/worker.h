@@ -1,0 +1,56 @@
+// The worker half of `hdiff serve`: one process, one shard, one round.
+//
+// A worker is deliberately stateless between invocations — it loads the
+// supervisor's committed checkpoint read-only (no lock, no heal), recomputes
+// the round plan (planning is a pure function of checkpoint + config, so
+// every worker and the supervisor agree on the case list without any
+// coordination), executes only the case indices its shard owns, and
+// publishes the outcomes as a durable shard result file (shard.h).  Being
+// killable at any instant is the design center: a SIGKILL loses at most the
+// not-yet-published work of this shard's current round, which the
+// supervisor simply re-runs.
+//
+// Liveness is reported over an inherited pipe: a detached-duty heartbeat
+// thread writes one 'h' byte every interval/2 for as long as the process
+// makes progress, and the main thread writes 'D' once the result file is
+// durably published.  A supervisor that stops seeing bytes knows the worker
+// is hung (not merely slow — the thread beats independently of case
+// execution) and may SIGKILL it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "campaign/engine.h"
+#include "impls/model.h"
+
+namespace hdiff::serve {
+
+/// Worker process exit codes, part of the supervisor/worker contract.
+/// Anything else (signals included) is a death the supervisor retries.
+enum WorkerExit : int {
+  kWorkerOk = 0,         ///< result file durably published
+  kWorkerStale = 2,      ///< checkpoint round/config does not match the ask
+  kWorkerStateError = 3,  ///< cannot load checkpoint or publish the result
+};
+
+struct WorkerOptions {
+  /// Full campaign config; must reproduce the supervisor's exactly
+  /// (validated against the checkpoint's config signature).
+  campaign::CampaignConfig config;
+  std::size_t shard = 0;
+  std::size_t shards = 1;
+  std::size_t round = 0;
+  /// Inherited heartbeat pipe write end; -1 disables heartbeating.
+  int heartbeat_fd = -1;
+  /// Supervisor's heartbeat interval; the worker beats at interval/2.
+  int heartbeat_interval_ms = 200;
+};
+
+/// Run one shard of one round to completion.  Returns a WorkerExit code.
+int run_worker(
+    const WorkerOptions& options,
+    const std::vector<std::unique_ptr<impls::HttpImplementation>>& fleet);
+
+}  // namespace hdiff::serve

@@ -12,7 +12,10 @@
 #include <sstream>
 #include <string>
 
+#include "campaign/engine.h"
 #include "campaign/fingerprint.h"
+#include "core/probes.h"
+#include "impls/products.h"
 
 namespace hdiff::campaign {
 namespace {
@@ -247,6 +250,128 @@ TEST(StoreTest, FreshDirDoesNotExist) {
   StateStore store(fresh_dir("missing"));
   EXPECT_FALSE(store.exists());
   EXPECT_FALSE(store.load());
+}
+
+TEST(StoreTest, LoadHealsALineTornMidHexEscape) {
+  const std::string dir = fresh_dir("torn-escape");
+  StateStore store(dir);
+  ASSERT_TRUE(store.init("sig"));
+
+  Finding f;
+  f.round = 0;
+  f.fingerprint = "00000000000000cc";
+  f.detector = "HRS";
+  f.vector = {"squid->iis"};
+  f.provenance = "seed:get";
+  f.case_uuid = "camp-r0-0";
+  f.description = "committed";
+  store.add_finding(f);
+  ASSERT_TRUE(store.commit_round(0));
+  const std::string committed_bytes = slurp(store.findings_path());
+
+  // The nastiest crash window: the appending writer died partway through a
+  // JSON escape sequence, leaving a final line that is not merely
+  // uncommitted but unparseable ("...\u00" with the hex digits missing).
+  Finding orphan = f;
+  orphan.round = 1;
+  orphan.fingerprint = "00000000000000dd";
+  orphan.description = std::string("ctl \x01 byte", 10);
+  const std::string orphan_line = finding_jsonl(orphan);
+  const std::size_t escape = orphan_line.find("\\u00");
+  ASSERT_NE(escape, std::string::npos) << orphan_line;
+  {
+    std::ofstream out(store.findings_path(), std::ios::app | std::ios::binary);
+    out << orphan_line.substr(0, escape + 3);  // cut inside the escape
+  }
+  ASSERT_NE(slurp(store.findings_path()), committed_bytes);
+
+  StateStore loaded(dir);
+  ASSERT_TRUE(loaded.load()) << loaded.error();
+  EXPECT_EQ(slurp(loaded.findings_path()), committed_bytes);
+  ASSERT_EQ(loaded.findings.size(), 1u);
+  EXPECT_EQ(loaded.findings[0].fingerprint, "00000000000000cc");
+
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, StaleTornTmpFileCannotSurviveACommit) {
+  const std::string dir = fresh_dir("torn-tmp");
+  StateStore store(dir);
+  ASSERT_TRUE(store.init("sig"));
+  ASSERT_TRUE(store.commit_round(0));
+  const std::string committed = slurp(store.state_path());
+
+  // A crash between tmp-write and rename leaves a torn tmp file behind.
+  // It must never shadow or corrupt the checkpoint: loads ignore it and
+  // the next durable commit simply overwrites it.
+  const std::string tmp = store.state_path() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    out << committed.substr(0, committed.size() / 2) << "GARBAGE";
+  }
+  StateStore loaded(dir);
+  ASSERT_TRUE(loaded.load()) << loaded.error();
+  EXPECT_EQ(loaded.rounds_completed, 1u);
+  EXPECT_EQ(slurp(loaded.state_path()), committed);
+
+  ASSERT_TRUE(loaded.commit_round(0));
+  EXPECT_FALSE(fs::exists(tmp)) << "commit left its tmp file behind";
+  EXPECT_EQ(slurp(loaded.state_path()), committed);
+
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, WriteFileAtomicDurablePublishesAllOrNothing) {
+  const std::string dir = fresh_dir("durable");
+  fs::create_directories(dir);
+  const std::string path = dir + "/blob";
+  ASSERT_TRUE(write_file_atomic_durable(path, "first"));
+  EXPECT_EQ(slurp(path), "first");
+  ASSERT_TRUE(write_file_atomic_durable(path, "second"));
+  EXPECT_EQ(slurp(path), "second");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // A missing parent directory is a clean failure, not a partial file.
+  EXPECT_FALSE(write_file_atomic_durable(dir + "/no/such/dir/blob", "x"));
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, SecondWriterIsRefusedByTheLockFile) {
+  const std::string dir = fresh_dir("lock");
+  StateStore first(dir);
+  ASSERT_TRUE(first.acquire_lock()) << first.error();
+  EXPECT_TRUE(first.locked());
+
+  // flock is per open file description, so a second StateStore in this
+  // process stands in for a second engine/serve process.
+  StateStore second(dir);
+  EXPECT_FALSE(second.acquire_lock());
+  EXPECT_FALSE(second.locked());
+  EXPECT_NE(second.error().find("lock"), std::string::npos)
+      << second.error();
+
+  first.release_lock();
+  EXPECT_TRUE(second.acquire_lock()) << second.error();
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, EngineRefusesADirAnotherWriterHolds) {
+  const std::string dir = fresh_dir("engine-lock");
+  StateStore holder(dir);
+  ASSERT_TRUE(holder.acquire_lock());
+
+  CampaignConfig config;
+  config.state_dir = dir;
+  config.rounds = 1;
+  config.budget_per_round = 4;
+  config.bootstrap = core::verification_probes();
+  CampaignEngine engine(config);
+  const auto fleet = impls::make_all_implementations();
+  const CampaignReport report = engine.run(fleet);
+  EXPECT_FALSE(report.error.empty());
+  EXPECT_NE(report.error.find("lock"), std::string::npos) << report.error;
+  // The refused engine must not have touched the dir: no checkpoint.
+  EXPECT_FALSE(StateStore(dir).exists());
+  fs::remove_all(dir);
 }
 
 }  // namespace

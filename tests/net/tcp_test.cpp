@@ -236,6 +236,55 @@ TEST(Tcp, ProxyReportsBackendConnectFailureAsGatewayError) {
             std::string::npos);
 }
 
+// ---- fixed-port bind (the serve daemon's control-plane listener) ----------
+
+TEST(Tcp, FixedPortBindReusesAReleasedPort) {
+  std::uint16_t port = 0;
+  {
+    TcpListener first;
+    port = first.port();
+  }
+  // SO_REUSEADDR must let a restarting daemon rebind its old port even
+  // while kernel state from the previous listener lingers.
+  TcpListener second(port);
+  EXPECT_EQ(second.port(), port);
+}
+
+TEST(Tcp, FixedPortConflictIsChainFaultNotAbort) {
+  TcpListener holder;
+  RetryPolicy retry;
+  retry.attempts = 3;
+  retry.backoff_base_ms = 0;
+  retry.backoff_max_ms = 0;
+  try {
+    TcpListener conflict(holder.port(), retry);
+    FAIL() << "bound a port another listener holds";
+  } catch (const ChainFault& fault) {
+    // Classified like any transport failure, so daemon callers report a
+    // structured error instead of crashing.
+    EXPECT_EQ(fault.error(), ChainError::kConnectFail);
+    EXPECT_NE(std::string(fault.what()).find("3 attempt"),
+              std::string::npos)
+        << fault.what();
+  }
+}
+
+TEST(Tcp, FixedPortRetrySucceedsOnceTheHolderReleases) {
+  auto holder = std::make_unique<TcpListener>();
+  const std::uint16_t port = holder->port();
+  RetryPolicy retry;
+  retry.attempts = 50;
+  retry.backoff_base_ms = 8;
+  retry.backoff_max_ms = 16;
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    holder.reset();  // the dying predecessor finally lets go
+  });
+  TcpListener taker(port, retry);
+  releaser.join();
+  EXPECT_EQ(taker.port(), port);
+}
+
 // ---- retry policy ---------------------------------------------------------
 
 TEST(Tcp, BackoffIsDeterministicBoundedAndGrowing) {

@@ -1,0 +1,429 @@
+// The `hdiff serve` layer: deterministic shard assignment, durable shard
+// result files (torn/stale rejection, hole detection on merge), the
+// control-plane HTTP pump, and the supervisor itself — in-process shards
+// byte-identical to the single-process engine, and a permanently-crashing
+// worker binary degraded into quarantined inline execution without losing
+// the round.
+#include "serve/supervisor.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/engine.h"
+#include "campaign/shard.h"
+#include "campaign/store.h"
+#include "core/probes.h"
+#include "impls/products.h"
+#include "net/event_loop.h"
+#include "net/tcp.h"
+#include "serve/worker.h"
+
+namespace hdiff::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using campaign::CaseOutcome;
+using campaign::PlannedCase;
+using campaign::ShardResult;
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("hdiff-serve-test-" + std::to_string(::getpid()) +
+                        "-" + tag + "-" + std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- shard assignment -----------------------------------------------------
+
+TEST(Shard, AssignmentIsDeterministicAndInRange) {
+  for (std::size_t shards : {1u, 2u, 4u, 7u}) {
+    for (int i = 0; i < 64; ++i) {
+      const std::string raw = "GET /case" + std::to_string(i) + " HTTP/1.1";
+      const std::size_t s = campaign::shard_of(raw, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, campaign::shard_of(raw, shards));  // pure function
+    }
+  }
+  // shards == 0 must not divide by zero; it means "one shard".
+  EXPECT_EQ(campaign::shard_of("x", 0), 0u);
+}
+
+TEST(Shard, AssignmentActuallySpreadsCases) {
+  std::vector<std::size_t> hits(4, 0);
+  for (int i = 0; i < 256; ++i) {
+    ++hits[campaign::shard_of("case-" + std::to_string(i), 4)];
+  }
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_GT(hits[k], 0u) << "shard " << k;
+}
+
+TEST(Shard, IndicesPartitionThePlan) {
+  std::vector<PlannedCase> planned(32);
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    planned[i].tc.raw = "GET /p" + std::to_string(i) + " HTTP/1.1\r\n\r\n";
+  }
+  const std::size_t shards = 4;
+  std::vector<bool> owned(planned.size(), false);
+  for (std::size_t k = 0; k < shards; ++k) {
+    std::size_t prev = 0;
+    bool first = true;
+    for (std::size_t idx : campaign::shard_indices(planned, k, shards)) {
+      ASSERT_LT(idx, planned.size());
+      EXPECT_FALSE(owned[idx]) << "index " << idx << " owned twice";
+      owned[idx] = true;
+      if (!first) EXPECT_GT(idx, prev) << "indices not ascending";
+      prev = idx;
+      first = false;
+    }
+  }
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    EXPECT_TRUE(owned[i]) << "index " << i << " owned by no shard";
+  }
+}
+
+// ---- shard result files ---------------------------------------------------
+
+ShardResult sample_result() {
+  ShardResult result;
+  result.round = 3;
+  result.shard = 1;
+  result.shards = 4;
+  result.config_sig = "sig-abc";
+  result.faulted_attempts = 5;
+  result.retry_attempts = 4;
+  result.recovered_cases = 2;
+  result.quarantined_cases = 1;
+  CaseOutcome hit;
+  hit.executed = true;
+  campaign::Signature sig;
+  sig.detector = "HRS";
+  sig.vector = {"apache->nginx", "with \x01 bytes\n"};
+  hit.signatures.push_back(sig);
+  result.outcomes[2] = hit;
+  CaseOutcome quarantined;
+  quarantined.executed = true;
+  quarantined.quarantined = true;
+  result.outcomes[7] = quarantined;
+  return result;
+}
+
+TEST(ShardResult, RenderParseRoundTrip) {
+  const ShardResult result = sample_result();
+  ShardResult back;
+  ASSERT_TRUE(campaign::parse_shard_result(
+      campaign::render_shard_result(result), &back));
+  EXPECT_EQ(back.round, result.round);
+  EXPECT_EQ(back.shard, result.shard);
+  EXPECT_EQ(back.shards, result.shards);
+  EXPECT_EQ(back.config_sig, result.config_sig);
+  EXPECT_EQ(back.faulted_attempts, result.faulted_attempts);
+  EXPECT_EQ(back.retry_attempts, result.retry_attempts);
+  EXPECT_EQ(back.recovered_cases, result.recovered_cases);
+  EXPECT_EQ(back.quarantined_cases, result.quarantined_cases);
+  ASSERT_EQ(back.outcomes.size(), result.outcomes.size());
+  EXPECT_TRUE(back.outcomes.at(7).quarantined);
+  ASSERT_EQ(back.outcomes.at(2).signatures.size(), 1u);
+  EXPECT_EQ(back.outcomes.at(2).signatures[0].detector, "HRS");
+  EXPECT_EQ(back.outcomes.at(2).signatures[0].vector,
+            result.outcomes.at(2).signatures[0].vector);
+}
+
+TEST(ShardResult, EveryTruncationIsRejected) {
+  const std::string full = campaign::render_shard_result(sample_result());
+  ShardResult out;
+  ASSERT_TRUE(campaign::parse_shard_result(full, &out));
+  // A durable rename makes torn *files* impossible, but a stray partial
+  // write must still never parse: chop at every byte boundary.
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(
+        campaign::parse_shard_result(full.substr(0, len), &out))
+        << "prefix of " << len << " bytes parsed as a complete result";
+  }
+  EXPECT_FALSE(campaign::parse_shard_result("", &out));
+  EXPECT_FALSE(campaign::parse_shard_result("garbage\n", &out));
+}
+
+TEST(ShardResult, LoadValidatesPlanIdentity) {
+  const std::string dir = fresh_dir("result-identity");
+  const ShardResult result = sample_result();
+  ASSERT_TRUE(campaign::write_shard_result(dir, result));
+
+  ShardResult out;
+  EXPECT_TRUE(campaign::load_shard_result(dir, 3, 1, 4, "sig-abc", &out));
+  // Any mismatch in the plan identity header is a stale daemon generation.
+  EXPECT_FALSE(campaign::load_shard_result(dir, 2, 1, 4, "sig-abc", &out));
+  EXPECT_FALSE(campaign::load_shard_result(dir, 3, 1, 8, "sig-abc", &out));
+  EXPECT_FALSE(campaign::load_shard_result(dir, 3, 1, 4, "sig-xyz", &out));
+  // Missing file.
+  EXPECT_FALSE(campaign::load_shard_result(dir, 3, 0, 4, "sig-abc", &out));
+  fs::remove_all(dir);
+}
+
+TEST(ShardResult, MergeRejectsHoles) {
+  ShardResult a;
+  a.shards = 2;
+  CaseOutcome done;
+  done.executed = true;
+  a.outcomes[0] = done;
+  a.outcomes[2] = done;
+  ShardResult b;
+  b.shard = 1;
+  b.shards = 2;
+  b.outcomes[1] = done;
+
+  std::vector<CaseOutcome> merged;
+  std::size_t missing = 0;
+  EXPECT_TRUE(campaign::merge_shard_outcomes({a, b}, 3, &merged, &missing));
+  ASSERT_EQ(merged.size(), 3u);
+  for (const CaseOutcome& outcome : merged) EXPECT_TRUE(outcome.executed);
+
+  // Planned index 3 executed by no shard: the merge must name the hole
+  // instead of letting integrate_round see an unexecuted outcome.
+  EXPECT_FALSE(campaign::merge_shard_outcomes({a, b}, 4, &merged, &missing));
+  EXPECT_EQ(missing, 3u);
+}
+
+// ---- control-plane HTTP pump ----------------------------------------------
+
+/// Pumps `loop` on this thread while `client` runs a blocking roundtrip.
+std::string pump_roundtrip(net::ServeLoop& loop, std::uint16_t port,
+                           const std::string& request) {
+  net::TcpResult result;
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    result = net::tcp_roundtrip(port, request, 2000);
+    done.store(true);
+  });
+  while (!done.load()) loop.poll_once(5);
+  client.join();
+  return result.bytes;
+}
+
+TEST(ServeLoop, DispatchesRequestToHandler) {
+  net::TcpListener listener;
+  net::ServeLoop loop(listener, [](const net::ControlRequest& request) {
+    net::ControlResponse response;
+    response.body = request.method + " " + request.target;
+    return response;
+  });
+  const std::string reply = pump_roundtrip(
+      loop, listener.port(),
+      "GET /healthz HTTP/1.1\r\nHost: c\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Connection: close"), std::string::npos);
+  EXPECT_NE(reply.find("GET /healthz"), std::string::npos);
+  EXPECT_EQ(loop.requests_handled(), 1u);
+  EXPECT_EQ(loop.requests_rejected(), 0u);
+}
+
+TEST(ServeLoop, DeliversPostBodyByContentLength) {
+  net::TcpListener listener;
+  net::ServeLoop loop(listener, [](const net::ControlRequest& request) {
+    net::ControlResponse response;
+    response.status = 202;
+    response.body = "got:" + request.body;
+    return response;
+  });
+  const std::string reply = pump_roundtrip(
+      loop, listener.port(),
+      "POST /campaigns/default/stop HTTP/1.1\r\nContent-Length: 5\r\n\r\n"
+      "drain");
+  EXPECT_NE(reply.find("HTTP/1.1 202 Accepted"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("got:drain"), std::string::npos);
+}
+
+TEST(ServeLoop, MalformedRequestIs400NotACrash) {
+  net::TcpListener listener;
+  net::ServeLoop loop(listener, [](const net::ControlRequest&) {
+    return net::ControlResponse{};
+  });
+  const std::string reply =
+      pump_roundtrip(loop, listener.port(), "garbage\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << reply;
+  EXPECT_EQ(loop.requests_handled(), 0u);
+  EXPECT_EQ(loop.requests_rejected(), 1u);
+}
+
+TEST(ServeLoop, OversizedRequestIs413) {
+  net::TcpListener listener;
+  net::ServeLoopConfig config;
+  config.max_request_bytes = 128;
+  net::ServeLoop loop(
+      listener,
+      [](const net::ControlRequest&) { return net::ControlResponse{}; },
+      config);
+  const std::string reply = pump_roundtrip(
+      loop, listener.port(),
+      "GET /" + std::string(256, 'a') + " HTTP/1.1\r\n\r\n");
+  EXPECT_NE(reply.find("413"), std::string::npos) << reply;
+  EXPECT_EQ(loop.requests_rejected(), 1u);
+}
+
+TEST(ServeLoop, HandlerExceptionIs500) {
+  net::TcpListener listener;
+  net::ServeLoop loop(listener, [](const net::ControlRequest&)
+                                    -> net::ControlResponse {
+    throw std::runtime_error("handler bug");
+  });
+  const std::string reply = pump_roundtrip(
+      loop, listener.port(), "GET /boom HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 500"), std::string::npos) << reply;
+}
+
+// ---- supervisor -----------------------------------------------------------
+
+campaign::CampaignConfig small_campaign(const std::string& dir) {
+  campaign::CampaignConfig config;
+  config.state_dir = dir;
+  config.rounds = 1;
+  config.budget_per_round = 8;
+  config.executor.jobs = 1;
+  config.bootstrap = core::verification_probes();
+  return config;
+}
+
+TEST(Supervisor, InProcessShardsMatchSingleProcessEngineByteForByte) {
+  const auto fleet = impls::make_all_implementations();
+
+  const std::string ref_dir = fresh_dir("sup-ref");
+  campaign::CampaignEngine engine(small_campaign(ref_dir));
+  const campaign::CampaignReport ref = engine.run(fleet);
+  ASSERT_TRUE(ref.error.empty()) << ref.error;
+
+  const std::string serve_dir = fresh_dir("sup-serve");
+  ServeConfig config;
+  config.campaign = small_campaign(serve_dir);
+  config.shards = 3;
+  // Empty worker binary = every shard executes inline in the supervisor —
+  // the pure merge/integrate path with no process management noise.
+  config.worker_binary.clear();
+  Supervisor supervisor(config, fleet);
+  EXPECT_GT(supervisor.port(), 0);
+  const ServeReport report = supervisor.run();
+  ASSERT_TRUE(report.error.empty()) << report.error;
+  EXPECT_EQ(report.rounds_run, 2u);  // bootstrap + 1 mutation round
+  EXPECT_FALSE(report.drained);
+
+  const campaign::StateStore ref_store(ref_dir), serve_store(serve_dir);
+  EXPECT_EQ(slurp(ref_store.state_path()), slurp(serve_store.state_path()));
+  EXPECT_EQ(slurp(ref_store.findings_path()),
+            slurp(serve_store.findings_path()));
+  fs::remove_all(ref_dir);
+  fs::remove_all(serve_dir);
+}
+
+TEST(Supervisor, CrashOnlyWorkerIsQuarantinedAndTheRoundStillCompletes) {
+  const auto fleet = impls::make_all_implementations();
+
+  const std::string ref_dir = fresh_dir("quar-ref");
+  campaign::CampaignEngine engine(small_campaign(ref_dir));
+  ASSERT_TRUE(engine.run(fleet).error.empty());
+
+  const std::string serve_dir = fresh_dir("quar-serve");
+  ServeConfig config;
+  config.campaign = small_campaign(serve_dir);
+  config.shards = 2;
+  // A worker that always exits 1 without publishing a result: every spawn
+  // is a death, every shard ends up quarantined, and the supervisor must
+  // finish the campaign inline anyway.
+  config.worker_binary = "/bin/false";
+  config.heartbeat_interval_ms = 40;
+  config.quarantine_after = 2;
+  Supervisor supervisor(config, fleet);
+  const ServeReport report = supervisor.run();
+  ASSERT_TRUE(report.error.empty()) << report.error;
+  EXPECT_GE(report.worker_deaths, 2u);
+  EXPECT_GE(report.quarantined_shards, 1u);
+  EXPECT_GE(report.worker_restarts, 1u);
+
+  const campaign::StateStore ref_store(ref_dir), serve_store(serve_dir);
+  EXPECT_EQ(slurp(ref_store.state_path()), slurp(serve_store.state_path()));
+  EXPECT_EQ(slurp(ref_store.findings_path()),
+            slurp(serve_store.findings_path()));
+  fs::remove_all(ref_dir);
+  fs::remove_all(serve_dir);
+}
+
+TEST(Supervisor, LeftoverShardResultIsReusedNotReexecuted) {
+  const auto fleet = impls::make_all_implementations();
+  const std::string dir = fresh_dir("leftover");
+
+  // Build a committed round-0 checkpoint, then plan round 1 and pre-write
+  // every shard's result — simulating a supervisor killed after all workers
+  // published but before the merge committed.
+  {
+    ServeConfig config;
+    config.campaign = small_campaign(dir);
+    config.campaign.rounds = 0;  // commit only the bootstrap round
+    Supervisor supervisor(config, fleet);
+    ASSERT_TRUE(supervisor.run().error.empty());
+  }
+  campaign::CampaignConfig campaign_config = small_campaign(dir);
+  const std::string sig = campaign::campaign_config_sig(campaign_config);
+  {
+    campaign::StateStore store(dir);
+    ASSERT_TRUE(store.load_readonly());
+    ASSERT_EQ(store.rounds_completed, 1u);
+    campaign::RoundPlan plan =
+        campaign::plan_round(store, campaign_config, 1);
+    net::Chain chain = net::Chain::from_fleet(fleet);
+    core::ObservationMemo memo;
+    net::VerdictCache verdicts;
+    for (std::size_t k = 0; k < 2; ++k) {
+      const std::vector<std::size_t> mine =
+          campaign::shard_indices(plan.cases, k, 2);
+      campaign::ExecutedRound executed = campaign::execute_round(
+          campaign_config, chain, plan.cases, &memo, &verdicts, &mine);
+      ShardResult result;
+      result.round = 1;
+      result.shard = k;
+      result.shards = 2;
+      result.config_sig = sig;
+      for (std::size_t idx : mine) result.outcomes[idx] = executed.outcomes[idx];
+      ASSERT_TRUE(campaign::write_shard_result(dir, result));
+    }
+  }
+
+  ServeConfig config;
+  config.campaign = small_campaign(dir);
+  config.shards = 2;
+  // No worker binary and no quarantine tolerance needed: if the leftover
+  // results are adopted, zero shard executions happen at all.
+  Supervisor supervisor(config, fleet);
+  const ServeReport report = supervisor.run();
+  ASSERT_TRUE(report.error.empty()) << report.error;
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.reused_shard_results, 2u);
+
+  // Same bytes as an uninterrupted single-process run.
+  const std::string ref_dir = fresh_dir("leftover-ref");
+  campaign::CampaignEngine engine(small_campaign(ref_dir));
+  ASSERT_TRUE(engine.run(fleet).error.empty());
+  const campaign::StateStore ref_store(ref_dir), got_store(dir);
+  EXPECT_EQ(slurp(ref_store.state_path()), slurp(got_store.state_path()));
+  EXPECT_EQ(slurp(ref_store.findings_path()), slurp(got_store.findings_path()));
+  fs::remove_all(dir);
+  fs::remove_all(ref_dir);
+}
+
+}  // namespace
+}  // namespace hdiff::serve

@@ -57,10 +57,29 @@
 //                                      run, every fingerprint is unique, and
 //                                      a kill-and-resume run reproduces the
 //                                      uninterrupted state byte-identically
+//   hdiff serve --state-dir DIR        supervised campaign daemon: rounds
+//                  [--shards N] [--port P] [...]
+//                                      sharded over worker OS processes
+//                                      (heartbeat liveness, crash restart,
+//                                      shard quarantine, durable shard-result
+//                                      merge) with an HTTP control plane
+//                                      (/healthz /readyz /status /metrics,
+//                                      POST /campaigns/:id/stop) and graceful
+//                                      SIGTERM/SIGINT drain to exit 0
+//   hdiff selftest --serve             chaos proof: supervisor state and
+//                                      findings byte-identical to the
+//                                      single-process engine under worker
+//                                      SIGKILLs, a hang, and drain + resume
+//   hdiff selftest --serve-soak        /healthz never unready > 2 heartbeat
+//                  [--seconds N]       intervals under continuous random
+//                                      worker SIGKILLs
 //   hdiff audit FRONT BACK             audit one proxy/origin combination
 //   hdiff parse IMPL                   parse one raw request from stdin
 //                                      under IMPL's model and show HMetrics
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +88,7 @@
 #include <memory>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include <filesystem>
 #include <unistd.h>
@@ -91,8 +111,11 @@
 #include "net/event_loop.h"
 #include "net/fault.h"
 #include "net/live.h"
+#include "net/tcp.h"
 #include "obs/obs.h"
 #include "report/table.h"
+#include "serve/supervisor.h"
+#include "serve/worker.h"
 
 namespace {
 
@@ -140,6 +163,15 @@ int usage() {
       "  selftest --campaign          campaign self-test: superset of the\n"
       "                               one-shot findings, fingerprint dedup,\n"
       "                               and byte-identical kill-and-resume\n"
+      "  selftest --serve [--jobs N]  daemon self-test: assert the sharded\n"
+      "                               supervisor's findings are byte-identical\n"
+      "                               to the single-process engine under\n"
+      "                               worker SIGKILLs, a hang, and a\n"
+      "                               control-plane drain + resume\n"
+      "  selftest --serve-soak [--seconds N] [--jobs N]\n"
+      "                               soak: random worker SIGKILLs for N s\n"
+      "                               (default 60) asserting /healthz never\n"
+      "                               stays unready > 2 heartbeat intervals\n"
       "  campaign run|resume|status|minimize --state-dir DIR\n"
       "           [--rounds N] [--budget N] [--jobs N] [--json FILE]\n"
       "           [--mini] [--no-minimize]\n"
@@ -147,6 +179,15 @@ int usage() {
       "                               divergence-feedback scheduling,\n"
       "                               finding dedup, delta-debug minimized\n"
       "                               corpus growth and checkpoint/resume\n"
+      "  serve --state-dir DIR [--rounds N] [--budget N] [--jobs N]\n"
+      "        [--shards N] [--port P] [--port-file FILE] [--mini]\n"
+      "        [--no-minimize] [--heartbeat-ms N] [--quarantine-after K]\n"
+      "        [--in-process]          supervised campaign daemon: sharded\n"
+      "                               worker processes, crash restart with\n"
+      "                               backoff, shard quarantine, HTTP control\n"
+      "                               plane (/healthz /readyz /status\n"
+      "                               /metrics, POST /campaigns/:id/stop),\n"
+      "                               graceful SIGTERM/SIGINT drain\n"
       "  audit FRONT BACK             audit one proxy/origin pair\n"
       "  parse IMPL                   parse stdin as IMPL (server model)\n");
   return 2;
@@ -974,6 +1015,8 @@ int selftest_netloop(std::size_t jobs, bool force_poll) {
 }
 
 int selftest_campaign(std::size_t jobs);  // defined with the campaign CLI
+int selftest_serve(std::size_t jobs);     // defined with the serve CLI
+int selftest_serve_soak(int seconds, std::size_t jobs);
 
 int cmd_selftest(int argc, char** argv) {
   hdiff::net::FaultPlanConfig plan_config;
@@ -984,12 +1027,20 @@ int cmd_selftest(int argc, char** argv) {
   bool views_mode = false;
   bool netloop_mode = false;
   bool force_poll = false;
+  bool serve_mode = false;
+  bool serve_soak_mode = false;
+  int soak_seconds = 60;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_mode = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign_mode = true;
     if (std::strcmp(argv[i], "--views") == 0) views_mode = true;
     if (std::strcmp(argv[i], "--net-loop") == 0) netloop_mode = true;
     if (std::strcmp(argv[i], "--force-poll") == 0) force_poll = true;
+    if (std::strcmp(argv[i], "--serve") == 0) serve_mode = true;
+    if (std::strcmp(argv[i], "--serve-soak") == 0) serve_soak_mode = true;
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      soak_seconds = std::max(1, std::atoi(argv[i + 1]));
+    }
   }
   hdiff::core::PipelineConfig config;
   // A case can touch many distinct victim sites (one per model leg), so the
@@ -1017,6 +1068,10 @@ int cmd_selftest(int argc, char** argv) {
     }
   }
 
+  if (serve_soak_mode) {
+    return selftest_serve_soak(soak_seconds, config.executor.jobs);
+  }
+  if (serve_mode) return selftest_serve(config.executor.jobs);
   if (campaign_mode) return selftest_campaign(config.executor.jobs);
   if (trace_mode) return selftest_trace(std::move(config));
   if (views_mode) return selftest_views();
@@ -1434,6 +1489,558 @@ int selftest_campaign(std::size_t jobs) {
   return rc;
 }
 
+// ---- hdiff serve: supervised, crash-tolerant campaign daemon --------------
+
+/// SIGTERM/SIGINT set this; the supervisor polls it and drains gracefully
+/// (finish the round, commit, exit 0).
+volatile std::sig_atomic_t g_serve_drain = 0;
+
+void serve_drain_handler(int) { g_serve_drain = 1; }
+
+/// The running hdiff binary, for spawning serve-worker children.  The
+/// HDIFF_BIN env var overrides (tests driving a copied/renamed binary).
+std::string self_exe_path() {
+  if (const char* hint = std::getenv("HDIFF_BIN"); hint && *hint) return hint;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  return "hdiff";
+}
+
+/// Hidden subcommand: one shard of one round, spawned by the supervisor.
+/// Flags reproduce the supervisor's campaign config; the worker revalidates
+/// against the checkpoint's config signature and refuses a stale ask.
+int cmd_serve_worker(int argc, char** argv) {
+  // The supervisor may die while we beat into the inherited pipe; that must
+  // not kill the worker mid-shard (the result file is still useful).
+  std::signal(SIGPIPE, SIG_IGN);
+  hdiff::serve::WorkerOptions options;
+  bool mini = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mini") == 0) {
+      mini = true;
+    } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+      options.config.minimize_new = false;
+    } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
+      options.config.state_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      options.config.budget_per_round =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[++i])));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.config.executor.jobs =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[++i])));
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      options.shard = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      options.shards =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[++i])));
+    } else if (std::strcmp(argv[i], "--round") == 0 && i + 1 < argc) {
+      options.round = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0 && i + 1 < argc) {
+      options.heartbeat_interval_ms = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--heartbeat-fd") == 0 && i + 1 < argc) {
+      options.heartbeat_fd = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown serve-worker option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (options.config.state_dir.empty()) {
+    std::fprintf(stderr, "serve-worker requires --state-dir DIR\n");
+    return 2;
+  }
+  options.config.bootstrap =
+      mini ? hdiff::core::verification_probes() : one_shot_corpus();
+  auto fleet = hdiff::impls::make_all_implementations();
+  return hdiff::serve::run_worker(options, fleet);
+}
+
+bool parse_round_shard(const char* spec, std::size_t* round,
+                       std::size_t* shard) {
+  const char* colon = std::strchr(spec, ':');
+  if (colon == nullptr) return false;
+  *round = static_cast<std::size_t>(std::atol(spec));
+  *shard = static_cast<std::size_t>(std::atol(colon + 1));
+  return true;
+}
+
+int cmd_serve(int argc, char** argv) {
+  hdiff::serve::ServeConfig config;
+  bool mini = false;
+  bool in_process = false;
+  std::string port_file;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mini") == 0) {
+      mini = true;
+    } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+      config.campaign.minimize_new = false;
+    } else if (std::strcmp(argv[i], "--in-process") == 0) {
+      in_process = true;  // inline execution, no child processes
+    } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
+      config.campaign.state_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      config.campaign.rounds =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[++i])));
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      config.campaign.budget_per_round =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[++i])));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      config.campaign.executor.jobs =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[++i])));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      config.shards =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[++i])));
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0 && i + 1 < argc) {
+      config.heartbeat_interval_ms = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quarantine-after") == 0 &&
+               i + 1 < argc) {
+      config.quarantine_after = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--chaos-kill") == 0 && i + 1 < argc) {
+      hdiff::serve::ChaosAction action;  // test hook: R:S = round:shard
+      if (!parse_round_shard(argv[++i], &action.round, &action.shard)) {
+        std::fprintf(stderr, "--chaos-kill wants ROUND:SHARD, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.chaos.push_back(action);
+    } else if (std::strcmp(argv[i], "--chaos-stop") == 0 && i + 1 < argc) {
+      hdiff::serve::ChaosAction action;
+      action.kind = hdiff::serve::ChaosAction::Kind::kStop;
+      if (!parse_round_shard(argv[++i], &action.round, &action.shard)) {
+        std::fprintf(stderr, "--chaos-stop wants ROUND:SHARD, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.chaos.push_back(action);
+    } else {
+      std::fprintf(stderr, "unknown serve option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (config.campaign.state_dir.empty()) {
+    std::fprintf(stderr, "serve requires --state-dir DIR\n");
+    return 2;
+  }
+  config.campaign.bootstrap =
+      mini ? hdiff::core::verification_probes() : one_shot_corpus();
+  if (!in_process) config.worker_binary = self_exe_path();
+  // Workers rebuild the campaign config from these flags; the config
+  // signature check catches any drift.
+  if (mini) config.worker_args.push_back("--mini");
+  if (!config.campaign.minimize_new) {
+    config.worker_args.push_back("--no-minimize");
+  }
+  config.worker_args.push_back("--budget");
+  config.worker_args.push_back(
+      std::to_string(config.campaign.budget_per_round));
+  if (config.campaign.executor.jobs != 0) {
+    config.worker_args.push_back("--jobs");
+    config.worker_args.push_back(
+        std::to_string(config.campaign.executor.jobs));
+  }
+
+  hdiff::obs::Registry registry;
+  config.obs.metrics = &registry;
+  config.campaign.obs.metrics = &registry;
+
+  g_serve_drain = 0;
+  std::signal(SIGTERM, serve_drain_handler);
+  std::signal(SIGINT, serve_drain_handler);
+  config.drain_flag = &g_serve_drain;
+
+  auto fleet = hdiff::impls::make_all_implementations();
+  try {
+    hdiff::serve::Supervisor supervisor(std::move(config), fleet);
+    std::printf("serve: control plane on 127.0.0.1:%u\n",
+                static_cast<unsigned>(supervisor.port()));
+    std::fflush(stdout);
+    if (!port_file.empty() &&
+        !write_file(port_file, std::to_string(supervisor.port()) + "\n")) {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    hdiff::serve::ServeReport report = supervisor.run();
+    if (!report.error.empty()) {
+      std::fprintf(stderr, "serve: %s\n", report.error.c_str());
+      return 1;
+    }
+    std::printf(
+        "serve: %zu round(s) committed%s%s, %zu finding(s), %zu corpus "
+        "entr%s; %zu spawn(s), %zu death(s), %zu hang(s), %zu restart(s), "
+        "%zu quarantined shard(s), %zu reused shard result(s)\n",
+        report.rounds_run, report.resumed ? " (resumed)" : "",
+        report.drained ? " (drained)" : "", report.total_findings,
+        report.corpus_entries, report.corpus_entries == 1 ? "y" : "ies",
+        report.worker_spawns, report.worker_deaths, report.worker_hangs,
+        report.worker_restarts, report.quarantined_shards,
+        report.reused_shard_results);
+    return 0;
+  } catch (const hdiff::net::ChainFault& fault) {
+    std::fprintf(stderr, "serve: control plane bind failed (%s): %s\n",
+                 std::string(to_string(fault.error())).c_str(), fault.what());
+    return 1;
+  }
+}
+
+// ---- selftest --serve: sharded-daemon acceptance proof --------------------
+
+struct ControlProbe {
+  int status = 0;            ///< 0 = transport failure
+  std::string body;
+};
+
+ControlProbe control_get(std::uint16_t port, const std::string& method,
+                         const std::string& target) {
+  const std::string request = method + " " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Content-Length: 0\r\n\r\n";
+  hdiff::net::TcpResult result = hdiff::net::tcp_roundtrip(port, request);
+  ControlProbe probe;
+  if (!result.ok() || result.bytes.size() < 12) return probe;
+  probe.status = std::atoi(result.bytes.c_str() + 9);
+  const std::size_t body = result.bytes.find("\r\n\r\n");
+  if (body != std::string::npos) probe.body = result.bytes.substr(body + 4);
+  return probe;
+}
+
+/// `selftest --serve`: prove the supervised sharded daemon byte-identical
+/// to the single-process engine under worker crashes, a hang, and a
+/// mid-campaign drain:
+///   1. reference: plain CampaignEngine run;
+///   2. chaos: 4-shard supervisor with two workers SIGKILLed mid-round and
+///      one SIGSTOPped (hang -> heartbeat timeout -> SIGKILL -> respawn);
+///      state and findings must match the reference byte for byte;
+///   3. drain: stop via POST /campaigns/default/stop mid-campaign, then a
+///      second supervisor resumes the same state dir to completion; final
+///      bytes must again match an uninterrupted reference.
+int selftest_serve(std::size_t jobs) {
+  namespace fs = std::filesystem;
+  namespace camp = hdiff::campaign;
+
+  const fs::path root = fs::temp_directory_path() /
+                        ("hdiff-selftest-serve-" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  auto base_config = [&](const std::string& leaf, std::size_t rounds) {
+    camp::CampaignConfig config;
+    config.state_dir = (root / leaf).string();
+    config.rounds = rounds;
+    config.budget_per_round = 24;
+    config.executor.jobs = jobs == 0 ? 1 : jobs;
+    config.bootstrap = hdiff::core::verification_probes();
+    return config;
+  };
+  auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  auto compare_dirs = [&](const std::string& ref_dir,
+                          const std::string& got_dir, const char* what) {
+    const camp::StateStore ref(ref_dir), got(got_dir);
+    int rc = 0;
+    if (read_bytes(ref.state_path()) != read_bytes(got.state_path())) {
+      std::printf("selftest FAILED: %s campaign.state differs\n", what);
+      rc = 1;
+    }
+    if (read_bytes(ref.findings_path()) != read_bytes(got.findings_path())) {
+      std::printf("selftest FAILED: %s findings.jsonl differs\n", what);
+      rc = 1;
+    }
+    return rc;
+  };
+
+  auto fleet = hdiff::impls::make_all_implementations();
+  const std::string self = self_exe_path();
+
+  // -- 1. single-process reference (2 mutation rounds) ----------------------
+  std::printf("reference: single-process 2-round campaign...\n");
+  camp::CampaignEngine reference(base_config("reference", 2));
+  camp::CampaignReport ref_report = reference.run(fleet);
+  if (!ref_report.error.empty()) {
+    std::printf("selftest FAILED: %s\n", ref_report.error.c_str());
+    return 1;
+  }
+
+  // -- 2. sharded supervisor under chaos ------------------------------------
+  std::printf(
+      "chaos: 4-shard supervisor, 2 worker SIGKILLs + 1 SIGSTOP hang...\n");
+  hdiff::serve::ServeConfig serve_config;
+  serve_config.campaign = base_config("chaos", 2);
+  serve_config.shards = 4;
+  serve_config.worker_binary = self;
+  serve_config.worker_args = {"--mini", "--budget", "24"};
+  serve_config.heartbeat_interval_ms = 60;
+  serve_config.quarantine_after = 10;  // keep respawning; never quarantine
+  using Chaos = hdiff::serve::ChaosAction;
+  serve_config.chaos = {
+      Chaos{.round = 1, .shard = 0, .kind = Chaos::Kind::kKill, .delay_ms = 0},
+      Chaos{.round = 1, .shard = 2, .kind = Chaos::Kind::kKill, .delay_ms = 0},
+      Chaos{.round = 2, .shard = 1, .kind = Chaos::Kind::kStop, .delay_ms = 0},
+  };
+  hdiff::serve::ServeReport chaos_report;
+  try {
+    hdiff::serve::Supervisor supervisor(serve_config, fleet);
+    chaos_report = supervisor.run();
+  } catch (const hdiff::net::ChainFault& fault) {
+    std::printf("selftest FAILED: %s\n", fault.what());
+    return 1;
+  }
+  if (!chaos_report.error.empty()) {
+    std::printf("selftest FAILED: %s\n", chaos_report.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "chaos: %zu spawn(s), %zu death(s) (%zu hang), %zu restart(s)\n",
+      chaos_report.worker_spawns, chaos_report.worker_deaths,
+      chaos_report.worker_hangs, chaos_report.worker_restarts);
+  if (chaos_report.worker_deaths < 3 || chaos_report.worker_hangs < 1 ||
+      chaos_report.worker_restarts < 3) {
+    std::printf(
+        "selftest FAILED: chaos did not engage (want >=3 deaths incl. 1 "
+        "hang, >=3 restarts)\n");
+    return 1;
+  }
+  if (int rc = compare_dirs(base_config("reference", 2).state_dir,
+                            serve_config.campaign.state_dir, "chaos");
+      rc != 0) {
+    return rc;
+  }
+  std::printf("chaos: state and findings byte-identical to the reference\n");
+
+  // -- 3. graceful drain + resume -------------------------------------------
+  std::printf("drain: stopping a 4-round campaign via the control plane...\n");
+  camp::CampaignEngine drain_reference(base_config("drain-reference", 4));
+  camp::CampaignReport drain_ref_report = drain_reference.run(fleet);
+  if (!drain_ref_report.error.empty()) {
+    std::printf("selftest FAILED: %s\n", drain_ref_report.error.c_str());
+    return 1;
+  }
+
+  hdiff::serve::ServeConfig drain_config;
+  drain_config.campaign = base_config("drain", 4);
+  drain_config.shards = 2;
+  drain_config.worker_binary = self;
+  drain_config.worker_args = {"--mini", "--budget", "24"};
+  drain_config.heartbeat_interval_ms = 60;
+  hdiff::serve::ServeReport drain_report;
+  std::atomic<bool> run_done{false};
+  std::atomic<bool> stop_posted{false};
+  std::atomic<bool> health_ok{false};
+  try {
+    hdiff::serve::Supervisor supervisor(drain_config, fleet);
+    const std::uint16_t port = supervisor.port();
+    std::thread stopper([&] {
+      while (!run_done.load()) {
+        ControlProbe health = control_get(port, "GET", "/healthz");
+        if (health.status == 200) health_ok.store(true);
+        ControlProbe status = control_get(port, "GET", "/status");
+        if (status.status == 200 &&
+            status.body.find("\"rounds_completed\":0") == std::string::npos &&
+            !status.body.empty()) {
+          ControlProbe stop =
+              control_get(port, "POST", "/campaigns/default/stop");
+          if (stop.status == 202) {
+            stop_posted.store(true);
+            return;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+    drain_report = supervisor.run();
+    run_done.store(true);
+    stopper.join();
+  } catch (const hdiff::net::ChainFault& fault) {
+    std::printf("selftest FAILED: %s\n", fault.what());
+    return 1;
+  }
+  if (!drain_report.error.empty()) {
+    std::printf("selftest FAILED: %s\n", drain_report.error.c_str());
+    return 1;
+  }
+  if (!stop_posted.load() || !drain_report.drained) {
+    std::printf(
+        "selftest FAILED: drain did not engage (stop posted: %d, drained: "
+        "%d) — the campaign finished before the stop landed\n",
+        stop_posted.load() ? 1 : 0, drain_report.drained ? 1 : 0);
+    return 1;
+  }
+  if (!health_ok.load()) {
+    std::printf("selftest FAILED: /healthz never answered 200\n");
+    return 1;
+  }
+  std::printf("drain: committed %zu round(s) then stopped; resuming...\n",
+              drain_report.rounds_run);
+  try {
+    hdiff::serve::Supervisor resumer(drain_config, fleet);
+    hdiff::serve::ServeReport resume_report = resumer.run();
+    if (!resume_report.error.empty() || !resume_report.resumed) {
+      std::printf("selftest FAILED: resume failed (%s)\n",
+                  resume_report.error.c_str());
+      return 1;
+    }
+  } catch (const hdiff::net::ChainFault& fault) {
+    std::printf("selftest FAILED: %s\n", fault.what());
+    return 1;
+  }
+  if (int rc = compare_dirs(base_config("drain-reference", 4).state_dir,
+                            drain_config.campaign.state_dir, "drain+resume");
+      rc != 0) {
+    return rc;
+  }
+
+  std::printf(
+      "selftest PASSED: sharded daemon byte-identical to the single-process "
+      "engine under 2 SIGKILLs, 1 hang, and a drain+resume (%zu finding(s), "
+      "%zu corpus entr%s)\n",
+      chaos_report.total_findings, chaos_report.corpus_entries,
+      chaos_report.corpus_entries == 1 ? "y" : "ies");
+  fs::remove_all(root, ec);
+  return 0;
+}
+
+/// `selftest --serve-soak --seconds N`: run the daemon under continuous
+/// random worker SIGKILLs and assert /healthz is never unready for more
+/// than two heartbeat intervals (restart-within-one-interval plus detection
+/// slack).  Drains via the control plane at the deadline.
+int selftest_serve_soak(int seconds, std::size_t jobs) {
+  namespace fs = std::filesystem;
+  namespace camp = hdiff::campaign;
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("hdiff-selftest-serve-soak-" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  const int heartbeat_ms = 200;
+  hdiff::serve::ServeConfig config;
+  config.campaign.state_dir = (root / "soak").string();
+  config.campaign.rounds = 1000000;  // effectively: until drained
+  config.campaign.budget_per_round = 24;
+  config.campaign.executor.jobs = jobs == 0 ? 1 : jobs;
+  config.campaign.bootstrap = hdiff::core::verification_probes();
+  config.shards = 4;
+  config.worker_binary = self_exe_path();
+  config.worker_args = {"--mini", "--budget", "24"};
+  config.heartbeat_interval_ms = heartbeat_ms;
+  config.quarantine_after = 1 << 20;  // soak exercises respawn, not inline
+
+  auto fleet = hdiff::impls::make_all_implementations();
+  hdiff::serve::ServeReport report;
+  std::atomic<bool> run_done{false};
+  std::atomic<long> max_unready_ms{0};
+  std::atomic<long> kills{0};
+  try {
+    hdiff::serve::Supervisor supervisor(config, fleet);
+    const std::uint16_t port = supervisor.port();
+    std::printf("soak: %d s on 127.0.0.1:%u, heartbeat %d ms...\n", seconds,
+                static_cast<unsigned>(port), heartbeat_ms);
+
+    // Killer: SIGKILL a live worker pid from /status every ~150 ms.
+    std::thread killer([&] {
+      std::size_t turn = 0;
+      while (!run_done.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        ControlProbe status = control_get(port, "GET", "/status");
+        if (status.status != 200) continue;
+        std::vector<long> pids;
+        std::size_t at = 0;
+        while ((at = status.body.find("\"pid\":", at)) != std::string::npos) {
+          const long pid = std::atol(status.body.c_str() + at + 6);
+          if (pid > 1) pids.push_back(pid);
+          ++at;
+        }
+        if (pids.empty()) continue;
+        ::kill(static_cast<pid_t>(pids[turn++ % pids.size()]), SIGKILL);
+        kills.fetch_add(1);
+      }
+    });
+
+    // Prober: GET /healthz every 20 ms; track the longest unready streak.
+    std::thread prober([&] {
+      using SoakClock = std::chrono::steady_clock;
+      std::chrono::steady_clock::time_point down_since{};
+      bool down = false;
+      while (!run_done.load()) {
+        ControlProbe health = control_get(port, "GET", "/healthz");
+        const auto now = SoakClock::now();
+        if (health.status == 200) {
+          if (down) {
+            const long ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - down_since)
+                    .count();
+            if (ms > max_unready_ms.load()) max_unready_ms.store(ms);
+            down = false;
+          }
+        } else if (!down) {
+          down = true;
+          down_since = now;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+
+    std::thread stopper([&] {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+      while (!run_done.load() && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      while (!run_done.load()) {
+        ControlProbe stop =
+            control_get(port, "POST", "/campaigns/default/stop");
+        if (stop.status == 202) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+
+    report = supervisor.run();
+    run_done.store(true);
+    killer.join();
+    prober.join();
+    stopper.join();
+  } catch (const hdiff::net::ChainFault& fault) {
+    std::printf("selftest FAILED: %s\n", fault.what());
+    return 1;
+  }
+
+  if (!report.error.empty()) {
+    std::printf("selftest FAILED: %s\n", report.error.c_str());
+    return 1;
+  }
+  const long limit = 2L * heartbeat_ms;
+  std::printf(
+      "soak: %zu round(s), %ld kill(s) sent, %zu death(s), %zu restart(s), "
+      "max /healthz unready streak %ld ms (limit %ld)\n",
+      report.rounds_run, kills.load(), report.worker_deaths,
+      report.worker_restarts, max_unready_ms.load(), limit);
+  if (!report.drained) {
+    std::printf("selftest FAILED: soak did not drain cleanly\n");
+    return 1;
+  }
+  if (max_unready_ms.load() > limit) {
+    std::printf(
+        "selftest FAILED: /healthz unready for %ld ms (> 2 heartbeat "
+        "intervals)\n",
+        max_unready_ms.load());
+    return 1;
+  }
+  std::printf("selftest PASSED: daemon stayed ready under %ld random worker "
+              "SIGKILL(s)\n",
+              kills.load());
+  fs::remove_all(root, ec);
+  return 0;
+}
+
 int cmd_audit(int argc, char** argv) {
   if (argc < 4) return usage();
   auto front = hdiff::impls::make_implementation(argv[2]);
@@ -1501,6 +2108,8 @@ int main(int argc, char** argv) {
   if (cmd == "selftest") return cmd_selftest(argc, argv);
   if (cmd == "lint") return cmd_lint(argc, argv);
   if (cmd == "campaign") return cmd_campaign(argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "serve-worker") return cmd_serve_worker(argc, argv);
   if (cmd == "audit") return cmd_audit(argc, argv);
   if (cmd == "parse") return cmd_parse(argc, argv);
   return usage();
