@@ -14,6 +14,14 @@ std::size_t to_size(const std::string& s) {
   return static_cast<std::size_t>(std::strtoull(s.c_str(), nullptr, 10));
 }
 
+std::uint64_t to_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::int64_t to_i64(const std::string& s) {
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
 }  // namespace
 
 std::size_t shard_of(std::string_view raw, std::size_t shards) noexcept {
@@ -47,6 +55,32 @@ std::string render_shard_result(const ShardResult& result) {
          std::to_string(result.retry_attempts) + " " +
          std::to_string(result.recovered_cases) + " " +
          std::to_string(result.quarantined_cases) + "\n";
+  // Optional observability sections (PR 8): metric names are field-encoded
+  // (they may embed `{label="value"}` suffixes with spaces in the values),
+  // histogram rows carry raw per-bucket counts so the supervisor can merge
+  // them bucket-wise, and trace events ride with the pid that emitted them.
+  for (const auto& [name, value] : result.metrics.counters) {
+    out += "mc=" + field_enc(name) + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : result.metrics.gauges) {
+    out += "mg=" + field_enc(name) + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& row : result.metrics.histograms) {
+    out += "mh=" + field_enc(row.name) + " " + std::to_string(row.sum) + " " +
+           std::to_string(row.count) + " " + std::to_string(row.bounds.size());
+    for (std::uint64_t b : row.bounds) out += " " + std::to_string(b);
+    for (std::uint64_t c : row.buckets) out += " " + std::to_string(c);
+    out += "\n";
+  }
+  if (result.trace_pid != 0) {
+    out += "tpid=" + std::to_string(result.trace_pid) + "\n";
+  }
+  for (const auto& e : result.trace) {
+    out += "tev=" + std::string(1, e.ph) + " " + std::to_string(e.tid) + " " +
+           std::to_string(e.ts) + " " + std::to_string(e.dur) + " " +
+           field_enc(e.name) + " " + field_enc(e.cat) + " " +
+           field_enc(e.arg_key) + " " + field_enc(e.arg_value) + "\n";
+  }
   for (const auto& [index, oc] : result.outcomes) {
     out += "case=" + std::to_string(index) + " " +
            std::string(oc.quarantined ? "1" : "0") + " " +
@@ -101,6 +135,48 @@ bool parse_shard_result(std::string_view text, ShardResult* out) {
       out->retry_attempts = to_size(tokens[1]);
       out->recovered_cases = to_size(tokens[2]);
       out->quarantined_cases = to_size(tokens[3]);
+    } else if (key == "mc") {
+      auto tokens = split_fields(rest);
+      std::string name;
+      if (tokens.size() != 2 || !field_dec(tokens[0], &name)) return false;
+      out->metrics.counters.emplace_back(std::move(name), to_u64(tokens[1]));
+    } else if (key == "mg") {
+      auto tokens = split_fields(rest);
+      std::string name;
+      if (tokens.size() != 2 || !field_dec(tokens[0], &name)) return false;
+      out->metrics.gauges.emplace_back(std::move(name), to_i64(tokens[1]));
+    } else if (key == "mh") {
+      auto tokens = split_fields(rest);
+      obs::Registry::HistogramRow row;
+      if (tokens.size() < 4 || !field_dec(tokens[0], &row.name)) return false;
+      row.sum = to_u64(tokens[1]);
+      row.count = to_u64(tokens[2]);
+      const std::size_t nbounds = to_size(tokens[3]);
+      // nbounds bounds plus nbounds+1 bucket counts (overflow last).
+      if (tokens.size() != 4 + nbounds + nbounds + 1) return false;
+      for (std::size_t i = 0; i < nbounds; ++i) {
+        row.bounds.push_back(to_u64(tokens[4 + i]));
+      }
+      for (std::size_t i = 0; i <= nbounds; ++i) {
+        row.buckets.push_back(to_u64(tokens[4 + nbounds + i]));
+      }
+      out->metrics.histograms.push_back(std::move(row));
+    } else if (key == "tpid") {
+      out->trace_pid = static_cast<std::uint32_t>(to_u64(rest));
+    } else if (key == "tev") {
+      auto tokens = split_fields(rest);
+      if (tokens.size() != 8 || tokens[0].size() != 1) return false;
+      obs::TraceEvent e;
+      e.ph = tokens[0][0];
+      e.tid = static_cast<std::uint32_t>(to_u64(tokens[1]));
+      e.ts = to_u64(tokens[2]);
+      e.dur = to_u64(tokens[3]);
+      if (!field_dec(tokens[4], &e.name) || !field_dec(tokens[5], &e.cat) ||
+          !field_dec(tokens[6], &e.arg_key) ||
+          !field_dec(tokens[7], &e.arg_value)) {
+        return false;
+      }
+      out->trace.push_back(std::move(e));
     } else if (key == "case") {
       if (open_case != nullptr && open_sigs != open_case->signatures.size())
         return false;  // previous case's signature lines went missing

@@ -26,6 +26,8 @@
 
 #include "campaign/engine.h"
 #include "core/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hdiff::campaign {
 
@@ -51,6 +53,16 @@ struct ShardResult {
   std::size_t quarantined_cases = 0;
   /// Planned-case index -> outcome, only for indices this shard executed.
   std::map<std::size_t, CaseOutcome> outcomes;
+  /// Optional cross-process observability payload: the worker's metrics
+  /// snapshot and trace-span buffer ride inside the same durable result
+  /// file, so observability arrives exactly-once with the outcomes it
+  /// describes — a killed worker's partial counts die with it and the
+  /// re-executed shard's replace them.  Histogram quantile fields are not
+  /// serialized (they are derived presentation); a parsed snapshot carries
+  /// name/sum/count/bounds/buckets only.
+  obs::Registry::Snapshot metrics;
+  std::uint32_t trace_pid = 0;  ///< OS pid that produced `trace` (0 = none)
+  std::vector<obs::TraceEvent> trace;
 };
 
 /// Canonical result path: `<state-dir>/shards/round-<r>-shard-<k>.result`.

@@ -525,6 +525,36 @@ std::size_t ServeLoop::open_connections() const noexcept {
   return conns_.size();
 }
 
+void ServeLoop::count_request(std::string_view target, int status) {
+  if (config_.obs.metrics == nullptr || config_.known_targets.empty()) return;
+  // Normalize before labeling: query strings are per-request noise and
+  // unknown paths collapse to one bucket, keeping label cardinality at
+  // |known_targets| x |statuses|.
+  std::string normalized;
+  if (target.empty()) {
+    normalized = "invalid";
+  } else {
+    const std::string_view path = target.substr(0, target.find('?'));
+    normalized = "other";
+    for (const std::string& known : config_.known_targets) {
+      if (path == known) {
+        normalized = known;
+        break;
+      }
+    }
+  }
+  const std::string key = normalized + "\x1f" + std::to_string(status);
+  auto it = control_counters_.find(key);
+  if (it == control_counters_.end()) {
+    obs::Counter& counter = config_.obs.metrics->counter(obs::labeled_name(
+        "hdiff_serve_control_requests_total",
+        obs::prom_label("target", normalized) + "," +
+            obs::prom_label("status", std::to_string(status))));
+    it = control_counters_.emplace(key, &counter).first;
+  }
+  it->second->add();
+}
+
 void ServeLoop::finish(ServeConn& c, int status, std::string_view content_type,
                        std::string_view body) {
   c.out = "HTTP/1.1 " + std::to_string(status) + " " +
@@ -582,6 +612,7 @@ std::size_t ServeLoop::poll_once(int timeout_ms) {
           c.in.append(buf, static_cast<std::size_t>(n));
           if (c.in.size() > config_.max_request_bytes) {
             c.rejected = true;
+            count_request("", 413);
             finish(c, 413, "text/plain; charset=utf-8",
                    "request too large\n");
             break;
@@ -599,6 +630,7 @@ std::size_t ServeLoop::poll_once(int timeout_ms) {
         if (bad || (eof && end == std::string::npos)) {
           c.rejected = true;
           if (bad) {
+            count_request("", 400);
             finish(c, 400, "text/plain; charset=utf-8", "bad request\n");
           } else {
             c.out.clear();
@@ -614,6 +646,7 @@ std::size_t ServeLoop::poll_once(int timeout_ms) {
           request.body = c.in.substr(body_start, end - body_start);
           if (request.method.empty() || request.target.empty()) {
             c.rejected = true;
+            count_request("", 400);
             finish(c, 400, "text/plain; charset=utf-8", "bad request\n");
           } else {
             ++dispatched;
@@ -627,6 +660,7 @@ std::size_t ServeLoop::poll_once(int timeout_ms) {
               response.content_type = "text/plain; charset=utf-8";
               response.body = std::string("handler error: ") + e.what() + "\n";
             }
+            count_request(request.target, response.status);
             finish(c, response.status, response.content_type, response.body);
           }
         }

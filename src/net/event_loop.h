@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -149,6 +150,13 @@ struct ServeLoopConfig {
   /// tiny; anything big is abuse or a framing bug).
   std::size_t max_request_bytes = 64 * 1024;
   obs::Observability obs{};
+  /// Per-endpoint instrumentation allowlist: when non-empty (and metrics
+  /// are on), every dispatched request counts toward
+  /// `hdiff_serve_control_requests_total{target,status}`.  Targets are
+  /// normalized first — the query string is stripped and anything not
+  /// listed here becomes `other` — so a scanning client cannot mint
+  /// unbounded label sets; unparseable requests count as `invalid`.
+  std::vector<std::string> known_targets;
 };
 
 /// Poll-based single-threaded HTTP server pump.  Not thread-safe; the
@@ -175,12 +183,16 @@ class ServeLoop {
   struct ServeConn;
   void finish(ServeConn& c, int status, std::string_view content_type,
               std::string_view body);
+  void count_request(std::string_view target, int status);
 
   TcpListener& listener_;
   ControlHandler handler_;
   ServeLoopConfig config_;
   obs::Counter* requests_ = nullptr;  ///< hdiff_serve_http_requests_total
   obs::Counter* rejected_ = nullptr;  ///< hdiff_serve_http_rejected_total
+  /// Cache of per-(target,status) counters so repeat requests skip the
+  /// registry name lookup.
+  std::map<std::string, obs::Counter*> control_counters_;
   std::vector<ServeConn> conns_;
   std::size_t requests_handled_ = 0;
   std::size_t requests_rejected_ = 0;

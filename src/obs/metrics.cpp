@@ -64,6 +64,19 @@ std::uint64_t Histogram::sum() const noexcept {
   return total;
 }
 
+bool Histogram::absorb(const std::vector<std::uint64_t>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t sum, std::uint64_t count) noexcept {
+  if (bounds != bounds_ || buckets.size() != stride_) return false;
+  const std::size_t s = shard_slot();
+  for (std::size_t b = 0; b < stride_; ++b) {
+    cells_[s * stride_ + b].fetch_add(buckets[b], std::memory_order_relaxed);
+  }
+  totals_[s].sum.fetch_add(sum, std::memory_order_relaxed);
+  totals_[s].count.fetch_add(count, std::memory_order_relaxed);
+  return true;
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> merged(stride_, 0);
   for (std::size_t s = 0; s < kMetricShards; ++s) {
@@ -151,38 +164,207 @@ Registry::Snapshot Registry::snapshot() const {
     row.p50 = h->quantile(0.50);
     row.p90 = h->quantile(0.90);
     row.p99 = h->quantile(0.99);
+    row.bounds = h->bounds();
+    row.buckets = h->bucket_counts();
     snap.histograms.push_back(std::move(row));
   }
   return snap;
 }
 
-std::string render_prometheus(const Registry& registry) {
+std::size_t Registry::absorb(const Snapshot& snap) {
+  std::size_t dropped = 0;
+  for (const auto& [name, value] : snap.counters) counter(name).add(value);
+  for (const auto& [name, value] : snap.gauges) gauge(name).set(value);
+  for (const HistogramRow& row : snap.histograms) {
+    Histogram& h = histogram(row.name, row.bounds);
+    if (!h.absorb(row.bounds, row.buckets, row.sum, row.count)) ++dropped;
+  }
+  return dropped;
+}
+
+void Registry::help(std::string_view name, std::string_view text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_.emplace(std::string(name), std::string(text));
+}
+
+std::string prom_escape_label_value(std::string_view value) {
   std::string out;
-  std::lock_guard<std::mutex> lock(registry.mutex_);
-  for (const auto& [name, c] : registry.counters_) {
-    out += "# TYPE " + name + " counter\n";
-    out += name + " " + std::to_string(c->value()) + "\n";
-  }
-  for (const auto& [name, g] : registry.gauges_) {
-    out += "# TYPE " + name + " gauge\n";
-    out += name + " " + std::to_string(g->value()) + "\n";
-  }
-  for (const auto& [name, h] : registry.histograms_) {
-    out += "# TYPE " + name + " histogram\n";
-    const std::vector<std::uint64_t> counts = h->bucket_counts();
-    const std::vector<std::uint64_t>& bounds = h->bounds();
-    std::uint64_t cum = 0;
-    for (std::size_t b = 0; b < bounds.size(); ++b) {
-      cum += counts[b];
-      out += name + "_bucket{le=\"" + std::to_string(bounds[b]) + "\"} " +
-             std::to_string(cum) + "\n";
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
     }
-    cum += counts.back();
-    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
-    out += name + "_sum " + std::to_string(h->sum()) + "\n";
-    out += name + "_count " + std::to_string(h->count()) + "\n";
   }
   return out;
+}
+
+std::string prom_label(std::string_view key, std::string_view value) {
+  return std::string(key) + "=\"" + prom_escape_label_value(value) + "\"";
+}
+
+std::string labeled_name(std::string_view base, std::string_view labels) {
+  if (labels.empty()) return std::string(base);
+  return std::string(base) + "{" + std::string(labels) + "}";
+}
+
+namespace {
+
+/// HELP text escaping: only `\` and newline are special.
+std::string prom_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Split `base{labels}` into its parts; names without a label suffix pass
+/// through with empty labels.
+void split_metric_name(const std::string& name, std::string* base,
+                       std::string* labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+std::string join_labels(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "," + b;
+}
+
+struct HistogramSeries {
+  std::string labels;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+};
+
+struct Family {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string help;
+  std::vector<std::pair<std::string, std::string>> scalars;  ///< labels,value
+  std::vector<HistogramSeries> histograms;
+};
+
+std::string sample(const std::string& name, const std::string& labels,
+                   const std::string& value) {
+  std::string out = name;
+  if (!labels.empty()) out += "{" + labels + "}";
+  out += " " + value + "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const std::vector<RegistryView>& views) {
+  // Family grouping is by base name so that per-label-set instruments
+  // (`base{...}` names) and multiple origins share a single HELP/TYPE pair,
+  // as the exposition format requires.
+  std::map<std::string, Family> families;
+  for (const RegistryView& view : views) {
+    if (view.registry == nullptr) continue;
+    const Registry::Snapshot snap = view.registry->snapshot();
+    std::string base, embedded;
+    auto family_for = [&](const std::string& name, Family::Kind kind,
+                          bool* fresh_or_matching) -> Family& {
+      split_metric_name(name, &base, &embedded);
+      Family& fam = families[base];
+      const bool fresh =
+          fam.scalars.empty() && fam.histograms.empty() && fam.help.empty();
+      if (fresh) fam.kind = kind;
+      *fresh_or_matching = fam.kind == kind;
+      if (fam.help.empty()) {
+        std::lock_guard<std::mutex> lock(view.registry->mutex_);
+        auto it = view.registry->help_.find(base);
+        if (it != view.registry->help_.end()) fam.help = it->second;
+      }
+      return fam;
+    };
+    for (const auto& [name, value] : snap.counters) {
+      bool ok = false;
+      Family& fam = family_for(name, Family::Kind::kCounter, &ok);
+      if (!ok) continue;  // kind clash across origins: first wins
+      fam.scalars.emplace_back(join_labels(view.labels, embedded),
+                               std::to_string(value));
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      bool ok = false;
+      Family& fam = family_for(name, Family::Kind::kGauge, &ok);
+      if (!ok) continue;
+      fam.scalars.emplace_back(join_labels(view.labels, embedded),
+                               std::to_string(value));
+    }
+    for (const Registry::HistogramRow& row : snap.histograms) {
+      bool ok = false;
+      Family& fam = family_for(row.name, Family::Kind::kHistogram, &ok);
+      if (!ok) continue;
+      HistogramSeries series;
+      series.labels = join_labels(view.labels, embedded);
+      series.bounds = row.bounds;
+      series.buckets = row.buckets;
+      series.sum = row.sum;
+      series.count = row.count;
+      fam.histograms.push_back(std::move(series));
+    }
+  }
+
+  std::string out;
+  for (const auto& [base, fam] : families) {
+    if (!fam.help.empty()) {
+      out += "# HELP " + base + " " + prom_escape_help(fam.help) + "\n";
+    }
+    switch (fam.kind) {
+      case Family::Kind::kCounter: out += "# TYPE " + base + " counter\n"; break;
+      case Family::Kind::kGauge: out += "# TYPE " + base + " gauge\n"; break;
+      case Family::Kind::kHistogram:
+        out += "# TYPE " + base + " histogram\n";
+        break;
+    }
+    for (const auto& [labels, value] : fam.scalars) {
+      out += sample(base, labels, value);
+    }
+    for (const HistogramSeries& series : fam.histograms) {
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < series.bounds.size(); ++b) {
+        cum += b < series.buckets.size() ? series.buckets[b] : 0;
+        out += sample(base + "_bucket",
+                      join_labels(series.labels,
+                                  "le=\"" + std::to_string(series.bounds[b]) +
+                                      "\""),
+                      std::to_string(cum));
+      }
+      if (!series.buckets.empty()) cum += series.buckets.back();
+      out += sample(base + "_bucket",
+                    join_labels(series.labels, "le=\"+Inf\""),
+                    std::to_string(cum));
+      out += sample(base + "_sum", series.labels, std::to_string(series.sum));
+      out +=
+          sample(base + "_count", series.labels, std::to_string(series.count));
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const Registry& registry) {
+  return render_prometheus(std::vector<RegistryView>{{&registry, ""}});
 }
 
 }  // namespace hdiff::obs

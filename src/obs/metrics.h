@@ -98,6 +98,14 @@ class Histogram {
   /// Default latency bucket ladder: 1us .. 1s in a 1-2-5 progression.
   static std::vector<std::uint64_t> latency_buckets_us();
 
+  /// Merge a foreign histogram's per-bucket counts into this one (used when
+  /// absorbing a worker snapshot).  Requires identical bounds and
+  /// `buckets.size() == bounds.size() + 1`; returns false (and absorbs
+  /// nothing) on a shape mismatch.
+  bool absorb(const std::vector<std::uint64_t>& bounds,
+              const std::vector<std::uint64_t>& buckets, std::uint64_t sum,
+              std::uint64_t count) noexcept;
+
  private:
   std::size_t bucket_index(std::uint64_t value) const noexcept;
 
@@ -113,6 +121,8 @@ class Histogram {
   std::array<Slot, kMetricShards> totals_{};
 };
 
+struct RegistryView;
+
 /// Name -> instrument table.  Lookup takes a mutex (hoist references out of
 /// hot loops); returned references stay valid for the registry's lifetime.
 class Registry {
@@ -124,12 +134,18 @@ class Registry {
   Histogram& histogram(std::string_view name,
                        std::vector<std::uint64_t> bounds = {});
 
-  /// Point-in-time copy for reporting, sorted by name.
+  /// Point-in-time copy for reporting, sorted by name.  `bounds`/`buckets`
+  /// carry the full bucket detail (`buckets.size() == bounds.size() + 1`,
+  /// overflow last) so a snapshot can cross a process boundary and be
+  /// absorbed losslessly; the quantile fields are derived presentation and
+  /// are not part of the wire contract.
   struct HistogramRow {
     std::string name;
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     double p50 = 0, p90 = 0, p99 = 0;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;
   };
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -138,18 +154,56 @@ class Registry {
   };
   Snapshot snapshot() const;
 
+  /// Merge a (typically remote) snapshot into this registry: counters add,
+  /// gauges last-write-win, histograms merge bucket-wise.  Instruments are
+  /// created on first sight; a histogram whose bounds disagree with an
+  /// existing registration is dropped.  Returns the number of dropped rows
+  /// (0 in a healthy fleet, where every process runs the same ladders).
+  std::size_t absorb(const Snapshot& snap);
+
+  /// Attach Prometheus HELP text to a metric family (keyed by base name,
+  /// without any `{...}` label suffix).  First registration wins.
+  void help(std::string_view name, std::string_view text);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 
-  friend std::string render_prometheus(const Registry& registry);
+  friend std::string render_prometheus(const std::vector<RegistryView>& views);
+};
+
+/// One origin in a merged exposition: a registry plus the label set stamped
+/// onto every series it contributes (e.g. `process="worker",shard="3"`).
+/// An empty label string contributes unlabeled (total) series.
+struct RegistryView {
+  const Registry* registry = nullptr;
+  std::string labels;
 };
 
 /// Prometheus text exposition (format 0.0.4) of every registered
 /// instrument, sorted by name; histograms render cumulative `le` buckets
 /// plus `_sum`/`_count` series.
 std::string render_prometheus(const Registry& registry);
+
+/// Multi-origin exposition: series from all views merged under one HELP and
+/// one TYPE line per metric family.  Metric names may embed their own label
+/// set (`name{k="v"}`); family grouping and TYPE lines use the base name,
+/// and embedded labels are merged with the view's labels (view labels
+/// first) on each sample line.
+std::string render_prometheus(const std::vector<RegistryView>& views);
+
+/// Escape a label value per the exposition format (`\\`, `\"`, `\n`).
+std::string prom_escape_label_value(std::string_view value);
+
+/// Render one `key="value"` label pair with the value escaped.
+std::string prom_label(std::string_view key, std::string_view value);
+
+/// Compose `base{labels}` (or just `base` when `labels` is empty) for
+/// registering per-label-set instruments such as
+/// `hdiff_serve_control_requests_total{target="/status",status="200"}`.
+std::string labeled_name(std::string_view base, std::string_view labels);
 
 }  // namespace hdiff::obs

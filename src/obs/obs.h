@@ -48,6 +48,8 @@ struct ChainObs {
     c.trace = o.trace;
     c.clock = &o.effective_clock();
     if (o.metrics) {
+      o.metrics->help("hdiff_chain_observe_micros",
+                      "Whole differential observation latency (us)");
       c.observe_us = &o.metrics->histogram("hdiff_chain_observe_micros");
       c.forward_us = &o.metrics->histogram("hdiff_chain_forward_micros");
       c.replay_us = &o.metrics->histogram("hdiff_chain_replay_micros");
@@ -111,6 +113,14 @@ struct ServeObs {
     ServeObs s;
     s.trace = o.trace;
     if (o.metrics) {
+      o.metrics->help("hdiff_serve_rounds_total",
+                      "Campaign rounds committed by the serve supervisor");
+      o.metrics->help("hdiff_serve_worker_deaths_total",
+                      "Worker processes that exited before publishing");
+      o.metrics->help("hdiff_serve_heartbeat_age_ms",
+                      "Milliseconds since each live worker's last heartbeat");
+      o.metrics->help("hdiff_serve_control_requests_total",
+                      "Control-plane HTTP requests by endpoint and status");
       s.rounds = &o.metrics->counter("hdiff_serve_rounds_total");
       s.spawns = &o.metrics->counter("hdiff_serve_worker_spawns_total");
       s.deaths = &o.metrics->counter("hdiff_serve_worker_deaths_total");

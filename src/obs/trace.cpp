@@ -73,23 +73,87 @@ std::size_t TraceSink::event_count() const {
   return total;
 }
 
-std::string TraceSink::render_chrome_json() const {
-  std::vector<const Event*> events;
+std::vector<TraceEvent> TraceSink::export_events() const {
+  std::vector<TraceEvent> events;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& buf : buffers_) {
-      for (const Event& e : buf->events) events.push_back(&e);
+      events.insert(events.end(), buf->events.begin(), buf->events.end());
     }
   }
   std::stable_sort(events.begin(), events.end(),
-                   [](const Event* a, const Event* b) {
-                     if (a->ts != b->ts) return a->ts < b->ts;
-                     return a->tid < b->tid;
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.tid < b.tid;
                    });
+  return events;
+}
+
+void TraceSink::import_process(std::uint32_t pid, std::string process_name,
+                               std::vector<TraceEvent> events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ForeignTrack& track : foreign_) {
+    if (track.pid == pid) {
+      track.events.insert(track.events.end(),
+                          std::make_move_iterator(events.begin()),
+                          std::make_move_iterator(events.end()));
+      if (track.name.empty()) track.name = std::move(process_name);
+      return;
+    }
+  }
+  foreign_.push_back(
+      ForeignTrack{pid, std::move(process_name), std::move(events)});
+}
+
+void TraceSink::set_process_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_name_ = std::move(name);
+}
+
+std::string TraceSink::render_chrome_json() const {
+  struct Row {
+    const Event* event;
+    std::uint32_t pid;
+  };
+  std::vector<Row> events;
+  std::vector<std::pair<std::uint32_t, std::string>> tracks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      for (const Event& e : buf->events) events.push_back({&e, kLocalPid});
+    }
+    for (const ForeignTrack& track : foreign_) {
+      for (const Event& e : track.events) events.push_back({&e, track.pid});
+      tracks.emplace_back(track.pid,
+                          track.name.empty() ? "worker" : track.name);
+    }
+    if (!foreign_.empty() || !process_name_.empty()) {
+      tracks.emplace_back(
+          kLocalPid, process_name_.empty() ? "supervisor" : process_name_);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(), [](const Row& a,
+                                                    const Row& b) {
+    if (a.event->ts != b.event->ts) return a.event->ts < b.event->ts;
+    if (a.pid != b.pid) return a.pid < b.pid;
+    return a.event->tid < b.event->tid;
+  });
+  std::sort(tracks.begin(), tracks.end());
 
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const Event* e : events) {
+  // Metadata events label each process lane; emitted first so viewers name
+  // the tracks before data arrives.
+  for (const auto& [pid, name] : tracks) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
+    out += report::json_string(name);
+    out += "}}";
+  }
+  for (const Row& row : events) {
+    const Event* e = row.event;
     if (!first) out += ',';
     first = false;
     out += "\n{\"name\":";
@@ -104,7 +168,8 @@ std::string TraceSink::render_chrome_json() const {
     } else {
       out += ",\"s\":\"t\"";  // thread-scoped instant
     }
-    out += ",\"pid\":1,\"tid\":" + std::to_string(e->tid);
+    out += ",\"pid\":" + std::to_string(row.pid) +
+           ",\"tid\":" + std::to_string(e->tid);
     if (!e->arg_key.empty()) {
       out += ",\"args\":{";
       out += report::json_string(e->arg_key);

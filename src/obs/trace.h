@@ -29,6 +29,21 @@
 
 namespace hdiff::obs {
 
+/// One trace event in exportable form.  `tid` is the sink-local writer
+/// index, not an OS thread id; `ts`/`dur` are microseconds on the sink's
+/// clock (CLOCK_MONOTONIC shares one epoch across local processes, so
+/// worker events are directly comparable with supervisor events).
+struct TraceEvent {
+  char ph;  ///< 'X' complete, 'i' instant
+  std::uint32_t tid;
+  std::uint64_t ts;
+  std::uint64_t dur;
+  std::string name;
+  std::string cat;
+  std::string arg_key;
+  std::string arg_value;
+};
+
 class TraceSink {
  public:
   /// `clock` is injectable for deterministic tests; null = steady clock.
@@ -52,30 +67,51 @@ class TraceSink {
   void instant(std::string name, std::string_view cat,
                std::string arg_key = {}, std::string arg_value = {});
 
-  /// Events recorded so far.  Quiescence contract above.
+  /// Events recorded so far by this process (imported tracks excluded).
+  /// Quiescence contract above.
   std::size_t event_count() const;
+
+  /// Copy out this process's events sorted by (ts, tid) — the cross-process
+  /// export side of trace stitching (serialized into the worker's shard
+  /// result).  Quiescence contract above.
+  std::vector<TraceEvent> export_events() const;
+
+  /// Attach a foreign process's exported events as its own track in the
+  /// stitched render: `pid` keys the track (a worker's OS pid),
+  /// `process_name` labels it in the viewer.  Importing the same pid again
+  /// appends (a worker exports once per round).  Thread-safe.
+  void import_process(std::uint32_t pid, std::string process_name,
+                      std::vector<TraceEvent> events);
+
+  /// Label this process's own track in the stitched render (emitted as a
+  /// `process_name` metadata event whenever set, or whenever foreign tracks
+  /// exist — a single-process trace without a name renders exactly as
+  /// before).
+  void set_process_name(std::string name);
 
   /// Render `{"displayTimeUnit":...,"traceEvents":[...]}` with all strings
   /// JSON-escaped (control bytes as \u00XX — case names carry raw CR/LF by
-  /// construction and must round-trip).  Events are sorted by (ts, tid) so
-  /// equal-clock runs render byte-identically.  Quiescence contract above.
+  /// construction and must round-trip).  Local events carry pid 1; imported
+  /// tracks carry their own pid with a `process_name` metadata event, so
+  /// the stitched trace shows one lane per process in about:tracing.
+  /// Events are sorted by (ts, pid, tid) so equal-clock runs render
+  /// byte-identically.  Quiescence contract above.
   std::string render_chrome_json() const;
 
+  /// Local pid used for this process's events in the render.
+  static constexpr std::uint32_t kLocalPid = 1;
+
  private:
-  struct Event {
-    char ph;  ///< 'X' complete, 'i' instant
-    std::uint32_t tid;
-    std::uint64_t ts;
-    std::uint64_t dur;
-    std::string name;
-    std::string cat;
-    std::string arg_key;
-    std::string arg_value;
-  };
+  using Event = TraceEvent;
   struct Buffer {
     std::thread::id owner;
     std::uint32_t tid = 0;
     std::vector<Event> events;
+  };
+  struct ForeignTrack {
+    std::uint32_t pid = 0;
+    std::string name;
+    std::vector<TraceEvent> events;
   };
 
   Buffer& local_buffer();
@@ -84,6 +120,8 @@ class TraceSink {
   const std::uint64_t generation_;  ///< invalidates stale thread-local caches
   mutable std::mutex mutex_;        ///< guards the buffer list, not appends
   std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::vector<ForeignTrack> foreign_;  ///< guarded by mutex_
+  std::string process_name_;           ///< guarded by mutex_
 };
 
 /// RAII span: stamps the start on construction, emits one complete event on

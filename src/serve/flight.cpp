@@ -1,0 +1,149 @@
+#include "serve/flight.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "campaign/store.h"
+#include "report/json.h"
+
+namespace hdiff::serve {
+
+namespace {
+
+std::string index_token(std::size_t v) {
+  return v == FlightEvent::kNone ? "-" : std::to_string(v);
+}
+
+bool parse_index(const std::string& token, std::size_t* out) {
+  if (token == "-") {
+    *out = FlightEvent::kNone;
+    return true;
+  }
+  *out = static_cast<std::size_t>(std::strtoull(token.c_str(), nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+std::string render_flight_event(const FlightEvent& event) {
+  return "ev=" + std::to_string(event.seq) + " " +
+         std::to_string(event.ts_ms) + " " + campaign::field_enc(event.kind) +
+         " " + index_token(event.round) + " " + index_token(event.shard) +
+         " " + campaign::field_enc(event.detail);
+}
+
+bool parse_flight_event(std::string_view line, FlightEvent* out) {
+  *out = FlightEvent{};
+  constexpr std::string_view kPrefix = "ev=";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return false;
+  const std::vector<std::string> tokens =
+      campaign::split_fields(line.substr(kPrefix.size()));
+  if (tokens.size() != 6) return false;
+  out->seq = std::strtoull(tokens[0].c_str(), nullptr, 10);
+  out->ts_ms = std::strtoull(tokens[1].c_str(), nullptr, 10);
+  if (out->seq == 0) return false;
+  if (!campaign::field_dec(tokens[2], &out->kind)) return false;
+  if (!parse_index(tokens[3], &out->round)) return false;
+  if (!parse_index(tokens[4], &out->shard)) return false;
+  if (!campaign::field_dec(tokens[5], &out->detail)) return false;
+  return true;
+}
+
+FlightRecorder::FlightRecorder(std::string state_dir, const obs::Clock* clock,
+                               std::size_t capacity)
+    : state_dir_(std::move(state_dir)),
+      clock_(clock ? clock : &obs::steady_clock_instance()),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string FlightRecorder::path(const std::string& state_dir) {
+  return state_dir + "/flight.events";
+}
+
+void FlightRecorder::load() {
+  std::ifstream in(path(state_dir_), std::ios::binary);
+  if (in) {
+    std::string line;
+    std::size_t file_lines = 0;
+    while (std::getline(in, line)) {
+      ++file_lines;
+      FlightEvent event;
+      if (!parse_flight_event(line, &event)) continue;  // torn tail / noise
+      if (event.seq >= next_seq_) next_seq_ = event.seq + 1;
+      ring_.push_back(std::move(event));
+      if (ring_.size() > capacity_) ring_.pop_front();
+    }
+    in.close();
+    // Restart churn grows the file unboundedly while the ring stays
+    // capped; rewrite it from the ring once it is several rings deep.
+    if (file_lines > 4 * capacity_) {
+      std::string compact;
+      for (const FlightEvent& event : ring_) {
+        compact += render_flight_event(event) + "\n";
+      }
+      campaign::write_file_atomic_durable(path(state_dir_), compact);
+    }
+  }
+}
+
+void FlightRecorder::append_line(const FlightEvent& event) {
+  if (!out_.is_open()) {
+    std::error_code ec;
+    std::filesystem::create_directories(state_dir_, ec);
+    out_.open(path(state_dir_), std::ios::binary | std::ios::app);
+  }
+  if (!out_.is_open()) return;  // state dir unwritable: ring still works
+  out_ << render_flight_event(event) << "\n";
+  out_.flush();
+}
+
+void FlightRecorder::record(std::string_view kind, std::size_t round,
+                            std::size_t shard, std::string_view detail) {
+  FlightEvent event;
+  event.seq = next_seq_++;
+  event.ts_ms = clock_->now_us() / 1000;
+  event.kind.assign(kind);
+  event.round = round;
+  event.shard = shard;
+  event.detail.assign(detail);
+  append_line(event);
+  ring_.push_back(std::move(event));
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<FlightEvent> FlightRecorder::events_since(
+    std::uint64_t since) const {
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& event : ring_) {
+    if (event.seq > since) out.push_back(event);
+  }
+  return out;
+}
+
+std::string FlightRecorder::events_json(std::uint64_t since) const {
+  std::string out = "{\"next_seq\":" + std::to_string(next_seq_) +
+                    ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& event : ring_) {
+    if (event.seq <= since) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"seq\":" + std::to_string(event.seq) +
+           ",\"ts_ms\":" + std::to_string(event.ts_ms) +
+           ",\"kind\":" + report::json_string(event.kind);
+    if (event.round != FlightEvent::kNone) {
+      out += ",\"round\":" + std::to_string(event.round);
+    }
+    if (event.shard != FlightEvent::kNone) {
+      out += ",\"shard\":" + std::to_string(event.shard);
+    }
+    if (!event.detail.empty()) {
+      out += ",\"detail\":" + report::json_string(event.detail);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hdiff::serve

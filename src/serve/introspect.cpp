@@ -1,0 +1,69 @@
+#include "serve/introspect.h"
+
+namespace hdiff::serve {
+
+std::size_t FleetMetrics::absorb(std::size_t shard,
+                                 const obs::Registry::Snapshot& snap) {
+  if (!enabled()) return 0;
+  std::size_t dropped = total_->absorb(snap);
+  dropped += workers_.absorb(snap);
+  auto it = per_shard_.find(shard);
+  if (it == per_shard_.end()) {
+    it = per_shard_.emplace(shard, std::make_unique<obs::Registry>()).first;
+  }
+  dropped += it->second->absorb(snap);
+  return dropped;
+}
+
+std::string FleetMetrics::render() const {
+  if (!enabled()) return "";
+  std::vector<obs::RegistryView> views;
+  views.push_back({total_, ""});
+  views.push_back({&workers_, "process=\"worker\",shard=\"all\""});
+  for (const auto& [shard, registry] : per_shard_) {
+    views.push_back({registry.get(), "process=\"worker\",shard=\"" +
+                                         std::to_string(shard) + "\""});
+  }
+  return obs::render_prometheus(views);
+}
+
+HeartbeatTracker::HeartbeatTracker(obs::Registry* registry,
+                                   const obs::Clock* clock,
+                                   std::size_t shards)
+    : clock_(clock ? clock : &obs::steady_clock_instance()),
+      last_us_(shards, -1) {
+  if (registry == nullptr) return;
+  gauges_.reserve(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    obs::Gauge& g = registry->gauge(obs::labeled_name(
+        "hdiff_serve_heartbeat_age_ms",
+        obs::prom_label("shard", std::to_string(k))));
+    g.set(-1);
+    gauges_.push_back(&g);
+  }
+}
+
+void HeartbeatTracker::beat(std::size_t shard) {
+  if (shard >= last_us_.size()) return;
+  last_us_[shard] = static_cast<std::int64_t>(clock_->now_us());
+}
+
+void HeartbeatTracker::clear(std::size_t shard) {
+  if (shard >= last_us_.size()) return;
+  last_us_[shard] = -1;
+}
+
+std::int64_t HeartbeatTracker::age_ms(std::size_t shard) const {
+  if (shard >= last_us_.size() || last_us_[shard] < 0) return -1;
+  const std::int64_t now = static_cast<std::int64_t>(clock_->now_us());
+  const std::int64_t age_us = now - last_us_[shard];
+  return age_us < 0 ? 0 : age_us / 1000;
+}
+
+void HeartbeatTracker::publish() {
+  for (std::size_t k = 0; k < gauges_.size(); ++k) {
+    gauges_[k]->set(age_ms(k));
+  }
+}
+
+}  // namespace hdiff::serve

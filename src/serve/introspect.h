@@ -1,0 +1,78 @@
+// Cross-process introspection for the serve daemon: the fleet-wide merged
+// metrics view and per-worker heartbeat-age tracking.
+//
+// FleetMetrics is where worker registry snapshots (shipped inside durable
+// shard results) land on the supervisor side.  Each snapshot is absorbed
+// three times — into the caller's total registry (which also holds the
+// supervisor's own instruments, so unlabeled series are true fleet
+// totals), into a workers-only aggregate rendered as
+// `process="worker",shard="all"`, and into a per-shard registry rendered
+// as `process="worker",shard="N"` — giving /metrics the origin-labeled
+// breakdown without touching any hot path.  Because snapshots only travel
+// inside adopted (durable, validated) shard results, each unit of work is
+// absorbed exactly once: a killed worker's partial counts die with it and
+// the re-executed shard's replace them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace hdiff::serve {
+
+class FleetMetrics {
+ public:
+  /// `total` is the registry unlabeled series render from (typically the
+  /// supervisor's own, shared with ServeObs); null disables everything.
+  explicit FleetMetrics(obs::Registry* total = nullptr) : total_(total) {}
+
+  bool enabled() const noexcept { return total_ != nullptr; }
+  obs::Registry* total() const noexcept { return total_; }
+
+  /// Merge one worker snapshot (from shard `shard`'s adopted result).
+  /// Returns the number of histogram rows dropped for bounds mismatch
+  /// (0 in a healthy fleet).
+  std::size_t absorb(std::size_t shard, const obs::Registry::Snapshot& snap);
+
+  /// Merged multi-origin Prometheus exposition: unlabeled totals plus
+  /// `process="worker"` series per shard and aggregated (`shard="all"`).
+  std::string render() const;
+
+ private:
+  obs::Registry* total_;
+  obs::Registry workers_;  ///< aggregate across all shards
+  std::map<std::size_t, std::unique_ptr<obs::Registry>> per_shard_;
+};
+
+/// Tracks milliseconds-since-last-heartbeat per worker slot on an
+/// injectable clock, publishing `hdiff_serve_heartbeat_age_ms{shard="N"}`
+/// gauges.  Age is measured from the most recent beat (spawn counts as a
+/// beat); a cleared slot (worker reaped or not running) reports -1 and its
+/// gauge parks at -1.
+class HeartbeatTracker {
+ public:
+  HeartbeatTracker(obs::Registry* registry, const obs::Clock* clock,
+                   std::size_t shards);
+
+  void beat(std::size_t shard);
+  void clear(std::size_t shard);
+
+  /// Milliseconds since `shard`'s last beat; -1 when it has none pending.
+  std::int64_t age_ms(std::size_t shard) const;
+
+  /// Refresh the per-shard gauges (no-op without a registry).
+  void publish();
+
+ private:
+  const obs::Clock* clock_;
+  std::vector<std::int64_t> last_us_;  ///< -1 = no live worker
+  std::vector<obs::Gauge*> gauges_;    ///< empty without a registry
+};
+
+}  // namespace hdiff::serve

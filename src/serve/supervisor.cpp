@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <optional>
@@ -18,6 +19,8 @@
 #include "campaign/store.h"
 #include "net/chain.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/flight.h"
 #include "serve/worker.h"
 
 extern char** environ;
@@ -77,9 +80,24 @@ class Runner {
         store_(config.campaign.state_dir),
         chain_(net::Chain::from_fleet(fleet)),
         sobs_(obs::ServeObs::from(config.obs)),
-        serve_loop_(listener, [this](const net::ControlRequest& rq) {
-          return handle(rq);
-        }, net::ServeLoopConfig{.obs = config.obs}) {
+        own_fleet_(config.obs.metrics),
+        fleet_(config.fleet != nullptr ? config.fleet : &own_fleet_),
+        flight_(config.campaign.state_dir, config.obs.clock,
+                config.flight_capacity),
+        hb_(config.obs.metrics, config.obs.clock,
+            config.shards == 0 ? 1 : config.shards),
+        serve_loop_(
+            listener,
+            [this](const net::ControlRequest& rq) { return handle(rq); },
+            net::ServeLoopConfig{
+                .obs = config.obs,
+                .known_targets = {"/healthz", "/readyz", "/status", "/metrics",
+                                  "/events",
+                                  "/campaigns/" + config.campaign_id +
+                                      "/stop"}}) {
+    // Resume the persisted lifecycle ring before anything can be recorded,
+    // so /events sequence numbers continue across supervisor generations.
+    flight_.load();
     // Restart backoff must fit inside one heartbeat interval, or a crashed
     // worker cannot be back before /healthz is allowed to degrade.
     restart_ = config_.restart;
@@ -136,6 +154,7 @@ class Runner {
                                    const campaign::RoundPlan& plan,
                                    std::size_t shard);
   void accumulate_stats(const campaign::ShardResult& result);
+  void absorb_obs(const campaign::ShardResult& result);
   void update_health_gauge();
 
   const ServeConfig& config_;
@@ -145,6 +164,10 @@ class Runner {
   core::ObservationMemo memo_;
   net::VerdictCache verdicts_;
   obs::ServeObs sobs_;
+  FleetMetrics own_fleet_;  ///< used when the caller supplies none
+  FleetMetrics* fleet_;
+  FlightRecorder flight_;
+  HeartbeatTracker hb_;
   net::ServeLoop serve_loop_;
   net::RetryPolicy restart_;
 
@@ -163,6 +186,13 @@ class Runner {
   std::size_t cum_retry_ = 0;
   std::size_t cum_recovered_ = 0;
   std::size_t cum_quarantined_cases_ = 0;
+
+  // Cumulative round-integration tallies for /status (hdiff tail computes
+  // novelty/divergence rates from these between polls).
+  std::size_t cum_cases_ = 0;
+  std::size_t cum_novel_ = 0;
+  std::size_t cum_duplicate_ = 0;
+  bool drain_recorded_ = false;  ///< flight "drain" event fired once
 };
 
 void Runner::release_slot(Slot& slot) {
@@ -207,9 +237,19 @@ net::ControlResponse Runner::handle(const net::ControlRequest& rq) {
   }
   if (rq.target == "/metrics") {
     response.content_type = "text/plain; version=0.0.4";
-    response.body = config_.obs.metrics != nullptr
-                        ? obs::render_prometheus(*config_.obs.metrics)
-                        : "";
+    // Fleet render = supervisor totals (absorbed worker snapshots included)
+    // plus per-origin labeled series; empty when metrics are off.
+    response.body = fleet_->render();
+    return response;
+  }
+  if (rq.target == "/events" || rq.target.rfind("/events?", 0) == 0) {
+    std::uint64_t since = 0;
+    const std::size_t q = rq.target.find("since=");
+    if (q != std::string::npos) {
+      since = std::strtoull(rq.target.c_str() + q + 6, nullptr, 10);
+    }
+    response.content_type = "application/json";
+    response.body = flight_.events_json(since);
     return response;
   }
   const std::string stop_target = "/campaigns/" + config_.campaign_id + "/stop";
@@ -218,6 +258,9 @@ net::ControlResponse Runner::handle(const net::ControlRequest& rq) {
       response.status = 405;
       response.body = "stop wants POST\n";
       return response;
+    }
+    if (!stop_requested_) {
+      flight_.record("stop", round_, FlightEvent::kNone, "control-plane");
     }
     stop_requested_ = true;
     response.status = 202;
@@ -253,9 +296,14 @@ std::string Runner::status_json() const {
     out += "\"pid\":" + std::to_string(slot.pid > 0 ? slot.pid : -1) + ",";
     out += "\"consecutive_deaths\":" +
            std::to_string(slot.consecutive_deaths) + ",";
+    out += "\"last_heartbeat_ms\":" + std::to_string(hb_.age_ms(k)) + ",";
     out += "\"done\":" + std::string(slot.done ? "true" : "false") + "}";
   }
   out += "],";
+  out += "\"novelty\":{";
+  out += "\"cases\":" + std::to_string(cum_cases_) + ",";
+  out += "\"novel\":" + std::to_string(cum_novel_) + ",";
+  out += "\"duplicate\":" + std::to_string(cum_duplicate_) + "},";
   out += "\"executor\":{";
   out += "\"faulted_attempts\":" + std::to_string(cum_faulted_) + ",";
   out += "\"retry_attempts\":" + std::to_string(cum_retry_) + ",";
@@ -301,6 +349,10 @@ bool Runner::spawn_worker(std::size_t shard, std::size_t round) {
   args.push_back(std::to_string(config_.heartbeat_interval_ms));
   args.push_back("--heartbeat-fd");
   args.push_back("3");
+  // Observability export mirrors the supervisor's own configuration (these
+  // flags never enter the campaign config signature — obs only reads).
+  if (fleet_->enabled()) args.push_back("--export-metrics");
+  if (config_.obs.trace != nullptr) args.push_back("--export-trace");
   for (const std::string& a : config_.worker_args) args.push_back(a);
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
@@ -328,15 +380,21 @@ bool Runner::spawn_worker(std::size_t shard, std::size_t round) {
   slot.kill_sent = false;
   ++report_.worker_spawns;
   if (sobs_.spawns) sobs_.spawns->add();
+  hb_.beat(shard);  // age measures from spawn until the first real beat
+  flight_.record("spawn", round, shard, "pid " + std::to_string(pid));
   return true;
 }
 
 void Runner::on_death(std::size_t shard) {
   Slot& slot = slots_[shard];
   release_slot(slot);
+  hb_.clear(shard);
   ++slot.consecutive_deaths;
   ++report_.worker_deaths;
   if (sobs_.deaths) sobs_.deaths->add();
+  flight_.record(
+      "worker_death", round_, shard,
+      "consecutive " + std::to_string(slot.consecutive_deaths));
   if (slot.consecutive_deaths >= config_.quarantine_after) {
     // Workers keep dying on this shard (a poisoned case crashing the child,
     // a broken worker binary, resource exhaustion).  Stop burning respawns:
@@ -344,6 +402,9 @@ void Runner::on_death(std::size_t shard) {
     slot.health = WorkerHealth::kQuarantined;
     quarantined_[shard] = true;
     ++report_.quarantined_shards;
+    flight_.record("quarantine", round_, shard,
+                   "after " + std::to_string(slot.consecutive_deaths) +
+                       " consecutive deaths; running inline");
     if (sobs_.quarantines) sobs_.quarantines->add();
     if (sobs_.shards_quarantined) {
       std::int64_t n = 0;
@@ -364,8 +425,27 @@ campaign::ShardResult Runner::run_inline(std::size_t round,
                                          std::size_t shard) {
   const std::vector<std::size_t> mine =
       campaign::shard_indices(plan.cases, shard, shards());
-  campaign::ExecutedRound executed = campaign::execute_round(
-      config_.campaign, chain_, plan.cases, &memo_, &verdicts_, &mine);
+  // Inline execution mirrors a worker process exactly: fresh memo/verdict
+  // caches scoped to this (round, shard) and scratch obs instruments that
+  // travel back inside the shard result.  That single shape keeps
+  // /metrics totals identical between sharded and --in-process runs (a
+  // shared cross-round memo would skip observations a worker would make)
+  // and gives every absorbed snapshot exactly-once semantics.
+  obs::Registry scratch_registry;
+  obs::TraceSink scratch_sink(config_.campaign.obs.clock);
+  campaign::CampaignConfig cfg = config_.campaign;
+  cfg.obs.metrics = fleet_->enabled() ? &scratch_registry : nullptr;
+  cfg.obs.trace = config_.obs.trace != nullptr ? &scratch_sink : nullptr;
+  core::ObservationMemo memo;
+  net::VerdictCache verdicts;
+  campaign::ExecutedRound executed;
+  {
+    obs::Span span(cfg.obs.trace, "worker:execute_round", "serve");
+    span.arg("shard", std::to_string(shard) + "/" + std::to_string(shards()) +
+                          " round " + std::to_string(round) + " (inline)");
+    executed = campaign::execute_round(cfg, chain_, plan.cases, &memo,
+                                       &verdicts, &mine);
+  }
   campaign::ShardResult result;
   result.round = round;
   result.shard = shard;
@@ -378,6 +458,11 @@ campaign::ShardResult Runner::run_inline(std::size_t round,
   for (std::size_t index : mine) {
     result.outcomes.emplace(index, executed.outcomes[index]);
   }
+  if (fleet_->enabled()) result.metrics = scratch_registry.snapshot();
+  if (cfg.obs.trace != nullptr) {
+    result.trace_pid = static_cast<std::uint32_t>(::getpid());
+    result.trace = scratch_sink.export_events();
+  }
   // Published durably like a worker's, so a supervisor crash right after an
   // inline run still resumes without re-observing this shard.
   campaign::write_shard_result(config_.campaign.state_dir, result);
@@ -389,6 +474,22 @@ void Runner::accumulate_stats(const campaign::ShardResult& result) {
   cum_retry_ += result.retry_attempts;
   cum_recovered_ += result.recovered_cases;
   cum_quarantined_cases_ += result.quarantined_cases;
+}
+
+void Runner::absorb_obs(const campaign::ShardResult& result) {
+  // The single cross-process merge point: only adopted (durable, header-
+  // validated) results get here, so worker observability is absorbed
+  // exactly once per unit of completed work — partial counts from killed
+  // workers never existed on disk.
+  if (fleet_->enabled()) fleet_->absorb(result.shard, result.metrics);
+  if (config_.obs.trace != nullptr && !result.trace.empty()) {
+    const std::uint32_t pid = result.trace_pid != 0
+                                  ? result.trace_pid
+                                  : 900000u + static_cast<std::uint32_t>(
+                                                  result.shard);
+    config_.obs.trace->import_process(
+        pid, "worker shard " + std::to_string(result.shard), result.trace);
+  }
 }
 
 void Runner::update_health_gauge() {
@@ -418,6 +519,9 @@ bool Runner::execute_round_sharded(
     if (campaign::load_shard_result(config_.campaign.state_dir, round, k, n,
                                     store_.config_sig, &leftover)) {
       accumulate_stats(leftover);
+      absorb_obs(leftover);
+      flight_.record("reuse_result", round, k,
+                     "leftover shard result adopted");
       done[k] = std::move(leftover);
       slots_[k].done = true;
       ++report_.reused_shard_results;
@@ -462,6 +566,7 @@ bool Runner::execute_round_sharded(
       if (inline_only || slot.health == WorkerHealth::kQuarantined) {
         campaign::ShardResult result = run_inline(round, plan, k);
         accumulate_stats(result);
+        absorb_obs(result);
         done[k] = std::move(result);
         slot.done = true;
         continue;
@@ -475,6 +580,8 @@ bool Runner::execute_round_sharded(
         if (spawn_worker(k, round)) {
           ++report_.worker_restarts;
           if (sobs_.restarts) sobs_.restarts->add();
+          flight_.record("restart", round, k,
+                         "attempt " + std::to_string(slot.consecutive_deaths));
         } else {
           on_death(k);
         }
@@ -519,6 +626,7 @@ bool Runner::execute_round_sharded(
         const ssize_t got = ::read(slot.pipe_fd, buf, sizeof buf);
         if (got > 0) {
           slot.last_beat = now;
+          hb_.beat(k);
           if (slot.health == WorkerHealth::kSpawned) {
             slot.health = WorkerHealth::kHealthy;
           }
@@ -544,10 +652,12 @@ bool Runner::execute_round_sharded(
         if (campaign::load_shard_result(config_.campaign.state_dir, round, k,
                                         n, store_.config_sig, &result)) {
           accumulate_stats(result);
+          absorb_obs(result);
           done[k] = std::move(result);
           slot.done = true;
           slot.consecutive_deaths = 0;
           slot.health = WorkerHealth::kIdle;
+          hb_.clear(k);
           release_slot(slot);
           continue;
         }
@@ -571,11 +681,13 @@ bool Runner::execute_round_sharded(
         slot.kill_sent = true;
         ++report_.worker_hangs;
         if (sobs_.hangs) sobs_.hangs->add();
+        flight_.record("hang_kill", round, k, "silent 2x heartbeat");
         ::kill(slot.pid, SIGKILL);
       }
     }
 
     update_health_gauge();
+    hb_.publish();
   }
 
   executing_ = false;
@@ -614,11 +726,19 @@ ServeReport Runner::run() {
     campaign::register_seed_entries(store_, config_.campaign);
   }
   ready_ = true;
+  flight_.record(report_.resumed ? "resume" : "start", store_.rounds_completed,
+                 FlightEvent::kNone,
+                 std::to_string(shards()) + " shards, target " +
+                     std::to_string(config_.campaign.rounds + 1) + " rounds");
 
   const std::size_t total_rounds = config_.campaign.rounds + 1;
   while (store_.rounds_completed < total_rounds) {
     if (drain_requested()) {
       report_.drained = true;
+      if (!drain_recorded_) {
+        drain_recorded_ = true;
+        flight_.record("drain", store_.rounds_completed);
+      }
       break;
     }
     const std::size_t round = store_.rounds_completed;
@@ -650,12 +770,20 @@ ServeReport Runner::run() {
     rr.replayed = plan.replayed;
     campaign::emit_round_metrics(config_.campaign.obs, rr, store_);
     if (sobs_.rounds) sobs_.rounds->add();
+    cum_cases_ += rr.cases;
+    cum_novel_ += rr.novel;
+    cum_duplicate_ += rr.duplicate;
 
     if (!store_.commit_round(round)) {
       report_.error = store_.error();
       return report_;
     }
     ++report_.rounds_run;
+    flight_.record("round_commit", round, FlightEvent::kNone,
+                   "cases=" + std::to_string(rr.cases) +
+                       " novel=" + std::to_string(rr.novel) +
+                       " findings=" + std::to_string(store_.findings.size()) +
+                       " corpus=" + std::to_string(store_.entries.size()));
 
     // The committed checkpoint supersedes this round's shard results; a
     // leftover would be rejected next round anyway (header round), removing
@@ -670,7 +798,13 @@ ServeReport Runner::run() {
     pump(0);  // keep the control plane fresh between rounds
   }
 
-  if (drain_requested()) report_.drained = true;
+  if (drain_requested()) {
+    report_.drained = true;
+    if (!drain_recorded_) {
+      drain_recorded_ = true;
+      flight_.record("drain", store_.rounds_completed);
+    }
+  }
   report_.total_findings = store_.findings.size();
   report_.corpus_entries = store_.entries.size();
 

@@ -52,6 +52,7 @@
 #include "net/event_loop.h"
 #include "net/tcp.h"
 #include "obs/obs.h"
+#include "serve/introspect.h"
 
 namespace hdiff::serve {
 
@@ -100,6 +101,16 @@ struct ServeConfig {
   const volatile std::sig_atomic_t* drain_flag = nullptr;
   std::vector<ChaosAction> chaos;
   obs::Observability obs;
+  /// Fleet-wide metrics merge target (introspect.h).  When set, worker
+  /// registry snapshots (shipped inside shard results) are absorbed here
+  /// and /metrics serves the origin-labeled merged exposition; the caller
+  /// owns it so `--metrics-out` can render after run() returns.  When
+  /// null but `obs.metrics` is set, the supervisor uses an internal one
+  /// (merged totals on /metrics, nothing to dump afterwards).
+  FleetMetrics* fleet = nullptr;
+  /// Flight-recorder ring size (lifecycle events kept in memory and
+  /// replayed on GET /events; the ring persists in the state dir).
+  std::size_t flight_capacity = 1024;
 };
 
 /// One worker slot's lifecycle state, surfaced on /status.

@@ -46,6 +46,13 @@ struct WorkerOptions {
   int heartbeat_fd = -1;
   /// Supervisor's heartbeat interval; the worker beats at interval/2.
   int heartbeat_interval_ms = 200;
+  /// Cross-process observability export: when set, the worker collects its
+  /// own metrics registry / trace-span buffer during execution and ships a
+  /// snapshot inside the shard result for the supervisor to absorb.
+  /// Mirrors whether the supervisor itself runs with metrics/trace enabled
+  /// (it appends the matching --export-* flags when spawning).
+  bool export_metrics = false;
+  bool export_trace = false;
 };
 
 /// Run one shard of one round to completion.  Returns a WorkerExit code.

@@ -26,6 +26,10 @@
 #include "impls/products.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/flight.h"
+#include "serve/introspect.h"
 #include "serve/worker.h"
 
 namespace hdiff::serve {
@@ -122,6 +126,37 @@ ShardResult sample_result() {
   quarantined.executed = true;
   quarantined.quarantined = true;
   result.outcomes[7] = quarantined;
+  // Observability sections: a worker registry snapshot (counter, gauge,
+  // histogram with full bucket detail) and a trace buffer with hostile
+  // bytes in every string field.
+  result.metrics.counters = {{"hdiff_campaign_cases_total", 12}};
+  result.metrics.gauges = {{"hdiff_depth", -3}};
+  obs::Registry::HistogramRow row;
+  row.name = "hdiff_chain_observe_micros";
+  row.count = 4;
+  row.sum = 1234;
+  row.bounds = {10, 100};
+  row.buckets = {1, 2, 1};
+  result.metrics.histograms.push_back(row);
+  result.trace_pid = 4242;
+  obs::TraceEvent span;
+  span.ph = 'X';
+  span.tid = 2;
+  span.ts = 1000;
+  span.dur = 50;
+  span.name = "worker:execute_round";
+  span.cat = "serve";
+  span.arg_key = "shard";
+  span.arg_value = "1/4 round 3\r\nwith ctl bytes";
+  result.trace.push_back(span);
+  obs::TraceEvent instant;
+  instant.ph = 'i';
+  instant.tid = 0;
+  instant.ts = 2000;
+  instant.dur = 0;
+  instant.name = "note";
+  instant.cat = "";
+  result.trace.push_back(instant);
   return result;
 }
 
@@ -144,6 +179,45 @@ TEST(ShardResult, RenderParseRoundTrip) {
   EXPECT_EQ(back.outcomes.at(2).signatures[0].detector, "HRS");
   EXPECT_EQ(back.outcomes.at(2).signatures[0].vector,
             result.outcomes.at(2).signatures[0].vector);
+  // Observability sections round-trip losslessly.
+  EXPECT_EQ(back.metrics.counters, result.metrics.counters);
+  EXPECT_EQ(back.metrics.gauges, result.metrics.gauges);
+  ASSERT_EQ(back.metrics.histograms.size(), 1u);
+  EXPECT_EQ(back.metrics.histograms[0].name, "hdiff_chain_observe_micros");
+  EXPECT_EQ(back.metrics.histograms[0].count, 4u);
+  EXPECT_EQ(back.metrics.histograms[0].sum, 1234u);
+  EXPECT_EQ(back.metrics.histograms[0].bounds, result.metrics.histograms[0].bounds);
+  EXPECT_EQ(back.metrics.histograms[0].buckets,
+            result.metrics.histograms[0].buckets);
+  EXPECT_EQ(back.trace_pid, 4242u);
+  ASSERT_EQ(back.trace.size(), 2u);
+  EXPECT_EQ(back.trace[0].ph, 'X');
+  EXPECT_EQ(back.trace[0].tid, 2u);
+  EXPECT_EQ(back.trace[0].ts, 1000u);
+  EXPECT_EQ(back.trace[0].dur, 50u);
+  EXPECT_EQ(back.trace[0].name, "worker:execute_round");
+  EXPECT_EQ(back.trace[0].arg_value, result.trace[0].arg_value);
+  EXPECT_EQ(back.trace[1].ph, 'i');
+  EXPECT_TRUE(back.trace[1].cat.empty());
+}
+
+TEST(ShardResult, ObsSectionsAreOptionalAndOldFilesStillParse) {
+  // A result with no metrics/trace (obs off, or written by an older
+  // worker) renders without the m*/t* lines and parses to empty sections.
+  ShardResult plain;
+  plain.config_sig = "s";
+  CaseOutcome done;
+  done.executed = true;
+  plain.outcomes[0] = done;
+  const std::string rendered = campaign::render_shard_result(plain);
+  EXPECT_EQ(rendered.find("mc="), std::string::npos);
+  EXPECT_EQ(rendered.find("tev="), std::string::npos);
+  ShardResult back;
+  ASSERT_TRUE(campaign::parse_shard_result(rendered, &back));
+  EXPECT_TRUE(back.metrics.counters.empty());
+  EXPECT_TRUE(back.metrics.histograms.empty());
+  EXPECT_TRUE(back.trace.empty());
+  EXPECT_EQ(back.trace_pid, 0u);
 }
 
 TEST(ShardResult, EveryTruncationIsRejected) {
@@ -423,6 +497,117 @@ TEST(Supervisor, LeftoverShardResultIsReusedNotReexecuted) {
   EXPECT_EQ(slurp(ref_store.findings_path()), slurp(got_store.findings_path()));
   fs::remove_all(dir);
   fs::remove_all(ref_dir);
+}
+
+// ---- cross-process observability ------------------------------------------
+
+/// Run an in-process supervisor with `shards` shards, absorbing every
+/// shard's scratch registry into `fleet_metrics`.
+ServeReport run_observed(const std::string& dir, std::size_t shards,
+                         obs::Registry* registry, FleetMetrics* fleet_metrics,
+                         obs::TraceSink* sink,
+                         const std::vector<std::unique_ptr<
+                             impls::HttpImplementation>>& fleet) {
+  ServeConfig config;
+  config.campaign = small_campaign(dir);
+  config.shards = shards;
+  config.obs.metrics = registry;
+  config.obs.trace = sink;
+  config.campaign.obs.metrics = registry;
+  config.fleet = fleet_metrics;
+  Supervisor supervisor(config, fleet);
+  return supervisor.run();
+}
+
+std::uint64_t counter_of(const obs::Registry& registry,
+                         const std::string& name) {
+  for (const auto& [n, v] : registry.snapshot().counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::uint64_t hist_count_of(const obs::Registry& registry,
+                            const std::string& name) {
+  for (const auto& row : registry.snapshot().histograms) {
+    if (row.name == name) return row.count;
+  }
+  return 0;
+}
+
+TEST(Supervisor, MergedMetricTotalsAreShardCountInvariant) {
+  const auto fleet = impls::make_all_implementations();
+
+  // Shard-scoped memo/verdict caches mean every shard observes each of its
+  // cases exactly once, and duplicate raws hash to one shard at any shard
+  // count — so the merged chain-observation count must not depend on the
+  // split, and campaign counters (emitted supervisor-side from the same
+  // byte-identical integration) must match exactly.
+  const std::string dir_a = fresh_dir("obs-1shard");
+  obs::Registry reg_a;
+  FleetMetrics fleet_a(&reg_a);
+  obs::TraceSink sink_a;
+  ASSERT_TRUE(
+      run_observed(dir_a, 1, &reg_a, &fleet_a, &sink_a, fleet).error.empty());
+
+  const std::string dir_b = fresh_dir("obs-3shard");
+  obs::Registry reg_b;
+  FleetMetrics fleet_b(&reg_b);
+  obs::TraceSink sink_b;
+  ASSERT_TRUE(
+      run_observed(dir_b, 3, &reg_b, &fleet_b, &sink_b, fleet).error.empty());
+
+  const std::uint64_t observed_a =
+      hist_count_of(reg_a, "hdiff_chain_observe_micros");
+  EXPECT_GT(observed_a, 0u);
+  EXPECT_EQ(observed_a, hist_count_of(reg_b, "hdiff_chain_observe_micros"));
+  for (const char* name :
+       {"hdiff_campaign_rounds_total", "hdiff_campaign_cases_total",
+        "hdiff_campaign_novel_total", "hdiff_campaign_duplicate_total"}) {
+    EXPECT_EQ(counter_of(reg_a, name), counter_of(reg_b, name)) << name;
+  }
+
+  // The merged exposition carries the per-origin breakdown, and the
+  // stitched trace has one labeled track per inline "worker" plus the
+  // supervisor's own.
+  const std::string exposition = fleet_b.render();
+  EXPECT_NE(exposition.find("process=\"worker\",shard=\"all\""),
+            std::string::npos);
+  EXPECT_NE(exposition.find("process=\"worker\",shard=\"2\""),
+            std::string::npos);
+  const std::string trace = sink_b.render_chrome_json();
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("worker shard"), std::string::npos);
+
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+TEST(Supervisor, FlightRecorderPersistsTheRunLifecycle) {
+  const auto fleet = impls::make_all_implementations();
+  const std::string dir = fresh_dir("flight-lifecycle");
+  {
+    ServeConfig config;
+    config.campaign = small_campaign(dir);
+    config.shards = 2;
+    Supervisor supervisor(config, fleet);
+    ASSERT_TRUE(supervisor.run().error.empty());
+  }
+  FlightRecorder recorder(dir);
+  recorder.load();
+  const std::vector<FlightEvent> events = recorder.events_since(0);
+  ASSERT_FALSE(events.empty());
+  std::uint64_t prev = 0;
+  bool saw_start = false, saw_commit = false;
+  for (const FlightEvent& event : events) {
+    EXPECT_GT(event.seq, prev);
+    prev = event.seq;
+    if (event.kind == "start") saw_start = true;
+    if (event.kind == "round_commit") saw_commit = true;
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_commit);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -59,13 +59,22 @@
 //                                      uninterrupted state byte-identically
 //   hdiff serve --state-dir DIR        supervised campaign daemon: rounds
 //                  [--shards N] [--port P] [...]
+//                  [--metrics-out FILE] [--trace-out FILE]
 //                                      sharded over worker OS processes
 //                                      (heartbeat liveness, crash restart,
 //                                      shard quarantine, durable shard-result
 //                                      merge) with an HTTP control plane
-//                                      (/healthz /readyz /status /metrics,
-//                                      POST /campaigns/:id/stop) and graceful
-//                                      SIGTERM/SIGINT drain to exit 0
+//                                      (/healthz /readyz /status /metrics
+//                                      /events, POST /campaigns/:id/stop) and
+//                                      graceful SIGTERM/SIGINT drain to exit
+//                                      0; worker metrics/trace snapshots ride
+//                                      the shard results and merge into one
+//                                      fleet exposition / stitched trace
+//   hdiff tail --port P                live dashboard: poll a daemon's
+//                  [--interval-ms N] [--once]
+//                                      /status and /events and render round
+//                                      progress, worker health, and
+//                                      lifecycle events
 //   hdiff selftest --serve             chaos proof: supervisor state and
 //                                      findings byte-identical to the
 //                                      single-process engine under worker
@@ -114,6 +123,7 @@
 #include "net/tcp.h"
 #include "obs/obs.h"
 #include "report/table.h"
+#include "serve/flight.h"
 #include "serve/supervisor.h"
 #include "serve/worker.h"
 
@@ -182,12 +192,22 @@ int usage() {
       "  serve --state-dir DIR [--rounds N] [--budget N] [--jobs N]\n"
       "        [--shards N] [--port P] [--port-file FILE] [--mini]\n"
       "        [--no-minimize] [--heartbeat-ms N] [--quarantine-after K]\n"
-      "        [--in-process]          supervised campaign daemon: sharded\n"
+      "        [--in-process] [--metrics-out FILE] [--trace-out FILE]\n"
+      "                               supervised campaign daemon: sharded\n"
       "                               worker processes, crash restart with\n"
       "                               backoff, shard quarantine, HTTP control\n"
       "                               plane (/healthz /readyz /status\n"
-      "                               /metrics, POST /campaigns/:id/stop),\n"
-      "                               graceful SIGTERM/SIGINT drain\n"
+      "                               /metrics /events,\n"
+      "                               POST /campaigns/:id/stop), graceful\n"
+      "                               SIGTERM/SIGINT drain; --metrics-out\n"
+      "                               dumps the merged fleet exposition and\n"
+      "                               --trace-out the stitched supervisor +\n"
+      "                               worker Chrome trace on exit\n"
+      "  tail --port P [--interval-ms N] [--once]\n"
+      "                               live dashboard over a running daemon:\n"
+      "                               poll /status + /events and render round\n"
+      "                               progress, per-worker health, novelty\n"
+      "                               rates, and new lifecycle events\n"
       "  audit FRONT BACK             audit one proxy/origin pair\n"
       "  parse IMPL                   parse stdin as IMPL (server model)\n");
   return 2;
@@ -1540,6 +1560,10 @@ int cmd_serve_worker(int argc, char** argv) {
       options.heartbeat_interval_ms = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--heartbeat-fd") == 0 && i + 1 < argc) {
       options.heartbeat_fd = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--export-metrics") == 0) {
+      options.export_metrics = true;
+    } else if (std::strcmp(argv[i], "--export-trace") == 0) {
+      options.export_trace = true;
     } else {
       std::fprintf(stderr, "unknown serve-worker option %s\n", argv[i]);
       return 2;
@@ -1569,6 +1593,7 @@ int cmd_serve(int argc, char** argv) {
   bool mini = false;
   bool in_process = false;
   std::string port_file;
+  std::string metrics_out, trace_out;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mini") == 0) {
       mini = true;
@@ -1594,6 +1619,10 @@ int cmd_serve(int argc, char** argv) {
       config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
       port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0 && i + 1 < argc) {
       config.heartbeat_interval_ms = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--quarantine-after") == 0 &&
@@ -1646,6 +1675,18 @@ int cmd_serve(int argc, char** argv) {
   hdiff::obs::Registry registry;
   config.obs.metrics = &registry;
   config.campaign.obs.metrics = &registry;
+  // Fleet merge target: supervisor-side series land in `registry` (its
+  // total), worker snapshots are absorbed with per-origin labels.  Owned
+  // here so --metrics-out can render the final merged exposition after the
+  // daemon exits.
+  hdiff::serve::FleetMetrics fleet_metrics(&registry);
+  config.fleet = &fleet_metrics;
+  hdiff::obs::TraceSink trace_sink;
+  if (!trace_out.empty()) {
+    trace_sink.set_process_name("supervisor");
+    config.obs.trace = &trace_sink;
+    config.campaign.obs.trace = &trace_sink;
+  }
 
   g_serve_drain = 0;
   std::signal(SIGTERM, serve_drain_handler);
@@ -1678,6 +1719,21 @@ int cmd_serve(int argc, char** argv) {
         report.worker_spawns, report.worker_deaths, report.worker_hangs,
         report.worker_restarts, report.quarantined_shards,
         report.reused_shard_results);
+    if (!metrics_out.empty()) {
+      if (!write_file(metrics_out, fleet_metrics.render())) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+        return 1;
+      }
+      std::printf("serve: merged fleet metrics written to %s\n",
+                  metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      if (!write_file(trace_out, trace_sink.render_chrome_json())) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      std::printf("serve: stitched trace written to %s\n", trace_out.c_str());
+    }
     return 0;
   } catch (const hdiff::net::ChainFault& fault) {
     std::fprintf(stderr, "serve: control plane bind failed (%s): %s\n",
@@ -1705,6 +1761,144 @@ ControlProbe control_get(std::uint16_t port, const std::string& method,
   const std::size_t body = result.bytes.find("\r\n\r\n");
   if (body != std::string::npos) probe.body = result.bytes.substr(body + 4);
   return probe;
+}
+
+// ---- hdiff tail: live dashboard over /status + /events --------------------
+
+/// Value of `"key":<number>` scanning from `from`; the control plane emits
+/// flat numbers only, so this minimal scan is faithful (no JSON library in
+/// tree).  Returns `fallback` when the key is absent.
+long json_long(const std::string& body, const std::string& key,
+               long fallback = -1, std::size_t from = 0) {
+  const std::size_t at = body.find("\"" + key + "\":", from);
+  if (at == std::string::npos) return fallback;
+  return std::atol(body.c_str() + at + key.size() + 3);
+}
+
+/// Value of `"key":"<string>"` scanning from `from` (no unescaping — every
+/// string the daemon emits here is escape-free).
+std::string json_str(const std::string& body, const std::string& key,
+                     std::size_t from = 0) {
+  const std::size_t at = body.find("\"" + key + "\":\"", from);
+  if (at == std::string::npos) return {};
+  const std::size_t open = at + key.size() + 4;
+  const std::size_t close = body.find('"', open);
+  if (close == std::string::npos) return {};
+  return body.substr(open, close - open);
+}
+
+/// One rendered /status + /events delta pass.  Returns false on transport
+/// failure (daemon gone or not yet up).  `next_seq` carries the /events
+/// cursor between polls so only new lifecycle events print.
+bool tail_once(std::uint16_t port, std::uint64_t* next_seq) {
+  ControlProbe status = control_get(port, "GET", "/status");
+  if (status.status != 200) return false;
+  const std::string& b = status.body;
+
+  const long committed = json_long(b, "rounds_completed", 0);
+  const long target = json_long(b, "target_rounds", 0);
+  const long cases = json_long(b, "cases", 0);
+  const long novel = json_long(b, "novel", 0);
+  const double novelty_pct =
+      cases > 0 ? 100.0 * static_cast<double>(novel) / cases : 0.0;
+  std::printf(
+      "[%s] %s round %ld: %ld/%ld committed, %ld finding(s), %ld corpus, "
+      "novelty %ld/%ld (%.1f%%)\n",
+      json_str(b, "campaign").c_str(), json_str(b, "state").c_str(),
+      json_long(b, "round", 0), committed, target, json_long(b, "findings", 0),
+      json_long(b, "corpus_entries", 0), novel, cases, novelty_pct);
+
+  // Worker slots: each object in the workers array starts at `{"shard":`.
+  std::size_t at = b.find("\"workers\":[");
+  const std::size_t workers_end =
+      at == std::string::npos ? std::string::npos : b.find(']', at);
+  while (at != std::string::npos) {
+    at = b.find("{\"shard\":", at);
+    if (at == std::string::npos || at > workers_end) break;
+    const long hb = json_long(b, "last_heartbeat_ms", -1, at);
+    std::printf("  shard %ld: %-11s pid=%ld deaths=%ld hb=%s%s\n",
+                json_long(b, "shard", 0, at),
+                json_str(b, "health", at).c_str(), json_long(b, "pid", -1, at),
+                json_long(b, "consecutive_deaths", 0, at),
+                hb < 0 ? "-" : (std::to_string(hb) + "ms").c_str(),
+                b.compare(b.find("\"done\":", at) + 7, 4, "true") == 0
+                    ? " done"
+                    : "");
+    ++at;
+  }
+
+  ControlProbe events = control_get(
+      port, "GET", "/events?since=" + std::to_string(*next_seq));
+  if (events.status == 200) {
+    const std::string& e = events.body;
+    std::size_t ev = 0;
+    while ((ev = e.find("{\"seq\":", ev)) != std::string::npos) {
+      // Bound each lookup to this event object — round/shard/detail are
+      // omitted when not applicable, and an unbounded scan would bleed
+      // into the next event's fields.  No detail string contains '}'.
+      const std::size_t end = e.find('}', ev);
+      if (end == std::string::npos) break;
+      const std::string obj = e.substr(ev, end - ev + 1);
+      const long round = json_long(obj, "round", -1);
+      const long shard = json_long(obj, "shard", -1);
+      std::string where;
+      if (round >= 0) where += " round " + std::to_string(round);
+      if (shard >= 0) where += " shard " + std::to_string(shard);
+      const std::string detail = json_str(obj, "detail");
+      std::printf("  event #%ld %s%s%s%s\n", json_long(obj, "seq", 0),
+                  json_str(obj, "kind").c_str(), where.c_str(),
+                  detail.empty() ? "" : ": ", detail.c_str());
+      ev = end + 1;
+    }
+    const long advanced = json_long(e, "next_seq", -1);
+    if (advanced > 0) *next_seq = static_cast<std::uint64_t>(advanced) - 1;
+  }
+  std::fflush(stdout);
+  return true;
+}
+
+/// `hdiff tail --port P [--interval-ms N] [--once]`: poll a running serve
+/// daemon's /status and /events and render round progress, per-worker
+/// health, novelty rates, and new lifecycle events.  Exits 0 when the
+/// daemon goes away after having answered at least once.
+int cmd_tail(int argc, char** argv) {
+  std::uint16_t port = 0;
+  int interval_ms = 500;
+  bool once = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::max(10, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::fprintf(stderr, "unknown tail option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "tail requires --port P (see serve --port-file)\n");
+    return 2;
+  }
+  std::uint64_t next_seq = 0;
+  bool connected = false;
+  while (true) {
+    const bool ok = tail_once(port, &next_seq);
+    if (ok) connected = true;
+    if (once) {
+      if (!ok) std::fprintf(stderr, "tail: no daemon on port %u\n", port);
+      return ok ? 0 : 1;
+    }
+    if (!ok && connected) {
+      std::printf("tail: daemon on port %u went away\n", port);
+      return 0;
+    }
+    if (!ok && !connected) {
+      std::fprintf(stderr, "tail: no daemon on port %u (retrying)\n", port);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 /// `selftest --serve`: prove the supervised sharded daemon byte-identical
@@ -1778,6 +1972,18 @@ int selftest_serve(std::size_t jobs) {
   serve_config.worker_args = {"--mini", "--budget", "24"};
   serve_config.heartbeat_interval_ms = 60;
   serve_config.quarantine_after = 10;  // keep respawning; never quarantine
+  // Observability rides along: worker registry snapshots and trace buffers
+  // ship inside the durable shard results and merge supervisor-side.  The
+  // byte-identity assertion below therefore also proves obs being on does
+  // not perturb findings (the reference ran with obs off).
+  hdiff::obs::Registry chaos_reg;
+  hdiff::serve::FleetMetrics chaos_fleet(&chaos_reg);
+  hdiff::obs::TraceSink chaos_sink;
+  chaos_sink.set_process_name("supervisor");
+  serve_config.obs.metrics = &chaos_reg;
+  serve_config.obs.trace = &chaos_sink;
+  serve_config.campaign.obs.metrics = &chaos_reg;
+  serve_config.fleet = &chaos_fleet;
   using Chaos = hdiff::serve::ChaosAction;
   serve_config.chaos = {
       Chaos{.round = 1, .shard = 0, .kind = Chaos::Kind::kKill, .delay_ms = 0},
@@ -1814,6 +2020,129 @@ int selftest_serve(std::size_t jobs) {
   }
   std::printf("chaos: state and findings byte-identical to the reference\n");
 
+  // -- 2b. merged fleet metrics equal an --in-process run's -----------------
+  // Worker observations travel only inside adopted durable shard results,
+  // so crashed workers' partial counts are discarded and the merged totals
+  // must equal a run where every shard executes inline in the supervisor.
+  std::printf("obs: comparing merged fleet metrics with an in-process run...\n");
+  hdiff::serve::ServeConfig inproc_config;
+  inproc_config.campaign = base_config("inproc", 2);
+  inproc_config.shards = 4;
+  hdiff::obs::Registry inproc_reg;
+  hdiff::serve::FleetMetrics inproc_fleet(&inproc_reg);
+  inproc_config.obs.metrics = &inproc_reg;
+  inproc_config.campaign.obs.metrics = &inproc_reg;
+  inproc_config.fleet = &inproc_fleet;
+  try {
+    hdiff::serve::Supervisor inproc(inproc_config, fleet);
+    hdiff::serve::ServeReport inproc_report = inproc.run();
+    if (!inproc_report.error.empty()) {
+      std::printf("selftest FAILED: %s\n", inproc_report.error.c_str());
+      return 1;
+    }
+  } catch (const hdiff::net::ChainFault& fault) {
+    std::printf("selftest FAILED: %s\n", fault.what());
+    return 1;
+  }
+  auto counter_value = [](const hdiff::obs::Registry& reg,
+                          const std::string& name) -> long long {
+    for (const auto& [n, v] : reg.snapshot().counters) {
+      if (n == name) return static_cast<long long>(v);
+    }
+    return -1;
+  };
+  auto hist_count = [](const hdiff::obs::Registry& reg,
+                       const std::string& name) -> long long {
+    for (const auto& h : reg.snapshot().histograms) {
+      if (h.name == name) return static_cast<long long>(h.count);
+    }
+    return -1;
+  };
+  const char* equal_counters[] = {
+      "hdiff_campaign_rounds_total", "hdiff_campaign_cases_total",
+      "hdiff_campaign_novel_total", "hdiff_campaign_duplicate_total"};
+  int obs_rc = 0;
+  for (const char* name : equal_counters) {
+    const long long a = counter_value(chaos_reg, name);
+    const long long b = counter_value(inproc_reg, name);
+    if (a < 0 || a != b) {
+      std::printf("selftest FAILED: %s chaos=%lld in-process=%lld\n", name, a,
+                  b);
+      obs_rc = 1;
+    }
+  }
+  const long long chaos_obs = hist_count(chaos_reg, "hdiff_chain_observe_micros");
+  const long long inproc_obs =
+      hist_count(inproc_reg, "hdiff_chain_observe_micros");
+  if (chaos_obs <= 0 || chaos_obs != inproc_obs) {
+    std::printf(
+        "selftest FAILED: hdiff_chain_observe_micros count chaos=%lld "
+        "in-process=%lld (want equal and > 0)\n",
+        chaos_obs, inproc_obs);
+    obs_rc = 1;
+  }
+  if (obs_rc != 0) return obs_rc;
+  const std::string exposition = chaos_fleet.render();
+  if (exposition.find("process=\"worker\",shard=\"all\"") == std::string::npos ||
+      exposition.find("hdiff_chain_observe_micros_count") ==
+          std::string::npos) {
+    std::printf(
+        "selftest FAILED: merged exposition lacks worker-labeled series\n");
+    return 1;
+  }
+  std::printf(
+      "obs: chaos fleet totals equal the in-process run "
+      "(chain observations: %lld)\n",
+      chaos_obs);
+
+  // -- 2c. stitched trace: distinct supervisor and worker tracks ------------
+  const std::string trace_json = chaos_sink.render_chrome_json();
+  std::size_t tracks = 0;
+  for (std::size_t at = 0;
+       (at = trace_json.find("\"process_name\"", at)) != std::string::npos;
+       ++at) {
+    ++tracks;
+  }
+  if (tracks < 2 || trace_json.find("supervisor") == std::string::npos ||
+      trace_json.find("worker shard") == std::string::npos) {
+    std::printf(
+        "selftest FAILED: stitched trace wants a supervisor track and >=1 "
+        "worker track, got %zu process_name record(s)\n",
+        tracks);
+    return 1;
+  }
+  std::printf("trace: %zu process track(s) stitched\n", tracks);
+
+  // -- 2d. flight recorder replays the chaos lifecycle ----------------------
+  hdiff::serve::FlightRecorder chaos_flight(serve_config.campaign.state_dir);
+  chaos_flight.load();
+  const std::vector<hdiff::serve::FlightEvent> chaos_events =
+      chaos_flight.events_since(0);
+  std::set<std::string> kinds;
+  std::uint64_t prev_seq = 0;
+  bool monotonic = true;
+  for (const auto& event : chaos_events) {
+    if (event.seq <= prev_seq) monotonic = false;
+    prev_seq = event.seq;
+    kinds.insert(event.kind);
+  }
+  const char* want_kinds[] = {"start",     "spawn",        "worker_death",
+                              "hang_kill", "restart",      "round_commit"};
+  int flight_rc = monotonic ? 0 : 1;
+  if (!monotonic) {
+    std::printf("selftest FAILED: flight seqs not strictly increasing\n");
+  }
+  for (const char* kind : want_kinds) {
+    if (!kinds.count(kind)) {
+      std::printf("selftest FAILED: flight recorder missing \"%s\" event\n",
+                  kind);
+      flight_rc = 1;
+    }
+  }
+  if (flight_rc != 0) return flight_rc;
+  std::printf("flight: %zu event(s), full chaos lifecycle replayed\n",
+              chaos_events.size());
+
   // -- 3. graceful drain + resume -------------------------------------------
   std::printf("drain: stopping a 4-round campaign via the control plane...\n");
   camp::CampaignEngine drain_reference(base_config("drain-reference", 4));
@@ -1829,10 +2158,17 @@ int selftest_serve(std::size_t jobs) {
   drain_config.worker_binary = self;
   drain_config.worker_args = {"--mini", "--budget", "24"};
   drain_config.heartbeat_interval_ms = 60;
+  hdiff::obs::Registry drain_reg;
+  hdiff::serve::FleetMetrics drain_fleet(&drain_reg);
+  drain_config.obs.metrics = &drain_reg;
+  drain_config.campaign.obs.metrics = &drain_reg;
+  drain_config.fleet = &drain_fleet;
   hdiff::serve::ServeReport drain_report;
   std::atomic<bool> run_done{false};
   std::atomic<bool> stop_posted{false};
   std::atomic<bool> health_ok{false};
+  // Written by the stopper thread, read only after it joins.
+  std::string live_events_body, live_status_body;
   try {
     hdiff::serve::Supervisor supervisor(drain_config, fleet);
     const std::uint16_t port = supervisor.port();
@@ -1844,6 +2180,10 @@ int selftest_serve(std::size_t jobs) {
         if (status.status == 200 &&
             status.body.find("\"rounds_completed\":0") == std::string::npos &&
             !status.body.empty()) {
+          live_status_body = status.body;
+          ControlProbe live_events =
+              control_get(port, "GET", "/events?since=0");
+          if (live_events.status == 200) live_events_body = live_events.body;
           ControlProbe stop =
               control_get(port, "POST", "/campaigns/default/stop");
           if (stop.status == 202) {
@@ -1876,6 +2216,17 @@ int selftest_serve(std::size_t jobs) {
     std::printf("selftest FAILED: /healthz never answered 200\n");
     return 1;
   }
+  if (live_events_body.find("\"next_seq\":") == std::string::npos ||
+      live_events_body.find("\"kind\":\"spawn\"") == std::string::npos) {
+    std::printf(
+        "selftest FAILED: live GET /events lacks next_seq/spawn: %s\n",
+        live_events_body.c_str());
+    return 1;
+  }
+  if (live_status_body.find("\"last_heartbeat_ms\":") == std::string::npos) {
+    std::printf("selftest FAILED: /status lacks last_heartbeat_ms\n");
+    return 1;
+  }
   std::printf("drain: committed %zu round(s) then stopped; resuming...\n",
               drain_report.rounds_run);
   try {
@@ -1894,6 +2245,42 @@ int selftest_serve(std::size_t jobs) {
                             drain_config.campaign.state_dir, "drain+resume");
       rc != 0) {
     return rc;
+  }
+
+  // Flight seq numbering must continue across the two supervisor
+  // generations: the resumer's "resume" event carries a seq above every
+  // event the drained daemon persisted, and the file replays both lives.
+  hdiff::serve::FlightRecorder drain_flight(drain_config.campaign.state_dir);
+  drain_flight.load();
+  std::set<std::string> drain_kinds;
+  std::uint64_t drain_prev = 0;
+  bool drain_monotonic = true;
+  for (const auto& event : drain_flight.events_since(0)) {
+    if (event.seq <= drain_prev) drain_monotonic = false;
+    drain_prev = event.seq;
+    drain_kinds.insert(event.kind);
+  }
+  if (!drain_monotonic || !drain_kinds.count("start") ||
+      !drain_kinds.count("stop") || !drain_kinds.count("drain") ||
+      !drain_kinds.count("resume") || !drain_kinds.count("round_commit")) {
+    std::printf(
+        "selftest FAILED: flight events not continuous across restart "
+        "(monotonic=%d, %zu kind(s))\n",
+        drain_monotonic ? 1 : 0, drain_kinds.size());
+    return 1;
+  }
+  std::printf("flight: seq numbering continuous across drain + resume\n");
+
+  // Control-plane request counters (satellite): every probe the stopper
+  // sent was dispatched with metrics on, so the per-(target,status)
+  // counters must be present in the merged exposition.
+  const std::string drain_exposition = drain_fleet.render();
+  if (drain_exposition.find("hdiff_serve_control_requests_total{target=\"/"
+                            "status\",status=\"200\"}") == std::string::npos) {
+    std::printf(
+        "selftest FAILED: exposition lacks "
+        "hdiff_serve_control_requests_total{target=\"/status\",...}\n");
+    return 1;
   }
 
   std::printf(
@@ -2110,6 +2497,7 @@ int main(int argc, char** argv) {
   if (cmd == "campaign") return cmd_campaign(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "serve-worker") return cmd_serve_worker(argc, argv);
+  if (cmd == "tail") return cmd_tail(argc, argv);
   if (cmd == "audit") return cmd_audit(argc, argv);
   if (cmd == "parse") return cmd_parse(argc, argv);
   return usage();
