@@ -67,6 +67,7 @@ bool Generator::has_predefined(std::string_view rule_name) const {
 
 std::string Generator::minimal(std::string_view rule_name) const {
   std::string key = normalize_rule_name(rule_name);
+  tap_rule(key);
   auto it = minimal_cache_.find(key);
   if (it != minimal_cache_.end()) return it->second;
   const Rule* rule = grammar_.find(key);
@@ -116,6 +117,7 @@ std::string Generator::minimal_node(const NodePtr& node,
     return out;
   }
   if (const auto* ref = node->as<RuleRef>()) {
+    tap_rule(ref->name);
     auto pre = predefined_.find(ref->name);
     if (pre != predefined_.end() && !pre->second.empty()) {
       return pre->second.front();
@@ -137,6 +139,7 @@ std::string Generator::minimal_node(const NodePtr& node,
 std::vector<std::string> Generator::enumerate(std::string_view rule_name,
                                               std::size_t limit) const {
   std::string key = normalize_rule_name(rule_name);
+  tap_rule(key);
   auto pre = predefined_.find(key);
   if (pre != predefined_.end()) {
     std::vector<std::string> out = pre->second;
@@ -253,6 +256,7 @@ std::vector<std::string> Generator::enumerate_node(const NodePtr& node,
     return out;
   }
   if (const auto* ref = node->as<RuleRef>()) {
+    tap_rule(ref->name);
     auto pre = predefined_.find(ref->name);
     if (pre != predefined_.end()) {
       out = pre->second;
@@ -274,6 +278,7 @@ std::vector<std::string> Generator::enumerate_node(const NodePtr& node,
 std::string Generator::sample(std::string_view rule_name,
                               std::mt19937_64& rng) const {
   std::string key = normalize_rule_name(rule_name);
+  tap_rule(key);
   auto pre = predefined_.find(key);
   if (pre != predefined_.end() && !pre->second.empty()) {
     return pre->second[rng() % pre->second.size()];
@@ -325,6 +330,7 @@ std::string Generator::sample_node(const NodePtr& node, std::size_t depth,
     return out;
   }
   if (const auto* ref = node->as<RuleRef>()) {
+    tap_rule(ref->name);
     auto pre = predefined_.find(ref->name);
     if (pre != predefined_.end() && !pre->second.empty()) {
       return pre->second[rng() % pre->second.size()];

@@ -17,6 +17,7 @@
 #include <map>
 #include <optional>
 #include <random>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -64,6 +65,14 @@ class Generator {
   const Grammar& grammar() const { return grammar_; }
   const GenOptions& options() const { return options_; }
 
+  /// Coverage tap: while non-null, every rule the traversal expands (by
+  /// grammar walk or predefined pinning) has its normalized name inserted
+  /// into *tap.  One branch per rule reference when armed, zero-cost when
+  /// not — the campaign uses this to compute its bootstrap coverage cone.
+  void set_coverage_tap(std::set<std::string>* tap) const {
+    coverage_tap_ = tap;
+  }
+
  private:
   std::vector<std::string> enumerate_node(const NodePtr& node,
                                           std::size_t depth,
@@ -73,10 +82,15 @@ class Generator {
   std::string minimal_node(const NodePtr& node,
                            std::vector<std::string>& in_progress) const;
 
+  void tap_rule(const std::string& name) const {
+    if (coverage_tap_ != nullptr) coverage_tap_->insert(name);
+  }
+
   Grammar grammar_;
   GenOptions options_;
   std::map<std::string, std::vector<std::string>> predefined_;
   mutable std::map<std::string, std::string> minimal_cache_;
+  mutable std::set<std::string>* coverage_tap_ = nullptr;
 };
 
 /// The standard predefined-value set HDiff uses for HTTP experiments:

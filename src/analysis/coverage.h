@@ -1,0 +1,101 @@
+// Grammar-coverage map + semantic-gap site ranking (DESIGN.md §14).
+//
+// `build_coverage_plan` runs a static pass over the ABNF DAG and produces
+// the artifact that closes the static-analysis loop (ROADMAP
+// "Grammar-coverage-guided generation"):
+//
+//   * every production reachable from the request roots gets a stable id
+//     (index into `productions`, sorted by normalized rule name), its BFS
+//     depth from the roots, and whether it sits on a leftmost path (a
+//     parser decides these rules from the first bytes it reads);
+//   * every GL005/GL006 overlap pair becomes a ranked `GapSite` with its
+//     concrete overlap byte class and witness bytes.  Rank = overlap width
+//     x root proximity, doubled on leftmost paths — wide ambiguity close to
+//     the request line is exactly where semantic-gap attacks live.
+//
+// The plan is a pure function of the grammar and the roots (no wall clock,
+// no RNG, stable sorts everywhere), so the campaign can serialize it into
+// its checkpoint and every worker / resume recomputes identical ids — the
+// property the scheduler's coverage weighting and the `hdiff lint --json`
+// `gap_sites` block both rely on.
+#pragma once
+
+#include <bitset>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abnf/ast.h"
+#include "analysis/grammar_lint.h"
+
+namespace hdiff::analysis {
+
+/// One grammar production in the coverage map.  Its id is its index in
+/// `CoveragePlan::productions`.
+struct CoverageProduction {
+  std::string name;        ///< normalized rule name
+  std::size_t depth = 0;   ///< BFS depth from the request roots
+  bool leftmost = false;   ///< reachable through the leftmost-call closure
+};
+
+/// One ranked semantic-gap site: a pair of alternatives whose byte classes
+/// overlap (GL005 FIRST overlap or GL006 terminal byte-class overlap).
+/// Its id is its index in `CoveragePlan::sites` (rank order).
+struct GapSite {
+  std::size_t id = 0;          ///< index in CoveragePlan::sites
+  std::size_t production = 0;  ///< owning production id
+  std::string rule;            ///< owning rule name (== productions[production].name)
+  std::size_t alt_a = 0;       ///< 1-based earlier alternative
+  std::size_t alt_b = 0;       ///< 1-based later alternative
+  char kind = 'f';             ///< 'f' = FIRST overlap, 'b' = terminal byte class
+  std::bitset<256> overlap;    ///< the concrete overlap byte class
+  std::size_t width = 0;       ///< overlap.count()
+  std::size_t rank = 0;        ///< width x root proximity (x2 on leftmost paths)
+  std::string witness;         ///< up to 4 lowest overlap bytes, raw
+  /// The attribution cone: production ids whose text flows through this
+  /// site — ancestors (rules from which the owner is reachable) plus
+  /// descendants (the owner's own subtree), sorted, `production` included.
+  /// A mutation touching any of these perturbs bytes the site's alternation
+  /// must discriminate (a Transfer-Encoding value mutation reaches a
+  /// transfer-coding site; an HTTP-version mutation reaches a start-line
+  /// site through the request-line alternative).
+  std::vector<std::size_t> related;
+};
+
+/// The full static artifact; serialized into the campaign checkpoint.
+struct CoveragePlan {
+  std::vector<CoverageProduction> productions;  ///< name-sorted; id = index
+  std::vector<GapSite> sites;                   ///< rank-sorted; id = index
+  std::string sig;  ///< FNV-1a of the canonical serialization
+  /// Production ids the bootstrap generation cone exercises (folded into
+  /// the covered set when the plan is adopted, so round-0 work is never
+  /// double-counted as scheduler-driven exploration).
+  std::set<std::size_t> bootstrap_covered;
+
+  bool enabled() const { return !productions.empty(); }
+  /// Production id for a normalized rule name; npos when outside the cone.
+  std::size_t id_of(std::string_view name) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Build the plan for `grammar` rooted at `roots` (rule names, normalized
+/// internally; empty or all-undefined roots mean "every rule is a root").
+CoveragePlan build_coverage_plan(const abnf::Grammar& grammar,
+                                 const std::vector<std::string>& roots);
+
+/// Canonical signature of a plan's productions + sites (FNV-1a 64, 16 hex
+/// digits).  `build_coverage_plan` fills `sig` with this.
+std::string coverage_plan_sig(const CoveragePlan& plan);
+
+/// 256-bit byte class as 64 lowercase hex chars (bit 8i+j of byte i), and
+/// back.  The checkpoint's covsite line format.
+std::string byte_class_hex(const std::bitset<256>& bits);
+bool parse_byte_class_hex(std::string_view hex, std::bitset<256>* out);
+
+/// Up to `max_bytes` lowest set bytes of a class, raw (witness bytes).
+std::string witness_bytes(const std::bitset<256>& bits,
+                          std::size_t max_bytes = 4);
+
+}  // namespace hdiff::analysis

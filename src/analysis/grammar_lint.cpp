@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <deque>
 #include <set>
 #include <thread>
@@ -247,6 +248,38 @@ std::bitset<256> terminal_byte_class(const NodePtr& node) {
   return out;
 }
 
+/// Outcome classes of one alternative pair, shared by the GL004/GL005/GL006
+/// diagnostics and collect_gap_sites (single source of truth for the pair
+/// logic).
+enum class PairKind { kSubsumed, kTerminalOverlap, kFirstOverlap };
+
+/// Visit every colliding pair (i < j, 0-based) of one alternation.  The
+/// callback receives the overlap byte class (empty for kSubsumed).
+template <typename Fn>
+void for_each_colliding_pair(const std::vector<NodePtr>& alts,
+                             const GrammarFacts& facts, Fn&& fn) {
+  for (std::size_t j = 0; j < alts.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (subsumes(alts[i], alts[j])) {
+        fn(i, j, PairKind::kSubsumed, std::bitset<256>{});
+        continue;
+      }
+      const auto ti = terminal_byte_class(alts[i]);
+      const auto tj = terminal_byte_class(alts[j]);
+      if (ti.any() && tj.any()) {
+        // Pure terminals: GL006 decides, GL005 would duplicate.
+        const auto both = ti & tj;
+        if (both.any()) fn(i, j, PairKind::kTerminalOverlap, both);
+        continue;
+      }
+      const auto fi = node_first(alts[i], facts.nullable, facts.first);
+      const auto fj = node_first(alts[j], facts.nullable, facts.first);
+      const auto both = fi & fj;
+      if (both.any()) fn(i, j, PairKind::kFirstOverlap, both);
+    }
+  }
+}
+
 struct ScanContext {
   const Grammar* grammar = nullptr;
   const GrammarFacts* facts = nullptr;
@@ -314,42 +347,38 @@ void scan_node(const std::string& rule_name, const NodePtr& node,
   }
   if (const auto* alt = node->as<Alternation>()) {
     const auto& alts = alt->alts;
-    for (std::size_t j = 0; j < alts.size(); ++j) {
-      for (std::size_t i = 0; i < j; ++i) {
-        if (subsumes(alts[i], alts[j])) {
-          out.push_back(make_diag(
-              Severity::kWarning, "GL004", rule_name, excerpt(alts[j]),
-              "alternative " + std::to_string(j + 1) +
-                  " is unreachable: subsumed by alternative " +
-                  std::to_string(i + 1) + " (" + excerpt(alts[i]) + ")"));
-          continue;
-        }
-        const auto ti = terminal_byte_class(alts[i]);
-        const auto tj = terminal_byte_class(alts[j]);
-        if (ti.any() && tj.any()) {
-          if ((ti & tj).any()) {
-            out.push_back(make_diag(
-                Severity::kWarning, "GL006", rule_name,
-                excerpt(alts[i]) + " vs " + excerpt(alts[j]),
-                "terminal byte classes of alternatives " +
-                    std::to_string(i + 1) + " and " + std::to_string(j + 1) +
-                    " overlap"));
+    for_each_colliding_pair(
+        alts, *ctx.facts,
+        [&](std::size_t i, std::size_t j, PairKind kind,
+            const std::bitset<256>& overlap) {
+          switch (kind) {
+            case PairKind::kSubsumed:
+              out.push_back(make_diag(
+                  Severity::kWarning, "GL004", rule_name, excerpt(alts[j]),
+                  "alternative " + std::to_string(j + 1) +
+                      " is unreachable: subsumed by alternative " +
+                      std::to_string(i + 1) + " (" + excerpt(alts[i]) + ")"));
+              break;
+            case PairKind::kTerminalOverlap:
+              out.push_back(make_diag(
+                  Severity::kWarning, "GL006", rule_name,
+                  excerpt(alts[i]) + " vs " + excerpt(alts[j]),
+                  "terminal byte classes of alternatives " +
+                      std::to_string(i + 1) + " and " + std::to_string(j + 1) +
+                      " overlap on " + format_byte_class(overlap)));
+              break;
+            case PairKind::kFirstOverlap:
+              out.push_back(make_diag(
+                  Severity::kInfo, "GL005", rule_name,
+                  excerpt(alts[i]) + " vs " + excerpt(alts[j]),
+                  "FIRST sets of alternatives " + std::to_string(i + 1) +
+                      " and " + std::to_string(j + 1) + " overlap on " +
+                      format_byte_class(overlap) +
+                      ": a parser must look past one byte to choose "
+                      "(semantic-gap seed)"));
+              break;
           }
-          continue;  // pure terminals: GL006 decides, GL005 would duplicate
-        }
-        const auto fi = node_first(alts[i], nullable, ctx.facts->first);
-        const auto fj = node_first(alts[j], nullable, ctx.facts->first);
-        if ((fi & fj).any()) {
-          out.push_back(make_diag(
-              Severity::kInfo, "GL005", rule_name,
-              excerpt(alts[i]) + " vs " + excerpt(alts[j]),
-              "FIRST sets of alternatives " + std::to_string(i + 1) +
-                  " and " + std::to_string(j + 1) +
-                  " overlap: a parser must look past one byte to choose "
-                  "(semantic-gap seed)"));
-        }
-      }
-    }
+        });
     for (const auto& a : alts) scan_node(rule_name, a, ctx, out);
     return;
   }
@@ -386,6 +415,49 @@ std::vector<std::string> find_left_cycle(
     }
   }
   return {};
+}
+
+/// Pre-order walk mirroring scan_node's traversal, collecting the overlap
+/// pairs of every alternation (the non-diagnostic twin of the GL005/GL006
+/// scan).
+void collect_sites_node(const std::string& rule_name, const NodePtr& node,
+                        const GrammarFacts& facts,
+                        std::vector<RawGapSite>& out) {
+  if (!node) return;
+  if (const auto* rep = node->as<Repetition>()) {
+    collect_sites_node(rule_name, rep->element, facts, out);
+    return;
+  }
+  if (const auto* opt = node->as<Option>()) {
+    collect_sites_node(rule_name, opt->element, facts, out);
+    return;
+  }
+  if (const auto* cat = node->as<Concatenation>()) {
+    for (const auto& p : cat->parts) {
+      collect_sites_node(rule_name, p, facts, out);
+    }
+    return;
+  }
+  if (const auto* alt = node->as<Alternation>()) {
+    for_each_colliding_pair(
+        alt->alts, facts,
+        [&](std::size_t i, std::size_t j, PairKind kind,
+            const std::bitset<256>& overlap) {
+          if (kind == PairKind::kSubsumed) return;  // GL004 owns these
+          RawGapSite site;
+          site.rule = rule_name;
+          site.alt_a = i + 1;
+          site.alt_b = j + 1;
+          site.terminal = kind == PairKind::kTerminalOverlap;
+          site.overlap = overlap;
+          out.push_back(std::move(site));
+        });
+    for (const auto& a : alt->alts) {
+      collect_sites_node(rule_name, a, facts, out);
+    }
+    return;
+  }
+  // CharVal / NumVal / RuleRef / ProseVal: no alternation pairs below.
 }
 
 std::string join_path(const std::vector<std::string>& path) {
@@ -439,6 +511,49 @@ GrammarFacts compute_grammar_facts(const Grammar& grammar) {
     facts.left_calls[name] = std::move(calls);
   }
   return facts;
+}
+
+std::vector<RawGapSite> collect_gap_sites(const Grammar& grammar,
+                                          const GrammarFacts& facts) {
+  std::vector<RawGapSite> out;
+  for (const auto& [name, rule] : grammar.rules()) {
+    collect_sites_node(name, rule.definition, facts, out);
+  }
+  return out;
+}
+
+std::string format_byte_class(const std::bitset<256>& bits) {
+  auto render = [](unsigned b) {
+    if (b >= 0x21 && b <= 0x7E) {
+      return std::string("'") + static_cast<char>(b) + "'";
+    }
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "0x%02x", b);
+    return std::string(buf);
+  };
+  constexpr std::size_t kMaxSegments = 8;
+  std::string out;
+  std::size_t segments = 0;
+  std::size_t skipped = 0;
+  for (std::size_t b = 0; b < 256;) {
+    if (!bits.test(b)) {
+      ++b;
+      continue;
+    }
+    std::size_t end = b;
+    while (end + 1 < 256 && bits.test(end + 1)) ++end;
+    if (segments >= kMaxSegments) {
+      skipped += end - b + 1;
+    } else {
+      if (!out.empty()) out += ' ';
+      out += render(static_cast<unsigned>(b));
+      if (end > b) out += "-" + render(static_cast<unsigned>(end));
+      ++segments;
+    }
+    b = end + 1;
+  }
+  if (skipped > 0) out += " +" + std::to_string(skipped) + " more";
+  return out.empty() ? std::string("(empty)") : out;
 }
 
 std::vector<Diagnostic> lint_grammar(const Grammar& grammar,

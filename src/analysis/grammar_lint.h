@@ -54,6 +54,29 @@ struct GrammarFacts {
 /// Compute nullable / FIRST / leftmost-call facts by fixed point.
 GrammarFacts compute_grammar_facts(const abnf::Grammar& grammar);
 
+/// One raw overlap pair as found by the GL005/GL006 scan: alternatives
+/// `alt_a` < `alt_b` (1-based) of `rule` whose byte classes intersect.
+/// `terminal` mirrors the diagnostic split — true for single-terminal pairs
+/// (GL006), false for FIRST-set overlaps (GL005).  Exposed so
+/// analysis::build_coverage_plan ranks the same sites the diagnostics name.
+struct RawGapSite {
+  std::string rule;
+  std::size_t alt_a = 0;
+  std::size_t alt_b = 0;
+  bool terminal = false;
+  std::bitset<256> overlap;
+};
+
+/// Every gap site in the grammar, in deterministic scan order (rules by
+/// normalized name, alternations in pre-order, pairs by (later, earlier)).
+std::vector<RawGapSite> collect_gap_sites(const abnf::Grammar& grammar,
+                                          const GrammarFacts& facts);
+
+/// Human rendering of a byte class: printable bytes quoted, others hex,
+/// consecutive runs collapsed to ranges, capped at 8 segments.  Used in the
+/// GL005/GL006 messages and the coverage report.
+std::string format_byte_class(const std::bitset<256>& bits);
+
 /// Run every grammar check; diagnostics come back sorted and deduplicated
 /// (byte-identical for any `jobs` value).
 std::vector<Diagnostic> lint_grammar(const abnf::Grammar& grammar,

@@ -1,5 +1,6 @@
 #include "analysis/lint.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "report/json.h"
@@ -120,6 +121,14 @@ LintResult run_lint(const abnf::Grammar& grammar,
   sort_diagnostics(diags);
   result.counts = count_diagnostics(diags);
 
+  // Ranked gap sites over the same roots the grammar lint uses — the
+  // campaign checkpoint and `--json` consumers read identical ids.
+  {
+    obs::Span span(options.obs.trace, "lint:gap_sites", "lint");
+    result.gap_sites =
+        build_coverage_plan(grammar, options.grammar.roots).sites;
+  }
+
   if (options.obs.metrics) {
     auto& m = *options.obs.metrics;
     m.counter("hdiff_lint_diagnostics_total").add(diags.size());
@@ -162,6 +171,33 @@ std::string lint_json(const LintResult& result) {
     w.key("name").value(a.name);
     w.key("diagnostics").value(static_cast<std::uint64_t>(a.diagnostics));
     w.key("micros").value(a.micros);
+    w.end_object();
+  }
+  w.end_array();
+  // Ranked semantic-gap sites (schema documented in DESIGN.md §14): sorted
+  // by rank desc / rule / alternative pair, ids stable for a given corpus.
+  // `witness` is lowercase hex of up to 4 overlap bytes a prober can splice.
+  w.key("gap_sites").begin_array();
+  for (const auto& s : result.gap_sites) {
+    w.begin_object();
+    w.key("id").value(static_cast<std::uint64_t>(s.id));
+    w.key("rule").value(s.rule);
+    w.key("production").value(static_cast<std::uint64_t>(s.production));
+    w.key("alternatives").begin_array();
+    w.value(static_cast<std::uint64_t>(s.alt_a));
+    w.value(static_cast<std::uint64_t>(s.alt_b));
+    w.end_array();
+    w.key("kind").value(s.kind == 'b' ? "byte-overlap" : "first-overlap");
+    w.key("width").value(static_cast<std::uint64_t>(s.width));
+    w.key("rank").value(static_cast<std::uint64_t>(s.rank));
+    w.key("overlap").value(format_byte_class(s.overlap));
+    std::string witness_hex;
+    for (unsigned char c : s.witness) {
+      char buf[3];
+      std::snprintf(buf, sizeof buf, "%02x", c);
+      witness_hex += buf;
+    }
+    w.key("witness").value(witness_hex);
     w.end_object();
   }
   w.end_array();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "abnf/ast.h"
+#include "analysis/coverage.h"
 #include "analysis/diagnostic.h"
 #include "analysis/grammar_lint.h"
 #include "analysis/mutation_coverage.h"
@@ -44,6 +45,10 @@ struct LintResult {
   DiagnosticCounts counts;
   std::vector<AnalyzerStats> analyzers;
   MutationCoverageStats mutation_stats;
+  /// Ranked semantic-gap sites (coverage plan over options.grammar.roots);
+  /// the `gap_sites` block of `hdiff lint --json` and the exact artifact
+  /// the campaign checkpoint serializes — same ids, same order.
+  std::vector<GapSite> gap_sites;
 };
 
 /// The checked-in waivers that keep the shipped corpus green.  Every entry

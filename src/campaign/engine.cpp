@@ -6,9 +6,11 @@
 #include <set>
 #include <utility>
 
+#include "abnf/ast.h"
 #include "campaign/fingerprint.h"
 #include "campaign/scheduler.h"
 #include "core/mutation.h"
+#include "http/header_util.h"
 #include "net/chain.h"
 #include "report/json.h"
 
@@ -27,15 +29,79 @@ std::string metric_segment(std::string_view kind) {
 /// deterministic emission order.  `max_mutants` is lifted far above the
 /// generation caps so the full operator surface is schedulable.
 std::map<std::string, std::vector<core::Mutant>> variants_by_kind(
-    const http::RequestSpec& spec) {
+    const http::RequestSpec& spec, bool record_touched) {
   core::MutationOptions options;
   options.max_mutants = 4096;
+  options.record_touched = record_touched;
   std::map<std::string, std::vector<core::Mutant>> grouped;
   for (auto& mutant : core::mutate(spec, options)) {
     const std::string kind(to_string(mutant.applied.front().kind));
     grouped[kind].push_back(std::move(mutant));
   }
   return grouped;
+}
+
+/// Production ids a mutant's touched rules map onto (sorted, deduplicated;
+/// names outside the coverage cone are dropped).
+std::vector<std::size_t> cov_ids_of(const analysis::CoveragePlan& plan,
+                                    const core::Mutant& mutant) {
+  std::set<std::size_t> ids;
+  for (const auto& name : mutant.touched) {
+    const std::size_t id = plan.id_of(abnf::normalize_rule_name(name));
+    if (id != analysis::CoveragePlan::npos) ids.insert(id);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+/// The bytes a mutation injects or rewrites — the probe the parser actually
+/// sees changed.  Case variations and folds carry an empty descriptor
+/// payload (their effect is a rewritten field), so the rewritten text is
+/// read back out of the mutant spec instead.
+std::string probe_bytes(const core::Mutant& mutant) {
+  const core::AppliedMutation& m = mutant.applied.front();
+  auto header_text = [&](bool name) -> std::string {
+    for (const auto& h : mutant.spec.headers) {
+      if (http::iequals(h.name, m.header)) return name ? h.name : h.value;
+    }
+    return {};
+  };
+  switch (m.kind) {
+    case core::MutationKind::kNameCaseVariation:
+      return header_text(true);
+    case core::MutationKind::kValueCaseVariation:
+    case core::MutationKind::kObsFoldValue:
+      return header_text(false);
+    case core::MutationKind::kBareLfTerminator:
+      return "\n";
+    default:
+      return m.payload;
+  }
+}
+
+/// Gap-site ids among `site_index[production]` whose overlap class the
+/// mutant's probe bytes intersect (an empty probe hits nothing: the site is
+/// about a concrete ambiguous byte reaching the parser).
+std::vector<std::size_t> gap_ids_of(
+    const analysis::CoveragePlan& plan,
+    const std::map<std::size_t, std::vector<std::size_t>>& site_index,
+    const std::vector<std::size_t>& cov_ids, const core::Mutant& mutant) {
+  const std::string payload = probe_bytes(mutant);
+  if (payload.empty()) return {};
+  std::set<std::size_t> ids;
+  for (std::size_t prod : cov_ids) {
+    const auto it = site_index.find(prod);
+    if (it == site_index.end()) continue;
+    for (std::size_t site_id : it->second) {
+      const analysis::GapSite& site = plan.sites[site_id];
+      for (unsigned char byte : payload) {
+        if (site.overlap.test(byte)) {
+          ids.insert(site_id);
+          break;
+        }
+      }
+    }
+  }
+  return {ids.begin(), ids.end()};
 }
 
 std::string mutant_provenance(const std::string& entry_hash,
@@ -159,6 +225,17 @@ RoundPlan plan_round(StateStore& store, const CampaignConfig& config,
   }
 
   // Divergence-feedback schedule over (entry x kind) arms.
+  const bool cov = store.coverage_enabled();
+  // site_index: production id -> gap-site ids, via each site's attribution
+  // cone (a Transfer-Encoding mutation reaches the transfer-coding sites).
+  std::map<std::size_t, std::vector<std::size_t>> site_index;
+  if (cov) {
+    for (const auto& site : store.coverage.sites) {
+      for (std::size_t prod : site.related) {
+        site_index[prod].push_back(site.id);
+      }
+    }
+  }
   struct ArmPlan {
     std::size_t entry;
     std::string kind;
@@ -169,7 +246,7 @@ RoundPlan plan_round(StateStore& store, const CampaignConfig& config,
   std::vector<std::map<std::string, std::vector<core::Mutant>>> grouped;
   grouped.reserve(store.entries.size());
   for (const auto& entry : store.entries) {
-    grouped.push_back(variants_by_kind(entry.spec));
+    grouped.push_back(variants_by_kind(entry.spec, cov));
   }
   for (std::size_t e = 0; e < store.entries.size(); ++e) {
     for (core::MutationKind kind : core::all_mutation_kinds()) {
@@ -177,7 +254,33 @@ RoundPlan plan_round(StateStore& store, const CampaignConfig& config,
       auto it = grouped[e].find(kind_name);
       if (it == grouped[e].end() || it->second.empty()) continue;
       const ArmStats& stats = store.arms[{e, kind_name}];
-      views.push_back({stats.attempts, stats.novel, it->second.size()});
+      ArmView view;
+      view.attempts = stats.attempts;
+      view.novel = stats.novel;
+      view.capacity = it->second.size();
+      if (cov && store.coverage_weighting) {
+        // Static-analysis bias: productions this arm would touch that are
+        // still uncovered, and unhit gap sites among those productions.
+        std::set<std::size_t> touchable;
+        for (const core::Mutant& m : it->second) {
+          for (std::size_t id : cov_ids_of(store.coverage, m)) {
+            touchable.insert(id);
+          }
+        }
+        std::set<std::size_t> unhit_sites;
+        for (std::size_t id : touchable) {
+          if (store.covered.count(id) == 0) ++view.uncovered;
+          const auto sites = site_index.find(id);
+          if (sites == site_index.end()) continue;
+          for (std::size_t site_id : sites->second) {
+            if (store.gap_hits.count(site_id) == 0) {
+              unhit_sites.insert(site_id);
+            }
+          }
+        }
+        view.gap_hits = unhit_sites.size();
+      }
+      views.push_back(view);
       arm_plans.push_back({e, kind_name, &it->second});
     }
   }
@@ -202,11 +305,27 @@ RoundPlan plan_round(StateStore& store, const CampaignConfig& config,
       pc.arm_kind = arm_plans[a].kind;
       pc.spec = mutant.spec;
       pc.spec_text = serialize_spec(mutant.spec);
+      if (cov) {
+        pc.cov_ids = cov_ids_of(store.coverage, mutant);
+        pc.gap_ids =
+            gap_ids_of(store.coverage, site_index, pc.cov_ids, mutant);
+      }
       planned.push_back(std::move(pc));
     }
     stats.cursor += counts[a];
   }
   return plan;
+}
+
+void adopt_coverage(StateStore& store, const CampaignConfig& config) {
+  // The checkpoint's plan (or its recorded absence-after-adoption) wins:
+  // re-adopting over live state would reset the covered set and break
+  // resume byte-identity.  A config without a plan never erases one.
+  if (store.coverage_enabled() || !config.coverage.enabled()) return;
+  store.coverage = config.coverage;
+  store.coverage_weighting = config.coverage_weighting;
+  store.covered = config.coverage.bootstrap_covered;
+  store.gap_hits.clear();
 }
 
 ExecutedRound execute_round(const CampaignConfig& config,
@@ -297,6 +416,11 @@ RoundReport integrate_round(StateStore& store, const CampaignConfig& config,
       arm = &store.arms[{pc.arm_entry, pc.arm_kind}];
       ++arm->attempts;
     }
+    // Coverage feedback: an executed (non-quarantined) case marks its
+    // productions covered and its gap sites hit, whether or not it filed a
+    // finding — the map measures exploration, not yield.
+    for (std::size_t id : pc.cov_ids) store.covered.insert(id);
+    for (std::size_t id : pc.gap_ids) ++store.gap_hits[id];
     bool interesting = false;
     for (const Signature& found : oc.signatures) {
       const std::string fp = fingerprint(found, pc.provenance);
@@ -355,6 +479,8 @@ RoundReport integrate_round(StateStore& store, const CampaignConfig& config,
       }
     }
   }
+  rr.coverage_covered = store.covered.size();
+  rr.gap_sites_hit = store.gap_hits.size();
   return rr;
 }
 
@@ -371,7 +497,37 @@ void emit_round_metrics(const obs::Observability& obs, const RoundReport& rr,
       .set(static_cast<std::int64_t>(store.entries.size()));
   m.gauge("hdiff_campaign_findings")
       .set(static_cast<std::int64_t>(store.findings.size()));
+  if (store.coverage_enabled()) {
+    m.gauge("hdiff_campaign_coverage_productions_covered")
+        .set(static_cast<std::int64_t>(store.covered.size()));
+    m.gauge("hdiff_campaign_coverage_productions_total")
+        .set(static_cast<std::int64_t>(store.coverage.productions.size()));
+    m.gauge("hdiff_campaign_coverage_gap_sites_hit")
+        .set(static_cast<std::int64_t>(store.gap_hits.size()));
+    m.gauge("hdiff_campaign_coverage_gap_sites_total")
+        .set(static_cast<std::int64_t>(store.coverage.sites.size()));
+  }
 }
+
+namespace {
+
+/// Copy the store's coverage totals (and the top unhit sites) into a
+/// report; shared by run()'s exit paths and status().
+void fill_coverage_report(CampaignReport& report, const StateStore& store) {
+  report.coverage_enabled = store.coverage_enabled();
+  if (!report.coverage_enabled) return;
+  report.coverage_weighting = store.coverage_weighting;
+  report.coverage_covered = store.covered.size();
+  report.coverage_total = store.coverage.productions.size();
+  report.gap_sites_hit = store.gap_hits.size();
+  report.gap_sites_total = store.coverage.sites.size();
+  for (const auto& site : store.coverage.sites) {
+    if (report.top_unhit.size() >= 5) break;
+    if (store.gap_hits.count(site.id) == 0) report.top_unhit.push_back(site);
+  }
+}
+
+}  // namespace
 
 CampaignEngine::CampaignEngine(CampaignConfig config)
     : config_(std::move(config)) {
@@ -413,6 +569,7 @@ CampaignReport CampaignEngine::run(
   // idempotent, and a crash before the round-0 commit leaves a checkpoint
   // with no entries, healed here on resume.
   if (store.rounds_completed == 0) register_seed_entries(store, config_);
+  adopt_coverage(store, config_);
 
   net::Chain chain = net::Chain::from_fleet(fleet);
   // Cross-round caches: a mutant re-scheduled in a later round (or replayed
@@ -453,6 +610,7 @@ CampaignReport CampaignEngine::run(
       report.total_findings = store.findings.size();
       report.corpus_entries = store.entries.size();
       report.retry_depth = store.retry_queue.size();
+      fill_coverage_report(report, store);
       return report;
     }
     if (!store.commit_round(round)) {
@@ -465,6 +623,7 @@ CampaignReport CampaignEngine::run(
   report.total_findings = store.findings.size();
   report.corpus_entries = store.entries.size();
   report.retry_depth = store.retry_queue.size();
+  fill_coverage_report(report, store);
   return report;
 }
 
@@ -495,6 +654,7 @@ CampaignReport CampaignEngine::status(const std::string& state_dir) {
     report.rounds.push_back(rr);
     report.novel_total += rr.novel;
   }
+  fill_coverage_report(report, store);
   return report;
 }
 
@@ -566,6 +726,33 @@ std::string campaign_report_json(const CampaignReport& report) {
       .value(signatures == 0 ? 0.0
                              : static_cast<double>(report.duplicate_total) /
                                    static_cast<double>(signatures));
+  w.key("coverage").begin_object();
+  w.key("enabled").value(report.coverage_enabled);
+  w.key("weighting").value(report.coverage_weighting);
+  w.key("productions_covered")
+      .value(static_cast<std::uint64_t>(report.coverage_covered));
+  w.key("productions_total")
+      .value(static_cast<std::uint64_t>(report.coverage_total));
+  w.key("gap_sites_hit")
+      .value(static_cast<std::uint64_t>(report.gap_sites_hit));
+  w.key("gap_sites_total")
+      .value(static_cast<std::uint64_t>(report.gap_sites_total));
+  w.key("top_unhit").begin_array();
+  for (const auto& site : report.top_unhit) {
+    w.begin_object();
+    w.key("id").value(static_cast<std::uint64_t>(site.id));
+    w.key("rule").value(site.rule);
+    w.key("alternatives").begin_array();
+    w.value(static_cast<std::uint64_t>(site.alt_a));
+    w.value(static_cast<std::uint64_t>(site.alt_b));
+    w.end_array();
+    w.key("kind").value(site.kind == 'b' ? "byte-overlap" : "first-overlap");
+    w.key("rank").value(static_cast<std::uint64_t>(site.rank));
+    w.key("overlap").value(analysis::format_byte_class(site.overlap));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.key("rounds").begin_array();
   for (const auto& rr : report.rounds) {
     w.begin_object();
@@ -578,6 +765,12 @@ std::string campaign_report_json(const CampaignReport& report) {
     w.key("new_entries").value(static_cast<std::uint64_t>(rr.new_entries));
     w.key("minimize_steps")
         .value(static_cast<std::uint64_t>(rr.minimize_steps));
+    if (report.coverage_enabled) {
+      w.key("coverage_covered")
+          .value(static_cast<std::uint64_t>(rr.coverage_covered));
+      w.key("gap_sites_hit")
+          .value(static_cast<std::uint64_t>(rr.gap_sites_hit));
+    }
     w.end_object();
   }
   w.end_array();

@@ -65,6 +65,15 @@ struct CampaignConfig {
   /// Initial mutation seeds.  Empty = default_campaign_seeds().
   std::vector<SeedSpec> seeds;
 
+  /// Static coverage plan to adopt on fresh starts (DESIGN.md §14).  Empty
+  /// = coverage off.  Excluded from campaign_config_sig like jobs/rounds:
+  /// an existing checkpoint's own (possibly absent) plan always wins, so
+  /// pre-coverage state dirs resume untouched.
+  analysis::CoveragePlan coverage;
+  /// Scheduler uses the coverage terms (false = track + report only, the
+  /// E15 control arm).  Adopted with the plan; checkpoint wins thereafter.
+  bool coverage_weighting = true;
+
   /// Test hook: simulate a kill after this round appended its findings but
   /// before the checkpoint rename (the worst crash window).  -1 = never.
   int crash_after_round = -1;
@@ -80,6 +89,9 @@ struct RoundReport {
   std::size_t quarantined = 0;  ///< cases pushed to the retry queue
   std::size_t new_entries = 0;  ///< interesting mutants added to the corpus
   std::size_t minimize_steps = 0;
+  /// Cumulative coverage state after this round (0/0 when coverage is off).
+  std::size_t coverage_covered = 0;  ///< productions exercised so far
+  std::size_t gap_sites_hit = 0;     ///< distinct gap sites hit so far
 };
 
 struct CampaignReport {
@@ -96,6 +108,16 @@ struct CampaignReport {
   /// `hdiff run` over the bootstrap corpus returns (empty when round 0 was
   /// already committed before this call).
   core::DetectionResult bootstrap_findings;
+  // ---- coverage totals (zeros when the campaign has no plan) ----
+  bool coverage_enabled = false;
+  bool coverage_weighting = false;
+  std::size_t coverage_covered = 0;   ///< productions exercised
+  std::size_t coverage_total = 0;     ///< productions in the plan
+  std::size_t gap_sites_hit = 0;      ///< distinct gap sites hit
+  std::size_t gap_sites_total = 0;    ///< gap sites in the plan
+  /// Highest-ranked sites not yet hit (top 5, rank order) — the "where to
+  /// aim next" list in `hdiff campaign status` and the JSON block.
+  std::vector<analysis::GapSite> top_unhit;
   std::string error;  ///< non-empty = the campaign failed to run
 };
 
@@ -139,6 +161,11 @@ struct PlannedCase {
   /// Buildable form (empty spec_text = bootstrap case, wire bytes only).
   http::RequestSpec spec;
   std::string spec_text;
+  /// Coverage attribution (empty when coverage is off or the case is a
+  /// bootstrap/replay): production ids this mutant exercises and gap-site
+  /// ids whose overlap class its injected payload intersects.
+  std::vector<std::size_t> cov_ids;
+  std::vector<std::size_t> gap_ids;
 };
 
 struct RoundPlan {
@@ -197,6 +224,12 @@ RoundReport integrate_round(StateStore& store, const CampaignConfig& config,
 /// (Re-)register the config's mutation seeds as corpus entries; idempotent,
 /// called on every fresh start (rounds_completed == 0).
 void register_seed_entries(StateStore& store, const CampaignConfig& config);
+
+/// Adopt the config's coverage plan into the store.  A checkpoint that
+/// already carries a plan wins (resume byte-identity); a config without a
+/// plan never erases one.  On a fresh adopt the bootstrap cone seeds the
+/// covered set.  Called after init/load by run() and the serve supervisor.
+void adopt_coverage(StateStore& store, const CampaignConfig& config);
 
 /// Fold one round's accounting into the hdiff_campaign_* metrics.
 void emit_round_metrics(const obs::Observability& obs, const RoundReport& rr,

@@ -6,10 +6,13 @@
 namespace hdiff::campaign {
 
 std::size_t arm_weight(const ArmView& arm) {
-  // 64-bit intermediate: novel is bounded by total findings (small), so
-  // (1 + novel) << 16 cannot overflow in any realistic campaign.
-  const std::uint64_t numerator = (1 + static_cast<std::uint64_t>(arm.novel))
-                                  << 16;
+  // 64-bit intermediate: novel is bounded by total findings and the
+  // coverage terms by the grammar's production/site counts (all small), so
+  // the shifted numerator cannot overflow in any realistic campaign.
+  const std::uint64_t numerator =
+      (1 + static_cast<std::uint64_t>(arm.novel) + arm.uncovered +
+       arm.gap_hits)
+      << 16;
   return static_cast<std::size_t>(numerator / (1 + arm.attempts));
 }
 

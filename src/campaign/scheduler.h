@@ -7,14 +7,18 @@
 // clock, no RNG — so a resumed campaign and a `--jobs 8` campaign schedule
 // the exact same mutants as a fresh serial one.
 //
-// Weighting: integer-only, `weight = ((1 + novel) << 16) / (1 + attempts)`.
+// Weighting: integer-only,
+// `weight = ((1 + novel + uncovered + gap_hits) << 16) / (1 + attempts)`.
 // An untried arm (0/0) gets full weight, so new corpus entries are explored
 // immediately; an arm that keeps yielding keeps its share; an arm that has
 // been hammered without yield decays as 1/attempts but never reaches zero
 // (every arm stays live — yield can appear late, e.g. after a fleet swap).
-// Budget shares use largest-remainder apportionment with per-arm capacity
-// caps and index-order tie-breaks, so every unit of budget lands
-// deterministically.
+// The static-analysis terms (DESIGN.md §14) bias the split toward arms that
+// would touch not-yet-covered grammar productions (`uncovered`) or ranked
+// semantic-gap sites (`gap_hits`); both default to zero, which reduces the
+// weight to the legacy feedback formula when coverage is off.  Budget
+// shares use largest-remainder apportionment with per-arm capacity caps and
+// index-order tie-breaks, so every unit of budget lands deterministically.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +31,10 @@ struct ArmView {
   std::size_t attempts = 0;  ///< mutants observed so far
   std::size_t novel = 0;     ///< novel fingerprints produced so far
   std::size_t capacity = 0;  ///< variants available this round (hard cap)
+  /// Coverage bias terms (zero unless the campaign has a coverage plan and
+  /// weighting enabled — see campaign::StateStore::coverage_weighting).
+  std::size_t uncovered = 0;  ///< uncovered productions this arm would touch
+  std::size_t gap_hits = 0;   ///< unhit gap sites this arm can reach
 };
 
 /// Integer feedback weight of one arm (see header comment).

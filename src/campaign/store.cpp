@@ -298,6 +298,42 @@ std::string StateStore::render_state() const {
   std::string out = "hdiff-campaign-state-v1\n";
   out += "config_sig=" + config_sig + "\n";
   out += "rounds_completed=" + std::to_string(rounds_completed) + "\n";
+  if (coverage.enabled()) {
+    // Coverage block (optional: absent = coverage disabled, which is how
+    // checkpoints written before the feature existed keep loading).  The
+    // plan itself is serialized — not recomputed on load — so production
+    // and site ids are byte-stable even if the corpus on disk changes.
+    out += "covsig=" + coverage.sig + "\n";
+    out += std::string("covweight=") + (coverage_weighting ? "1" : "0") + "\n";
+    for (const auto& p : coverage.productions) {
+      out += "covprod=" + std::to_string(p.depth) + " " +
+             (p.leftmost ? "1" : "0") + " " + p.name + "\n";
+    }
+    for (const auto& s : coverage.sites) {
+      out += "covsite=" + std::to_string(s.production) + " " +
+             std::to_string(s.alt_a) + " " + std::to_string(s.alt_b) + " " +
+             s.kind + " " + analysis::byte_class_hex(s.overlap) + " " +
+             std::to_string(s.rank);
+      for (std::size_t a : s.related) out += " " + std::to_string(a);
+      out += "\n";
+    }
+    auto id_list = [](const std::set<std::size_t>& ids) {
+      std::string line;
+      for (std::size_t id : ids) {
+        if (!line.empty()) line += ' ';
+        line += std::to_string(id);
+      }
+      return line;
+    };
+    if (!coverage.bootstrap_covered.empty()) {
+      out += "covboot=" + id_list(coverage.bootstrap_covered) + "\n";
+    }
+    if (!covered.empty()) out += "covered=" + id_list(covered) + "\n";
+    for (const auto& [id, count] : gap_hits) {
+      out += "gaphit=" + std::to_string(id) + " " + std::to_string(count) +
+             "\n";
+    }
+  }
   for (const auto& e : entries) {
     out += "entry=" + e.hash + " " + field_enc(e.provenance) + "\n";
   }
@@ -328,6 +364,10 @@ bool StateStore::parse_state(std::string_view text) {
   findings.clear();
   entry_hashes_.clear();
   fingerprints_.clear();
+  coverage = {};
+  coverage_weighting = true;
+  covered.clear();
+  gap_hits.clear();
   std::istringstream in{std::string(text)};
   std::string line;
   if (!std::getline(in, line) || line != "hdiff-campaign-state-v1") {
@@ -347,6 +387,61 @@ bool StateStore::parse_state(std::string_view text) {
       config_sig = rest;
     } else if (key == "rounds_completed") {
       rounds_completed = to_size(rest);
+    } else if (key == "covsig") {
+      coverage.sig = rest;
+    } else if (key == "covweight") {
+      coverage_weighting = rest != "0";
+    } else if (key == "covprod") {
+      auto tokens = split_fields(rest);
+      if (tokens.size() != 3) {
+        error_ = "bad covprod line: " + line;
+        return false;
+      }
+      coverage.productions.push_back(
+          {tokens[2], to_size(tokens[0]), tokens[1] != "0"});
+    } else if (key == "covsite") {
+      auto tokens = split_fields(rest);
+      analysis::GapSite site;
+      if (tokens.size() < 6 || tokens[3].size() != 1 ||
+          !analysis::parse_byte_class_hex(tokens[4], &site.overlap)) {
+        error_ = "bad covsite line: " + line;
+        return false;
+      }
+      site.id = coverage.sites.size();
+      site.production = to_size(tokens[0]);
+      if (site.production >= coverage.productions.size()) {
+        error_ = "covsite references unknown production: " + line;
+        return false;
+      }
+      site.rule = coverage.productions[site.production].name;
+      site.alt_a = to_size(tokens[1]);
+      site.alt_b = to_size(tokens[2]);
+      site.kind = tokens[3][0];
+      site.width = site.overlap.count();
+      site.rank = to_size(tokens[5]);
+      site.witness = analysis::witness_bytes(site.overlap);
+      for (std::size_t i = 6; i < tokens.size(); ++i) {
+        const std::size_t a = to_size(tokens[i]);
+        if (a >= coverage.productions.size()) {
+          error_ = "covsite related-production out of range: " + line;
+          return false;
+        }
+        site.related.push_back(a);
+      }
+      coverage.sites.push_back(std::move(site));
+    } else if (key == "covboot") {
+      for (const auto& t : split_fields(rest)) {
+        coverage.bootstrap_covered.insert(to_size(t));
+      }
+    } else if (key == "covered") {
+      for (const auto& t : split_fields(rest)) covered.insert(to_size(t));
+    } else if (key == "gaphit") {
+      auto tokens = split_fields(rest);
+      if (tokens.size() != 2) {
+        error_ = "bad gaphit line: " + line;
+        return false;
+      }
+      gap_hits[to_size(tokens[0])] = to_size(tokens[1]);
     } else if (key == "entry") {
       auto tokens = split_fields(rest);
       CorpusEntry e;

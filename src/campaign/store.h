@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/coverage.h"
 #include "http/serialize.h"
 
 namespace hdiff::campaign {
@@ -174,6 +175,17 @@ class StateStore {
   std::map<std::pair<std::size_t, std::string>, ArmStats> arms;
   std::vector<RetryEntry> retry_queue;
   std::vector<Finding> findings;
+  /// Static coverage plan (DESIGN.md §14), serialized into the checkpoint
+  /// so resumed and sharded runs see byte-identical production/site ids.
+  /// Empty plan (the default, and any checkpoint written before coverage
+  /// existed) means coverage is disabled — the healed upgrade path.
+  analysis::CoveragePlan coverage;
+  /// When false the plan is tracked and reported but the scheduler ignores
+  /// the uncovered/gap terms (the E15 control arm).
+  bool coverage_weighting = true;
+  std::set<std::size_t> covered;                 ///< production ids exercised
+  std::map<std::size_t, std::size_t> gap_hits;   ///< site id -> hit count
+  bool coverage_enabled() const { return coverage.enabled(); }
 
   const std::string& state_dir() const { return dir_; }
   const std::string& error() const { return error_; }

@@ -81,6 +81,33 @@ std::string flip_case(std::string_view s) {
   return out;
 }
 
+/// Grammar rules a single-step mutation exercises.  The header *name* is a
+/// rule in the HTTP corpus for the standard targets (Host, Content-Length,
+/// Transfer-Encoding, ...), so it is included verbatim; the coverage map
+/// simply drops names outside its cone.
+std::vector<std::string> touched_rules(const AppliedMutation& m) {
+  switch (m.kind) {
+    case MutationKind::kRepeatHeader:
+    case MutationKind::kScBeforeName:
+    case MutationKind::kScAfterName:
+    case MutationKind::kNameCaseVariation:
+      return {"header-field", "field-name", m.header};
+    case MutationKind::kScBeforeValue:
+    case MutationKind::kValueCaseVariation:
+    case MutationKind::kUnicodeInValue:
+    case MutationKind::kObsFoldValue:
+      return {"header-field", "field-value", m.header};
+    case MutationKind::kBareLfTerminator:
+      return {"header-field", m.header};
+    case MutationKind::kVersionSwap:
+    case MutationKind::kVersionCase:
+    case MutationKind::kVersionPunct:
+    case MutationKind::kVersionDrop:
+      return {"HTTP-version", "request-line"};
+  }
+  return {};
+}
+
 }  // namespace
 
 std::string AppliedMutation::describe() const {
@@ -104,6 +131,7 @@ std::vector<Mutant> mutate(const http::RequestSpec& seed,
     if (out.size() >= options.max_mutants) return;
     Mutant mutant;
     mutant.spec = std::move(spec);
+    if (options.record_touched) mutant.touched = touched_rules(m);
     mutant.applied.push_back(std::move(m));
     out.push_back(std::move(mutant));
   };

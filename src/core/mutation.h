@@ -54,6 +54,11 @@ struct AppliedMutation {
 struct Mutant {
   http::RequestSpec spec;
   std::vector<AppliedMutation> applied;
+  /// Grammar rule names this mutant exercises (filled only when
+  /// MutationOptions::record_touched; the campaign maps them onto coverage
+  /// production ids).  Derived from the mutation kind + affected header, so
+  /// it costs a few small strings per mutant and nothing when disabled.
+  std::vector<std::string> touched;
 };
 
 struct MutationOptions {
@@ -62,6 +67,8 @@ struct MutationOptions {
                                              "Transfer-Encoding"};
   std::size_t max_mutants = 64;  ///< cap per seed
   bool include_unicode = true;
+  /// Record Mutant::touched (off on the hot path unless coverage is on).
+  bool record_touched = false;
 };
 
 /// Produce single-step mutants of a seed request (one mutation each; the

@@ -725,6 +725,9 @@ ServeReport Runner::run() {
   if (store_.rounds_completed == 0) {
     campaign::register_seed_entries(store_, config_.campaign);
   }
+  // Workers re-plan from the committed checkpoint, so adopting the coverage
+  // plan here is all it takes for every shard to see identical ids.
+  campaign::adopt_coverage(store_, config_.campaign);
   ready_ = true;
   flight_.record(report_.resumed ? "resume" : "start", store_.rounds_completed,
                  FlightEvent::kNone,

@@ -1,0 +1,152 @@
+// Coverage plan: stable production/site ids, rank ordering, attribution
+// cones, and the byte-class / witness serialization helpers — the static
+// artifact the campaign checkpoint embeds must be a pure function of the
+// grammar and roots.
+#include "analysis/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "abnf/parser.h"
+
+namespace hdiff::analysis {
+namespace {
+
+abnf::Grammar grammar_of(std::string_view text) {
+  std::vector<std::string> errors;
+  abnf::Grammar g = abnf::parse_rulelist(text, "fixture", &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return g;
+}
+
+// Two gap sites with different owners, depths, and leftmost-ness:
+//   a: GL005 FIRST overlap on {'A','a'} (leftmost, depth 1)
+//   b: GL006 terminal overlap on %x50-5A (not leftmost, depth 1)
+// plus `c`, unreachable from `root`.
+constexpr const char* kFixture =
+    "root = a b\n"
+    "a = \"ab\" / \"ac\"\n"
+    "b = %x41-5A / %x50-60\n"
+    "c = \"z\"\n";
+
+TEST(CoveragePlan, ProductionsAreTheNameSortedReachableCone) {
+  const auto plan = build_coverage_plan(grammar_of(kFixture), {"root"});
+  ASSERT_EQ(plan.productions.size(), 3u);
+  EXPECT_EQ(plan.productions[0].name, "a");
+  EXPECT_EQ(plan.productions[1].name, "b");
+  EXPECT_EQ(plan.productions[2].name, "root");
+  EXPECT_EQ(plan.id_of("a"), 0u);
+  EXPECT_EQ(plan.id_of("root"), 2u);
+  EXPECT_EQ(plan.id_of("c"), CoveragePlan::npos);  // outside the cone
+  EXPECT_EQ(plan.productions[2].depth, 0u);
+  EXPECT_EQ(plan.productions[0].depth, 1u);
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(CoveragePlan, LeftmostClosureMarksFirstByteDeciders) {
+  const auto plan = build_coverage_plan(grammar_of(kFixture), {"root"});
+  EXPECT_TRUE(plan.productions[plan.id_of("root")].leftmost);
+  EXPECT_TRUE(plan.productions[plan.id_of("a")].leftmost);
+  // `b` is only reachable after `a` consumed at least one byte.
+  EXPECT_FALSE(plan.productions[plan.id_of("b")].leftmost);
+}
+
+TEST(CoveragePlan, SitesAreRankSortedWithStableIds) {
+  const auto plan = build_coverage_plan(grammar_of(kFixture), {"root"});
+  ASSERT_EQ(plan.sites.size(), 2u);
+  // b's terminal overlap is %x50-5A: 11 bytes x proximity 15 = 165.
+  // a's FIRST overlap is {'A','a'}: 2 bytes x 15 x 2 (leftmost) = 60.
+  EXPECT_EQ(plan.sites[0].rule, "b");
+  EXPECT_EQ(plan.sites[0].kind, 'b');
+  EXPECT_EQ(plan.sites[0].width, 11u);
+  EXPECT_EQ(plan.sites[0].rank, 165u);
+  EXPECT_EQ(plan.sites[1].rule, "a");
+  EXPECT_EQ(plan.sites[1].kind, 'f');
+  EXPECT_EQ(plan.sites[1].width, 2u);
+  EXPECT_EQ(plan.sites[1].rank, 60u);
+  for (std::size_t i = 0; i < plan.sites.size(); ++i) {
+    EXPECT_EQ(plan.sites[i].id, i);
+    EXPECT_EQ(plan.sites[i].rule,
+              plan.productions[plan.sites[i].production].name);
+  }
+}
+
+TEST(CoveragePlan, WitnessBytesAreTheLowestOverlapBytes) {
+  const auto plan = build_coverage_plan(grammar_of(kFixture), {"root"});
+  EXPECT_EQ(plan.sites[0].witness, "PQRS");  // first 4 of %x50-5A
+  EXPECT_EQ(plan.sites[1].witness, "Aa");    // case-insensitive "a"
+}
+
+TEST(CoveragePlan, RelatedConeSpansAncestorsAndDescendants) {
+  const auto plan = build_coverage_plan(grammar_of(kFixture), {"root"});
+  // Both sites: owner + root (ancestor); neither rule has sub-rules.
+  const auto& site_b = plan.sites[0];
+  ASSERT_EQ(site_b.related.size(), 2u);
+  EXPECT_EQ(site_b.related[0], plan.id_of("b"));
+  EXPECT_EQ(site_b.related[1], plan.id_of("root"));
+
+  // A deeper chain: the site owner is mid-tree, so the cone must include
+  // the rules above it AND the subtree below the alternation.
+  const auto deep = build_coverage_plan(
+      grammar_of("top = mid\n"
+                 "mid = sub \"x\" / \"pq\"\n"
+                 "sub = \"p\" leaf\n"
+                 "leaf = \"z\"\n"),
+      {"top"});
+  ASSERT_EQ(deep.sites.size(), 1u);  // mid: FIRST overlap on 'p'
+  EXPECT_EQ(deep.sites[0].rule, "mid");
+  std::vector<std::size_t> want = {deep.id_of("leaf"), deep.id_of("mid"),
+                                   deep.id_of("sub"), deep.id_of("top")};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(deep.sites[0].related, want);
+}
+
+TEST(CoveragePlan, PureFunctionOfGrammarAndRoots) {
+  const auto a = build_coverage_plan(grammar_of(kFixture), {"root"});
+  const auto b = build_coverage_plan(grammar_of(kFixture), {"root"});
+  EXPECT_EQ(a.sig, b.sig);
+  EXPECT_EQ(coverage_plan_sig(a), a.sig);
+
+  // Different roots -> different cone -> different signature.
+  const auto all = build_coverage_plan(grammar_of(kFixture), {});
+  EXPECT_EQ(all.productions.size(), 4u);  // `c` joins as its own root
+  EXPECT_NE(all.sig, a.sig);
+}
+
+TEST(CoveragePlan, UnknownRootsFallBackToEveryRule) {
+  const auto plan = build_coverage_plan(grammar_of(kFixture), {"nope"});
+  EXPECT_EQ(plan.productions.size(), 4u);
+}
+
+TEST(CoverageSerialization, ByteClassHexRoundTrips) {
+  std::bitset<256> bits;
+  bits.set('A');
+  bits.set('a');
+  bits.set(0);
+  bits.set(255);
+  const std::string hex = byte_class_hex(bits);
+  ASSERT_EQ(hex.size(), 64u);
+  std::bitset<256> back;
+  ASSERT_TRUE(parse_byte_class_hex(hex, &back));
+  EXPECT_EQ(back, bits);
+}
+
+TEST(CoverageSerialization, ParseRejectsMalformedHex) {
+  std::bitset<256> out;
+  EXPECT_FALSE(parse_byte_class_hex("abc", &out));              // short
+  EXPECT_FALSE(parse_byte_class_hex(std::string(64, 'g'), &out));  // non-hex
+  EXPECT_TRUE(parse_byte_class_hex(std::string(64, '0'), &out));
+  EXPECT_TRUE(out.none());
+}
+
+TEST(CoverageSerialization, WitnessBytesCapAtFourLowest) {
+  std::bitset<256> bits;
+  for (char c : {'z', 'y', 'c', 'b', 'a', 'd'}) bits.set(c);
+  EXPECT_EQ(witness_bytes(bits), "abcd");
+  EXPECT_EQ(witness_bytes(bits, 2), "ab");
+  EXPECT_EQ(witness_bytes(std::bitset<256>{}), "");
+}
+
+}  // namespace
+}  // namespace hdiff::analysis

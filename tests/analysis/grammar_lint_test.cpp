@@ -156,6 +156,35 @@ TEST(GrammarLint, FirstSetOverlapIsInfo) {
   }
 }
 
+TEST(GrammarLint, FirstOverlapMessageCarriesConcreteWitness) {
+  // The diagnostic must name the actual overlap byte class — the witness a
+  // tester types to reach the ambiguity — not just that one exists.
+  auto diags = lint("a = \"ab\" / \"ac\"\n");
+  for (const auto& d : diags) {
+    if (d.code != "GL005") continue;
+    EXPECT_NE(d.message.find("overlap on 'A' 'a'"), std::string::npos)
+        << d.message;
+    EXPECT_NE(d.message.find("semantic-gap seed"), std::string::npos);
+  }
+}
+
+TEST(GrammarLint, TerminalOverlapMessageCarriesByteRange) {
+  auto diags = lint("a = %x41-5A / %x50-60\n");
+  for (const auto& d : diags) {
+    if (d.code != "GL006") continue;
+    EXPECT_NE(d.message.find("overlap on 'P'-'Z'"), std::string::npos)
+        << d.message;
+  }
+}
+
+TEST(GrammarLint, NonPrintableWitnessRendersAsHex) {
+  auto diags = lint("a = %x00-02 / %x01-03\n");
+  for (const auto& d : diags) {
+    if (d.code != "GL006") continue;
+    EXPECT_NE(d.message.find("0x01-0x02"), std::string::npos) << d.message;
+  }
+}
+
 TEST(GrammarLint, DisjointAlternativesAreClean) {
   auto diags = lint("a = \"bx\" / \"cy\"\n");
   EXPECT_FALSE(has(diags, "GL005"));

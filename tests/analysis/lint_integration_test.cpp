@@ -122,6 +122,22 @@ TEST(LintIntegration, JsonReportCarriesSummaryAndAnalyzers) {
   EXPECT_NE(json.find("\"name\":\"rulebase\""), std::string::npos);
 }
 
+TEST(LintIntegration, JsonReportCarriesRankedGapSites) {
+  // Satellite contract: `hdiff lint --json` exposes the coverage plan's gap
+  // sites with stable ids, the overlap class, and hex witness bytes.
+  auto result = run_lint(grammar_of("a = \"ab\" / \"ac\"\n"),
+                         core::make_builtin_rules(), fixture_options());
+  ASSERT_EQ(result.gap_sites.size(), 1u);
+  EXPECT_EQ(result.gap_sites[0].id, 0u);
+  EXPECT_EQ(result.gap_sites[0].rule, "a");
+  std::string json = lint_json(result);
+  EXPECT_NE(json.find("\"gap_sites\":["), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"first-overlap\""), std::string::npos);
+  // Witness {'A','a'} as lowercase hex pairs.
+  EXPECT_NE(json.find("\"witness\":\"4161\""), std::string::npos);
+}
+
 TEST(LintIntegration, TextReportIsTimingFree) {
   auto result = run_lint(grammar_of("a = a\n"), core::make_builtin_rules(),
                          fixture_options());

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "abnf/parser.h"
+#include "analysis/coverage.h"
 #include "campaign/store.h"
 #include "core/probes.h"
 #include "impls/products.h"
@@ -59,6 +61,23 @@ CampaignConfig make_config(const std::string& dir, std::size_t rounds,
   config.executor.jobs = jobs;
   config.bootstrap = small_bootstrap();
   return config;
+}
+
+// A miniature grammar whose rule names line up with the mutation engine's
+// touched-rule names, so coverage attribution has something to bind to.
+analysis::CoveragePlan coverage_fixture() {
+  std::vector<std::string> errors;
+  abnf::Grammar g = abnf::parse_rulelist(
+      "HTTP-message = request-line *header-field\n"
+      "request-line = \"GET \" HTTP-version\n"
+      "HTTP-version = \"HTTP/1.1\" / \"HTTP/1.0\"\n"
+      "header-field = field-name \":\" field-value\n"
+      "field-name = 1*%x41-5A\n"
+      "field-value = Transfer-Encoding / 1*%x61-7A\n"
+      "Transfer-Encoding = \"chunked\" / \"compress\"\n",
+      "fixture", &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return analysis::build_coverage_plan(g, {"HTTP-message"});
 }
 
 class EngineTest : public ::testing::Test {
@@ -114,6 +133,123 @@ TEST_F(EngineTest, CrashedRoundResumesByteIdentically) {
 
   fs::remove_all(ref_dir);
   fs::remove_all(crash_dir);
+}
+
+TEST_F(EngineTest, CoverageWeightedRunsAreByteIdenticalAcrossJobs) {
+  const std::string dir1 = fresh_dir("cov-jobs1");
+  const std::string dir8 = fresh_dir("cov-jobs8");
+
+  auto config1 = make_config(dir1, 2, 1);
+  auto config8 = make_config(dir8, 2, 8);
+  config1.coverage = coverage_fixture();
+  config8.coverage = coverage_fixture();
+
+  const auto r1 = CampaignEngine(config1).run(fleet_);
+  const auto r8 = CampaignEngine(config8).run(fleet_);
+  ASSERT_TRUE(r1.error.empty()) << r1.error;
+  ASSERT_TRUE(r8.error.empty()) << r8.error;
+  EXPECT_TRUE(r1.coverage_enabled);
+  EXPECT_TRUE(r1.coverage_weighting);
+  EXPECT_GT(r1.coverage_total, 0u);
+  // Every bootstrap probe mutates headers, so header-field coverage is hit
+  // in round 1 at the latest.
+  EXPECT_GT(r1.coverage_covered, 0u);
+  EXPECT_EQ(r1.coverage_covered, r8.coverage_covered);
+  EXPECT_EQ(r1.gap_sites_hit, r8.gap_sites_hit);
+
+  StateStore s1(dir1), s8(dir8);
+  EXPECT_EQ(slurp(s1.state_path()), slurp(s8.state_path()));
+  EXPECT_EQ(slurp(s1.findings_path()), slurp(s8.findings_path()));
+
+  fs::remove_all(dir1);
+  fs::remove_all(dir8);
+}
+
+TEST_F(EngineTest, CoverageCrashedRoundResumesByteIdentically) {
+  const std::string ref_dir = fresh_dir("cov-ref");
+  const std::string crash_dir = fresh_dir("cov-crash");
+
+  auto ref_config = make_config(ref_dir, 2, 1);
+  ref_config.coverage = coverage_fixture();
+  const auto ref = CampaignEngine(ref_config).run(fleet_);
+  ASSERT_TRUE(ref.error.empty()) << ref.error;
+
+  auto crashing = make_config(crash_dir, 2, 1);
+  crashing.coverage = coverage_fixture();
+  crashing.crash_after_round = 1;
+  const auto interrupted = CampaignEngine(crashing).run(fleet_);
+  ASSERT_TRUE(interrupted.error.empty()) << interrupted.error;
+  EXPECT_TRUE(interrupted.interrupted);
+
+  auto resume_config = make_config(crash_dir, 2, 1);
+  resume_config.coverage = coverage_fixture();
+  const auto resumed = CampaignEngine(resume_config).run(fleet_);
+  ASSERT_TRUE(resumed.error.empty()) << resumed.error;
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.coverage_covered, ref.coverage_covered);
+  EXPECT_EQ(resumed.gap_sites_hit, ref.gap_sites_hit);
+
+  StateStore a(ref_dir), b(crash_dir);
+  EXPECT_EQ(slurp(a.state_path()), slurp(b.state_path()));
+  EXPECT_EQ(slurp(a.findings_path()), slurp(b.findings_path()));
+
+  fs::remove_all(ref_dir);
+  fs::remove_all(crash_dir);
+}
+
+TEST_F(EngineTest, PreCoverageCheckpointResumesAndAdoptsThePlan) {
+  // The healed upgrade path: a state dir written before coverage existed
+  // (no cov* keys, same config signature) must resume under a
+  // coverage-aware config, adopting the plan mid-campaign.
+  const std::string dir = fresh_dir("cov-upgrade");
+
+  const auto old = CampaignEngine(make_config(dir, 1, 1)).run(fleet_);
+  ASSERT_TRUE(old.error.empty()) << old.error;
+  EXPECT_FALSE(old.coverage_enabled);
+  {
+    StateStore s(dir);
+    EXPECT_EQ(slurp(s.state_path()).find("cov"), std::string::npos);
+  }
+
+  auto upgraded = make_config(dir, 2, 1);
+  upgraded.coverage = coverage_fixture();
+  const auto resumed = CampaignEngine(upgraded).run(fleet_);
+  ASSERT_TRUE(resumed.error.empty()) << resumed.error;
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_TRUE(resumed.coverage_enabled);
+  EXPECT_GT(resumed.rounds_completed, old.rounds_completed);
+
+  // The adopted plan is now pinned in the checkpoint.
+  StateStore s(dir);
+  ASSERT_TRUE(s.load()) << s.error();
+  EXPECT_TRUE(s.coverage_enabled());
+  EXPECT_EQ(s.coverage.sig, upgraded.coverage.sig);
+
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, AdoptCoverageNeverOverwritesACheckpointPlan) {
+  StateStore store(fresh_dir("cov-adopt"));
+  CampaignConfig config;
+  config.coverage = coverage_fixture();
+  config.coverage.bootstrap_covered = {0};
+
+  adopt_coverage(store, config);
+  ASSERT_TRUE(store.coverage_enabled());
+  EXPECT_EQ(store.covered, config.coverage.bootstrap_covered);
+
+  // Live state diverges; a second adoption (e.g. on resume) must not reset
+  // it — the checkpoint wins.
+  store.covered.insert(3);
+  store.gap_hits[0] = 2;
+  adopt_coverage(store, config);
+  EXPECT_EQ(store.covered.size(), 2u);
+  EXPECT_EQ(store.gap_hits.at(0), 2u);
+
+  // And a coverage-free config never erases an existing plan.
+  CampaignConfig plain;
+  adopt_coverage(store, plain);
+  EXPECT_TRUE(store.coverage_enabled());
 }
 
 TEST_F(EngineTest, EveryFingerprintIsReportedExactlyOnce) {

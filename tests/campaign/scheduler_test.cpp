@@ -97,5 +97,56 @@ TEST(SchedulerTest, EmptyArmListSpendsNothing) {
   EXPECT_TRUE(allocate_budget(10, {}).empty());
 }
 
+TEST(SchedulerTest, ZeroCoverageTermsReduceToLegacyWeight) {
+  // Coverage off must be indistinguishable from the pre-coverage scheduler:
+  // the same integer weight for every (attempts, novel) pair.
+  for (std::size_t attempts : {0u, 1u, 7u, 100u}) {
+    for (std::size_t novel : {0u, 2u, 9u}) {
+      const std::size_t legacy = ((1 + novel) << 16) / (1 + attempts);
+      EXPECT_EQ(arm_weight(ArmView{attempts, novel, 10, 0, 0}), legacy);
+    }
+  }
+}
+
+TEST(SchedulerTest, CoverageTermsBoostWeight) {
+  EXPECT_GT(arm_weight(ArmView{10, 0, 10, 3, 0}),
+            arm_weight(ArmView{10, 0, 10, 0, 0}));
+  EXPECT_GT(arm_weight(ArmView{10, 0, 10, 0, 2}),
+            arm_weight(ArmView{10, 0, 10, 0, 0}));
+  // An uncovered production counts like a novel signature, unit for unit.
+  EXPECT_EQ(arm_weight(ArmView{5, 0, 10, 4, 0}),
+            arm_weight(ArmView{5, 4, 10, 0, 0}));
+}
+
+TEST(SchedulerTest, CoverageWeightedAllocationConservesBudget) {
+  const std::vector<ArmView> arms = {{4, 0, 6, 5, 2},
+                                     {4, 0, 6, 0, 0},
+                                     {0, 0, 3, 1, 1}};
+  const auto alloc = allocate_budget(11, arms);
+  EXPECT_EQ(sum(alloc), 11u);
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    EXPECT_LE(alloc[i], arms[i].capacity);
+  }
+  // The coverage-rich arm outdraws its coverage-blind twin.
+  EXPECT_GT(alloc[0], alloc[1]);
+}
+
+TEST(SchedulerTest, CoverageWeightedCapsStillSpill) {
+  // The boosted arm saturates its tiny capacity; the spill must land on the
+  // others and the total must still be exact.
+  const std::vector<ArmView> arms = {{0, 0, 2, 9, 9},
+                                     {10, 0, 8, 0, 0},
+                                     {10, 0, 8, 0, 0}};
+  const auto alloc = allocate_budget(10, arms);
+  EXPECT_EQ(alloc[0], 2u);
+  EXPECT_EQ(sum(alloc), 10u);
+}
+
+TEST(SchedulerTest, CoverageWeightedTiesBreakTowardLowerIndex) {
+  const std::vector<ArmView> arms(3, ArmView{2, 1, 10, 3, 1});
+  const auto alloc = allocate_budget(4, arms);
+  EXPECT_EQ(alloc, (std::vector<std::size_t>{2, 1, 1}));
+}
+
 }  // namespace
 }  // namespace hdiff::campaign

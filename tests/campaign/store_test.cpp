@@ -12,6 +12,8 @@
 #include <sstream>
 #include <string>
 
+#include "abnf/parser.h"
+#include "analysis/coverage.h"
 #include "campaign/engine.h"
 #include "campaign/fingerprint.h"
 #include "core/probes.h"
@@ -186,6 +188,100 @@ TEST(StoreTest, CommitLoadRoundTripsEveryField) {
   ASSERT_TRUE(loaded.commit_round(0));
   EXPECT_EQ(slurp(loaded.state_path()), before);
 
+  fs::remove_all(dir);
+}
+
+analysis::CoveragePlan fixture_plan() {
+  std::vector<std::string> errors;
+  abnf::Grammar g = abnf::parse_rulelist(
+      "root = a b\n"
+      "a = \"ab\" / \"ac\"\n"
+      "b = %x41-5A / %x50-60\n",
+      "fixture", &errors);
+  EXPECT_TRUE(errors.empty());
+  auto plan = analysis::build_coverage_plan(g, {"root"});
+  plan.bootstrap_covered = {plan.id_of("root")};
+  return plan;
+}
+
+TEST(StoreTest, CoverageBlockRoundTripsThroughTheCheckpoint) {
+  const std::string dir = fresh_dir("coverage");
+  StateStore store(dir);
+  ASSERT_TRUE(store.init("cfg"));
+  store.coverage = fixture_plan();
+  store.coverage_weighting = false;  // the non-default must survive
+  store.covered = store.coverage.bootstrap_covered;
+  store.covered.insert(0);
+  store.gap_hits[1] = 7;
+  ASSERT_TRUE(store.commit_round(0)) << store.error();
+
+  StateStore loaded(dir);
+  ASSERT_TRUE(loaded.load()) << loaded.error();
+  ASSERT_TRUE(loaded.coverage_enabled());
+  EXPECT_FALSE(loaded.coverage_weighting);
+  EXPECT_EQ(loaded.coverage.sig, store.coverage.sig);
+  ASSERT_EQ(loaded.coverage.productions.size(),
+            store.coverage.productions.size());
+  ASSERT_EQ(loaded.coverage.sites.size(), store.coverage.sites.size());
+  for (std::size_t i = 0; i < loaded.coverage.sites.size(); ++i) {
+    const auto& got = loaded.coverage.sites[i];
+    const auto& want = store.coverage.sites[i];
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_EQ(got.rule, want.rule);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.overlap, want.overlap);
+    EXPECT_EQ(got.witness, want.witness);
+    EXPECT_EQ(got.rank, want.rank);
+    EXPECT_EQ(got.related, want.related);  // the attribution cone
+  }
+  EXPECT_EQ(loaded.coverage.bootstrap_covered,
+            store.coverage.bootstrap_covered);
+  EXPECT_EQ(loaded.covered, store.covered);
+  EXPECT_EQ(loaded.gap_hits, store.gap_hits);
+
+  // Recommitting the loaded image must reproduce the state bytes exactly —
+  // the resume contract.
+  const std::string committed = slurp(store.state_path());
+  ASSERT_TRUE(loaded.commit_round(0)) << loaded.error();
+  EXPECT_EQ(slurp(loaded.state_path()), committed);
+  EXPECT_NE(committed.find("covsig=" + store.coverage.sig),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, PreCoverageCheckpointLoadsWithCoverageDisabled) {
+  // Checkpoints written before the coverage map existed carry no cov*
+  // keys; they must keep loading, with coverage reported as disabled.
+  const std::string dir = fresh_dir("precov");
+  StateStore store(dir);
+  ASSERT_TRUE(store.init("cfg"));
+  ASSERT_TRUE(store.commit_round(0)) << store.error();
+  EXPECT_EQ(slurp(store.state_path()).find("cov"), std::string::npos);
+
+  StateStore loaded(dir);
+  ASSERT_TRUE(loaded.load()) << loaded.error();
+  EXPECT_FALSE(loaded.coverage_enabled());
+  EXPECT_TRUE(loaded.covered.empty());
+  EXPECT_TRUE(loaded.gap_hits.empty());
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, CovsiteRejectsOutOfRangeReferences) {
+  // A covsite naming a production id beyond the covprod list must be
+  // refused at load, whether as the owner or in the attribution cone.
+  const std::string dir = fresh_dir("badcov");
+  StateStore store(dir);
+  ASSERT_TRUE(store.init("cfg"));
+  ASSERT_TRUE(store.commit_round(0)) << store.error();
+  {
+    std::ofstream out(store.state_path(), std::ios::binary);
+    out << "hdiff-campaign-state-v1\nconfig_sig=cfg\nrounds_completed=1\n"
+        << "covsig=x\ncovweight=1\ncovprod=0 1 root\n"
+        << "covsite=9 1 2 f " << std::string(64, '0') << " 5\n";
+  }
+  StateStore loaded(dir);
+  EXPECT_FALSE(loaded.load());
+  EXPECT_NE(loaded.error().find("covsite"), std::string::npos);
   fs::remove_all(dir);
 }
 

@@ -184,14 +184,17 @@ int usage() {
       "                               stays unready > 2 heartbeat intervals\n"
       "  campaign run|resume|status|minimize --state-dir DIR\n"
       "           [--rounds N] [--budget N] [--jobs N] [--json FILE]\n"
-      "           [--mini] [--no-minimize]\n"
+      "           [--mini] [--no-minimize] [--no-coverage]\n"
       "                               persistent fuzzing campaign with\n"
-      "                               divergence-feedback scheduling,\n"
-      "                               finding dedup, delta-debug minimized\n"
-      "                               corpus growth and checkpoint/resume\n"
+      "                               divergence-feedback + grammar-coverage\n"
+      "                               scheduling (--no-coverage disables the\n"
+      "                               static coverage map), finding dedup,\n"
+      "                               delta-debug minimized corpus growth\n"
+      "                               and checkpoint/resume\n"
       "  serve --state-dir DIR [--rounds N] [--budget N] [--jobs N]\n"
       "        [--shards N] [--port P] [--port-file FILE] [--mini]\n"
-      "        [--no-minimize] [--heartbeat-ms N] [--quarantine-after K]\n"
+      "        [--no-minimize] [--no-coverage] [--heartbeat-ms N]\n"
+      "        [--quarantine-after K]\n"
       "        [--in-process] [--metrics-out FILE] [--trace-out FILE]\n"
       "                               supervised campaign daemon: sharded\n"
       "                               worker processes, crash restart with\n"
@@ -1237,6 +1240,43 @@ std::vector<hdiff::core::TestCase> one_shot_corpus() {
   return std::move(pipeline.run(empty).executed_cases);
 }
 
+/// The campaign's static coverage plan (DESIGN.md §14): the lint's grammar +
+/// roots, so production/site ids match `hdiff lint --json` exactly.  With
+/// `with_bootstrap_cone`, a tapped generator dry-runs the default ABNF
+/// targets (the rules round 0's generated corpus derives from) and the
+/// rules it expands seed the covered set — mini/probe bootstraps exercise
+/// no grammar rules and get an empty cone.  Cached: the plan is a pure
+/// function of the built-in corpus.
+const hdiff::analysis::CoveragePlan& campaign_coverage_plan(
+    bool with_bootstrap_cone) {
+  static const auto build = [](bool cone) {
+    hdiff::core::DocumentationAnalyzer analyzer;
+    auto analysis = analyzer.analyze(hdiff::corpus::http_core_documents());
+    auto plan =
+        hdiff::analysis::build_coverage_plan(analysis.grammar, lint_roots());
+    if (cone) {
+      hdiff::abnf::Generator gen(analysis.grammar);
+      hdiff::abnf::load_default_http_predefined(gen);
+      std::set<std::string> tapped;
+      gen.set_coverage_tap(&tapped);
+      for (const auto& target : hdiff::core::default_abnf_targets()) {
+        gen.enumerate(target.rule, 64);
+      }
+      gen.set_coverage_tap(nullptr);
+      for (const auto& name : tapped) {
+        const std::size_t id = plan.id_of(name);
+        if (id != hdiff::analysis::CoveragePlan::npos) {
+          plan.bootstrap_covered.insert(id);
+        }
+      }
+    }
+    return plan;
+  };
+  static const hdiff::analysis::CoveragePlan with_cone = build(true);
+  static const hdiff::analysis::CoveragePlan without_cone = build(false);
+  return with_bootstrap_cone ? with_cone : without_cone;
+}
+
 void print_campaign_report(const hdiff::campaign::CampaignReport& report) {
   if (!report.rounds.empty()) {
     hdiff::report::Table t({"round", "cases", "replayed", "novel", "dup",
@@ -1257,6 +1297,27 @@ void print_campaign_report(const hdiff::campaign::CampaignReport& report) {
       report.corpus_entries == 1 ? "y" : "ies", report.retry_depth,
       report.resumed ? " (resumed)" : "",
       report.interrupted ? " (interrupted)" : "");
+  if (report.coverage_enabled) {
+    const double pct =
+        report.coverage_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(report.coverage_covered) /
+                  static_cast<double>(report.coverage_total);
+    std::printf(
+        "coverage: %zu/%zu production(s) (%.1f%%), %zu/%zu gap site(s) "
+        "hit%s\n",
+        report.coverage_covered, report.coverage_total, pct,
+        report.gap_sites_hit, report.gap_sites_total,
+        report.coverage_weighting ? "" : " (tracking only)");
+    for (const auto& site : report.top_unhit) {
+      std::printf("  unhit gap site #%zu: %s alts %zu/%zu (%s, rank %zu) "
+                  "overlap %s\n",
+                  site.id, site.rule.c_str(), site.alt_a, site.alt_b,
+                  site.kind == 'b' ? "byte-overlap" : "first-overlap",
+                  site.rank,
+                  hdiff::analysis::format_byte_class(site.overlap).c_str());
+    }
+  }
 }
 
 int cmd_campaign(int argc, char** argv) {
@@ -1265,11 +1326,14 @@ int cmd_campaign(int argc, char** argv) {
   std::string state_dir, json_path;
   hdiff::campaign::CampaignConfig config;
   bool mini = false;
+  bool no_coverage = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mini") == 0) {
       mini = true;
     } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
       config.minimize_new = false;
+    } else if (std::strcmp(argv[i], "--no-coverage") == 0) {
+      no_coverage = true;
     } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
       state_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -1350,6 +1414,9 @@ int cmd_campaign(int argc, char** argv) {
   config.state_dir = state_dir;
   config.bootstrap =
       mini ? hdiff::core::verification_probes() : one_shot_corpus();
+  // Coverage plan excluded from the config signature: a pre-coverage state
+  // dir resumes cleanly (its checkpoint simply has no plan to honor).
+  if (!no_coverage) config.coverage = campaign_coverage_plan(!mini);
   hdiff::campaign::CampaignEngine engine(std::move(config));
   auto report = engine.run(fleet);
   if (!report.error.empty()) {
@@ -1391,6 +1458,10 @@ int selftest_campaign(std::size_t jobs) {
     config.minimize.max_steps = 128;
     config.executor.jobs = jobs == 0 ? 1 : jobs;
     config.bootstrap = hdiff::core::verification_probes();
+    // Coverage on (probe bootstrap = empty cone): the byte-identity proof
+    // below covers the checkpoint's coverage block and the coverage-biased
+    // schedule too.
+    config.coverage = campaign_coverage_plan(false);
     return config;
   };
   auto read_bytes = [](const std::string& path) {
@@ -1592,6 +1663,7 @@ int cmd_serve(int argc, char** argv) {
   hdiff::serve::ServeConfig config;
   bool mini = false;
   bool in_process = false;
+  bool no_coverage = false;
   std::string port_file;
   std::string metrics_out, trace_out;
   for (int i = 2; i < argc; ++i) {
@@ -1599,6 +1671,8 @@ int cmd_serve(int argc, char** argv) {
       mini = true;
     } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
       config.campaign.minimize_new = false;
+    } else if (std::strcmp(argv[i], "--no-coverage") == 0) {
+      no_coverage = true;
     } else if (std::strcmp(argv[i], "--in-process") == 0) {
       in_process = true;  // inline execution, no child processes
     } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
@@ -1656,6 +1730,9 @@ int cmd_serve(int argc, char** argv) {
   }
   config.campaign.bootstrap =
       mini ? hdiff::core::verification_probes() : one_shot_corpus();
+  // Workers plan from the committed checkpoint, which carries the adopted
+  // plan — no worker flag needed (and none exists, by design).
+  if (!no_coverage) config.campaign.coverage = campaign_coverage_plan(!mini);
   if (!in_process) config.worker_binary = self_exe_path();
   // Workers rebuild the campaign config from these flags; the config
   // signature check catches any drift.
@@ -1927,6 +2004,9 @@ int selftest_serve(std::size_t jobs) {
     config.budget_per_round = 24;
     config.executor.jobs = jobs == 0 ? 1 : jobs;
     config.bootstrap = hdiff::core::verification_probes();
+    // Coverage on: the byte-identity comparisons below prove the sharded
+    // coverage-weighted schedule matches the single-process reference.
+    config.coverage = campaign_coverage_plan(false);
     return config;
   };
   auto read_bytes = [](const std::string& path) {

@@ -1,0 +1,48 @@
+#!/bin/sh
+# clang-tidy gate over the hdiff C++ sources — the compiled-code companion
+# to `hdiff lint` (which checks the ABNF corpus).  Checks come from the
+# repo's .clang-tidy; the compile flags come from the build directory's
+# compile_commands.json (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON,
+# which the `tidy` CMake preset and HDIFF_TIDY do for you).
+#
+# Usage: tools/run_tidy.sh [BUILD_DIR] [FILE...]
+#   BUILD_DIR  directory holding compile_commands.json (default: build)
+#   FILE...    sources to check (default: every .cpp under src/ and tools/)
+#
+# Exit codes: 0 clean, 1 findings, 77 skipped (no clang-tidy on PATH or no
+# compile database) — ctest maps 77 to SKIP, so the gate degrades gracefully
+# on machines without the LLVM toolchain instead of failing the build.
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd) || exit 1
+build_dir="${1:-build}"
+[ "$#" -gt 0 ] && shift
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run_tidy: '$tidy' not on PATH; skipping (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 77
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy: $build_dir/compile_commands.json missing; skipping" >&2
+  echo "run_tidy: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (or the 'tidy' preset)" >&2
+  exit 77
+fi
+
+cd "$repo_root" || exit 1
+if [ "$#" -gt 0 ]; then
+  files="$*"
+else
+  files=$(find src tools -name '*.cpp' | LC_ALL=C sort)
+fi
+[ -n "$files" ] || { echo "run_tidy: nothing to check" >&2; exit 77; }
+
+echo "run_tidy: $(command -v "$tidy") over $(echo "$files" | wc -w) file(s)"
+status=0
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+"$tidy" -p "$build_dir" --quiet $files || status=1
+exit $status
