@@ -13,6 +13,8 @@
 #include "http/header_util.h"
 #include "net/chain.h"
 #include "report/json.h"
+#include "stream/detect.h"
+#include "stream/mutate.h"
 
 namespace hdiff::campaign {
 namespace {
@@ -109,6 +111,32 @@ std::string mutant_provenance(const std::string& entry_hash,
   return "mutant:" + entry_hash + ":" + std::string(kind);
 }
 
+std::string stream_mutant_provenance(const std::string& entry_hash,
+                                     std::string_view kind) {
+  return "stream-mutant:" + entry_hash + ":" + std::string(kind);
+}
+
+/// Stream seeds to use: config's, or the built-in defaults.  Resolved here
+/// (not in the engine ctor) so config_sig, seed registration and the serve
+/// worker's plan all agree without pre-normalizing the config.
+const std::vector<stream::StreamSeed>& resolved_stream_seeds(
+    const CampaignConfig& config) {
+  return config.stream_seeds.empty() ? stream::default_stream_seeds()
+                                     : config.stream_seeds;
+}
+
+/// All single-application stream mutants of an entry, grouped by kind in
+/// deterministic emission order.
+std::map<std::string, std::vector<stream::StreamMutant>>
+stream_variants_by_kind(const stream::RequestStream& s) {
+  std::map<std::string, std::vector<stream::StreamMutant>> grouped;
+  for (auto& mutant : stream::stream_mutants(s)) {
+    const std::string kind(to_string(mutant.applied.kind));
+    grouped[kind].push_back(std::move(mutant));
+  }
+  return grouped;
+}
+
 /// Canonical signature-set key used by the minimizer oracle ("does the
 /// candidate still reproduce every original signature?").
 std::set<std::string> canonical_set(const std::vector<Signature>& sigs) {
@@ -124,6 +152,18 @@ bool parse_mutant_provenance(const std::string& prov, std::string* hash,
   const std::size_t colon = prov.find(':', 7);
   if (colon == std::string::npos) return false;
   *hash = prov.substr(7, colon - 7);
+  *kind = prov.substr(colon + 1);
+  return !hash->empty() && !kind->empty();
+}
+
+/// Same for "stream-mutant:<hash>:<kind>".
+bool parse_stream_mutant_provenance(const std::string& prov, std::string* hash,
+                                    std::string* kind) {
+  constexpr std::size_t kPrefix = 14;  // "stream-mutant:"
+  if (prov.rfind("stream-mutant:", 0) != 0) return false;
+  const std::size_t colon = prov.find(':', kPrefix);
+  if (colon == std::string::npos) return false;
+  *hash = prov.substr(kPrefix, colon - kPrefix);
   *kind = prov.substr(colon + 1);
   return !hash->empty() && !kind->empty();
 }
@@ -166,6 +206,16 @@ std::string campaign_config_sig(const CampaignConfig& config) {
   for (const auto& tc : config.bootstrap) {
     acc += "|case:" + tc.uuid + ":" + hex64(tc.raw);
   }
+  // Stream fields join the preimage only when the feature is on: a campaign
+  // without streams keeps the exact signature it had before the stream
+  // subsystem existed, so its state dirs resume untouched.
+  if (config.streams) {
+    acc += "|streams=1";
+    acc += "|sbudget=" + std::to_string(config.stream_budget_per_round);
+    for (const auto& s : resolved_stream_seeds(config)) {
+      acc += "|sseed:" + s.name + ":" + stream_content_address(s.stream);
+    }
+  }
   return hex64(acc);
 }
 
@@ -178,6 +228,18 @@ void register_seed_entries(StateStore& store, const CampaignConfig& config) {
     entry.provenance = "seed:" + s.name;
     entry.spec = s.spec;
     store.add_entry(std::move(entry));
+  }
+}
+
+void register_stream_seed_entries(StateStore& store,
+                                  const CampaignConfig& config) {
+  if (!config.streams) return;
+  for (const auto& s : resolved_stream_seeds(config)) {
+    StreamEntry entry;
+    entry.hash = stream_content_address(s.stream);
+    entry.provenance = "stream-seed:" + s.name;
+    entry.stream = s.stream;
+    store.add_stream_entry(std::move(entry));
   }
 }
 
@@ -209,14 +271,30 @@ RoundPlan plan_round(StateStore& store, const CampaignConfig& config,
     pc.tc.origin = core::TestOrigin::kMutation;
     pc.provenance = r.provenance;
     pc.spec_text = r.spec_text;
-    if (!r.spec_text.empty()) deserialize_spec(r.spec_text, &pc.spec);
     std::string hash, kind;
-    if (parse_mutant_provenance(r.provenance, &hash, &kind)) {
-      for (std::size_t e = 0; e < store.entries.size(); ++e) {
-        if (store.entries[e].hash == hash) {
-          pc.arm_entry = e;
-          pc.arm_kind = kind;
-          break;
+    if (stream::is_stream_text(r.spec_text)) {
+      // A quarantined stream case: rebuild the message structure so the
+      // replay goes back through observe_stream, and re-attribute its arm
+      // against the stream corpus.
+      pc.is_stream = stream::deserialize_stream(r.spec_text, &pc.stream);
+      if (parse_stream_mutant_provenance(r.provenance, &hash, &kind)) {
+        for (std::size_t e = 0; e < store.stream_entries.size(); ++e) {
+          if (store.stream_entries[e].hash == hash) {
+            pc.arm_entry = e;
+            pc.arm_kind = kind;
+            break;
+          }
+        }
+      }
+    } else {
+      if (!r.spec_text.empty()) deserialize_spec(r.spec_text, &pc.spec);
+      if (parse_mutant_provenance(r.provenance, &hash, &kind)) {
+        for (std::size_t e = 0; e < store.entries.size(); ++e) {
+          if (store.entries[e].hash == hash) {
+            pc.arm_entry = e;
+            pc.arm_kind = kind;
+            break;
+          }
         }
       }
     }
@@ -314,6 +392,88 @@ RoundPlan plan_round(StateStore& store, const CampaignConfig& config,
     }
     stats.cursor += counts[a];
   }
+
+  // ---- stream shapes (src/stream) ------------------------------------------
+  if (config.streams && !store.stream_entries.empty()) {
+    // Round 1 observes every stream seed whole — the connection-level
+    // bootstrap — so seed-representable divergences are filed before any
+    // mutation budget is spent.
+    if (round == 1) {
+      for (const auto& entry : store.stream_entries) {
+        if (entry.provenance.rfind("stream-seed:", 0) != 0) continue;
+        PlannedCase pc;
+        pc.tc.uuid = "camp-r" + std::to_string(round) + "-" +
+                     std::to_string(planned.size());
+        pc.tc.raw = entry.stream.to_wire();
+        pc.tc.description = entry.provenance;
+        pc.tc.origin = core::TestOrigin::kMutation;
+        pc.provenance = entry.provenance;
+        pc.is_stream = true;
+        pc.stream = entry.stream;
+        pc.spec_text = stream::serialize_stream(entry.stream);
+        planned.push_back(std::move(pc));
+      }
+    }
+    // Divergence-feedback schedule over (stream entry x stream kind) arms,
+    // using the same deterministic apportionment as the single-request
+    // budget but over its own arm table and its own budget.
+    struct StreamArmPlan {
+      std::size_t entry;
+      std::string kind;
+      std::vector<stream::StreamMutant>* variants;
+    };
+    std::vector<StreamArmPlan> sarm_plans;
+    std::vector<ArmView> sviews;
+    std::vector<std::map<std::string, std::vector<stream::StreamMutant>>>
+        svariants;
+    svariants.reserve(store.stream_entries.size());
+    for (const auto& entry : store.stream_entries) {
+      svariants.push_back(stream_variants_by_kind(entry.stream));
+    }
+    for (std::size_t e = 0; e < store.stream_entries.size(); ++e) {
+      for (stream::StreamMutationKind kind :
+           stream::all_stream_mutation_kinds()) {
+        const std::string kind_name(to_string(kind));
+        auto it = svariants[e].find(kind_name);
+        if (it == svariants[e].end() || it->second.empty()) continue;
+        const ArmStats& sstats = store.stream_arms[{e, kind_name}];
+        ArmView view;
+        view.attempts = sstats.attempts;
+        view.novel = sstats.novel;
+        view.capacity = it->second.size();
+        sviews.push_back(view);
+        sarm_plans.push_back({e, kind_name, &it->second});
+      }
+    }
+    const std::vector<std::size_t> scounts =
+        allocate_budget(config.stream_budget_per_round, sviews);
+    for (std::size_t a = 0; a < sarm_plans.size(); ++a) {
+      if (scounts[a] == 0) continue;
+      ArmStats& sstats =
+          store.stream_arms[{sarm_plans[a].entry, sarm_plans[a].kind}];
+      const auto& variants = *sarm_plans[a].variants;
+      for (std::size_t j = 0; j < scounts[a]; ++j) {
+        const stream::StreamMutant& mutant =
+            variants[(sstats.cursor + j) % variants.size()];
+        PlannedCase pc;
+        pc.tc.uuid = "camp-r" + std::to_string(round) + "-" +
+                     std::to_string(planned.size());
+        pc.tc.raw = mutant.stream.to_wire();
+        pc.tc.description = mutant.applied.describe();
+        pc.tc.origin = core::TestOrigin::kMutation;
+        pc.provenance = stream_mutant_provenance(
+            store.stream_entries[sarm_plans[a].entry].hash,
+            sarm_plans[a].kind);
+        pc.arm_entry = sarm_plans[a].entry;
+        pc.arm_kind = sarm_plans[a].kind;
+        pc.is_stream = true;
+        pc.stream = mutant.stream;
+        pc.spec_text = stream::serialize_stream(mutant.stream);
+        planned.push_back(std::move(pc));
+      }
+      sstats.cursor += scounts[a];
+    }
+  }
   return plan;
 }
 
@@ -343,9 +503,17 @@ ExecutedRound execute_round(const CampaignConfig& config,
     index_map.resize(planned.size());
     std::iota(index_map.begin(), index_map.end(), std::size_t{0});
   }
+  // Stream cases take the connection-level observation path; everything
+  // else goes through the parallel single-request executor.  The partition
+  // preserves index order on both sides.
+  std::vector<std::size_t> regular;
+  std::vector<std::size_t> stream_cases;
+  for (std::size_t idx : index_map) {
+    (planned[idx].is_stream ? stream_cases : regular).push_back(idx);
+  }
   std::vector<core::TestCase> cases;
-  cases.reserve(index_map.size());
-  for (std::size_t idx : index_map) cases.push_back(planned[idx].tc);
+  cases.reserve(regular.size());
+  for (std::size_t idx : regular) cases.push_back(planned[idx].tc);
 
   core::ExecutorConfig ec = config.executor;
   ec.shared_memo = memo;
@@ -353,13 +521,42 @@ ExecutedRound execute_round(const CampaignConfig& config,
   if (!ec.obs.enabled()) ec.obs = config.obs;
   ec.on_delta = [&](std::size_t index, const core::TestCase&,
                     const core::DetectionResult& delta, bool q) {
-    CaseOutcome& oc = out.outcomes[index_map[index]];
+    CaseOutcome& oc = out.outcomes[regular[index]];
     oc.executed = true;
     oc.quarantined = q;
     if (!q) oc.signatures = signatures_of(delta);
   };
   core::ParallelExecutor executor(ec);
   out.total = executor.run(chain, cases, &out.stats);
+
+  // Stream observations run serially in ascending index order: a round's
+  // stream budget is small, each observation is memoized at the model-call
+  // level through the shared verdict cache, and serial execution makes the
+  // outcome trivially independent of `jobs` — the byte-identity the
+  // selftest proves.
+  if (!stream_cases.empty()) {
+    const stream::StreamDetector detector(chain);
+    const obs::StreamObs strack = obs::StreamObs::from(ec.obs);
+    const obs::StreamObs* track = strack.active() ? &strack : nullptr;
+    const int max_attempts = std::max(1, config.executor.retry.attempts);
+    for (std::size_t idx : stream_cases) {
+      const PlannedCase& pc = planned[idx];
+      CaseOutcome& oc = out.outcomes[idx];
+      oc.executed = true;
+      const std::vector<std::string> wires = pc.stream.wires();
+      net::StreamObservation sobs;
+      for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        sobs = chain.observe_stream(pc.tc.uuid, wires, /*echo=*/nullptr,
+                                    verdicts, track);
+        if (!sobs.faulted()) break;
+      }
+      if (sobs.faulted()) {
+        oc.quarantined = true;
+        continue;
+      }
+      oc.signatures = signatures_of_stream(detector.evaluate(sobs, track));
+    }
+  }
   return out;
 }
 
@@ -413,7 +610,8 @@ RoundReport integrate_round(StateStore& store, const CampaignConfig& config,
     }
     ArmStats* arm = nullptr;
     if (pc.arm_entry != static_cast<std::size_t>(-1)) {
-      arm = &store.arms[{pc.arm_entry, pc.arm_kind}];
+      arm = pc.is_stream ? &store.stream_arms[{pc.arm_entry, pc.arm_kind}]
+                         : &store.arms[{pc.arm_entry, pc.arm_kind}];
       ++arm->attempts;
     }
     // Coverage feedback: an executed (non-quarantined) case marks its
@@ -446,6 +644,23 @@ RoundReport integrate_round(StateStore& store, const CampaignConfig& config,
                       "_total")
             .add(1);
       }
+    }
+    // An interesting stream mutant joins the stream corpus unminimized:
+    // the delta-debug minimizer's oracle replays single requests, and a
+    // stream's interestingness lives in the relation *between* messages —
+    // the drop-message operator is the stream-level shrinking move, applied
+    // by later rounds through the arm scheduler instead.
+    if (interesting && pc.is_stream) {
+      const std::string hash = stream_content_address(pc.stream);
+      if (!store.has_stream_entry(hash)) {
+        StreamEntry entry;
+        entry.hash = hash;
+        entry.provenance = pc.provenance;
+        entry.stream = pc.stream;
+        store.add_stream_entry(std::move(entry));
+        ++rr.new_entries;
+      }
+      continue;
     }
     // An interesting mutant becomes a new mutation seed: minimize it,
     // then store it content-addressed (idempotent on replay).
@@ -497,6 +712,10 @@ void emit_round_metrics(const obs::Observability& obs, const RoundReport& rr,
       .set(static_cast<std::int64_t>(store.entries.size()));
   m.gauge("hdiff_campaign_findings")
       .set(static_cast<std::int64_t>(store.findings.size()));
+  if (!store.stream_entries.empty()) {
+    m.gauge("hdiff_campaign_stream_entries")
+        .set(static_cast<std::int64_t>(store.stream_entries.size()));
+  }
   if (store.coverage_enabled()) {
     m.gauge("hdiff_campaign_coverage_productions_covered")
         .set(static_cast<std::int64_t>(store.covered.size()));
@@ -568,7 +787,10 @@ CampaignReport CampaignEngine::run(
   // Seed entries are (re-)registered on every fresh start: add_entry is
   // idempotent, and a crash before the round-0 commit leaves a checkpoint
   // with no entries, healed here on resume.
-  if (store.rounds_completed == 0) register_seed_entries(store, config_);
+  if (store.rounds_completed == 0) {
+    register_seed_entries(store, config_);
+    register_stream_seed_entries(store, config_);
+  }
   adopt_coverage(store, config_);
 
   net::Chain chain = net::Chain::from_fleet(fleet);
@@ -609,6 +831,7 @@ CampaignReport CampaignEngine::run(
       report.rounds_completed = store.rounds_completed;
       report.total_findings = store.findings.size();
       report.corpus_entries = store.entries.size();
+      report.stream_entries = store.stream_entries.size();
       report.retry_depth = store.retry_queue.size();
       fill_coverage_report(report, store);
       return report;
@@ -622,6 +845,7 @@ CampaignReport CampaignEngine::run(
   report.rounds_completed = store.rounds_completed;
   report.total_findings = store.findings.size();
   report.corpus_entries = store.entries.size();
+  report.stream_entries = store.stream_entries.size();
   report.retry_depth = store.retry_queue.size();
   fill_coverage_report(report, store);
   return report;
@@ -644,6 +868,7 @@ CampaignReport CampaignEngine::status(const std::string& state_dir) {
   report.rounds_completed = store.rounds_completed;
   report.total_findings = store.findings.size();
   report.corpus_entries = store.entries.size();
+  report.stream_entries = store.stream_entries.size();
   report.retry_depth = store.retry_queue.size();
   for (std::size_t r = 0; r < store.rounds_completed; ++r) {
     RoundReport rr;
@@ -716,6 +941,8 @@ std::string campaign_report_json(const CampaignReport& report) {
   w.key("findings").value(static_cast<std::uint64_t>(report.total_findings));
   w.key("corpus_entries")
       .value(static_cast<std::uint64_t>(report.corpus_entries));
+  w.key("stream_entries")
+      .value(static_cast<std::uint64_t>(report.stream_entries));
   w.key("retry_depth").value(static_cast<std::uint64_t>(report.retry_depth));
   w.key("resumed").value(report.resumed);
   w.key("interrupted").value(report.interrupted);

@@ -36,6 +36,7 @@
 #include "core/testcase.h"
 #include "impls/model.h"
 #include "obs/obs.h"
+#include "stream/seeds.h"
 
 namespace hdiff::campaign {
 
@@ -64,6 +65,17 @@ struct CampaignConfig {
   std::vector<core::TestCase> bootstrap;
   /// Initial mutation seeds.  Empty = default_campaign_seeds().
   std::vector<SeedSpec> seeds;
+
+  /// Connection-level stream fuzzing (src/stream).  When enabled, round 1
+  /// observes every stream seed whole, and later rounds spend
+  /// `stream_budget_per_round` across (stream entry x StreamMutationKind)
+  /// arms on top of the single-request budget.  The stream fields join the
+  /// config signature only when `streams` is true, so existing state dirs
+  /// resume untouched by the feature's existence.
+  bool streams = false;
+  /// Initial stream seeds.  Empty = stream::default_stream_seeds().
+  std::vector<stream::StreamSeed> stream_seeds;
+  std::size_t stream_budget_per_round = 16;
 
   /// Static coverage plan to adopt on fresh starts (DESIGN.md §14).  Empty
   /// = coverage off.  Excluded from campaign_config_sig like jobs/rounds:
@@ -99,6 +111,7 @@ struct CampaignReport {
   std::size_t rounds_completed = 0;
   std::size_t total_findings = 0;
   std::size_t corpus_entries = 0;
+  std::size_t stream_entries = 0;    ///< stream-corpus members (0 = off)
   std::size_t retry_depth = 0;       ///< retry queue length at exit
   bool resumed = false;              ///< picked up an existing checkpoint
   bool interrupted = false;          ///< stopped by crash_after_round
@@ -166,6 +179,12 @@ struct PlannedCase {
   /// ids whose overlap class its injected payload intersects.
   std::vector<std::size_t> cov_ids;
   std::vector<std::size_t> gap_ids;
+  /// Stream cases: observed via Chain::observe_stream and evaluated by the
+  /// stream::StreamDetector family instead of the single-request path.
+  /// `tc.raw` holds the concatenated wire (so sharding and memo keys need
+  /// no special casing); `spec_text` holds serialize_stream().
+  bool is_stream = false;
+  stream::RequestStream stream;
 };
 
 struct RoundPlan {
@@ -224,6 +243,11 @@ RoundReport integrate_round(StateStore& store, const CampaignConfig& config,
 /// (Re-)register the config's mutation seeds as corpus entries; idempotent,
 /// called on every fresh start (rounds_completed == 0).
 void register_seed_entries(StateStore& store, const CampaignConfig& config);
+
+/// Stream counterpart: register the config's stream seeds (or the
+/// defaults) as stream-corpus entries.  No-op unless `config.streams`.
+void register_stream_seed_entries(StateStore& store,
+                                  const CampaignConfig& config);
 
 /// Adopt the config's coverage plan into the store.  A checkpoint that
 /// already carries a plan wins (resume byte-identity); a config without a

@@ -68,6 +68,18 @@ std::vector<Signature> signatures_of(const core::DetectionResult& delta) {
   return out;
 }
 
+std::vector<Signature> signatures_of_stream(
+    const stream::StreamDetectionResult& result) {
+  std::vector<Signature> out;
+  for (const auto& f : result.findings) {
+    Signature sig;
+    sig.detector = f.detector;
+    sig.vector = f.components;
+    out.push_back(std::move(sig));
+  }
+  return out;
+}
+
 std::string hex64(std::string_view bytes) {
   // FNV-1a 64-bit; mirrors core::fnv1a64 but kept local so the campaign
   // library's key format is frozen independently of executor internals.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/detect.h"
+#include "stream/detect.h"
 
 namespace hdiff::campaign {
 
@@ -38,6 +39,13 @@ struct Signature {
 /// deduplicated, so the result is independent of map iteration accidents
 /// and of the case's uuid.
 std::vector<Signature> signatures_of(const core::DetectionResult& delta);
+
+/// Stream counterpart: the stream detectors already emit one finding per
+/// detector class with sorted, uuid-free components, so the mapping is
+/// direct — detector name becomes the signature's detector ("stream-*"
+/// classes never collide with the single-request ones).
+std::vector<Signature> signatures_of_stream(
+    const stream::StreamDetectionResult& result);
 
 /// Stable fingerprint key: FNV-1a64 over `canonical(signature) + "#" +
 /// provenance`, rendered as 16 lowercase hex digits.  Provenance is part of

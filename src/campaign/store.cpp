@@ -68,32 +68,6 @@ std::size_t to_size(const std::string& s) {
 
 }  // namespace
 
-// Empty strings hex-encode to zero bytes, which would vanish under
-// space-tokenization; "-" marks them explicitly.
-std::string field_enc(std::string_view s) {
-  return s.empty() ? std::string("-") : core::hex_encode(s);
-}
-
-bool field_dec(std::string_view token, std::string* out) {
-  if (token == "-") {
-    out->clear();
-    return true;
-  }
-  return core::hex_decode(token, out);
-}
-
-std::vector<std::string> split_fields(std::string_view line) {
-  std::vector<std::string> out;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && line[i] == ' ') ++i;
-    std::size_t start = i;
-    while (i < line.size() && line[i] != ' ') ++i;
-    if (i > start) out.emplace_back(line.substr(start, i - start));
-  }
-  return out;
-}
-
 bool write_file_atomic_durable(const std::string& path,
                                std::string_view content) {
   const std::string tmp = path + ".tmp";
@@ -114,62 +88,12 @@ bool write_file_atomic_durable(const std::string& path,
   return fsync_parent_dir(path);
 }
 
-std::string serialize_spec(const http::RequestSpec& spec) {
-  std::string out = "spec-v1\n";
-  out += "method=" + field_enc(spec.method) + "\n";
-  out += "target=" + field_enc(spec.target) + "\n";
-  out += "version=" + field_enc(spec.version) + "\n";
-  out += "sep1=" + field_enc(spec.sep1) + "\n";
-  out += "sep2=" + field_enc(spec.sep2) + "\n";
-  out += "eol=" + field_enc(spec.line_terminator) + "\n";
-  out += "end=" + field_enc(spec.headers_terminator) + "\n";
-  out += "body=" + field_enc(spec.body) + "\n";
-  for (const auto& h : spec.headers) {
-    out += "h=" + field_enc(h.name) + " " + field_enc(h.value) + " " + field_enc(h.separator) +
-           " " + field_enc(h.terminator) + "\n";
-  }
-  return out;
-}
-
-bool deserialize_spec(std::string_view text, http::RequestSpec* out) {
-  *out = http::RequestSpec{};
-  out->headers.clear();
-  std::istringstream in{std::string(text)};
-  std::string line;
-  if (!std::getline(in, line) || line != "spec-v1") return false;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) return false;
-    const std::string key = line.substr(0, eq);
-    const std::string rest = line.substr(eq + 1);
-    if (key == "h") {
-      auto tokens = split_fields(rest);
-      if (tokens.size() != 4) return false;
-      http::HeaderSpec h;
-      if (!field_dec(tokens[0], &h.name) || !field_dec(tokens[1], &h.value) ||
-          !field_dec(tokens[2], &h.separator) || !field_dec(tokens[3], &h.terminator))
-        return false;
-      out->headers.push_back(std::move(h));
-      continue;
-    }
-    std::string* field = nullptr;
-    if (key == "method") field = &out->method;
-    else if (key == "target") field = &out->target;
-    else if (key == "version") field = &out->version;
-    else if (key == "sep1") field = &out->sep1;
-    else if (key == "sep2") field = &out->sep2;
-    else if (key == "eol") field = &out->line_terminator;
-    else if (key == "end") field = &out->headers_terminator;
-    else if (key == "body") field = &out->body;
-    else return false;
-    if (!field_dec(rest, field)) return false;
-  }
-  return true;
-}
-
 std::string content_address(const http::RequestSpec& spec) {
   return hex64(serialize_spec(spec));
+}
+
+std::string stream_content_address(const stream::RequestStream& s) {
+  return hex64(stream::serialize_stream(s));
 }
 
 std::string finding_jsonl(const Finding& f) {
@@ -198,6 +122,9 @@ std::string StateStore::findings_path() const {
 }
 std::string StateStore::corpus_path(const std::string& hash) const {
   return dir_ + "/corpus/" + hash + ".case";
+}
+std::string StateStore::stream_corpus_path(const std::string& hash) const {
+  return dir_ + "/corpus/" + hash + ".stream";
 }
 std::string StateStore::lock_path() const { return dir_ + "/lock"; }
 
@@ -287,6 +214,31 @@ bool StateStore::has_entry(const std::string& hash) const {
   return entry_hashes_.count(hash) > 0;
 }
 
+bool StateStore::write_stream_corpus_file(const StreamEntry& entry) {
+  if (!write_file_atomic_durable(stream_corpus_path(entry.hash),
+                                 stream::serialize_stream(entry.stream))) {
+    error_ = "cannot write " + stream_corpus_path(entry.hash);
+    return false;
+  }
+  return true;
+}
+
+std::size_t StateStore::add_stream_entry(StreamEntry entry) {
+  if (stream_entry_hashes_.count(entry.hash)) {
+    for (std::size_t i = 0; i < stream_entries.size(); ++i) {
+      if (stream_entries[i].hash == entry.hash) return i;
+    }
+  }
+  write_stream_corpus_file(entry);
+  stream_entry_hashes_.insert(entry.hash);
+  stream_entries.push_back(std::move(entry));
+  return stream_entries.size() - 1;
+}
+
+bool StateStore::has_stream_entry(const std::string& hash) const {
+  return stream_entry_hashes_.count(hash) > 0;
+}
+
 void StateStore::add_finding(Finding f) {
   fingerprints_.insert(f.fingerprint);
   std::ofstream out(findings_path(), std::ios::binary | std::ios::app);
@@ -337,8 +289,16 @@ std::string StateStore::render_state() const {
   for (const auto& e : entries) {
     out += "entry=" + e.hash + " " + field_enc(e.provenance) + "\n";
   }
+  for (const auto& e : stream_entries) {
+    out += "sentry=" + e.hash + " " + field_enc(e.provenance) + "\n";
+  }
   for (const auto& [key, stats] : arms) {
     out += "arm=" + std::to_string(key.first) + " " + key.second + " " +
+           std::to_string(stats.attempts) + " " + std::to_string(stats.novel) +
+           " " + std::to_string(stats.cursor) + "\n";
+  }
+  for (const auto& [key, stats] : stream_arms) {
+    out += "sarm=" + std::to_string(key.first) + " " + key.second + " " +
            std::to_string(stats.attempts) + " " + std::to_string(stats.novel) +
            " " + std::to_string(stats.cursor) + "\n";
   }
@@ -360,9 +320,12 @@ std::string StateStore::render_state() const {
 bool StateStore::parse_state(std::string_view text) {
   entries.clear();
   arms.clear();
+  stream_entries.clear();
+  stream_arms.clear();
   retry_queue.clear();
   findings.clear();
   entry_hashes_.clear();
+  stream_entry_hashes_.clear();
   fingerprints_.clear();
   coverage = {};
   coverage_weighting = true;
@@ -458,17 +421,34 @@ bool StateStore::parse_state(std::string_view text) {
       }
       entry_hashes_.insert(e.hash);
       entries.push_back(std::move(e));
-    } else if (key == "arm") {
+    } else if (key == "sentry") {
+      auto tokens = split_fields(rest);
+      StreamEntry e;
+      if (tokens.size() != 2 || !field_dec(tokens[1], &e.provenance)) {
+        error_ = "bad sentry line: " + line;
+        return false;
+      }
+      e.hash = tokens[0];
+      std::string stream_text;
+      if (!read_file(stream_corpus_path(e.hash), &stream_text) ||
+          !stream::deserialize_stream(stream_text, &e.stream)) {
+        error_ = "cannot load stream entry " + stream_corpus_path(e.hash);
+        return false;
+      }
+      stream_entry_hashes_.insert(e.hash);
+      stream_entries.push_back(std::move(e));
+    } else if (key == "arm" || key == "sarm") {
       auto tokens = split_fields(rest);
       if (tokens.size() != 5) {
-        error_ = "bad arm line: " + line;
+        error_ = "bad " + key + " line: " + line;
         return false;
       }
       ArmStats stats;
       stats.attempts = to_size(tokens[2]);
       stats.novel = to_size(tokens[3]);
       stats.cursor = to_size(tokens[4]);
-      arms[{to_size(tokens[0]), tokens[1]}] = stats;
+      auto& table = key == "arm" ? arms : stream_arms;
+      table[{to_size(tokens[0]), tokens[1]}] = stats;
     } else if (key == "retry") {
       auto tokens = split_fields(rest);
       RetryEntry r;

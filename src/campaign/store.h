@@ -16,6 +16,10 @@
 //                                 (same content -> same bytes at the same
 //                                 path), so replaying an interrupted round
 //                                 rewrites them identically.
+//   <state-dir>/corpus/<h>.stream one request *stream* per file (stream
+//                                 seeds and interesting stream mutants),
+//                                 serialize_stream form, same idempotent
+//                                 content-addressed discipline.
 //   <state-dir>/findings.jsonl    append-only JSON-lines artifact, one
 //                                 finding per line, round-tagged.  Lines for
 //                                 rounds newer than the checkpoint (a crash
@@ -50,7 +54,9 @@
 #include <vector>
 
 #include "analysis/coverage.h"
+#include "core/specwire.h"
 #include "http/serialize.h"
+#include "stream/model.h"
 
 namespace hdiff::campaign {
 
@@ -61,6 +67,16 @@ struct CorpusEntry {
   std::string hash;        ///< content address of the serialized spec
   std::string provenance;
   http::RequestSpec spec;
+};
+
+/// One stream-corpus member: a connection-level seed ("stream-seed:<name>")
+/// or an interesting stream mutant ("stream-mutant:<seed-hash>:<kind>"),
+/// stored as corpus/<hash>.stream in serialize_stream form so splice/
+/// reorder/duplicate/drop operators can keep working on it in later rounds.
+struct StreamEntry {
+  std::string hash;  ///< content address of the serialized stream
+  std::string provenance;
+  stream::RequestStream stream;
 };
 
 /// One deduplicated finding (see campaign/fingerprint.h for the key).
@@ -93,23 +109,24 @@ struct ArmStats {
   std::size_t cursor = 0;    ///< next variant index (rotation)
 };
 
-/// Canonical text form of a spec (field-per-line, hex payloads).  The
-/// corpus file format and the content-address preimage.
-std::string serialize_spec(const http::RequestSpec& spec);
-bool deserialize_spec(std::string_view text, http::RequestSpec* out);
+// The line-based wire helpers (field encoding, spec serialization) moved
+// down to core/specwire.h so src/stream can use them without a dependency
+// cycle; the campaign names stay valid for every existing call site.
+using core::deserialize_spec;
+using core::field_dec;
+using core::field_enc;
+using core::serialize_spec;
+using core::split_fields;
 
 /// Content address: fingerprint-format hash of `serialize_spec(spec)`.
 /// Keyed on the serialized spec rather than the wire bytes so two specs
 /// that happen to concatenate to the same wire form keep distinct files.
 std::string content_address(const http::RequestSpec& spec);
 
-/// Space-safe field encoding shared by every line-based campaign file
-/// (checkpoint, shard results): hex for non-empty payloads, "-" for the
-/// empty string (zero hex bytes would vanish under space-tokenization).
-std::string field_enc(std::string_view s);
-bool field_dec(std::string_view token, std::string* out);
-/// Split a line into its space-separated fields.
-std::vector<std::string> split_fields(std::string_view line);
+/// Content address of a stream: hash of `serialize_stream(stream)` — keyed
+/// on the per-message structure, so two streams whose messages concatenate
+/// to identical wire bytes keep distinct corpus files.
+std::string stream_content_address(const stream::RequestStream& stream);
 
 /// Durable tmp+rename publish: writes `path + ".tmp"`, fsyncs it, renames
 /// it over `path`, and fsyncs the parent directory so the rename itself
@@ -157,6 +174,11 @@ class StateStore {
   std::size_t add_entry(CorpusEntry entry);
   bool has_entry(const std::string& hash) const;
 
+  /// Stream-corpus counterpart of add_entry/has_entry (writes
+  /// corpus/<hash>.stream; idempotent).
+  std::size_t add_stream_entry(StreamEntry entry);
+  bool has_stream_entry(const std::string& hash) const;
+
   /// Record a finding and append its JSON line to findings.jsonl.  The
   /// jsonl append happens before the checkpoint rename; a crash in between
   /// is healed by load()'s truncation.
@@ -173,6 +195,12 @@ class StateStore {
   std::size_t rounds_completed = 0;  ///< committed rounds (round 0 = first)
   std::vector<CorpusEntry> entries;
   std::map<std::pair<std::size_t, std::string>, ArmStats> arms;
+  /// Stream corpus and its (stream entry x StreamMutationKind) arms.  Both
+  /// serialize as their own checkpoint keys (sentry=/sarm=), so a campaign
+  /// without streams renders a byte-identical checkpoint to one built
+  /// before the stream subsystem existed.
+  std::vector<StreamEntry> stream_entries;
+  std::map<std::pair<std::size_t, std::string>, ArmStats> stream_arms;
   std::vector<RetryEntry> retry_queue;
   std::vector<Finding> findings;
   /// Static coverage plan (DESIGN.md §14), serialized into the checkpoint
@@ -194,10 +222,12 @@ class StateStore {
   std::string state_path() const;
   std::string findings_path() const;
   std::string corpus_path(const std::string& hash) const;
+  std::string stream_corpus_path(const std::string& hash) const;
   std::string lock_path() const;
 
  private:
   bool write_corpus_file(const CorpusEntry& entry);
+  bool write_stream_corpus_file(const StreamEntry& entry);
   std::string render_state() const;
   bool parse_state(std::string_view text);
   bool truncate_findings() const;
@@ -206,6 +236,7 @@ class StateStore {
   std::string error_;
   int lock_fd_ = -1;
   std::set<std::string> entry_hashes_;
+  std::set<std::string> stream_entry_hashes_;
   std::set<std::string> fingerprints_;
 };
 

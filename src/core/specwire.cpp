@@ -1,0 +1,89 @@
+#include "core/specwire.h"
+
+#include <sstream>
+
+#include "core/export.h"
+
+namespace hdiff::core {
+
+// Empty strings hex-encode to zero bytes, which would vanish under
+// space-tokenization; "-" marks them explicitly.
+std::string field_enc(std::string_view s) {
+  return s.empty() ? std::string("-") : hex_encode(s);
+}
+
+bool field_dec(std::string_view token, std::string* out) {
+  if (token == "-") {
+    out->clear();
+    return true;
+  }
+  return hex_decode(token, out);
+}
+
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string serialize_spec(const http::RequestSpec& spec) {
+  std::string out = "spec-v1\n";
+  out += "method=" + field_enc(spec.method) + "\n";
+  out += "target=" + field_enc(spec.target) + "\n";
+  out += "version=" + field_enc(spec.version) + "\n";
+  out += "sep1=" + field_enc(spec.sep1) + "\n";
+  out += "sep2=" + field_enc(spec.sep2) + "\n";
+  out += "eol=" + field_enc(spec.line_terminator) + "\n";
+  out += "end=" + field_enc(spec.headers_terminator) + "\n";
+  out += "body=" + field_enc(spec.body) + "\n";
+  for (const auto& h : spec.headers) {
+    out += "h=" + field_enc(h.name) + " " + field_enc(h.value) + " " + field_enc(h.separator) +
+           " " + field_enc(h.terminator) + "\n";
+  }
+  return out;
+}
+
+bool deserialize_spec(std::string_view text, http::RequestSpec* out) {
+  *out = http::RequestSpec{};
+  out->headers.clear();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "spec-v1") return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = line.substr(0, eq);
+    const std::string rest = line.substr(eq + 1);
+    if (key == "h") {
+      auto tokens = split_fields(rest);
+      if (tokens.size() != 4) return false;
+      http::HeaderSpec h;
+      if (!field_dec(tokens[0], &h.name) || !field_dec(tokens[1], &h.value) ||
+          !field_dec(tokens[2], &h.separator) || !field_dec(tokens[3], &h.terminator))
+        return false;
+      out->headers.push_back(std::move(h));
+      continue;
+    }
+    std::string* field = nullptr;
+    if (key == "method") field = &out->method;
+    else if (key == "target") field = &out->target;
+    else if (key == "version") field = &out->version;
+    else if (key == "sep1") field = &out->sep1;
+    else if (key == "sep2") field = &out->sep2;
+    else if (key == "eol") field = &out->line_terminator;
+    else if (key == "end") field = &out->headers_terminator;
+    else if (key == "body") field = &out->body;
+    else return false;
+    if (!field_dec(rest, field)) return false;
+  }
+  return true;
+}
+
+}  // namespace hdiff::core

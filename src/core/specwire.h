@@ -1,0 +1,35 @@
+// Line-based wire formats for buildable request specs.
+//
+// The campaign checkpoint, the corpus files, the serve shard results and
+// the stream corpus (src/stream) all share one serialization discipline:
+// line-based text, space-separated fields, hex-encoded payloads so NUL/CTL
+// bytes survive and the files diff cleanly under version control.  The
+// helpers live in core (below both campaign and stream) so the stream
+// subsystem can serialize per-message specs without depending on the
+// campaign store that persists them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/serialize.h"
+
+namespace hdiff::core {
+
+/// Space-safe field encoding shared by every line-based campaign/stream
+/// file (checkpoint, shard results, stream corpus): hex for non-empty
+/// payloads, "-" for the empty string (zero hex bytes would vanish under
+/// space-tokenization).
+std::string field_enc(std::string_view s);
+bool field_dec(std::string_view token, std::string* out);
+
+/// Split a line into its space-separated fields.
+std::vector<std::string> split_fields(std::string_view line);
+
+/// Canonical text form of a spec (field-per-line, hex payloads).  The
+/// corpus file format and the content-address preimage.
+std::string serialize_spec(const http::RequestSpec& spec);
+bool deserialize_spec(std::string_view text, http::RequestSpec* out);
+
+}  // namespace hdiff::core

@@ -47,6 +47,8 @@
 
 namespace hdiff::net {
 
+struct StreamObservation;  // net/stream.h
+
 /// The echo server: records every request forwarded by a proxy, exactly as
 /// received, for later replay analysis (paper §IV-A).
 ///
@@ -251,6 +253,20 @@ class Chain {
                            EchoServer* echo = nullptr,
                            VerdictCache* cache = nullptr,
                            const obs::ChainObs* track = nullptr) const;
+
+  /// Connection-level observation (net/stream.h): feed an ordered message
+  /// sequence into every implementation's connection automaton, keeping the
+  /// connection open across messages, and record per-message *and*
+  /// per-connection state — request boundaries, response queue, stranded
+  /// leftover bytes, early close.  `echo` records each proxy's concatenated
+  /// forwarded stream; `cache` memoizes the underlying model calls; fault
+  /// semantics match `observe` (a ChainFault aborts the whole stream, which
+  /// returns with `fault` set and no traces).  Defined in net/stream.cpp.
+  StreamObservation observe_stream(std::string_view uuid,
+                                   const std::vector<std::string>& messages,
+                                   EchoServer* echo = nullptr,
+                                   VerdictCache* cache = nullptr,
+                                   const obs::StreamObs* track = nullptr) const;
 
   const std::vector<const impls::HttpImplementation*>& proxies() const {
     return proxies_;

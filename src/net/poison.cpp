@@ -70,6 +70,28 @@ CpdosDemo demonstrate_cpdos(const impls::HttpImplementation& front,
   return demo;
 }
 
+QueueShift classify_queue_shift(const impls::HttpImplementation& back,
+                                std::string_view stranded,
+                                std::string_view victim_bytes) {
+  QueueShift shift;
+  shift.victim_target = http::lex_request(victim_bytes).line.target;
+
+  // The back-end's connection buffer: the stranded remainder, then the
+  // victim's bytes.  Its next response answers whatever parses first.
+  std::string connection_bytes(stranded);
+  connection_bytes += victim_bytes;
+  impls::ServerVerdict next = back.parse_request(connection_bytes);
+  shift.next_status = next.status;
+  shift.answered_for = http::lex_request(connection_bytes).line.target;
+
+  if (next.accepted() && shift.answered_for != shift.victim_target) {
+    shift.displaced = true;
+  } else if (!next.accepted()) {
+    shift.desync = true;
+  }
+  return shift;
+}
+
 SmuggleDemo demonstrate_smuggling(const impls::HttpImplementation& front,
                                   const impls::HttpImplementation& back,
                                   std::string_view attack_request,
@@ -93,29 +115,22 @@ SmuggleDemo demonstrate_smuggling(const impls::HttpImplementation& front,
     demo.narrative = "victim request rejected by the front-end";
     return demo;
   }
-  http::RawRequest victim_lexed =
-      http::lex_request(victim_forward.forwarded_bytes);
-  demo.victim_target = victim_lexed.line.target;
 
-  // The back-end's connection buffer: the stranded remainder, then the
-  // victim's bytes.  Its next response answers whatever parses first.
-  std::string connection_bytes = attack_backend.leftover;
-  connection_bytes += victim_forward.forwarded_bytes;
-  impls::ServerVerdict next = back.parse_request(connection_bytes);
-  http::RawRequest first_lexed = http::lex_request(connection_bytes);
-  demo.victim_answered_for = first_lexed.line.target;
-  http::RawRequest smuggled_lexed = http::lex_request(attack_backend.leftover);
-  demo.smuggled_target = smuggled_lexed.line.target;
+  const QueueShift shift = classify_queue_shift(
+      back, attack_backend.leftover, victim_forward.forwarded_bytes);
+  demo.victim_target = shift.victim_target;
+  demo.victim_answered_for = shift.answered_for;
+  demo.smuggled_target = http::lex_request(attack_backend.leftover).line.target;
 
-  if (next.accepted() && demo.victim_answered_for != demo.victim_target) {
+  if (shift.displaced) {
     demo.exploitable = true;
     demo.narrative = "back-end answers the victim with the response for '" +
                      demo.victim_answered_for + "' instead of '" +
                      demo.victim_target + "' — response queue poisoned";
-  } else if (!next.accepted()) {
+  } else if (shift.desync) {
     demo.narrative =
         "remainder desynchronizes the connection (back-end answers " +
-        std::to_string(next.status) + ") — denial of service, not hijack";
+        std::to_string(shift.next_status) + ") — denial of service, not hijack";
   } else {
     demo.narrative = "remainder did not displace the victim's request";
   }

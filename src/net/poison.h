@@ -60,6 +60,30 @@ CpdosDemo demonstrate_cpdos(const impls::HttpImplementation& front,
                             std::string_view attack_request,
                             std::string_view victim_request);
 
+/// How a stranded connection remainder shifts the back-end's response
+/// queue once a victim's request lands behind it.  The single
+/// response-queue-poisoning classifier: `demonstrate_smuggling` (the
+/// paper's §III-D end-game) and the stream queue-poison detector
+/// (src/stream/detect) both call this instead of each reimplementing the
+/// prefix-parse logic.
+struct QueueShift {
+  /// The back-end's next response answers a different target than the
+  /// victim asked for — the response queue is poisoned (hijack).
+  bool displaced = false;
+  /// The stranded remainder desynchronizes the connection instead (the
+  /// back-end errors on the combined bytes): denial of service, not hijack.
+  bool desync = false;
+  std::string victim_target;       ///< what the victim asked for
+  std::string answered_for;        ///< what the back-end answered first
+  int next_status = 0;             ///< status of the back-end's next parse
+};
+
+/// Prepend `stranded` (a back-end's unconsumed connection remainder) to the
+/// victim's bytes and classify what the back-end's next response answers.
+QueueShift classify_queue_shift(const impls::HttpImplementation& back,
+                                std::string_view stranded,
+                                std::string_view victim_bytes);
+
 /// Outcome of an HRS response-queue poisoning end-game.
 struct SmuggleDemo {
   bool exploitable = false;

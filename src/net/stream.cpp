@@ -1,0 +1,140 @@
+#include "net/stream.h"
+
+#include <utility>
+
+#include "http/lexer.h"
+
+namespace hdiff::net {
+
+std::string ProxyStreamTrace::forwarded_stream() const {
+  std::string out;
+  for (const auto& f : forwarded) out += f;
+  return out;
+}
+
+ConnectionTrace run_connection(const impls::HttpImplementation& backend,
+                               const std::vector<std::string>& messages,
+                               VerdictCache* cache) {
+  ConnectionTrace trace;
+  trace.impl = std::string(backend.name());
+  std::string buffer;
+  for (const auto& message : messages) {
+    if (trace.early_close) break;
+    ++trace.delivered;
+    buffer += message;
+    trace.blocked = false;
+    while (!buffer.empty() && !trace.early_close) {
+      impls::ServerVerdict local;
+      const impls::ServerVerdict* v;
+      if (cache != nullptr) {
+        v = &cache->parse(backend, buffer);
+      } else {
+        local = backend.parse_request(buffer);
+        v = &local;
+      }
+      if (v->incomplete) {
+        // Parser blocked mid-message: wait for the next message's bytes.
+        trace.blocked = true;
+        break;
+      }
+      // A verdict that consumes nothing (leftover at least as long as the
+      // buffer) would loop forever; treat it as blocked so the trace stays
+      // finite whatever a model's leftover semantics turn out to be.
+      if (v->leftover.size() >= buffer.size()) {
+        trace.blocked = true;
+        break;
+      }
+      trace.consumed += buffer.size() - v->leftover.size();
+      trace.boundaries.push_back(trace.consumed);
+      trace.statuses.push_back(v->status);
+      trace.targets.push_back(http::lex_request(buffer).line.target);
+      if (v->close_connection) trace.early_close = true;
+      buffer = v->leftover;
+    }
+  }
+  trace.leftover = std::move(buffer);
+  return trace;
+}
+
+StreamObservation Chain::observe_stream(std::string_view uuid,
+                                        const std::vector<std::string>& messages,
+                                        EchoServer* echo, VerdictCache* cache,
+                                        const obs::StreamObs* track) const {
+  if (track && !track->active()) track = nullptr;
+
+  StreamObservation obs;
+  obs.uuid.assign(uuid);
+  obs.messages = messages;
+  for (const auto& m : messages) obs.wire += m;
+
+  // Echo records are buffered like Chain::observe's: a stream aborted
+  // mid-flight by a ChainFault must leave no partial forwards in the log.
+  std::vector<std::pair<std::string, std::string>> pending_echo;
+
+  const std::uint64_t t0 = track ? track->now() : 0;
+  try {
+    // Direct connections: the raw stream into every back-end.
+    for (const auto* backend : backends_) {
+      obs.direct.emplace(std::string(backend->name()),
+                         run_connection(*backend, messages, cache));
+    }
+    // Proxies forward message-by-message; each (proxy, back-end) pair gets
+    // the back-end automaton run over the forwarded stream.
+    for (const auto* proxy : proxies_) {
+      ProxyStreamTrace pt;
+      pt.impl = std::string(proxy->name());
+      for (const auto& message : messages) {
+        impls::ProxyVerdict local;
+        const impls::ProxyVerdict* v;
+        if (cache != nullptr) {
+          v = &cache->forward(*proxy, message);
+        } else {
+          local = proxy->forward_request(message);
+          v = &local;
+        }
+        if (v->forwarded()) {
+          pt.forwarded.push_back(v->forwarded_bytes);
+        } else {
+          ++pt.rejected;
+          if (pt.first_reject_status == 0) pt.first_reject_status = v->status;
+        }
+      }
+      if (!pt.forwarded.empty()) {
+        if (echo) pending_echo.emplace_back(pt.impl, pt.forwarded_stream());
+        for (const auto* backend : backends_) {
+          obs.relayed.emplace(pair_key(pt.impl, backend->name()),
+                              run_connection(*backend, pt.forwarded, cache));
+        }
+      }
+      obs.proxies.emplace(pt.impl, std::move(pt));
+    }
+  } catch (const ChainFault& fault) {
+    obs.direct.clear();
+    obs.proxies.clear();
+    obs.relayed.clear();
+    obs.fault = fault.error();
+    obs.fault_detail = fault.what();
+    if (track && track->observe_us) {
+      track->observe_us->observe(track->now() - t0);
+    }
+    return obs;
+  }
+  if (track) {
+    const std::uint64_t t1 = track->now();
+    if (track->observe_us) track->observe_us->observe(t1 - t0);
+    if (track->messages) track->messages->observe(messages.size());
+    if (track->streams) track->streams->add(1);
+    if (track->trace) {
+      track->trace->complete("stream", "chain", t0, t1 - t0, "messages",
+                             std::to_string(messages.size()));
+    }
+  }
+  if (echo) {
+    for (auto& [proxy, bytes] : pending_echo) {
+      echo->record(obs.uuid, std::move(proxy), std::move(bytes));
+    }
+  }
+  return obs;
+}
+
+}  // namespace hdiff::net

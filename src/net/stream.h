@@ -1,0 +1,112 @@
+// Connection-level stream observation: the request *stream* as a test unit.
+//
+// Single-request observation (chain.h) asks "what does each implementation
+// make of these bytes?".  The smuggling class the paper targets is exploited
+// one level up: on a persistent connection, the bytes one implementation
+// leaves unconsumed become the *next* request's prefix, so two parsers that
+// both accept a message but disagree on where it ends answer different
+// request sequences from the same byte stream.  `Chain::observe_stream`
+// makes that state first-class: it feeds an ordered message sequence into
+// every implementation's connection automaton and records, per connection,
+// where each request boundary landed, how many responses were produced,
+// which targets were answered, and what was left stranded in the buffer.
+//
+// The connection automaton per back-end follows the model semantics audited
+// in impls/model.cpp:
+//   * `ServerVerdict::leftover` is the unconsumed suffix — the next
+//     request's prefix;
+//   * `incomplete` means the parser is blocked awaiting more bytes (and
+//     leftover is cleared), so the automaton waits for the next message;
+//   * `close_connection` (including every >= 400 rejection) tears the
+//     connection down: later messages are never delivered and whatever is
+//     still buffered is stranded.
+//
+// Proxies forward message-by-message (the model proxies are per-request
+// forwarders); each (proxy, back-end) pair then gets a *relayed* connection
+// trace — the back-end automaton run over the proxy's forwarded stream —
+// which is where response-queue poisoning becomes visible: the proxy
+// expects one response per forwarded request, the back-end may produce more
+// (a stranded remainder parsed as an extra request) or fewer.
+//
+// Thread-safety matches `Chain::observe`: everything is const over
+// deterministic models, `EchoServer`/`VerdictCache` are internally
+// synchronized, so concurrent `observe_stream` calls are safe.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/chain.h"
+#include "obs/obs.h"
+
+namespace hdiff::net {
+
+/// One implementation's connection automaton run over a message sequence.
+struct ConnectionTrace {
+  std::string impl;
+  /// Cumulative consumed-byte offset after each parsed request — the
+  /// request boundaries this parser saw in the stream.  Two traces with
+  /// different vectors split the same bytes into different messages.
+  std::vector<std::size_t> boundaries;
+  /// Status answered for each parsed request (index-aligned with
+  /// `boundaries`).
+  std::vector<int> statuses;
+  /// Request target answered for each parsed request — the response queue
+  /// as the back-end built it.
+  std::vector<std::string> targets;
+  std::size_t consumed = 0;   ///< total bytes consumed as requests
+  std::string leftover;       ///< bytes still buffered at end of stream
+  bool early_close = false;   ///< connection torn down before the stream end
+  bool blocked = false;       ///< ended awaiting more bytes (incomplete)
+  std::size_t delivered = 0;  ///< messages fed before any early close
+
+  std::size_t responses() const noexcept { return statuses.size(); }
+};
+
+/// One proxy's view of the stream: per-message forward/reject outcomes.
+struct ProxyStreamTrace {
+  std::string impl;
+  /// Forwarded bytes per *accepted* message, in stream order.
+  std::vector<std::string> forwarded;
+  std::size_t rejected = 0;      ///< messages the proxy refused to forward
+  int first_reject_status = 0;
+
+  /// The byte stream the back-end connection actually receives.
+  std::string forwarded_stream() const;
+};
+
+/// Everything observed for one request stream across the topology.
+struct StreamObservation {
+  std::string uuid;
+  std::vector<std::string> messages;
+  std::string wire;  ///< concatenated message bytes
+
+  /// Direct connection: the raw stream into each back-end (key: name).
+  std::map<std::string, ConnectionTrace> direct;
+  /// Per-proxy forwarding outcomes (key: proxy name).
+  std::map<std::string, ProxyStreamTrace> proxies;
+  /// Relayed connection: the back-end automaton over the proxy's forwarded
+  /// stream (key: "proxy->backend"; pairs whose proxy forwarded nothing are
+  /// absent).
+  std::map<std::string, ConnectionTrace> relayed;
+
+  /// Harness fault channel, same contract as ChainObservation: anything but
+  /// kNone means the traces are empty and the stream must be retried or
+  /// quarantined.
+  ChainError fault = ChainError::kNone;
+  std::string fault_detail;
+
+  bool faulted() const noexcept { return fault != ChainError::kNone; }
+};
+
+/// Run one back-end's connection automaton over `messages`.  `cache`, when
+/// provided, memoizes the per-buffer parse calls (deterministic either
+/// way).  Throws ChainFault through from fault-injected models.
+ConnectionTrace run_connection(const impls::HttpImplementation& backend,
+                               const std::vector<std::string>& messages,
+                               VerdictCache* cache = nullptr);
+
+}  // namespace hdiff::net

@@ -59,6 +59,59 @@ struct ChainObs {
   }
 };
 
+/// Per-run hooks for connection-level stream observation (net/stream.h)
+/// and the stream detectors (src/stream): one registry lookup per run,
+/// relaxed increments per stream.  The counters ride worker registry
+/// snapshots into the merged `hdiff serve` /metrics view like every other
+/// hdiff_* metric.
+struct StreamObs {
+  TraceSink* trace = nullptr;
+  Histogram* observe_us = nullptr;  ///< hdiff_stream_observe_micros
+  Histogram* messages = nullptr;    ///< hdiff_stream_messages_per_connection
+  Counter* streams = nullptr;       ///< hdiff_stream_observations_total
+  Counter* boundary_desync = nullptr;  ///< hdiff_stream_boundary_desync_total
+  Counter* queue_poison = nullptr;     ///< hdiff_stream_queue_poison_total
+  Counter* leftover_divergence =
+      nullptr;  ///< hdiff_stream_leftover_divergence_total
+  const Clock* clock = nullptr;
+
+  bool active() const noexcept { return trace || observe_us || streams; }
+  std::uint64_t now() const noexcept { return clock->now_us(); }
+
+  static StreamObs from(const Observability& o) {
+    StreamObs s;
+    s.trace = o.trace;
+    s.clock = &o.effective_clock();
+    if (o.metrics) {
+      o.metrics->help("hdiff_stream_observe_micros",
+                      "Whole stream observation latency (us)");
+      o.metrics->help("hdiff_stream_messages_per_connection",
+                      "Messages delivered per observed connection");
+      o.metrics->help("hdiff_stream_boundary_desync_total",
+                      "Stream findings: implementations split the stream at "
+                      "different request boundaries");
+      o.metrics->help("hdiff_stream_queue_poison_total",
+                      "Stream findings: forwarded-request vs response-queue "
+                      "mismatch on a proxy->backend connection");
+      o.metrics->help("hdiff_stream_observations_total",
+                      "Request streams observed end to end");
+      o.metrics->help("hdiff_stream_leftover_divergence_total",
+                      "Stream findings: implementations end the stream with "
+                      "different stranded buffer bytes");
+      s.observe_us = &o.metrics->histogram("hdiff_stream_observe_micros");
+      s.messages =
+          &o.metrics->histogram("hdiff_stream_messages_per_connection");
+      s.streams = &o.metrics->counter("hdiff_stream_observations_total");
+      s.boundary_desync =
+          &o.metrics->counter("hdiff_stream_boundary_desync_total");
+      s.queue_poison = &o.metrics->counter("hdiff_stream_queue_poison_total");
+      s.leftover_divergence =
+          &o.metrics->counter("hdiff_stream_leftover_divergence_total");
+    }
+    return s;
+  }
+};
+
 /// Per-loop hooks for the nonblocking batch driver (net::EventLoop): one
 /// registry lookup per loop construction, relaxed increments per batch.
 struct NetLoopObs {

@@ -724,6 +724,7 @@ ServeReport Runner::run() {
   }
   if (store_.rounds_completed == 0) {
     campaign::register_seed_entries(store_, config_.campaign);
+    campaign::register_stream_seed_entries(store_, config_.campaign);
   }
   // Workers re-plan from the committed checkpoint, so adopting the coverage
   // plan here is all it takes for every shard to see identical ids.

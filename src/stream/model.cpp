@@ -1,0 +1,90 @@
+#include "stream/model.h"
+
+#include <utility>
+
+#include "core/specwire.h"
+
+namespace hdiff::stream {
+
+namespace {
+constexpr std::string_view kHeader = "hdiff-stream-v1 ";
+constexpr std::string_view kEnd = "end-stream";
+}  // namespace
+
+std::string RequestStream::to_wire() const {
+  std::string out;
+  for (const auto& m : messages) out += m.to_wire();
+  return out;
+}
+
+std::vector<std::string> RequestStream::wires() const {
+  std::vector<std::string> out;
+  out.reserve(messages.size());
+  for (const auto& m : messages) out.push_back(m.to_wire());
+  return out;
+}
+
+std::string serialize_stream(const RequestStream& stream) {
+  std::string out(kHeader);
+  out += std::to_string(stream.messages.size());
+  out += "\n";
+  for (const auto& m : stream.messages) {
+    out += "msg=" + core::field_enc(core::serialize_spec(m)) + "\n";
+  }
+  out += kEnd;
+  out += "\n";
+  return out;
+}
+
+bool deserialize_stream(std::string_view text, RequestStream* out) {
+  *out = RequestStream{};
+  // Manual line splitting (not getline) so a missing trailing newline — the
+  // signature of a truncated file — is detectable: the final byte of a
+  // valid serialization is always '\n'.
+  if (text.empty() || text.back() != '\n') return false;
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (lines.size() < 2) return false;
+  const std::string_view header = lines.front();
+  if (header.substr(0, kHeader.size()) != kHeader) return false;
+  const std::string_view count_text = header.substr(kHeader.size());
+  if (count_text.empty()) return false;
+  std::size_t count = 0;
+  for (char c : count_text) {
+    if (c < '0' || c > '9') return false;
+    count = count * 10 + static_cast<std::size_t>(c - '0');
+  }
+  // Exactly: header, `count` msg lines, end marker.  Fewer lines is a
+  // prefix; more is trailing garbage; both fail.
+  if (lines.size() != count + 2) return false;
+  if (lines.back() != kEnd) return false;
+  out->messages.reserve(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    const std::string_view line = lines[i];
+    if (line.substr(0, 4) != "msg=") return false;
+    std::string spec_text;
+    if (!core::field_dec(line.substr(4), &spec_text)) return false;
+    http::RequestSpec spec;
+    if (!core::deserialize_spec(spec_text, &spec)) return false;
+    out->messages.push_back(std::move(spec));
+  }
+  return true;
+}
+
+bool is_stream_text(std::string_view text) {
+  return text.substr(0, kHeader.size()) == kHeader;
+}
+
+RequestStream make_stream(std::vector<http::RequestSpec> messages) {
+  RequestStream s;
+  s.messages = std::move(messages);
+  return s;
+}
+
+}  // namespace hdiff::stream

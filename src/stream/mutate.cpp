@@ -1,0 +1,119 @@
+#include "stream/mutate.h"
+
+#include <utility>
+
+namespace hdiff::stream {
+
+std::string_view to_string(StreamMutationKind kind) {
+  switch (kind) {
+    case StreamMutationKind::kSpliceBoundary:
+      return "splice-boundary";
+    case StreamMutationKind::kReorderMessages:
+      return "reorder-messages";
+    case StreamMutationKind::kDuplicateMessage:
+      return "duplicate-message";
+    case StreamMutationKind::kDropMessage:
+      return "drop-message";
+  }
+  return "unknown";
+}
+
+const std::vector<StreamMutationKind>& all_stream_mutation_kinds() {
+  static const std::vector<StreamMutationKind> kinds = {
+      StreamMutationKind::kSpliceBoundary,
+      StreamMutationKind::kReorderMessages,
+      StreamMutationKind::kDuplicateMessage,
+      StreamMutationKind::kDropMessage,
+  };
+  return kinds;
+}
+
+std::string AppliedStreamMutation::describe() const {
+  std::string out(to_string(kind));
+  out += " @msg" + std::to_string(index);
+  if (!detail.empty()) out += " (" + detail + ")";
+  return out;
+}
+
+namespace {
+
+void add(std::vector<StreamMutant>& out, RequestStream stream,
+         StreamMutationKind kind, std::size_t index, std::string detail) {
+  StreamMutant m;
+  m.stream = std::move(stream);
+  m.applied.kind = kind;
+  m.applied.index = index;
+  m.applied.detail = std::move(detail);
+  out.push_back(std::move(m));
+}
+
+/// Splice variants for message `i`: skew its declared Content-Length so the
+/// framing bites into (or releases bytes to) the following message.  Only
+/// messages that actually carry a Content-Length are spliceable — the skew
+/// must be a *plausible* framing claim, not a syntax error, so every
+/// implementation still faces the same bytes and only their framing
+/// decisions (CL-vs-TE arbitration, fat-GET handling, lenient CL parsing)
+/// can disagree.
+void splice_variants(std::vector<StreamMutant>& out, const RequestStream& base,
+                     std::size_t i) {
+  const http::RequestSpec& msg = base.messages[i];
+  const auto cl = msg.get("Content-Length");
+  if (!cl) return;
+  const std::size_t body = msg.body.size();
+  // Deterministic skews: +1 and +4 bite into the next message's bytes
+  // (under CL framing the boundary moves right; under TE-wins or
+  // ignore-body it does not); -1 strands the body's last byte as the next
+  // request's first.
+  const long deltas[] = {+1, +4, -1};
+  for (long delta : deltas) {
+    if (delta < 0 && body == 0) continue;
+    const std::size_t claimed =
+        delta < 0 ? body - static_cast<std::size_t>(-delta)
+                  : body + static_cast<std::size_t>(delta);
+    RequestStream next = base;
+    next.messages[i].set("Content-Length", std::to_string(claimed));
+    add(out, std::move(next), StreamMutationKind::kSpliceBoundary, i,
+        (delta < 0 ? "cl" : "cl+") + std::to_string(delta));
+  }
+}
+
+}  // namespace
+
+std::vector<StreamMutant> stream_mutants(const RequestStream& base) {
+  std::vector<StreamMutant> out;
+  const std::size_t n = base.messages.size();
+  if (n == 0) return out;
+
+  // splice-boundary: every CL-bearing message with a successor to bite.
+  for (std::size_t i = 0; i + 1 < n; ++i) splice_variants(out, base, i);
+
+  // reorder-messages: swap each adjacent pair that actually differs.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (base.messages[i] == base.messages[i + 1]) continue;
+    RequestStream next = base;
+    std::swap(next.messages[i], next.messages[i + 1]);
+    add(out, std::move(next), StreamMutationKind::kReorderMessages, i,
+        "swap " + std::to_string(i) + "<->" + std::to_string(i + 1));
+  }
+
+  // duplicate-message: pipeline each message twice.
+  for (std::size_t i = 0; i < n; ++i) {
+    RequestStream next = base;
+    next.messages.insert(next.messages.begin() + static_cast<std::ptrdiff_t>(i),
+                         base.messages[i]);
+    add(out, std::move(next), StreamMutationKind::kDuplicateMessage, i, "");
+  }
+
+  // drop-message: remove each message (streams never shrink to empty).
+  if (n > 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      RequestStream next = base;
+      next.messages.erase(next.messages.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      add(out, std::move(next), StreamMutationKind::kDropMessage, i, "");
+    }
+  }
+  return out;
+}
+
+}  // namespace hdiff::stream

@@ -1,0 +1,65 @@
+// Stream-shape mutation operators (the campaign's connection-level arms).
+//
+// Single-request mutation (core/mutation.h) perturbs bytes *within* one
+// message; these operators perturb the *shape of the stream* — where one
+// message ends relative to the next on a shared connection:
+//
+//   splice-boundary    skew message i's declared framing (Content-Length)
+//                      so parsers that honor different framing sources
+//                      split the stream at different offsets — the direct
+//                      connection-level HRS primitive;
+//   reorder-messages   swap adjacent messages (response-queue order probe);
+//   duplicate-message  pipeline the same message twice (idempotent-boundary
+//                      probe, doubles any leftover effect);
+//   drop-message       remove one message (the stream minimizer's move, and
+//                      a probe for state the dropped message was masking).
+//
+// Enumeration is exhaustive and deterministic — no RNG, no clocks — in a
+// fixed kind-major, index-minor order, so a resumed or sharded campaign
+// schedules byte-identical stream mutants (same discipline as
+// core::mutate).  Kinds are deliberately NOT registered in
+// core::all_mutation_kinds(): they apply to streams, not specs, and keep
+// their own provenance namespace ("stream-mutant:<hash>:<kind>").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/model.h"
+
+namespace hdiff::stream {
+
+enum class StreamMutationKind {
+  kSpliceBoundary,
+  kReorderMessages,
+  kDuplicateMessage,
+  kDropMessage,
+};
+
+std::string_view to_string(StreamMutationKind kind);
+
+/// All kinds, in enumeration (= scheduling) order.
+const std::vector<StreamMutationKind>& all_stream_mutation_kinds();
+
+/// What one operator application did, for provenance and descriptions.
+struct AppliedStreamMutation {
+  StreamMutationKind kind = StreamMutationKind::kSpliceBoundary;
+  std::size_t index = 0;  ///< message index the operator touched
+  std::string detail;     ///< operator-specific note ("cl+4", "swap 0<->1")
+
+  std::string describe() const;
+};
+
+/// One mutated stream plus how it was derived.
+struct StreamMutant {
+  RequestStream stream;
+  AppliedStreamMutation applied;
+};
+
+/// Every single-application mutant of `base`, kind-major then index-minor.
+/// Deterministic: two calls with equal inputs return equal outputs.
+std::vector<StreamMutant> stream_mutants(const RequestStream& base);
+
+}  // namespace hdiff::stream

@@ -1,0 +1,44 @@
+#include "stream/seeds.h"
+
+#include "http/serialize.h"
+
+namespace hdiff::stream {
+namespace {
+
+constexpr std::string_view kHost = "origin.example";
+
+RequestStream fat_get() {
+  // The hidden payload is a complete request: whoever strands it has queued
+  // a response the proxy never asked for.
+  http::RequestSpec fat = http::make_get(kHost, "/");
+  fat.body = "GET /hidden HTTP/1.1\r\nHost: origin.example\r\n\r\n";
+  fat.set("Content-Length", std::to_string(fat.body.size()));
+  return make_stream({std::move(fat), http::make_get(kHost, "/after")});
+}
+
+RequestStream post_pipeline() {
+  return make_stream({http::make_post(kHost, "/upload", "payload-bytes"),
+                      http::make_get(kHost, "/first"),
+                      http::make_get(kHost, "/second")});
+}
+
+RequestStream te_cl_pipeline() {
+  http::RequestSpec both = http::make_chunked_post(kHost, "/submit", "data");
+  // Keep the chunked framing but add a conflicting Content-Length claim
+  // covering only part of the chunked body.
+  both.add("Content-Length", "4");
+  return make_stream({std::move(both), http::make_get(kHost, "/after")});
+}
+
+}  // namespace
+
+const std::vector<StreamSeed>& default_stream_seeds() {
+  static const std::vector<StreamSeed> seeds = {
+      {"fat-get", fat_get()},
+      {"post-pipeline", post_pipeline()},
+      {"te-cl-pipeline", te_cl_pipeline()},
+  };
+  return seeds;
+}
+
+}  // namespace hdiff::stream

@@ -1,0 +1,38 @@
+// Built-in stream seeds: the campaign's round-1 connection-level corpus.
+//
+// Each seed is a small, well-formed message sequence chosen so its mutants
+// explore a known connection-level gap class:
+//
+//   fat-get           a GET carrying a Content-Length body that is itself a
+//                     complete request.  Implementations that ignore a GET's
+//                     body (FatGet::kIgnoreBody) leave those bytes in the
+//                     connection buffer — the next "request" — while
+//                     body-parsing implementations consume them: an
+//                     accept/accept boundary desync no single-request
+//                     observation can represent.
+//   post-pipeline     a Content-Length POST pipelined before two GETs; the
+//                     splice mutants skew the declared length so the
+//                     boundary bites into the next message.
+//   te-cl-pipeline    a chunked POST that also declares a Content-Length,
+//                     followed by a GET — the classic CL.TE arbitration
+//                     probe, streamed.
+//
+// Seeds are pure values: two calls return equal streams, so round-1
+// scheduling is byte-identical across shards and resumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stream/model.h"
+
+namespace hdiff::stream {
+
+struct StreamSeed {
+  std::string name;  ///< provenance tag ("stream-seed:<name>")
+  RequestStream stream;
+};
+
+const std::vector<StreamSeed>& default_stream_seeds();
+
+}  // namespace hdiff::stream

@@ -1,0 +1,109 @@
+#include "stream/mutate.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/seeds.h"
+
+namespace hdiff::stream {
+namespace {
+
+const RequestStream& seed_named(const std::string& name) {
+  for (const auto& s : default_stream_seeds()) {
+    if (s.name == name) return s.stream;
+  }
+  ADD_FAILURE() << "no seed named " << name;
+  static const RequestStream empty;
+  return empty;
+}
+
+TEST(StreamMutate, EnumerationIsDeterministic) {
+  for (const auto& seed : default_stream_seeds()) {
+    const std::vector<StreamMutant> a = stream_mutants(seed.stream);
+    const std::vector<StreamMutant> b = stream_mutants(seed.stream);
+    ASSERT_EQ(a.size(), b.size()) << seed.name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].stream, b[i].stream) << seed.name << " #" << i;
+      EXPECT_EQ(a[i].applied.kind, b[i].applied.kind) << seed.name;
+      EXPECT_EQ(a[i].applied.index, b[i].applied.index) << seed.name;
+      EXPECT_EQ(a[i].applied.detail, b[i].applied.detail) << seed.name;
+    }
+  }
+}
+
+TEST(StreamMutate, KindMajorOrder) {
+  // The scheduler's arm identity depends on the enumeration order being
+  // kind-major: all splice mutants, then all reorders, and so on.
+  const std::vector<StreamMutant> mutants =
+      stream_mutants(seed_named("post-pipeline"));
+  ASSERT_FALSE(mutants.empty());
+  std::size_t last_rank = 0;
+  const auto& kinds = all_stream_mutation_kinds();
+  for (const auto& m : mutants) {
+    std::size_t rank = 0;
+    while (rank < kinds.size() && kinds[rank] != m.applied.kind) ++rank;
+    ASSERT_LT(rank, kinds.size());
+    EXPECT_GE(rank, last_rank) << "kinds interleaved at " << m.applied.describe();
+    last_rank = rank;
+  }
+}
+
+TEST(StreamMutate, SpliceSkewsContentLengthOfFramedMessages) {
+  // post-pipeline: one CL POST followed by two GETs — only the POST carries
+  // framing to skew, and it has a successor, so splice variants exist.
+  const RequestStream& base = seed_named("post-pipeline");
+  std::size_t splices = 0;
+  for (const auto& m : stream_mutants(base)) {
+    if (m.applied.kind != StreamMutationKind::kSpliceBoundary) continue;
+    ++splices;
+    EXPECT_EQ(m.applied.index, 0u);
+    EXPECT_EQ(m.stream.messages.size(), base.messages.size());
+    // The skew changes only the declared framing, never the payload bytes.
+    EXPECT_EQ(m.stream.messages[0].body, base.messages[0].body);
+    EXPECT_NE(m.stream.messages[0].get("Content-Length"),
+              base.messages[0].get("Content-Length"));
+  }
+  EXPECT_EQ(splices, 3u);  // cl+1, cl+4, cl-1
+}
+
+TEST(StreamMutate, ReorderSwapsAdjacentMessages) {
+  const RequestStream& base = seed_named("post-pipeline");
+  for (const auto& m : stream_mutants(base)) {
+    if (m.applied.kind != StreamMutationKind::kReorderMessages) continue;
+    const std::size_t i = m.applied.index;
+    ASSERT_LT(i + 1, base.messages.size());
+    EXPECT_EQ(m.stream.messages[i], base.messages[i + 1]);
+    EXPECT_EQ(m.stream.messages[i + 1], base.messages[i]);
+  }
+}
+
+TEST(StreamMutate, DuplicateAndDropAdjustMessageCount) {
+  const RequestStream& base = seed_named("fat-get");
+  std::size_t duplicates = 0, drops = 0;
+  for (const auto& m : stream_mutants(base)) {
+    if (m.applied.kind == StreamMutationKind::kDuplicateMessage) {
+      ++duplicates;
+      EXPECT_EQ(m.stream.messages.size(), base.messages.size() + 1);
+      EXPECT_EQ(m.stream.messages[m.applied.index],
+                m.stream.messages[m.applied.index + 1]);
+    }
+    if (m.applied.kind == StreamMutationKind::kDropMessage) {
+      ++drops;
+      EXPECT_EQ(m.stream.messages.size(), base.messages.size() - 1);
+    }
+  }
+  EXPECT_EQ(duplicates, base.messages.size());
+  EXPECT_EQ(drops, base.messages.size());
+}
+
+TEST(StreamMutate, SingleMessageStreamHasNoDrop) {
+  // Dropping the only message would leave an empty stream — not a test case.
+  const RequestStream one =
+      make_stream({http::make_get("a.example", "/solo")});
+  for (const auto& m : stream_mutants(one)) {
+    EXPECT_NE(m.applied.kind, StreamMutationKind::kDropMessage);
+    EXPECT_NE(m.applied.kind, StreamMutationKind::kReorderMessages);
+  }
+}
+
+}  // namespace
+}  // namespace hdiff::stream

@@ -1,0 +1,146 @@
+#include "net/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "impls/products.h"
+#include "stream/seeds.h"
+
+namespace hdiff::net {
+namespace {
+
+const stream::RequestStream& seed_named(const std::string& name) {
+  for (const auto& s : stream::default_stream_seeds()) {
+    if (s.name == name) return s.stream;
+  }
+  ADD_FAILURE() << "no seed named " << name;
+  static const stream::RequestStream empty;
+  return empty;
+}
+
+std::size_t delivered_bytes(const std::vector<std::string>& messages,
+                            std::size_t delivered) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < delivered && i < messages.size(); ++i) {
+    total += messages[i].size();
+  }
+  return total;
+}
+
+TEST(ObserveStream, CoversEveryConnectionInTheTopology) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  StreamObservation obs =
+      chain.observe_stream("s1", seed_named("post-pipeline").wires());
+  EXPECT_FALSE(obs.faulted());
+  EXPECT_EQ(obs.direct.size(), chain.backends().size());
+  EXPECT_EQ(obs.proxies.size(), chain.proxies().size());
+  EXPECT_EQ(obs.wire, seed_named("post-pipeline").to_wire());
+}
+
+TEST(ObserveStream, LeftoverBytesAccountForEveryDeliveredByte) {
+  // The core book-keeping invariant: for every connection trace, the bytes
+  // fed before any early close are exactly consumed-as-requests plus still
+  // buffered — nothing is lost, nothing is invented.
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  for (const auto& seed : stream::default_stream_seeds()) {
+    const std::vector<std::string> wires = seed.stream.wires();
+    StreamObservation obs = chain.observe_stream("s2-" + seed.name, wires);
+    ASSERT_FALSE(obs.faulted()) << seed.name;
+    for (const auto& [name, trace] : obs.direct) {
+      EXPECT_EQ(trace.consumed + trace.leftover.size(),
+                delivered_bytes(wires, trace.delivered))
+          << seed.name << " direct " << name;
+      // Boundaries are cumulative consumed offsets: strictly increasing,
+      // ending at the consumed total.
+      std::size_t prev = 0;
+      for (std::size_t b : trace.boundaries) {
+        EXPECT_GT(b, prev) << seed.name << " " << name;
+        prev = b;
+      }
+      if (!trace.boundaries.empty()) {
+        EXPECT_EQ(trace.boundaries.back(), trace.consumed)
+            << seed.name << " " << name;
+      }
+      EXPECT_EQ(trace.statuses.size(), trace.targets.size());
+    }
+    for (const auto& [key, trace] : obs.relayed) {
+      const std::size_t arrow = key.find("->");
+      ASSERT_NE(arrow, std::string::npos);
+      const auto pt = obs.proxies.find(key.substr(0, arrow));
+      ASSERT_NE(pt, obs.proxies.end());
+      EXPECT_EQ(trace.consumed + trace.leftover.size(),
+                delivered_bytes(pt->second.forwarded, trace.delivered))
+          << seed.name << " relayed " << key;
+    }
+  }
+}
+
+TEST(ObserveStream, FatGetStrandsTheHiddenRequestOnIgnoreBodyParsers) {
+  // weblogic ignores a GET's body (FatGet::kIgnoreBody): the embedded
+  // request must surface — either parsed as an extra in-stream request or
+  // stranded as leftover — while body-parsing back-ends consume it as
+  // payload.  This is the connection-level gap the seed exists to expose.
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  StreamObservation obs =
+      chain.observe_stream("s3", seed_named("fat-get").wires());
+  ASSERT_FALSE(obs.faulted());
+  const auto weblogic = obs.direct.find("weblogic");
+  const auto tomcat = obs.direct.find("tomcat");
+  ASSERT_NE(weblogic, obs.direct.end());
+  ASSERT_NE(tomcat, obs.direct.end());
+  // Same bytes, different request boundaries: the desync primitive.
+  EXPECT_NE(weblogic->second.boundaries, tomcat->second.boundaries);
+  bool hidden_answered = false;
+  for (const auto& target : weblogic->second.targets) {
+    if (target == "/hidden") hidden_answered = true;
+  }
+  EXPECT_TRUE(hidden_answered ||
+              !weblogic->second.leftover.empty())
+      << "ignore-body parser neither answered nor stranded the hidden "
+         "request";
+}
+
+TEST(ObserveStream, EchoServerRecordsEachProxysForwardedStream) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  EchoServer echo;
+  StreamObservation obs =
+      chain.observe_stream("s4", seed_named("post-pipeline").wires(), &echo);
+  ASSERT_FALSE(obs.faulted());
+  std::size_t forwarding = 0;
+  for (const auto& [name, pt] : obs.proxies) {
+    if (pt.forwarded.empty()) continue;
+    ++forwarding;
+    bool recorded = false;
+    for (const auto& rec : echo.log()) {
+      if (rec.proxy != name) continue;
+      EXPECT_EQ(rec.uuid, "s4");
+      EXPECT_EQ(rec.raw, pt.forwarded_stream());
+      recorded = true;
+    }
+    EXPECT_TRUE(recorded) << "no echo record for proxy " << name;
+  }
+  EXPECT_EQ(echo.log().size(), forwarding);
+}
+
+TEST(ObserveStream, VerdictCacheDoesNotChangeTheObservation) {
+  auto fleet = impls::make_all_implementations();
+  Chain chain = Chain::from_fleet(fleet);
+  VerdictCache cache;
+  const std::vector<std::string> wires = seed_named("te-cl-pipeline").wires();
+  StreamObservation cold = chain.observe_stream("s5", wires, nullptr, &cache);
+  StreamObservation warm = chain.observe_stream("s5", wires, nullptr, &cache);
+  ASSERT_FALSE(cold.faulted());
+  for (const auto& [name, trace] : cold.direct) {
+    const auto warm_trace = warm.direct.find(name);
+    ASSERT_NE(warm_trace, warm.direct.end());
+    EXPECT_EQ(trace.boundaries, warm_trace->second.boundaries) << name;
+    EXPECT_EQ(trace.leftover, warm_trace->second.leftover) << name;
+    EXPECT_EQ(trace.targets, warm_trace->second.targets) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hdiff::net

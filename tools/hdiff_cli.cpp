@@ -57,6 +57,11 @@
 //                                      run, every fingerprint is unique, and
 //                                      a kill-and-resume run reproduces the
 //                                      uninterrupted state byte-identically
+//   hdiff selftest --stream            stream self-test: seeded connection-
+//                                      level campaign files at least one
+//                                      stream-* divergence and state/findings
+//                                      stay byte-identical across --jobs
+//                                      parallelism and kill-and-resume
 //   hdiff serve --state-dir DIR        supervised campaign daemon: rounds
 //                  [--shards N] [--port P] [...]
 //                  [--metrics-out FILE] [--trace-out FILE]
@@ -173,6 +178,11 @@ int usage() {
       "  selftest --campaign          campaign self-test: superset of the\n"
       "                               one-shot findings, fingerprint dedup,\n"
       "                               and byte-identical kill-and-resume\n"
+      "  selftest --stream [--jobs N] stream self-test: seeded connection-\n"
+      "                               level campaign files at least one\n"
+      "                               stream-* finding and stays\n"
+      "                               byte-identical across --jobs and\n"
+      "                               kill-and-resume\n"
       "  selftest --serve [--jobs N]  daemon self-test: assert the sharded\n"
       "                               supervisor's findings are byte-identical\n"
       "                               to the single-process engine under\n"
@@ -184,17 +194,19 @@ int usage() {
       "                               stays unready > 2 heartbeat intervals\n"
       "  campaign run|resume|status|minimize --state-dir DIR\n"
       "           [--rounds N] [--budget N] [--jobs N] [--json FILE]\n"
-      "           [--mini] [--no-minimize] [--no-coverage]\n"
+      "           [--mini] [--no-minimize] [--no-coverage] [--streams]\n"
       "                               persistent fuzzing campaign with\n"
       "                               divergence-feedback + grammar-coverage\n"
       "                               scheduling (--no-coverage disables the\n"
       "                               static coverage map), finding dedup,\n"
       "                               delta-debug minimized corpus growth\n"
-      "                               and checkpoint/resume\n"
+      "                               and checkpoint/resume; --streams adds\n"
+      "                               connection-level request-stream fuzzing\n"
+      "                               (splice/reorder/duplicate/drop arms)\n"
       "  serve --state-dir DIR [--rounds N] [--budget N] [--jobs N]\n"
       "        [--shards N] [--port P] [--port-file FILE] [--mini]\n"
-      "        [--no-minimize] [--no-coverage] [--heartbeat-ms N]\n"
-      "        [--quarantine-after K]\n"
+      "        [--no-minimize] [--no-coverage] [--streams]\n"
+      "        [--heartbeat-ms N] [--quarantine-after K]\n"
       "        [--in-process] [--metrics-out FILE] [--trace-out FILE]\n"
       "                               supervised campaign daemon: sharded\n"
       "                               worker processes, crash restart with\n"
@@ -1038,6 +1050,7 @@ int selftest_netloop(std::size_t jobs, bool force_poll) {
 }
 
 int selftest_campaign(std::size_t jobs);  // defined with the campaign CLI
+int selftest_stream(std::size_t jobs);    // defined with the campaign CLI
 int selftest_serve(std::size_t jobs);     // defined with the serve CLI
 int selftest_serve_soak(int seconds, std::size_t jobs);
 
@@ -1047,6 +1060,7 @@ int cmd_selftest(int argc, char** argv) {
   plan_config.max_faults_per_site = 1;
   bool trace_mode = false;
   bool campaign_mode = false;
+  bool stream_mode = false;
   bool views_mode = false;
   bool netloop_mode = false;
   bool force_poll = false;
@@ -1056,6 +1070,7 @@ int cmd_selftest(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_mode = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign_mode = true;
+    if (std::strcmp(argv[i], "--stream") == 0) stream_mode = true;
     if (std::strcmp(argv[i], "--views") == 0) views_mode = true;
     if (std::strcmp(argv[i], "--net-loop") == 0) netloop_mode = true;
     if (std::strcmp(argv[i], "--force-poll") == 0) force_poll = true;
@@ -1096,6 +1111,7 @@ int cmd_selftest(int argc, char** argv) {
   }
   if (serve_mode) return selftest_serve(config.executor.jobs);
   if (campaign_mode) return selftest_campaign(config.executor.jobs);
+  if (stream_mode) return selftest_stream(config.executor.jobs);
   if (trace_mode) return selftest_trace(std::move(config));
   if (views_mode) return selftest_views();
   if (netloop_mode) {
@@ -1334,6 +1350,8 @@ int cmd_campaign(int argc, char** argv) {
       config.minimize_new = false;
     } else if (std::strcmp(argv[i], "--no-coverage") == 0) {
       no_coverage = true;
+    } else if (std::strcmp(argv[i], "--streams") == 0) {
+      config.streams = true;
     } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
       state_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -1580,6 +1598,167 @@ int selftest_campaign(std::size_t jobs) {
   return rc;
 }
 
+/// `selftest --stream`: the acceptance proof for the connection-level
+/// stream subsystem.  Runs a seeded 2-round stream campaign
+/// (`--streams`, probe bootstrap) and asserts:
+///   1. at least one `stream-*` finding is filed — a boundary-desync /
+///      queue-poisoning / leftover divergence the single-request pipeline
+///      cannot represent (its detectors never emit stream classes);
+///   2. the `hdiff_stream_*` observability series were populated;
+///   3. state and findings are byte-identical between `--jobs 1` and a
+///      wide-parallel run (stream cases observe serially; the schedule is a
+///      pure function of the committed checkpoint);
+///   4. a run killed in the worst crash window after round 1 resumes to
+///      byte-identical state and findings.
+int selftest_stream(std::size_t jobs) {
+  namespace fs = std::filesystem;
+  namespace camp = hdiff::campaign;
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("hdiff-selftest-stream-" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  auto base_config = [&](const std::string& leaf, std::size_t run_jobs) {
+    camp::CampaignConfig config;
+    config.state_dir = (root / leaf).string();
+    config.rounds = 2;
+    config.budget_per_round = 24;
+    config.minimize.max_steps = 128;
+    config.executor.jobs = run_jobs;
+    config.bootstrap = hdiff::core::verification_probes();
+    config.coverage = campaign_coverage_plan(false);
+    config.streams = true;
+    return config;
+  };
+  auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  auto fleet = hdiff::impls::make_all_implementations();
+
+  // Reference run at --jobs 1, with live metrics so the stream series can
+  // be asserted (observability never perturbs findings, per
+  // `selftest --trace`, so instrumenting only this run is sound).
+  std::printf("seeded stream campaign (--jobs 1)...\n");
+  hdiff::obs::Registry registry;
+  camp::CampaignConfig ref_config = base_config("jobs1", 1);
+  ref_config.obs.metrics = &registry;
+  camp::CampaignEngine ref_engine(std::move(ref_config));
+  camp::CampaignReport ref = ref_engine.run(fleet);
+  if (!ref.error.empty()) {
+    std::printf("selftest FAILED: %s\n", ref.error.c_str());
+    return 1;
+  }
+  print_campaign_report(ref);
+
+  camp::StateStore ref_store(base_config("jobs1", 1).state_dir);
+  if (!ref_store.load()) {
+    std::printf("selftest FAILED: %s\n", ref_store.error().c_str());
+    return 1;
+  }
+
+  // 1. A stream-class divergence was discovered.
+  std::set<std::string> stream_detectors;
+  for (const auto& f : ref_store.findings) {
+    if (f.detector.rfind("stream-", 0) == 0) {
+      stream_detectors.insert(f.detector);
+    }
+  }
+  if (stream_detectors.empty()) {
+    std::printf(
+        "selftest FAILED: no stream-* finding in the findings DB (%zu "
+        "finding(s) total)\n",
+        ref_store.findings.size());
+    return 1;
+  }
+  std::printf("stream findings check: detector class(es) present:");
+  for (const auto& d : stream_detectors) std::printf(" %s", d.c_str());
+  std::printf(" (%zu stream corpus entr%s)\n", ref.stream_entries,
+              ref.stream_entries == 1 ? "y" : "ies");
+
+  // 2. The stream observability series were fed.
+  const std::string exposition = hdiff::obs::render_prometheus(registry);
+  if (exposition.find("hdiff_stream_observations_total") ==
+      std::string::npos) {
+    std::printf(
+        "selftest FAILED: hdiff_stream_observations_total missing from the "
+        "metrics exposition\n");
+    return 1;
+  }
+  std::printf("metrics check: hdiff_stream_* series present\n");
+
+  // 3. Byte-identity across parallelism.
+  const std::size_t wide = jobs < 2 ? 8 : jobs;
+  std::printf("same campaign at --jobs %zu...\n", wide);
+  camp::CampaignEngine wide_engine(base_config("jobsN", wide));
+  camp::CampaignReport wide_report = wide_engine.run(fleet);
+  if (!wide_report.error.empty()) {
+    std::printf("selftest FAILED: %s\n", wide_report.error.c_str());
+    return 1;
+  }
+  const camp::StateStore wide_store(base_config("jobsN", wide).state_dir);
+  int rc = 0;
+  if (read_bytes(ref_store.state_path()) !=
+      read_bytes(wide_store.state_path())) {
+    std::printf("selftest FAILED: campaign.state differs across --jobs\n");
+    rc = 1;
+  }
+  if (read_bytes(ref_store.findings_path()) !=
+      read_bytes(wide_store.findings_path())) {
+    std::printf("selftest FAILED: findings.jsonl differs across --jobs\n");
+    rc = 1;
+  }
+  if (rc != 0) return rc;
+  std::printf("parallelism check: state and findings byte-identical at "
+              "--jobs 1 and --jobs %zu\n",
+              wide);
+
+  // 4. Kill in the worst window (findings appended, checkpoint not yet
+  // renamed) and resume; bytes must match the uninterrupted run exactly.
+  std::printf("crashed run (kill after round 1's findings append)...\n");
+  camp::CampaignConfig crash_config = base_config("resumed", 1);
+  crash_config.crash_after_round = 1;
+  camp::CampaignEngine crashed(std::move(crash_config));
+  camp::CampaignReport crash_report = crashed.run(fleet);
+  if (!crash_report.error.empty() || !crash_report.interrupted) {
+    std::printf("selftest FAILED: crash hook did not fire (%s)\n",
+                crash_report.error.c_str());
+    return 1;
+  }
+  std::printf("resuming...\n");
+  camp::CampaignEngine resumed(base_config("resumed", 1));
+  camp::CampaignReport resume_report = resumed.run(fleet);
+  if (!resume_report.error.empty() || !resume_report.resumed) {
+    std::printf("selftest FAILED: resume failed (%s)\n",
+                resume_report.error.c_str());
+    return 1;
+  }
+  const camp::StateStore res_store(base_config("resumed", 1).state_dir);
+  if (read_bytes(ref_store.state_path()) !=
+      read_bytes(res_store.state_path())) {
+    std::printf("selftest FAILED: campaign.state differs after resume\n");
+    rc = 1;
+  }
+  if (read_bytes(ref_store.findings_path()) !=
+      read_bytes(res_store.findings_path())) {
+    std::printf("selftest FAILED: findings.jsonl differs after resume\n");
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf(
+        "selftest PASSED: %zu stream detector class(es) filed; state and "
+        "findings byte-identical across --jobs and crash-resume\n",
+        stream_detectors.size());
+    fs::remove_all(root, ec);
+  }
+  return rc;
+}
+
 // ---- hdiff serve: supervised, crash-tolerant campaign daemon --------------
 
 /// SIGTERM/SIGINT set this; the supervisor polls it and drains gracefully
@@ -1612,6 +1791,8 @@ int cmd_serve_worker(int argc, char** argv) {
       mini = true;
     } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
       options.config.minimize_new = false;
+    } else if (std::strcmp(argv[i], "--streams") == 0) {
+      options.config.streams = true;
     } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
       options.config.state_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
@@ -1673,6 +1854,8 @@ int cmd_serve(int argc, char** argv) {
       config.campaign.minimize_new = false;
     } else if (std::strcmp(argv[i], "--no-coverage") == 0) {
       no_coverage = true;
+    } else if (std::strcmp(argv[i], "--streams") == 0) {
+      config.campaign.streams = true;
     } else if (std::strcmp(argv[i], "--in-process") == 0) {
       in_process = true;  // inline execution, no child processes
     } else if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
@@ -1740,6 +1923,7 @@ int cmd_serve(int argc, char** argv) {
   if (!config.campaign.minimize_new) {
     config.worker_args.push_back("--no-minimize");
   }
+  if (config.campaign.streams) config.worker_args.push_back("--streams");
   config.worker_args.push_back("--budget");
   config.worker_args.push_back(
       std::to_string(config.campaign.budget_per_round));
